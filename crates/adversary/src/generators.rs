@@ -1,0 +1,183 @@
+//! Adversarial schedule constructions — the lower-bound side of the
+//! paper's tightness claims.
+//!
+//! Each generator produces the request sequence on which the corresponding
+//! algorithm provably attains its competitive factor:
+//!
+//! * [`swk_adversarial`] — the Theorem 4/12 cycle: after a warm-up that
+//!   gives SWk the replica, alternate bursts of `(k+1)/2` writes and
+//!   `(k+1)/2` reads. SWk pays `k+1` connections (or `(1+ω/2)(k+1)+ω`
+//!   messages) per cycle; OPT pays 1 (it propagates only the last write of
+//!   each burst).
+//! * [`sw1_adversarial`] — the Theorem 11 alternation `r,w,r,w,…`: SW1 pays
+//!   `1+2ω` per pair, OPT pays 1.
+//! * [`t1_adversarial`] / [`t2_adversarial`] — the §7.1 cycles
+//!   `(r^m w)^c` / `(w^m r)^c`: the T algorithm pays `m+1` connections per
+//!   cycle, OPT pays 1.
+//! * [`static_punisher`] — the §5.3 unboundedness witnesses: all-reads for
+//!   ST1, all-writes for ST2.
+
+use mdr_core::{PolicySpec, Request, Schedule};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The Theorem 4 / Theorem 12 adversarial schedule for SWk: `k` warm-up
+/// reads (giving SWk the replica and a full-read window), then `cycles`
+/// repetitions of `(k+1)/2` writes followed by `(k+1)/2` reads.
+pub fn swk_adversarial(k: usize, cycles: usize) -> Schedule {
+    assert!(k % 2 == 1, "window size must be odd");
+    let half = k.div_ceil(2);
+    Schedule::all_reads(k).concat(&Schedule::write_read_cycles(half, half, cycles))
+}
+
+/// The Theorem 11 adversarial schedule for SW1: one allocating read, then
+/// `pairs` repetitions of `w, r`. Every write hits a just-allocated replica
+/// (delete-request, ω) and every read misses (1+ω).
+pub fn sw1_adversarial(pairs: usize) -> Schedule {
+    Schedule::all_reads(1).concat(&Schedule::alternating(Request::Write, 2 * pairs))
+}
+
+/// The §7.1 adversarial schedule for T1m: `cycles` repetitions of `m`
+/// consecutive reads (all remote; the last allocates) followed by one write
+/// (delete-request).
+pub fn t1_adversarial(m: usize, cycles: usize) -> Schedule {
+    Schedule::read_write_cycles(m, 1, cycles)
+}
+
+/// The §7.1 adversarial schedule for T2m: `cycles` repetitions of `m`
+/// consecutive writes (all propagated; the last deallocates) followed by one
+/// read (remote, reallocating).
+pub fn t2_adversarial(m: usize, cycles: usize) -> Schedule {
+    Schedule::write_read_cycles(m, 1, cycles)
+}
+
+/// The §5.3 witnesses that the statics are not competitive: a pure-read run
+/// for ST1 (OPT fetches once; ST1 pays every time) and a pure-write run for
+/// ST2 (OPT pays nothing; ST2 propagates every write).
+pub fn static_punisher(spec: PolicySpec, n: usize) -> Schedule {
+    match spec {
+        PolicySpec::St1 => Schedule::all_reads(n),
+        PolicySpec::St2 => Schedule::all_writes(n),
+        other => panic!("static_punisher is defined for the static policies, got {other}"),
+    }
+}
+
+/// The canonical adversarial schedule for any policy in the roster —
+/// dispatches to the construction that achieves the policy's tight factor.
+/// For the (non-competitive) statics this returns the §5.3 punisher.
+pub fn adversarial_for(spec: PolicySpec, cycles: usize) -> Schedule {
+    match spec {
+        PolicySpec::St1 | PolicySpec::St2 => static_punisher(spec, cycles),
+        PolicySpec::SlidingWindow { k: 1 } => sw1_adversarial(cycles),
+        PolicySpec::SlidingWindow { k } => swk_adversarial(k, cycles),
+        PolicySpec::T1 { m } => t1_adversarial(m, cycles),
+        PolicySpec::T2 { m } => t2_adversarial(m, cycles),
+    }
+}
+
+/// A uniformly random schedule of length `len` with write probability
+/// `theta` — the random-search side of the worst-case experiments.
+pub fn random_schedule(len: usize, theta: f64, seed: u64) -> Schedule {
+    assert!((0.0..=1.0).contains(&theta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.random::<f64>() < theta {
+                Request::Write
+            } else {
+                Request::Read
+            }
+        })
+        .collect()
+}
+
+/// A random schedule built from geometric *runs* of equal requests (mean
+/// run length `mean_run`). Runs are where online allocation decisions hurt,
+/// so run-structured schedules probe the worst case much harder than
+/// i.i.d. ones.
+pub fn random_run_schedule(len: usize, mean_run: f64, seed: u64) -> Schedule {
+    assert!(mean_run >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    let mut current = if rng.random::<f64>() < 0.5 {
+        Request::Read
+    } else {
+        Request::Write
+    };
+    let p_switch = 1.0 / mean_run;
+    while out.len() < len {
+        out.push(current);
+        if rng.random::<f64>() < p_switch {
+            current = current.flipped();
+        }
+    }
+    Schedule::from_requests(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swk_adversarial_shape() {
+        let s = swk_adversarial(3, 2);
+        assert_eq!(s.to_string(), "rrrwwrrwwrr");
+    }
+
+    #[test]
+    fn sw1_adversarial_shape() {
+        assert_eq!(sw1_adversarial(3).to_string(), "rwrwrwr");
+    }
+
+    #[test]
+    fn t_adversarial_shapes() {
+        assert_eq!(t1_adversarial(3, 2).to_string(), "rrrwrrrw");
+        assert_eq!(t2_adversarial(2, 2).to_string(), "wwrwwr");
+    }
+
+    #[test]
+    fn punishers() {
+        assert_eq!(static_punisher(PolicySpec::St1, 4).to_string(), "rrrr");
+        assert_eq!(static_punisher(PolicySpec::St2, 3).to_string(), "www");
+    }
+
+    #[test]
+    #[should_panic(expected = "static")]
+    fn punisher_rejects_dynamic_policies() {
+        let _ = static_punisher(PolicySpec::SlidingWindow { k: 3 }, 5);
+    }
+
+    #[test]
+    fn dispatcher_covers_the_roster() {
+        for spec in PolicySpec::roster(&[1, 3, 7], &[2, 4]) {
+            let s = adversarial_for(spec, 3);
+            assert!(!s.is_empty(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn random_schedule_is_seeded_and_theta_biased() {
+        let a = random_schedule(2_000, 0.7, 1);
+        let b = random_schedule(2_000, 0.7, 1);
+        assert_eq!(a, b);
+        let frac = a.write_fraction().unwrap();
+        assert!((frac - 0.7).abs() < 0.05, "{frac}");
+    }
+
+    #[test]
+    fn run_schedule_has_longer_runs_than_iid() {
+        let runs = random_run_schedule(5_000, 8.0, 3);
+        let iid = random_schedule(5_000, 0.5, 3);
+        let mean_run = |s: &Schedule| {
+            let mut total_runs = 1usize;
+            for w in s.as_slice().windows(2) {
+                if w[0] != w[1] {
+                    total_runs += 1;
+                }
+            }
+            s.len() as f64 / total_runs as f64
+        };
+        assert!(mean_run(&runs) > 2.0 * mean_run(&iid));
+        assert_eq!(runs.len(), 5_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mdr-adversary — offline optimum and worst-case tooling
+//!
+//! The worst-case side of **Huang, Sistla, Wolfson, "Data Replication for
+//! Mobile Computers" (SIGMOD 1994)**: competitive analysis compares each
+//! online allocation algorithm against the ideal offline algorithm M that
+//! knows the whole request sequence in advance (§3).
+//!
+//! * [`opt_cost`] / [`opt_outcome`] — the offline optimum as an `O(n)`
+//!   two-state dynamic program (cost semantics in DESIGN.md §2, pinned by
+//!   the paper's tightness claims), with a brute-force reference;
+//! * [`generators`] — the adversarial schedules on which the tight factors
+//!   are attained (Theorems 4, 11, 12 and the §7.1 cycles), plus random and
+//!   run-structured probes;
+//! * [`measure`] / [`cycle_ratio`] / [`random_worst`] — the ratio harness;
+//! * [`exhaustive_search`] / [`verify_factor`] — enumeration of *every*
+//!   schedule up to a length bound, turning "no counterexample found" into
+//!   a short-horizon proof.
+//!
+//! ```
+//! use mdr_adversary::{measure, generators};
+//! use mdr_core::{CostModel, PolicySpec};
+//!
+//! // SW3 on its adversarial schedule: the ratio approaches k + 1 = 4.
+//! let schedule = generators::swk_adversarial(3, 50);
+//! let report = measure(PolicySpec::SlidingWindow { k: 3 }, &schedule, CostModel::Connection);
+//! assert!(report.ratio.unwrap() > 3.8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+mod opt;
+mod ratio;
+mod search;
+
+pub use opt::{opt_cost, opt_cost_bruteforce, opt_cost_from, opt_outcome, OptOutcome};
+pub use ratio::{cycle_ratio, measure, measure_policy, random_worst, RatioReport};
+pub use search::{exhaustive_search, exhaustive_search_policy, verify_factor, SearchOutcome};

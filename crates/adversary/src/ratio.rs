@@ -1,0 +1,245 @@
+//! The competitive-ratio measurement harness.
+//!
+//! Competitive analysis compares an online algorithm's cost against the
+//! offline optimum on the *same* schedule. This module measures that
+//! comparison three ways: on explicit schedules, on batches of random
+//! schedules, and asymptotically on repeated adversarial cycles (which is
+//! how the tight lower bounds manifest — the additive constant `b` in
+//! `COST_A ≤ c·COST_OPT + b` washes out as cycles accumulate).
+
+use crate::opt::opt_cost_from;
+use mdr_core::{CostModel, PolicySpec, Schedule};
+
+/// One policy-vs-OPT comparison.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatioReport {
+    /// The online policy's cost on the schedule.
+    pub policy_cost: f64,
+    /// OPT's cost on the same schedule (cold start, like the policy).
+    pub opt_cost: f64,
+    /// `policy_cost / opt_cost`, or `None` when OPT is free (the ratio is
+    /// then unbounded whenever the policy paid anything).
+    pub ratio: Option<f64>,
+}
+
+impl RatioReport {
+    /// Whether this observation violates `policy ≤ factor·opt + slack` —
+    /// i.e. whether it *disproves* `factor`-competitiveness with additive
+    /// constant `slack`.
+    pub fn violates(&self, factor: f64, slack: f64) -> bool {
+        self.policy_cost > factor * self.opt_cost + slack + 1e-9
+    }
+}
+
+/// Measures `spec` against OPT on one schedule. OPT starts from the same
+/// initial replica state as the policy (ST2/T2m start with a replica;
+/// giving the offline algorithm the same head start keeps it a true lower
+/// bound).
+pub fn measure(spec: PolicySpec, schedule: &Schedule, model: CostModel) -> RatioReport {
+    let mut policy = spec.build();
+    measure_policy(policy.as_mut(), schedule, model)
+}
+
+/// [`measure`] for an arbitrary policy instance (taken in its *initial*
+/// state) — lets extensions outside [`PolicySpec`] (e.g. the adaptive
+/// estimator policy) use the same harness.
+pub fn measure_policy(
+    policy: &mut dyn mdr_core::AllocationPolicy,
+    schedule: &Schedule,
+    model: CostModel,
+) -> RatioReport {
+    let initial_copy = policy.has_copy();
+    let policy_cost = mdr_core::run_policy(policy, schedule, model).total_cost;
+    let opt = opt_cost_from(schedule, model, initial_copy);
+    RatioReport {
+        policy_cost,
+        opt_cost: opt,
+        ratio: (opt > 0.0).then(|| policy_cost / opt),
+    }
+}
+
+/// The asymptotic per-cycle ratio of `spec` on `warmup · cycleⁿ`: runs the
+/// cycle `cycles` times after the warm-up and returns the overall
+/// policy/OPT ratio. As `cycles → ∞` this converges (from below) to the
+/// tight competitive factor when `cycle` is the right adversarial block.
+pub fn cycle_ratio(
+    spec: PolicySpec,
+    warmup: &Schedule,
+    cycle: &Schedule,
+    cycles: usize,
+    model: CostModel,
+) -> RatioReport {
+    assert!(!cycle.is_empty(), "cycle must be non-empty");
+    let schedule = warmup.concat(&cycle.repeat(cycles));
+    measure(spec, &schedule, model)
+}
+
+/// The worst (highest-ratio) observation of `spec` over `trials` random
+/// schedules of length `len` with write fraction drawn uniformly per trial.
+/// Returns the worst report and the schedule that produced it.
+pub fn random_worst(
+    spec: PolicySpec,
+    model: CostModel,
+    len: usize,
+    trials: usize,
+    seed: u64,
+) -> (Schedule, RatioReport) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: Option<(Schedule, RatioReport)> = None;
+    for t in 0..trials {
+        // Mix i.i.d. and run-structured schedules; runs probe harder.
+        let schedule = if t % 2 == 0 {
+            crate::generators::random_schedule(len, rng.random::<f64>(), seed ^ (t as u64))
+        } else {
+            let mean_run = 1.0 + rng.random::<f64>() * (len as f64 / 4.0);
+            crate::generators::random_run_schedule(len, mean_run, seed ^ (t as u64))
+        };
+        let report = measure(spec, &schedule, model);
+        // Rank by ratio; a schedule where OPT is free is only interesting
+        // (infinitely bad) if the policy actually paid something.
+        let rank = |r: &RatioReport| match r.ratio {
+            Some(ratio) => ratio,
+            None if r.policy_cost > 0.0 => f64::INFINITY,
+            None => 0.0,
+        };
+        let candidate = rank(&report);
+        let current = worst
+            .as_ref()
+            .map(|(_, r)| rank(r))
+            .unwrap_or(f64::NEG_INFINITY);
+        if candidate > current {
+            worst = Some((schedule, report));
+        }
+    }
+    worst.expect("at least one trial required")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use mdr_analysis::competitive;
+
+    #[test]
+    fn measure_basic() {
+        let s: Schedule = "rrrr".parse().unwrap();
+        let r = measure(PolicySpec::St1, &s, CostModel::Connection);
+        assert_eq!(r.policy_cost, 4.0);
+        assert_eq!(r.opt_cost, 1.0);
+        assert_eq!(r.ratio, Some(4.0));
+        assert!(r.violates(3.0, 0.5));
+        assert!(!r.violates(4.0, 0.0));
+    }
+
+    #[test]
+    fn opt_zero_yields_no_ratio() {
+        let s = Schedule::all_writes(10);
+        let r = measure(PolicySpec::St2, &s, CostModel::Connection);
+        assert_eq!(r.opt_cost, 0.0);
+        assert_eq!(r.ratio, None);
+        assert_eq!(r.policy_cost, 10.0);
+        // …which violates every claimed factor: the statics are not
+        // competitive (§5.3).
+        assert!(r.violates(1_000.0, 5.0));
+    }
+
+    #[test]
+    fn swk_cycle_ratio_approaches_k_plus_one() {
+        // Theorem 4 tightness, empirically: the adversarial cycle drives the
+        // overall ratio toward k + 1.
+        for k in [3usize, 5, 9] {
+            let warmup = Schedule::all_reads(k);
+            let half = k.div_ceil(2);
+            let cycle = Schedule::write_read_cycles(half, half, 1);
+            let r = cycle_ratio(
+                PolicySpec::SlidingWindow { k },
+                &warmup,
+                &cycle,
+                200,
+                CostModel::Connection,
+            );
+            let ratio = r.ratio.unwrap();
+            let target = competitive::swk_connection_factor(k);
+            assert!(ratio > target - 0.1, "k={k}: {ratio} vs {target}");
+            assert!(
+                ratio <= target + 1e-9,
+                "k={k}: tightness must not be exceeded"
+            );
+        }
+    }
+
+    #[test]
+    fn sw1_cycle_ratio_approaches_theorem_11() {
+        for omega in [0.0, 0.5, 1.0] {
+            let model = CostModel::message(omega);
+            let warmup = Schedule::all_reads(1);
+            let cycle: Schedule = "wr".parse().unwrap();
+            let r = cycle_ratio(
+                PolicySpec::SlidingWindow { k: 1 },
+                &warmup,
+                &cycle,
+                400,
+                model,
+            );
+            let ratio = r.ratio.unwrap();
+            let target = competitive::sw1_message_factor(omega);
+            assert!(ratio > target - 0.05, "ω={omega}: {ratio} vs {target}");
+            assert!(ratio <= target + 1e-9, "ω={omega}");
+        }
+    }
+
+    #[test]
+    fn swk_message_cycle_ratio_approaches_theorem_12() {
+        for (k, omega) in [(3usize, 0.5), (5, 0.25), (7, 1.0)] {
+            let model = CostModel::message(omega);
+            let warmup = Schedule::all_reads(k);
+            let half = k.div_ceil(2);
+            let cycle = Schedule::write_read_cycles(half, half, 1);
+            let r = cycle_ratio(PolicySpec::SlidingWindow { k }, &warmup, &cycle, 400, model);
+            let ratio = r.ratio.unwrap();
+            let target = competitive::swk_message_factor(k, omega);
+            assert!(
+                ratio > target - 0.05,
+                "k={k} ω={omega}: {ratio} vs {target}"
+            );
+            assert!(ratio <= target + 1e-9, "k={k} ω={omega}");
+        }
+    }
+
+    #[test]
+    fn t1_cycle_ratio_approaches_m_plus_one() {
+        for m in [2usize, 5, 9] {
+            let cycle = generators::t1_adversarial(m, 1);
+            let r = cycle_ratio(
+                PolicySpec::T1 { m },
+                &Schedule::new(),
+                &cycle,
+                300,
+                CostModel::Connection,
+            );
+            let ratio = r.ratio.unwrap();
+            assert!(ratio > m as f64 + 1.0 - 0.05, "m={m}: {ratio}");
+            assert!(ratio <= m as f64 + 1.0 + 1e-9, "m={m}");
+        }
+    }
+
+    #[test]
+    fn random_search_never_violates_the_proved_factors() {
+        // 200 random schedules per policy/model: no observation may exceed
+        // the paper's factor (with the warm-up additive slack b = k + 1).
+        for k in [1usize, 3, 5] {
+            let spec = PolicySpec::SlidingWindow { k };
+            for model in [CostModel::Connection, CostModel::message(0.5)] {
+                let factor = competitive::competitive_factor(spec, model).unwrap();
+                let (sched, worst) = random_worst(spec, model, 60, 200, 7);
+                assert!(
+                    !worst.violates(factor, (k + 1) as f64 * 2.0),
+                    "{spec} {model}: ratio {:?} on {sched}",
+                    worst.ratio
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the offline optimum and the ratio harness.
+
+use mdr_adversary::{measure, opt_cost, opt_cost_bruteforce, opt_cost_from, opt_outcome};
+use mdr_core::{CostModel, PolicySpec, Request, Schedule};
+use proptest::prelude::*;
+
+fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(prop::bool::ANY.prop_map(Request::from_bit), 0..=max_len)
+        .prop_map(Schedule::from_requests)
+}
+
+fn arb_model() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        Just(CostModel::Connection),
+        (0.0f64..=1.0).prop_map(CostModel::message),
+    ]
+}
+
+proptest! {
+    /// The O(n) DP equals the exponential brute force on every small input.
+    #[test]
+    fn dp_equals_bruteforce(s in arb_schedule(14), model in arb_model(), init in any::<bool>()) {
+        let dp = opt_cost_from(&s, model, init);
+        let bf = opt_cost_bruteforce(&s, model, init);
+        prop_assert!((dp - bf).abs() < 1e-9, "{s}: {dp} vs {bf}");
+    }
+
+    /// Starting with a replica can only help, and by at most one remote
+    /// read (the cost of acquiring it at the first opportunity).
+    #[test]
+    fn initial_copy_helps_boundedly(s in arb_schedule(120), model in arb_model()) {
+        let cold = opt_cost(&s, model);
+        let warm = opt_cost_from(&s, model, true);
+        prop_assert!(warm <= cold + 1e-9);
+        let remote_read = match model {
+            CostModel::Connection => 1.0,
+            CostModel::Message { omega } => 1.0 + omega,
+        };
+        prop_assert!(cold <= warm + remote_read + 1e-9);
+    }
+
+    /// OPT is monotone under appending requests, and subadditive over
+    /// concatenation (hindsight over the whole is at least as good as
+    /// stitching two independently optimal halves).
+    #[test]
+    fn opt_is_monotone_and_subadditive(a in arb_schedule(80), b in arb_schedule(80), model in arb_model()) {
+        let whole = opt_cost(&a.concat(&b), model);
+        prop_assert!(whole + 1e-9 >= opt_cost(&a, model), "appending cannot reduce cost");
+        // Subadditivity: stitch a's optimal plan (drop any copy for free at
+        // its end) to b's cold-start optimal plan.
+        prop_assert!(whole <= opt_cost(&a, model) + opt_cost(&b, model) + 1e-9);
+    }
+
+    /// The reconstructed optimal state sequence replays to exactly the
+    /// optimal cost.
+    #[test]
+    fn outcome_states_replay_to_cost(s in arb_schedule(100), model in arb_model(), init in any::<bool>()) {
+        let outcome = opt_outcome(&s, model, init);
+        prop_assert!((outcome.cost - opt_cost_from(&s, model, init)).abs() < 1e-9);
+        let (remote_read, propagate) = match model {
+            CostModel::Connection => (1.0, 1.0),
+            CostModel::Message { omega } => (1.0 + omega, 1.0),
+        };
+        let mut cost = 0.0;
+        let mut prev = init;
+        for (i, req) in s.iter().enumerate() {
+            match req {
+                Request::Read => {
+                    if !prev { cost += remote_read; }
+                }
+                Request::Write => {
+                    if outcome.states[i] { cost += propagate; }
+                }
+            }
+            prev = outcome.states[i];
+        }
+        prop_assert!((cost - outcome.cost).abs() < 1e-9, "{s}: replay {cost} vs {}", outcome.cost);
+    }
+
+    /// `measure` is internally consistent: the ratio field matches the two
+    /// costs, and violations are monotone in the claimed factor.
+    #[test]
+    fn measure_consistency(s in arb_schedule(120), model in arb_model()) {
+        let r = measure(PolicySpec::SlidingWindow { k: 3 }, &s, model);
+        match r.ratio {
+            Some(ratio) => prop_assert!((ratio * r.opt_cost - r.policy_cost).abs() < 1e-6),
+            None => prop_assert_eq!(r.opt_cost, 0.0),
+        }
+        if r.violates(10.0, 5.0) {
+            prop_assert!(r.violates(5.0, 5.0), "violating a looser bound implies the tighter one");
+        }
+    }
+
+    /// OPT never pays more than the cheaper static on any schedule (the
+    /// statics are feasible offline plans).
+    #[test]
+    fn opt_lower_bounds_the_statics(s in arb_schedule(150), model in arb_model()) {
+        let opt = opt_cost(&s, model);
+        for spec in [PolicySpec::St1, PolicySpec::St2] {
+            // ST2's plan needs the initial copy; grant OPT the same start
+            // when comparing against it.
+            let opt_here = opt_cost_from(&s, model, spec.build().has_copy());
+            let cost = mdr_core::run_spec(spec, &s, model).total_cost;
+            prop_assert!(opt_here <= cost + 1e-9, "{spec}: OPT {opt_here} vs {cost}");
+        }
+        let _ = opt;
+    }
+}

@@ -1,0 +1,179 @@
+//! Competitiveness factors (worst-case analysis, §5.3 and §6.4).
+//!
+//! An online allocation algorithm `A` is *c-competitive* if there are
+//! constants `c ≥ 1` and `b ≥ 0` such that `COST_A(σ) ≤ c·COST_OPT(σ) + b`
+//! for every schedule σ, where OPT knows the whole schedule in advance. The
+//! paper proves:
+//!
+//! * ST1 and ST2 are **not** competitive in either model (§5.3, §6.4);
+//! * SWk is tightly `(k+1)`-competitive in the connection model (Thm 4);
+//! * SW1 is tightly `(1+2ω)`-competitive in the message model (Thm 11);
+//! * SWk (k>1) is tightly `[(1+ω/2)(k+1)+ω]`-competitive in the message
+//!   model (Thm 12);
+//! * T1m and T2m are `(m+1)`-competitive in the connection model (§7.1).
+//!
+//! The empirical side (offline OPT, adversarial schedules, exhaustive
+//! search) lives in `mdr-adversary`; this module is the analytic ledger.
+
+use mdr_core::{CostModel, PolicySpec};
+
+/// `k + 1` — Theorem 4's tight factor for SWk in the connection model.
+pub fn swk_connection_factor(k: usize) -> f64 {
+    assert!(k >= 1 && k % 2 == 1, "window size must be odd, got {k}");
+    (k + 1) as f64
+}
+
+/// `1 + 2ω` — Theorem 11's tight factor for SW1 in the message model.
+pub fn sw1_message_factor(omega: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&omega));
+    1.0 + 2.0 * omega
+}
+
+/// `(1 + ω/2)(k + 1) + ω` — Theorem 12's tight factor for SWk (k > 1) in
+/// the message model.
+pub fn swk_message_factor(k: usize, omega: f64) -> f64 {
+    assert!(
+        k > 1 && k % 2 == 1,
+        "Theorem 12 applies to odd k > 1, got {k}"
+    );
+    assert!((0.0..=1.0).contains(&omega));
+    (1.0 + omega / 2.0) * (k as f64 + 1.0) + omega
+}
+
+/// `m + 1` — the §7.1 factor for T1m and T2m in the connection model.
+pub fn t_connection_factor(m: usize) -> f64 {
+    assert!(m >= 1);
+    (m + 1) as f64
+}
+
+/// `m(1+ω) + ω` — derived message-model factor for T1m (not stated in the
+/// paper): the worst cycle is `m` remote reads at `1+ω` each plus one
+/// delete-request write at `ω`, against OPT's single propagated write.
+/// Validated empirically (never exceeded by exhaustive search) in E8.
+pub fn t1_message_factor(m: usize, omega: f64) -> f64 {
+    assert!(m >= 1);
+    assert!((0.0..=1.0).contains(&omega));
+    m as f64 * (1.0 + omega) + omega
+}
+
+/// `m + 1 + 2ω` — derived message-model factor for T2m: the worst cycle is
+/// `m` propagated writes (the last deallocating, `+ω`) plus one remote read
+/// at `1+ω`, against OPT's single propagated write. Validated empirically.
+pub fn t2_message_factor(m: usize, omega: f64) -> f64 {
+    assert!(m >= 1);
+    assert!((0.0..=1.0).contains(&omega));
+    m as f64 + 1.0 + 2.0 * omega
+}
+
+/// The competitiveness factor of `spec` under `model`; `None` means the
+/// algorithm is not competitive (the statics).
+///
+/// Factors for SWk / SW1 are the paper's tight values; factors for T1m /
+/// T2m in the message model are derived (documented at the respective
+/// functions).
+pub fn competitive_factor(spec: PolicySpec, model: CostModel) -> Option<f64> {
+    match (spec, model) {
+        (PolicySpec::St1, _) | (PolicySpec::St2, _) => None,
+        (PolicySpec::SlidingWindow { k }, CostModel::Connection) => Some(swk_connection_factor(k)),
+        (PolicySpec::SlidingWindow { k: 1 }, CostModel::Message { omega }) => {
+            Some(sw1_message_factor(omega))
+        }
+        (PolicySpec::SlidingWindow { k }, CostModel::Message { omega }) => {
+            Some(swk_message_factor(k, omega))
+        }
+        (PolicySpec::T1 { m }, CostModel::Connection)
+        | (PolicySpec::T2 { m }, CostModel::Connection) => Some(t_connection_factor(m)),
+        (PolicySpec::T1 { m }, CostModel::Message { omega }) => Some(t1_message_factor(m, omega)),
+        (PolicySpec::T2 { m }, CostModel::Message { omega }) => Some(t2_message_factor(m, omega)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statics_are_not_competitive() {
+        assert_eq!(
+            competitive_factor(PolicySpec::St1, CostModel::Connection),
+            None
+        );
+        assert_eq!(
+            competitive_factor(PolicySpec::St2, CostModel::message(0.5)),
+            None
+        );
+    }
+
+    #[test]
+    fn theorem_4_factor() {
+        assert_eq!(swk_connection_factor(1), 2.0);
+        assert_eq!(swk_connection_factor(9), 10.0);
+        assert_eq!(
+            competitive_factor(PolicySpec::SlidingWindow { k: 15 }, CostModel::Connection),
+            Some(16.0)
+        );
+    }
+
+    #[test]
+    fn theorem_11_factor() {
+        assert_eq!(sw1_message_factor(0.0), 1.0);
+        assert_eq!(sw1_message_factor(0.5), 2.0);
+        assert_eq!(
+            competitive_factor(PolicySpec::SlidingWindow { k: 1 }, CostModel::message(1.0)),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn theorem_12_factor() {
+        // (1 + ω/2)(k+1) + ω at k = 3, ω = 1: 1.5·4 + 1 = 7.
+        assert_eq!(swk_message_factor(3, 1.0), 7.0);
+        // ω = 0 reduces to the connection factor k + 1.
+        for k in [3usize, 5, 11] {
+            assert_eq!(swk_message_factor(k, 0.0), swk_connection_factor(k));
+        }
+    }
+
+    #[test]
+    fn message_factor_grows_with_k_and_omega() {
+        assert!(swk_message_factor(5, 0.5) < swk_message_factor(7, 0.5));
+        assert!(swk_message_factor(5, 0.2) < swk_message_factor(5, 0.7));
+        assert!(sw1_message_factor(0.3) < swk_message_factor(3, 0.3));
+    }
+
+    #[test]
+    fn t_factors() {
+        assert_eq!(t_connection_factor(15), 16.0);
+        assert_eq!(
+            competitive_factor(PolicySpec::T1 { m: 9 }, CostModel::Connection),
+            Some(10.0)
+        );
+        assert_eq!(t1_message_factor(2, 0.5), 3.5);
+        assert_eq!(t2_message_factor(2, 0.5), 4.0);
+        // ω = 0: T2m reduces to m + 1 (its deallocation rides a data
+        // message); T1m drops to m because its delete-request write becomes
+        // free, whereas in the connection model it still costs a connection.
+        for m in [1usize, 4, 9] {
+            assert_eq!(t1_message_factor(m, 0.0), m as f64);
+            assert_eq!(t2_message_factor(m, 0.0), t_connection_factor(m));
+        }
+    }
+
+    #[test]
+    fn worst_case_improves_with_smaller_windows() {
+        // §2.2: "the worst case improving with a decreasing window size".
+        let omega = 0.6;
+        let mut prev = sw1_message_factor(omega);
+        for k in (3usize..=21).step_by(2) {
+            let f = swk_message_factor(k, omega);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_k_rejected() {
+        let _ = swk_connection_factor(4);
+    }
+}

@@ -1,0 +1,276 @@
+//! Closed-form analysis in the **connection cost model** (§5).
+//!
+//! Every function takes the write fraction `θ = λ_w / (λ_r + λ_w)` where
+//! relevant. Results (paper references in each doc comment):
+//!
+//! | algorithm | EXP(θ) | AVG |
+//! |---|---|---|
+//! | ST1 | `1 − θ` (Eq. 2) | `1/2` (Eq. 3) |
+//! | ST2 | `θ` (Eq. 2) | `1/2` (Eq. 3) |
+//! | SWk | `θ·π_k + (1−θ)(1−π_k)` (Thm 1 / Eq. 5) | `1/4 + 1/(4(k+2))` (Thm 3 / Eq. 6) |
+//! | T1m | `(1−θ) + (1−θ)^m (2θ−1)` (§7.1) | `1/2 − m/((m+1)(m+2))` (derived) |
+//! | T2m | `θ + θ^m (1−2θ)` (§7.1, symmetric) | `1/2 − m/((m+1)(m+2))` (derived) |
+
+use crate::pi::pi_k;
+
+fn check_theta(theta: f64) {
+    assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
+}
+
+fn check_odd(k: usize) {
+    assert!(k >= 1 && k % 2 == 1, "window size must be odd, got {k}");
+}
+
+/// `EXP_ST1(θ) = 1 − θ` (Eq. 2): each read costs one connection, writes are
+/// free, and `1 − θ` is the read probability.
+pub fn exp_st1(theta: f64) -> f64 {
+    check_theta(theta);
+    1.0 - theta
+}
+
+/// `EXP_ST2(θ) = θ` (Eq. 2): each write costs one connection.
+pub fn exp_st2(theta: f64) -> f64 {
+    check_theta(theta);
+    theta
+}
+
+/// `AVG_ST1 = 1/2` (Eq. 3).
+pub fn avg_st1() -> f64 {
+    0.5
+}
+
+/// `AVG_ST2 = 1/2` (Eq. 3).
+pub fn avg_st2() -> f64 {
+    0.5
+}
+
+/// `EXP_SWk(θ) = θ·π_k(θ) + (1−θ)(1−π_k(θ))` (Theorem 1 / Eq. 5): a write
+/// costs 1 exactly when the replica is present (probability π_k), a read
+/// costs 1 exactly when it is absent.
+pub fn exp_swk(k: usize, theta: f64) -> f64 {
+    check_odd(k);
+    check_theta(theta);
+    let pi = pi_k(k, theta);
+    theta * pi + (1.0 - theta) * (1.0 - pi)
+}
+
+/// `AVG_SWk = 1/4 + 1/(4(k+2))` (Theorem 3 / Eq. 6).
+pub fn avg_swk(k: usize) -> f64 {
+    check_odd(k);
+    0.25 + 1.0 / (4.0 * (k as f64 + 2.0))
+}
+
+/// `EXP_T1m(θ) = (1−θ) + (1−θ)^m (2θ−1)` (§7.1). The second term is "the
+/// price of competitiveness" over ST1.
+pub fn exp_t1(m: usize, theta: f64) -> f64 {
+    assert!(m >= 1, "T1m requires m ≥ 1");
+    check_theta(theta);
+    let q = 1.0 - theta;
+    q + q.powi(m as i32) * (2.0 * theta - 1.0)
+}
+
+/// `EXP_T2m(θ) = θ + θ^m (1−2θ)` — the mirror image of T1m (§7.1 sketches
+/// T2m "similarly"; the formula follows by the read/write symmetry).
+pub fn exp_t2(m: usize, theta: f64) -> f64 {
+    assert!(m >= 1, "T2m requires m ≥ 1");
+    check_theta(theta);
+    theta + theta.powi(m as i32) * (1.0 - 2.0 * theta)
+}
+
+/// `AVG_T1m = 1/2 − m/((m+1)(m+2))` — derived by integrating `EXP_T1m`
+/// (∫(1−θ)^m(2θ−1)dθ = 1/(m+1) − 2/(m+2)); not stated in the paper but
+/// verified against quadrature in the tests.
+pub fn avg_t1(m: usize) -> f64 {
+    assert!(m >= 1);
+    let m = m as f64;
+    0.5 - m / ((m + 1.0) * (m + 2.0))
+}
+
+/// `AVG_T2m = AVG_T1m` by the θ ↔ 1−θ symmetry of the two formulas.
+pub fn avg_t2(m: usize) -> f64 {
+    avg_t1(m)
+}
+
+/// The offline lower envelope `min(EXP_ST1, EXP_ST2) = min(θ, 1−θ)` — the
+/// best expected cost attainable when θ is known (Theorem 2 shows no SWk
+/// beats it pointwise).
+pub fn optimal_exp(theta: f64) -> f64 {
+    check_theta(theta);
+    theta.min(1.0 - theta)
+}
+
+/// `AVG` of the lower envelope: `∫₀¹ min(θ, 1−θ) dθ = 1/4` — the optimum the
+/// paper compares AVG_SWk against ("coming within 6% of the optimum for
+/// k = 15").
+pub fn optimal_avg() -> f64 {
+    0.25
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::integrate;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn statics_match_eq_2() {
+        assert_eq!(exp_st1(0.3), 0.7);
+        assert_eq!(exp_st2(0.3), 0.3);
+    }
+
+    #[test]
+    fn static_avgs_integrate_to_half() {
+        assert_close(integrate(exp_st1, 0.0, 1.0, 1e-10), avg_st1(), 1e-8);
+        assert_close(integrate(exp_st2, 0.0, 1.0, 1e-10), avg_st2(), 1e-8);
+    }
+
+    #[test]
+    fn sw1_exp_is_two_theta_one_minus_theta() {
+        // k = 1: π₁ = 1 − θ ⇒ EXP = θ(1−θ) + (1−θ)θ = 2θ(1−θ).
+        for theta in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            assert_close(exp_swk(1, theta), 2.0 * theta * (1.0 - theta), 1e-12);
+        }
+    }
+
+    #[test]
+    fn avg_swk_matches_quadrature_of_exp() {
+        // Eq. 6 versus direct integration of Eq. 5 — the strongest internal
+        // consistency check the paper permits.
+        for k in [1usize, 3, 5, 9, 15, 31, 95] {
+            let quad = integrate(|t| exp_swk(k, t), 0.0, 1.0, 1e-10);
+            assert_close(quad, avg_swk(k), 1e-7);
+        }
+    }
+
+    #[test]
+    fn theorem_2_swk_never_beats_the_static_envelope() {
+        for k in [1usize, 3, 7, 15, 41] {
+            for i in 0..=100 {
+                let theta = i as f64 / 100.0;
+                assert!(
+                    exp_swk(k, theta) >= optimal_exp(theta) - 1e-12,
+                    "k={k} θ={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_1_avg_decreases_in_k_and_beats_statics() {
+        let mut prev = f64::INFINITY;
+        for k in (1usize..=41).step_by(2) {
+            let avg = avg_swk(k);
+            assert!(avg < prev);
+            assert!(avg < avg_st1().min(avg_st2()));
+            prev = avg;
+        }
+    }
+
+    #[test]
+    fn paper_k15_within_six_percent_of_optimum() {
+        // §2: AVG_SWk "decreases as k increases, coming within 6% of the
+        // optimum for k = 15".
+        let ratio = avg_swk(15) / optimal_avg();
+        assert!(ratio < 1.06, "AVG_SW15 / optimum = {ratio}");
+        assert!(ratio > 1.05, "the 6% figure is tight: {ratio}");
+    }
+
+    #[test]
+    fn paper_k9_within_ten_percent_of_optimum() {
+        // §9: "for k = 9 the sliding-window algorithm will have an average
+        // expected cost that is within 10% of the optimum".
+        let ratio = avg_swk(9) / optimal_avg();
+        assert!(ratio < 1.10, "AVG_SW9 / optimum = {ratio}");
+        assert!(ratio > 1.09, "the 10% figure is tight: {ratio}");
+    }
+
+    #[test]
+    fn t1_exp_limits() {
+        // m → ∞ approaches ST1; at θ = 1 and θ = 0 the cost vanishes.
+        assert_close(exp_t1(50, 0.6), exp_st1(0.6), 1e-6);
+        assert_close(exp_t1(3, 1.0), 0.0, 1e-12);
+        assert_close(exp_t1(3, 0.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn t1_matches_renewal_reward_derivation() {
+        // Independent derivation: phase lengths via the consecutive-success
+        // formula E[T] = (1−p^m)/(q p^m), p = 1−θ.
+        for m in [1usize, 2, 5, 9] {
+            for theta in [0.1, 0.35, 0.5, 0.75, 0.9] {
+                let p: f64 = 1.0 - theta;
+                let q = theta;
+                let et = (1.0 - p.powi(m as i32)) / (q * p.powi(m as i32));
+                let exp = (et * p + 1.0) / (et + 1.0 / q);
+                assert_close(exp_t1(m, theta), exp, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn t1_worked_example_m15_theta075() {
+        // §9: "for m = 15 and θ = 0.75 the expected cost of the T1m
+        // algorithm will come within 4% of the optimum".
+        let exp = exp_t1(15, 0.75);
+        let opt = optimal_exp(0.75);
+        assert!(exp / opt < 1.04, "ratio {}", exp / opt);
+    }
+
+    #[test]
+    fn t1_beats_swm_for_theta_above_half() {
+        // §7.1: "for each θ > 0.5 this algorithm has a slightly lower
+        // expected cost than SWm".
+        for m in [3usize, 5, 9, 15] {
+            for theta in [0.55, 0.6, 0.75, 0.9] {
+                assert!(
+                    exp_t1(m, theta) < exp_swk(m, theta),
+                    "m={m} θ={theta}: {} vs {}",
+                    exp_t1(m, theta),
+                    exp_swk(m, theta)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t2_is_the_mirror_of_t1() {
+        for m in [1usize, 4, 7] {
+            for theta in [0.0, 0.2, 0.5, 0.8, 1.0] {
+                assert_close(exp_t2(m, theta), exp_t1(m, 1.0 - theta), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn t_avgs_match_quadrature() {
+        for m in [1usize, 2, 6, 12] {
+            assert_close(
+                integrate(|t| exp_t1(m, t), 0.0, 1.0, 1e-10),
+                avg_t1(m),
+                1e-7,
+            );
+            assert_close(
+                integrate(|t| exp_t2(m, t), 0.0, 1.0, 1e-10),
+                avg_t2(m),
+                1e-7,
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_avg_matches_quadrature() {
+        assert_close(integrate(optimal_exp, 0.0, 1.0, 1e-10), optimal_avg(), 1e-8);
+    }
+
+    #[test]
+    fn connection_dominance_regions() {
+        // §2 summary: θ ≥ 1/2 ⇒ ST1 best; θ ≤ 1/2 ⇒ ST2 best.
+        assert!(exp_st1(0.7) < exp_st2(0.7));
+        assert!(exp_st1(0.7) <= exp_swk(9, 0.7));
+        assert!(exp_st2(0.3) < exp_st1(0.3));
+        assert!(exp_st2(0.3) <= exp_swk(9, 0.3));
+    }
+}

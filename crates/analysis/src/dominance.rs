@@ -1,0 +1,191 @@
+//! Which algorithm has the best *expected* cost where — the paper's
+//! dominance results (Theorems 2, 6, 9 and **Figure 1**).
+//!
+//! Connection model (§2.1): the static envelope wins everywhere — ST1 for
+//! θ ≥ 1/2, ST2 for θ ≤ 1/2; no SWk ever beats it (Theorem 2).
+//!
+//! Message model (§2.2 / Theorem 6 / Figure 1): the (θ, ω) unit square
+//! splits into three regions,
+//!
+//! ```text
+//!   θ > (1+ω)/(1+2ω)            → ST1
+//!   θ < 2ω/(1+2ω)               → ST2
+//!   between the two boundaries  → SW1
+//! ```
+//!
+//! and by Theorem 9 no SWk with k > 1 is ever strictly best for a fixed θ.
+
+use crate::{connection, message};
+use mdr_core::PolicySpec;
+
+/// Which algorithm family wins a point of the dominance map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Winner {
+    /// Static one-copy has the (weakly) lowest expected cost.
+    St1,
+    /// Static two-copies has the (weakly) lowest expected cost.
+    St2,
+    /// The optimized one-window algorithm has the strictly lowest cost.
+    Sw1,
+}
+
+impl Winner {
+    /// The corresponding policy description.
+    pub fn spec(self) -> PolicySpec {
+        match self {
+            Winner::St1 => PolicySpec::St1,
+            Winner::St2 => PolicySpec::St2,
+            Winner::Sw1 => PolicySpec::SlidingWindow { k: 1 },
+        }
+    }
+}
+
+/// The upper boundary of Figure 1: `θ = (1+ω)/(1+2ω)`, the ST1/SW1
+/// crossing.
+pub fn st1_sw1_boundary(omega: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&omega));
+    (1.0 + omega) / (1.0 + 2.0 * omega)
+}
+
+/// The lower boundary of Figure 1: `θ = 2ω/(1+2ω)`, the ST2/SW1 crossing.
+pub fn st2_sw1_boundary(omega: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&omega));
+    2.0 * omega / (1.0 + 2.0 * omega)
+}
+
+/// Best expected-cost algorithm at a point of the message-model map
+/// (Theorem 6 / Figure 1). Boundary points are resolved in favour of the
+/// static algorithm (costs are equal there).
+pub fn message_winner(theta: f64, omega: f64) -> Winner {
+    assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
+    if theta >= st1_sw1_boundary(omega) {
+        Winner::St1
+    } else if theta <= st2_sw1_boundary(omega) {
+        Winner::St2
+    } else {
+        Winner::Sw1
+    }
+}
+
+/// Best expected-cost algorithm in the connection model: ST1 for θ ≥ 1/2,
+/// ST2 otherwise (ties at 1/2 go to ST1; both cost 1/2 there).
+pub fn connection_winner(theta: f64) -> Winner {
+    assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
+    if theta >= 0.5 {
+        Winner::St1
+    } else {
+        Winner::St2
+    }
+}
+
+/// Resolves the winner *numerically* by evaluating the three expected-cost
+/// formulas — used to validate the analytic region test and to paint
+/// Figure 1 in experiment E4.
+pub fn message_winner_by_cost(theta: f64, omega: f64) -> Winner {
+    let st1 = message::exp_st1(theta, omega);
+    let st2 = message::exp_st2(theta, omega);
+    let sw1 = message::exp_sw1(theta, omega);
+    if st1 <= st2 && st1 <= sw1 {
+        Winner::St1
+    } else if st2 <= sw1 {
+        Winner::St2
+    } else {
+        Winner::Sw1
+    }
+}
+
+/// The expected cost of the winner — the lower envelope plotted under
+/// Figure 1.
+pub fn message_envelope(theta: f64, omega: f64) -> f64 {
+    message::optimal_exp(theta, omega)
+}
+
+/// The connection-model lower envelope `min(θ, 1−θ)`.
+pub fn connection_envelope(theta: f64) -> f64 {
+    connection::optimal_exp(theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_at_omega_zero() {
+        // Free control messages: SW1 wins the whole open interval.
+        assert_eq!(st1_sw1_boundary(0.0), 1.0);
+        assert_eq!(st2_sw1_boundary(0.0), 0.0);
+        assert_eq!(message_winner(0.5, 0.0), Winner::Sw1);
+        assert_eq!(message_winner(0.99, 0.0), Winner::Sw1);
+    }
+
+    #[test]
+    fn boundaries_at_omega_one() {
+        // ω = 1: ST1 above 2/3, ST2 below 2/3 — SW1's region vanishes.
+        assert!((st1_sw1_boundary(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((st2_sw1_boundary(1.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(message_winner(0.8, 1.0), Winner::St1);
+        assert_eq!(message_winner(0.5, 1.0), Winner::St2);
+    }
+
+    #[test]
+    fn sw1_region_shrinks_with_omega() {
+        let width = |omega: f64| st1_sw1_boundary(omega) - st2_sw1_boundary(omega);
+        assert!(width(0.0) > width(0.3));
+        assert!(width(0.3) > width(0.8));
+        assert!(width(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_winner_matches_cost_based_winner_on_a_grid() {
+        // The figure-1 regions must agree with direct cost comparison at
+        // every interior grid point (ties on boundaries excluded by the
+        // irrational-free grid offsets).
+        for i in 0..60 {
+            for j in 0..60 {
+                let theta = (i as f64 + 0.5) / 60.0;
+                let omega = (j as f64 + 0.5) / 60.0;
+                assert_eq!(
+                    message_winner(theta, omega),
+                    message_winner_by_cost(theta, omega),
+                    "θ={theta} ω={omega}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connection_winner_is_the_cheaper_static() {
+        assert_eq!(connection_winner(0.7), Winner::St1);
+        assert_eq!(connection_winner(0.2), Winner::St2);
+        assert_eq!(connection_winner(0.5), Winner::St1); // tie, both cost 1/2
+    }
+
+    #[test]
+    fn envelopes_are_pointwise_minima() {
+        for theta in [0.1, 0.45, 0.5, 0.77] {
+            assert!(connection_envelope(theta) <= crate::connection::exp_st1(theta) + 1e-12);
+            assert!(connection_envelope(theta) <= crate::connection::exp_st2(theta) + 1e-12);
+            for omega in [0.2, 0.6] {
+                let env = message_envelope(theta, omega);
+                assert!(env <= crate::message::exp_st1(theta, omega) + 1e-12);
+                assert!(env <= crate::message::exp_st2(theta, omega) + 1e-12);
+                assert!(env <= crate::message::exp_sw1(theta, omega) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn winner_spec_mapping() {
+        assert_eq!(Winner::St1.spec(), PolicySpec::St1);
+        assert_eq!(Winner::Sw1.spec(), PolicySpec::SlidingWindow { k: 1 });
+    }
+
+    #[test]
+    fn paper_figure_1_worked_points() {
+        // Sanity anchors reading Figure 1: at moderate ω, high θ is ST1
+        // country, low θ is ST2 country, the middle band is SW1's.
+        assert_eq!(message_winner(0.9, 0.4), Winner::St1);
+        assert_eq!(message_winner(0.2, 0.4), Winner::St2);
+        assert_eq!(message_winner(0.6, 0.4), Winner::Sw1);
+    }
+}

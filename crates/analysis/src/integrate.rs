@@ -1,0 +1,137 @@
+//! Adaptive Simpson quadrature.
+//!
+//! The paper's *average expected cost* measure is the integral
+//! `AVG_A = ∫₀¹ EXP_A(θ) dθ` (Eq. 1). The crate ships closed forms for every
+//! algorithm, and this integrator is the independent check: each closed form
+//! is tested against direct quadrature of its own EXP curve.
+
+/// Integrates `f` over `[a, b]` with adaptive Simpson's rule to absolute
+/// tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics if `tol` is not positive or the interval is inverted.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(b >= a, "inverted interval [{a}, {b}]");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    adaptive(&f, a, b, fa, fm, fb, whole, tol, 50)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation term improves the estimate one order.
+        left + right + delta / 15.0
+    } else {
+        adaptive(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+            + adaptive(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Composite Simpson with `2·half_panels` panels — a cheap fixed-cost
+/// alternative for smooth integrands in benches.
+pub fn simpson_fixed<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, half_panels: usize) -> f64 {
+    assert!(half_panels >= 1);
+    let n = 2 * half_panels;
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // Simpson is exact on cubics.
+        assert_close(integrate(|x| x * x * x, 0.0, 1.0, 1e-12), 0.25, 1e-12);
+        assert_close(integrate(|x| 3.0 * x * x, 0.0, 2.0, 1e-12), 8.0, 1e-10);
+        assert_close(integrate(|_| 1.0, 0.0, 5.0, 1e-12), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn integrates_transcendentals() {
+        assert_close(
+            integrate(f64::sin, 0.0, std::f64::consts::PI, 1e-10),
+            2.0,
+            1e-8,
+        );
+        assert_close(
+            integrate(f64::exp, 0.0, 1.0, 1e-10),
+            std::f64::consts::E - 1.0,
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn integrates_sharp_peak() {
+        // A narrow bump that defeats fixed coarse grids.
+        let f = |x: f64| 1.0 / (1e-4 + (x - 0.37).powi(2));
+        let exact = (f64::atan(0.63 / 1e-2) + f64::atan(0.37 / 1e-2)) / 1e-2;
+        assert_close(integrate(f, 0.0, 1.0, 1e-9), exact, 1e-4 * exact);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(integrate(|x| x, 2.0, 2.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn fixed_simpson_converges() {
+        let coarse = simpson_fixed(f64::sin, 0.0, std::f64::consts::PI, 2);
+        let fine = simpson_fixed(f64::sin, 0.0, std::f64::consts::PI, 64);
+        assert!((fine - 2.0).abs() < (coarse - 2.0).abs());
+        assert_close(fine, 2.0, 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn rejects_nonpositive_tolerance() {
+        let _ = integrate(|x| x, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rejects_inverted_interval() {
+        let _ = integrate(|x| x, 1.0, 0.0, 1e-9);
+    }
+}

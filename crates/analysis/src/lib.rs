@@ -1,0 +1,165 @@
+//! # mdr-analysis — closed-form analysis of the SIGMOD 1994 algorithms
+//!
+//! Implements every analytical result of **Huang, Sistla, Wolfson, "Data
+//! Replication for Mobile Computers" (SIGMOD 1994)**: the expected cost
+//! `EXP_A(θ)`, the average expected cost `AVG_A = ∫₀¹ EXP_A(θ)dθ`, the
+//! competitiveness factors, the message-model dominance map (Figure 1) and
+//! the window-size threshold `k₀(ω)` (Figure 2).
+//!
+//! Organisation:
+//!
+//! * [`connection`] — §5 results (Eqs. 2–6, T1m/T2m);
+//! * [`message`] — §6 results (Eqs. 7–12);
+//! * [`competitive`] — §5.3/§6.4 worst-case factors (Thms 4, 11, 12);
+//! * [`dominance`] — Theorem 6 regions / Figure 1;
+//! * [`window_choice`] — Corollaries 3–4 / Figure 2 / §9 guidance;
+//! * [`pi`] — the window-majority probability π_k (Eq. 4);
+//! * [`exact`] — exact 2^k state-space enumeration that verifies Eqs. 5/9/11
+//!   against the real policy to machine precision;
+//! * [`variance`] — marginal per-request cost variance (second-moment
+//!   extension, enumeration-verified);
+//! * [`special`], [`integrate`] — numerics (log-space binomials, adaptive
+//!   Simpson used to cross-check every closed form).
+//!
+//! The top level re-exports uniform dispatchers keyed by
+//! [`mdr_core::PolicySpec`] and [`mdr_core::CostModel`]:
+//!
+//! ```
+//! use mdr_core::{CostModel, PolicySpec};
+//! use mdr_analysis::{average_expected_cost, expected_cost};
+//!
+//! let sw9 = PolicySpec::SlidingWindow { k: 9 };
+//! let exp = expected_cost(sw9, CostModel::Connection, 0.3);
+//! let avg = average_expected_cost(sw9, CostModel::Connection);
+//! assert!(exp > 0.0 && avg < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod competitive;
+pub mod connection;
+pub mod dominance;
+pub mod exact;
+pub mod integrate;
+pub mod message;
+pub mod pi;
+pub mod special;
+pub mod variance;
+pub mod window_choice;
+
+pub use competitive::competitive_factor;
+pub use pi::{pi_k, transition_probability};
+
+use mdr_core::{CostModel, PolicySpec};
+
+/// `EXP_A(θ)`: the expected communication cost per relevant request of
+/// policy `spec` under `model` when the write fraction is `theta`.
+pub fn expected_cost(spec: PolicySpec, model: CostModel, theta: f64) -> f64 {
+    match model {
+        CostModel::Connection => match spec {
+            PolicySpec::St1 => connection::exp_st1(theta),
+            PolicySpec::St2 => connection::exp_st2(theta),
+            PolicySpec::SlidingWindow { k } => connection::exp_swk(k, theta),
+            PolicySpec::T1 { m } => connection::exp_t1(m, theta),
+            PolicySpec::T2 { m } => connection::exp_t2(m, theta),
+        },
+        CostModel::Message { omega } => match spec {
+            PolicySpec::St1 => message::exp_st1(theta, omega),
+            PolicySpec::St2 => message::exp_st2(theta, omega),
+            PolicySpec::SlidingWindow { k } => message::exp_swk(k, theta, omega),
+            PolicySpec::T1 { m } => message::exp_t1(m, theta, omega),
+            PolicySpec::T2 { m } => message::exp_t2(m, theta, omega),
+        },
+    }
+}
+
+/// `AVG_A = ∫₀¹ EXP_A(θ) dθ` (Eq. 1): the average expected cost of `spec`
+/// under `model` when θ is unknown or drifts uniformly.
+pub fn average_expected_cost(spec: PolicySpec, model: CostModel) -> f64 {
+    match model {
+        CostModel::Connection => match spec {
+            PolicySpec::St1 => connection::avg_st1(),
+            PolicySpec::St2 => connection::avg_st2(),
+            PolicySpec::SlidingWindow { k } => connection::avg_swk(k),
+            PolicySpec::T1 { m } => connection::avg_t1(m),
+            PolicySpec::T2 { m } => connection::avg_t2(m),
+        },
+        CostModel::Message { omega } => match spec {
+            PolicySpec::St1 => message::avg_st1(omega),
+            PolicySpec::St2 => message::avg_st2(omega),
+            PolicySpec::SlidingWindow { k } => message::avg_swk(k, omega),
+            // No closed form was derived for the T policies in the message
+            // model; integrate the (derived, closed-form) EXP.
+            PolicySpec::T1 { m } => {
+                integrate::integrate(|t| message::exp_t1(m, t, omega), 0.0, 1.0, 1e-10)
+            }
+            PolicySpec::T2 { m } => {
+                integrate::integrate(|t| message::exp_t2(m, t, omega), 0.0, 1.0, 1e-10)
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_modules() {
+        assert_eq!(
+            expected_cost(PolicySpec::St1, CostModel::Connection, 0.3),
+            connection::exp_st1(0.3)
+        );
+        assert_eq!(
+            expected_cost(
+                PolicySpec::SlidingWindow { k: 5 },
+                CostModel::message(0.5),
+                0.3
+            ),
+            message::exp_swk(5, 0.3, 0.5)
+        );
+        assert_eq!(
+            average_expected_cost(PolicySpec::SlidingWindow { k: 9 }, CostModel::Connection),
+            connection::avg_swk(9)
+        );
+    }
+
+    #[test]
+    fn every_policy_has_finite_costs_everywhere() {
+        for spec in PolicySpec::roster(&[1, 3, 15, 95], &[1, 5, 15]) {
+            for model in [
+                CostModel::Connection,
+                CostModel::message(0.0),
+                CostModel::message(1.0),
+            ] {
+                for i in 0..=10 {
+                    let theta = i as f64 / 10.0;
+                    let e = expected_cost(spec, model, theta);
+                    assert!(e.is_finite() && e >= 0.0, "{spec} {model} θ={theta}: {e}");
+                    assert!(
+                        e <= 2.0 + 1e-12,
+                        "per-request cost can never exceed 1+ω ≤ 2"
+                    );
+                }
+                let avg = average_expected_cost(spec, model);
+                assert!(
+                    avg.is_finite() && (0.0..=1.0).contains(&avg),
+                    "{spec} {model}: {avg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avg_is_the_integral_of_exp_for_every_policy() {
+        // Eq. 1 as an executable identity, for all families and both models.
+        for spec in PolicySpec::roster(&[1, 3, 9], &[2, 7]) {
+            for model in [CostModel::Connection, CostModel::message(0.35)] {
+                let quad = integrate::integrate(|t| expected_cost(spec, model, t), 0.0, 1.0, 1e-10);
+                let avg = average_expected_cost(spec, model);
+                assert!((quad - avg).abs() < 1e-6, "{spec} {model}: {quad} vs {avg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The window-majority probability π_k (Eq. 4) and the deallocation-rate
+//! term of Eq. 11.
+//!
+//! Under the paper's Poisson model each relevant request is independently a
+//! write with probability θ, so the stationary window of k = 2n+1 requests
+//! is a vector of i.i.d. Bernoulli(θ) bits and
+//!
+//! > π_k(θ) = P(#writes ≤ n) = Σ_{j=0}^{n} C(k, j) θ^j (1−θ)^{k−j}   (Eq. 4)
+//!
+//! is the probability that the MC holds a replica.
+
+use crate::special::{binomial_cdf, ln_binomial};
+
+/// π_k(θ): the probability that reads form the majority of a window of `k`
+/// i.i.d. requests — equivalently, that the MC holds a replica under SWk
+/// (Eq. 4).
+///
+/// # Panics
+///
+/// Panics if `k` is even or zero, or θ ∉ [0, 1].
+pub fn pi_k(k: usize, theta: f64) -> f64 {
+    assert!(k >= 1 && k % 2 == 1, "window size must be odd, got {k}");
+    assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
+    let n = (k as u64 - 1) / 2;
+    binomial_cdf(k as u64, n, theta)
+}
+
+/// The per-request probability that SWk performs a *deallocation* — the
+/// extra-control-message term of Eq. 11:
+///
+/// > P(dealloc) = C(2n, n) θ^{n+1} (1−θ)^{n+1}
+///
+/// Derivation: a deallocation requires the arriving request to be a write
+/// (θ), the departing oldest window bit to be a read (1−θ), and the other
+/// 2n bits to split exactly n/n (C(2n,n) θ^n (1−θ)^n). By symmetry the
+/// *allocation* probability is identical, so this is also the allocation
+/// rate — which is how the stationary distribution stays balanced.
+pub fn transition_probability(k: usize, theta: f64) -> f64 {
+    assert!(k >= 1 && k % 2 == 1, "window size must be odd, got {k}");
+    assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
+    if theta == 0.0 || theta == 1.0 {
+        return 0.0;
+    }
+    let n = (k as u64 - 1) / 2;
+    let ln = ln_binomial(2 * n, n) + (n as f64 + 1.0) * (theta.ln() + (1.0 - theta).ln());
+    ln.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pi_1_is_read_probability() {
+        // k = 1: the window holds the last request; majority reads ⇔ it was
+        // a read, so π_1 = 1 − θ.
+        for theta in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_close(pi_k(1, theta), 1.0 - theta, 1e-12);
+        }
+    }
+
+    #[test]
+    fn pi_3_closed_form() {
+        // π_3 = (1−θ)³ + 3θ(1−θ)².
+        for theta in [0.1, 0.4, 0.6, 0.97] {
+            let q = 1.0 - theta;
+            assert_close(pi_k(3, theta), q * q * q + 3.0 * theta * q * q, 1e-12);
+        }
+    }
+
+    #[test]
+    fn pi_at_half_is_half() {
+        // By symmetry P(majority reads) = 1/2 at θ = 1/2 for every odd k.
+        for k in [1usize, 3, 5, 15, 99, 1001] {
+            assert_close(pi_k(k, 0.5), 0.5, 1e-9);
+        }
+    }
+
+    #[test]
+    fn pi_symmetry() {
+        // π_k(1−θ) = 1 − π_k(θ): swapping reads and writes flips the
+        // majority (k odd ⇒ no ties).
+        for k in [3usize, 7, 21] {
+            for theta in [0.05, 0.3, 0.45] {
+                assert_close(pi_k(k, 1.0 - theta), 1.0 - pi_k(k, theta), 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pi_decreasing_in_theta() {
+        for k in [1usize, 5, 31] {
+            let mut prev = pi_k(k, 0.0);
+            for i in 1..=20 {
+                let cur = pi_k(k, i as f64 / 20.0);
+                assert!(cur <= prev + 1e-12, "π_{k} not decreasing");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn pi_concentrates_as_k_grows() {
+        // Lemma 2: for θ > 0.5, π_k decreases with k (→ 0); for θ < 0.5 it
+        // increases (→ 1). Spot-check the limit behaviour.
+        assert!(pi_k(3, 0.7) > pi_k(15, 0.7));
+        assert!(pi_k(15, 0.7) > pi_k(101, 0.7));
+        assert!(pi_k(101, 0.7) < 1e-3);
+        assert!(pi_k(3, 0.3) < pi_k(15, 0.3));
+        assert!(pi_k(101, 0.3) > 0.999);
+    }
+
+    #[test]
+    fn pi_extremes() {
+        for k in [1usize, 9, 55] {
+            assert_eq!(pi_k(k, 0.0), 1.0);
+            assert_eq!(pi_k(k, 1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn transition_probability_closed_forms() {
+        // k = 1: n = 0 ⇒ C(0,0) θ (1−θ) = θ(1−θ).
+        for theta in [0.2, 0.5, 0.8] {
+            assert_close(
+                transition_probability(1, theta),
+                theta * (1.0 - theta),
+                1e-12,
+            );
+        }
+        // k = 3: n = 1 ⇒ C(2,1) θ²(1−θ)² = 2θ²(1−θ)².
+        for theta in [0.25f64, 0.5, 0.75] {
+            let expect = 2.0 * theta.powi(2) * (1.0 - theta).powi(2);
+            assert_close(transition_probability(3, theta), expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn transition_probability_vanishes_at_extremes() {
+        for k in [1usize, 7, 33] {
+            assert_eq!(transition_probability(k, 0.0), 0.0);
+            assert_eq!(transition_probability(k, 1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn transition_probability_peaks_at_half_and_decays_in_k() {
+        for k in [3usize, 9, 41] {
+            let mid = transition_probability(k, 0.5);
+            assert!(transition_probability(k, 0.3) < mid);
+            assert!(transition_probability(k, 0.7) < mid);
+        }
+        // Larger windows flip less often at any fixed θ.
+        for theta in [0.3, 0.5, 0.6] {
+            assert!(transition_probability(3, theta) > transition_probability(9, theta));
+            assert!(transition_probability(9, theta) > transition_probability(41, theta));
+        }
+    }
+
+    #[test]
+    fn transition_probability_matches_monte_carlo_shape() {
+        // Exact stationary check for k = 3 by enumerating the 2⁴ equally
+        // weighted (window, next-request) combinations at θ = 0.5:
+        // dealloc needs oldest = r, other two split 1/1, next = w.
+        // P = (1/2)·C(2,1)(1/2)²·(1/2) = 2/16.
+        assert_close(transition_probability(3, 0.5), 2.0 / 16.0, 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Numerically stable special functions used by the closed-form analysis.
+//!
+//! The probabilistic analysis of SWk needs binomial tail probabilities
+//! (Eq. 4) for window sizes that can reach the hundreds (Figure 2 plots up
+//! to k = 95), where naive `C(k, j) θ^j (1-θ)^{k-j}` evaluation overflows
+//! the binomial coefficient and underflows the powers. Everything here works
+//! in log space.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln(n!)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact for small n (cheap and bit-accurate in tests), Lanczos beyond.
+    const SMALL: usize = 21;
+    if (n as usize) < SMALL {
+        let mut f = 1.0f64;
+        for i in 2..=n {
+            f *= i as f64;
+        }
+        f.ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial coefficient `C(n, k)` as an `f64` (may round for n ≳ 60).
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    ln_binomial(n, k).exp()
+}
+
+/// Binomial probability mass `C(n, j) p^j (1-p)^{n-j}`, stable in log space;
+/// handles the p ∈ {0, 1} edge cases exactly.
+pub fn binomial_pmf(n: u64, j: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if j > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if j == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_binomial(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Lower binomial CDF `P(X ≤ j)` for `X ~ Bin(n, p)` via stable term
+/// recurrence seeded from the largest retained term.
+pub fn binomial_cdf(n: u64, j: u64, p: f64) -> f64 {
+    if j >= n {
+        return 1.0;
+    }
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p == 1.0 {
+        return 0.0;
+    }
+    // Sum pmf terms from 0..=j. Work downward from term j using the
+    // recurrence pmf(i-1) = pmf(i) · i (1-p) / ((n-i+1) p), which keeps every
+    // factor finite; the first term is computed in log space.
+    let mut term = binomial_pmf(n, j, p);
+    let mut sum = term;
+    let mut i = j;
+    while i > 0 && term > 0.0 {
+        term *= (i as f64) * (1.0 - p) / (((n - i + 1) as f64) * p);
+        sum += term;
+        i -= 1;
+    }
+    sum.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            assert_close(ln_gamma(n as f64 + 1.0), f64::ln(f), 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        assert_close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(0.25)Γ(0.75) = π / sin(π/4).
+        let lhs = ln_gamma(0.25) + ln_gamma(0.75);
+        let rhs = (std::f64::consts::PI / (std::f64::consts::FRAC_PI_4).sin()).ln();
+        assert_close(lhs, rhs, 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_continuity_at_table_boundary() {
+        // The exact table hands over to Lanczos at n = 21.
+        for n in 18..25u64 {
+            let direct: f64 = (2..=n).map(|i| (i as f64).ln()).sum();
+            assert_close(ln_factorial(n), direct, 1e-12);
+        }
+    }
+
+    #[test]
+    fn binomial_small_values_exact() {
+        assert_eq!(binomial(5, 0).round(), 1.0);
+        assert_eq!(binomial(5, 2).round(), 10.0);
+        assert_eq!(binomial(10, 5).round(), 252.0);
+        assert_eq!(binomial(3, 7), 0.0);
+    }
+
+    #[test]
+    fn binomial_large_does_not_overflow() {
+        let b = binomial(1000, 500);
+        assert!(b.is_finite() || b == f64::INFINITY);
+        // ln C(1000, 500) ≈ 1000 ln 2 − ½ ln(500π)
+        let expected = 1000.0 * std::f64::consts::LN_2 - 0.5 * (500.0 * std::f64::consts::PI).ln();
+        assert_close(ln_binomial(1000, 500), expected, 1e-3);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &p in &[0.1, 0.5, 0.77] {
+            for &n in &[1u64, 5, 17, 64] {
+                let total: f64 = (0..=n).map(|j| binomial_pmf(n, j, p)).sum();
+                assert_close(total, 1.0, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(7, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(7, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(7, 7, 1.0), 1.0);
+        assert_eq!(binomial_pmf(7, 6, 1.0), 0.0);
+        assert_eq!(binomial_pmf(3, 9, 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_matches_term_sum() {
+        for &p in &[0.2, 0.5, 0.9] {
+            for &n in &[3u64, 11, 41] {
+                for j in 0..n {
+                    let direct: f64 = (0..=j).map(|i| binomial_pmf(n, i, p)).sum();
+                    assert_close(binomial_cdf(n, j, p), direct, 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_edges() {
+        assert_eq!(binomial_cdf(5, 5, 0.3), 1.0);
+        assert_eq!(binomial_cdf(5, 9, 0.3), 1.0);
+        assert_eq!(binomial_cdf(5, 2, 0.0), 1.0);
+        assert_eq!(binomial_cdf(5, 2, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_in_j_and_p() {
+        let n = 31;
+        for j in 0..n - 1 {
+            assert!(binomial_cdf(n, j, 0.4) <= binomial_cdf(n, j + 1, 0.4) + 1e-12);
+        }
+        for j in [5u64, 15, 25] {
+            assert!(binomial_cdf(n, j, 0.3) >= binomial_cdf(n, j, 0.6) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_stable_for_large_n() {
+        // P(X ≤ n/2) for X ~ Bin(2001, 0.5) must be ≈ 0.5 (plus half the
+        // central term), not NaN/0 — the regime where naive evaluation dies.
+        let v = binomial_cdf(2001, 1000, 0.5);
+        assert!((v - 0.5).abs() < 0.02, "{v}");
+        // Far tail underflows gracefully to ~0, never NaN.
+        let tail = binomial_cdf(2001, 100, 0.9);
+        assert!((0.0..1e-100).contains(&tail));
+    }
+}

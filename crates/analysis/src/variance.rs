@@ -1,0 +1,209 @@
+//! Per-request cost *variance* — second-moment analysis beyond the paper.
+//!
+//! The paper characterizes policies by their expected cost. For
+//! budget-style questions ("how variable is my monthly bill?") the
+//! marginal distribution of the per-request cost matters too. In the
+//! stationary regime that distribution is explicit: the request is a write
+//! with probability θ, the replica is present with probability π_k, and a
+//! deallocation (the only `1 + ω` write) happens with the Eq. 11 transition
+//! probability, so the cost takes one of the values `{0, ω, 1, 1 + ω}` with
+//! closed-form probabilities.
+//!
+//! **Caveat (documented, tested):** successive request costs are
+//! *correlated* through the window state, so the variance of a mean over n
+//! requests is not `Var/n`; these are marginal single-request moments,
+//! verified against exact state-space enumeration.
+
+use crate::pi::{pi_k, transition_probability};
+use mdr_core::CostModel;
+
+fn check(theta: f64) {
+    assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
+}
+
+/// Marginal per-request cost variance of ST1: the cost is `1` (connection)
+/// or `1 + ω` (message) with probability `1 − θ`, else 0.
+pub fn var_st1(theta: f64, model: CostModel) -> f64 {
+    check(theta);
+    let c = match model {
+        CostModel::Connection => 1.0,
+        CostModel::Message { omega } => 1.0 + omega,
+    };
+    c * c * (1.0 - theta) * theta
+}
+
+/// Marginal per-request cost variance of ST2: the cost is 1 with
+/// probability θ in both models.
+pub fn var_st2(theta: f64, _model: CostModel) -> f64 {
+    check(theta);
+    theta * (1.0 - theta)
+}
+
+/// Marginal per-request cost variance of SWk.
+///
+/// Connection model: the cost is Bernoulli(`EXP_SWk`), so
+/// `Var = EXP(1 − EXP)`. Message model: the cost takes `1` on kept
+/// propagated writes (probability `θπ_k − t`, `t` the transition
+/// probability), `1 + ω` on remote reads and deallocating writes
+/// (probability `(1−θ)(1−π_k) + t`), `ω` on SW1's delete-request writes,
+/// and 0 otherwise.
+pub fn var_swk(k: usize, theta: f64, model: CostModel) -> f64 {
+    check(theta);
+    let pi = pi_k(k, theta);
+    let t = transition_probability(k, theta);
+    match model {
+        CostModel::Connection => {
+            let exp = theta * pi + (1.0 - theta) * (1.0 - pi);
+            exp * (1.0 - exp)
+        }
+        CostModel::Message { omega } => {
+            let (mean, second) = if k == 1 {
+                // SW1: remote reads at 1+ω (prob θ(1−θ)), delete-request
+                // writes at ω (prob θ(1−θ)).
+                let p = theta * (1.0 - theta);
+                let mean = p * (1.0 + omega) + p * omega;
+                let second = p * (1.0 + omega).powi(2) + p * omega * omega;
+                (mean, second)
+            } else {
+                let p_keep_write = theta * pi - t; // propagated, kept
+                let p_expensive = (1.0 - theta) * (1.0 - pi) + t; // 1 + ω
+                let mean = p_keep_write + p_expensive * (1.0 + omega);
+                let second = p_keep_write + p_expensive * (1.0 + omega).powi(2);
+                (mean, second)
+            };
+            second - mean * mean
+        }
+    }
+}
+
+/// Exact marginal variance by `2^k` state-space enumeration (the
+/// verification oracle for [`var_swk`]). Panics for `k > 20`.
+pub fn exact_var_swk(k: usize, theta: f64, model: CostModel) -> f64 {
+    assert!(k >= 1 && k % 2 == 1 && k <= 20);
+    check(theta);
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    for state in 0u32..(1 << k) {
+        let writes = state.count_ones() as i32;
+        let p_state = theta.powi(writes) * (1.0 - theta).powi(k as i32 - writes);
+        if p_state == 0.0 {
+            continue;
+        }
+        let requests: Vec<mdr_core::Request> = (0..k)
+            .map(|i| mdr_core::Request::from_bit((state >> i) & 1 == 1))
+            .collect();
+        for (req, p_req) in [
+            (mdr_core::Request::Read, 1.0 - theta),
+            (mdr_core::Request::Write, theta),
+        ] {
+            if p_req == 0.0 {
+                continue;
+            }
+            use mdr_core::AllocationPolicy;
+            let mut policy = mdr_core::SlidingWindow::with_window(
+                mdr_core::RequestWindow::from_requests(&requests),
+            );
+            let c = model.price(policy.on_request(req));
+            mean += p_state * p_req * c;
+            second += p_state * p_req * c * c;
+        }
+    }
+    second - mean * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THETAS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+    #[test]
+    fn static_variances_are_bernoulli() {
+        for &theta in &THETAS {
+            assert!((var_st2(theta, CostModel::Connection) - theta * (1.0 - theta)).abs() < 1e-12);
+            let v = var_st1(theta, CostModel::message(0.5));
+            assert!((v - 2.25 * theta * (1.0 - theta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swk_variance_matches_exact_enumeration() {
+        for k in [1usize, 3, 5, 9, 13] {
+            for &theta in &THETAS {
+                for model in [
+                    CostModel::Connection,
+                    CostModel::message(0.0),
+                    CostModel::message(0.4),
+                    CostModel::message(1.0),
+                ] {
+                    let formula = var_swk(k, theta, model);
+                    let exact = exact_var_swk(k, theta, model);
+                    assert!(
+                        (formula - exact).abs() < 1e-12,
+                        "k={k} θ={theta} {model}: {formula} vs {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variance_vanishes_at_deterministic_extremes() {
+        for k in [1usize, 7] {
+            for model in [CostModel::Connection, CostModel::message(0.6)] {
+                assert!(var_swk(k, 0.0, model).abs() < 1e-12);
+                assert!(var_swk(k, 1.0, model).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn variance_is_nonnegative_everywhere() {
+        for k in [1usize, 3, 9, 15] {
+            for i in 0..=20 {
+                let theta = i as f64 / 20.0;
+                for model in [CostModel::Connection, CostModel::message(0.3)] {
+                    assert!(var_swk(k, theta, model) >= -1e-12, "k={k} θ={theta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_sample_variance_agrees() {
+        // Monte-Carlo spot check: marginal per-request cost variance of SW5
+        // at θ = 0.4, ω = 0.5.
+        use mdr_core::{PolicySpec, Request};
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let model = CostModel::message(0.5);
+        let mut policy = PolicySpec::SlidingWindow { k: 5 }.build();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 300_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        // Warm up to stationarity.
+        for _ in 0..1_000 {
+            let req = if rng.random::<f64>() < 0.4 {
+                Request::Write
+            } else {
+                Request::Read
+            };
+            policy.on_request(req);
+        }
+        for _ in 0..n {
+            let req = if rng.random::<f64>() < 0.4 {
+                Request::Write
+            } else {
+                Request::Read
+            };
+            let c = model.price(policy.on_request(req));
+            sum += c;
+            sumsq += c * c;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        let predicted = var_swk(5, 0.4, model);
+        assert!((var - predicted).abs() < 0.01, "{var} vs {predicted}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Choosing the window size k — Corollaries 3 & 4, **Figure 2**, and the
+//! §9 guidance on balancing average cost against competitiveness.
+//!
+//! The average expected cost of SWk *decreases* with k while the
+//! competitiveness factor *increases* with k, so "the window size k should
+//! be chosen to strike a balance between these two conflicting
+//! requirements" (§2.1). This module provides the paper's quantitative
+//! handles on that trade-off.
+
+use crate::message::{avg_sw1, avg_swk};
+
+/// The ω threshold of Corollaries 3/4: for `ω ≤ 0.4` SW1 has the best
+/// average expected cost among all window sizes; above it, large enough
+/// windows win.
+pub const OMEGA_THRESHOLD: f64 = 0.4;
+
+/// Corollary 4's real-valued threshold
+/// `k₀(ω) = [(10−ω) + √(100 − 68ω + 121ω²)] / (2(5ω−2))` for `ω > 0.4`:
+/// `AVG_SWk ≤ AVG_SW1` exactly when `k ≥ k₀(ω)`.
+///
+/// Derivation (see DESIGN.md §2): setting Eq. 12 ≤ Eq. 10 and clearing
+/// denominators gives `(2−5ω)k² + (10−ω)k + 6ω ≤ 0`, whose positive root is
+/// the expression above. Returns `None` for `ω ≤ 0.4` (no finite k works —
+/// Corollary 3).
+pub fn k0_threshold(omega: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&omega), "ω out of range: {omega}");
+    if omega <= OMEGA_THRESHOLD {
+        return None;
+    }
+    let disc = 100.0 - 68.0 * omega + 121.0 * omega * omega;
+    Some(((10.0 - omega) + disc.sqrt()) / (2.0 * (5.0 * omega - 2.0)))
+}
+
+/// The smallest **odd** `k > 1` with `AVG_SWk ≤ AVG_SW1` — the staircase
+/// plotted in Figure 2 (e.g. ω = 0.45 → 39, ω = 0.8 → 7). `None` for
+/// `ω ≤ 0.4`.
+pub fn min_beneficial_k(omega: f64) -> Option<usize> {
+    let k0 = k0_threshold(omega)?;
+    // Round up to the next odd integer ≥ max(3, k0).
+    let mut k = (k0.ceil() as usize).max(3);
+    if k % 2 == 0 {
+        k += 1;
+    }
+    // Guard against boundary rounding: the closed form and the inequality
+    // must agree, so step until the inequality really holds.
+    while avg_swk(k, omega) > avg_sw1(omega) {
+        k += 2;
+    }
+    // …and step back while the previous odd k also satisfies it.
+    while k > 3 && avg_swk(k - 2, omega) <= avg_sw1(omega) {
+        k -= 2;
+    }
+    Some(k)
+}
+
+/// Smallest odd k whose **connection-model** average expected cost is within
+/// `slack` (e.g. `0.10` for 10%) of the optimum 1/4 (Eq. 6 inverted):
+/// `AVG_SWk / (1/4) ≤ 1 + slack  ⇔  k ≥ 1/slack − 2`.
+///
+/// Reproduces the §9 guidance: `slack = 0.10 → k = 9`,
+/// `slack = 0.06 → k = 15`.
+pub fn smallest_k_within(slack: f64) -> usize {
+    assert!(slack > 0.0, "slack must be positive");
+    let bound = 1.0 / slack - 2.0;
+    let mut k = if bound <= 1.0 {
+        1
+    } else {
+        bound.ceil() as usize
+    };
+    if k % 2 == 0 {
+        k += 1;
+    }
+    // AVG_SWk/0.25 = 1 + 1/(k+2); enforce exactly.
+    while 1.0 / (k as f64 + 2.0) > slack {
+        k += 2;
+    }
+    while k > 1 && 1.0 / ((k - 2) as f64 + 2.0) <= slack {
+        k -= 2;
+    }
+    k
+}
+
+/// A balanced recommendation in the spirit of §9: the smallest odd k whose
+/// connection-model AVG is within `slack` of optimal, together with the
+/// competitiveness factor `k + 1` that the choice costs in the worst case.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowRecommendation {
+    /// The recommended (odd) window size.
+    pub k: usize,
+    /// `AVG_SWk` in the connection model (Eq. 6).
+    pub avg_connection: f64,
+    /// Excess over the optimal average 1/4, as a fraction.
+    pub avg_excess: f64,
+    /// The worst-case factor paid for the choice (Theorem 4).
+    pub competitive_factor: f64,
+}
+
+/// Computes the §9-style recommendation for a target average-cost slack.
+pub fn recommend_k(slack: f64) -> WindowRecommendation {
+    let k = smallest_k_within(slack);
+    let avg = crate::connection::avg_swk(k);
+    WindowRecommendation {
+        k,
+        avg_connection: avg,
+        avg_excess: avg / 0.25 - 1.0,
+        competitive_factor: (k + 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_none_at_or_below_0_4() {
+        assert_eq!(k0_threshold(0.0), None);
+        assert_eq!(k0_threshold(0.4), None);
+        assert_eq!(min_beneficial_k(0.25), None);
+    }
+
+    #[test]
+    fn figure_2_quoted_points() {
+        // §6.3: "if ω = 0.45, then only when k ≥ 39, the SWk algorithm has a
+        // lower expected cost than that of SW1; if ω = 0.8, then only when
+        // k ≥ 7".
+        assert_eq!(min_beneficial_k(0.45), Some(39));
+        assert_eq!(min_beneficial_k(0.8), Some(7));
+    }
+
+    #[test]
+    fn figure_2_staircase_axis_values() {
+        // Figure 2's x-axis marks 3, 5, 7, 11, 21, 39, 95 — each value must
+        // be hit by some ω, and the staircase must be non-increasing in ω.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut prev = usize::MAX;
+        let mut omega = 0.401;
+        while omega <= 1.0 {
+            let k = min_beneficial_k(omega).unwrap();
+            assert!(
+                k <= prev,
+                "staircase must not increase: ω={omega} k={k} prev={prev}"
+            );
+            prev = k;
+            seen.insert(k);
+            omega += 0.001;
+        }
+        for expected in [5usize, 7, 11, 21, 39] {
+            assert!(
+                seen.contains(&expected),
+                "staircase never hits k = {expected}: {seen:?}"
+            );
+        }
+        // 95 sits on a very steep part of the staircase (near ω ≈ 0.4206);
+        // hit it by bisecting ω for k₀ ∈ (93, 95].
+        let hit_95 = (4180..4240).any(|i| min_beneficial_k(i as f64 / 10_000.0) == Some(95));
+        assert!(hit_95, "staircase never hits k = 95 near ω ≈ 0.42");
+    }
+
+    #[test]
+    fn threshold_is_exact_crossing() {
+        // Just below k₀ SWk loses to SW1; at/above it wins.
+        for omega in [0.45, 0.6, 0.8, 0.95] {
+            let k = min_beneficial_k(omega).unwrap();
+            assert!(avg_swk(k, omega) <= avg_sw1(omega), "ω={omega} k={k}");
+            if k > 3 {
+                assert!(
+                    avg_swk(k - 2, omega) > avg_sw1(omega),
+                    "ω={omega} k={}",
+                    k - 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_root_matches_bruteforce() {
+        // Brute-force the smallest odd k via Eq. 12 directly and compare.
+        for omega in [0.42, 0.5, 0.65, 0.77, 0.9, 1.0] {
+            let analytic = min_beneficial_k(omega).unwrap();
+            let brute = (3usize..)
+                .step_by(2)
+                .find(|&k| avg_swk(k, omega) <= avg_sw1(omega))
+                .unwrap();
+            assert_eq!(analytic, brute, "ω = {omega}");
+        }
+    }
+
+    #[test]
+    fn section_9_guidance() {
+        assert_eq!(smallest_k_within(0.10), 9); // "for k = 9 … within 10%"
+        assert_eq!(smallest_k_within(0.06), 15); // "within 6% … for k = 15"
+    }
+
+    #[test]
+    fn recommendation_bundles_the_tradeoff() {
+        let rec = recommend_k(0.10);
+        assert_eq!(rec.k, 9);
+        assert_eq!(rec.competitive_factor, 10.0);
+        assert!(rec.avg_excess <= 0.10 + 1e-12);
+        assert!((rec.avg_connection - (0.25 + 1.0 / 44.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_slack_recommends_k1() {
+        assert_eq!(smallest_k_within(0.5), 1);
+        let rec = recommend_k(0.5);
+        assert_eq!(rec.k, 1);
+        assert_eq!(rec.competitive_factor, 2.0);
+    }
+
+    #[test]
+    fn k0_decreases_with_omega() {
+        let mut prev = f64::INFINITY;
+        for i in 41..=100 {
+            let omega = i as f64 / 100.0;
+            let k0 = k0_threshold(omega).unwrap();
+            assert!(k0 <= prev + 1e-9, "ω={omega}");
+            assert!(k0 > 0.0);
+            prev = k0;
+        }
+    }
+}

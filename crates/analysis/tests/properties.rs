@@ -1,0 +1,138 @@
+//! Property-based tests of the closed-form analysis.
+
+use mdr_analysis::{
+    average_expected_cost, competitive_factor, connection, expected_cost, integrate::integrate,
+    message, pi_k, transition_probability,
+};
+use mdr_core::{CostModel, PolicySpec};
+use proptest::prelude::*;
+
+fn arb_odd_k() -> impl Strategy<Value = usize> {
+    (0usize..60).prop_map(|n| 2 * n + 1)
+}
+
+fn arb_theta() -> impl Strategy<Value = f64> {
+    0.0f64..=1.0
+}
+
+fn arb_omega() -> impl Strategy<Value = f64> {
+    0.0f64..=1.0
+}
+
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::St1),
+        Just(PolicySpec::St2),
+        arb_odd_k().prop_map(|k| PolicySpec::SlidingWindow { k }),
+        (1usize..20).prop_map(|m| PolicySpec::T1 { m }),
+        (1usize..20).prop_map(|m| PolicySpec::T2 { m }),
+    ]
+}
+
+proptest! {
+    /// π_k is a probability, decreasing in θ, with the read/write symmetry.
+    #[test]
+    fn pi_k_is_a_symmetric_decreasing_probability(k in arb_odd_k(), theta in arb_theta()) {
+        let p = pi_k(k, theta);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((pi_k(k, 1.0 - theta) - (1.0 - p)).abs() < 1e-9);
+        let eps = 0.01;
+        if theta + eps <= 1.0 {
+            prop_assert!(pi_k(k, theta + eps) <= p + 1e-9);
+        }
+    }
+
+    /// The Eq. 11 transition term is a probability bounded by both the
+    /// allocation opportunities: it can never exceed min(θ, 1−θ).
+    #[test]
+    fn transition_probability_is_bounded(k in arb_odd_k(), theta in arb_theta()) {
+        let t = transition_probability(k, theta);
+        prop_assert!(t >= 0.0);
+        prop_assert!(t <= theta.min(1.0 - theta) + 1e-12, "{t}");
+    }
+
+    /// Expected costs are well-formed everywhere: finite, non-negative, and
+    /// never above the per-request maximum 1 + ω.
+    #[test]
+    fn expected_costs_are_well_formed(
+        spec in arb_spec(),
+        theta in arb_theta(),
+        omega in arb_omega(),
+    ) {
+        for model in [CostModel::Connection, CostModel::message(omega)] {
+            let e = expected_cost(spec, model, theta);
+            prop_assert!(e.is_finite() && e >= -1e-12);
+            let cap = match model { CostModel::Connection => 1.0, CostModel::Message { omega } => 1.0 + omega };
+            prop_assert!(e <= cap + 1e-9, "{spec} {model} θ={theta}: {e} > {cap}");
+        }
+    }
+
+    /// Theorem 2 for arbitrary (k, θ): the window never beats the static
+    /// envelope in the connection model.
+    #[test]
+    fn theorem_2_everywhere(k in arb_odd_k(), theta in arb_theta()) {
+        prop_assert!(connection::exp_swk(k, theta) >= connection::optimal_exp(theta) - 1e-9);
+    }
+
+    /// Theorem 9 for arbitrary (k, θ, ω): SWk (k > 1) never beats the
+    /// ST1/ST2/SW1 envelope in the message model.
+    #[test]
+    fn theorem_9_everywhere(k in arb_odd_k(), theta in arb_theta(), omega in arb_omega()) {
+        prop_assume!(k > 1);
+        prop_assert!(message::exp_swk(k, theta, omega) >= message::optimal_exp(theta, omega) - 1e-9);
+    }
+
+    /// Eq. 1 as a property: AVG is the integral of EXP for every policy
+    /// and model (quadrature tolerance 1e-5).
+    #[test]
+    fn avg_is_integral_of_exp(spec in arb_spec(), omega in arb_omega()) {
+        for model in [CostModel::Connection, CostModel::message(omega)] {
+            let quad = integrate(|t| expected_cost(spec, model, t), 0.0, 1.0, 1e-9);
+            let avg = average_expected_cost(spec, model);
+            prop_assert!((quad - avg).abs() < 1e-5, "{spec} {model}: {quad} vs {avg}");
+        }
+    }
+
+    /// Competitive factors: at least 1 where defined, monotone in k for the
+    /// window family, and reducing to the connection factor at ω = 0 for
+    /// k > 1.
+    #[test]
+    fn factors_are_sane(k in arb_odd_k(), omega in arb_omega()) {
+        let spec = PolicySpec::SlidingWindow { k };
+        for model in [CostModel::Connection, CostModel::message(omega)] {
+            let f = competitive_factor(spec, model).expect("SWk is competitive");
+            prop_assert!(f >= 1.0);
+        }
+        if k > 1 {
+            let f0 = competitive_factor(spec, CostModel::message(0.0)).unwrap();
+            prop_assert!((f0 - (k as f64 + 1.0)).abs() < 1e-12);
+            let next = PolicySpec::SlidingWindow { k: k + 2 };
+            prop_assert!(
+                competitive_factor(next, CostModel::message(omega)).unwrap()
+                    > competitive_factor(spec, CostModel::message(omega)).unwrap()
+            );
+        }
+    }
+
+    /// The dominance winner really has the (weakly) lowest expected cost
+    /// among the three §6 candidates.
+    #[test]
+    fn dominance_winner_is_minimal(theta in arb_theta(), omega in arb_omega()) {
+        use mdr_analysis::dominance::message_winner;
+        let w = message_winner(theta, omega);
+        let model = CostModel::message(omega);
+        let win_cost = expected_cost(w.spec(), model, theta);
+        for cand in [PolicySpec::St1, PolicySpec::St2, PolicySpec::SlidingWindow { k: 1 }] {
+            prop_assert!(win_cost <= expected_cost(cand, model, theta) + 1e-9);
+        }
+    }
+
+    /// AVG of SWk is monotone decreasing in k in both models (Corollaries
+    /// 1 and 2).
+    #[test]
+    fn avg_monotone_in_k(k in arb_odd_k(), omega in arb_omega()) {
+        prop_assume!(k > 1);
+        prop_assert!(connection::avg_swk(k + 2) < connection::avg_swk(k));
+        prop_assert!(message::avg_swk(k + 2, omega) < message::avg_swk(k, omega));
+    }
+}

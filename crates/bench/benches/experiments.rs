@@ -1,0 +1,80 @@
+//! Criterion benches over the analytic kernels that every experiment table
+//! leans on: π_k evaluation, the closed-form AVG family, quadrature
+//! verification, and the multi-object optimal-allocation enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdr_analysis::integrate::integrate;
+use mdr_analysis::{message, pi_k};
+use mdr_multi::OperationProfile;
+use std::hint::black_box;
+
+fn bench_pi_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pi_k");
+    for k in [9usize, 95, 1_001, 10_001] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| pi_k(black_box(k), black_box(0.47)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_avg_quadrature(c: &mut Criterion) {
+    // Integrating Eq. 11 over θ — the cross-check behind every AVG claim.
+    let mut group = c.benchmark_group("avg_quadrature_eq11");
+    for k in [9usize, 95] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| integrate(|t| message::exp_swk(k, t, 0.6), 0.0, 1.0, 1e-9))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_enumeration(c: &mut Criterion) {
+    // The 2^k state-space verification of Eq. 5 / Eq. 11.
+    let mut group = c.benchmark_group("exact_exp_swk_enumeration");
+    group.sample_size(20);
+    for k in [9usize, 13, 17] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                mdr_analysis::exact::exact_exp_swk(
+                    black_box(k),
+                    0.45,
+                    mdr_core::CostModel::message(0.6),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_object_optimum(c: &mut Criterion) {
+    // 2^n enumeration of allocations for growing object universes.
+    let mut group = c.benchmark_group("multi_object_optimal_allocation");
+    for n in [2usize, 8, 14] {
+        // One read class and one write class per object plus one joint pair.
+        let mut entries = Vec::new();
+        for o in 0..n {
+            let s = mdr_multi::ObjectSet::singleton(o);
+            entries.push((mdr_multi::Operation::read(s), 1.0 + o as f64));
+            entries.push((mdr_multi::Operation::write(s), 2.0));
+        }
+        entries.push((
+            mdr_multi::Operation::read(mdr_multi::ObjectSet::from_objects(&[0, 1])),
+            3.0,
+        ));
+        let profile = OperationProfile::new(n, entries);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
+            b.iter(|| black_box(p).optimal_allocation())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pi_k,
+    bench_avg_quadrature,
+    bench_exact_enumeration,
+    bench_multi_object_optimum
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches: the offline-optimal dynamic program and the
+//! worst-case search machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdr_adversary::{exhaustive_search, generators, opt_cost};
+use mdr_core::{CostModel, PolicySpec};
+use std::hint::black_box;
+
+fn bench_opt_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_dp");
+    for len in [1_000usize, 10_000, 100_000] {
+        let schedule = generators::random_schedule(len, 0.5, 42);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("connection", len), &schedule, |b, s| {
+            b.iter(|| opt_cost(black_box(s), CostModel::Connection))
+        });
+        group.bench_with_input(BenchmarkId::new("message", len), &schedule, |b, s| {
+            b.iter(|| opt_cost(black_box(s), CostModel::message(0.5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_search");
+    group.sample_size(10);
+    for max_len in [10usize, 14] {
+        group.bench_with_input(
+            BenchmarkId::new("sw3_connection", max_len),
+            &max_len,
+            |b, &max_len| {
+                b.iter(|| {
+                    exhaustive_search(
+                        PolicySpec::SlidingWindow { k: 3 },
+                        CostModel::Connection,
+                        black_box(max_len),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opt_dp, bench_exhaustive_search);
+criterion_main!(benches);

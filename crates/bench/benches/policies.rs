@@ -1,0 +1,95 @@
+//! Criterion benches: per-request throughput of every allocation policy.
+//!
+//! The paper's algorithms run on 1994-era mobile hardware in the request
+//! path, so per-request overhead matters; these benches demonstrate the
+//! O(1) window update and compare the policy families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdr_core::{run_spec, CostModel, PolicySpec, Schedule};
+use std::hint::black_box;
+
+fn mixed_schedule(len: usize) -> Schedule {
+    // Deterministic pseudo-random mix (no RNG dependency in the hot loop).
+    (0..len)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            mdr_core::Request::from_bit(h & (1 << 17) != 0)
+        })
+        .collect()
+}
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let schedule = mixed_schedule(10_000);
+    let mut group = c.benchmark_group("policy_run_10k_requests");
+    group.throughput(Throughput::Elements(schedule.len() as u64));
+    for spec in [
+        PolicySpec::St1,
+        PolicySpec::St2,
+        PolicySpec::SlidingWindow { k: 1 },
+        PolicySpec::SlidingWindow { k: 9 },
+        PolicySpec::SlidingWindow { k: 101 },
+        PolicySpec::T1 { m: 9 },
+        PolicySpec::T2 { m: 9 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &spec,
+            |b, &spec| {
+                b.iter(|| run_spec(black_box(spec), black_box(&schedule), CostModel::Connection))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_adaptive_policy(c: &mut Criterion) {
+    // The extension policy re-evaluates the dominance region per request;
+    // compare its per-request overhead against plain SWk.
+    use mdr_core::{run_policy, AdaptivePolicy};
+    let schedule = mixed_schedule(10_000);
+    let mut group = c.benchmark_group("adaptive_vs_swk_10k_requests");
+    group.throughput(Throughput::Elements(schedule.len() as u64));
+    group.bench_function("adaptive_k9_message", |b| {
+        b.iter(|| {
+            let mut p = AdaptivePolicy::new(9, CostModel::message(0.6));
+            run_policy(&mut p, black_box(&schedule), CostModel::message(0.6))
+        })
+    });
+    group.bench_function("sw9_message", |b| {
+        b.iter(|| {
+            run_spec(
+                PolicySpec::SlidingWindow { k: 9 },
+                black_box(&schedule),
+                CostModel::message(0.6),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_window_size_independence(c: &mut Criterion) {
+    // The ring-buffer window must make per-request cost independent of k.
+    let schedule = mixed_schedule(10_000);
+    let mut group = c.benchmark_group("window_update_vs_k");
+    group.throughput(Throughput::Elements(schedule.len() as u64));
+    for k in [1usize, 15, 255, 4_095] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                run_spec(
+                    PolicySpec::SlidingWindow { k },
+                    black_box(&schedule),
+                    CostModel::message(0.5),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_throughput,
+    bench_adaptive_policy,
+    bench_window_size_independence
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches: discrete-event simulator throughput (requests/sec
+//! through the full MC/SC protocol, with and without the oracle check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdr_core::PolicySpec;
+use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, Simulation};
+use std::hint::black_box;
+
+const REQUESTS: usize = 5_000;
+
+fn run_sim(spec: PolicySpec, oracle: bool) -> f64 {
+    let config = if oracle {
+        SimConfig::new(spec)
+    } else {
+        SimConfig::new(spec).without_oracle()
+    };
+    let mut sim = Simulation::new(config);
+    let mut workload = PoissonWorkload::from_theta(1.0, 0.4, 1234);
+    let report = sim.run(&mut workload, RunLimit::Requests(REQUESTS));
+    report.cost(mdr_core::CostModel::Connection)
+}
+
+fn bench_protocol_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_protocol_5k_requests");
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    for spec in [
+        PolicySpec::St1,
+        PolicySpec::SlidingWindow { k: 9 },
+        PolicySpec::T2 { m: 5 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("oracle_on", spec.name()),
+            &spec,
+            |b, &spec| b.iter(|| run_sim(black_box(spec), true)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oracle_off", spec.name()),
+            &spec,
+            |b, &spec| b.iter(|| run_sim(black_box(spec), false)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lossy_link(c: &mut Criterion) {
+    // ARQ retransmissions add RNG draws and extra events per message.
+    let mut group = c.benchmark_group("des_lossy_link_5k_requests");
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    for loss in [0.0f64, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p={loss}")),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let spec = PolicySpec::SlidingWindow { k: 9 };
+                    let mut config = SimConfig::new(spec).without_oracle();
+                    if loss > 0.0 {
+                        config = config.with_loss(loss, 0.05, 7);
+                    }
+                    let mut sim = Simulation::new(config);
+                    let mut w = PoissonWorkload::from_theta(1.0, 0.4, 1234);
+                    sim.run(&mut w, RunLimit::Requests(REQUESTS))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    use mdr_sim::ArrivalProcess;
+    let mut group = c.benchmark_group("workload_generation");
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    group.bench_function("poisson_5k_arrivals", |b| {
+        b.iter(|| {
+            let mut w = PoissonWorkload::from_theta(1.0, 0.5, 7);
+            let mut last = 0.0;
+            for _ in 0..REQUESTS {
+                last = w.next_arrival().unwrap().time;
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_throughput,
+    bench_lossy_link,
+    bench_workload_generation
+);
+criterion_main!(benches);

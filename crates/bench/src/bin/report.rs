@@ -1,0 +1,79 @@
+//! The experiment report binary: regenerates every table and figure of the
+//! paper and prints paper-vs-measured results.
+//!
+//! ```text
+//! report [--only <id>[,<id>…]] [--fast] [--json]
+//! ```
+
+use mdr_bench::experiments::{run_all, run_one, ALL_IDS};
+use mdr_bench::{Experiment, RunCfg};
+
+fn main() {
+    let mut only: Option<Vec<String>> = None;
+    let mut fast = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => {
+                let ids = args.next().unwrap_or_else(|| usage("--only needs a value"));
+                only = Some(
+                    ids.split(',')
+                        .map(|s| s.trim().to_ascii_lowercase())
+                        .collect(),
+                );
+            }
+            "--fast" => fast = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let cfg = RunCfg { fast };
+
+    let experiments: Vec<Experiment> = match only {
+        None => run_all(cfg),
+        Some(ids) => ids
+            .iter()
+            .map(|id| {
+                run_one(id, cfg).unwrap_or_else(|| {
+                    usage(&format!(
+                        "unknown experiment {id:?}; valid: {}",
+                        ALL_IDS.join(", ")
+                    ))
+                })
+            })
+            .collect(),
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&experiments).expect("experiments serialize")
+        );
+    } else {
+        for e in &experiments {
+            println!("{}", e.render());
+        }
+        let total: usize = experiments.iter().map(|e| e.verdicts.len()).sum();
+        let reproduced: usize = experiments
+            .iter()
+            .flat_map(|e| &e.verdicts)
+            .filter(|v| v.starts_with("[REPRODUCED]"))
+            .count();
+        println!("{}", "=".repeat(72));
+        println!("claims reproduced: {reproduced}/{total}");
+        if reproduced < total {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: report [--only e1,e4,...] [--fast] [--json]");
+    eprintln!("experiments: {}", ALL_IDS.join(", "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,121 @@
+//! E10 — The §9 guidance table: picking k to balance average cost against
+//! competitiveness.
+//!
+//! Regenerates the quantified recommendations of the conclusion section:
+//! the AVG-excess / competitiveness-factor trade-off per window size, the
+//! two named operating points (k = 9 ⇒ within 10% & 10-competitive; k = 15
+//! ⇒ within 6% & 16-competitive), and the message-model window advice
+//! (ω ≤ 0.4 ⇒ SW1; ω > 0.4 ⇒ k ≥ k₀(ω)).
+
+use crate::table::{fmt, pct, Experiment, Table};
+use crate::RunCfg;
+use mdr_analysis::competitive::{swk_connection_factor, swk_message_factor};
+use mdr_analysis::window_choice::{min_beneficial_k, recommend_k, smallest_k_within};
+use mdr_analysis::{connection, message};
+
+/// Runs the experiment.
+pub fn run(_cfg: RunCfg) -> Experiment {
+    let mut exp = Experiment::new(
+        "E10",
+        "choosing the window size — the §9 trade-off",
+        "§9 conclusions (k = 9 / k = 15 operating points; ω-dependent window advice)",
+    );
+
+    // --- connection-model trade-off table ---
+    let mut table = Table::new(
+        "connection model: AVG excess over the optimum vs competitiveness, per k",
+        &["k", "AVG_SWk", "excess over 1/4", "competitive factor"],
+    );
+    for &k in &[1usize, 3, 5, 7, 9, 15, 31, 63] {
+        table.row(vec![
+            k.to_string(),
+            fmt(connection::avg_swk(k)),
+            pct(connection::avg_swk(k) / 0.25 - 1.0),
+            fmt(swk_connection_factor(k)),
+        ]);
+    }
+    exp.push_table(table);
+
+    // --- named operating points ---
+    let rec10 = recommend_k(0.10);
+    let rec6 = recommend_k(0.06);
+    let mut points = Table::new(
+        "§9 operating points",
+        &[
+            "target slack",
+            "recommended k",
+            "AVG excess",
+            "competitive factor",
+        ],
+    );
+    for rec in [&rec10, &rec6] {
+        points.row(vec![
+            pct(if rec.k == 9 { 0.10 } else { 0.06 }),
+            rec.k.to_string(),
+            pct(rec.avg_excess),
+            fmt(rec.competitive_factor),
+        ]);
+    }
+    exp.push_table(points);
+
+    // --- message-model advice ---
+    let mut advice = Table::new(
+        "message model: recommended window per ω (§9)",
+        &[
+            "ω",
+            "best-AVG window",
+            "AVG there",
+            "competitive factor there",
+        ],
+    );
+    for &omega in &[0.1, 0.3, 0.4, 0.45, 0.6, 0.8, 1.0] {
+        match min_beneficial_k(omega) {
+            None => {
+                advice.row(vec![
+                    fmt(omega),
+                    "SW1".to_owned(),
+                    fmt(message::avg_sw1(omega)),
+                    fmt(1.0 + 2.0 * omega),
+                ]);
+            }
+            Some(k0) => {
+                advice.row(vec![
+                    fmt(omega),
+                    format!("SWk, k ≥ {k0}"),
+                    fmt(message::avg_swk(k0, omega)),
+                    fmt(swk_message_factor(k0, omega)),
+                ]);
+            }
+        }
+    }
+    exp.push_table(advice);
+
+    exp.verdict(
+        "§9: k = 9 gives AVG within 10% of optimum at competitiveness 10",
+        rec10.k == 9 && rec10.avg_excess <= 0.10 && rec10.competitive_factor == 10.0,
+    );
+    exp.verdict(
+        "§2.1: k = 15 gives AVG within 6% of optimum at competitiveness 16",
+        rec6.k == 15 && rec6.avg_excess <= 0.06 && rec6.competitive_factor == 16.0,
+    );
+    exp.verdict(
+        "§9: ω ≤ 0.4 ⇒ choose SW1; ω > 0.4 ⇒ choose k ≥ k₀(ω)",
+        min_beneficial_k(0.4).is_none() && min_beneficial_k(0.45) == Some(39),
+    );
+    exp.verdict(
+        "smallest_k_within inverts Eq. 6 exactly (10% → 9, 6% → 15)",
+        smallest_k_within(0.10) == 9 && smallest_k_within(0.06) == 15,
+    );
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_reproduces_all_claims() {
+        let exp = run(RunCfg { fast: true });
+        assert!(exp.all_reproduced(), "{}", exp.render());
+    }
+}

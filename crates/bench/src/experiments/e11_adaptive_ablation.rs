@@ -1,0 +1,146 @@
+//! E11 — **Extension ablation**: dominance-guided adaptation vs the raw
+//! majority window.
+//!
+//! §7.2 closes by proposing to *estimate frequencies from the window and
+//! re-choose the allocation method by expected cost*. `AdaptivePolicy`
+//! implements that idea for a single object, consulting the paper's own
+//! Theorem 6 regions instead of the raw read/write majority. This ablation
+//! quantifies what the idea changes:
+//!
+//! 1. In the **connection model** the dominance rule (θ ≷ 1/2) *is* the
+//!    majority rule, so the adaptive policy collapses to SWk exactly —
+//!    verified action-for-action.
+//! 2. In the **message model** the thresholds shift away from 1/2
+//!    (`2ω/(1+2ω)` and `(1+ω)/(1+2ω)`), biasing the policy toward the
+//!    cheaper static in each region; the ablation measures the per-θ and
+//!    aggregate effect at a high control-message cost.
+//! 3. The worst case stays empirically bounded (exhaustive search over all
+//!    short schedules).
+
+use crate::table::{fmt, fmt_opt, Experiment, Table};
+use crate::RunCfg;
+use mdr_adversary::{exhaustive_search_policy, generators};
+use mdr_analysis::message;
+use mdr_core::{run_policy, run_spec, AdaptivePolicy, AllocationPolicy, CostModel, PolicySpec};
+
+/// Mean per-request cost of a fresh `policy` over seeded i.i.d. schedules.
+fn simulated_exp(policy: &mut dyn AllocationPolicy, theta: f64, model: CostModel, n: usize) -> f64 {
+    let schedule = generators::random_schedule(n, theta, 0xE11 ^ (theta * 1e6) as u64);
+    policy.reset();
+    run_policy(policy, &schedule, model).total_cost / n as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: RunCfg) -> Experiment {
+    let mut exp = Experiment::new(
+        "E11",
+        "ablation — dominance-guided adaptive policy vs SWk (extension)",
+        "§7.2 closing proposal (estimate frequencies, re-choose by expected cost), applied to one object",
+    );
+    let k = 9usize;
+    let n = cfg.pick(30_000, 120_000);
+
+    // --- 1. connection model: exact collapse to SWk ---
+    let mut identical = true;
+    for seed in 0..10u64 {
+        let schedule = generators::random_schedule(500, 0.3 + 0.05 * seed as f64, seed);
+        let mut adaptive = AdaptivePolicy::new(k, CostModel::Connection);
+        let mut window = mdr_core::SlidingWindow::new(k);
+        for r in schedule.iter() {
+            if adaptive.on_request(r) != window.on_request(r) {
+                identical = false;
+            }
+        }
+    }
+
+    // --- 2. message model at ω = 0.8 (narrow SW1 band, shifted thresholds) ---
+    let omega = 0.8;
+    let model = CostModel::message(omega);
+    let mut table = Table::new(
+        format!("EXP at ω = {omega}: adaptive (k = {k}) vs SW{k} vs the static envelope"),
+        &[
+            "θ",
+            "adaptive (sim)",
+            "SWk (sim)",
+            "SWk (eq)",
+            "envelope min",
+        ],
+    );
+    let mut adaptive_total = 0.0;
+    let mut swk_total = 0.0;
+    for i in 1..=9 {
+        let theta = i as f64 / 10.0;
+        let mut adaptive = AdaptivePolicy::new(k, model);
+        let a = simulated_exp(&mut adaptive, theta, model, n);
+        let schedule = generators::random_schedule(n, theta, 0xE11 ^ (theta * 1e6) as u64);
+        let s = run_spec(PolicySpec::SlidingWindow { k }, &schedule, model).total_cost / n as f64;
+        adaptive_total += a;
+        swk_total += s;
+        table.row(vec![
+            fmt(theta),
+            fmt(a),
+            fmt(s),
+            fmt(message::exp_swk(k, theta, omega)),
+            fmt(message::optimal_exp(theta, omega)),
+        ]);
+    }
+    table.note(format!(
+        "θ-grid mean: adaptive {} vs SWk {}",
+        fmt(adaptive_total / 9.0),
+        fmt(swk_total / 9.0)
+    ));
+    exp.push_table(table);
+
+    // --- 3. worst case stays bounded ---
+    let search_len = cfg.pick(11, 13);
+    let outcome = exhaustive_search_policy(
+        || Box::new(AdaptivePolicy::new(k, model)),
+        model,
+        search_len,
+    );
+    let swk_outcome = exhaustive_search_policy(
+        || PolicySpec::SlidingWindow { k }.build(),
+        model,
+        search_len,
+    );
+    let mut worst_table = Table::new(
+        format!("short-horizon worst case (every schedule to length {search_len}, ω = {omega})"),
+        &["policy", "worst ratio", "worst schedule"],
+    );
+    worst_table.row(vec![
+        format!("adaptive k={k}"),
+        fmt_opt(outcome.worst.ratio),
+        outcome.worst_schedule.to_string(),
+    ]);
+    worst_table.row(vec![
+        format!("SW{k}"),
+        fmt_opt(swk_outcome.worst.ratio),
+        swk_outcome.worst_schedule.to_string(),
+    ]);
+    exp.push_table(worst_table);
+
+    exp.verdict(
+        "connection model: the dominance rule degenerates to the majority rule — adaptive ≡ SWk action-for-action",
+        identical,
+    );
+    exp.verdict(
+        "message model (ω = 0.8): shifted thresholds lower the θ-grid mean EXP vs SWk",
+        adaptive_total < swk_total,
+    );
+    exp.verdict(
+        "the adaptive policy's short-horizon worst ratio stays bounded (no OPT-free blowup)",
+        outcome.worst.ratio.is_some() && outcome.unbounded_witness_cost == 0.0,
+    );
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_reproduces_all_claims() {
+        let exp = run(RunCfg { fast: true });
+        assert!(exp.all_reproduced(), "{}", exp.render());
+    }
+}

@@ -1,0 +1,152 @@
+//! E12 — **Extension**: adaptation latency of the sliding window.
+//!
+//! The paper's trade-off discussion (§2.1, §9) says larger windows cost
+//! more in the worst case; the mechanism is *adaptation latency* — after
+//! the read/write mix flips, SWk keeps the stale allocation until the
+//! window majority catches up. This experiment quantifies the latency:
+//!
+//! * **deterministically** — after a pure-read regime, exactly
+//!   `(k+1)/2` consecutive writes are needed to shed the replica;
+//! * **stochastically** — after θ jumps from θ_a to θ_b, the expected
+//!   number of requests until the allocation first matches the new regime,
+//!   against the exponential-window-fill model
+//!   `t ≈ k · ln((θ_b − w₀)/(θ_b − ½))` (the window's write fraction
+//!   relaxes toward θ_b with rate 1/k per request).
+
+use crate::table::{fmt, Experiment, Table};
+use crate::RunCfg;
+use mdr_core::{AllocationPolicy, Request, SlidingWindow};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mean number of requests after the θ switch until the replica is shed,
+/// over `reps` independent runs.
+fn measure_latency(k: usize, theta_a: f64, theta_b: f64, reps: usize, seed: u64) -> f64 {
+    assert!(theta_a < 0.5 && theta_b > 0.5, "regime must actually flip");
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed + rep as u64);
+        let mut sw = SlidingWindow::new(k);
+        // Warm up to stationarity under θ_a (the replica will be present
+        // almost surely since θ_a < 1/2).
+        let warmup = (20 * k).max(2_000);
+        for _ in 0..warmup {
+            let req = if rng.random::<f64>() < theta_a {
+                Request::Write
+            } else {
+                Request::Read
+            };
+            sw.on_request(req);
+        }
+        // If the warm-up ended in the rare no-copy state, top up with reads.
+        while !sw.has_copy() {
+            sw.on_request(Request::Read);
+        }
+        // Switch to θ_b and count requests until the copy is shed.
+        let mut t = 0usize;
+        while sw.has_copy() {
+            let req = if rng.random::<f64>() < theta_b {
+                Request::Write
+            } else {
+                Request::Read
+            };
+            sw.on_request(req);
+            t += 1;
+        }
+        total += t as f64;
+    }
+    total / reps as f64
+}
+
+/// The exponential-fill prediction: the window's write fraction relaxes
+/// from `w0` toward `theta_b` with rate 1/k per request; the majority
+/// flips when it crosses 1/2.
+fn fill_model(k: usize, w0: f64, theta_b: f64) -> f64 {
+    k as f64 * ((theta_b - w0) / (theta_b - 0.5)).ln()
+}
+
+/// Runs the experiment.
+pub fn run(cfg: RunCfg) -> Experiment {
+    let mut exp = Experiment::new(
+        "E12",
+        "adaptation latency of SWk after a regime change (extension)",
+        "quantifies the §2.1/§9 trade-off mechanism (larger k ⇒ slower adaptation)",
+    );
+
+    // --- deterministic bound ---
+    let mut det_ok = true;
+    for k in [1usize, 3, 9, 15, 31] {
+        let mut sw = SlidingWindow::with_initial_copy(k);
+        let mut writes = 0usize;
+        while sw.has_copy() {
+            sw.on_request(Request::Write);
+            writes += 1;
+        }
+        det_ok &= writes == k.div_ceil(2);
+    }
+
+    // --- stochastic latency ---
+    let reps = cfg.pick(200, 1_000);
+    let theta_a = 0.2;
+    let mut table = Table::new(
+        format!("requests to shed the replica after θ: {theta_a} → θ_b (mean of {reps} runs)"),
+        &[
+            "k",
+            "θ_b = 0.7 (sim)",
+            "fill model",
+            "θ_b = 0.9 (sim)",
+            "fill model",
+        ],
+    );
+    let mut monotone = true;
+    let mut model_ok = true;
+    let mut prev = (0.0f64, 0.0f64);
+    for k in [3usize, 9, 15, 31, 63] {
+        let l7 = measure_latency(k, theta_a, 0.7, reps, 0xE12);
+        let l9 = measure_latency(k, theta_a, 0.9, reps, 0xE12 + 777);
+        monotone &= l7 > prev.0 && l9 > prev.1;
+        prev = (l7, l9);
+        let m7 = fill_model(k, theta_a, 0.7);
+        let m9 = fill_model(k, theta_a, 0.9);
+        // The diffusion correction matters for small k; require the model
+        // within 35% for k ≥ 9.
+        if k >= 9 {
+            model_ok &= (l7 - m7).abs() / m7 < 0.35 && (l9 - m9).abs() / m9 < 0.35;
+        }
+        table.row(vec![k.to_string(), fmt(l7), fmt(m7), fmt(l9), fmt(m9)]);
+    }
+    table.note("fill model: t ≈ k · ln((θ_b − w₀)/(θ_b − ½)), w₀ = stationary write fraction θ_a");
+    exp.push_table(table);
+
+    exp.verdict(
+        "deterministic latency: exactly ⌈k/2⌉ consecutive writes shed the replica",
+        det_ok,
+    );
+    exp.verdict(
+        "adaptation latency grows monotonically with k (the §9 trade-off mechanism)",
+        monotone,
+    );
+    exp.verdict(
+        "the exponential window-fill model predicts the latency within 35% for k ≥ 9",
+        model_ok,
+    );
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_reproduces_all_claims() {
+        let exp = run(RunCfg { fast: true });
+        assert!(exp.all_reproduced(), "{}", exp.render());
+    }
+
+    #[test]
+    fn fill_model_sanity() {
+        // Larger k ⇒ proportionally longer; stronger drift ⇒ shorter.
+        assert!(fill_model(30, 0.2, 0.9) > fill_model(10, 0.2, 0.9));
+        assert!(fill_model(10, 0.2, 0.9) < fill_model(10, 0.2, 0.6));
+    }
+}

@@ -1,0 +1,136 @@
+//! E14 — **Extension ablation**: joint expected-cost optimization vs
+//! independent per-object windows (§7.2's central design point).
+//!
+//! §7.2 insists on tracking the frequencies of *joint* operation classes
+//! and minimizing the joint expected cost, rather than running the
+//! single-object window independently per object. This ablation shows why:
+//! a joint read pays unless **all** touched objects are replicated while a
+//! joint write pays if **any** is, so marginal (per-object) read/write
+//! counts double-count shared reads and miss the write coupling. On the
+//! crafted profile `r{x,y}: 5, w{x}: 4, w{y}: 4` the marginal rule
+//! replicates both objects (each sees 5 reads vs 4 writes) and pays
+//! 8/13 per operation, while the joint optimum replicates nothing and pays
+//! 5/13. On decoupled profiles the two agree — the coupling is the whole
+//! story.
+
+use crate::table::{fmt, Experiment, Table};
+use crate::RunCfg;
+use mdr_multi::{
+    Allocation, ObjectSet, Operation, OperationProfile, PerObjectWindows, WindowedAllocator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Comparison {
+    per_object_cost: f64,
+    joint_cost: f64,
+    optimal_cost: f64,
+    per_object_alloc: Allocation,
+    joint_alloc: Allocation,
+}
+
+fn compare(profile: &OperationProfile, ops: usize, seed: u64) -> Comparison {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_object = PerObjectWindows::new(profile.n_objects(), 31);
+    let mut joint = WindowedAllocator::new(profile.n_objects(), 300, 25);
+    let (optimal, _) = profile.optimal_allocation();
+    let (mut pc, mut jc, mut oc) = (0.0, 0.0, 0.0);
+    for _ in 0..ops {
+        let op = profile.sample(&mut rng);
+        pc += per_object.on_operation(op);
+        jc += joint.on_operation(op);
+        oc += optimal.connection_cost(op);
+    }
+    Comparison {
+        per_object_cost: pc / ops as f64,
+        joint_cost: jc / ops as f64,
+        optimal_cost: oc / ops as f64,
+        per_object_alloc: per_object.allocation(),
+        joint_alloc: joint.current_allocation(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: RunCfg) -> Experiment {
+    let mut exp = Experiment::new(
+        "E14",
+        "ablation — joint optimization vs independent per-object windows",
+        "§7.2's design choice: track joint classes, minimize joint expected cost",
+    );
+    let ops = cfg.pick(30_000, 120_000);
+
+    // The coupled profile where marginal reasoning fails.
+    let coupled = OperationProfile::new(
+        2,
+        vec![
+            (Operation::read(ObjectSet::from_objects(&[0, 1])), 5.0),
+            (Operation::write(ObjectSet::singleton(0)), 4.0),
+            (Operation::write(ObjectSet::singleton(1)), 4.0),
+        ],
+    );
+    // A decoupled profile (no joint classes) where the two must agree.
+    let decoupled = OperationProfile::two_objects(8.0, 1.0, 0.0, 1.0, 8.0, 0.0);
+
+    let mut table = Table::new(
+        "per-operation connection cost (simulated)",
+        &[
+            "profile",
+            "per-object windows",
+            "joint windowed",
+            "optimal static",
+            "per-obj alloc",
+            "joint alloc",
+        ],
+    );
+    let c = compare(&coupled, ops, 0xE14);
+    table.row(vec![
+        "coupled: r{x,y}:5 w{x}:4 w{y}:4".to_owned(),
+        fmt(c.per_object_cost),
+        fmt(c.joint_cost),
+        fmt(c.optimal_cost),
+        c.per_object_alloc.0.to_string(),
+        c.joint_alloc.0.to_string(),
+    ]);
+    let d = compare(&decoupled, ops, 0xE14 + 1);
+    table.row(vec![
+        "decoupled: x read-heavy, y write-heavy".to_owned(),
+        fmt(d.per_object_cost),
+        fmt(d.joint_cost),
+        fmt(d.optimal_cost),
+        d.per_object_alloc.0.to_string(),
+        d.joint_alloc.0.to_string(),
+    ]);
+    table.note("analytic costs on the coupled profile: marginal rule 8/13 ≈ 0.615, joint optimum 5/13 ≈ 0.385");
+    exp.push_table(table);
+
+    // The per-object windows keep fluctuating (each object's read fraction
+    // is 5/9), so judge them by cost, not by the snapshot allocation.
+    exp.verdict(
+        "coupled profile: the marginal rule pays ≈ 8/13 (it mostly holds the wrong full allocation)",
+        (c.per_object_cost - 8.0 / 13.0).abs() < 0.05,
+    );
+    exp.verdict(
+        "coupled profile: the joint allocator finds the empty optimum and pays ≈ 5/13",
+        c.joint_alloc == Allocation::EMPTY && (c.joint_cost - 5.0 / 13.0).abs() < 0.02,
+    );
+    exp.verdict(
+        "joint optimization saves ≥ 35% over per-object windows on the coupled profile",
+        c.joint_cost < 0.65 * c.per_object_cost,
+    );
+    exp.verdict(
+        "decoupled profile: both methods converge to the same (optimal) allocation",
+        d.per_object_alloc == d.joint_alloc && (d.joint_cost - d.optimal_cost).abs() < 0.02,
+    );
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_reproduces_all_claims() {
+        let exp = run(RunCfg { fast: true });
+        assert!(exp.all_reproduced(), "{}", exp.render());
+    }
+}

@@ -1,0 +1,178 @@
+//! E4 — **Figure 1**: superiority coverage in the message model (§6,
+//! Theorem 6, Theorem 9).
+//!
+//! Paints the (θ, ω) unit square with the best-expected-cost algorithm
+//! among ST1 / ST2 / SW1, prints the two boundary curves
+//! `θ = (1+ω)/(1+2ω)` and `θ = 2ω/(1+2ω)`, verifies the analytic regions
+//! against direct cost comparison on a dense grid and against the
+//! simulator on spot points, and checks Theorem 9 (no SWk with k > 1 is
+//! ever strictly best).
+
+use crate::table::{fmt, Experiment, Table};
+use crate::RunCfg;
+use mdr_analysis::dominance::{
+    message_winner, message_winner_by_cost, st1_sw1_boundary, st2_sw1_boundary, Winner,
+};
+use mdr_analysis::{expected_cost, message};
+use mdr_core::{CostModel, PolicySpec};
+use mdr_sim::{estimate_expected_cost, EstimatorConfig};
+
+fn glyph(w: Winner) -> char {
+    match w {
+        Winner::St1 => '1',
+        Winner::St2 => '2',
+        Winner::Sw1 => 'S',
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: RunCfg) -> Experiment {
+    let mut exp = Experiment::new(
+        "E4",
+        "Figure 1 — dominance regions in the message model",
+        "§6.1–§6.3, Theorems 5, 6, 8, 9; Figure 1",
+    );
+
+    // --- The map itself (θ rows descending, ω columns ascending) ---
+    let mut map = Table::new(
+        "Figure 1 map: best algorithm per (θ, ω); 1 = ST1, 2 = ST2, S = SW1",
+        &["θ \\ ω", "map (ω = 0.05 … 0.95)"],
+    );
+    let cols = 19usize;
+    for row in (0..19).rev() {
+        let theta = (row as f64 + 0.5) / 19.0;
+        let line: String = (0..cols)
+            .map(|c| {
+                let omega = (c as f64 + 0.5) / 19.0;
+                glyph(message_winner(theta, omega))
+            })
+            .collect();
+        map.row(vec![format!("{theta:.3}"), line]);
+    }
+    map.note("paper's Figure 1: ST1 above θ=(1+ω)/(1+2ω), ST2 below θ=2ω/(1+2ω), SW1 between");
+    exp.push_table(map);
+
+    // --- Boundary curves ---
+    let mut bounds = Table::new(
+        "region boundaries (Theorem 6)",
+        &[
+            "ω",
+            "θ = (1+ω)/(1+2ω) [ST1/SW1]",
+            "θ = 2ω/(1+2ω) [ST2/SW1]",
+            "SW1 band width",
+        ],
+    );
+    for i in 0..=10 {
+        let omega = i as f64 / 10.0;
+        let hi = st1_sw1_boundary(omega);
+        let lo = st2_sw1_boundary(omega);
+        bounds.row(vec![fmt(omega), fmt(hi), fmt(lo), fmt(hi - lo)]);
+    }
+    exp.push_table(bounds);
+
+    // --- Dense analytic agreement + Theorem 9 ---
+    let mut agree = true;
+    let mut theorem9 = true;
+    let n = cfg.pick(40, 120);
+    for i in 0..n {
+        for j in 0..n {
+            let theta = (i as f64 + 0.5) / n as f64;
+            let omega = (j as f64 + 0.5) / n as f64;
+            if message_winner(theta, omega) != message_winner_by_cost(theta, omega) {
+                agree = false;
+            }
+        }
+    }
+    for &k in &[3usize, 9, 21] {
+        for i in 1..20 {
+            let theta = i as f64 / 20.0;
+            for &omega in &[0.15, 0.45, 0.85] {
+                let swk = message::exp_swk(k, theta, omega);
+                if swk < message::optimal_exp(theta, omega) - 1e-10 {
+                    theorem9 = false;
+                }
+            }
+        }
+    }
+
+    // --- Simulator spot checks: one point per region ---
+    let estimator = EstimatorConfig {
+        requests_per_run: cfg.pick(5_000, 20_000),
+        replications: cfg.pick(4, 8),
+        seed: 0xE4,
+    };
+    let spots = [(0.9, 0.4), (0.6, 0.4), (0.2, 0.4), (0.85, 0.7), (0.3, 0.1)];
+    let mut spot_table = Table::new(
+        "simulator spot checks: measured winner per region point",
+        &[
+            "θ",
+            "ω",
+            "analytic winner",
+            "sim EXP ST1",
+            "sim EXP ST2",
+            "sim EXP SW1",
+            "sim winner agrees",
+        ],
+    );
+    let mut spots_ok = true;
+    for &(theta, omega) in &spots {
+        let model = CostModel::message(omega);
+        let costs: Vec<(Winner, f64)> = [
+            (Winner::St1, PolicySpec::St1),
+            (Winner::St2, PolicySpec::St2),
+            (Winner::Sw1, PolicySpec::SlidingWindow { k: 1 }),
+        ]
+        .iter()
+        .map(|&(w, p)| (w, estimate_expected_cost(p, model, theta, estimator).mean))
+        .collect();
+        let sim_winner = costs
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(w, _)| w)
+            .expect("three candidates");
+        let analytic = message_winner(theta, omega);
+        // Near boundaries the sampled winner may flip; accept either side
+        // when the analytic gap is within simulation noise.
+        let analytic_cost = expected_cost(analytic.spec(), model, theta);
+        let sim_cost_of_analytic = costs.iter().find(|(w, _)| *w == analytic).unwrap().1;
+        let agrees = sim_winner == analytic || (sim_cost_of_analytic - analytic_cost).abs() < 0.02;
+        spots_ok &= agrees;
+        spot_table.row(vec![
+            fmt(theta),
+            fmt(omega),
+            format!("{analytic:?}"),
+            fmt(costs[0].1),
+            fmt(costs[1].1),
+            fmt(costs[2].1),
+            agrees.to_string(),
+        ]);
+    }
+    exp.push_table(spot_table);
+
+    exp.verdict(
+        &format!("Theorem 6 regions match direct cost comparison on a {n}×{n} grid"),
+        agree,
+    );
+    exp.verdict(
+        "Theorem 9: no SWk (k > 1) beats the ST1/ST2/SW1 envelope",
+        theorem9,
+    );
+    exp.verdict(
+        "Figure 1 regions confirmed by the distributed simulator at spot points",
+        spots_ok,
+    );
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_reproduces_all_claims() {
+        let exp = run(RunCfg { fast: true });
+        assert!(exp.all_reproduced(), "{}", exp.render());
+        // The map has 19 θ rows.
+        assert_eq!(exp.tables[0].rows.len(), 19);
+    }
+}

@@ -1,0 +1,142 @@
+//! E8 — The competitive-ized static methods T1m / T2m (§7.1, §9).
+//!
+//! Reproduces: the expected-cost formula
+//! `EXP_T1m = (1−θ) + (1−θ)^m(2θ−1)` against the distributed simulator;
+//! the claim that T1m has a (slightly) lower expected cost than SWm for
+//! every θ > 0.5; the (m+1)-competitiveness of both T policies; and the §9
+//! worked number (m = 15, θ = 0.75 ⇒ within 4% of the optimum).
+
+use crate::table::{fmt, pct, Experiment, Table};
+use crate::RunCfg;
+use mdr_adversary::{cycle_ratio, generators, verify_factor};
+use mdr_analysis::connection;
+use mdr_core::{CostModel, PolicySpec, Schedule};
+use mdr_sim::{estimate_expected_cost, EstimatorConfig};
+
+/// Runs the experiment.
+pub fn run(cfg: RunCfg) -> Experiment {
+    let mut exp = Experiment::new(
+        "E8",
+        "T1m / T2m — competitive statics",
+        "§7.1 (formula, (m+1)-competitiveness), §9 (m = 15, θ = 0.75 within 4%)",
+    );
+    let model = CostModel::Connection;
+    let estimator = EstimatorConfig {
+        requests_per_run: cfg.pick(5_000, 25_000),
+        replications: cfg.pick(4, 8),
+        seed: 0xE8,
+    };
+
+    // --- expected cost: formula vs simulation vs SWm ---
+    let m = 5usize;
+    let mut table = Table::new(
+        format!("EXP at m = {m}: paper formula vs simulation, compared with SW{m} and ST1"),
+        &[
+            "θ",
+            "T1m (formula)",
+            "T1m (sim)",
+            "SWm (formula)",
+            "ST1",
+            "T1m < SWm",
+        ],
+    );
+    let mut max_gap = 0.0f64;
+    let mut beats_swm = true;
+    for &theta in &[0.55, 0.6, 0.7, 0.8, 0.9] {
+        let spec = PolicySpec::T1 { m };
+        let analytic = connection::exp_t1(m, theta);
+        let sim = estimate_expected_cost(spec, model, theta, estimator);
+        let swm = connection::exp_swk(m, theta);
+        max_gap = max_gap.max((sim.mean - analytic).abs());
+        beats_swm &= analytic < swm;
+        table.row(vec![
+            fmt(theta),
+            fmt(analytic),
+            fmt(sim.mean),
+            fmt(swm),
+            fmt(connection::exp_st1(theta)),
+            (analytic < swm).to_string(),
+        ]);
+    }
+    exp.push_table(table);
+
+    // --- competitiveness ---
+    let cycles = cfg.pick(150, 400);
+    let search_len = cfg.pick(11, 13);
+    let mut comp = Table::new(
+        "T policies vs OPT: claimed m + 1 against measured",
+        &["policy", "claimed", "cycle ratio", "exhaustive bound holds"],
+    );
+    let mut tight = true;
+    let mut bounded = true;
+    for m in [2usize, 4, 8] {
+        for (spec, cycle) in [
+            (PolicySpec::T1 { m }, generators::t1_adversarial(m, 1)),
+            (PolicySpec::T2 { m }, generators::t2_adversarial(m, 1)),
+        ] {
+            let claimed = (m + 1) as f64;
+            let measured = cycle_ratio(spec, &Schedule::new(), &cycle, cycles, model)
+                .ratio
+                .expect("OPT pays on this cycle");
+            let holds = verify_factor(spec, model, claimed, claimed, search_len).is_ok();
+            tight &= measured > claimed - 0.1;
+            bounded &= holds;
+            comp.row(vec![
+                spec.name(),
+                fmt(claimed),
+                fmt(measured),
+                holds.to_string(),
+            ]);
+        }
+    }
+    exp.push_table(comp);
+
+    // --- the §9 worked number ---
+    let worked = connection::exp_t1(15, 0.75) / connection::optimal_exp(0.75);
+    let mut worked_table = Table::new(
+        "§9 worked example: T1(15) at θ = 0.75",
+        &["EXP_T1(15)(0.75)", "optimum min(θ,1−θ)", "excess"],
+    );
+    worked_table.row(vec![
+        fmt(connection::exp_t1(15, 0.75)),
+        fmt(connection::optimal_exp(0.75)),
+        pct(worked - 1.0),
+    ]);
+    worked_table.note(
+        "paper: \"for m=15 and θ=0.75 the expected cost … will come within 4% of the optimum\"",
+    );
+    exp.push_table(worked_table);
+
+    exp.verdict(
+        "§7.1 T1m expected-cost formula matches simulation (gap < 0.02)",
+        max_gap < 0.02,
+    );
+    exp.verdict(
+        "§7.1: T1m has lower expected cost than SWm for θ > 0.5",
+        beats_swm,
+    );
+    exp.verdict("§7.1: T1m and T2m cycle ratios approach m + 1", tight);
+    exp.verdict(
+        "(m+1) upper bound holds exhaustively for both T policies",
+        bounded,
+    );
+    exp.verdict(
+        &format!(
+            "§9: T1(15) at θ = 0.75 within 4% of optimum (measured {})",
+            pct(worked - 1.0)
+        ),
+        worked < 1.04,
+    );
+    exp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_reproduces_all_claims() {
+        let exp = run(RunCfg { fast: true });
+        assert!(exp.all_reproduced(), "{}", exp.render());
+    }
+}

@@ -1,0 +1,209 @@
+//! Plain-text/JSON result tables for the experiment reports.
+
+use std::fmt::Write as _;
+
+/// One result table of an experiment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (each row must have `columns.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (e.g. pass/fail verdicts).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given caption and headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} does not match {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "  {}", rule.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+}
+
+/// A complete experiment: one paper artifact reproduced.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Experiment {
+    /// Short id, e.g. `"E4"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Which part of the paper this reproduces.
+    pub paper_ref: String,
+    /// The result tables.
+    pub tables: Vec<Table>,
+    /// Overall verdicts ("claim X: REPRODUCED …").
+    pub verdicts: Vec<String>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment record.
+    pub fn new(id: &str, title: &str, paper_ref: &str) -> Self {
+        Experiment {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            paper_ref: paper_ref.to_owned(),
+            tables: Vec::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Adds a table.
+    pub fn push_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Records a verdict for a paper claim. `ok` renders as REPRODUCED /
+    /// DEVIATION.
+    pub fn verdict(&mut self, claim: &str, ok: bool) {
+        self.verdicts.push(format!(
+            "[{}] {claim}",
+            if ok { "REPRODUCED" } else { "DEVIATION" }
+        ));
+    }
+
+    /// Whether every verdict is a reproduction.
+    pub fn all_reproduced(&self) -> bool {
+        self.verdicts.iter().all(|v| v.starts_with("[REPRODUCED]"))
+    }
+
+    /// Renders the whole experiment as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", "=".repeat(72));
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let _ = writeln!(out, "reproduces: {}", self.paper_ref);
+        let _ = writeln!(out, "{}", "=".repeat(72));
+        for t in &self.tables {
+            let _ = writeln!(out, "{}", t.render());
+        }
+        for v in &self.verdicts {
+            let _ = writeln!(out, "{v}");
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 significant decimals, trimming noise.
+pub fn fmt(x: f64) -> String {
+    if x.is_infinite() {
+        return "∞".to_owned();
+    }
+    format!("{x:.4}")
+}
+
+/// Formats an optional value, rendering `None` as `—`.
+pub fn fmt_opt(x: Option<f64>) -> String {
+    x.map(fmt).unwrap_or_else(|| "—".to_owned())
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bcd"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        t.note("note line");
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("* note line"));
+        // Alignment: headers and rows padded to the same width.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn experiment_verdicts() {
+        let mut e = Experiment::new("E0", "test", "§0");
+        e.verdict("claim", true);
+        assert!(e.all_reproduced());
+        e.verdict("other claim", false);
+        assert!(!e.all_reproduced());
+        let r = e.render();
+        assert!(r.contains("[REPRODUCED] claim"));
+        assert!(r.contains("[DEVIATION] other claim"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(0.25), "0.2500");
+        assert_eq!(fmt(f64::INFINITY), "∞");
+        assert_eq!(fmt_opt(None), "—");
+        assert_eq!(pct(0.061), "6.10%");
+    }
+}

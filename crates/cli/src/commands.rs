@@ -1,0 +1,468 @@
+//! The `mdr` subcommands. Each returns its report as a `String` so the
+//! logic is unit-testable without capturing stdout.
+
+use crate::parse::{parse_model, parse_policy, Args, CliError};
+use mdr_adversary::{cycle_ratio, exhaustive_search, generators, measure};
+use mdr_analysis::dominance::{connection_winner, message_winner, Winner};
+use mdr_analysis::window_choice::{min_beneficial_k, recommend_k};
+use mdr_analysis::{average_expected_cost, competitive_factor, expected_cost};
+use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
+use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, Simulation};
+use std::fmt::Write as _;
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// `mdr analyze --policy SW9 --model message:0.4 [--theta 0.3]`
+pub fn analyze(args: &Args) -> Result<String, CliError> {
+    let spec = parse_policy(args.required("policy")?)?;
+    let model = parse_model(args.get_or("model", "connection"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "policy: {spec}   model: {model}");
+    if let Some(theta) = args.flags.get("theta") {
+        let theta: f64 = theta
+            .parse()
+            .map_err(|_| CliError(format!("invalid θ {theta:?}")))?;
+        if !(0.0..=1.0).contains(&theta) {
+            return err("θ must lie in [0, 1]");
+        }
+        let _ = writeln!(
+            out,
+            "expected cost per request at θ = {theta}: {:.6}",
+            expected_cost(spec, model, theta)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "average expected cost (θ uniform): {:.6}",
+        average_expected_cost(spec, model)
+    );
+    match competitive_factor(spec, model) {
+        Some(c) => {
+            let _ = writeln!(out, "competitiveness: {c:.4}-competitive");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "competitiveness: NOT competitive (worst case unbounded)"
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `mdr recommend --omega 0.4 [--theta 0.3] [--slack 0.10]`
+pub fn recommend(args: &Args) -> Result<String, CliError> {
+    let omega: f64 = args.number("omega", -1.0)?;
+    let mut out = String::new();
+    match args.flags.get("theta") {
+        Some(theta) => {
+            let theta: f64 = theta
+                .parse()
+                .map_err(|_| CliError(format!("invalid θ {theta:?}")))?;
+            // Fixed, known θ: the dominance maps.
+            if omega >= 0.0 {
+                let w = message_winner(theta, omega);
+                let _ = writeln!(
+                    out,
+                    "message model (ω = {omega}), θ = {theta} fixed: run {} \
+                     (Figure 1 region; EXP = {:.4})",
+                    name(w),
+                    expected_cost(w.spec(), CostModel::message(omega), theta)
+                );
+            }
+            let w = connection_winner(theta);
+            let _ = writeln!(
+                out,
+                "connection model, θ = {theta} fixed: run {} (EXP = {:.4})",
+                name(w),
+                expected_cost(w.spec(), CostModel::Connection, theta)
+            );
+        }
+        None => {
+            // Drifting θ: the §9 guidance.
+            let slack: f64 = args.number("slack", 0.10)?;
+            let rec = recommend_k(slack);
+            let _ = writeln!(
+                out,
+                "connection model, θ drifting: run SW{} \
+                 (AVG within {:.1}% of the optimum, {}-competitive)",
+                rec.k,
+                rec.avg_excess * 100.0,
+                rec.competitive_factor
+            );
+            if omega >= 0.0 {
+                match min_beneficial_k(omega) {
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "message model (ω = {omega}), θ drifting: run SW1 \
+                             (ω ≤ 0.4: best AVG of all windows, Corollary 3)"
+                        );
+                    }
+                    Some(k0) => {
+                        let _ = writeln!(
+                            out,
+                            "message model (ω = {omega}), θ drifting: run SWk with k ≥ {k0} \
+                             (Corollary 4 threshold)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `mdr simulate --policy SW9 --theta 0.3 [--requests 50000] [--seed 42]
+/// [--omega 0.3] [--latency 0.01]`
+pub fn simulate(args: &Args) -> Result<String, CliError> {
+    let spec = parse_policy(args.required("policy")?)?;
+    let theta: f64 = args.number("theta", 0.5)?;
+    if !(0.0..=1.0).contains(&theta) {
+        return err("θ must lie in [0, 1]");
+    }
+    let requests: usize = args.number("requests", 50_000)?;
+    let seed: u64 = args.number("seed", 42)?;
+    let latency: f64 = args.number("latency", 0.01)?;
+    let omega: f64 = args.number("omega", 0.5)?;
+    let mut sim = Simulation::new(SimConfig::new(spec).with_latency(latency));
+    let mut workload = PoissonWorkload::from_theta(1.0, theta, seed);
+    let report = sim.run(&mut workload, RunLimit::Requests(requests));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "policy {spec} on {requests} Poisson requests (θ = {theta}, seed {seed})"
+    );
+    let _ = writeln!(
+        out,
+        "  connections: {}   data messages: {}   control messages: {}",
+        report.connections, report.data_messages, report.control_messages
+    );
+    let _ = writeln!(
+        out,
+        "  cost/request: {:.4} (connection model), {:.4} (message model, ω = {omega})",
+        report.cost_per_request(CostModel::Connection),
+        report.cost_per_request(CostModel::message(omega)),
+    );
+    let _ = writeln!(
+        out,
+        "  replica: {} allocations, {} deallocations; mean read latency {:.4}; {} queued",
+        report.allocations, report.deallocations, report.mean_read_latency, report.queued_requests
+    );
+    let _ = writeln!(
+        out,
+        "  theory: EXP = {:.4} (connection), {:.4} (message ω = {omega})",
+        expected_cost(spec, CostModel::Connection, theta),
+        expected_cost(spec, CostModel::message(omega), theta),
+    );
+    Ok(out)
+}
+
+/// `mdr worst-case --policy SW5 --model message:0.5 [--max-len 13]
+/// [--cycles 300]`
+pub fn worst_case(args: &Args) -> Result<String, CliError> {
+    let spec = parse_policy(args.required("policy")?)?;
+    let model = parse_model(args.get_or("model", "connection"))?;
+    let max_len: usize = args.number("max-len", 13)?;
+    if !(1..=20).contains(&max_len) {
+        return err("--max-len must lie in 1..=20");
+    }
+    let cycles: usize = args.number("cycles", 300)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "policy: {spec}   model: {model}");
+    match competitive_factor(spec, model) {
+        Some(claimed) => {
+            let _ = writeln!(out, "claimed factor: {claimed:.4}");
+            let schedule = generators::adversarial_for(spec, cycles);
+            let warmup = Schedule::new();
+            let r = cycle_ratio(spec, &warmup, &schedule, 1, model);
+            let _ = writeln!(
+                out,
+                "ratio on the adversarial schedule ({} requests): {}",
+                schedule.len(),
+                r.ratio
+                    .map(|x| format!("{x:.4}"))
+                    .unwrap_or_else(|| "∞".into())
+            );
+        }
+        None => {
+            let schedule = generators::adversarial_for(spec, 1_000);
+            let r = measure(spec, &schedule, model);
+            let _ = writeln!(
+                out,
+                "NOT competitive: on {} the policy pays {:.1} while OPT pays {:.1}",
+                if matches!(spec, PolicySpec::St1) {
+                    "r^1000"
+                } else {
+                    "w^1000"
+                },
+                r.policy_cost,
+                r.opt_cost
+            );
+        }
+    }
+    let search = exhaustive_search(spec, model, max_len);
+    let _ = writeln!(
+        out,
+        "exhaustive worst over all {} schedules (length ≤ {max_len}): ratio {} on {}",
+        search.examined,
+        search
+            .worst
+            .ratio
+            .map(|x| format!("{x:.4}"))
+            .unwrap_or_else(|| "∞".into()),
+        search.worst_schedule
+    );
+    Ok(out)
+}
+
+/// `mdr trace --schedule rrwwr --policy SW3 [--model connection]`
+pub fn trace(args: &Args) -> Result<String, CliError> {
+    let spec = parse_policy(args.required("policy")?)?;
+    let model = parse_model(args.get_or("model", "connection"))?;
+    let schedule: Schedule = args
+        .required("schedule")?
+        .parse()
+        .map_err(|e| CliError(format!("bad schedule: {e}")))?;
+    let mut policy = spec.build();
+    let steps = trace_policy(policy.as_mut(), &schedule, model);
+    let mut out = String::new();
+    let _ = writeln!(out, "{spec} on {schedule} under {model}:");
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>3}  {:<28} {:>8}  copy",
+        "#", "req", "action", "cost"
+    );
+    let mut total = 0.0;
+    for s in &steps {
+        total += s.cost;
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>3}  {:<28} {:>8.3}  {}",
+            s.index,
+            s.request.to_string(),
+            s.action.to_string(),
+            s.cost,
+            if s.copy_after { "yes" } else { "no" }
+        );
+    }
+    let _ = writeln!(out, "total cost: {total:.3}");
+    Ok(out)
+}
+
+/// `mdr multi --profile profile.json` — the JSON is a map from class names
+/// like `"r{0,1}"` / `"w{2}"` to rates.
+pub fn multi(args: &Args) -> Result<String, CliError> {
+    let path = args.required("profile")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+    let raw: std::collections::BTreeMap<String, f64> =
+        serde_json::from_str(&text).map_err(|e| CliError(format!("invalid JSON profile: {e}")))?;
+    let mut entries = Vec::new();
+    let mut n_objects = 0usize;
+    for (class, rate) in &raw {
+        let (kind, objs) = parse_class(class)?;
+        n_objects = n_objects.max(objs.iter().copied().max().map_or(0, |m| m + 1));
+        let set = mdr_multi::ObjectSet::from_objects(&objs);
+        let op = match kind {
+            'r' => mdr_multi::Operation::read(set),
+            _ => mdr_multi::Operation::write(set),
+        };
+        entries.push((op, *rate));
+    }
+    if n_objects == 0 {
+        return err("profile names no objects");
+    }
+    let profile = mdr_multi::OperationProfile::new(n_objects, entries);
+    let (best, cost) = profile.optimal_allocation();
+    let mut out = String::new();
+    let _ = writeln!(out, "objects: {n_objects}   classes: {}", raw.len());
+    let _ = writeln!(out, "optimal static allocation: replicate {}", best.0);
+    let _ = writeln!(out, "expected cost per operation: {cost:.6}");
+    let _ = writeln!(
+        out,
+        "for comparison: replicate nothing {:.6}, replicate all {:.6}",
+        profile.expected_cost(mdr_multi::Allocation::EMPTY),
+        profile.expected_cost(mdr_multi::Allocation::full(n_objects)),
+    );
+    Ok(out)
+}
+
+fn parse_class(s: &str) -> Result<(char, Vec<usize>), CliError> {
+    let mut chars = s.chars();
+    let kind = chars.next().unwrap_or(' ');
+    if kind != 'r' && kind != 'w' {
+        return err(format!("class {s:?} must start with 'r' or 'w'"));
+    }
+    let rest: String = chars.collect();
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| CliError(format!("class {s:?} must look like r{{0,1}}")))?;
+    let objs = inner
+        .split(',')
+        .map(|x| {
+            x.trim()
+                .parse::<usize>()
+                .map_err(|_| CliError(format!("bad object index {x:?} in {s:?}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((kind, objs))
+}
+
+fn name(w: Winner) -> &'static str {
+    match w {
+        Winner::St1 => "ST1",
+        Winner::St2 => "ST2",
+        Winner::Sw1 => "SW1",
+    }
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "analyze" => analyze(args),
+        "recommend" => recommend(args),
+        "simulate" => simulate(args),
+        "worst-case" => worst_case(args),
+        "trace" => trace(args),
+        "multi" => multi(args),
+        other => err(format!("unknown subcommand {other:?}; see `mdr help`")),
+    }
+}
+
+/// The help text.
+pub fn help() -> String {
+    "mdr — data replication for mobile computers (SIGMOD 1994)
+
+subcommands:
+  analyze    --policy <P> [--model M] [--theta T]      closed-form costs & competitiveness
+  recommend  [--theta T] [--omega W] [--slack S]       which policy to run (Figure 1 / §9)
+  simulate   --policy <P> [--theta T] [--requests N] [--seed S] [--omega W] [--latency L]
+  worst-case --policy <P> [--model M] [--max-len L] [--cycles C]
+  trace      --policy <P> --schedule rrwwr [--model M] per-request execution trace
+  multi      --profile profile.json                    §7.2 optimal multi-object allocation
+
+policies: ST1, ST2, SW<k> (odd k), T1:<m>, T2:<m>
+models:   connection | message:<omega>   (ω ∈ [0,1])
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&Args::parse(&v).unwrap())
+    }
+
+    #[test]
+    fn analyze_reports_formulas() {
+        let out = run(&["analyze", "--policy", "SW9", "--theta", "0.3"]).unwrap();
+        assert!(out.contains("expected cost"));
+        assert!(out.contains("10.0000-competitive"));
+        let out = run(&["analyze", "--policy", "ST1"]).unwrap();
+        assert!(out.contains("NOT competitive"));
+    }
+
+    #[test]
+    fn recommend_fixed_theta_uses_figure_1() {
+        let out = run(&["recommend", "--theta", "0.6", "--omega", "0.4"]).unwrap();
+        assert!(out.contains("run SW1"), "{out}");
+        let out = run(&["recommend", "--theta", "0.9", "--omega", "0.4"]).unwrap();
+        assert!(out.contains("run ST1"), "{out}");
+    }
+
+    #[test]
+    fn recommend_drifting_uses_section_9() {
+        let out = run(&["recommend", "--slack", "0.10"]).unwrap();
+        assert!(out.contains("SW9"), "{out}");
+        let out = run(&["recommend", "--omega", "0.8"]).unwrap();
+        assert!(out.contains("k ≥ 7"), "{out}");
+        let out = run(&["recommend", "--omega", "0.3"]).unwrap();
+        assert!(out.contains("run SW1"), "{out}");
+    }
+
+    #[test]
+    fn simulate_runs_and_reports() {
+        let out = run(&[
+            "simulate",
+            "--policy",
+            "SW3",
+            "--theta",
+            "0.4",
+            "--requests",
+            "2000",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("cost/request"));
+        assert!(out.contains("theory"));
+    }
+
+    #[test]
+    fn worst_case_reports_ratios() {
+        let out = run(&[
+            "worst-case",
+            "--policy",
+            "SW3",
+            "--max-len",
+            "10",
+            "--cycles",
+            "50",
+        ])
+        .unwrap();
+        assert!(out.contains("claimed factor: 4.0000"), "{out}");
+        assert!(out.contains("exhaustive worst"));
+        let out = run(&["worst-case", "--policy", "ST2", "--max-len", "8"]).unwrap();
+        assert!(out.contains("NOT competitive"), "{out}");
+    }
+
+    #[test]
+    fn trace_prints_steps() {
+        let out = run(&["trace", "--policy", "SW3", "--schedule", "rrw"]).unwrap();
+        assert!(out.contains("remote-read+allocate"), "{out}");
+        assert!(out.contains("total cost"));
+    }
+
+    #[test]
+    fn multi_reads_json_profile() {
+        let dir = std::env::temp_dir().join("mdr-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.json");
+        std::fs::write(
+            &path,
+            r#"{"r{0}": 8.0, "w{0}": 1.0, "r{1}": 1.0, "w{1}": 8.0, "r{0,1}": 1.0}"#,
+        )
+        .unwrap();
+        let out = run(&["multi", "--profile", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("optimal static allocation"), "{out}");
+        assert!(
+            out.contains("{0}"),
+            "replicate the read-heavy object: {out}"
+        );
+    }
+
+    #[test]
+    fn bad_inputs_give_friendly_errors() {
+        assert!(run(&["bogus"]).is_err());
+        assert!(run(&["analyze"]).is_err(), "missing --policy");
+        assert!(run(&["analyze", "--policy", "SW4"]).is_err(), "even k");
+        assert!(run(&["trace", "--policy", "SW3", "--schedule", "rxw"]).is_err());
+        assert!(run(&["worst-case", "--policy", "SW3", "--max-len", "25"]).is_err());
+    }
+
+    #[test]
+    fn class_parser() {
+        assert_eq!(parse_class("r{0,2}").unwrap(), ('r', vec![0, 2]));
+        assert_eq!(parse_class("w{1}").unwrap(), ('w', vec![1]));
+        assert!(parse_class("x{0}").is_err());
+        assert!(parse_class("r0").is_err());
+        assert!(parse_class("r{a}").is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Argument parsing for the `mdr` CLI: policy specs, cost models, and the
+//! flag grammar. Hand-rolled (the surface is tiny) and fully unit-tested.
+
+use mdr_core::{CostModel, PolicySpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A CLI error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parses a policy name: `ST1`, `ST2`, `SW<k>`, `T1:<m>`, `T2:<m>`
+/// (case-insensitive).
+pub fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
+    let up = s.to_ascii_uppercase();
+    if up == "ST1" {
+        return Ok(PolicySpec::St1);
+    }
+    if up == "ST2" {
+        return Ok(PolicySpec::St2);
+    }
+    if let Some(k) = up.strip_prefix("SW") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| CliError(format!("invalid window size in {s:?}")))?;
+        if k == 0 || k % 2 == 0 {
+            return err(format!("window size must be odd and positive, got {k}"));
+        }
+        return Ok(PolicySpec::SlidingWindow { k });
+    }
+    for (prefix, build) in [
+        ("T1:", PolicySpec::T1 { m: 0 }),
+        ("T2:", PolicySpec::T2 { m: 0 }),
+        ("T1(", PolicySpec::T1 { m: 0 }),
+        ("T2(", PolicySpec::T2 { m: 0 }),
+    ] {
+        if let Some(rest) = up.strip_prefix(prefix) {
+            let digits = rest.trim_end_matches(')');
+            let m: usize = digits
+                .parse()
+                .map_err(|_| CliError(format!("invalid threshold in {s:?}")))?;
+            if m == 0 {
+                return err("threshold m must be at least 1");
+            }
+            return Ok(match build {
+                PolicySpec::T1 { .. } => PolicySpec::T1 { m },
+                _ => PolicySpec::T2 { m },
+            });
+        }
+    }
+    err(format!(
+        "unknown policy {s:?}; expected ST1, ST2, SW<k>, T1:<m> or T2:<m>"
+    ))
+}
+
+/// Parses a cost model: `connection` or `message:<omega>` (e.g.
+/// `message:0.4`); `message` alone defaults to ω = 0.5.
+pub fn parse_model(s: &str) -> Result<CostModel, CliError> {
+    let low = s.to_ascii_lowercase();
+    if low == "connection" || low == "conn" {
+        return Ok(CostModel::Connection);
+    }
+    if low == "message" || low == "msg" {
+        return Ok(CostModel::message(0.5));
+    }
+    if let Some(omega) = low
+        .strip_prefix("message:")
+        .or_else(|| low.strip_prefix("msg:"))
+    {
+        let omega: f64 = omega
+            .parse()
+            .map_err(|_| CliError(format!("invalid ω in {s:?}")))?;
+        if !(0.0..=1.0).contains(&omega) {
+            return err(format!("ω must lie in [0, 1], got {omega}"));
+        }
+        return Ok(CostModel::message(omega));
+    }
+    err(format!(
+        "unknown cost model {s:?}; expected 'connection' or 'message:<omega>'"
+    ))
+}
+
+/// A parsed flag set: `--key value` pairs plus the subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` flags in order-independent form.
+    pub flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let Some((command, rest)) = argv.split_first() else {
+            return err("missing subcommand");
+        };
+        if command.starts_with("--") {
+            return err(format!("expected a subcommand before {command:?}"));
+        }
+        let mut flags = BTreeMap::new();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = &rest[i];
+            let Some(name) = key.strip_prefix("--") else {
+                return err(format!("expected a --flag, got {key:?}"));
+            };
+            let Some(value) = rest.get(i + 1) else {
+                return err(format!("flag --{name} needs a value"));
+            };
+            if flags.insert(name.to_owned(), value.clone()).is_some() {
+                return err(format!("duplicate flag --{name}"));
+            }
+            i += 2;
+        }
+        Ok(Args {
+            command: command.clone(),
+            flags,
+        })
+    }
+
+    /// A required flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))
+    }
+
+    /// An optional flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed optional numeric flag.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value {v:?} for --{name}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_parse() {
+        assert_eq!(parse_policy("st1").unwrap(), PolicySpec::St1);
+        assert_eq!(parse_policy("ST2").unwrap(), PolicySpec::St2);
+        assert_eq!(
+            parse_policy("sw9").unwrap(),
+            PolicySpec::SlidingWindow { k: 9 }
+        );
+        assert_eq!(parse_policy("T1:5").unwrap(), PolicySpec::T1 { m: 5 });
+        assert_eq!(parse_policy("t2(3)").unwrap(), PolicySpec::T2 { m: 3 });
+    }
+
+    #[test]
+    fn bad_policies_rejected() {
+        assert!(parse_policy("SW4").is_err(), "even window");
+        assert!(parse_policy("SW0").is_err());
+        assert!(parse_policy("T1:0").is_err());
+        assert!(parse_policy("LRU").is_err());
+        assert!(parse_policy("SWx").is_err());
+    }
+
+    #[test]
+    fn models_parse() {
+        assert_eq!(parse_model("connection").unwrap(), CostModel::Connection);
+        assert_eq!(parse_model("message:0.4").unwrap(), CostModel::message(0.4));
+        assert_eq!(parse_model("msg:1").unwrap(), CostModel::message(1.0));
+        assert_eq!(parse_model("message").unwrap(), CostModel::message(0.5));
+    }
+
+    #[test]
+    fn bad_models_rejected() {
+        assert!(parse_model("message:1.5").is_err());
+        assert!(parse_model("message:x").is_err());
+        assert!(parse_model("minutes").is_err());
+    }
+
+    #[test]
+    fn args_parse() {
+        let argv: Vec<String> = ["simulate", "--policy", "SW9", "--theta", "0.3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        assert_eq!(args.command, "simulate");
+        assert_eq!(args.required("policy").unwrap(), "SW9");
+        assert_eq!(args.number::<f64>("theta", 0.5).unwrap(), 0.3);
+        assert_eq!(args.number::<u64>("seed", 7).unwrap(), 7);
+        assert_eq!(args.get_or("model", "connection"), "connection");
+    }
+
+    #[test]
+    fn args_errors() {
+        let to_vec = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(Args::parse(&to_vec(&[])).is_err());
+        assert!(Args::parse(&to_vec(&["--policy", "x"])).is_err());
+        assert!(Args::parse(&to_vec(&["run", "--policy"])).is_err());
+        assert!(Args::parse(&to_vec(&["run", "stray"])).is_err());
+        assert!(Args::parse(&to_vec(&["run", "--a", "1", "--a", "2"])).is_err());
+        let args = Args::parse(&to_vec(&["run", "--n", "abc"])).unwrap();
+        assert!(args.number::<u64>("n", 0).is_err());
+        assert!(args.required("missing").is_err());
+    }
+}

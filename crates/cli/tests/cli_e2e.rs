@@ -1,0 +1,100 @@
+//! End-to-end tests of the `mdr` binary itself (spawned as a process).
+
+use std::process::Command;
+
+fn mdr(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mdr"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_every_subcommand() {
+    let (stdout, _, ok) = mdr(&["help"]);
+    assert!(ok);
+    for cmd in [
+        "analyze",
+        "recommend",
+        "simulate",
+        "worst-case",
+        "trace",
+        "multi",
+    ] {
+        assert!(stdout.contains(cmd), "help should mention {cmd}:\n{stdout}");
+    }
+}
+
+#[test]
+fn no_args_prints_help() {
+    let (stdout, _, ok) = mdr(&[]);
+    assert!(ok);
+    assert!(stdout.contains("subcommands"));
+}
+
+#[test]
+fn analyze_pipeline_via_process() {
+    let (stdout, _, ok) = mdr(&[
+        "analyze",
+        "--policy",
+        "SW9",
+        "--model",
+        "message:0.4",
+        "--theta",
+        "0.3",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("expected cost per request"));
+    assert!(stdout.contains("-competitive"));
+}
+
+#[test]
+fn simulate_via_process() {
+    let (stdout, _, ok) = mdr(&[
+        "simulate",
+        "--policy",
+        "SW3",
+        "--theta",
+        "0.4",
+        "--requests",
+        "3000",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("cost/request"));
+}
+
+#[test]
+fn trace_via_process() {
+    let (stdout, _, ok) = mdr(&["trace", "--policy", "SW1", "--schedule", "rw"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("delete-request-write"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_guidance() {
+    let (_, stderr, ok) = mdr(&["analyze", "--policy", "LFU"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+    assert!(stderr.contains("mdr help"));
+
+    let (_, stderr, ok) = mdr(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+}
+
+#[test]
+fn recommend_matches_the_paper_guidance_via_process() {
+    let (stdout, _, ok) = mdr(&["recommend", "--omega", "0.45"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("k ≥ 39"),
+        "Corollary 4 quoted point:\n{stdout}"
+    );
+}

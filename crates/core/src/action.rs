@@ -1,0 +1,335 @@
+//! Communication actions taken by an allocation policy in response to a
+//! request.
+//!
+//! The paper prices the *communication* a policy performs, and the price of
+//! the same logical operation differs between the connection model (§5) and
+//! the message model (§6). Separating *what happened on the wire* (this
+//! module) from *what it costs* ([`crate::cost`]) lets one policy
+//! implementation serve both models, and makes SW1's delete-request
+//! optimization (§4, end) a first-class, inspectable event.
+
+use std::fmt;
+
+/// What a policy did on the wireless link to serve one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Action {
+    /// A read served from the mobile computer's local replica. No
+    /// communication.
+    LocalRead,
+    /// A read forwarded to the stationary computer: one control message
+    /// (the request) plus one data message (the response).
+    ///
+    /// If `allocates` is true, the response additionally carries the
+    /// save-the-copy indication and the current request window (§4). The
+    /// paper treats this piggyback as free in both cost models.
+    RemoteRead {
+        /// Whether the response established a replica at the MC.
+        allocates: bool,
+    },
+    /// A write at the stationary computer while the MC holds no replica.
+    /// Nothing is sent; the write is applied at the SC only.
+    SilentWrite,
+    /// A write propagated to the MC's replica: one data message.
+    ///
+    /// If `deallocates` is true the MC responded with a delete-request
+    /// control message, dropping its replica (total `1 + ω` in the message
+    /// model, one connection in the connection model).
+    PropagatedWrite {
+        /// Whether the MC dropped its replica in response.
+        deallocates: bool,
+    },
+    /// SW1's optimized write (§4): the MC holds a replica but the window
+    /// consists of this single write, so instead of propagating the data the
+    /// SC sends only a delete-request control message.
+    DeleteRequestWrite,
+}
+
+impl Action {
+    /// Whether this action serves a read request.
+    #[inline]
+    pub const fn is_read_action(self) -> bool {
+        matches!(self, Action::LocalRead | Action::RemoteRead { .. })
+    }
+
+    /// Whether this action serves a write request.
+    #[inline]
+    pub const fn is_write_action(self) -> bool {
+        !self.is_read_action()
+    }
+
+    /// Whether this action established a replica at the MC.
+    #[inline]
+    pub const fn allocates(self) -> bool {
+        matches!(self, Action::RemoteRead { allocates: true })
+    }
+
+    /// Whether this action removed the replica from the MC.
+    #[inline]
+    pub const fn deallocates(self) -> bool {
+        matches!(
+            self,
+            Action::PropagatedWrite { deallocates: true } | Action::DeleteRequestWrite
+        )
+    }
+
+    /// Number of *data messages* this action puts on the wireless link
+    /// (message model accounting, §3).
+    #[inline]
+    pub const fn data_messages(self) -> u64 {
+        match self {
+            Action::LocalRead | Action::SilentWrite | Action::DeleteRequestWrite => 0,
+            Action::RemoteRead { .. } | Action::PropagatedWrite { .. } => 1,
+        }
+    }
+
+    /// Number of *control messages* this action puts on the wireless link
+    /// (message model accounting, §3): read-requests, delete-requests.
+    #[inline]
+    pub const fn control_messages(self) -> u64 {
+        match self {
+            Action::LocalRead | Action::SilentWrite => 0,
+            Action::RemoteRead { .. } => 1, // the read-request
+            Action::PropagatedWrite { deallocates } => {
+                if deallocates {
+                    1 // the delete-request sent back by the MC
+                } else {
+                    0
+                }
+            }
+            Action::DeleteRequestWrite => 1,
+        }
+    }
+
+    /// Number of cellular connections this action requires (connection model
+    /// accounting, §3: request+response execute within one minimum-length
+    /// connection; a propagated write is one connection).
+    #[inline]
+    pub const fn connections(self) -> u64 {
+        match self {
+            Action::LocalRead | Action::SilentWrite => 0,
+            Action::RemoteRead { .. }
+            | Action::PropagatedWrite { .. }
+            | Action::DeleteRequestWrite => 1,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::LocalRead => write!(f, "local-read"),
+            Action::RemoteRead { allocates: false } => write!(f, "remote-read"),
+            Action::RemoteRead { allocates: true } => write!(f, "remote-read+allocate"),
+            Action::SilentWrite => write!(f, "silent-write"),
+            Action::PropagatedWrite { deallocates: false } => write!(f, "propagated-write"),
+            Action::PropagatedWrite { deallocates: true } => {
+                write!(f, "propagated-write+deallocate")
+            }
+            Action::DeleteRequestWrite => write!(f, "delete-request-write"),
+        }
+    }
+}
+
+/// Tallies of the actions observed over a run; the raw material for both
+/// cost models' accounting and for the experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ActionCounts {
+    /// Reads served locally at the MC.
+    pub local_reads: u64,
+    /// Reads forwarded to the SC (without allocation).
+    pub remote_reads: u64,
+    /// Reads forwarded to the SC whose response allocated a replica.
+    pub allocating_reads: u64,
+    /// Writes applied only at the SC.
+    pub silent_writes: u64,
+    /// Writes propagated to the MC (replica kept).
+    pub propagated_writes: u64,
+    /// Writes propagated to the MC after which the MC deallocated.
+    pub deallocating_writes: u64,
+    /// SW1-style delete-request writes.
+    pub delete_request_writes: u64,
+}
+
+impl ActionCounts {
+    /// Records one action.
+    pub fn record(&mut self, action: Action) {
+        match action {
+            Action::LocalRead => self.local_reads += 1,
+            Action::RemoteRead { allocates: false } => self.remote_reads += 1,
+            Action::RemoteRead { allocates: true } => self.allocating_reads += 1,
+            Action::SilentWrite => self.silent_writes += 1,
+            Action::PropagatedWrite { deallocates: false } => self.propagated_writes += 1,
+            Action::PropagatedWrite { deallocates: true } => self.deallocating_writes += 1,
+            Action::DeleteRequestWrite => self.delete_request_writes += 1,
+        }
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Total read requests recorded.
+    pub fn reads(&self) -> u64 {
+        self.local_reads + self.remote_reads + self.allocating_reads
+    }
+
+    /// Total write requests recorded.
+    pub fn writes(&self) -> u64 {
+        self.silent_writes
+            + self.propagated_writes
+            + self.deallocating_writes
+            + self.delete_request_writes
+    }
+
+    /// Replica allocations performed.
+    pub fn allocations(&self) -> u64 {
+        self.allocating_reads
+    }
+
+    /// Replica deallocations performed.
+    pub fn deallocations(&self) -> u64 {
+        self.deallocating_writes + self.delete_request_writes
+    }
+
+    /// Total data messages (message model).
+    pub fn data_messages(&self) -> u64 {
+        self.remote_reads
+            + self.allocating_reads
+            + self.propagated_writes
+            + self.deallocating_writes
+    }
+
+    /// Total control messages (message model).
+    pub fn control_messages(&self) -> u64 {
+        self.remote_reads
+            + self.allocating_reads
+            + self.deallocating_writes
+            + self.delete_request_writes
+    }
+
+    /// Total cellular connections (connection model).
+    pub fn connections(&self) -> u64 {
+        self.remote_reads
+            + self.allocating_reads
+            + self.propagated_writes
+            + self.deallocating_writes
+            + self.delete_request_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_ACTIONS: [Action; 7] = [
+        Action::LocalRead,
+        Action::RemoteRead { allocates: false },
+        Action::RemoteRead { allocates: true },
+        Action::SilentWrite,
+        Action::PropagatedWrite { deallocates: false },
+        Action::PropagatedWrite { deallocates: true },
+        Action::DeleteRequestWrite,
+    ];
+
+    #[test]
+    fn read_write_partition() {
+        for a in ALL_ACTIONS {
+            assert_ne!(a.is_read_action(), a.is_write_action(), "{a}");
+        }
+    }
+
+    #[test]
+    fn free_actions_send_nothing() {
+        for a in [Action::LocalRead, Action::SilentWrite] {
+            assert_eq!(a.data_messages(), 0);
+            assert_eq!(a.control_messages(), 0);
+            assert_eq!(a.connections(), 0);
+        }
+    }
+
+    #[test]
+    fn remote_read_sends_request_and_response() {
+        for allocates in [false, true] {
+            let a = Action::RemoteRead { allocates };
+            assert_eq!(a.data_messages(), 1);
+            assert_eq!(a.control_messages(), 1);
+            assert_eq!(a.connections(), 1);
+        }
+    }
+
+    #[test]
+    fn deallocating_write_adds_a_control_message() {
+        assert_eq!(
+            Action::PropagatedWrite { deallocates: false }.control_messages(),
+            0
+        );
+        assert_eq!(
+            Action::PropagatedWrite { deallocates: true }.control_messages(),
+            1
+        );
+        // …but still exactly one connection in the connection model.
+        assert_eq!(
+            Action::PropagatedWrite { deallocates: true }.connections(),
+            1
+        );
+    }
+
+    #[test]
+    fn delete_request_write_is_control_only() {
+        let a = Action::DeleteRequestWrite;
+        assert_eq!(a.data_messages(), 0);
+        assert_eq!(a.control_messages(), 1);
+        assert_eq!(a.connections(), 1);
+        assert!(a.deallocates());
+    }
+
+    #[test]
+    fn allocation_deallocation_flags() {
+        assert!(Action::RemoteRead { allocates: true }.allocates());
+        assert!(!Action::RemoteRead { allocates: false }.allocates());
+        assert!(Action::PropagatedWrite { deallocates: true }.deallocates());
+        assert!(!Action::PropagatedWrite { deallocates: false }.deallocates());
+    }
+
+    #[test]
+    fn counts_record_and_aggregate() {
+        let mut c = ActionCounts::default();
+        for a in ALL_ACTIONS {
+            c.record(a);
+        }
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.reads(), 3);
+        assert_eq!(c.writes(), 4);
+        assert_eq!(c.allocations(), 1);
+        assert_eq!(c.deallocations(), 2);
+        // Aggregates must agree with the per-action definitions.
+        assert_eq!(
+            c.data_messages(),
+            ALL_ACTIONS.iter().map(|a| a.data_messages()).sum::<u64>()
+        );
+        assert_eq!(
+            c.control_messages(),
+            ALL_ACTIONS
+                .iter()
+                .map(|a| a.control_messages())
+                .sum::<u64>()
+        );
+        assert_eq!(
+            c.connections(),
+            ALL_ACTIONS.iter().map(|a| a.connections()).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(
+            Action::RemoteRead { allocates: true }.to_string(),
+            "remote-read+allocate"
+        );
+        assert_eq!(
+            Action::DeleteRequestWrite.to_string(),
+            "delete-request-write"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The two cost models of the paper (§3): connection-based and
+//! message-based pricing of [`Action`]s.
+
+use crate::action::Action;
+use std::fmt;
+
+/// How communication is charged.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CostModel {
+    /// Connection (time) based, as in cellular telephony (§3): every remote
+    /// interaction — a remote read (request + response), a propagated write,
+    /// or a delete-request — executes within one minimum-length connection
+    /// and costs 1. Local operations cost 0.
+    Connection,
+    /// Message based, as in packet radio networks (§3): a *data message*
+    /// costs 1 and a *control message* costs `omega` (written ω in the
+    /// paper), with `0 ≤ ω ≤ 1` because a control message is never longer
+    /// than a data message.
+    Message {
+        /// Ratio of control-message cost to data-message cost.
+        omega: f64,
+    },
+}
+
+impl CostModel {
+    /// Convenience constructor for the message model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ omega ≤ 1` (the paper's standing assumption).
+    pub fn message(omega: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&omega),
+            "control/data cost ratio ω must lie in [0, 1], got {omega}"
+        );
+        CostModel::Message { omega }
+    }
+
+    /// The control/data cost ratio: `ω` for the message model. In the
+    /// connection model every chargeable interaction costs one connection,
+    /// i.e. control interactions cost the same as data interactions, so the
+    /// effective ratio is 1.
+    pub fn omega(&self) -> f64 {
+        match self {
+            CostModel::Connection => 1.0,
+            CostModel::Message { omega } => *omega,
+        }
+    }
+
+    /// The price of one action under this model.
+    ///
+    /// Connection model (§3): 1 connection per remote interaction.
+    /// Message model (§3): data messages cost 1, control messages cost ω;
+    /// a remote read costs `1 + ω`, a propagated write 1, a propagated write
+    /// with deallocation `1 + ω`, SW1's delete-request write `ω`.
+    pub fn price(&self, action: Action) -> f64 {
+        match self {
+            CostModel::Connection => action.connections() as f64,
+            CostModel::Message { omega } => {
+                action.data_messages() as f64 + *omega * action.control_messages() as f64
+            }
+        }
+    }
+
+    /// Prices a whole sequence of actions.
+    pub fn price_all<I: IntoIterator<Item = Action>>(&self, actions: I) -> f64 {
+        actions.into_iter().map(|a| self.price(a)).sum()
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModel::Connection => write!(f, "connection"),
+            CostModel::Message { omega } => write!(f, "message(ω={omega})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_prices_match_section_3() {
+        let m = CostModel::Connection;
+        assert_eq!(m.price(Action::LocalRead), 0.0);
+        assert_eq!(m.price(Action::SilentWrite), 0.0);
+        assert_eq!(m.price(Action::RemoteRead { allocates: false }), 1.0);
+        assert_eq!(m.price(Action::RemoteRead { allocates: true }), 1.0);
+        assert_eq!(m.price(Action::PropagatedWrite { deallocates: false }), 1.0);
+        // Deallocation piggybacks within the same connection.
+        assert_eq!(m.price(Action::PropagatedWrite { deallocates: true }), 1.0);
+        assert_eq!(m.price(Action::DeleteRequestWrite), 1.0);
+    }
+
+    #[test]
+    fn message_prices_match_section_3() {
+        let omega = 0.25;
+        let m = CostModel::message(omega);
+        assert_eq!(m.price(Action::LocalRead), 0.0);
+        assert_eq!(m.price(Action::SilentWrite), 0.0);
+        // Remote read: control request + data response = 1 + ω.
+        assert_eq!(
+            m.price(Action::RemoteRead { allocates: false }),
+            1.0 + omega
+        );
+        // Allocation piggybacks for free.
+        assert_eq!(m.price(Action::RemoteRead { allocates: true }), 1.0 + omega);
+        assert_eq!(m.price(Action::PropagatedWrite { deallocates: false }), 1.0);
+        // "if the MC deallocates its copy in response then the cost is 1 + ω".
+        assert_eq!(
+            m.price(Action::PropagatedWrite { deallocates: true }),
+            1.0 + omega
+        );
+        // "Then the cost of the write is ω" (SW1).
+        assert_eq!(m.price(Action::DeleteRequestWrite), omega);
+    }
+
+    #[test]
+    fn omega_bounds_are_enforced() {
+        assert!(std::panic::catch_unwind(|| CostModel::message(1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| CostModel::message(-0.1)).is_err());
+        let _ = CostModel::message(0.0);
+        let _ = CostModel::message(1.0);
+    }
+
+    #[test]
+    fn omega_accessor() {
+        assert_eq!(CostModel::Connection.omega(), 1.0);
+        assert_eq!(CostModel::message(0.3).omega(), 0.3);
+    }
+
+    #[test]
+    fn message_model_with_omega_one_prices_like_counting_messages() {
+        // At ω = 1 a control message costs as much as a data message, so the
+        // price is simply the number of messages.
+        let m = CostModel::message(1.0);
+        assert_eq!(m.price(Action::RemoteRead { allocates: false }), 2.0);
+        assert_eq!(m.price(Action::PropagatedWrite { deallocates: true }), 2.0);
+        assert_eq!(m.price(Action::DeleteRequestWrite), 1.0);
+    }
+
+    #[test]
+    fn price_all_sums() {
+        let m = CostModel::message(0.5);
+        let total = m.price_all([
+            Action::RemoteRead { allocates: true },        // 1.5
+            Action::LocalRead,                             // 0
+            Action::PropagatedWrite { deallocates: true }, // 1.5
+            Action::DeleteRequestWrite,                    // 0.5
+        ]);
+        assert_eq!(total, 3.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CostModel::Connection.to_string(), "connection");
+        assert_eq!(CostModel::message(0.4).to_string(), "message(ω=0.4)");
+    }
+}

@@ -1,0 +1,159 @@
+//! Online data-allocation policies.
+//!
+//! A policy decides, request by request, whether the mobile computer holds a
+//! replica of the data item, and reports the communication [`Action`] each
+//! request caused. All the algorithms analyzed in the paper are implemented
+//! here:
+//!
+//! * [`St1`], [`St2`] — the static one-copy / two-copies methods (§2, §5.1);
+//! * [`SlidingWindow`] — the SWk family (§4), including the optimized SW1;
+//! * [`T1`], [`T2`] — the competitive-ized static methods T1m / T2m (§7.1).
+
+mod adaptive;
+mod sliding;
+mod static_alloc;
+mod tstatic;
+
+pub use adaptive::AdaptivePolicy;
+pub use sliding::SlidingWindow;
+pub use static_alloc::{St1, St2};
+pub use tstatic::{T1, T2};
+
+use crate::action::Action;
+use crate::request::Request;
+use std::fmt;
+
+/// An online replica-allocation policy for a single data item and a single
+/// mobile computer.
+///
+/// Implementations are deterministic state machines: given the same request
+/// sequence they produce the same actions, which is what makes the
+/// worst-case (competitive) analysis well-defined.
+pub trait AllocationPolicy {
+    /// A short human-readable name, e.g. `"SW5"` or `"T1(3)"`.
+    fn name(&self) -> String;
+
+    /// Whether the mobile computer currently holds a replica.
+    fn has_copy(&self) -> bool;
+
+    /// Serves one request, updating the allocation state and returning the
+    /// communication action it caused.
+    fn on_request(&mut self, req: Request) -> Action;
+
+    /// Returns the policy to its initial state.
+    fn reset(&mut self);
+}
+
+/// A value-level description of a policy — serializable, hashable, and
+/// convertible into a boxed policy instance. This is what experiment
+/// configurations and reports refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicySpec {
+    /// Static one-copy (`ST1`).
+    St1,
+    /// Static two-copies (`ST2`).
+    St2,
+    /// Sliding window with window size `k` (odd). `k = 1` is the optimized
+    /// SW1 of §4.
+    SlidingWindow {
+        /// Window size (odd).
+        k: usize,
+    },
+    /// `T1m`: one-copy until `m` consecutive reads, two-copies until the
+    /// next write (§7.1).
+    T1 {
+        /// Consecutive-read threshold.
+        m: usize,
+    },
+    /// `T2m`: two-copies until `m` consecutive writes, one-copy until the
+    /// next read (§7.1).
+    T2 {
+        /// Consecutive-write threshold.
+        m: usize,
+    },
+}
+
+impl PolicySpec {
+    /// Instantiates the described policy in its initial state.
+    pub fn build(&self) -> Box<dyn AllocationPolicy> {
+        match *self {
+            PolicySpec::St1 => Box::new(St1::new()),
+            PolicySpec::St2 => Box::new(St2::new()),
+            PolicySpec::SlidingWindow { k } => Box::new(SlidingWindow::new(k)),
+            PolicySpec::T1 { m } => Box::new(T1::new(m)),
+            PolicySpec::T2 { m } => Box::new(T2::new(m)),
+        }
+    }
+
+    /// The policy's display name (matches
+    /// [`AllocationPolicy::name`] of the built instance).
+    pub fn name(&self) -> String {
+        self.build().name()
+    }
+
+    /// All the policies compared throughout the paper's experiments for a
+    /// given list of window sizes and T-thresholds.
+    pub fn roster(window_sizes: &[usize], thresholds: &[usize]) -> Vec<PolicySpec> {
+        let mut v = vec![PolicySpec::St1, PolicySpec::St2];
+        v.extend(
+            window_sizes
+                .iter()
+                .map(|&k| PolicySpec::SlidingWindow { k }),
+        );
+        v.extend(thresholds.iter().map(|&m| PolicySpec::T1 { m }));
+        v.extend(thresholds.iter().map(|&m| PolicySpec::T2 { m }));
+        v
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_named_policies() {
+        assert_eq!(PolicySpec::St1.name(), "ST1");
+        assert_eq!(PolicySpec::St2.name(), "ST2");
+        assert_eq!(PolicySpec::SlidingWindow { k: 1 }.name(), "SW1");
+        assert_eq!(PolicySpec::SlidingWindow { k: 7 }.name(), "SW7");
+        assert_eq!(PolicySpec::T1 { m: 3 }.name(), "T1(3)");
+        assert_eq!(PolicySpec::T2 { m: 5 }.name(), "T2(5)");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let spec = PolicySpec::SlidingWindow { k: 9 };
+        assert_eq!(spec.to_string(), spec.name());
+    }
+
+    #[test]
+    fn roster_contains_all_families() {
+        let roster = PolicySpec::roster(&[1, 3], &[2]);
+        assert_eq!(
+            roster,
+            vec![
+                PolicySpec::St1,
+                PolicySpec::St2,
+                PolicySpec::SlidingWindow { k: 1 },
+                PolicySpec::SlidingWindow { k: 3 },
+                PolicySpec::T1 { m: 2 },
+                PolicySpec::T2 { m: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn built_policies_start_in_initial_state() {
+        assert!(!PolicySpec::St1.build().has_copy());
+        assert!(PolicySpec::St2.build().has_copy());
+        assert!(!PolicySpec::SlidingWindow { k: 3 }.build().has_copy());
+        assert!(!PolicySpec::T1 { m: 2 }.build().has_copy());
+        assert!(PolicySpec::T2 { m: 2 }.build().has_copy());
+    }
+}

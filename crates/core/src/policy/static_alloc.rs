@@ -1,0 +1,159 @@
+//! The static allocation methods ST1 and ST2 (§2, §5.1).
+//!
+//! ST1 keeps the item only at the stationary computer: every read is remote
+//! (cost 1 connection / `1 + ω`), every write is local at the SC (free).
+//! ST2 keeps a replica at the mobile computer at all times: every read is
+//! local (free), every write is propagated (cost 1 connection / 1 data
+//! message). Neither ever changes its allocation, which is exactly why
+//! neither is competitive (§5.3, §6.4).
+
+use crate::action::Action;
+use crate::policy::AllocationPolicy;
+use crate::request::Request;
+
+/// Static one-copy: the mobile computer never holds a replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct St1;
+
+impl St1 {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        St1
+    }
+}
+
+impl AllocationPolicy for St1 {
+    fn name(&self) -> String {
+        "ST1".to_owned()
+    }
+
+    fn has_copy(&self) -> bool {
+        false
+    }
+
+    fn on_request(&mut self, req: Request) -> Action {
+        match req {
+            Request::Read => Action::RemoteRead { allocates: false },
+            Request::Write => Action::SilentWrite,
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Static two-copies: the mobile computer always holds a replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct St2;
+
+impl St2 {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        St2
+    }
+}
+
+impl AllocationPolicy for St2 {
+    fn name(&self) -> String {
+        "ST2".to_owned()
+    }
+
+    fn has_copy(&self) -> bool {
+        true
+    }
+
+    fn on_request(&mut self, req: Request) -> Action {
+        match req {
+            Request::Read => Action::LocalRead,
+            Request::Write => Action::PropagatedWrite { deallocates: false },
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn st1_reads_are_remote_writes_are_free() {
+        let mut p = St1::new();
+        assert_eq!(
+            p.on_request(Request::Read),
+            Action::RemoteRead { allocates: false }
+        );
+        assert_eq!(p.on_request(Request::Write), Action::SilentWrite);
+        assert!(!p.has_copy());
+    }
+
+    #[test]
+    fn st2_reads_are_local_writes_propagate() {
+        let mut p = St2::new();
+        assert_eq!(p.on_request(Request::Read), Action::LocalRead);
+        assert_eq!(
+            p.on_request(Request::Write),
+            Action::PropagatedWrite { deallocates: false }
+        );
+        assert!(p.has_copy());
+    }
+
+    #[test]
+    fn st1_connection_cost_equals_read_count() {
+        // §5.1: "For the ST1 algorithm, a write request costs 0, and a read
+        // request costs 1 connection."
+        let s: Schedule = "rrwrwwr".parse().unwrap();
+        let mut p = St1::new();
+        let cost: f64 = s
+            .iter()
+            .map(|r| CostModel::Connection.price(p.on_request(r)))
+            .sum();
+        assert_eq!(cost, s.reads() as f64);
+    }
+
+    #[test]
+    fn st2_connection_cost_equals_write_count() {
+        let s: Schedule = "rrwrwwr".parse().unwrap();
+        let mut p = St2::new();
+        let cost: f64 = s
+            .iter()
+            .map(|r| CostModel::Connection.price(p.on_request(r)))
+            .sum();
+        assert_eq!(cost, s.writes() as f64);
+    }
+
+    #[test]
+    fn st1_message_cost_is_reads_times_one_plus_omega() {
+        // §6.1: every ST1 read costs (1 + ω), writes are free.
+        let omega = 0.3;
+        let s: Schedule = "rwrrw".parse().unwrap();
+        let mut p = St1::new();
+        let cost: f64 = s
+            .iter()
+            .map(|r| CostModel::message(omega).price(p.on_request(r)))
+            .sum();
+        assert!((cost - s.reads() as f64 * (1.0 + omega)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statics_never_change_allocation() {
+        let s = Schedule::alternating(Request::Read, 100);
+        let mut one = St1::new();
+        let mut two = St2::new();
+        for r in s.iter() {
+            one.on_request(r);
+            two.on_request(r);
+            assert!(!one.has_copy());
+            assert!(two.has_copy());
+        }
+    }
+
+    #[test]
+    fn reset_is_a_no_op_for_stateless_policies() {
+        let mut p = St1::new();
+        p.on_request(Request::Read);
+        p.reset();
+        assert!(!p.has_copy());
+    }
+}

@@ -1,0 +1,169 @@
+//! The *relevant request* model of the paper (§3).
+//!
+//! Only two kinds of request affect the allocation decision and its
+//! communication cost: **reads issued at the mobile computer (MC)** and
+//! **writes issued at the stationary computer (SC)**. Reads at the SC are
+//! always local (cost 0) and writes at the MC always cost one interaction
+//! regardless of the allocation scheme, so the paper — and this crate —
+//! ignores them.
+
+use std::fmt;
+
+/// A single *relevant* request on the data item.
+///
+/// `Read` is issued at the mobile computer; `Write` is issued at the
+/// stationary computer. The paper encodes these as the bits of the sliding
+/// window ("0 represents a read and 1 represents a write", §4); the same
+/// encoding is used by [`Request::as_bit`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Request {
+    /// A read of the data item, issued at the mobile computer.
+    Read,
+    /// A write of the data item, issued at the stationary computer.
+    Write,
+}
+
+impl Request {
+    /// Returns `true` if this request is a read.
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        matches!(self, Request::Read)
+    }
+
+    /// Returns `true` if this request is a write.
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, Request::Write)
+    }
+
+    /// The paper's bit encoding: `false` (0) for a read, `true` (1) for a
+    /// write.
+    #[inline]
+    pub const fn as_bit(self) -> bool {
+        matches!(self, Request::Write)
+    }
+
+    /// Inverse of [`Request::as_bit`].
+    #[inline]
+    pub const fn from_bit(bit: bool) -> Self {
+        if bit {
+            Request::Write
+        } else {
+            Request::Read
+        }
+    }
+
+    /// The request with the opposite kind.
+    #[inline]
+    pub const fn flipped(self) -> Self {
+        match self {
+            Request::Read => Request::Write,
+            Request::Write => Request::Read,
+        }
+    }
+
+    /// One-letter mnemonic used throughout the paper's examples
+    /// (`r` / `w`, as in the §3 schedule `w,r,r,r,w,r,w`).
+    #[inline]
+    pub const fn letter(self) -> char {
+        match self {
+            Request::Read => 'r',
+            Request::Write => 'w',
+        }
+    }
+
+    /// Parses a one-letter mnemonic (case-insensitive).
+    pub fn from_letter(c: char) -> Result<Self, ParseRequestError> {
+        match c {
+            'r' | 'R' => Ok(Request::Read),
+            'w' | 'W' => Ok(Request::Write),
+            other => Err(ParseRequestError { found: other }),
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Error returned when a character is not a valid request mnemonic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseRequestError {
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid request mnemonic {:?}: expected 'r' (read) or 'w' (write)",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseRequestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_encoding_matches_paper() {
+        // §4: "0 represents a read and 1 represents a write".
+        assert!(!Request::Read.as_bit());
+        assert!(Request::Write.as_bit());
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        for req in [Request::Read, Request::Write] {
+            assert_eq!(Request::from_bit(req.as_bit()), req);
+        }
+    }
+
+    #[test]
+    fn letter_roundtrip() {
+        for req in [Request::Read, Request::Write] {
+            assert_eq!(Request::from_letter(req.letter()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn letters_parse_case_insensitively() {
+        assert_eq!(Request::from_letter('R').unwrap(), Request::Read);
+        assert_eq!(Request::from_letter('W').unwrap(), Request::Write);
+    }
+
+    #[test]
+    fn invalid_letter_is_an_error() {
+        let err = Request::from_letter('x').unwrap_err();
+        assert_eq!(err.found, 'x');
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn flipped_is_an_involution() {
+        for req in [Request::Read, Request::Write] {
+            assert_eq!(req.flipped().flipped(), req);
+            assert_ne!(req.flipped(), req);
+        }
+    }
+
+    #[test]
+    fn predicates_are_exclusive() {
+        assert!(Request::Read.is_read() && !Request::Read.is_write());
+        assert!(Request::Write.is_write() && !Request::Write.is_read());
+    }
+
+    #[test]
+    fn display_uses_letters() {
+        assert_eq!(Request::Read.to_string(), "r");
+        assert_eq!(Request::Write.to_string(), "w");
+    }
+}

@@ -1,0 +1,178 @@
+//! Executing a policy over a schedule under a cost model.
+//!
+//! This is the reference ("oracle") execution path: a pure, in-process
+//! replay with exact cost accounting. The distributed simulator in
+//! `mdr-sim` must produce identical costs for the same schedule — that
+//! equivalence is one of the workspace's integration tests.
+
+use crate::action::{Action, ActionCounts};
+use crate::cost::CostModel;
+use crate::policy::{AllocationPolicy, PolicySpec};
+use crate::request::Request;
+use crate::schedule::Schedule;
+
+/// The result of running one policy over one schedule under one cost model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunOutcome {
+    /// Total communication cost of the schedule (COST(σ) in the paper).
+    pub total_cost: f64,
+    /// Per-action tallies.
+    pub counts: ActionCounts,
+    /// Whether the MC held a replica after the last request.
+    pub final_copy: bool,
+}
+
+impl RunOutcome {
+    /// Mean cost per request; 0 for an empty schedule.
+    pub fn cost_per_request(&self) -> f64 {
+        let n = self.counts.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_cost / n as f64
+        }
+    }
+}
+
+/// Runs `policy` (starting from its current state) over `schedule`, pricing
+/// each action under `model`.
+pub fn run_policy(
+    policy: &mut dyn AllocationPolicy,
+    schedule: &Schedule,
+    model: CostModel,
+) -> RunOutcome {
+    let mut total_cost = 0.0;
+    let mut counts = ActionCounts::default();
+    for req in schedule.iter() {
+        let action = policy.on_request(req);
+        debug_assert_eq!(
+            action.is_read_action(),
+            req.is_read(),
+            "policy answered a {req:?} with {action}"
+        );
+        total_cost += model.price(action);
+        counts.record(action);
+    }
+    RunOutcome {
+        total_cost,
+        counts,
+        final_copy: policy.has_copy(),
+    }
+}
+
+/// Builds the policy described by `spec` and runs it from its initial state.
+pub fn run_spec(spec: PolicySpec, schedule: &Schedule, model: CostModel) -> RunOutcome {
+    let mut policy = spec.build();
+    run_policy(policy.as_mut(), schedule, model)
+}
+
+/// One step of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceStep {
+    /// Position in the schedule (0-based).
+    pub index: usize,
+    /// The request served.
+    pub request: Request,
+    /// The action the policy took.
+    pub action: Action,
+    /// The priced cost of that action.
+    pub cost: f64,
+    /// Whether the MC holds a replica *after* this step.
+    pub copy_after: bool,
+}
+
+/// Like [`run_policy`] but retains the full step-by-step trace — used by the
+/// adversary tooling and for debugging/visualising executions.
+pub fn trace_policy(
+    policy: &mut dyn AllocationPolicy,
+    schedule: &Schedule,
+    model: CostModel,
+) -> Vec<TraceStep> {
+    schedule
+        .iter()
+        .enumerate()
+        .map(|(index, request)| {
+            let action = policy.on_request(request);
+            TraceStep {
+                index,
+                request,
+                action,
+                cost: model.price(action),
+                copy_after: policy.has_copy(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_spec_on_paper_example_schedule() {
+        // §3 example schedule w,r,r,r,w,r,w under ST1 in the connection
+        // model: each of the 4 reads costs one connection.
+        let s: Schedule = "w,r,r,r,w,r,w".parse().unwrap();
+        let out = run_spec(PolicySpec::St1, &s, CostModel::Connection);
+        assert_eq!(out.total_cost, 4.0);
+        assert_eq!(out.counts.total(), 7);
+        assert!(!out.final_copy);
+    }
+
+    #[test]
+    fn outcome_cost_per_request() {
+        let s: Schedule = "rrrr".parse().unwrap();
+        let out = run_spec(PolicySpec::St1, &s, CostModel::Connection);
+        assert_eq!(out.cost_per_request(), 1.0);
+        let empty = run_spec(PolicySpec::St1, &Schedule::new(), CostModel::Connection);
+        assert_eq!(empty.cost_per_request(), 0.0);
+    }
+
+    #[test]
+    fn trace_records_every_step() {
+        let s: Schedule = "rrw".parse().unwrap();
+        let mut p = PolicySpec::SlidingWindow { k: 3 }.build();
+        let trace = trace_policy(p.as_mut(), &s, CostModel::Connection);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].index, 0);
+        assert!(!trace[0].copy_after);
+        assert!(trace[1].copy_after, "second read allocates under SW3");
+        assert_eq!(trace[1].action, Action::RemoteRead { allocates: true });
+        let total: f64 = trace.iter().map(|t| t.cost).sum();
+        let mut p2 = PolicySpec::SlidingWindow { k: 3 }.build();
+        assert_eq!(
+            total,
+            run_policy(p2.as_mut(), &s, CostModel::Connection).total_cost
+        );
+    }
+
+    #[test]
+    fn run_continues_from_current_state() {
+        // Running two halves sequentially must equal running the whole.
+        let s: Schedule = "rrwwrrwwrr".parse().unwrap();
+        let (a, b) = (
+            s.prefix(5),
+            Schedule::from_requests(s.as_slice()[5..].to_vec()),
+        );
+        let mut p = PolicySpec::SlidingWindow { k: 3 }.build();
+        let c1 = run_policy(p.as_mut(), &a, CostModel::Connection).total_cost
+            + run_policy(p.as_mut(), &b, CostModel::Connection).total_cost;
+        let c2 = run_spec(
+            PolicySpec::SlidingWindow { k: 3 },
+            &s,
+            CostModel::Connection,
+        )
+        .total_cost;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn counts_partition_the_schedule() {
+        let s: Schedule = "rwrwwrrrwwwrr".parse().unwrap();
+        for spec in PolicySpec::roster(&[1, 3, 5], &[2, 4]) {
+            let out = run_spec(spec, &s, CostModel::message(0.5));
+            assert_eq!(out.counts.reads() as usize, s.reads(), "{spec}");
+            assert_eq!(out.counts.writes() as usize, s.writes(), "{spec}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The k-bit request window (§4).
+//!
+//! The paper specifies the window implementation precisely: "The window is
+//! tracked as a sequence of k bits (e.g. 0 represents a read and 1
+//! represents a write). At the receipt of any relevant request, the computer
+//! in charge drops the last bit in the sequence and adds a bit representing
+//! the current operation." This module implements exactly that — a
+//! fixed-capacity ring of bits with an incrementally maintained write count,
+//! O(1) per request and allocation-free after construction.
+//!
+//! The window is also the object handed between the MC and the SC when
+//! replica ownership migrates (piggybacked on the data response or the
+//! delete-request), so it supports cheap snapshot/restore.
+
+use crate::request::Request;
+use std::fmt;
+
+/// A sliding window over the last `k` relevant requests, `k` odd.
+///
+/// With `k` odd there is always a strict majority, and the paper's
+/// allocation rule reduces to: the MC should hold a replica **iff** reads
+/// form the majority of the window.
+///
+/// ```
+/// use mdr_core::{Request, RequestWindow};
+///
+/// let mut w = RequestWindow::filled(3, Request::Write);
+/// assert!(!w.majority_reads());
+/// w.push(Request::Read);
+/// w.push(Request::Read);
+/// assert!(w.majority_reads()); // window is now [w, r, r]
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RequestWindow {
+    /// Bit i of `bits[i / 64]` holds the request at logical position
+    /// `(head + i) % k`... — see `at()` for the mapping. `true` = write.
+    bits: Vec<u64>,
+    /// Window size (odd).
+    k: usize,
+    /// Index of the slot holding the *oldest* request.
+    head: usize,
+    /// Number of writes currently in the window.
+    writes: usize,
+}
+
+impl RequestWindow {
+    /// Creates a window of size `k` filled with `fill`.
+    ///
+    /// The paper does not prescribe the initial window; a window full of
+    /// writes models "no replica initially" (the natural cold start where
+    /// only the SC holds the item) and a window full of reads models "replica
+    /// initially present".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or even ("for ease of analysis we assume that
+    /// k, the window size, is odd", §4).
+    pub fn filled(k: usize, fill: Request) -> Self {
+        assert!(k >= 1, "window size k must be at least 1");
+        assert!(k % 2 == 1, "window size k must be odd (paper §4), got {k}");
+        let words = k.div_ceil(64);
+        let mut bits = vec![0u64; words];
+        if fill.is_write() {
+            for (i, word) in bits.iter_mut().enumerate() {
+                let remaining = k - (i * 64).min(k);
+                *word = if remaining >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << remaining) - 1
+                };
+            }
+        }
+        RequestWindow {
+            bits,
+            k,
+            head: 0,
+            writes: if fill.is_write() { k } else { 0 },
+        }
+    }
+
+    /// Builds a window from the last `k` requests, oldest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` is zero or even.
+    pub fn from_requests(requests: &[Request]) -> Self {
+        let mut w = RequestWindow::filled(requests.len(), Request::Read);
+        // Pushing each request in order leaves the slice contents in the
+        // window with the same oldest-first order.
+        for &r in requests {
+            w.push(r);
+        }
+        w
+    }
+
+    /// The window size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of writes currently in the window.
+    #[inline]
+    pub fn writes(&self) -> usize {
+        self.writes
+    }
+
+    /// Number of reads currently in the window.
+    #[inline]
+    pub fn reads(&self) -> usize {
+        self.k - self.writes
+    }
+
+    /// Whether reads form the strict majority — the paper's allocation
+    /// condition (always decisive because `k` is odd).
+    #[inline]
+    pub fn majority_reads(&self) -> bool {
+        self.reads() > self.writes
+    }
+
+    /// Raw bit accessor: physical slot `slot`.
+    #[inline]
+    fn bit(&self, slot: usize) -> bool {
+        (self.bits[slot / 64] >> (slot % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, slot: usize, value: bool) {
+        let mask = 1u64 << (slot % 64);
+        if value {
+            self.bits[slot / 64] |= mask;
+        } else {
+            self.bits[slot / 64] &= !mask;
+        }
+    }
+
+    /// The request at logical position `i` (0 = oldest, `k - 1` = newest).
+    pub fn at(&self, i: usize) -> Request {
+        assert!(i < self.k, "window index {i} out of range (k = {})", self.k);
+        let slot = (self.head + i) % self.k;
+        Request::from_bit(self.bit(slot))
+    }
+
+    /// The oldest request — the one that the next [`push`](Self::push) will
+    /// drop.
+    #[inline]
+    pub fn oldest(&self) -> Request {
+        Request::from_bit(self.bit(self.head))
+    }
+
+    /// The newest request.
+    pub fn newest(&self) -> Request {
+        self.at(self.k - 1)
+    }
+
+    /// Slides the window: drops the oldest request and appends `req`.
+    /// Returns the dropped request. O(1).
+    pub fn push(&mut self, req: Request) -> Request {
+        let dropped = Request::from_bit(self.bit(self.head));
+        self.set_bit(self.head, req.as_bit());
+        self.head = (self.head + 1) % self.k;
+        self.writes = self.writes - dropped.is_write() as usize + req.is_write() as usize;
+        dropped
+    }
+
+    /// The window contents, oldest first — the representation shipped
+    /// between MC and SC on ownership handoff (§4).
+    pub fn to_requests(&self) -> Vec<Request> {
+        (0..self.k).map(|i| self.at(i)).collect()
+    }
+}
+
+impl fmt::Display for RequestWindow {
+    /// Renders oldest→newest, e.g. `[wrr]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..self.k {
+            write!(f, "{}", self.at(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_with_reads() {
+        let w = RequestWindow::filled(5, Request::Read);
+        assert_eq!(w.k(), 5);
+        assert_eq!(w.reads(), 5);
+        assert_eq!(w.writes(), 0);
+        assert!(w.majority_reads());
+    }
+
+    #[test]
+    fn filled_with_writes() {
+        let w = RequestWindow::filled(5, Request::Write);
+        assert_eq!(w.writes(), 5);
+        assert!(!w.majority_reads());
+        assert_eq!(w.to_requests(), vec![Request::Write; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_k_is_rejected() {
+        let _ = RequestWindow::filled(4, Request::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_is_rejected() {
+        let _ = RequestWindow::filled(0, Request::Read);
+    }
+
+    #[test]
+    fn push_slides_and_returns_dropped() {
+        let mut w = RequestWindow::filled(3, Request::Read);
+        assert_eq!(w.push(Request::Write), Request::Read); // [r r w]
+        assert_eq!(w.push(Request::Write), Request::Read); // [r w w]
+        assert_eq!(w.writes(), 2);
+        assert!(!w.majority_reads());
+        assert_eq!(w.push(Request::Read), Request::Read); // [w w r]
+        assert_eq!(
+            w.to_requests(),
+            vec![Request::Write, Request::Write, Request::Read]
+        );
+        assert_eq!(w.push(Request::Read), Request::Write); // [w r r]
+        assert!(w.majority_reads());
+    }
+
+    #[test]
+    fn oldest_and_newest() {
+        let mut w = RequestWindow::filled(3, Request::Read);
+        w.push(Request::Write); // [r r w]
+        assert_eq!(w.oldest(), Request::Read);
+        assert_eq!(w.newest(), Request::Write);
+    }
+
+    #[test]
+    fn from_requests_preserves_order() {
+        let reqs = vec![Request::Write, Request::Read, Request::Write];
+        let w = RequestWindow::from_requests(&reqs);
+        assert_eq!(w.to_requests(), reqs);
+        assert_eq!(w.writes(), 2);
+    }
+
+    #[test]
+    fn display_renders_oldest_first() {
+        let w = RequestWindow::from_requests(&[Request::Write, Request::Read, Request::Read]);
+        assert_eq!(w.to_string(), "[wrr]");
+    }
+
+    #[test]
+    fn k_one_window() {
+        let mut w = RequestWindow::filled(1, Request::Write);
+        assert!(!w.majority_reads());
+        w.push(Request::Read);
+        assert!(w.majority_reads());
+        assert_eq!(w.push(Request::Write), Request::Read);
+        assert!(!w.majority_reads());
+    }
+
+    #[test]
+    fn large_window_spanning_multiple_words() {
+        // k = 129 needs three 64-bit words; exercise the word-boundary code.
+        let mut w = RequestWindow::filled(129, Request::Write);
+        assert_eq!(w.writes(), 129);
+        for _ in 0..65 {
+            w.push(Request::Read);
+        }
+        assert_eq!(w.reads(), 65);
+        assert_eq!(w.writes(), 64);
+        assert!(w.majority_reads());
+        // The newest 65 entries are reads, the oldest 64 still writes.
+        for i in 0..64 {
+            assert_eq!(w.at(i), Request::Write, "position {i}");
+        }
+        for i in 64..129 {
+            assert_eq!(w.at(i), Request::Read, "position {i}");
+        }
+    }
+
+    #[test]
+    fn write_count_always_matches_contents() {
+        let mut w = RequestWindow::filled(7, Request::Read);
+        let pattern = [
+            Request::Write,
+            Request::Write,
+            Request::Read,
+            Request::Write,
+            Request::Read,
+            Request::Read,
+            Request::Write,
+            Request::Write,
+            Request::Read,
+        ];
+        for &r in &pattern {
+            w.push(r);
+            let actual = w.to_requests().iter().filter(|x| x.is_write()).count();
+            assert_eq!(w.writes(), actual);
+        }
+    }
+}

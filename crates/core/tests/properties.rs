@@ -1,0 +1,220 @@
+//! Property-based tests of the core invariants.
+
+use mdr_core::{
+    run_spec, Action, AllocationPolicy, CostModel, PolicySpec, Request, RequestWindow, Schedule,
+    SlidingWindow,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary request.
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop::bool::ANY.prop_map(Request::from_bit)
+}
+
+/// Strategy: an arbitrary schedule up to `max_len` requests.
+fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(arb_request(), 0..=max_len).prop_map(Schedule::from_requests)
+}
+
+/// Strategy: an odd window size in `1..=31`.
+fn arb_odd_k() -> impl Strategy<Value = usize> {
+    (0usize..16).prop_map(|n| 2 * n + 1)
+}
+
+/// Strategy: every policy family with small parameters.
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::St1),
+        Just(PolicySpec::St2),
+        arb_odd_k().prop_map(|k| PolicySpec::SlidingWindow { k }),
+        (1usize..12).prop_map(|m| PolicySpec::T1 { m }),
+        (1usize..12).prop_map(|m| PolicySpec::T2 { m }),
+    ]
+}
+
+proptest! {
+    /// The SWk replica state is always exactly the window majority.
+    #[test]
+    fn swk_copy_iff_majority_reads(k in arb_odd_k(), s in arb_schedule(200)) {
+        let mut sw = SlidingWindow::new(k);
+        for r in s.iter() {
+            sw.on_request(r);
+            prop_assert_eq!(sw.has_copy(), sw.window().majority_reads());
+        }
+    }
+
+    /// Allocations happen only on reads; deallocations only on writes
+    /// (the §4 observation, for every policy family).
+    #[test]
+    fn transitions_have_the_right_parity(spec in arb_spec(), s in arb_schedule(200)) {
+        let mut p = spec.build();
+        for r in s.iter() {
+            let a = p.on_request(r);
+            if a.allocates() { prop_assert!(r.is_read()); }
+            if a.deallocates() { prop_assert!(r.is_write()); }
+        }
+    }
+
+    /// The action kind always matches the request kind.
+    #[test]
+    fn actions_match_request_kind(spec in arb_spec(), s in arb_schedule(150)) {
+        let mut p = spec.build();
+        for r in s.iter() {
+            let a = p.on_request(r);
+            prop_assert_eq!(a.is_read_action(), r.is_read());
+        }
+    }
+
+    /// `has_copy` flips exactly when an allocate/deallocate action occurs.
+    #[test]
+    fn copy_state_changes_only_with_transition_actions(spec in arb_spec(), s in arb_schedule(150)) {
+        let mut p = spec.build();
+        let mut prev = p.has_copy();
+        for r in s.iter() {
+            let a = p.on_request(r);
+            let now = p.has_copy();
+            match (prev, now) {
+                (false, true) => prop_assert!(a.allocates(), "{a}"),
+                (true, false) => prop_assert!(a.deallocates(), "{a}"),
+                _ => prop_assert!(!a.allocates() && !a.deallocates(), "{a}"),
+            }
+            prev = now;
+        }
+    }
+
+    /// Per-request connection cost is 0 or 1 — the premise of the paper's
+    /// footnote that all algorithms have the same traditional worst case.
+    #[test]
+    fn connection_cost_is_zero_or_one(spec in arb_spec(), s in arb_schedule(150)) {
+        let mut p = spec.build();
+        for r in s.iter() {
+            let c = CostModel::Connection.price(p.on_request(r));
+            prop_assert!(c == 0.0 || c == 1.0);
+        }
+    }
+
+    /// Per-request message cost is one of {0, ω, 1, 1 + ω}.
+    #[test]
+    fn message_cost_takes_only_legal_values(
+        spec in arb_spec(),
+        s in arb_schedule(150),
+        omega in 0.0f64..=1.0,
+    ) {
+        let mut p = spec.build();
+        let model = CostModel::message(omega);
+        for r in s.iter() {
+            let c = model.price(p.on_request(r));
+            let legal = [0.0, omega, 1.0, 1.0 + omega];
+            prop_assert!(legal.iter().any(|&l| (c - l).abs() < 1e-12), "cost {c}");
+        }
+    }
+
+    /// Reset really restores the initial state: a second run over the same
+    /// schedule reproduces the same total cost.
+    #[test]
+    fn reset_makes_runs_reproducible(spec in arb_spec(), s in arb_schedule(120)) {
+        let mut p = spec.build();
+        let model = CostModel::message(0.5);
+        let c1: f64 = s.iter().map(|r| model.price(p.on_request(r))).sum();
+        p.reset();
+        let c2: f64 = s.iter().map(|r| model.price(p.on_request(r))).sum();
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Cost is additive over schedule concatenation (policies are online:
+    /// the past only matters through the state).
+    #[test]
+    fn cost_is_additive_over_concatenation(
+        spec in arb_spec(),
+        a in arb_schedule(80),
+        b in arb_schedule(80),
+    ) {
+        let model = CostModel::message(0.25);
+        let whole = run_spec(spec, &a.concat(&b), model).total_cost;
+        let mut p = spec.build();
+        let part1: f64 = a.iter().map(|r| model.price(p.on_request(r))).sum();
+        let part2: f64 = b.iter().map(|r| model.price(p.on_request(r))).sum();
+        prop_assert!((whole - (part1 + part2)).abs() < 1e-9);
+    }
+
+    /// SW1 never sends a data message on a write; SWk (k > 1) never uses the
+    /// delete-request-only write.
+    #[test]
+    fn sw1_optimization_boundary(k in arb_odd_k(), s in arb_schedule(150)) {
+        let mut sw = SlidingWindow::new(k);
+        for r in s.iter() {
+            let a = sw.on_request(r);
+            let is_propagated = matches!(a, Action::PropagatedWrite { .. });
+            if k == 1 {
+                prop_assert!(!is_propagated);
+            } else {
+                prop_assert!(!matches!(a, Action::DeleteRequestWrite));
+            }
+        }
+    }
+
+    /// The window ring buffer behaves exactly like a naive VecDeque model.
+    #[test]
+    fn window_matches_reference_model(k in arb_odd_k(), s in arb_schedule(200)) {
+        let mut w = RequestWindow::filled(k, Request::Write);
+        let mut model: Vec<Request> = vec![Request::Write; k];
+        for r in s.iter() {
+            let dropped = w.push(r);
+            prop_assert_eq!(dropped, model[0]);
+            model.remove(0);
+            model.push(r);
+            prop_assert_eq!(w.to_requests(), model.clone());
+            prop_assert_eq!(w.writes(), model.iter().filter(|x| x.is_write()).count());
+        }
+    }
+
+    /// Schedule textual round-trip.
+    #[test]
+    fn schedule_roundtrip(s in arb_schedule(300)) {
+        let parsed: Schedule = s.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+
+    /// ST1's total message cost is exactly reads · (1 + ω) and ST2's is
+    /// exactly writes · 1 — Eq. (7) at the schedule level.
+    #[test]
+    fn static_costs_in_closed_form(s in arb_schedule(300), omega in 0.0f64..=1.0) {
+        let model = CostModel::message(omega);
+        let st1 = run_spec(PolicySpec::St1, &s, model).total_cost;
+        let st2 = run_spec(PolicySpec::St2, &s, model).total_cost;
+        prop_assert!((st1 - s.reads() as f64 * (1.0 + omega)).abs() < 1e-9);
+        prop_assert!((st2 - s.writes() as f64).abs() < 1e-9);
+    }
+
+    /// Action tallies partition the schedule for every policy.
+    #[test]
+    fn counts_partition_schedule(spec in arb_spec(), s in arb_schedule(200)) {
+        let out = run_spec(spec, &s, CostModel::Connection);
+        prop_assert_eq!(out.counts.reads() as usize, s.reads());
+        prop_assert_eq!(out.counts.writes() as usize, s.writes());
+        // Transition counts can differ by at most one (alternating states).
+        let allocs = out.counts.allocations() as i64;
+        let deallocs = out.counts.deallocations() as i64;
+        prop_assert!((allocs - deallocs).abs() <= 1);
+    }
+
+    /// Restarting SWk from a mid-run window snapshot continues identically —
+    /// the handoff property that makes the distributed protocol work.
+    #[test]
+    fn swk_resume_from_window_snapshot(
+        k in arb_odd_k(),
+        a in arb_schedule(100),
+        b in arb_schedule(100),
+    ) {
+        let model = CostModel::message(0.5);
+        // Run a, snapshot the window, then run b on the same instance.
+        let mut full = SlidingWindow::new(k);
+        for r in a.iter() { full.on_request(r); }
+        let snapshot = full.window().clone();
+        let cb_full: f64 = b.iter().map(|r| model.price(full.on_request(r))).sum();
+        // Resume a fresh instance from the snapshot alone.
+        let mut resumed = SlidingWindow::with_window(snapshot);
+        let cb_resumed: f64 = b.iter().map(|r| model.price(resumed.on_request(r))).sum();
+        prop_assert!((cb_full - cb_resumed).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,336 @@
+//! The window-based dynamic multi-object allocator (§7.2, second half).
+//!
+//! When the class frequencies are *not* known in advance, the paper keeps
+//! "track of the number of operations of different kind … in the window",
+//! computes frequency estimates from those counts, evaluates the expected
+//! cost of every candidate allocation under the estimates, and installs the
+//! cheapest one. "To avoid excessive overhead, this recomputation can be
+//! done periodically instead of after each operation."
+
+use crate::objects::{ObjectSet, Operation};
+use crate::profile::{Allocation, OperationProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// The windowed frequency-estimating allocator.
+#[derive(Debug, Clone)]
+pub struct WindowedAllocator {
+    n_objects: usize,
+    window_size: usize,
+    recompute_every: usize,
+    window: VecDeque<Operation>,
+    counts: HashMap<Operation, usize>,
+    since_recompute: usize,
+    current: Allocation,
+    reallocations: u64,
+    /// Cost charged per newly replicated object on a re-allocation (a data
+    /// message shipping the copy). The paper's analysis assumes transitions
+    /// piggyback for free; a non-zero value models the §7.2 "excessive
+    /// overhead" that motivates *periodic* recomputation.
+    alloc_cost: f64,
+    /// Cost charged per dropped object on a re-allocation (a delete-request
+    /// control message).
+    dealloc_cost: f64,
+    transition_cost_paid: f64,
+}
+
+impl WindowedAllocator {
+    /// Creates the allocator over `n_objects` objects, estimating from the
+    /// last `window_size` operations and re-optimizing every
+    /// `recompute_every` operations. Starts from the empty allocation (no
+    /// replicas at the MC — the cold start).
+    pub fn new(n_objects: usize, window_size: usize, recompute_every: usize) -> Self {
+        assert!(window_size >= 1, "window must hold at least one operation");
+        assert!(recompute_every >= 1, "recompute period must be at least 1");
+        WindowedAllocator {
+            n_objects,
+            window_size,
+            recompute_every,
+            window: VecDeque::with_capacity(window_size),
+            counts: HashMap::new(),
+            since_recompute: 0,
+            current: Allocation::EMPTY,
+            reallocations: 0,
+            alloc_cost: 0.0,
+            dealloc_cost: 0.0,
+            transition_cost_paid: 0.0,
+        }
+    }
+
+    /// Charges re-allocations: `alloc_cost` per object gaining a replica
+    /// (data shipment) and `dealloc_cost` per object losing one
+    /// (delete-request). Defaults are 0 (the paper's free-piggyback
+    /// assumption).
+    pub fn with_transition_costs(mut self, alloc_cost: f64, dealloc_cost: f64) -> Self {
+        assert!(
+            alloc_cost >= 0.0 && dealloc_cost >= 0.0,
+            "transition costs must be non-negative"
+        );
+        self.alloc_cost = alloc_cost;
+        self.dealloc_cost = dealloc_cost;
+        self
+    }
+
+    /// Total transition cost charged so far.
+    pub fn transition_cost_paid(&self) -> f64 {
+        self.transition_cost_paid
+    }
+
+    /// The allocation currently installed.
+    pub fn current_allocation(&self) -> Allocation {
+        self.current
+    }
+
+    /// How many times the allocation actually changed.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Processes one operation: charges it under the *current* allocation,
+    /// slides the window, and (periodically) re-optimizes. Returns the
+    /// connection cost of the operation.
+    pub fn on_operation(&mut self, op: Operation) -> f64 {
+        let cost = self.current.connection_cost(op);
+        // Slide the window.
+        if self.window.len() == self.window_size {
+            let old = self.window.pop_front().expect("window is non-empty");
+            if let Some(c) = self.counts.get_mut(&old) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&old);
+                }
+            }
+        }
+        self.window.push_back(op);
+        *self.counts.entry(op).or_insert(0) += 1;
+        // Periodic re-optimization.
+        self.since_recompute += 1;
+        let mut transition = 0.0;
+        if self.since_recompute >= self.recompute_every {
+            self.since_recompute = 0;
+            let best = self.estimate_profile().optimal_allocation().0;
+            if best != self.current {
+                let gained = best.0.bits() & !self.current.0.bits();
+                let dropped = self.current.0.bits() & !best.0.bits();
+                transition = gained.count_ones() as f64 * self.alloc_cost
+                    + dropped.count_ones() as f64 * self.dealloc_cost;
+                self.transition_cost_paid += transition;
+                self.current = best;
+                self.reallocations += 1;
+            }
+        }
+        cost + transition
+    }
+
+    /// The frequency estimate from the current window contents.
+    pub fn estimate_profile(&self) -> OperationProfile {
+        let entries: Vec<(Operation, f64)> =
+            self.counts.iter().map(|(&op, &c)| (op, c as f64)).collect();
+        OperationProfile::new(self.n_objects, entries)
+    }
+}
+
+/// Outcome of a multi-object simulation run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MultiRunReport {
+    /// Operations processed.
+    pub operations: usize,
+    /// Total connection cost paid by the dynamic allocator.
+    pub dynamic_cost: f64,
+    /// Total cost the *optimal static* allocation (computed from the true
+    /// profile) would have paid on the same operation sequence.
+    pub optimal_static_cost: f64,
+    /// Total cost the empty (multi-object ST1) allocation would have paid.
+    pub st1_cost: f64,
+    /// Total cost the full (multi-object ST2) allocation would have paid.
+    pub st2_cost: f64,
+    /// Allocation changes the dynamic allocator performed.
+    pub reallocations: u64,
+}
+
+impl MultiRunReport {
+    /// Dynamic-over-optimal-static cost ratio (≥ 1 in the stationary case,
+    /// up to estimation noise).
+    pub fn regret_ratio(&self) -> f64 {
+        if self.optimal_static_cost == 0.0 {
+            if self.dynamic_cost == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.dynamic_cost / self.optimal_static_cost
+        }
+    }
+}
+
+/// Runs the windowed allocator over `operations` samples from `profile`,
+/// comparing against the optimal static allocation and both all-or-nothing
+/// statics on the identical sequence.
+pub fn simulate_windowed(
+    profile: &OperationProfile,
+    allocator: &mut WindowedAllocator,
+    operations: usize,
+    seed: u64,
+) -> MultiRunReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (optimal_static, _) = profile.optimal_allocation();
+    let full = Allocation::full(profile.n_objects());
+    let mut dynamic_cost = 0.0;
+    let mut optimal_static_cost = 0.0;
+    let mut st1_cost = 0.0;
+    let mut st2_cost = 0.0;
+    for _ in 0..operations {
+        let op = profile.sample(&mut rng);
+        dynamic_cost += allocator.on_operation(op);
+        optimal_static_cost += optimal_static.connection_cost(op);
+        st1_cost += Allocation::EMPTY.connection_cost(op);
+        st2_cost += full.connection_cost(op);
+    }
+    MultiRunReport {
+        operations,
+        dynamic_cost,
+        optimal_static_cost,
+        st1_cost,
+        st2_cost,
+        reallocations: allocator.reallocations(),
+    }
+}
+
+/// Like [`simulate_windowed`] but the true profile switches to
+/// `second_profile` halfway — the non-stationary case where the dynamic
+/// method beats *every* static allocation.
+pub fn simulate_windowed_shift(
+    first: &OperationProfile,
+    second: &OperationProfile,
+    allocator: &mut WindowedAllocator,
+    operations_per_phase: usize,
+    seed: u64,
+) -> MultiRunReport {
+    assert_eq!(first.n_objects(), second.n_objects());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let full = Allocation::full(first.n_objects());
+    // The best *single* static allocation for the whole run is evaluated
+    // post-hoc over all candidates.
+    let mut per_alloc: Vec<f64> = ObjectSet::all_subsets(first.n_objects())
+        .map(|_| 0.0)
+        .collect();
+    let mut dynamic_cost = 0.0;
+    let mut st1_cost = 0.0;
+    let mut st2_cost = 0.0;
+    for phase in 0..2 {
+        let profile = if phase == 0 { first } else { second };
+        for _ in 0..operations_per_phase {
+            let op = profile.sample(&mut rng);
+            dynamic_cost += allocator.on_operation(op);
+            st1_cost += Allocation::EMPTY.connection_cost(op);
+            st2_cost += full.connection_cost(op);
+            for (i, s) in ObjectSet::all_subsets(first.n_objects()).enumerate() {
+                per_alloc[i] += Allocation(s).connection_cost(op);
+            }
+        }
+    }
+    let optimal_static_cost = per_alloc.iter().copied().fold(f64::INFINITY, f64::min);
+    MultiRunReport {
+        operations: operations_per_phase * 2,
+        dynamic_cost,
+        optimal_static_cost,
+        st1_cost,
+        st2_cost,
+        reallocations: allocator.reallocations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_heavy_x_write_heavy_y() -> OperationProfile {
+        OperationProfile::two_objects(8.0, 1.0, 1.0, 1.0, 8.0, 1.0)
+    }
+
+    #[test]
+    fn allocator_converges_to_the_optimal_static_allocation() {
+        let profile = read_heavy_x_write_heavy_y();
+        let mut alloc = WindowedAllocator::new(2, 200, 20);
+        let report = simulate_windowed(&profile, &mut alloc, 20_000, 3);
+        let (optimal, _) = profile.optimal_allocation();
+        assert_eq!(alloc.current_allocation(), optimal);
+        // Near-optimal cost once converged: within 5% of the optimal static.
+        assert!(report.regret_ratio() < 1.05, "{}", report.regret_ratio());
+        assert!(report.dynamic_cost < report.st1_cost);
+        assert!(report.dynamic_cost < report.st2_cost);
+    }
+
+    #[test]
+    fn estimates_match_window_contents() {
+        let x = ObjectSet::singleton(0);
+        let mut alloc = WindowedAllocator::new(1, 4, 100);
+        for _ in 0..3 {
+            alloc.on_operation(Operation::read(x));
+        }
+        alloc.on_operation(Operation::write(x));
+        let est = alloc.estimate_profile();
+        assert!((est.probability(Operation::read(x)) - 0.75).abs() < 1e-12);
+        // Window slides: four more writes push the reads out entirely.
+        for _ in 0..4 {
+            alloc.on_operation(Operation::write(x));
+        }
+        let est = alloc.estimate_profile();
+        assert_eq!(est.probability(Operation::read(x)), 0.0);
+    }
+
+    #[test]
+    fn recompute_period_limits_reallocations() {
+        let profile = read_heavy_x_write_heavy_y();
+        let mut eager = WindowedAllocator::new(2, 100, 1);
+        let mut lazy = WindowedAllocator::new(2, 100, 500);
+        let n = 5_000;
+        simulate_windowed(&profile, &mut eager, n, 9);
+        simulate_windowed(&profile, &mut lazy, n, 9);
+        // The lazy allocator re-optimizes at most n / 500 times.
+        assert!(lazy.reallocations() <= (n / 500) as u64);
+        assert!(eager.reallocations() >= lazy.reallocations());
+    }
+
+    #[test]
+    fn dynamic_beats_every_static_on_shifting_profiles() {
+        // Phase 1 is read-heavy (replicate everything), phase 2 write-heavy
+        // (drop everything): any single static allocation loses a phase.
+        let read_heavy = OperationProfile::two_objects(10.0, 10.0, 5.0, 1.0, 1.0, 0.5);
+        let write_heavy = OperationProfile::two_objects(1.0, 1.0, 0.5, 10.0, 10.0, 5.0);
+        let mut alloc = WindowedAllocator::new(2, 150, 25);
+        let report = simulate_windowed_shift(&read_heavy, &write_heavy, &mut alloc, 15_000, 21);
+        assert!(
+            report.dynamic_cost < report.optimal_static_cost,
+            "dynamic {} vs best-static {}",
+            report.dynamic_cost,
+            report.optimal_static_cost
+        );
+    }
+
+    #[test]
+    fn regret_ratio_edge_cases() {
+        let r = MultiRunReport {
+            operations: 0,
+            dynamic_cost: 0.0,
+            optimal_static_cost: 0.0,
+            st1_cost: 0.0,
+            st2_cost: 0.0,
+            reallocations: 0,
+        };
+        assert_eq!(r.regret_ratio(), 1.0);
+        let r = MultiRunReport {
+            dynamic_cost: 3.0,
+            ..r
+        };
+        assert_eq!(r.regret_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(std::panic::catch_unwind(|| WindowedAllocator::new(2, 0, 5)).is_err());
+        assert!(std::panic::catch_unwind(|| WindowedAllocator::new(2, 5, 0)).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # mdr-multi — multi-object allocation (§7.2)
+//!
+//! The multiple-objects extension of **Huang, Sistla, Wolfson, "Data
+//! Replication for Mobile Computers" (SIGMOD 1994)**: reads and writes may
+//! touch *sets* of objects in a single interaction, operations are
+//! classified by (kind, object set) with per-class Poisson frequencies,
+//! and an allocation scheme decides which objects the mobile computer
+//! replicates.
+//!
+//! * [`ObjectSet`] / [`Operation`] — joint operations over small object
+//!   universes;
+//! * [`OperationProfile`] — class frequencies, the §7.2 expected-cost
+//!   formulas, and the optimal static allocation by enumeration;
+//! * [`WindowedAllocator`] — the dynamic variant: estimate the frequencies
+//!   from a window of recent operations and periodically re-install the
+//!   cheapest allocation;
+//! * [`simulate_windowed`] / [`simulate_windowed_shift`] — Monte-Carlo
+//!   comparison of the dynamic allocator against the optimal static and the
+//!   all-or-nothing schemes.
+//!
+//! ```
+//! use mdr_multi::{Allocation, OperationProfile};
+//!
+//! // The paper's two-object setting: x read-heavy, y write-heavy.
+//! let profile = OperationProfile::two_objects(8.0, 1.0, 1.0, 1.0, 8.0, 1.0);
+//! let (best, cost) = profile.optimal_allocation();
+//! assert!(cost <= profile.expected_cost(Allocation::EMPTY));
+//! assert!(best.0.contains(0) && !best.0.contains(1)); // replicate x only
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dynamic;
+mod objects;
+mod per_object;
+mod profile;
+
+pub use dynamic::{simulate_windowed, simulate_windowed_shift, MultiRunReport, WindowedAllocator};
+pub use objects::{ObjectSet, OpKind, Operation, MAX_OBJECTS};
+pub use per_object::PerObjectWindows;
+pub use profile::{Allocation, OperationProfile};

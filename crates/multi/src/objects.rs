@@ -1,0 +1,222 @@
+//! Objects, object sets, and joint operations (§7.2).
+//!
+//! The extension lets a single read or write touch a *set* of data items in
+//! one interaction ("multiple data items can be remotely read in one
+//! connection; similarly for the remote writes"). Sets are bitmasks over a
+//! small universe of objects.
+
+use std::fmt;
+
+/// Maximum number of distinct objects a profile may use.
+pub const MAX_OBJECTS: usize = 20;
+
+/// A set of data items, as a bitmask over object indices `0..n`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct ObjectSet(u32);
+
+impl ObjectSet {
+    /// The empty set.
+    pub const EMPTY: ObjectSet = ObjectSet(0);
+
+    /// A singleton set `{ object }`.
+    pub fn singleton(object: usize) -> Self {
+        assert!(object < MAX_OBJECTS, "object index {object} out of range");
+        ObjectSet(1 << object)
+    }
+
+    /// A set from explicit object indices.
+    pub fn from_objects(objects: &[usize]) -> Self {
+        objects.iter().fold(ObjectSet::EMPTY, |acc, &o| {
+            acc.union(ObjectSet::singleton(o))
+        })
+    }
+
+    /// A set from a raw bitmask.
+    pub fn from_bits(bits: u32) -> Self {
+        assert!(bits < (1 << MAX_OBJECTS), "bitmask out of range");
+        ObjectSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// All `2^n` subsets of the first `n` objects.
+    pub fn all_subsets(n: usize) -> impl Iterator<Item = ObjectSet> {
+        assert!(n <= MAX_OBJECTS);
+        (0u32..(1 << n)).map(ObjectSet)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of objects in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `object` is in the set.
+    pub fn contains(self, object: usize) -> bool {
+        object < MAX_OBJECTS && (self.0 >> object) & 1 == 1
+    }
+
+    /// Set union.
+    pub fn union(self, other: ObjectSet) -> ObjectSet {
+        ObjectSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ObjectSet) -> ObjectSet {
+        ObjectSet(self.0 & other.0)
+    }
+
+    /// Whether the two sets share any object.
+    pub fn intersects(self, other: ObjectSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: ObjectSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the member object indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..MAX_OBJECTS).filter(move |&o| self.contains(o))
+    }
+}
+
+impl fmt::Display for ObjectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, o) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{o}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Read or write, the §7.2 operation kinds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum OpKind {
+    /// A (possibly joint) read issued at the mobile computer.
+    Read,
+    /// A (possibly joint) write issued at the stationary computer.
+    Write,
+}
+
+/// A joint operation over a set of objects.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct Operation {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The objects the operation touches (non-empty).
+    pub objects: ObjectSet,
+}
+
+impl Operation {
+    /// A read of `objects`.
+    pub fn read(objects: ObjectSet) -> Self {
+        assert!(
+            !objects.is_empty(),
+            "operations must touch at least one object"
+        );
+        Operation {
+            kind: OpKind::Read,
+            objects,
+        }
+    }
+
+    /// A write of `objects`.
+    pub fn write(objects: ObjectSet) -> Self {
+        assert!(
+            !objects.is_empty(),
+            "operations must touch at least one object"
+        );
+        Operation {
+            kind: OpKind::Write,
+            objects,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            OpKind::Read => "r",
+            OpKind::Write => "w",
+        };
+        write!(f, "{k}{}", self.objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let x = ObjectSet::singleton(0);
+        let y = ObjectSet::singleton(1);
+        let xy = x.union(y);
+        assert_eq!(xy.len(), 2);
+        assert!(x.is_subset_of(xy));
+        assert!(!xy.is_subset_of(x));
+        assert!(xy.intersects(y));
+        assert!(!x.intersects(y));
+        assert_eq!(xy.intersection(y), y);
+        assert!(ObjectSet::EMPTY.is_empty());
+        assert!(ObjectSet::EMPTY.is_subset_of(x));
+    }
+
+    #[test]
+    fn from_objects_and_iter_roundtrip() {
+        let s = ObjectSet::from_objects(&[0, 3, 7]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 7]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn all_subsets_enumeration() {
+        let subsets: Vec<ObjectSet> = ObjectSet::all_subsets(3).collect();
+        assert_eq!(subsets.len(), 8);
+        assert_eq!(subsets[0], ObjectSet::EMPTY);
+        assert_eq!(subsets[7], ObjectSet::from_objects(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ObjectSet::from_objects(&[0, 2]).to_string(), "{0,2}");
+        assert_eq!(Operation::read(ObjectSet::singleton(1)).to_string(), "r{1}");
+        assert_eq!(
+            Operation::write(ObjectSet::from_objects(&[0, 1])).to_string(),
+            "w{0,1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_operations_rejected() {
+        let _ = Operation::read(ObjectSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn object_index_bounds() {
+        let _ = ObjectSet::singleton(MAX_OBJECTS);
+    }
+}

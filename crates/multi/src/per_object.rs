@@ -1,0 +1,141 @@
+//! The naive per-object baseline: one independent SWk-style window per
+//! object.
+//!
+//! §7.2's point is that joint operations *couple* the allocation decisions:
+//! a joint read pays unless **every** touched object is replicated, and a
+//! joint write pays if **any** is. Running the single-object sliding window
+//! independently per object ignores that coupling — the same joint read is
+//! counted as a benefit by every object it touches, while each write is
+//! debited separately. This module implements the baseline so the ablation
+//! (experiment E14) can quantify how much the paper's joint expected-cost
+//! optimization actually buys.
+
+use crate::objects::{OpKind, Operation};
+use crate::profile::Allocation;
+use mdr_core::{Request, RequestWindow};
+
+/// One independent majority window per object; an object is replicated iff
+/// reads hold the majority of the operations that touched it.
+#[derive(Debug, Clone)]
+pub struct PerObjectWindows {
+    windows: Vec<RequestWindow>,
+}
+
+impl PerObjectWindows {
+    /// Creates the baseline over `n_objects` objects with window size `k`
+    /// (odd). Cold start: all windows full of writes (no replicas).
+    pub fn new(n_objects: usize, k: usize) -> Self {
+        PerObjectWindows {
+            windows: (0..n_objects)
+                .map(|_| RequestWindow::filled(k, Request::Write))
+                .collect(),
+        }
+    }
+
+    /// The current allocation implied by the per-object majorities.
+    pub fn allocation(&self) -> Allocation {
+        let mut bits = 0u32;
+        for (i, w) in self.windows.iter().enumerate() {
+            if w.majority_reads() {
+                bits |= 1 << i;
+            }
+        }
+        Allocation(crate::objects::ObjectSet::from_bits(bits))
+    }
+
+    /// Processes one operation: charges it under the pre-update allocation
+    /// (mirroring the single-object SWk cost semantics) and slides the
+    /// window of every touched object. Returns the connection cost.
+    pub fn on_operation(&mut self, op: Operation) -> f64 {
+        let cost = self.allocation().connection_cost(op);
+        let bit = match op.kind {
+            OpKind::Read => Request::Read,
+            OpKind::Write => Request::Write,
+        };
+        for obj in op.objects.iter() {
+            self.windows[obj].push(bit);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::ObjectSet;
+    use crate::profile::OperationProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn replicates_objects_with_read_majorities() {
+        let x = ObjectSet::singleton(0);
+        let y = ObjectSet::singleton(1);
+        let mut p = PerObjectWindows::new(2, 3);
+        for _ in 0..4 {
+            p.on_operation(Operation::read(x));
+            p.on_operation(Operation::write(y));
+        }
+        let alloc = p.allocation();
+        assert!(alloc.0.contains(0), "read-heavy x replicated");
+        assert!(!alloc.0.contains(1), "write-heavy y not replicated");
+    }
+
+    #[test]
+    fn joint_operations_update_every_touched_window() {
+        let xy = ObjectSet::from_objects(&[0, 1]);
+        let mut p = PerObjectWindows::new(2, 3);
+        for _ in 0..4 {
+            p.on_operation(Operation::read(xy));
+        }
+        let alloc = p.allocation();
+        assert!(alloc.0.contains(0) && alloc.0.contains(1));
+    }
+
+    #[test]
+    fn coupling_blind_spot_the_e14_construction() {
+        // r{x,y}: 5, w{x}: 4, w{y}: 4 — each object sees reads (5) beat its
+        // writes (4), so the baseline replicates both; but then the 8 writes
+        // pay while only 5 reads are saved. The joint optimum is ∅.
+        let profile = OperationProfile::new(
+            2,
+            vec![
+                (Operation::read(ObjectSet::from_objects(&[0, 1])), 5.0),
+                (Operation::write(ObjectSet::singleton(0)), 4.0),
+                (Operation::write(ObjectSet::singleton(1)), 4.0),
+            ],
+        );
+        let (joint_best, joint_cost) = profile.optimal_allocation();
+        assert_eq!(joint_best, Allocation::EMPTY);
+        // The baseline replicates both objects most of the time (each
+        // window's read fraction is 5/9 > 1/2 in expectation, so the
+        // majority fluctuates but favours replication)…
+        let mut baseline = PerObjectWindows::new(2, 31);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut cost = 0.0;
+        let mut fully_replicated = 0usize;
+        let n = 40_000;
+        for _ in 0..n {
+            cost += baseline.on_operation(profile.sample(&mut rng));
+            if baseline.allocation() == Allocation::full(2) {
+                fully_replicated += 1;
+            }
+        }
+        assert!(
+            fully_replicated as f64 > 0.4 * n as f64,
+            "baseline should hold the (wrong) full allocation much of the time: {fully_replicated}/{n}"
+        );
+        // …and pays well above the joint optimum.
+        let per_op = cost / n as f64;
+        assert!(
+            per_op > joint_cost * 1.3,
+            "baseline {per_op} should be well above the joint optimum {joint_cost}"
+        );
+    }
+
+    #[test]
+    fn cold_start_has_no_replicas() {
+        let p = PerObjectWindows::new(3, 5);
+        assert_eq!(p.allocation(), Allocation::EMPTY);
+    }
+}

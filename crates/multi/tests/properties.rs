@@ -1,0 +1,120 @@
+//! Property-based tests of the multi-object machinery.
+
+use mdr_multi::{
+    simulate_windowed, Allocation, ObjectSet, OpKind, Operation, OperationProfile,
+    PerObjectWindows, WindowedAllocator,
+};
+use proptest::prelude::*;
+
+const N: usize = 3;
+
+fn arb_operation() -> impl Strategy<Value = Operation> {
+    (1u32..(1 << N), prop::bool::ANY).prop_map(|(bits, is_read)| {
+        let set = ObjectSet::from_bits(bits);
+        if is_read {
+            Operation::read(set)
+        } else {
+            Operation::write(set)
+        }
+    })
+}
+
+fn arb_profile() -> impl Strategy<Value = OperationProfile> {
+    prop::collection::btree_map(arb_operation(), 0.1f64..10.0, 1..10)
+        .prop_map(|m| OperationProfile::new(N, m.into_iter().collect()))
+}
+
+proptest! {
+    /// The enumerated optimum really minimizes over all 2^n allocations.
+    #[test]
+    fn optimal_allocation_is_minimal(profile in arb_profile()) {
+        let (best, cost) = profile.optimal_allocation();
+        prop_assert!((profile.expected_cost(best) - cost).abs() < 1e-12);
+        for s in ObjectSet::all_subsets(N) {
+            prop_assert!(cost <= profile.expected_cost(Allocation(s)) + 1e-12);
+        }
+    }
+
+    /// Expected cost is a probability-weighted average of {0, 1} charges:
+    /// bounded by [0, 1] and consistent with the per-class decomposition.
+    #[test]
+    fn expected_cost_decomposes(profile in arb_profile()) {
+        for s in ObjectSet::all_subsets(N) {
+            let alloc = Allocation(s);
+            let direct = profile.expected_cost(alloc);
+            let manual: f64 = profile
+                .entries()
+                .iter()
+                .map(|&(op, rate)| rate / profile.total_rate() * alloc.connection_cost(op))
+                .sum();
+            prop_assert!((direct - manual).abs() < 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&direct));
+        }
+    }
+
+    /// Per-operation costs follow the §7.2 rules exactly.
+    #[test]
+    fn operation_cost_rules(op in arb_operation(), bits in 0u32..(1 << N), omega in 0.0f64..=1.0) {
+        let alloc = Allocation(ObjectSet::from_bits(bits));
+        let conn = alloc.connection_cost(op);
+        let msg = alloc.message_cost(op, omega);
+        match op.kind {
+            OpKind::Read => {
+                let expected = if op.objects.is_subset_of(alloc.0) { 0.0 } else { 1.0 };
+                prop_assert_eq!(conn, expected);
+                prop_assert!((msg - expected * (1.0 + omega)).abs() < 1e-12);
+            }
+            OpKind::Write => {
+                let expected = if op.objects.intersects(alloc.0) { 1.0 } else { 0.0 };
+                prop_assert_eq!(conn, expected);
+                prop_assert_eq!(msg, expected);
+            }
+        }
+    }
+
+    /// The windowed allocator's frequency estimate is a valid profile whose
+    /// probabilities sum to 1 and reflect only the window contents.
+    #[test]
+    fn window_estimate_is_a_distribution(ops in prop::collection::vec(arb_operation(), 1..200)) {
+        let mut alloc = WindowedAllocator::new(N, 50, 1_000_000);
+        for &op in &ops {
+            alloc.on_operation(op);
+        }
+        let est = alloc.estimate_profile();
+        let total: f64 = est.entries().iter().map(|&(op, _)| est.probability(op)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let window_len = ops.len().min(50) as f64;
+        for &(op, rate) in est.entries() {
+            // Rates are integer counts from the window.
+            prop_assert!(rate >= 1.0 && rate <= window_len);
+            prop_assert!((rate - rate.round()).abs() < 1e-12, "{op}: {rate}");
+        }
+    }
+
+    /// On a stationary profile the windowed allocator's cost is never much
+    /// worse than the worst static (sanity envelope) and at least the
+    /// optimal static's (lower bound), up to sampling noise.
+    #[test]
+    fn windowed_cost_is_enveloped(profile in arb_profile(), seed in any::<u64>()) {
+        let mut alloc = WindowedAllocator::new(N, 100, 20);
+        let report = simulate_windowed(&profile, &mut alloc, 3_000, seed);
+        let n = report.operations as f64;
+        let (_, opt) = profile.optimal_allocation();
+        // Lower bound with generous noise margin.
+        prop_assert!(report.dynamic_cost >= opt * n - 0.15 * n - 50.0);
+        // Upper envelope: can't exceed paying for every operation.
+        prop_assert!(report.dynamic_cost <= n + 1e-9);
+    }
+
+    /// The per-object baseline produces only legal allocations and charges
+    /// consistently with them.
+    #[test]
+    fn per_object_baseline_is_consistent(ops in prop::collection::vec(arb_operation(), 1..300)) {
+        let mut baseline = PerObjectWindows::new(N, 5);
+        for &op in &ops {
+            let before = baseline.allocation();
+            let cost = baseline.on_operation(op);
+            prop_assert_eq!(cost, before.connection_cost(op));
+        }
+    }
+}

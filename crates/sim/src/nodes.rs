@@ -1,0 +1,594 @@
+//! The two protocol endpoints as state machines: the stationary computer
+//! (primary copy, issues writes) and the mobile computer (optional replica,
+//! issues reads).
+//!
+//! This implements §4's division of labour literally. For the window-based
+//! policies, "either the mobile computer or the stationary computer (but not
+//! both) is in charge of maintaining the window": the side with the replica
+//! sees every relevant request (local reads + propagated writes), the side
+//! without sees them too (remote reads + its own writes). Ownership moves
+//! with the replica, the window piggybacking on the allocating data response
+//! or the deallocating delete-request.
+//!
+//! For T1m the SC is in charge during the one-copy phase (it sees the remote
+//! reads and its own writes, so it can count consecutive reads); for T2m the
+//! MC is in charge during the two-copies phase (it sees its own reads and
+//! the propagated writes, so it can count consecutive writes).
+
+use crate::wire::WireMessage;
+use mdr_core::{PolicySpec, Request, RequestWindow};
+
+/// Policy-specific bookkeeping on the stationary side.
+#[derive(Debug, Clone, PartialEq)]
+enum ScCharge {
+    /// Nothing to track (statics; or the MC is currently in charge).
+    Idle,
+    /// Window-based policy with the SC in charge of the window.
+    Window(RequestWindow),
+    /// T1m one-copy phase: counting consecutive remote reads.
+    ReadStreak(usize),
+}
+
+/// The stationary computer: owns the primary copy and the write stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryNode {
+    policy: PolicySpec,
+    /// Monotone version counter standing in for the item value.
+    version: u64,
+    /// SC's view of whether the MC holds a replica (its commitment to
+    /// propagate writes).
+    mc_has_copy: bool,
+    charge: ScCharge,
+}
+
+impl StationaryNode {
+    /// Initial state for `policy`. Replica-holding policies (ST2, T2m)
+    /// start with the MC subscribed; the window policies cold-start without
+    /// a replica, the SC in charge with an all-writes window.
+    pub fn new(policy: PolicySpec) -> Self {
+        let (mc_has_copy, charge) = match policy {
+            PolicySpec::St1 => (false, ScCharge::Idle),
+            PolicySpec::St2 => (true, ScCharge::Idle),
+            PolicySpec::SlidingWindow { k } => (
+                false,
+                ScCharge::Window(RequestWindow::filled(k, Request::Write)),
+            ),
+            PolicySpec::T1 { .. } => (false, ScCharge::ReadStreak(0)),
+            PolicySpec::T2 { .. } => (true, ScCharge::Idle),
+        };
+        StationaryNode {
+            policy,
+            version: 0,
+            mc_has_copy,
+            charge,
+        }
+    }
+
+    /// Current item version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether the SC believes the MC holds a replica.
+    pub fn mc_has_copy(&self) -> bool {
+        self.mc_has_copy
+    }
+
+    /// Whether the SC currently maintains the request window (window-based
+    /// policies only).
+    pub fn in_charge(&self) -> bool {
+        matches!(self.charge, ScCharge::Window(_))
+    }
+
+    /// Serves a remote read request, producing the data response. Updates
+    /// the window / streak and decides whether to hand the replica (and,
+    /// for window policies, the window) to the MC.
+    pub fn handle_read_request(&mut self) -> WireMessage {
+        debug_assert!(
+            !self.mc_has_copy,
+            "remote read while the MC holds a replica"
+        );
+        match (&mut self.charge, self.policy) {
+            (ScCharge::Idle, PolicySpec::St1) => WireMessage::DataResponse {
+                version: self.version,
+                allocate: false,
+                window: None,
+            },
+            (ScCharge::Window(w), _) => {
+                w.push(Request::Read);
+                if w.majority_reads() {
+                    // §4: piggyback the save indication and the window; the
+                    // MC takes charge from here.
+                    let window = w.to_requests();
+                    self.charge = ScCharge::Idle;
+                    self.mc_has_copy = true;
+                    WireMessage::DataResponse {
+                        version: self.version,
+                        allocate: true,
+                        window: Some(window),
+                    }
+                } else {
+                    WireMessage::DataResponse {
+                        version: self.version,
+                        allocate: false,
+                        window: None,
+                    }
+                }
+            }
+            (ScCharge::ReadStreak(streak), PolicySpec::T1 { m }) => {
+                *streak += 1;
+                if *streak >= m {
+                    self.charge = ScCharge::Idle;
+                    self.mc_has_copy = true;
+                    WireMessage::DataResponse {
+                        version: self.version,
+                        allocate: true,
+                        window: None,
+                    }
+                } else {
+                    WireMessage::DataResponse {
+                        version: self.version,
+                        allocate: false,
+                        window: None,
+                    }
+                }
+            }
+            (ScCharge::Idle, PolicySpec::T2 { .. }) => {
+                // One-copy phase ends at the next read.
+                self.mc_has_copy = true;
+                WireMessage::DataResponse {
+                    version: self.version,
+                    allocate: true,
+                    window: None,
+                }
+            }
+            (charge, policy) => {
+                unreachable!("remote read in impossible state: {policy:?} / {charge:?}")
+            }
+        }
+    }
+
+    /// Applies a local write (bumping the version) and returns the message
+    /// to send to the MC, if any.
+    pub fn handle_local_write(&mut self) -> Option<WireMessage> {
+        self.version += 1;
+        if !self.mc_has_copy {
+            // Track the request if the SC is in charge; the write stays
+            // local either way.
+            match &mut self.charge {
+                ScCharge::Window(w) => {
+                    w.push(Request::Write);
+                    debug_assert!(!w.majority_reads(), "a write cannot create a read majority");
+                }
+                ScCharge::ReadStreak(streak) => *streak = 0,
+                ScCharge::Idle => {}
+            }
+            return None;
+        }
+        match self.policy {
+            PolicySpec::St2 => Some(WireMessage::WritePropagation {
+                version: self.version,
+            }),
+            PolicySpec::SlidingWindow { k: 1 } => {
+                // SW1 optimization (§4): the post-write window is [w]
+                // whatever it held before, so skip the propagation and send
+                // the delete-request directly, retaking charge.
+                self.mc_has_copy = false;
+                self.charge = ScCharge::Window(RequestWindow::filled(1, Request::Write));
+                Some(WireMessage::DeleteRequest { window: None })
+            }
+            PolicySpec::SlidingWindow { .. } | PolicySpec::T2 { .. } => {
+                // MC is in charge; propagate and let it decide.
+                Some(WireMessage::WritePropagation {
+                    version: self.version,
+                })
+            }
+            PolicySpec::T1 { .. } => {
+                // Two-copies phase ends at the first write; the SC knows, so
+                // it sends only the delete-request.
+                self.mc_has_copy = false;
+                self.charge = ScCharge::ReadStreak(0);
+                Some(WireMessage::DeleteRequest { window: None })
+            }
+            PolicySpec::St1 => unreachable!("ST1 never grants the MC a replica"),
+        }
+    }
+
+    /// Handles a delete-request from the MC (after a propagated write
+    /// flipped the window majority, or T2m's streak completed). For window
+    /// policies the SC takes charge of the shipped window.
+    pub fn handle_delete_request(&mut self, window: Option<Vec<Request>>) {
+        debug_assert!(
+            self.mc_has_copy,
+            "delete-request without a replica outstanding"
+        );
+        self.mc_has_copy = false;
+        match self.policy {
+            PolicySpec::SlidingWindow { .. } => {
+                let reqs = window.expect("window policies piggyback the window on delete-requests");
+                self.charge = ScCharge::Window(RequestWindow::from_requests(&reqs));
+            }
+            PolicySpec::T2 { .. } => {
+                self.charge = ScCharge::Idle;
+            }
+            other => unreachable!("{other:?} never receives MC-side delete-requests"),
+        }
+    }
+}
+
+/// Policy-specific bookkeeping on the mobile side.
+#[derive(Debug, Clone, PartialEq)]
+enum McCharge {
+    /// Nothing to track (statics, T1m; or the SC is in charge).
+    Idle,
+    /// Window-based policy with the MC in charge of the window.
+    Window(RequestWindow),
+    /// T2m two-copies phase: counting consecutive propagated writes.
+    WriteStreak(usize),
+}
+
+/// The mobile computer: issues reads, optionally holds a replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileNode {
+    policy: PolicySpec,
+    /// The cached version, if the MC holds a replica.
+    cache: Option<u64>,
+    charge: McCharge,
+}
+
+impl MobileNode {
+    /// Initial state for `policy`, mirroring
+    /// [`StationaryNode::new`].
+    pub fn new(policy: PolicySpec) -> Self {
+        let (cache, charge) = match policy {
+            PolicySpec::St1 | PolicySpec::SlidingWindow { .. } | PolicySpec::T1 { .. } => {
+                (None, McCharge::Idle)
+            }
+            PolicySpec::St2 => (Some(0), McCharge::Idle),
+            PolicySpec::T2 { .. } => (Some(0), McCharge::WriteStreak(0)),
+        };
+        MobileNode {
+            policy,
+            cache,
+            charge,
+        }
+    }
+
+    /// Whether the MC holds a replica.
+    pub fn has_copy(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The cached version, if any.
+    pub fn cached_version(&self) -> Option<u64> {
+        self.cache
+    }
+
+    /// Whether the MC currently maintains the request window.
+    pub fn in_charge(&self) -> bool {
+        matches!(self.charge, McCharge::Window(_))
+    }
+
+    /// Serves a read from the local replica. Returns the version read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MC holds no replica (the caller must go remote then).
+    pub fn handle_local_read(&mut self) -> u64 {
+        let version = self.cache.expect("local read without a replica");
+        match &mut self.charge {
+            McCharge::Window(w) => {
+                w.push(Request::Read);
+                debug_assert!(w.majority_reads(), "a read cannot destroy a read majority");
+            }
+            McCharge::WriteStreak(streak) => *streak = 0,
+            McCharge::Idle => {}
+        }
+        version
+    }
+
+    /// Handles the data response to a remote read. Returns the version
+    /// read; caches it (and takes charge of any piggybacked window) when
+    /// `allocate` is set.
+    pub fn handle_data_response(
+        &mut self,
+        version: u64,
+        allocate: bool,
+        window: Option<Vec<Request>>,
+    ) -> u64 {
+        if allocate {
+            self.cache = Some(version);
+            match self.policy {
+                PolicySpec::SlidingWindow { .. } => {
+                    let reqs = window.expect("window policies piggyback the window on allocation");
+                    self.charge = McCharge::Window(RequestWindow::from_requests(&reqs));
+                }
+                PolicySpec::T2 { .. } => {
+                    self.charge = McCharge::WriteStreak(0);
+                }
+                _ => {}
+            }
+        }
+        version
+    }
+
+    /// Handles a propagated write: refreshes the replica and, if the MC is
+    /// in charge and the policy says so, answers with the deallocating
+    /// delete-request.
+    pub fn handle_write_propagation(&mut self, version: u64) -> Option<WireMessage> {
+        debug_assert!(
+            self.cache.is_some(),
+            "write propagated to an MC without a replica"
+        );
+        self.cache = Some(version);
+        match (&mut self.charge, self.policy) {
+            (McCharge::Idle, PolicySpec::St2) => None,
+            (McCharge::Window(w), PolicySpec::SlidingWindow { .. }) => {
+                w.push(Request::Write);
+                if w.majority_reads() {
+                    None
+                } else {
+                    // Writes outnumber reads: deallocate, shipping the
+                    // window back (§4).
+                    let window = w.to_requests();
+                    self.cache = None;
+                    self.charge = McCharge::Idle;
+                    Some(WireMessage::DeleteRequest {
+                        window: Some(window),
+                    })
+                }
+            }
+            (McCharge::WriteStreak(streak), PolicySpec::T2 { m }) => {
+                *streak += 1;
+                if *streak >= m {
+                    self.cache = None;
+                    self.charge = McCharge::Idle;
+                    Some(WireMessage::DeleteRequest { window: None })
+                } else {
+                    None
+                }
+            }
+            (charge, policy) => {
+                unreachable!("write propagation in impossible state: {policy:?} / {charge:?}")
+            }
+        }
+    }
+
+    /// Handles a delete-request from the SC (SW1 / T1m): drops the replica.
+    pub fn handle_delete_request(&mut self) {
+        debug_assert!(self.cache.is_some(), "delete-request without a replica");
+        self.cache = None;
+        self.charge = McCharge::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_states_match_policies() {
+        assert!(!MobileNode::new(PolicySpec::St1).has_copy());
+        assert!(MobileNode::new(PolicySpec::St2).has_copy());
+        assert!(!MobileNode::new(PolicySpec::SlidingWindow { k: 3 }).has_copy());
+        assert!(MobileNode::new(PolicySpec::T2 { m: 2 }).has_copy());
+        let sc = StationaryNode::new(PolicySpec::SlidingWindow { k: 3 });
+        assert!(sc.in_charge());
+        assert!(!sc.mc_has_copy());
+    }
+
+    #[test]
+    fn swk_allocation_handshake_moves_the_window() {
+        let spec = PolicySpec::SlidingWindow { k: 3 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+
+        // First remote read: window [w w r], no allocation.
+        let resp = sc.handle_read_request();
+        match resp {
+            WireMessage::DataResponse {
+                allocate: false,
+                window: None,
+                version,
+            } => {
+                mc.handle_data_response(version, false, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(sc.in_charge() && !mc.in_charge());
+
+        // Second remote read flips the majority: the window travels.
+        let resp = sc.handle_read_request();
+        match resp {
+            WireMessage::DataResponse {
+                allocate: true,
+                window: Some(w),
+                version,
+            } => {
+                assert_eq!(w.iter().filter(|r| r.is_read()).count(), 2);
+                mc.handle_data_response(version, true, Some(w));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!sc.in_charge() && mc.in_charge());
+        assert!(mc.has_copy() && sc.mc_has_copy());
+    }
+
+    #[test]
+    fn swk_deallocation_handshake_returns_the_window() {
+        let spec = PolicySpec::SlidingWindow { k: 3 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        // Allocate via two reads.
+        for _ in 0..2 {
+            if let WireMessage::DataResponse {
+                version,
+                allocate,
+                window,
+            } = sc.handle_read_request()
+            {
+                mc.handle_data_response(version, allocate, window);
+            }
+        }
+        // One write keeps the copy ([w r r] → [r r w]: still majority reads).
+        let msg = sc.handle_local_write().unwrap();
+        assert!(matches!(msg, WireMessage::WritePropagation { .. }));
+        if let WireMessage::WritePropagation { version } = msg {
+            assert_eq!(mc.handle_write_propagation(version), None);
+        }
+        // Second write flips: MC answers with the window.
+        let msg = sc.handle_local_write().unwrap();
+        if let WireMessage::WritePropagation { version } = msg {
+            match mc.handle_write_propagation(version) {
+                Some(WireMessage::DeleteRequest { window: Some(w) }) => {
+                    sc.handle_delete_request(Some(w));
+                }
+                other => panic!("expected delete-request, got {other:?}"),
+            }
+        }
+        assert!(!mc.has_copy() && !sc.mc_has_copy());
+        assert!(sc.in_charge() && !mc.in_charge());
+    }
+
+    #[test]
+    fn sw1_write_short_circuits_to_delete_request() {
+        let spec = PolicySpec::SlidingWindow { k: 1 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        if let WireMessage::DataResponse {
+            version,
+            allocate,
+            window,
+        } = sc.handle_read_request()
+        {
+            assert!(allocate, "a single read flips a k = 1 window");
+            mc.handle_data_response(version, allocate, window);
+        }
+        let msg = sc.handle_local_write().unwrap();
+        assert!(matches!(msg, WireMessage::DeleteRequest { window: None }));
+        mc.handle_delete_request();
+        assert!(!mc.has_copy());
+        assert!(sc.in_charge());
+    }
+
+    #[test]
+    fn replica_version_tracks_writes() {
+        let spec = PolicySpec::St2;
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        for expected in 1..=5u64 {
+            let msg = sc.handle_local_write().unwrap();
+            if let WireMessage::WritePropagation { version } = msg {
+                assert_eq!(version, expected);
+                mc.handle_write_propagation(version);
+            }
+            assert_eq!(mc.cached_version(), Some(expected));
+            assert_eq!(mc.handle_local_read(), sc.version());
+        }
+    }
+
+    #[test]
+    fn t1_counts_consecutive_reads_on_the_sc() {
+        let spec = PolicySpec::T1 { m: 2 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        // Read, write (streak reset), read, read → allocate on the last.
+        if let WireMessage::DataResponse { allocate, .. } = sc.handle_read_request() {
+            assert!(!allocate);
+        }
+        assert_eq!(sc.handle_local_write(), None);
+        if let WireMessage::DataResponse { allocate, .. } = sc.handle_read_request() {
+            assert!(!allocate);
+        }
+        if let WireMessage::DataResponse {
+            version,
+            allocate,
+            window,
+        } = sc.handle_read_request()
+        {
+            assert!(allocate);
+            mc.handle_data_response(version, allocate, window);
+        }
+        assert!(mc.has_copy());
+        // The next write ends the phase with a bare delete-request.
+        let msg = sc.handle_local_write().unwrap();
+        assert!(matches!(msg, WireMessage::DeleteRequest { window: None }));
+        mc.handle_delete_request();
+        assert!(!mc.has_copy());
+    }
+
+    #[test]
+    fn t2_counts_consecutive_writes_on_the_mc() {
+        let spec = PolicySpec::T2 { m: 2 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        // Write, read (streak reset on MC), write, write → delete-request.
+        if let Some(WireMessage::WritePropagation { version }) = sc.handle_local_write() {
+            assert_eq!(mc.handle_write_propagation(version), None);
+        }
+        mc.handle_local_read();
+        if let Some(WireMessage::WritePropagation { version }) = sc.handle_local_write() {
+            assert_eq!(mc.handle_write_propagation(version), None);
+        }
+        if let Some(WireMessage::WritePropagation { version }) = sc.handle_local_write() {
+            match mc.handle_write_propagation(version) {
+                Some(WireMessage::DeleteRequest { window: None }) => {
+                    sc.handle_delete_request(None);
+                }
+                other => panic!("expected delete-request, got {other:?}"),
+            }
+        }
+        assert!(!mc.has_copy() && !sc.mc_has_copy());
+        // Next read reacquires.
+        if let WireMessage::DataResponse {
+            version,
+            allocate,
+            window,
+        } = sc.handle_read_request()
+        {
+            assert!(allocate);
+            mc.handle_data_response(version, allocate, window);
+        }
+        assert!(mc.has_copy());
+    }
+
+    #[test]
+    fn exactly_one_side_in_charge_for_window_policies() {
+        let spec = PolicySpec::SlidingWindow { k: 5 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        let check = |sc: &StationaryNode, mc: &MobileNode| {
+            assert_ne!(
+                sc.in_charge(),
+                mc.in_charge(),
+                "exactly one side must own the window"
+            );
+        };
+        check(&sc, &mc);
+        for _ in 0..3 {
+            if let WireMessage::DataResponse {
+                version,
+                allocate,
+                window,
+            } = sc.handle_read_request()
+            {
+                mc.handle_data_response(version, allocate, window);
+            }
+            check(&sc, &mc);
+        }
+        for _ in 0..3 {
+            match sc.handle_local_write() {
+                Some(WireMessage::WritePropagation { version }) => {
+                    if let Some(WireMessage::DeleteRequest { window }) =
+                        mc.handle_write_propagation(version)
+                    {
+                        sc.handle_delete_request(window);
+                    }
+                }
+                Some(other) => panic!("unexpected {other:?}"),
+                None => {}
+            }
+            check(&sc, &mc);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The wireless wire protocol (§3/§4): the four message kinds exchanged
+//! between the mobile computer and the stationary computer, and their
+//! control/data classification for message-model accounting.
+
+use mdr_core::Request;
+
+/// The two ends of the wireless link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The mobile computer (issues reads).
+    Mobile,
+    /// The stationary computer holding the online database (issues writes).
+    Stationary,
+}
+
+impl Endpoint {
+    /// The opposite end of the link.
+    pub fn peer(self) -> Endpoint {
+        match self {
+            Endpoint::Mobile => Endpoint::Stationary,
+            Endpoint::Stationary => Endpoint::Mobile,
+        }
+    }
+}
+
+/// Message-model billing class (§3): data messages carry the item and cost
+/// 1; control messages carry only control information and cost ω.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Carries the data item.
+    Data,
+    /// Carries only control information (read-requests, delete-requests).
+    Control,
+}
+
+/// A message on the wireless link.
+///
+/// The §4 protocol piggybacks the request window on the messages that move
+/// replica ownership: the allocating [`DataResponse`](WireMessage::DataResponse)
+/// carries the window MC-ward, the deallocating
+/// [`DeleteRequest`](WireMessage::DeleteRequest) carries it SC-ward.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// MC → SC: a read the MC could not serve locally.
+    ReadRequest,
+    /// SC → MC: the data item. `allocate` is the §4 save-the-copy
+    /// indication, in which case `window` carries the current request
+    /// window and the SC commits to propagating future writes.
+    DataResponse {
+        /// Version of the item being returned.
+        version: u64,
+        /// Whether the MC should save the copy (ownership handoff).
+        allocate: bool,
+        /// The piggybacked request window (present iff `allocate`, for the
+        /// window-based policies).
+        window: Option<Vec<Request>>,
+    },
+    /// SC → MC: a write propagated to the MC's replica.
+    WritePropagation {
+        /// New version of the item.
+        version: u64,
+    },
+    /// A deallocation indication. MC → SC after a propagated write flips
+    /// the window majority (carrying the window back), or SC → MC when the
+    /// SC itself knows the copy must drop (SW1's optimized write, T1m's
+    /// phase-ending write).
+    DeleteRequest {
+        /// The piggybacked request window (window-based policies, MC → SC
+        /// direction only).
+        window: Option<Vec<Request>>,
+    },
+}
+
+impl WireMessage {
+    /// Billing class of this message (§3).
+    pub fn class(&self) -> MessageClass {
+        match self {
+            WireMessage::ReadRequest | WireMessage::DeleteRequest { .. } => MessageClass::Control,
+            WireMessage::DataResponse { .. } | WireMessage::WritePropagation { .. } => {
+                MessageClass::Data
+            }
+        }
+    }
+
+    /// Short display name for logs and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMessage::ReadRequest => "read-request",
+            WireMessage::DataResponse { .. } => "data-response",
+            WireMessage::WritePropagation { .. } => "write-propagation",
+            WireMessage::DeleteRequest { .. } => "delete-request",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_section_3() {
+        assert_eq!(WireMessage::ReadRequest.class(), MessageClass::Control);
+        assert_eq!(
+            WireMessage::DeleteRequest { window: None }.class(),
+            MessageClass::Control
+        );
+        assert_eq!(
+            WireMessage::DataResponse {
+                version: 1,
+                allocate: false,
+                window: None
+            }
+            .class(),
+            MessageClass::Data
+        );
+        assert_eq!(
+            WireMessage::WritePropagation { version: 2 }.class(),
+            MessageClass::Data
+        );
+    }
+
+    #[test]
+    fn endpoints_are_duals() {
+        assert_eq!(Endpoint::Mobile.peer(), Endpoint::Stationary);
+        assert_eq!(Endpoint::Stationary.peer(), Endpoint::Mobile);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        use std::collections::HashSet;
+        let kinds: HashSet<&str> = [
+            WireMessage::ReadRequest.kind(),
+            WireMessage::DataResponse {
+                version: 0,
+                allocate: false,
+                window: None,
+            }
+            .kind(),
+            WireMessage::WritePropagation { version: 0 }.kind(),
+            WireMessage::DeleteRequest { window: None }.kind(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(kinds.len(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the discrete-event simulator.
+
+use mdr_core::{CostModel, PolicySpec, Request, Schedule};
+use mdr_sim::{ArrivalProcess, PoissonWorkload, RunLimit, SimConfig, Simulation, TraceWorkload};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::St1),
+        Just(PolicySpec::St2),
+        (0usize..6).prop_map(|n| PolicySpec::SlidingWindow { k: 2 * n + 1 }),
+        (1usize..6).prop_map(|m| PolicySpec::T1 { m }),
+        (1usize..6).prop_map(|m| PolicySpec::T2 { m }),
+    ]
+}
+
+fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(prop::bool::ANY.prop_map(Request::from_bit), 1..=max_len)
+        .prop_map(Schedule::from_requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simulator serves exactly the requested number of Poisson
+    /// arrivals, with the oracle check live (any protocol divergence
+    /// panics), for arbitrary parameters.
+    #[test]
+    fn poisson_runs_serve_exactly_n(
+        spec in arb_spec(),
+        theta in 0.0f64..=1.0,
+        seed in any::<u64>(),
+        latency in 0.0f64..0.5,
+    ) {
+        let n = 400;
+        let mut sim = Simulation::new(SimConfig::new(spec).with_latency(latency));
+        let mut w = PoissonWorkload::from_theta(1.0, theta, seed);
+        let report = sim.run(&mut w, RunLimit::Requests(n));
+        prop_assert_eq!(report.counts.total(), n as u64);
+        prop_assert_eq!(report.schedule.len(), n);
+        // Costs are consistent with the action tallies on a lossless link.
+        prop_assert_eq!(report.data_messages, report.counts.data_messages());
+        prop_assert_eq!(report.control_messages, report.counts.control_messages());
+    }
+
+    /// Per-request connection cost never exceeds 1, and the message bill is
+    /// bounded by (1 + ω) per request — on any schedule, any policy.
+    #[test]
+    fn per_request_cost_bounds(
+        spec in arb_spec(),
+        s in arb_schedule(200),
+        omega in 0.0f64..=1.0,
+    ) {
+        let mut sim = Simulation::new(SimConfig::new(spec));
+        let mut w = TraceWorkload::new(s.clone(), 1.0);
+        let report = sim.run(&mut w, RunLimit::Requests(s.len()));
+        prop_assert!(report.cost(CostModel::Connection) <= s.len() as f64);
+        prop_assert!(report.cost(CostModel::message(omega)) <= s.len() as f64 * (1.0 + omega) + 1e-9);
+    }
+
+    /// ARQ loss never changes the served actions — only the bill — and the
+    /// bill only grows.
+    #[test]
+    fn loss_only_inflates(
+        spec in arb_spec(),
+        s in arb_schedule(120),
+        loss in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let run = |with_loss: bool| {
+            let mut config = SimConfig::new(spec);
+            if with_loss && loss > 0.0 {
+                config = config.with_loss(loss, 0.05, seed);
+            }
+            let mut sim = Simulation::new(config);
+            let mut w = TraceWorkload::new(s.clone(), 1.0);
+            sim.run(&mut w, RunLimit::Requests(s.len()))
+        };
+        let clean = run(false);
+        let lossy = run(true);
+        prop_assert_eq!(clean.counts, lossy.counts);
+        prop_assert!(lossy.data_messages >= clean.data_messages);
+        prop_assert!(lossy.control_messages >= clean.control_messages);
+        prop_assert!(lossy.makespan >= clean.makespan - 1e-9);
+    }
+
+    /// Workload determinism: the same seed replays the same arrivals, and
+    /// arrival times are strictly increasing.
+    #[test]
+    fn workloads_are_deterministic_and_ordered(
+        theta in 0.0f64..=1.0,
+        rate in 0.1f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let take = |mut w: PoissonWorkload| -> Vec<(f64, Request)> {
+            (0..200).map(|_| { let a = w.next_arrival().unwrap(); (a.time, a.request) }).collect()
+        };
+        let a = take(PoissonWorkload::from_theta(rate, theta, seed));
+        let b = take(PoissonWorkload::from_theta(rate, theta, seed));
+        prop_assert_eq!(&a, &b);
+        for pair in a.windows(2) {
+            prop_assert!(pair[1].0 > pair[0].0);
+        }
+    }
+}

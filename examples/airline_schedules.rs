@@ -1,0 +1,102 @@
+//! Airline schedules: choosing a cost model and a policy from tariffs.
+//!
+//! The paper's introduction prices the two wireless tariffs of 1994: a
+//! cellular connection at ~$0.35/minute and RAM Mobile Data at ~$0.08 per
+//! data message. A passenger's notebook tracks a flight-schedule record;
+//! the airline pushes updates. This example turns real tariffs into the
+//! paper's model parameters, asks the analysis which policy to run, and
+//! verifies the recommendation in simulation — including the Figure 1
+//! region lookup for the message network.
+//!
+//! ```text
+//! cargo run --release --example airline_schedules
+//! ```
+
+use mobile_replication::analysis::dominance::{message_winner, Winner};
+use mobile_replication::analysis::window_choice::{min_beneficial_k, recommend_k};
+use mobile_replication::prelude::*;
+
+fn main() {
+    // --- tariffs → model parameters ---
+    // Cellular: every remote interaction is one minimum-length connection.
+    let cellular = CostModel::Connection;
+    let dollars_per_connection = 0.35;
+    // Packet network: a schedule record is one data message ($0.08); a
+    // read-request / delete-request control frame is ~a quarter the length.
+    let omega = 0.25;
+    let packet = CostModel::message(omega);
+    let dollars_per_data_msg = 0.08;
+
+    // The flight record changes moderately often relative to lookups while
+    // the passenger is planning: θ = 0.35.
+    let theta = 0.35;
+    let requests = 60_000;
+
+    println!("Flight-schedule tracking: θ = {theta}, ω = {omega}\n");
+
+    // --- what does the analysis recommend? ---
+    // Cellular (§5): the cheaper static when θ is known…
+    let cell_static = if theta >= 0.5 {
+        PolicySpec::St1
+    } else {
+        PolicySpec::St2
+    };
+    println!(
+        "cellular, θ known: pick {} (EXP = {:.4} connections/request)",
+        cell_static.name(),
+        expected_cost(cell_static, cellular, theta)
+    );
+    // …and a window balancing AVG/competitiveness when θ drifts (§9).
+    let rec = recommend_k(0.10);
+    println!(
+        "cellular, θ drifting: pick SW{} (AVG within {:.0}% of optimum, {}-competitive)",
+        rec.k,
+        rec.avg_excess * 100.0,
+        rec.competitive_factor
+    );
+
+    // Packet network (§6 / Figure 1): look the point up in the dominance map.
+    let winner = message_winner(theta, omega);
+    let winner_name = match winner {
+        Winner::St1 => "ST1",
+        Winner::St2 => "ST2",
+        Winner::Sw1 => "SW1",
+    };
+    println!("packet network, θ known: Figure 1 region at (θ, ω) → {winner_name}");
+    match min_beneficial_k(omega) {
+        None => println!(
+            "packet network, θ drifting: ω = {omega} ≤ 0.4 ⇒ SW1 has the best AVG (Corollary 3)"
+        ),
+        Some(k0) => println!("packet network, θ drifting: pick SWk with k ≥ {k0} (Corollary 4)"),
+    }
+
+    // --- verify in simulation, in dollars ---
+    println!("\nsimulated monthly bill ({requests} requests):");
+    println!(
+        "{:<8} {:>18} {:>18}",
+        "policy", "cellular ($)", "packet ($)"
+    );
+    let candidates = PolicySpec::roster(&[1, 9], &[]);
+    let mut best_packet: Option<(String, f64)> = None;
+    for &spec in &candidates {
+        let report = simulate_poisson(spec, theta, requests, 777);
+        let cell_cost = report.cost(cellular) * dollars_per_connection;
+        let packet_cost = report.cost(packet) * dollars_per_data_msg;
+        if best_packet.as_ref().is_none_or(|(_, c)| packet_cost < *c) {
+            best_packet = Some((spec.name(), packet_cost));
+        }
+        println!(
+            "{:<8} {:>18.2} {:>18.2}",
+            spec.name(),
+            cell_cost,
+            packet_cost
+        );
+    }
+    let (best_name, _) = best_packet.expect("candidates non-empty");
+    println!("\ncheapest on the packet network: {best_name}");
+    assert_eq!(
+        best_name, winner_name,
+        "the Figure 1 lookup must agree with the simulated bill"
+    );
+    println!("matches the Figure 1 region lookup: confirmed.");
+}

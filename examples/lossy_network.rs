@@ -1,0 +1,79 @@
+//! Lossy network: does the paper's advice survive an unreliable link?
+//!
+//! The paper assumes every message arrives. Packet-radio links drop
+//! frames, and link-layer ARQ retransmits until delivery — with every
+//! attempt billed at the same per-message tariff. This example runs the
+//! full MC/SC protocol over links with increasing frame-loss probability
+//! and shows the two facts that keep the paper's analysis applicable:
+//!
+//! 1. every policy's bill inflates by the same `1/(1 − p)` factor, so
+//! 2. the cost *ranking* of the policies — everything the paper's advice
+//!    rests on — is unchanged.
+//!
+//! ```text
+//! cargo run --release --example lossy_network
+//! ```
+
+use mobile_replication::prelude::*;
+use mobile_replication::sim::PoissonWorkload;
+
+fn run(spec: PolicySpec, loss: f64) -> SimReport {
+    let mut config = SimConfig::new(spec);
+    if loss > 0.0 {
+        config = config.with_loss(loss, 0.05, 0xBAD);
+    }
+    let mut sim = Simulation::new(config);
+    let mut workload = PoissonWorkload::from_theta(1.0, 0.35, 4242);
+    sim.run(&mut workload, RunLimit::Requests(30_000))
+}
+
+fn main() {
+    let model = CostModel::message(0.4);
+    let policies = PolicySpec::roster(&[1, 9], &[]);
+    let losses = [0.0, 0.1, 0.3, 0.5];
+
+    println!("30k Poisson requests, θ = 0.35, message model ω = 0.4, ARQ link\n");
+    print!("{:<8}", "policy");
+    for &p in &losses {
+        print!(" {:>16}", format!("p = {p}"));
+    }
+    println!("{:>16}", "retransmits@0.5");
+
+    for &spec in &policies {
+        print!("{:<8}", spec.name());
+        let mut last_retx = 0;
+        for &p in &losses {
+            let report = run(spec, p);
+            print!(" {:>16.4}", report.cost_per_request(model));
+            last_retx = report.retransmissions;
+        }
+        println!("{last_retx:>16}");
+    }
+
+    println!();
+    println!("Inflation check at p = 0.3 (expected ×{:.4}):", 1.0 / 0.7);
+    for &spec in &policies {
+        let base = run(spec, 0.0).cost_per_request(model);
+        let lossy = run(spec, 0.3).cost_per_request(model);
+        println!("  {:<6} ×{:.4}", spec.name(), lossy / base);
+    }
+
+    // The protocol itself is untouched: the oracle check (on by default)
+    // already asserted every action matched the reference policy; confirm
+    // the ranking is stable across loss levels.
+    let rank = |loss: f64| {
+        let mut v: Vec<(String, f64)> = policies
+            .iter()
+            .map(|&s| (s.name(), run(s, loss).cost_per_request(model)))
+            .collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v.into_iter().map(|(n, _)| n).collect::<Vec<_>>()
+    };
+    let dry = rank(0.0);
+    let wet = rank(0.5);
+    assert_eq!(dry, wet, "loss must not reorder the policies");
+    println!(
+        "\nranking at every loss level: {} — the paper's advice is loss-invariant.",
+        dry.join(" < ")
+    );
+}

@@ -1,0 +1,143 @@
+//! Traffic navigator: multi-object allocation for a route-planning car
+//! computer (§7.2).
+//!
+//! The paper's introduction: "route-planning computers in cars will access
+//! traffic information." Model three traffic segments — the commuter's
+//! home segment (read constantly, updated rarely overnight), the downtown
+//! segment (updated every few seconds at rush hour, read occasionally),
+//! and the highway segment (read and written together with downtown when
+//! planning cross-town routes — a *joint* operation).
+//!
+//! The §7.2 machinery picks which segments to replicate on the car's
+//! computer; the windowed variant learns the frequencies online and tracks
+//! the optimum as rush hour begins.
+//!
+//! ```text
+//! cargo run --release --example traffic_navigator
+//! ```
+
+use mobile_replication::multi::{
+    simulate_windowed, simulate_windowed_shift, Allocation, ObjectSet, OpKind, Operation,
+    OperationProfile, WindowedAllocator,
+};
+
+const HOME: usize = 0;
+const DOWNTOWN: usize = 1;
+const HIGHWAY: usize = 2;
+
+fn overnight_profile() -> OperationProfile {
+    let home = ObjectSet::singleton(HOME);
+    let downtown = ObjectSet::singleton(DOWNTOWN);
+    let dt_hw = ObjectSet::from_objects(&[DOWNTOWN, HIGHWAY]);
+    OperationProfile::new(
+        3,
+        vec![
+            (Operation::read(home), 9.0),  // constant glances at the home segment
+            (Operation::write(home), 0.5), // rare overnight roadworks updates
+            (Operation::read(downtown), 1.0),
+            (Operation::write(downtown), 1.0),
+            (Operation::read(dt_hw), 2.0), // occasional cross-town planning
+            (Operation::write(dt_hw), 0.5),
+        ],
+    )
+}
+
+fn rush_hour_profile() -> OperationProfile {
+    let home = ObjectSet::singleton(HOME);
+    let downtown = ObjectSet::singleton(DOWNTOWN);
+    let dt_hw = ObjectSet::from_objects(&[DOWNTOWN, HIGHWAY]);
+    OperationProfile::new(
+        3,
+        vec![
+            (Operation::read(home), 2.0),
+            (Operation::write(home), 1.0),
+            (Operation::read(downtown), 1.0),
+            (Operation::write(downtown), 8.0), // sensors flood the downtown segment
+            (Operation::read(dt_hw), 1.0),
+            (Operation::write(dt_hw), 4.0),
+        ],
+    )
+}
+
+fn name(a: Allocation) -> String {
+    let names = ["home", "downtown", "highway"];
+    let members: Vec<&str> = (0..3)
+        .filter(|&o| a.0.contains(o))
+        .map(|o| names[o])
+        .collect();
+    if members.is_empty() {
+        "∅".to_owned()
+    } else {
+        members.join("+")
+    }
+}
+
+fn main() {
+    println!("Traffic navigator — three road segments, joint cross-town operations\n");
+
+    // --- known frequencies: enumerate all 2³ allocations (§7.2) ---
+    for (label, profile) in [
+        ("overnight", overnight_profile()),
+        ("rush hour", rush_hour_profile()),
+    ] {
+        println!("=== {label} frequencies known in advance ===");
+        println!("{:<22} {:>18}", "replicate", "EXP per operation");
+        let mut costs: Vec<(Allocation, f64)> = ObjectSet::all_subsets(3)
+            .map(|s| (Allocation(s), profile.expected_cost(Allocation(s))))
+            .collect();
+        costs.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (alloc, cost) in &costs {
+            println!("{:<22} {:>18.4}", name(*alloc), cost);
+        }
+        let (best, cost) = profile.optimal_allocation();
+        println!(
+            "optimal static: replicate {} at EXP = {cost:.4}\n",
+            name(best)
+        );
+    }
+
+    // --- unknown frequencies: the windowed dynamic allocator ---
+    println!("=== frequencies unknown: window-based dynamic allocation ===");
+    let mut allocator = WindowedAllocator::new(3, 300, 50);
+    let stationary = simulate_windowed(&overnight_profile(), &mut allocator, 60_000, 11);
+    println!(
+        "overnight, 60k operations: dynamic cost {:.0}, optimal-static cost {:.0} \
+         (regret ratio {:.3}), converged to replicate {}",
+        stationary.dynamic_cost,
+        stationary.optimal_static_cost,
+        stationary.regret_ratio(),
+        name(allocator.current_allocation()),
+    );
+
+    let mut allocator = WindowedAllocator::new(3, 300, 50);
+    let shifting = simulate_windowed_shift(
+        &overnight_profile(),
+        &rush_hour_profile(),
+        &mut allocator,
+        40_000,
+        11,
+    );
+    println!(
+        "overnight → rush hour (40k ops each): dynamic cost {:.0} vs best single static {:.0}",
+        shifting.dynamic_cost, shifting.optimal_static_cost,
+    );
+    assert!(
+        shifting.dynamic_cost < shifting.optimal_static_cost,
+        "the adaptive allocator must beat every fixed allocation across the shift"
+    );
+    println!(
+        "the dynamic allocator re-allocated {} times and beat every static scheme: confirmed.",
+        shifting.reallocations
+    );
+
+    // Sanity: during rush hour a joint write is billed once even though it
+    // touches two segments (one connection per §7.2).
+    let rush = rush_hour_profile();
+    let joint_write = Operation {
+        kind: OpKind::Write,
+        objects: ObjectSet::from_objects(&[DOWNTOWN, HIGHWAY]),
+    };
+    let all = Allocation::full(3);
+    assert_eq!(all.connection_cost(joint_write), 1.0);
+    let _ = rush;
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration: the worst-case (competitive) results, tying
+//! `mdr-core` policies, `mdr-adversary` OPT, and `mdr-analysis` factors
+//! together.
+
+use mobile_replication::adversary::{cycle_ratio, generators, measure, opt_cost, verify_factor};
+use mobile_replication::analysis::competitive;
+use mobile_replication::prelude::*;
+use proptest::prelude::*;
+
+fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(prop::bool::ANY.prop_map(Request::from_bit), 1..=max_len)
+        .prop_map(Schedule::from_requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// OPT is a true lower bound: no online policy ever beats the offline
+    /// optimum that starts from the same replica state.
+    #[test]
+    fn opt_lower_bounds_every_policy(s in arb_schedule(120), omega in 0.0f64..=1.0) {
+        use mobile_replication::adversary::opt_cost_from;
+        for model in [CostModel::Connection, CostModel::message(omega)] {
+            for spec in PolicySpec::roster(&[1, 3, 9], &[2, 5]) {
+                let opt = opt_cost_from(&s, model, spec.build().has_copy());
+                let cost = run_spec(spec, &s, model).total_cost;
+                prop_assert!(cost >= opt - 1e-9, "{spec} {model} on {s}: {cost} < OPT {opt}");
+            }
+        }
+    }
+
+    /// The paper's competitive factors are never violated on random
+    /// schedules (with the cold-start additive constant).
+    #[test]
+    fn claimed_factors_hold_on_random_schedules(s in arb_schedule(200), omega in 0.0f64..=1.0) {
+        for k in [1usize, 3, 7] {
+            let spec = PolicySpec::SlidingWindow { k };
+            for model in [CostModel::Connection, CostModel::message(omega)] {
+                let factor = competitive::competitive_factor(spec, model)
+                    .expect("SWk is competitive");
+                let r = measure(spec, &s, model);
+                // Additive slack: one cold-start burst of at most k + 1
+                // chargeable requests, each costing at most 1 + ω.
+                let slack = (k as f64 + 1.0) * (1.0 + omega);
+                prop_assert!(
+                    !r.violates(factor, slack),
+                    "{spec} {model} on {s}: cost {} vs {factor}·{} + {slack}",
+                    r.policy_cost,
+                    r.opt_cost
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_verification_of_all_paper_factors() {
+    // Every schedule up to length 12, every policy family, both models.
+    let omega = 0.5;
+    let cases: Vec<(PolicySpec, CostModel, f64, f64)> = vec![
+        // (spec, model, factor, additive slack)
+        (
+            PolicySpec::SlidingWindow { k: 1 },
+            CostModel::Connection,
+            2.0,
+            2.0,
+        ),
+        (
+            PolicySpec::SlidingWindow { k: 3 },
+            CostModel::Connection,
+            4.0,
+            4.0,
+        ),
+        (
+            PolicySpec::SlidingWindow { k: 5 },
+            CostModel::Connection,
+            6.0,
+            6.0,
+        ),
+        (
+            PolicySpec::SlidingWindow { k: 1 },
+            CostModel::message(omega),
+            competitive::sw1_message_factor(omega),
+            1.0 + omega,
+        ),
+        (
+            PolicySpec::SlidingWindow { k: 3 },
+            CostModel::message(omega),
+            competitive::swk_message_factor(3, omega),
+            4.0 * (1.0 + omega),
+        ),
+        (PolicySpec::T1 { m: 2 }, CostModel::Connection, 3.0, 3.0),
+        (PolicySpec::T2 { m: 2 }, CostModel::Connection, 3.0, 3.0),
+        (
+            PolicySpec::T1 { m: 2 },
+            CostModel::message(omega),
+            competitive::t1_message_factor(2, omega),
+            2.0 * (1.0 + omega),
+        ),
+        (
+            PolicySpec::T2 { m: 2 },
+            CostModel::message(omega),
+            competitive::t2_message_factor(2, omega),
+            2.0 * (1.0 + omega),
+        ),
+    ];
+    for (spec, model, factor, slack) in cases {
+        verify_factor(spec, model, factor, slack, 12)
+            .unwrap_or_else(|s| panic!("{spec} {model}: factor {factor} violated on {s}"));
+    }
+}
+
+#[test]
+fn tight_factors_are_attained_by_the_published_cycles() {
+    // Lower bounds: the adversarial constructions reach the factors.
+    let cases = [
+        (3usize, CostModel::Connection),
+        (9, CostModel::Connection),
+        (3, CostModel::message(0.5)),
+        (5, CostModel::message(1.0)),
+    ];
+    for (k, model) in cases {
+        let spec = PolicySpec::SlidingWindow { k };
+        let factor = competitive::competitive_factor(spec, model).expect("competitive");
+        let warmup = Schedule::all_reads(k);
+        let half = k.div_ceil(2);
+        let cycle = Schedule::write_read_cycles(half, half, 1);
+        let r = cycle_ratio(spec, &warmup, &cycle, 500, model);
+        let ratio = r.ratio.expect("OPT pays per cycle");
+        assert!(ratio > factor * 0.99, "{spec} {model}: {ratio} vs {factor}");
+        assert!(
+            ratio <= factor + 1e-9,
+            "{spec} {model}: tight factor exceeded"
+        );
+    }
+}
+
+#[test]
+fn statics_fail_against_growing_punishers_in_both_models() {
+    for model in [CostModel::Connection, CostModel::message(0.3)] {
+        let mut prev = 0.0;
+        for n in [32usize, 256, 2_048] {
+            let r = measure(
+                PolicySpec::St1,
+                &generators::static_punisher(PolicySpec::St1, n),
+                model,
+            );
+            let ratio = r.ratio.expect("OPT fetches once");
+            assert!(ratio > prev, "{model}: ST1 ratio must diverge");
+            prev = ratio;
+        }
+        let r = measure(
+            PolicySpec::St2,
+            &generators::static_punisher(PolicySpec::St2, 512),
+            model,
+        );
+        assert_eq!(r.opt_cost, 0.0);
+        assert!(r.policy_cost >= 512.0);
+    }
+}
+
+#[test]
+fn opt_through_the_simulator_pipeline() {
+    // End-to-end: generate a Poisson schedule with the simulator, then
+    // check OPT lower-bounds the very run that produced it.
+    let spec = PolicySpec::SlidingWindow { k: 9 };
+    let report = simulate_poisson(spec, 0.45, 10_000, 31);
+    for model in [CostModel::Connection, CostModel::message(0.6)] {
+        let opt = opt_cost(&report.schedule, model);
+        assert!(report.cost(model) >= opt);
+        // And the measured ratio respects Theorem 4 / 12 with slack.
+        let factor = competitive::competitive_factor(spec, model).expect("competitive");
+        assert!(report.cost(model) <= factor * opt + 20.0);
+    }
+}

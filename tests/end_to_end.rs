@@ -1,0 +1,81 @@
+//! End-to-end workspace test: the full reproduction pipeline, exercised
+//! the way a user of the library would drive it, plus a fast-mode run of
+//! every experiment in the harness.
+
+use mobile_replication::prelude::*;
+
+#[test]
+fn paper_reproduction_pipeline() {
+    // 1. A user profiles their workload and finds θ ≈ 0.35 on a packet
+    //    network with ω = 0.25.
+    let theta = 0.35;
+    let omega = 0.25;
+    let model = CostModel::message(omega);
+
+    // 2. The Figure 1 lookup recommends a policy for fixed θ…
+    use mobile_replication::analysis::dominance::{message_winner, Winner};
+    let winner = message_winner(theta, omega);
+    assert_eq!(winner, Winner::Sw1, "θ=0.35, ω=0.25 lies in the SW1 band");
+
+    // 3. …and theory predicts its cost.
+    let predicted = expected_cost(winner.spec(), model, theta);
+
+    // 4. Running the real distributed protocol confirms the prediction…
+    let report = simulate_poisson(winner.spec(), theta, 40_000, 123);
+    let measured = report.cost_per_request(model);
+    assert!(
+        (measured - predicted).abs() < 0.01,
+        "measured {measured} vs predicted {predicted}"
+    );
+
+    // 5. …and beats both statics on the same seeded workload.
+    for other in [PolicySpec::St1, PolicySpec::St2] {
+        let other_cost = simulate_poisson(other, theta, 40_000, 123).cost_per_request(model);
+        assert!(measured < other_cost, "{} should lose here", other.name());
+    }
+
+    // 6. Offline hindsight check: the run stayed within SW1's competitive
+    //    envelope on its own schedule.
+    let opt = opt_cost(&report.schedule, model);
+    let factor = competitive_factor(winner.spec(), model).expect("SW1 is competitive");
+    assert!(report.cost(model) <= factor * opt + (1.0 + omega));
+}
+
+#[test]
+fn all_experiments_reproduce_in_fast_mode() {
+    let experiments = mdr_bench::experiments::run_all(mdr_bench::RunCfg { fast: true });
+    assert_eq!(experiments.len(), 16);
+    for e in &experiments {
+        assert!(
+            e.all_reproduced(),
+            "experiment {} has deviations:\n{}",
+            e.id,
+            e.render()
+        );
+        assert!(!e.tables.is_empty(), "{} produced no tables", e.id);
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Types from different crates compose through the facade paths.
+    let schedule: Schedule = "rrwwr".parse().expect("valid");
+    let out = run_spec(
+        PolicySpec::SlidingWindow { k: 3 },
+        &schedule,
+        CostModel::Connection,
+    );
+    assert!(out.total_cost >= 0.0);
+    let avg = mobile_replication::analysis::connection::avg_swk(9);
+    assert!((avg - (0.25 + 1.0 / 44.0)).abs() < 1e-12);
+    let profile =
+        mobile_replication::multi::OperationProfile::two_objects(5.0, 1.0, 1.0, 1.0, 5.0, 1.0);
+    let (best, _) = profile.optimal_allocation();
+    assert!(best.0.contains(0));
+    let search = mobile_replication::adversary::exhaustive_search(
+        PolicySpec::SlidingWindow { k: 1 },
+        CostModel::Connection,
+        8,
+    );
+    assert!(search.worst.ratio.expect("positive OPT exists") <= 2.0 + 1e-9);
+}

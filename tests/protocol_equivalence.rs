@@ -1,0 +1,100 @@
+//! Cross-crate integration: the distributed MC/SC protocol (`mdr-sim`)
+//! is behaviourally identical to the pure-policy reference (`mdr-core`)
+//! on the serialized request order — the §3 serialization argument as an
+//! executable theorem.
+
+use mobile_replication::prelude::*;
+use mobile_replication::sim::simulate_schedule;
+use proptest::prelude::*;
+
+fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(prop::bool::ANY.prop_map(Request::from_bit), 0..=max_len)
+        .prop_map(Schedule::from_requests)
+}
+
+fn arb_spec() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::St1),
+        Just(PolicySpec::St2),
+        (0usize..8).prop_map(|n| PolicySpec::SlidingWindow { k: 2 * n + 1 }),
+        (1usize..8).prop_map(|m| PolicySpec::T1 { m }),
+        (1usize..8).prop_map(|m| PolicySpec::T2 { m }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The distributed run and the in-process replay agree on every cost
+    /// metric for arbitrary schedules and policies. (The simulator's oracle
+    /// mode additionally asserts per-request action equality internally.)
+    #[test]
+    fn distributed_protocol_equals_reference(spec in arb_spec(), s in arb_schedule(150)) {
+        let sim = simulate_schedule(spec, &s);
+        let reference = run_spec(spec, &s, CostModel::Connection);
+        prop_assert_eq!(sim.counts, reference.counts);
+        prop_assert_eq!(sim.cost(CostModel::Connection), reference.total_cost);
+        for omega in [0.0, 0.4, 1.0] {
+            let model = CostModel::message(omega);
+            let reference = run_spec(spec, &s, model);
+            prop_assert!((sim.cost(model) - reference.total_cost).abs() < 1e-9);
+        }
+        prop_assert_eq!(sim.schedule, s);
+    }
+
+    /// Link latency changes time metrics but never cost: serialization makes
+    /// the protocol's communication independent of timing.
+    #[test]
+    fn latency_never_changes_cost(spec in arb_spec(), s in arb_schedule(80), latency in 0.0f64..2.0) {
+        use mobile_replication::sim::{RunLimit, TraceWorkload};
+        let run = |lat: f64| {
+            let mut sim = Simulation::new(SimConfig::new(spec).with_latency(lat));
+            let mut w = TraceWorkload::new(s.clone(), 0.5);
+            sim.run(&mut w, RunLimit::Requests(s.len()))
+        };
+        let fast = run(0.0);
+        let slow = run(latency);
+        prop_assert_eq!(fast.counts, slow.counts);
+        prop_assert_eq!(fast.cost(CostModel::message(0.3)), slow.cost(CostModel::message(0.3)));
+        prop_assert!(slow.makespan >= fast.makespan - 1e-9);
+    }
+}
+
+#[test]
+fn poisson_runs_pass_the_oracle_for_every_policy() {
+    // The simulator panics on any divergence when oracle_check is on, so
+    // simply completing these runs is the assertion.
+    for spec in PolicySpec::roster(&[1, 3, 5, 9, 15], &[1, 3, 7]) {
+        for theta in [0.1, 0.5, 0.9] {
+            let report = simulate_poisson(spec, theta, 3_000, 0xC0FFEE);
+            assert_eq!(report.counts.total(), 3_000, "{spec} θ={theta}");
+        }
+    }
+}
+
+#[test]
+fn window_handoff_carries_exact_history() {
+    // Crafted so ownership migrates repeatedly; the oracle would catch any
+    // window corruption across the piggybacked handoffs.
+    let s: Schedule = "rrrwwwrrrwwwrrrwwwrrr".parse().unwrap();
+    for k in [3usize, 5, 7] {
+        let spec = PolicySpec::SlidingWindow { k };
+        let report = simulate_schedule(spec, &s);
+        assert!(
+            report.allocations >= 2,
+            "k={k}: ownership must migrate repeatedly"
+        );
+        assert!(report.deallocations >= 2);
+    }
+}
+
+#[test]
+fn replica_is_never_stale() {
+    // The sim asserts freshness internally; this drives a write-heavy
+    // workload with replica churn to exercise that assertion hard.
+    let report = simulate_poisson(PolicySpec::SlidingWindow { k: 3 }, 0.65, 20_000, 9);
+    assert!(
+        report.deallocations > 100,
+        "the workload must actually churn the replica"
+    );
+}
