@@ -26,7 +26,7 @@
 //! assert!(report.ratio.unwrap() > 3.8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod generators;

@@ -77,7 +77,7 @@ pub fn opt_outcome(schedule: &Schedule, model: CostModel, initial_copy: bool) ->
     // Backpointers: for each request, the predecessor state chosen for each
     // end state.
     let mut back: Vec<(bool, bool)> = Vec::with_capacity(n);
-    for req in schedule.iter() {
+    for req in schedule {
         let (n0, n1, b) = match req {
             Request::Read => {
                 // End 0: from 0 pay remote read; from 1 read locally then
@@ -130,7 +130,7 @@ pub fn opt_cost_from(schedule: &Schedule, model: CostModel, initial_copy: bool) 
     } else {
         (0.0f64, f64::INFINITY)
     };
-    for req in schedule.iter() {
+    for req in schedule {
         match req {
             Request::Read => {
                 let best = (dp0 + prices.remote_read).min(dp1);

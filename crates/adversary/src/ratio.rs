@@ -105,15 +105,15 @@ pub fn random_worst(
             None => 0.0,
         };
         let candidate = rank(&report);
-        let current = worst
-            .as_ref()
-            .map(|(_, r)| rank(r))
-            .unwrap_or(f64::NEG_INFINITY);
+        let current = worst.as_ref().map_or(f64::NEG_INFINITY, |(_, r)| rank(r));
         if candidate > current {
             worst = Some((schedule, report));
         }
     }
-    worst.expect("at least one trial required")
+    let Some(found) = worst else {
+        panic!("at least one trial required");
+    };
+    found
 }
 
 #[cfg(test)]

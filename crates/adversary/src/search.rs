@@ -7,7 +7,7 @@
 
 use crate::opt::opt_cost_from;
 use crate::ratio::RatioReport;
-use mdr_core::{run_spec, CostModel, PolicySpec, Schedule};
+use mdr_core::{approx_eq, run_spec, CostModel, PolicySpec, Schedule};
 
 /// Result of an exhaustive sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,15 +52,14 @@ where
             let policy_cost = mdr_core::run_policy(policy.as_mut(), &schedule, model).total_cost;
             let opt = opt_cost_from(&schedule, model, initial_copy);
             examined += 1;
-            if opt == 0.0 {
+            if approx_eq(opt, 0.0) {
                 unbounded_witness_cost = unbounded_witness_cost.max(policy_cost);
                 continue;
             }
             let ratio = policy_cost / opt;
             let improves = worst
                 .as_ref()
-                .map(|(_, w)| ratio > w.ratio.unwrap_or(0.0) + 1e-12)
-                .unwrap_or(true);
+                .is_none_or(|(_, w)| ratio > w.ratio.unwrap_or(0.0) + 1e-12);
             if improves {
                 worst = Some((
                     schedule,
@@ -73,7 +72,9 @@ where
             }
         }
     }
-    let (worst_schedule, worst) = worst.expect("at least one schedule with positive OPT cost");
+    let Some((worst_schedule, worst)) = worst else {
+        panic!("at least one schedule with positive OPT cost");
+    };
     SearchOutcome {
         worst_schedule,
         worst,

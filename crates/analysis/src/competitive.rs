@@ -46,7 +46,8 @@ pub fn t_connection_factor(m: usize) -> f64 {
     (m + 1) as f64
 }
 
-/// `m(1+ω) + ω` — derived message-model factor for T1m (not stated in the
+/// `m(1+ω) + ω` — derived message-model factor for the §7.1 T1m (not
+/// stated in the
 /// paper): the worst cycle is `m` remote reads at `1+ω` each plus one
 /// delete-request write at `ω`, against OPT's single propagated write.
 /// Validated empirically (never exceeded by exhaustive search) in E8.
@@ -56,7 +57,8 @@ pub fn t1_message_factor(m: usize, omega: f64) -> f64 {
     m as f64 * (1.0 + omega) + omega
 }
 
-/// `m + 1 + 2ω` — derived message-model factor for T2m: the worst cycle is
+/// `m + 1 + 2ω` — derived message-model factor for the §7.1 T2m: the
+/// worst cycle is
 /// `m` propagated writes (the last deallocating, `+ω`) plus one remote read
 /// at `1+ω`, against OPT's single propagated write. Validated empirically.
 pub fn t2_message_factor(m: usize, omega: f64) -> f64 {
@@ -65,15 +67,15 @@ pub fn t2_message_factor(m: usize, omega: f64) -> f64 {
     m as f64 + 1.0 + 2.0 * omega
 }
 
-/// The competitiveness factor of `spec` under `model`; `None` means the
-/// algorithm is not competitive (the statics).
+/// The competitiveness factor of `spec` under `model` (§5.3, §6.4,
+/// §7.1); `None` means the algorithm is not competitive (the statics).
 ///
 /// Factors for SWk / SW1 are the paper's tight values; factors for T1m /
 /// T2m in the message model are derived (documented at the respective
 /// functions).
 pub fn competitive_factor(spec: PolicySpec, model: CostModel) -> Option<f64> {
     match (spec, model) {
-        (PolicySpec::St1, _) | (PolicySpec::St2, _) => None,
+        (PolicySpec::St1 | PolicySpec::St2, _) => None,
         (PolicySpec::SlidingWindow { k }, CostModel::Connection) => Some(swk_connection_factor(k)),
         (PolicySpec::SlidingWindow { k: 1 }, CostModel::Message { omega }) => {
             Some(sw1_message_factor(omega))
@@ -81,8 +83,9 @@ pub fn competitive_factor(spec: PolicySpec, model: CostModel) -> Option<f64> {
         (PolicySpec::SlidingWindow { k }, CostModel::Message { omega }) => {
             Some(swk_message_factor(k, omega))
         }
-        (PolicySpec::T1 { m }, CostModel::Connection)
-        | (PolicySpec::T2 { m }, CostModel::Connection) => Some(t_connection_factor(m)),
+        (PolicySpec::T1 { m } | PolicySpec::T2 { m }, CostModel::Connection) => {
+            Some(t_connection_factor(m))
+        }
         (PolicySpec::T1 { m }, CostModel::Message { omega }) => Some(t1_message_factor(m, omega)),
         (PolicySpec::T2 { m }, CostModel::Message { omega }) => Some(t2_message_factor(m, omega)),
     }

@@ -77,7 +77,8 @@ pub fn exp_t2(m: usize, theta: f64) -> f64 {
     theta + theta.powi(m as i32) * (1.0 - 2.0 * theta)
 }
 
-/// `AVG_T1m = 1/2 − m/((m+1)(m+2))` — derived by integrating `EXP_T1m`
+/// `AVG_T1m = 1/2 − m/((m+1)(m+2))` — derived by applying the Eq. 1 AVG
+/// integral to `EXP_T1m`
 /// (∫(1−θ)^m(2θ−1)dθ = 1/(m+1) − 2/(m+2)); not stated in the paper but
 /// verified against quadrature in the tests.
 pub fn avg_t1(m: usize) -> f64 {
@@ -86,7 +87,8 @@ pub fn avg_t1(m: usize) -> f64 {
     0.5 - m / ((m + 1.0) * (m + 2.0))
 }
 
-/// `AVG_T2m = AVG_T1m` by the θ ↔ 1−θ symmetry of the two formulas.
+/// `AVG_T2m = AVG_T1m` by the θ ↔ 1−θ symmetry of the two §7.1
+/// formulas.
 pub fn avg_t2(m: usize) -> f64 {
     avg_t1(m)
 }
@@ -99,7 +101,7 @@ pub fn optimal_exp(theta: f64) -> f64 {
     theta.min(1.0 - theta)
 }
 
-/// `AVG` of the lower envelope: `∫₀¹ min(θ, 1−θ) dθ = 1/4` — the optimum the
+/// `AVG` (Eq. 1) of the lower envelope: `∫₀¹ min(θ, 1−θ) dθ = 1/4` — the optimum the
 /// paper compares AVG_SWk against ("coming within 6% of the optimum for
 /// k = 15").
 pub fn optimal_avg() -> f64 {
@@ -149,7 +151,7 @@ mod tests {
     fn theorem_2_swk_never_beats_the_static_envelope() {
         for k in [1usize, 3, 7, 15, 41] {
             for i in 0..=100 {
-                let theta = i as f64 / 100.0;
+                let theta = f64::from(i) / 100.0;
                 assert!(
                     exp_swk(k, theta) >= optimal_exp(theta) - 1e-12,
                     "k={k} θ={theta}"

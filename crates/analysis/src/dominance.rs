@@ -18,7 +18,8 @@
 use crate::{connection, message};
 use mdr_core::PolicySpec;
 
-/// Which algorithm family wins a point of the dominance map.
+/// Which algorithm family wins a point of the dominance map (Theorem 6,
+/// Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Winner {
     /// Static one-copy has the (weakly) lowest expected cost.
@@ -30,7 +31,7 @@ pub enum Winner {
 }
 
 impl Winner {
-    /// The corresponding policy description.
+    /// The corresponding §2 policy description.
     pub fn spec(self) -> PolicySpec {
         match self {
             Winner::St1 => PolicySpec::St1,
@@ -40,14 +41,15 @@ impl Winner {
     }
 }
 
-/// The upper boundary of Figure 1: `θ = (1+ω)/(1+2ω)`, the ST1/SW1
-/// crossing.
+/// The upper boundary of Figure 1 (Theorem 6): `θ = (1+ω)/(1+2ω)`, the
+/// ST1/SW1 crossing.
 pub fn st1_sw1_boundary(omega: f64) -> f64 {
     assert!((0.0..=1.0).contains(&omega));
     (1.0 + omega) / (1.0 + 2.0 * omega)
 }
 
-/// The lower boundary of Figure 1: `θ = 2ω/(1+2ω)`, the ST2/SW1 crossing.
+/// The lower boundary of Figure 1 (Theorem 6): `θ = 2ω/(1+2ω)`, the
+/// ST2/SW1 crossing.
 pub fn st2_sw1_boundary(omega: f64) -> f64 {
     assert!((0.0..=1.0).contains(&omega));
     2.0 * omega / (1.0 + 2.0 * omega)
@@ -67,7 +69,8 @@ pub fn message_winner(theta: f64, omega: f64) -> Winner {
     }
 }
 
-/// Best expected-cost algorithm in the connection model: ST1 for θ ≥ 1/2,
+/// Best expected-cost algorithm in the connection model (Theorem 2): ST1
+/// for θ ≥ 1/2,
 /// ST2 otherwise (ties at 1/2 go to ST1; both cost 1/2 there).
 pub fn connection_winner(theta: f64) -> Winner {
     assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
@@ -78,8 +81,8 @@ pub fn connection_winner(theta: f64) -> Winner {
     }
 }
 
-/// Resolves the winner *numerically* by evaluating the three expected-cost
-/// formulas — used to validate the analytic region test and to paint
+/// Resolves the winner *numerically* by evaluating the three §6
+/// expected-cost formulas — used to validate the analytic region test and to paint
 /// Figure 1 in experiment E4.
 pub fn message_winner_by_cost(theta: f64, omega: f64) -> Winner {
     let st1 = message::exp_st1(theta, omega);
@@ -94,13 +97,13 @@ pub fn message_winner_by_cost(theta: f64, omega: f64) -> Winner {
     }
 }
 
-/// The expected cost of the winner — the lower envelope plotted under
-/// Figure 1.
+/// The expected cost of the winner — the Theorem 6 lower envelope
+/// plotted under Figure 1.
 pub fn message_envelope(theta: f64, omega: f64) -> f64 {
     message::optimal_exp(theta, omega)
 }
 
-/// The connection-model lower envelope `min(θ, 1−θ)`.
+/// The connection-model lower envelope `min(θ, 1−θ)` (Theorem 2).
 pub fn connection_envelope(theta: f64) -> f64 {
     connection::optimal_exp(theta)
 }
@@ -142,8 +145,8 @@ mod tests {
         // irrational-free grid offsets).
         for i in 0..60 {
             for j in 0..60 {
-                let theta = (i as f64 + 0.5) / 60.0;
-                let omega = (j as f64 + 0.5) / 60.0;
+                let theta = (f64::from(i) + 0.5) / 60.0;
+                let omega = (f64::from(j) + 0.5) / 60.0;
                 assert_eq!(
                     message_winner(theta, omega),
                     message_winner_by_cost(theta, omega),

@@ -13,7 +13,8 @@
 use mdr_core::{AllocationPolicy, CostModel, Request, RequestWindow, SlidingWindow};
 
 /// The exact expected cost per request of SWk at write fraction `theta`
-/// under `model`, by enumeration of all `2^k` stationary window states.
+/// under `model`, by enumeration of all `2^k` stationary window states —
+/// an independent cross-check of the §5/§6 closed forms.
 ///
 /// # Panics
 ///
@@ -30,7 +31,7 @@ pub fn exact_exp_swk(k: usize, theta: f64, model: CostModel) -> f64 {
     for state in 0u32..(1 << k) {
         let writes = state.count_ones() as i32;
         let p_state = theta.powi(writes) * (1.0 - theta).powi(k as i32 - writes);
-        if p_state == 0.0 {
+        if p_state.total_cmp(&0.0).is_eq() {
             continue;
         }
         // Reconstruct the ordered window (bit i = request i, oldest first).
@@ -38,7 +39,7 @@ pub fn exact_exp_swk(k: usize, theta: f64, model: CostModel) -> f64 {
             .map(|i| Request::from_bit((state >> i) & 1 == 1))
             .collect();
         for (req, p_req) in [(Request::Read, 1.0 - theta), (Request::Write, theta)] {
-            if p_req == 0.0 {
+            if p_req.total_cmp(&0.0).is_eq() {
                 continue;
             }
             let mut policy = SlidingWindow::with_window(RequestWindow::from_requests(&requests));
@@ -58,7 +59,7 @@ pub fn exact_dealloc_rate(k: usize, theta: f64) -> f64 {
     for state in 0u32..(1 << k) {
         let writes = state.count_ones() as i32;
         let p_state = theta.powi(writes) * (1.0 - theta).powi(k as i32 - writes);
-        if p_state == 0.0 {
+        if p_state.total_cmp(&0.0).is_eq() {
             continue;
         }
         let requests: Vec<Request> = (0..k)

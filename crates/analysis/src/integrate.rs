@@ -6,7 +6,8 @@
 //! is tested against direct quadrature of its own EXP curve.
 
 /// Integrates `f` over `[a, b]` with adaptive Simpson's rule to absolute
-/// tolerance `tol`.
+/// tolerance `tol` — evaluates the Eq. 1 AVG integral when no closed form
+/// exists.
 ///
 /// # Panics
 ///
@@ -59,7 +60,8 @@ fn adaptive<F: Fn(f64) -> f64>(
 }
 
 /// Composite Simpson with `2·half_panels` panels — a cheap fixed-cost
-/// alternative for smooth integrands in benches.
+/// alternative for smooth integrands in benches (the Eq. 1 AVG integrand
+/// is smooth).
 pub fn simpson_fixed<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, half_panels: usize) -> f64 {
     assert!(half_panels >= 1);
     let n = 2 * half_panels;

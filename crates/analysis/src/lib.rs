@@ -34,18 +34,28 @@
 //! assert!(exp > 0.0 && avg < 0.5);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+/// Competitiveness factors (§5.3, §6.4, §7.1).
 pub mod competitive;
+/// Closed forms in the connection cost model (§5).
 pub mod connection;
+/// Expected-cost dominance regions (Theorems 2 & 6, Figure 1).
 pub mod dominance;
+/// Exact SWk verification by enumerating §4 window states (§5, §6).
 pub mod exact;
+/// Quadrature for the Eq. 1 AVG integral.
 pub mod integrate;
+/// Closed forms in the message cost model (§6).
 pub mod message;
+/// The window-majority probability π_k (Eq. 4) and Eq. 11's rate term.
 pub mod pi;
+/// Stable special functions behind the Eq. 4 binomial sums.
 pub mod special;
+/// Cost variance — second moments beyond the paper's §5/§6 means.
 pub mod variance;
+/// Window-size guidance (Corollaries 3 & 4, §9).
 pub mod window_choice;
 
 pub use competitive::competitive_factor;
@@ -54,7 +64,8 @@ pub use pi::{pi_k, transition_probability};
 use mdr_core::{CostModel, PolicySpec};
 
 /// `EXP_A(θ)`: the expected communication cost per relevant request of
-/// policy `spec` under `model` when the write fraction is `theta`.
+/// policy `spec` under `model` when the write fraction is `theta` — the
+/// §5/§6 EXP measure, dispatched over all policies and both cost models.
 pub fn expected_cost(spec: PolicySpec, model: CostModel, theta: f64) -> f64 {
     match model {
         CostModel::Connection => match spec {
@@ -134,7 +145,7 @@ mod tests {
                 CostModel::message(1.0),
             ] {
                 for i in 0..=10 {
-                    let theta = i as f64 / 10.0;
+                    let theta = f64::from(i) / 10.0;
                     let e = expected_cost(spec, model, theta);
                     assert!(e.is_finite() && e >= 0.0, "{spec} {model} θ={theta}: {e}");
                     assert!(

@@ -128,8 +128,8 @@ pub fn exp_t1(m: usize, theta: f64, omega: f64) -> f64 {
     (1.0 + omega) * q * (1.0 - qm) + omega * theta * qm
 }
 
-/// `EXP_T2m(θ, ω) = θ(1−θ^m) + (1+2ω)(1−θ)θ^m` — message-model analogue for
-/// T2m (phase-A writes at 1 with a final extra delete-request `ω`,
+/// `EXP_T2m(θ, ω) = θ(1−θ^m) + (1+2ω)(1−θ)θ^m` — message-model analogue
+/// of §7.1's T2m (phase-A writes at 1 with a final extra delete-request `ω`,
 /// phase-ending remote read at `1+ω`). Derived; verified by simulation.
 pub fn exp_t2(m: usize, theta: f64, omega: f64) -> f64 {
     assert!(m >= 1);
@@ -252,7 +252,7 @@ mod tests {
     fn theorem_9_swk_never_beats_the_envelope() {
         for k in [3usize, 5, 9, 21, 95] {
             for i in 1..100 {
-                let theta = i as f64 / 100.0;
+                let theta = f64::from(i) / 100.0;
                 for omega in [0.1, 0.4, 0.45, 0.9] {
                     assert!(
                         exp_swk(k, theta, omega) >= optimal_exp(theta, omega) - 1e-10,

@@ -38,7 +38,7 @@ pub fn pi_k(k: usize, theta: f64) -> f64 {
 pub fn transition_probability(k: usize, theta: f64) -> f64 {
     assert!(k >= 1 && k % 2 == 1, "window size must be odd, got {k}");
     assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
-    if theta == 0.0 || theta == 1.0 {
+    if theta.total_cmp(&0.0).is_eq() || theta.total_cmp(&1.0).is_eq() {
         return 0.0;
     }
     let n = (k as u64 - 1) / 2;
@@ -96,7 +96,7 @@ mod tests {
         for k in [1usize, 5, 31] {
             let mut prev = pi_k(k, 0.0);
             for i in 1..=20 {
-                let cur = pi_k(k, i as f64 / 20.0);
+                let cur = pi_k(k, f64::from(i) / 20.0);
                 assert!(cur <= prev + 1e-12, "π_{k} not decreasing");
                 prev = cur;
             }

@@ -7,7 +7,8 @@
 //! in log space.
 
 /// Natural log of the gamma function, via the Lanczos approximation
-/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0) —
+/// backs the Eq. 4 binomial tails.
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
     // Lanczos coefficients for g = 7.
@@ -36,7 +37,7 @@ pub fn ln_gamma(x: f64) -> f64 {
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
 }
 
-/// `ln(n!)`.
+/// `ln(n!)` — building block of the Eq. 4 binomial coefficients.
 pub fn ln_factorial(n: u64) -> f64 {
     // Exact for small n (cheap and bit-accurate in tests), Lanczos beyond.
     const SMALL: usize = 21;
@@ -51,7 +52,8 @@ pub fn ln_factorial(n: u64) -> f64 {
     }
 }
 
-/// `ln C(n, k)`; `-inf` when `k > n`.
+/// `ln C(n, k)` (the Eq. 4 coefficient, in log space); `-inf` when
+/// `k > n`.
 pub fn ln_binomial(n: u64, k: u64) -> f64 {
     if k > n {
         return f64::NEG_INFINITY;
@@ -59,7 +61,8 @@ pub fn ln_binomial(n: u64, k: u64) -> f64 {
     ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
 }
 
-/// The binomial coefficient `C(n, k)` as an `f64` (may round for n ≳ 60).
+/// The Eq. 4 binomial coefficient `C(n, k)` as an `f64` (may round for
+/// n ≳ 60).
 pub fn binomial(n: u64, k: u64) -> f64 {
     if k > n {
         return 0.0;
@@ -67,17 +70,18 @@ pub fn binomial(n: u64, k: u64) -> f64 {
     ln_binomial(n, k).exp()
 }
 
-/// Binomial probability mass `C(n, j) p^j (1-p)^{n-j}`, stable in log space;
+/// Binomial probability mass `C(n, j) p^j (1-p)^{n-j}` — the Eq. 4
+/// window-state term — stable in log space;
 /// handles the p ∈ {0, 1} edge cases exactly.
 pub fn binomial_pmf(n: u64, j: u64, p: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
     if j > n {
         return 0.0;
     }
-    if p == 0.0 {
+    if p.total_cmp(&0.0).is_eq() {
         return if j == 0 { 1.0 } else { 0.0 };
     }
-    if p == 1.0 {
+    if p.total_cmp(&1.0).is_eq() {
         return if j == n { 1.0 } else { 0.0 };
     }
     let ln = ln_binomial(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln();
@@ -85,15 +89,16 @@ pub fn binomial_pmf(n: u64, j: u64, p: f64) -> f64 {
 }
 
 /// Lower binomial CDF `P(X ≤ j)` for `X ~ Bin(n, p)` via stable term
-/// recurrence seeded from the largest retained term.
+/// recurrence seeded from the largest retained term — evaluates the Eq. 4
+/// majority sums.
 pub fn binomial_cdf(n: u64, j: u64, p: f64) -> f64 {
     if j >= n {
         return 1.0;
     }
-    if p == 0.0 {
+    if p.total_cmp(&0.0).is_eq() {
         return 1.0;
     }
-    if p == 1.0 {
+    if p.total_cmp(&1.0).is_eq() {
         return 0.0;
     }
     // Sum pmf terms from 0..=j. Work downward from term j using the

@@ -21,7 +21,8 @@ fn check(theta: f64) {
     assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
 }
 
-/// Marginal per-request cost variance of ST1: the cost is `1` (connection)
+/// Marginal per-request cost variance of ST1 (second moment of the
+/// §5/§6 per-request cost): the cost is `1` (connection)
 /// or `1 + ω` (message) with probability `1 − θ`, else 0.
 pub fn var_st1(theta: f64, model: CostModel) -> f64 {
     check(theta);
@@ -32,14 +33,16 @@ pub fn var_st1(theta: f64, model: CostModel) -> f64 {
     c * c * (1.0 - theta) * theta
 }
 
-/// Marginal per-request cost variance of ST2: the cost is 1 with
-/// probability θ in both models.
+/// Marginal per-request cost variance of ST2 (second moment of the
+/// §5/§6 per-request cost): the cost is 1 with probability θ in both
+/// models.
 pub fn var_st2(theta: f64, _model: CostModel) -> f64 {
     check(theta);
     theta * (1.0 - theta)
 }
 
-/// Marginal per-request cost variance of SWk.
+/// Marginal per-request cost variance of SWk — second-moment companion
+/// to the §5/§6 EXP_SWk, built from Eq. 4's π_k.
 ///
 /// Connection model: the cost is Bernoulli(`EXP_SWk`), so
 /// `Var = EXP(1 − EXP)`. Message model: the cost takes `1` on kept
@@ -76,7 +79,7 @@ pub fn var_swk(k: usize, theta: f64, model: CostModel) -> f64 {
     }
 }
 
-/// Exact marginal variance by `2^k` state-space enumeration (the
+/// Exact marginal variance by `2^k` enumeration of §4 window states (the
 /// verification oracle for [`var_swk`]). Panics for `k > 20`.
 pub fn exact_var_swk(k: usize, theta: f64, model: CostModel) -> f64 {
     assert!(k >= 1 && k % 2 == 1 && k <= 20);
@@ -86,7 +89,7 @@ pub fn exact_var_swk(k: usize, theta: f64, model: CostModel) -> f64 {
     for state in 0u32..(1 << k) {
         let writes = state.count_ones() as i32;
         let p_state = theta.powi(writes) * (1.0 - theta).powi(k as i32 - writes);
-        if p_state == 0.0 {
+        if p_state.total_cmp(&0.0).is_eq() {
             continue;
         }
         let requests: Vec<mdr_core::Request> = (0..k)
@@ -96,7 +99,7 @@ pub fn exact_var_swk(k: usize, theta: f64, model: CostModel) -> f64 {
             (mdr_core::Request::Read, 1.0 - theta),
             (mdr_core::Request::Write, theta),
         ] {
-            if p_req == 0.0 {
+            if p_req.total_cmp(&0.0).is_eq() {
                 continue;
             }
             use mdr_core::AllocationPolicy;
@@ -161,7 +164,7 @@ mod tests {
     fn variance_is_nonnegative_everywhere() {
         for k in [1usize, 3, 9, 15] {
             for i in 0..=20 {
-                let theta = i as f64 / 20.0;
+                let theta = f64::from(i) / 20.0;
                 for model in [CostModel::Connection, CostModel::message(0.3)] {
                     assert!(var_swk(k, theta, model) >= -1e-12, "k={k} θ={theta}");
                 }
@@ -201,8 +204,8 @@ mod tests {
             sum += c;
             sumsq += c * c;
         }
-        let mean = sum / n as f64;
-        let var = sumsq / n as f64 - mean * mean;
+        let mean = sum / f64::from(n);
+        let var = sumsq / f64::from(n) - mean * mean;
         let predicted = var_swk(5, 0.4, model);
         assert!((var - predicted).abs() < 0.01, "{var} vs {predicted}");
     }

@@ -9,7 +9,7 @@
 
 use crate::message::{avg_sw1, avg_swk};
 
-/// The ω threshold of Corollaries 3/4: for `ω ≤ 0.4` SW1 has the best
+/// The ω threshold of Corollaries 3/4 (§9): for `ω ≤ 0.4` SW1 has the best
 /// average expected cost among all window sizes; above it, large enough
 /// windows win.
 pub const OMEGA_THRESHOLD: f64 = 0.4;
@@ -31,7 +31,8 @@ pub fn k0_threshold(omega: f64) -> Option<f64> {
     Some(((10.0 - omega) + disc.sqrt()) / (2.0 * (5.0 * omega - 2.0)))
 }
 
-/// The smallest **odd** `k > 1` with `AVG_SWk ≤ AVG_SW1` — the staircase
+/// The smallest **odd** `k > 1` with `AVG_SWk ≤ AVG_SW1` (Eq. 12 ≤
+/// Eq. 10) — the staircase
 /// plotted in Figure 2 (e.g. ω = 0.45 → 39, ω = 0.8 → 7). `None` for
 /// `ω ≤ 0.4`.
 pub fn min_beneficial_k(omega: f64) -> Option<usize> {
@@ -152,7 +153,7 @@ mod tests {
         }
         // 95 sits on a very steep part of the staircase (near ω ≈ 0.4206);
         // hit it by bisecting ω for k₀ ∈ (93, 95].
-        let hit_95 = (4180..4240).any(|i| min_beneficial_k(i as f64 / 10_000.0) == Some(95));
+        let hit_95 = (4180..4240).any(|i| min_beneficial_k(f64::from(i) / 10_000.0) == Some(95));
         assert!(hit_95, "staircase never hits k = 95 near ω ≈ 0.42");
     }
 
@@ -212,7 +213,7 @@ mod tests {
     fn k0_decreases_with_omega() {
         let mut prev = f64::INFINITY;
         for i in 41..=100 {
-            let omega = i as f64 / 100.0;
+            let omega = f64::from(i) / 100.0;
             let k0 = k0_threshold(omega).unwrap();
             assert!(k0 <= prev + 1e-9, "ω={omega}");
             assert!(k0 > 0.0);

@@ -12,7 +12,7 @@ fn bench_pi_k(c: &mut Criterion) {
     let mut group = c.benchmark_group("pi_k");
     for k in [9usize, 95, 1_001, 10_001] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| pi_k(black_box(k), black_box(0.47)))
+            b.iter(|| pi_k(black_box(k), black_box(0.47)));
         });
     }
     group.finish();
@@ -23,7 +23,7 @@ fn bench_avg_quadrature(c: &mut Criterion) {
     let mut group = c.benchmark_group("avg_quadrature_eq11");
     for k in [9usize, 95] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| integrate(|t| message::exp_swk(k, t, 0.6), 0.0, 1.0, 1e-9))
+            b.iter(|| integrate(|t| message::exp_swk(k, t, 0.6), 0.0, 1.0, 1e-9));
         });
     }
     group.finish();
@@ -41,7 +41,7 @@ fn bench_exact_enumeration(c: &mut Criterion) {
                     0.45,
                     mdr_core::CostModel::message(0.6),
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -64,7 +64,7 @@ fn bench_multi_object_optimum(c: &mut Criterion) {
         ));
         let profile = OperationProfile::new(n, entries);
         group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, p| {
-            b.iter(|| black_box(p).optimal_allocation())
+            b.iter(|| black_box(p).optimal_allocation());
         });
     }
     group.finish();

@@ -12,10 +12,10 @@ fn bench_opt_dp(c: &mut Criterion) {
         let schedule = generators::random_schedule(len, 0.5, 42);
         group.throughput(Throughput::Elements(len as u64));
         group.bench_with_input(BenchmarkId::new("connection", len), &schedule, |b, s| {
-            b.iter(|| opt_cost(black_box(s), CostModel::Connection))
+            b.iter(|| opt_cost(black_box(s), CostModel::Connection));
         });
         group.bench_with_input(BenchmarkId::new("message", len), &schedule, |b, s| {
-            b.iter(|| opt_cost(black_box(s), CostModel::message(0.5)))
+            b.iter(|| opt_cost(black_box(s), CostModel::message(0.5)));
         });
     }
     group.finish();
@@ -35,7 +35,7 @@ fn bench_exhaustive_search(c: &mut Criterion) {
                         CostModel::Connection,
                         black_box(max_len),
                     )
-                })
+                });
             },
         );
     }

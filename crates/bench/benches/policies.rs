@@ -35,7 +35,7 @@ fn bench_policy_throughput(c: &mut Criterion) {
             BenchmarkId::from_parameter(spec.name()),
             &spec,
             |b, &spec| {
-                b.iter(|| run_spec(black_box(spec), black_box(&schedule), CostModel::Connection))
+                b.iter(|| run_spec(black_box(spec), black_box(&schedule), CostModel::Connection));
             },
         );
     }
@@ -53,7 +53,7 @@ fn bench_adaptive_policy(c: &mut Criterion) {
         b.iter(|| {
             let mut p = AdaptivePolicy::new(9, CostModel::message(0.6));
             run_policy(&mut p, black_box(&schedule), CostModel::message(0.6))
-        })
+        });
     });
     group.bench_function("sw9_message", |b| {
         b.iter(|| {
@@ -62,7 +62,7 @@ fn bench_adaptive_policy(c: &mut Criterion) {
                 black_box(&schedule),
                 CostModel::message(0.6),
             )
-        })
+        });
     });
     group.finish();
 }
@@ -80,7 +80,7 @@ fn bench_window_size_independence(c: &mut Criterion) {
                     black_box(&schedule),
                     CostModel::message(0.5),
                 )
-            })
+            });
         });
     }
     group.finish();

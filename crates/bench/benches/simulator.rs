@@ -60,7 +60,7 @@ fn bench_lossy_link(c: &mut Criterion) {
                     let mut sim = Simulation::new(config);
                     let mut w = PoissonWorkload::from_theta(1.0, 0.4, 1234);
                     sim.run(&mut w, RunLimit::Requests(REQUESTS))
-                })
+                });
             },
         );
     }
@@ -79,7 +79,7 @@ fn bench_workload_generation(c: &mut Criterion) {
                 last = w.next_arrival().unwrap().time;
             }
             black_box(last)
-        })
+        });
     });
     group.finish();
 }

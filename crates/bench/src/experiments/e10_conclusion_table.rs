@@ -12,6 +12,7 @@ use crate::RunCfg;
 use mdr_analysis::competitive::{swk_connection_factor, swk_message_factor};
 use mdr_analysis::window_choice::{min_beneficial_k, recommend_k, smallest_k_within};
 use mdr_analysis::{connection, message};
+use mdr_core::approx_eq;
 
 /// Runs the experiment.
 pub fn run(_cfg: RunCfg) -> Experiment {
@@ -92,11 +93,11 @@ pub fn run(_cfg: RunCfg) -> Experiment {
 
     exp.verdict(
         "§9: k = 9 gives AVG within 10% of optimum at competitiveness 10",
-        rec10.k == 9 && rec10.avg_excess <= 0.10 && rec10.competitive_factor == 10.0,
+        rec10.k == 9 && rec10.avg_excess <= 0.10 && approx_eq(rec10.competitive_factor, 10.0),
     );
     exp.verdict(
         "§2.1: k = 15 gives AVG within 6% of optimum at competitiveness 16",
-        rec6.k == 15 && rec6.avg_excess <= 0.06 && rec6.competitive_factor == 16.0,
+        rec6.k == 15 && rec6.avg_excess <= 0.06 && approx_eq(rec6.competitive_factor, 16.0),
     );
     exp.verdict(
         "§9: ω ≤ 0.4 ⇒ choose SW1; ω > 0.4 ⇒ choose k ≥ k₀(ω)",

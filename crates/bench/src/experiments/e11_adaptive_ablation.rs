@@ -21,7 +21,9 @@ use crate::table::{fmt, fmt_opt, Experiment, Table};
 use crate::RunCfg;
 use mdr_adversary::{exhaustive_search_policy, generators};
 use mdr_analysis::message;
-use mdr_core::{run_policy, run_spec, AdaptivePolicy, AllocationPolicy, CostModel, PolicySpec};
+use mdr_core::{
+    approx_eq, run_policy, run_spec, AdaptivePolicy, AllocationPolicy, CostModel, PolicySpec,
+};
 
 /// Mean per-request cost of a fresh `policy` over seeded i.i.d. schedules.
 fn simulated_exp(policy: &mut dyn AllocationPolicy, theta: f64, model: CostModel, n: usize) -> f64 {
@@ -46,7 +48,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         let schedule = generators::random_schedule(500, 0.3 + 0.05 * seed as f64, seed);
         let mut adaptive = AdaptivePolicy::new(k, CostModel::Connection);
         let mut window = mdr_core::SlidingWindow::new(k);
-        for r in schedule.iter() {
+        for r in &schedule {
             if adaptive.on_request(r) != window.on_request(r) {
                 identical = false;
             }
@@ -69,7 +71,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     let mut adaptive_total = 0.0;
     let mut swk_total = 0.0;
     for i in 1..=9 {
-        let theta = i as f64 / 10.0;
+        let theta = f64::from(i) / 10.0;
         let mut adaptive = AdaptivePolicy::new(k, model);
         let a = simulated_exp(&mut adaptive, theta, model, n);
         let schedule = generators::random_schedule(n, theta, 0xE11 ^ (theta * 1e6) as u64);
@@ -129,7 +131,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     );
     exp.verdict(
         "the adaptive policy's short-horizon worst ratio stays bounded (no OPT-free blowup)",
-        outcome.worst.ratio.is_some() && outcome.unbounded_witness_cost == 0.0,
+        outcome.worst.ratio.is_some() && approx_eq(outcome.unbounded_witness_cost, 0.0),
     );
     exp
 }

@@ -11,7 +11,7 @@
 
 use crate::table::{fmt, Experiment, Table};
 use crate::RunCfg;
-use mdr_core::{CostModel, PolicySpec};
+use mdr_core::{approx_eq, CostModel, PolicySpec};
 use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, SimReport, Simulation};
 
 fn roam(spec: PolicySpec, cells: Option<Vec<f64>>, n: usize) -> SimReport {
@@ -60,8 +60,11 @@ pub fn run(cfg: RunCfg) -> Experiment {
         let fixed = roam(spec, None, n);
         let roaming = roam(spec, Some(cells.clone()), n);
         costs_equal &= fixed.counts == roaming.counts
-            && (fixed.cost(model) - roaming.cost(model)).abs() < 1e-9
-            && fixed.cost(CostModel::Connection) == roaming.cost(CostModel::Connection);
+            && approx_eq(fixed.cost(model), roaming.cost(model))
+            && approx_eq(
+                fixed.cost(CostModel::Connection),
+                roaming.cost(CostModel::Connection),
+            );
         latency_grows &= roaming.mean_read_latency > fixed.mean_read_latency;
         handoffs_happen &= roaming.handoffs > 50 && fixed.handoffs == 0;
         table.row(vec![

@@ -83,9 +83,9 @@ pub fn run(cfg: RunCfg) -> Experiment {
         < 1.06
             * stationary_costs
                 .iter()
-                .cloned()
+                .copied()
                 .fold(f64::INFINITY, f64::min)
-        && shifting_costs[2] < 1.10 * shifting_costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        && shifting_costs[2] < 1.10 * shifting_costs.iter().copied().fold(f64::INFINITY, f64::min);
     exp.verdict(
         "a moderate period (25) is within 6%/10% of the best in both regimes — the §7.2 advice quantified",
         moderate_ok,

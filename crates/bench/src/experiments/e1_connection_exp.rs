@@ -45,7 +45,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         notes: Vec::new(),
     };
 
-    let thetas: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+    let thetas: Vec<f64> = (1..10).map(|i| f64::from(i) / 10.0).collect();
     let mut max_gap = 0.0f64;
     let mut dominance_ok = true;
     for &theta in &thetas {

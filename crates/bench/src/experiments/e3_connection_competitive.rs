@@ -16,7 +16,16 @@ use crate::RunCfg;
 use mdr_adversary::{
     cycle_ratio, exhaustive_search, generators, measure, random_worst, verify_factor,
 };
-use mdr_core::{CostModel, PolicySpec, Schedule};
+use mdr_core::{approx_eq, CostModel, PolicySpec, Schedule};
+
+/// The measured competitive ratio; every schedule here is built so OPT
+/// pays a positive cost.
+fn ratio_of(r: &mdr_adversary::RatioReport) -> f64 {
+    let Some(ratio) = r.ratio else {
+        panic!("OPT pays on this schedule");
+    };
+    ratio
+}
 
 /// Runs the experiment.
 pub fn run(cfg: RunCfg) -> Experiment {
@@ -49,13 +58,8 @@ pub fn run(cfg: RunCfg) -> Experiment {
         let warmup = Schedule::all_reads(k);
         let half = k.div_ceil(2);
         let cycle = Schedule::write_read_cycles(half, half, 1);
-        let lower = cycle_ratio(spec, &warmup, &cycle, cycles, model)
-            .ratio
-            .unwrap();
-        let exhaustive = exhaustive_search(spec, model, search_len)
-            .worst
-            .ratio
-            .unwrap();
+        let lower = ratio_of(&cycle_ratio(spec, &warmup, &cycle, cycles, model));
+        let exhaustive = ratio_of(&exhaustive_search(spec, model, search_len).worst);
         let (_, random) = random_worst(spec, model, 80, cfg.pick(100, 400), 0xE3);
         // Upper bound with cold-start slack b = k (the warm-up fills).
         let holds = verify_factor(spec, model, claimed, (k + 1) as f64, search_len).is_ok();
@@ -82,7 +86,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     for n in [10usize, 100, 1_000] {
         let s = generators::static_punisher(PolicySpec::St1, n);
         let r = measure(PolicySpec::St1, &s, model);
-        let ratio = r.ratio.unwrap();
+        let ratio = ratio_of(&r);
         st1_diverges &= ratio > prev_ratio;
         prev_ratio = ratio;
         table.row(vec![
@@ -97,7 +101,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     for n in [10usize, 100, 1_000] {
         let s = generators::static_punisher(PolicySpec::St2, n);
         let r = measure(PolicySpec::St2, &s, model);
-        st2_unbounded &= r.opt_cost == 0.0 && r.policy_cost == n as f64;
+        st2_unbounded &= approx_eq(r.opt_cost, 0.0) && approx_eq(r.policy_cost, n as f64);
         table.row(vec![
             format!("ST2 on w^{n}"),
             n.to_string(),

@@ -40,7 +40,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     );
     let cols = 19usize;
     for row in (0..19).rev() {
-        let theta = (row as f64 + 0.5) / 19.0;
+        let theta = (f64::from(row) + 0.5) / 19.0;
         let line: String = (0..cols)
             .map(|c| {
                 let omega = (c as f64 + 0.5) / 19.0;
@@ -63,7 +63,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         ],
     );
     for i in 0..=10 {
-        let omega = i as f64 / 10.0;
+        let omega = f64::from(i) / 10.0;
         let hi = st1_sw1_boundary(omega);
         let lo = st2_sw1_boundary(omega);
         bounds.row(vec![fmt(omega), fmt(hi), fmt(lo), fmt(hi - lo)]);
@@ -76,8 +76,8 @@ pub fn run(cfg: RunCfg) -> Experiment {
     let n = cfg.pick(40, 120);
     for i in 0..n {
         for j in 0..n {
-            let theta = (i as f64 + 0.5) / n as f64;
-            let omega = (j as f64 + 0.5) / n as f64;
+            let theta = (f64::from(i) + 0.5) / f64::from(n);
+            let omega = (f64::from(j) + 0.5) / f64::from(n);
             if message_winner(theta, omega) != message_winner_by_cost(theta, omega) {
                 agree = false;
             }
@@ -85,7 +85,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     }
     for &k in &[3usize, 9, 21] {
         for i in 1..20 {
-            let theta = i as f64 / 20.0;
+            let theta = f64::from(i) / 20.0;
             for &omega in &[0.15, 0.45, 0.85] {
                 let swk = message::exp_swk(k, theta, omega);
                 if swk < message::optimal_exp(theta, omega) - 1e-10 {
@@ -125,16 +125,20 @@ pub fn run(cfg: RunCfg) -> Experiment {
         .iter()
         .map(|&(w, p)| (w, estimate_expected_cost(p, model, theta, estimator).mean))
         .collect();
-        let sim_winner = costs
+        let Some(sim_winner) = costs
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|&(w, _)| w)
-            .expect("three candidates");
+        else {
+            unreachable!("three candidates");
+        };
         let analytic = message_winner(theta, omega);
         // Near boundaries the sampled winner may flip; accept either side
         // when the analytic gap is within simulation noise.
         let analytic_cost = expected_cost(analytic.spec(), model, theta);
-        let sim_cost_of_analytic = costs.iter().find(|(w, _)| *w == analytic).unwrap().1;
+        let Some(&(_, sim_cost_of_analytic)) = costs.iter().find(|(w, _)| *w == analytic) else {
+            unreachable!("the analytic winner is among the candidates");
+        };
         let agrees = sim_winner == analytic || (sim_cost_of_analytic - analytic_cost).abs() < 0.02;
         spots_ok &= agrees;
         spot_table.row(vec![

@@ -51,12 +51,8 @@ pub fn run(cfg: RunCfg) -> Experiment {
         table.row(vec![
             fmt(omega),
             fmt_opt(root),
-            analytic
-                .map(|k| k.to_string())
-                .unwrap_or_else(|| "—".to_owned()),
-            brute
-                .map(|k| k.to_string())
-                .unwrap_or_else(|| "—".to_owned()),
+            analytic.map_or_else(|| "—".to_owned(), |k| k.to_string()),
+            brute.map_or_else(|| "—".to_owned(), |k| k.to_string()),
             agree.to_string(),
         ]);
     }
@@ -106,8 +102,12 @@ pub fn run(cfg: RunCfg) -> Experiment {
         "analytic threshold at ω = 0.8: SW5 loses to SW1, SW7 wins",
         analytic_order_ok,
     );
-    let sw1_sim = sims.iter().find(|(k, _)| *k == 1).unwrap().1;
-    let sw7_sim = sims.iter().find(|(k, _)| *k == 7).unwrap().1;
+    let (Some(&(_, sw1_sim)), Some(&(_, sw7_sim))) = (
+        sims.iter().find(|(k, _)| *k == 1),
+        sims.iter().find(|(k, _)| *k == 7),
+    ) else {
+        unreachable!("k = 1 and k = 7 are both simulated");
+    };
     exp.verdict(
         &format!(
             "simulation at ω = 0.8: AVG(SW7) = {} ≤ AVG(SW1) = {} (within noise)",

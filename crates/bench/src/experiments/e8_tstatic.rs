@@ -75,9 +75,10 @@ pub fn run(cfg: RunCfg) -> Experiment {
             (PolicySpec::T2 { m }, generators::t2_adversarial(m, 1)),
         ] {
             let claimed = (m + 1) as f64;
-            let measured = cycle_ratio(spec, &Schedule::new(), &cycle, cycles, model)
-                .ratio
-                .expect("OPT pays on this cycle");
+            let Some(measured) = cycle_ratio(spec, &Schedule::new(), &cycle, cycles, model).ratio
+            else {
+                panic!("OPT pays on this cycle");
+            };
             let holds = verify_factor(spec, model, claimed, claimed, search_len).is_ok();
             tight &= measured > claimed - 0.1;
             bounded &= holds;

@@ -61,10 +61,15 @@ pub fn run_all(cfg: RunCfg) -> Vec<Experiment> {
             });
         }
     })
-    .expect("experiment worker panicked");
+    .unwrap_or_else(|_| panic!("experiment worker panicked"));
     slots
         .into_iter()
-        .map(|s| s.expect("all ids are valid"))
+        .map(|s| {
+            let Some(done) = s else {
+                unreachable!("every experiment id fills its slot");
+            };
+            done
+        })
         .collect()
 }
 

@@ -13,7 +13,7 @@
 //!
 //! Criterion performance benches live in `benches/` (`cargo bench`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;

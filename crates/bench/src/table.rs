@@ -49,7 +49,7 @@ impl Table {
 
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -154,7 +154,7 @@ pub fn fmt(x: f64) -> String {
 
 /// Formats an optional value, rendering `None` as `—`.
 pub fn fmt_opt(x: Option<f64>) -> String {
-    x.map(fmt).unwrap_or_else(|| "—".to_owned())
+    x.map_or_else(|| "—".to_owned(), fmt)
 }
 
 /// Formats a percentage.

@@ -15,7 +15,7 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
 }
 
 /// `mdr analyze --policy SW9 --model message:0.4 [--theta 0.3]`
-pub fn analyze(args: &Args) -> Result<String, CliError> {
+pub(crate) fn analyze(args: &Args) -> Result<String, CliError> {
     let spec = parse_policy(args.required("policy")?)?;
     let model = parse_model(args.get_or("model", "connection"))?;
     let mut out = String::new();
@@ -53,7 +53,7 @@ pub fn analyze(args: &Args) -> Result<String, CliError> {
 }
 
 /// `mdr recommend --omega 0.4 [--theta 0.3] [--slack 0.10]`
-pub fn recommend(args: &Args) -> Result<String, CliError> {
+pub(crate) fn recommend(args: &Args) -> Result<String, CliError> {
     let omega: f64 = args.number("omega", -1.0)?;
     let mut out = String::new();
     match args.flags.get("theta") {
@@ -117,7 +117,7 @@ pub fn recommend(args: &Args) -> Result<String, CliError> {
 
 /// `mdr simulate --policy SW9 --theta 0.3 [--requests 50000] [--seed 42]
 /// [--omega 0.3] [--latency 0.01]`
-pub fn simulate(args: &Args) -> Result<String, CliError> {
+pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
     let spec = parse_policy(args.required("policy")?)?;
     let theta: f64 = args.number("theta", 0.5)?;
     if !(0.0..=1.0).contains(&theta) {
@@ -162,7 +162,7 @@ pub fn simulate(args: &Args) -> Result<String, CliError> {
 
 /// `mdr worst-case --policy SW5 --model message:0.5 [--max-len 13]
 /// [--cycles 300]`
-pub fn worst_case(args: &Args) -> Result<String, CliError> {
+pub(crate) fn worst_case(args: &Args) -> Result<String, CliError> {
     let spec = parse_policy(args.required("policy")?)?;
     let model = parse_model(args.get_or("model", "connection"))?;
     let max_len: usize = args.number("max-len", 13)?;
@@ -182,9 +182,7 @@ pub fn worst_case(args: &Args) -> Result<String, CliError> {
                 out,
                 "ratio on the adversarial schedule ({} requests): {}",
                 schedule.len(),
-                r.ratio
-                    .map(|x| format!("{x:.4}"))
-                    .unwrap_or_else(|| "∞".into())
+                r.ratio.map_or_else(|| "∞".into(), |x| format!("{x:.4}"))
             );
         }
         None => {
@@ -211,15 +209,14 @@ pub fn worst_case(args: &Args) -> Result<String, CliError> {
         search
             .worst
             .ratio
-            .map(|x| format!("{x:.4}"))
-            .unwrap_or_else(|| "∞".into()),
+            .map_or_else(|| "∞".into(), |x| format!("{x:.4}")),
         search.worst_schedule
     );
     Ok(out)
 }
 
 /// `mdr trace --schedule rrwwr --policy SW3 [--model connection]`
-pub fn trace(args: &Args) -> Result<String, CliError> {
+pub(crate) fn trace(args: &Args) -> Result<String, CliError> {
     let spec = parse_policy(args.required("policy")?)?;
     let model = parse_model(args.get_or("model", "connection"))?;
     let schedule: Schedule = args
@@ -254,7 +251,7 @@ pub fn trace(args: &Args) -> Result<String, CliError> {
 
 /// `mdr multi --profile profile.json` — the JSON is a map from class names
 /// like `"r{0,1}"` / `"w{2}"` to rates.
-pub fn multi(args: &Args) -> Result<String, CliError> {
+pub(crate) fn multi(args: &Args) -> Result<String, CliError> {
     let path = args.required("profile")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
@@ -321,7 +318,7 @@ fn name(w: Winner) -> &'static str {
 }
 
 /// Dispatches a parsed command line.
-pub fn dispatch(args: &Args) -> Result<String, CliError> {
+pub(crate) fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
         "analyze" => analyze(args),
         "recommend" => recommend(args),
@@ -334,7 +331,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
 }
 
 /// The help text.
-pub fn help() -> String {
+pub(crate) fn help() -> String {
     "mdr — data replication for mobile computers (SIGMOD 1994)
 
 subcommands:
@@ -356,7 +353,7 @@ mod tests {
     use super::*;
 
     fn run(argv: &[&str]) -> Result<String, CliError> {
-        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let v: Vec<String> = argv.iter().map(ToString::to_string).collect();
         dispatch(&Args::parse(&v).unwrap())
     }
 

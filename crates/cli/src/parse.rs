@@ -7,7 +7,7 @@ use std::fmt;
 
 /// A CLI error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub(crate) struct CliError(pub(crate) String);
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -23,7 +23,7 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
 
 /// Parses a policy name: `ST1`, `ST2`, `SW<k>`, `T1:<m>`, `T2:<m>`
 /// (case-insensitive).
-pub fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
+pub(crate) fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
     let up = s.to_ascii_uppercase();
     if up == "ST1" {
         return Ok(PolicySpec::St1);
@@ -67,7 +67,7 @@ pub fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
 
 /// Parses a cost model: `connection` or `message:<omega>` (e.g.
 /// `message:0.4`); `message` alone defaults to ω = 0.5.
-pub fn parse_model(s: &str) -> Result<CostModel, CliError> {
+pub(crate) fn parse_model(s: &str) -> Result<CostModel, CliError> {
     let low = s.to_ascii_lowercase();
     if low == "connection" || low == "conn" {
         return Ok(CostModel::Connection);
@@ -94,7 +94,7 @@ pub fn parse_model(s: &str) -> Result<CostModel, CliError> {
 
 /// A parsed flag set: `--key value` pairs plus the subcommand.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Args {
+pub(crate) struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
     /// `--key value` flags in order-independent form.
@@ -103,7 +103,7 @@ pub struct Args {
 
 impl Args {
     /// Parses `argv` (without the program name).
-    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+    pub(crate) fn parse(argv: &[String]) -> Result<Args, CliError> {
         let Some((command, rest)) = argv.split_first() else {
             return err("missing subcommand");
         };
@@ -132,7 +132,7 @@ impl Args {
     }
 
     /// A required flag.
-    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+    pub(crate) fn required(&self, name: &str) -> Result<&str, CliError> {
         self.flags
             .get(name)
             .map(String::as_str)
@@ -140,12 +140,16 @@ impl Args {
     }
 
     /// An optional flag with a default.
-    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
-        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    pub(crate) fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map_or(default, String::as_str)
     }
 
     /// A parsed optional numeric flag.
-    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+    pub(crate) fn number<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, CliError> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(v) => v
@@ -199,7 +203,7 @@ mod tests {
     fn args_parse() {
         let argv: Vec<String> = ["simulate", "--policy", "SW9", "--theta", "0.3"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         let args = Args::parse(&argv).unwrap();
         assert_eq!(args.command, "simulate");
@@ -211,7 +215,7 @@ mod tests {
 
     #[test]
     fn args_errors() {
-        let to_vec = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let to_vec = |v: &[&str]| v.iter().map(ToString::to_string).collect::<Vec<_>>();
         assert!(Args::parse(&to_vec(&[])).is_err());
         assert!(Args::parse(&to_vec(&["--policy", "x"])).is_err());
         assert!(Args::parse(&to_vec(&["run", "--policy"])).is_err());

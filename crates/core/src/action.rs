@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-/// What a policy did on the wireless link to serve one request.
+/// What a policy did on the wireless link to serve one request (§3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Action {
     /// A read served from the mobile computer's local replica. No
@@ -45,25 +45,27 @@ pub enum Action {
 }
 
 impl Action {
-    /// Whether this action serves a read request.
+    /// Whether this action serves a read request (§3).
     #[inline]
     pub const fn is_read_action(self) -> bool {
         matches!(self, Action::LocalRead | Action::RemoteRead { .. })
     }
 
-    /// Whether this action serves a write request.
+    /// Whether this action serves a write request (§3).
     #[inline]
     pub const fn is_write_action(self) -> bool {
         !self.is_read_action()
     }
 
-    /// Whether this action established a replica at the MC.
+    /// Whether this action established a replica at the MC (§4's
+    /// save-the-copy indication).
     #[inline]
     pub const fn allocates(self) -> bool {
         matches!(self, Action::RemoteRead { allocates: true })
     }
 
-    /// Whether this action removed the replica from the MC.
+    /// Whether this action removed the replica from the MC (§4's
+    /// delete-request).
     #[inline]
     pub const fn deallocates(self) -> bool {
         matches!(
@@ -131,8 +133,10 @@ impl fmt::Display for Action {
 }
 
 /// Tallies of the actions observed over a run; the raw material for both
-/// cost models' accounting and for the experiment reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+/// §3 cost models' accounting and for the experiment reports.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ActionCounts {
     /// Reads served locally at the MC.
     pub local_reads: u64,
@@ -151,7 +155,7 @@ pub struct ActionCounts {
 }
 
 impl ActionCounts {
-    /// Records one action.
+    /// Records one action (§3).
     pub fn record(&mut self, action: Action) {
         match action {
             Action::LocalRead => self.local_reads += 1,
@@ -164,17 +168,17 @@ impl ActionCounts {
         }
     }
 
-    /// Total requests recorded.
+    /// Total requests recorded — the length of the §3 schedule served.
     pub fn total(&self) -> u64 {
         self.reads() + self.writes()
     }
 
-    /// Total read requests recorded.
+    /// Total read requests recorded (§3).
     pub fn reads(&self) -> u64 {
         self.local_reads + self.remote_reads + self.allocating_reads
     }
 
-    /// Total write requests recorded.
+    /// Total write requests recorded (§3).
     pub fn writes(&self) -> u64 {
         self.silent_writes
             + self.propagated_writes
@@ -182,17 +186,17 @@ impl ActionCounts {
             + self.delete_request_writes
     }
 
-    /// Replica allocations performed.
+    /// Replica allocations performed (§4).
     pub fn allocations(&self) -> u64 {
         self.allocating_reads
     }
 
-    /// Replica deallocations performed.
+    /// Replica deallocations performed (§4).
     pub fn deallocations(&self) -> u64 {
         self.deallocating_writes + self.delete_request_writes
     }
 
-    /// Total data messages (message model).
+    /// Total data messages (message model, §3).
     pub fn data_messages(&self) -> u64 {
         self.remote_reads
             + self.allocating_reads
@@ -200,7 +204,7 @@ impl ActionCounts {
             + self.deallocating_writes
     }
 
-    /// Total control messages (message model).
+    /// Total control messages (message model, §3).
     pub fn control_messages(&self) -> u64 {
         self.remote_reads
             + self.allocating_reads
@@ -208,7 +212,7 @@ impl ActionCounts {
             + self.delete_request_writes
     }
 
-    /// Total cellular connections (connection model).
+    /// Total cellular connections (connection model, §3).
     pub fn connections(&self) -> u64 {
         self.remote_reads
             + self.allocating_reads

@@ -1,10 +1,28 @@
 //! The two cost models of the paper (§3): connection-based and
 //! message-based pricing of [`Action`]s.
 
-use crate::action::Action;
+use crate::action::{Action, ActionCounts};
 use std::fmt;
 
-/// How communication is charged.
+/// Absolute tolerance for comparing accumulated floating-point costs.
+///
+/// Costs are sums of prices `1` and `ω` (§3), so two mathematically equal
+/// totals can differ by a few ulps once ω is irrational in binary; every
+/// cost comparison in the workspace goes through [`approx_eq`] with this
+/// tolerance instead of a raw float `==` (enforced by `cargo xtask lint`).
+pub const COST_EPSILON: f64 = 1e-9;
+
+/// Whether two accumulated costs (§3) are equal within [`COST_EPSILON`].
+///
+/// This is the sanctioned way to compare cost totals; the workspace lint
+/// rejects raw `f64 ==` in cost-accounting paths.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= COST_EPSILON
+}
+
+/// How communication is charged — the paper's two cost models (§3).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum CostModel {
     /// Connection (time) based, as in cellular telephony (§3): every remote
@@ -23,7 +41,7 @@ pub enum CostModel {
 }
 
 impl CostModel {
-    /// Convenience constructor for the message model.
+    /// Convenience constructor for the message model (§3).
     ///
     /// # Panics
     ///
@@ -36,7 +54,7 @@ impl CostModel {
         CostModel::Message { omega }
     }
 
-    /// The control/data cost ratio: `ω` for the message model. In the
+    /// The control/data cost ratio: `ω` for the §3 message model. In the
     /// connection model every chargeable interaction costs one connection,
     /// i.e. control interactions cost the same as data interactions, so the
     /// effective ratio is 1.
@@ -62,9 +80,22 @@ impl CostModel {
         }
     }
 
-    /// Prices a whole sequence of actions.
+    /// Prices a whole sequence of actions — the §3 COST of a run.
     pub fn price_all<I: IntoIterator<Item = Action>>(&self, actions: I) -> f64 {
         actions.into_iter().map(|a| self.price(a)).sum()
+    }
+
+    /// Prices an [`ActionCounts`] ledger: the §3 bill of a whole run,
+    /// computed from the tallies instead of the action sequence. Equal to
+    /// [`price_all`](Self::price_all) over any sequence with these tallies
+    /// (prices depend only on the per-action message/connection counts).
+    pub fn price_counts(&self, counts: &ActionCounts) -> f64 {
+        match self {
+            CostModel::Connection => counts.connections() as f64,
+            CostModel::Message { omega } => {
+                counts.data_messages() as f64 + *omega * counts.control_messages() as f64
+            }
+        }
     }
 }
 

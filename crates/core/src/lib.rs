@@ -42,7 +42,7 @@
 //! assert!(sw3.total_cost < st1.total_cost);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod action;
@@ -54,7 +54,7 @@ mod schedule;
 mod window;
 
 pub use action::{Action, ActionCounts};
-pub use cost::CostModel;
+pub use cost::{approx_eq, CostModel, COST_EPSILON};
 pub use policy::{AdaptivePolicy, AllocationPolicy, PolicySpec, SlidingWindow, St1, St2, T1, T2};
 pub use request::{ParseRequestError, Request};
 pub use run::{run_policy, run_spec, trace_policy, RunOutcome, TraceStep};

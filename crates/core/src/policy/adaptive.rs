@@ -33,7 +33,8 @@ enum TargetScheme {
 }
 
 /// Estimates θ from a window of the last `k` requests and emulates the
-/// scheme the paper's dominance analysis says is cheapest there.
+/// scheme the paper's dominance analysis (§7.2, Figure 1) says is cheapest
+/// there.
 ///
 /// ```
 /// use mdr_core::{AdaptivePolicy, AllocationPolicy, CostModel, Request};
@@ -53,9 +54,9 @@ pub struct AdaptivePolicy {
 }
 
 impl AdaptivePolicy {
-    /// Creates the policy with an estimation window of `k` requests (odd,
-    /// like SWk's) under `model`. Cold start: no replica, window full of
-    /// writes.
+    /// Creates the §7.2 policy with an estimation window of `k` requests
+    /// (odd, like SWk's) under `model`. Cold start: no replica, window full
+    /// of writes.
     pub fn new(k: usize, model: CostModel) -> Self {
         let window = RequestWindow::filled(k, Request::Write);
         AdaptivePolicy {
@@ -66,7 +67,8 @@ impl AdaptivePolicy {
         }
     }
 
-    /// The estimated write fraction θ̂ from the current window.
+    /// The estimated write fraction θ̂ from the current window — the
+    /// "dynamically calculate these frequencies" step of §7.2.
     pub fn estimated_theta(&self) -> f64 {
         self.window.writes() as f64 / self.window.k() as f64
     }
@@ -207,7 +209,7 @@ mod tests {
         let mut p = AdaptivePolicy::new(5, CostModel::message(0.1));
         // Prime the window into the middle band.
         let prime: Schedule = "rwrwr".parse().unwrap();
-        for r in prime.iter() {
+        for r in &prime {
             p.on_request(r);
         }
         let lo = 2.0 * 0.1 / 1.2;
@@ -255,7 +257,7 @@ mod tests {
         let mut p = AdaptivePolicy::new(5, CostModel::message(0.4));
         let s: Schedule = "rrrwwwrrwwrwrwrrrrwwwwr".parse().unwrap();
         let mut prev = p.has_copy();
-        for r in s.iter() {
+        for r in &s {
             let a = p.on_request(r);
             let now = p.has_copy();
             match (prev, now) {

@@ -23,8 +23,8 @@ use crate::action::Action;
 use crate::request::Request;
 use std::fmt;
 
-/// An online replica-allocation policy for a single data item and a single
-/// mobile computer.
+/// An online replica-allocation policy (an *allocation method*, §2) for a
+/// single data item and a single mobile computer.
 ///
 /// Implementations are deterministic state machines: given the same request
 /// sequence they produce the same actions, which is what makes the
@@ -44,9 +44,10 @@ pub trait AllocationPolicy {
     fn reset(&mut self);
 }
 
-/// A value-level description of a policy — serializable, hashable, and
-/// convertible into a boxed policy instance. This is what experiment
-/// configurations and reports refer to.
+/// A value-level description of one of the paper's allocation methods
+/// (§2, §7.1) — serializable, hashable, and convertible into a boxed
+/// policy instance. This is what experiment configurations and reports
+/// refer to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum PolicySpec {
     /// Static one-copy (`ST1`).
@@ -74,7 +75,7 @@ pub enum PolicySpec {
 }
 
 impl PolicySpec {
-    /// Instantiates the described policy in its initial state.
+    /// Instantiates the described §2/§7.1 policy in its initial state.
     pub fn build(&self) -> Box<dyn AllocationPolicy> {
         match *self {
             PolicySpec::St1 => Box::new(St1::new()),
@@ -85,14 +86,17 @@ impl PolicySpec {
         }
     }
 
-    /// The policy's display name (matches
-    /// [`AllocationPolicy::name`] of the built instance).
+    /// The policy's display name as written in the paper (§2, §7.1) —
+    /// `ST1`, `SW3`,
+    /// `T1(m)`, … (matches [`AllocationPolicy::name`] of the built
+    /// instance).
     pub fn name(&self) -> String {
         self.build().name()
     }
 
-    /// All the policies compared throughout the paper's experiments for a
-    /// given list of window sizes and T-thresholds.
+    /// All the policies the paper compares (§2, §7.1; the Figure 1 and
+    /// Figure 2 contenders) for a given list of window sizes and
+    /// T-thresholds.
     pub fn roster(window_sizes: &[usize], thresholds: &[usize]) -> Vec<PolicySpec> {
         let mut v = vec![PolicySpec::St1, PolicySpec::St2];
         v.extend(

@@ -20,7 +20,7 @@ use crate::policy::AllocationPolicy;
 use crate::request::Request;
 use crate::window::RequestWindow;
 
-/// The SWk dynamic allocation policy.
+/// The SWk dynamic allocation policy (§4).
 ///
 /// ```
 /// use mdr_core::{AllocationPolicy, Request, SlidingWindow};
@@ -51,8 +51,8 @@ impl SlidingWindow {
     }
 
     /// Creates SWk starting from an explicit window, e.g. one received from
-    /// the other computer during an ownership handoff. The replica state is
-    /// derived from the window majority.
+    /// the other computer during a §4 ownership handoff. The replica state
+    /// is derived from the window majority.
     pub fn with_window(window: RequestWindow) -> Self {
         let has_copy = window.majority_reads();
         SlidingWindow {
@@ -62,17 +62,18 @@ impl SlidingWindow {
         }
     }
 
-    /// Creates SWk that starts *with* a replica (window filled with reads).
+    /// Creates SWk that starts *with* a replica (window filled with reads —
+    /// the §4 allocation condition holds vacuously).
     pub fn with_initial_copy(k: usize) -> Self {
         Self::with_window(RequestWindow::filled(k, Request::Read))
     }
 
-    /// The window size `k`.
+    /// The window size `k` (§4, odd).
     pub fn k(&self) -> usize {
         self.window.k()
     }
 
-    /// A view of the current request window.
+    /// A view of the current §4 request window.
     pub fn window(&self) -> &RequestWindow {
         &self.window
     }
@@ -189,7 +190,7 @@ mod tests {
     fn copy_state_always_equals_window_majority() {
         let mut sw = SlidingWindow::new(5);
         let sched: Schedule = "rrrwwwrwrwwrrrrwwwwrrr".parse().unwrap();
-        for r in sched.iter() {
+        for r in &sched {
             sw.on_request(r);
             assert_eq!(sw.has_copy(), sw.window().majority_reads());
         }
@@ -226,7 +227,7 @@ mod tests {
     fn sw3_never_uses_delete_request_write() {
         let mut sw = SlidingWindow::new(3);
         let sched: Schedule = "rrwwrrwwrwrwrrrwww".parse().unwrap();
-        for r in sched.iter() {
+        for r in &sched {
             assert_ne!(sw.on_request(r), Action::DeleteRequestWrite);
         }
     }
@@ -254,7 +255,7 @@ mod tests {
     fn allocations_only_on_reads_deallocations_only_on_writes() {
         let mut sw = SlidingWindow::new(7);
         let sched: Schedule = "rrrrwwwwwrrrrrrwwwwwwwrrrwrwrwrw".parse().unwrap();
-        for r in sched.iter() {
+        for r in &sched {
             let a = sw.on_request(r);
             if a.allocates() {
                 assert!(r.is_read());

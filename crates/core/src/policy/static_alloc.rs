@@ -11,12 +11,12 @@ use crate::action::Action;
 use crate::policy::AllocationPolicy;
 use crate::request::Request;
 
-/// Static one-copy: the mobile computer never holds a replica.
+/// Static one-copy (ST1, §2): the mobile computer never holds a replica.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct St1;
 
 impl St1 {
-    /// Creates the policy.
+    /// Creates the §2 static one-copy policy.
     pub fn new() -> Self {
         St1
     }
@@ -41,12 +41,13 @@ impl AllocationPolicy for St1 {
     fn reset(&mut self) {}
 }
 
-/// Static two-copies: the mobile computer always holds a replica.
+/// Static two-copies (ST2, §2): the mobile computer always holds a
+/// replica.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct St2;
 
 impl St2 {
-    /// Creates the policy.
+    /// Creates the §2 static two-copies policy.
     pub fn new() -> Self {
         St2
     }
@@ -141,7 +142,7 @@ mod tests {
         let s = Schedule::alternating(Request::Read, 100);
         let mut one = St1::new();
         let mut two = St2::new();
-        for r in s.iter() {
+        for r in &s {
             one.on_request(r);
             two.on_request(r);
             assert!(!one.has_copy());

@@ -42,7 +42,7 @@ enum T1State {
 }
 
 impl T1 {
-    /// Creates T1m with consecutive-read threshold `m ≥ 1`.
+    /// Creates T1m (§7.1) with consecutive-read threshold `m ≥ 1`.
     ///
     /// # Panics
     ///
@@ -57,7 +57,7 @@ impl T1 {
         }
     }
 
-    /// The consecutive-read threshold `m`.
+    /// The consecutive-read threshold `m` (§7.1).
     pub fn m(&self) -> usize {
         self.m
     }
@@ -130,7 +130,7 @@ enum T2State {
 }
 
 impl T2 {
-    /// Creates T2m with consecutive-write threshold `m ≥ 1`.
+    /// Creates T2m (§7.1) with consecutive-write threshold `m ≥ 1`.
     ///
     /// # Panics
     ///
@@ -145,7 +145,7 @@ impl T2 {
         }
     }
 
-    /// The consecutive-write threshold `m`.
+    /// The consecutive-write threshold `m` (§7.1).
     pub fn m(&self) -> usize {
         self.m
     }

@@ -26,26 +26,26 @@ pub enum Request {
 }
 
 impl Request {
-    /// Returns `true` if this request is a read.
+    /// Returns `true` if this request is a read (§3).
     #[inline]
     pub const fn is_read(self) -> bool {
         matches!(self, Request::Read)
     }
 
-    /// Returns `true` if this request is a write.
+    /// Returns `true` if this request is a write (§3).
     #[inline]
     pub const fn is_write(self) -> bool {
         matches!(self, Request::Write)
     }
 
-    /// The paper's bit encoding: `false` (0) for a read, `true` (1) for a
-    /// write.
+    /// The paper's bit encoding (§4's window bits): `false` (0) for a read,
+    /// `true` (1) for a write.
     #[inline]
     pub const fn as_bit(self) -> bool {
         matches!(self, Request::Write)
     }
 
-    /// Inverse of [`Request::as_bit`].
+    /// Inverse of [`Request::as_bit`] (§4's window bits).
     #[inline]
     pub const fn from_bit(bit: bool) -> Self {
         if bit {
@@ -55,7 +55,8 @@ impl Request {
         }
     }
 
-    /// The request with the opposite kind.
+    /// The request with the opposite kind — builds the §6.4 alternating
+    /// worst cases.
     #[inline]
     pub const fn flipped(self) -> Self {
         match self {
@@ -74,7 +75,8 @@ impl Request {
         }
     }
 
-    /// Parses a one-letter mnemonic (case-insensitive).
+    /// Parses the paper's one-letter mnemonic (`r`/`w`, §3),
+    /// case-insensitively.
     pub fn from_letter(c: char) -> Result<Self, ParseRequestError> {
         match c {
             'r' | 'R' => Ok(Request::Read),
@@ -90,7 +92,8 @@ impl fmt::Display for Request {
     }
 }
 
-/// Error returned when a character is not a valid request mnemonic.
+/// Error returned when a character is not a valid §3 request mnemonic
+/// (`r`/`w`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParseRequestError {
     /// The offending character.

@@ -11,7 +11,8 @@ use crate::policy::{AllocationPolicy, PolicySpec};
 use crate::request::Request;
 use crate::schedule::Schedule;
 
-/// The result of running one policy over one schedule under one cost model.
+/// The result of running one policy over one schedule under one §3 cost
+/// model.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunOutcome {
     /// Total communication cost of the schedule (COST(σ) in the paper).
@@ -23,7 +24,8 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Mean cost per request; 0 for an empty schedule.
+    /// Mean cost per request — the per-request normalization behind the §5
+    /// expected-cost measure. 0 for an empty schedule.
     pub fn cost_per_request(&self) -> f64 {
         let n = self.counts.total();
         if n == 0 {
@@ -35,7 +37,7 @@ impl RunOutcome {
 }
 
 /// Runs `policy` (starting from its current state) over `schedule`, pricing
-/// each action under `model`.
+/// each action under `model` — computes the paper's COST_A(σ) (§3).
 pub fn run_policy(
     policy: &mut dyn AllocationPolicy,
     schedule: &Schedule,
@@ -43,7 +45,7 @@ pub fn run_policy(
 ) -> RunOutcome {
     let mut total_cost = 0.0;
     let mut counts = ActionCounts::default();
-    for req in schedule.iter() {
+    for req in schedule {
         let action = policy.on_request(req);
         debug_assert_eq!(
             action.is_read_action(),
@@ -60,13 +62,14 @@ pub fn run_policy(
     }
 }
 
-/// Builds the policy described by `spec` and runs it from its initial state.
+/// Builds the policy described by `spec` and runs it from its initial
+/// state, yielding the §3 COST of the schedule.
 pub fn run_spec(spec: PolicySpec, schedule: &Schedule, model: CostModel) -> RunOutcome {
     let mut policy = spec.build();
     run_policy(policy.as_mut(), schedule, model)
 }
 
-/// One step of an execution trace.
+/// One step of an execution trace (one §3 request/action pair).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TraceStep {
     /// Position in the schedule (0-based).
@@ -81,8 +84,9 @@ pub struct TraceStep {
     pub copy_after: bool,
 }
 
-/// Like [`run_policy`] but retains the full step-by-step trace — used by the
-/// adversary tooling and for debugging/visualising executions.
+/// Like [`run_policy`] but retains the full step-by-step trace — used by
+/// the §5.3/§6.4 adversary tooling and for debugging/visualising
+/// executions.
 pub fn trace_policy(
     policy: &mut dyn AllocationPolicy,
     schedule: &Schedule,

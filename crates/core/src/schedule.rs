@@ -31,12 +31,12 @@ use std::str::FromStr;
 pub struct Schedule(Vec<Request>);
 
 impl Schedule {
-    /// Creates an empty schedule.
+    /// Creates an empty schedule (§3's empty sequence of relevant requests).
     pub const fn new() -> Self {
         Schedule(Vec::new())
     }
 
-    /// Wraps an explicit request vector.
+    /// Wraps an explicit request vector into a §3 schedule.
     pub fn from_requests(requests: Vec<Request>) -> Self {
         Schedule(requests)
     }
@@ -54,7 +54,8 @@ impl Schedule {
     }
 
     /// `cycles` repetitions of the block `reads_per_cycle` reads followed by
-    /// `writes_per_cycle` writes.
+    /// `writes_per_cycle` writes — the cycle shape of the §5.3/§6.4
+    /// worst-case arguments.
     pub fn read_write_cycles(
         reads_per_cycle: usize,
         writes_per_cycle: usize,
@@ -69,7 +70,7 @@ impl Schedule {
     }
 
     /// `cycles` repetitions of writes followed by reads — the canonical
-    /// adversarial block against SWk (see `mdr-adversary`).
+    /// §6.4 adversarial block against SWk (see `mdr-adversary`).
     pub fn write_read_cycles(
         writes_per_cycle: usize,
         reads_per_cycle: usize,
@@ -84,7 +85,7 @@ impl Schedule {
     }
 
     /// A strictly alternating schedule of length `n` starting with `first` —
-    /// the worst case for SW1 (`r,w,r,w,…`).
+    /// the §6.4 worst case for SW1 (`r,w,r,w,…`).
     pub fn alternating(first: Request, n: usize) -> Self {
         let mut v = Vec::with_capacity(n);
         let mut cur = first;
@@ -97,7 +98,7 @@ impl Schedule {
 
     /// Decodes index `bits` (little-endian: bit 0 is the first request) into
     /// a schedule of length `len`. Enumerating `0..(1 << len)` enumerates all
-    /// schedules of that length; used by the exhaustive worst-case search.
+    /// §3 schedules of that length; used by the exhaustive worst-case search.
     pub fn from_bits(bits: u64, len: usize) -> Self {
         assert!(len <= 63, "from_bits supports schedules up to length 63");
         let v = (0..len)
@@ -106,28 +107,28 @@ impl Schedule {
         Schedule(v)
     }
 
-    /// Number of requests.
+    /// Number of relevant requests (§3).
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
-    /// Whether the schedule has no requests.
+    /// Whether the schedule has no requests (§3).
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
 
-    /// Number of reads in the schedule.
+    /// Number of reads in the schedule (§3).
     pub fn reads(&self) -> usize {
         self.0.iter().filter(|r| r.is_read()).count()
     }
 
-    /// Number of writes in the schedule.
+    /// Number of writes in the schedule (§3).
     pub fn writes(&self) -> usize {
         self.0.iter().filter(|r| r.is_write()).count()
     }
 
-    /// Empirical write fraction θ̂ = writes / len, the quantity estimated by
-    /// the sliding window. Returns `None` for an empty schedule.
+    /// Empirical write fraction θ̂ = writes / len, the quantity the §4
+    /// sliding window estimates. Returns `None` for an empty schedule.
     pub fn write_fraction(&self) -> Option<f64> {
         if self.is_empty() {
             None
@@ -136,27 +137,27 @@ impl Schedule {
         }
     }
 
-    /// Iterates over the requests in order.
+    /// Iterates over the requests in schedule order (§3).
     pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Request>> {
         self.0.iter().copied()
     }
 
-    /// The underlying slice.
+    /// The underlying slice of §3 requests.
     pub fn as_slice(&self) -> &[Request] {
         &self.0
     }
 
-    /// Appends one request.
+    /// Appends one relevant request (§3).
     pub fn push(&mut self, req: Request) {
         self.0.push(req);
     }
 
-    /// Appends all requests of `other`.
+    /// Appends all requests of `other` (§3 concatenation, in place).
     pub fn extend_from(&mut self, other: &Schedule) {
         self.0.extend_from_slice(&other.0);
     }
 
-    /// Concatenation of two schedules.
+    /// Concatenation of two §3 schedules.
     pub fn concat(&self, other: &Schedule) -> Schedule {
         let mut v = Vec::with_capacity(self.len() + other.len());
         v.extend_from_slice(&self.0);
@@ -164,7 +165,8 @@ impl Schedule {
         Schedule(v)
     }
 
-    /// The schedule repeated `times` times.
+    /// The schedule repeated `times` times — how the §5.3/§6.4 adversary
+    /// cycles are grown.
     pub fn repeat(&self, times: usize) -> Schedule {
         let mut v = Vec::with_capacity(self.len() * times);
         for _ in 0..times {
@@ -173,18 +175,20 @@ impl Schedule {
         Schedule(v)
     }
 
-    /// Prefix of the first `n` requests (or the whole schedule if shorter).
+    /// Prefix of the first `n` requests (or the whole schedule if shorter);
+    /// §3 schedules are prefix-closed.
     pub fn prefix(&self, n: usize) -> Schedule {
         Schedule(self.0[..n.min(self.len())].to_vec())
     }
 
     /// The longest run (block of equal requests) in the schedule, as
-    /// `(request, run_length)`. Returns `None` for an empty schedule.
+    /// `(request, run_length)` — runs drive the §5.3 lower bounds. Returns
+    /// `None` for an empty schedule.
     pub fn longest_run(&self) -> Option<(Request, usize)> {
         let mut best: Option<(Request, usize)> = None;
         let mut cur_len = 0usize;
         let mut cur_req = None;
-        for req in self.iter() {
+        for req in self {
             if Some(req) == cur_req {
                 cur_len += 1;
             } else {
@@ -248,7 +252,7 @@ impl FromStr for Schedule {
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for req in self.iter() {
+        for req in self {
             write!(f, "{req}")?;
         }
         Ok(())

@@ -15,7 +15,7 @@
 use crate::request::Request;
 use std::fmt;
 
-/// A sliding window over the last `k` relevant requests, `k` odd.
+/// A sliding window over the last `k` relevant requests, `k` odd (§4).
 ///
 /// With `k` odd there is always a strict majority, and the paper's
 /// allocation rule reduces to: the MC should hold a replica **iff** reads
@@ -82,7 +82,7 @@ impl RequestWindow {
     ///
     /// # Panics
     ///
-    /// Panics if `requests.len()` is zero or even.
+    /// Panics if `requests.len()` is zero or even (§4 assumes odd `k`).
     pub fn from_requests(requests: &[Request]) -> Self {
         let mut w = RequestWindow::filled(requests.len(), Request::Read);
         // Pushing each request in order leaves the slice contents in the
@@ -93,26 +93,26 @@ impl RequestWindow {
         w
     }
 
-    /// The window size `k`.
+    /// The window size `k` (§4, odd).
     #[inline]
     pub fn k(&self) -> usize {
         self.k
     }
 
-    /// Number of writes currently in the window.
+    /// Number of write bits currently in the §4 window.
     #[inline]
     pub fn writes(&self) -> usize {
         self.writes
     }
 
-    /// Number of reads currently in the window.
+    /// Number of read bits currently in the §4 window.
     #[inline]
     pub fn reads(&self) -> usize {
         self.k - self.writes
     }
 
-    /// Whether reads form the strict majority — the paper's allocation
-    /// condition (always decisive because `k` is odd).
+    /// Whether reads form the strict majority — the §4 allocation condition
+    /// (always decisive because `k` is odd).
     #[inline]
     pub fn majority_reads(&self) -> bool {
         self.reads() > self.writes
@@ -134,32 +134,33 @@ impl RequestWindow {
         }
     }
 
-    /// The request at logical position `i` (0 = oldest, `k - 1` = newest).
+    /// The request at logical position `i` (0 = oldest, `k - 1` = newest) in
+    /// the §4 bit sequence.
     pub fn at(&self, i: usize) -> Request {
         assert!(i < self.k, "window index {i} out of range (k = {})", self.k);
         let slot = (self.head + i) % self.k;
         Request::from_bit(self.bit(slot))
     }
 
-    /// The oldest request — the one that the next [`push`](Self::push) will
-    /// drop.
+    /// The oldest request — the bit §4's window update drops on the next
+    /// [`push`](Self::push).
     #[inline]
     pub fn oldest(&self) -> Request {
         Request::from_bit(self.bit(self.head))
     }
 
-    /// The newest request.
+    /// The newest request — the bit §4's window update appended last.
     pub fn newest(&self) -> Request {
         self.at(self.k - 1)
     }
 
-    /// Slides the window: drops the oldest request and appends `req`.
-    /// Returns the dropped request. O(1).
+    /// Slides the window exactly as §4 specifies: drops the oldest bit and
+    /// appends `req`. Returns the dropped request. O(1).
     pub fn push(&mut self, req: Request) -> Request {
         let dropped = Request::from_bit(self.bit(self.head));
         self.set_bit(self.head, req.as_bit());
         self.head = (self.head + 1) % self.k;
-        self.writes = self.writes - dropped.is_write() as usize + req.is_write() as usize;
+        self.writes = self.writes - usize::from(dropped.is_write()) + usize::from(req.is_write());
         dropped
     }
 

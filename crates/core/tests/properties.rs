@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn swk_copy_iff_majority_reads(k in arb_odd_k(), s in arb_schedule(200)) {
         let mut sw = SlidingWindow::new(k);
-        for r in s.iter() {
+        for r in &s {
             sw.on_request(r);
             prop_assert_eq!(sw.has_copy(), sw.window().majority_reads());
         }
@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn transitions_have_the_right_parity(spec in arb_spec(), s in arb_schedule(200)) {
         let mut p = spec.build();
-        for r in s.iter() {
+        for r in &s {
             let a = p.on_request(r);
             if a.allocates() { prop_assert!(r.is_read()); }
             if a.deallocates() { prop_assert!(r.is_write()); }
@@ -59,7 +59,7 @@ proptest! {
     #[test]
     fn actions_match_request_kind(spec in arb_spec(), s in arb_schedule(150)) {
         let mut p = spec.build();
-        for r in s.iter() {
+        for r in &s {
             let a = p.on_request(r);
             prop_assert_eq!(a.is_read_action(), r.is_read());
         }
@@ -70,7 +70,7 @@ proptest! {
     fn copy_state_changes_only_with_transition_actions(spec in arb_spec(), s in arb_schedule(150)) {
         let mut p = spec.build();
         let mut prev = p.has_copy();
-        for r in s.iter() {
+        for r in &s {
             let a = p.on_request(r);
             let now = p.has_copy();
             match (prev, now) {
@@ -87,7 +87,7 @@ proptest! {
     #[test]
     fn connection_cost_is_zero_or_one(spec in arb_spec(), s in arb_schedule(150)) {
         let mut p = spec.build();
-        for r in s.iter() {
+        for r in &s {
             let c = CostModel::Connection.price(p.on_request(r));
             prop_assert!(c == 0.0 || c == 1.0);
         }
@@ -102,7 +102,7 @@ proptest! {
     ) {
         let mut p = spec.build();
         let model = CostModel::message(omega);
-        for r in s.iter() {
+        for r in &s {
             let c = model.price(p.on_request(r));
             let legal = [0.0, omega, 1.0, 1.0 + omega];
             prop_assert!(legal.iter().any(|&l| (c - l).abs() < 1e-12), "cost {c}");
@@ -142,7 +142,7 @@ proptest! {
     #[test]
     fn sw1_optimization_boundary(k in arb_odd_k(), s in arb_schedule(150)) {
         let mut sw = SlidingWindow::new(k);
-        for r in s.iter() {
+        for r in &s {
             let a = sw.on_request(r);
             let is_propagated = matches!(a, Action::PropagatedWrite { .. });
             if k == 1 {
@@ -158,7 +158,7 @@ proptest! {
     fn window_matches_reference_model(k in arb_odd_k(), s in arb_schedule(200)) {
         let mut w = RequestWindow::filled(k, Request::Write);
         let mut model: Vec<Request> = vec![Request::Write; k];
-        for r in s.iter() {
+        for r in &s {
             let dropped = w.push(r);
             prop_assert_eq!(dropped, model[0]);
             model.remove(0);
@@ -209,7 +209,7 @@ proptest! {
         let model = CostModel::message(0.5);
         // Run a, snapshot the window, then run b on the same instance.
         let mut full = SlidingWindow::new(k);
-        for r in a.iter() { full.on_request(r); }
+        for r in &a { full.on_request(r); }
         let snapshot = full.window().clone();
         let cb_full: f64 = b.iter().map(|r| model.price(full.on_request(r))).sum();
         // Resume a fresh instance from the snapshot alone.

@@ -9,6 +9,7 @@
 
 use crate::objects::{ObjectSet, Operation};
 use crate::profile::{Allocation, OperationProfile};
+use mdr_core::approx_eq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -94,7 +95,9 @@ impl WindowedAllocator {
         let cost = self.current.connection_cost(op);
         // Slide the window.
         if self.window.len() == self.window_size {
-            let old = self.window.pop_front().expect("window is non-empty");
+            let Some(old) = self.window.pop_front() else {
+                unreachable!("the window is non-empty at capacity");
+            };
             if let Some(c) = self.counts.get_mut(&old) {
                 *c -= 1;
                 if *c == 0 {
@@ -113,8 +116,8 @@ impl WindowedAllocator {
             if best != self.current {
                 let gained = best.0.bits() & !self.current.0.bits();
                 let dropped = self.current.0.bits() & !best.0.bits();
-                transition = gained.count_ones() as f64 * self.alloc_cost
-                    + dropped.count_ones() as f64 * self.dealloc_cost;
+                transition = f64::from(gained.count_ones()) * self.alloc_cost
+                    + f64::from(dropped.count_ones()) * self.dealloc_cost;
                 self.transition_cost_paid += transition;
                 self.current = best;
                 self.reallocations += 1;
@@ -153,8 +156,8 @@ impl MultiRunReport {
     /// Dynamic-over-optimal-static cost ratio (≥ 1 in the stationary case,
     /// up to estimation noise).
     pub fn regret_ratio(&self) -> f64 {
-        if self.optimal_static_cost == 0.0 {
-            if self.dynamic_cost == 0.0 {
+        if approx_eq(self.optimal_static_cost, 0.0) {
+            if approx_eq(self.dynamic_cost, 0.0) {
                 1.0
             } else {
                 f64::INFINITY

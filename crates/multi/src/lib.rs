@@ -28,7 +28,7 @@
 //! assert!(best.0.contains(0) && !best.0.contains(1)); // replicate x only
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod dynamic;

@@ -122,11 +122,11 @@ mod tests {
             }
         }
         assert!(
-            fully_replicated as f64 > 0.4 * n as f64,
+            fully_replicated as f64 > 0.4 * f64::from(n),
             "baseline should hold the (wrong) full allocation much of the time: {fully_replicated}/{n}"
         );
         // …and pays well above the joint optimum.
-        let per_op = cost / n as f64;
+        let per_op = cost / f64::from(n);
         assert!(
             per_op > joint_cost * 1.3,
             "baseline {per_op} should be well above the joint optimum {joint_cost}"

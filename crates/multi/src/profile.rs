@@ -166,8 +166,7 @@ impl OperationProfile {
         self.entries
             .iter()
             .find(|(o, _)| *o == op)
-            .map(|(_, r)| r / self.total_rate)
-            .unwrap_or(0.0)
+            .map_or(0.0, |(_, r)| r / self.total_rate)
     }
 
     /// `EXP(alloc)` — the expected connection cost per operation under
@@ -200,24 +199,30 @@ impl OperationProfile {
     /// enumerating all `2^n` allocations (§7.2's "chose the one with the
     /// lowest expected cost", generalized to any finite set of objects).
     pub fn optimal_allocation(&self) -> (Allocation, f64) {
-        ObjectSet::all_subsets(self.n_objects)
+        let best = ObjectSet::all_subsets(self.n_objects)
             .map(|s| {
                 let a = Allocation(s);
                 (a, self.expected_cost(a))
             })
-            .min_by(|(_, c1), (_, c2)| c1.total_cmp(c2))
-            .expect("at least the empty allocation exists")
+            .min_by(|(_, c1), (_, c2)| c1.total_cmp(c2));
+        let Some(best) = best else {
+            unreachable!("at least the empty allocation exists");
+        };
+        best
     }
 
     /// [`Self::optimal_allocation`] under an arbitrary cost model.
     pub fn optimal_allocation_with(&self, model: mdr_core::CostModel) -> (Allocation, f64) {
-        ObjectSet::all_subsets(self.n_objects)
+        let best = ObjectSet::all_subsets(self.n_objects)
             .map(|s| {
                 let a = Allocation(s);
                 (a, self.expected_cost_with(a, model))
             })
-            .min_by(|(_, c1), (_, c2)| c1.total_cmp(c2))
-            .expect("at least the empty allocation exists")
+            .min_by(|(_, c1), (_, c2)| c1.total_cmp(c2));
+        let Some(best) = best else {
+            unreachable!("at least the empty allocation exists");
+        };
+        best
     }
 
     /// Samples the next operation (categorical by rate).
@@ -230,12 +235,11 @@ impl OperationProfile {
             }
         }
         // Floating-point tail: return the last positive-rate class.
-        self.entries
-            .iter()
-            .rev()
-            .find(|(_, r)| *r > 0.0)
-            .map(|&(op, _)| op)
-            .expect("profile has positive total rate")
+        let tail = self.entries.iter().rev().find(|(_, r)| *r > 0.0);
+        let Some(&(op, _)) = tail else {
+            panic!("profile has positive total rate");
+        };
+        op
     }
 }
 
@@ -337,7 +341,7 @@ mod tests {
                 count_rx += 1;
             }
         }
-        let frac = count_rx as f64 / n as f64;
+        let frac = count_rx as f64 / f64::from(n);
         assert!((frac - p.probability(rx)).abs() < 0.01, "{frac}");
     }
 
@@ -377,8 +381,7 @@ mod model_tests {
         for s in ObjectSet::all_subsets(2) {
             let a = Allocation(s);
             assert!(
-                (p.expected_cost_with(a, CostModel::Connection) - p.expected_cost(a)).abs()
-                    < 1e-12
+                (p.expected_cost_with(a, CostModel::Connection) - p.expected_cost(a)).abs() < 1e-12
             );
         }
     }

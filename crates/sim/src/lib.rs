@@ -28,17 +28,19 @@
 //! assert!(per_request > 0.0 && per_request < 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod estimate;
 mod nodes;
+mod protocol;
 mod sim;
 mod wire;
 mod workload;
 
 pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfig, Summary};
 pub use nodes::{MobileNode, StationaryNode};
+pub use protocol::{Envelope, ProtocolState, StepOutcome};
 pub use sim::{
     simulate_poisson, simulate_schedule, LossConfig, MobilityConfig, RunLimit, SimConfig,
     SimReport, Simulation,

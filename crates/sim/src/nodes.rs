@@ -19,7 +19,7 @@ use crate::wire::WireMessage;
 use mdr_core::{PolicySpec, Request, RequestWindow};
 
 /// Policy-specific bookkeeping on the stationary side.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum ScCharge {
     /// Nothing to track (statics; or the MC is currently in charge).
     Idle,
@@ -30,7 +30,7 @@ enum ScCharge {
 }
 
 /// The stationary computer: owns the primary copy and the write stream.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StationaryNode {
     policy: PolicySpec,
     /// Monotone version counter standing in for the item value.
@@ -89,11 +89,9 @@ impl StationaryNode {
             "remote read while the MC holds a replica"
         );
         match (&mut self.charge, self.policy) {
-            (ScCharge::Idle, PolicySpec::St1) => WireMessage::DataResponse {
-                version: self.version,
-                allocate: false,
-                window: None,
-            },
+            (ScCharge::Idle, PolicySpec::St1) => {
+                WireMessage::data_response(self.version, false, None)
+            }
             (ScCharge::Window(w), _) => {
                 w.push(Request::Read);
                 if w.majority_reads() {
@@ -102,17 +100,9 @@ impl StationaryNode {
                     let window = w.to_requests();
                     self.charge = ScCharge::Idle;
                     self.mc_has_copy = true;
-                    WireMessage::DataResponse {
-                        version: self.version,
-                        allocate: true,
-                        window: Some(window),
-                    }
+                    WireMessage::data_response(self.version, true, Some(window))
                 } else {
-                    WireMessage::DataResponse {
-                        version: self.version,
-                        allocate: false,
-                        window: None,
-                    }
+                    WireMessage::data_response(self.version, false, None)
                 }
             }
             (ScCharge::ReadStreak(streak), PolicySpec::T1 { m }) => {
@@ -120,27 +110,15 @@ impl StationaryNode {
                 if *streak >= m {
                     self.charge = ScCharge::Idle;
                     self.mc_has_copy = true;
-                    WireMessage::DataResponse {
-                        version: self.version,
-                        allocate: true,
-                        window: None,
-                    }
+                    WireMessage::data_response(self.version, true, None)
                 } else {
-                    WireMessage::DataResponse {
-                        version: self.version,
-                        allocate: false,
-                        window: None,
-                    }
+                    WireMessage::data_response(self.version, false, None)
                 }
             }
             (ScCharge::Idle, PolicySpec::T2 { .. }) => {
                 // One-copy phase ends at the next read.
                 self.mc_has_copy = true;
-                WireMessage::DataResponse {
-                    version: self.version,
-                    allocate: true,
-                    window: None,
-                }
+                WireMessage::data_response(self.version, true, None)
             }
             (charge, policy) => {
                 unreachable!("remote read in impossible state: {policy:?} / {charge:?}")
@@ -166,29 +144,25 @@ impl StationaryNode {
             return None;
         }
         match self.policy {
-            PolicySpec::St2 => Some(WireMessage::WritePropagation {
-                version: self.version,
-            }),
+            PolicySpec::St2 => Some(WireMessage::write_propagation(self.version)),
             PolicySpec::SlidingWindow { k: 1 } => {
                 // SW1 optimization (§4): the post-write window is [w]
                 // whatever it held before, so skip the propagation and send
                 // the delete-request directly, retaking charge.
                 self.mc_has_copy = false;
                 self.charge = ScCharge::Window(RequestWindow::filled(1, Request::Write));
-                Some(WireMessage::DeleteRequest { window: None })
+                Some(WireMessage::delete_request(None))
             }
             PolicySpec::SlidingWindow { .. } | PolicySpec::T2 { .. } => {
                 // MC is in charge; propagate and let it decide.
-                Some(WireMessage::WritePropagation {
-                    version: self.version,
-                })
+                Some(WireMessage::write_propagation(self.version))
             }
             PolicySpec::T1 { .. } => {
                 // Two-copies phase ends at the first write; the SC knows, so
                 // it sends only the delete-request.
                 self.mc_has_copy = false;
                 self.charge = ScCharge::ReadStreak(0);
-                Some(WireMessage::DeleteRequest { window: None })
+                Some(WireMessage::delete_request(None))
             }
             PolicySpec::St1 => unreachable!("ST1 never grants the MC a replica"),
         }
@@ -205,7 +179,9 @@ impl StationaryNode {
         self.mc_has_copy = false;
         match self.policy {
             PolicySpec::SlidingWindow { .. } => {
-                let reqs = window.expect("window policies piggyback the window on delete-requests");
+                let Some(reqs) = window else {
+                    panic!("window policies piggyback the window on delete-requests")
+                };
                 self.charge = ScCharge::Window(RequestWindow::from_requests(&reqs));
             }
             PolicySpec::T2 { .. } => {
@@ -217,7 +193,7 @@ impl StationaryNode {
 }
 
 /// Policy-specific bookkeeping on the mobile side.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum McCharge {
     /// Nothing to track (statics, T1m; or the SC is in charge).
     Idle,
@@ -228,7 +204,7 @@ enum McCharge {
 }
 
 /// The mobile computer: issues reads, optionally holds a replica.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MobileNode {
     policy: PolicySpec,
     /// The cached version, if the MC holds a replica.
@@ -275,7 +251,9 @@ impl MobileNode {
     ///
     /// Panics if the MC holds no replica (the caller must go remote then).
     pub fn handle_local_read(&mut self) -> u64 {
-        let version = self.cache.expect("local read without a replica");
+        let Some(version) = self.cache else {
+            panic!("local read without a replica")
+        };
         match &mut self.charge {
             McCharge::Window(w) => {
                 w.push(Request::Read);
@@ -300,7 +278,9 @@ impl MobileNode {
             self.cache = Some(version);
             match self.policy {
                 PolicySpec::SlidingWindow { .. } => {
-                    let reqs = window.expect("window policies piggyback the window on allocation");
+                    let Some(reqs) = window else {
+                        panic!("window policies piggyback the window on allocation")
+                    };
                     self.charge = McCharge::Window(RequestWindow::from_requests(&reqs));
                 }
                 PolicySpec::T2 { .. } => {
@@ -333,9 +313,7 @@ impl MobileNode {
                     let window = w.to_requests();
                     self.cache = None;
                     self.charge = McCharge::Idle;
-                    Some(WireMessage::DeleteRequest {
-                        window: Some(window),
-                    })
+                    Some(WireMessage::delete_request(Some(window)))
                 }
             }
             (McCharge::WriteStreak(streak), PolicySpec::T2 { m }) => {
@@ -343,7 +321,7 @@ impl MobileNode {
                 if *streak >= m {
                     self.cache = None;
                     self.charge = McCharge::Idle;
-                    Some(WireMessage::DeleteRequest { window: None })
+                    Some(WireMessage::delete_request(None))
                 } else {
                     None
                 }

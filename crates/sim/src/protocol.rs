@@ -1,0 +1,346 @@
+//! The §4 protocol as an explicit transition relation, separated from the
+//! discrete-event loop.
+//!
+//! [`ProtocolState`] bundles the two node state machines with the messages
+//! currently on the wire, the request being served, and the action ledger.
+//! Two drivers execute it:
+//!
+//! * the discrete-event loop in [`crate::sim`] steps it in timestamp order,
+//!   adding clocks, latency, queueing and per-transmission billing on top;
+//! * the bounded model checker in `mdr-verify` steps it over *every*
+//!   interleaving of request arrivals and message deliveries, checking the
+//!   protocol invariants (single window owner, replica agreement, ledger
+//!   equality with the reference policy) in each reached state.
+//!
+//! Keeping the transition relation free of clocks and billing is what makes
+//! the two drivers provably execute the same protocol: a transition is
+//! [`submit`](ProtocolState::submit) (a request begins service) or
+//! [`deliver`](ProtocolState::deliver) (an in-flight message arrives), and
+//! nothing else changes protocol state.
+//!
+//! Because the paper serializes relevant requests (§3), at most one exchange
+//! is in progress at a time and the wire holds at most one envelope; the
+//! state nevertheless models the wire as a list so the checker can also
+//! explore fault injections ([`tamper_in_flight`](ProtocolState::tamper_in_flight),
+//! [`drop_in_flight`](ProtocolState::drop_in_flight)).
+
+use crate::nodes::{MobileNode, StationaryNode};
+use crate::wire::{Endpoint, WireMessage};
+use mdr_core::{Action, ActionCounts, PolicySpec, Request};
+
+/// A message in flight together with its destination endpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Envelope {
+    /// The endpoint the message is addressed to.
+    pub to: Endpoint,
+    /// The message payload.
+    pub message: WireMessage,
+}
+
+/// The observable effect of one protocol transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// The request being served completed; the action is the ledger entry
+    /// just recorded in [`ProtocolState::counts`].
+    Completed(Action),
+    /// A message was placed on the wire (a copy of this envelope is now
+    /// queued in [`ProtocolState::wire`]); the exchange continues.
+    Sent(Envelope),
+}
+
+/// The complete protocol configuration: both endpoints, the wire, the
+/// request in service, and the action ledger.
+///
+/// Equality and hashing cover the full configuration, which is what lets
+/// the model checker deduplicate states across interleavings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProtocolState {
+    policy: PolicySpec,
+    sc: StationaryNode,
+    mc: MobileNode,
+    wire: Vec<Envelope>,
+    serving: Option<Request>,
+    counts: ActionCounts,
+}
+
+impl ProtocolState {
+    /// The initial protocol configuration for `policy`: both nodes in their
+    /// cold-start state, nothing on the wire, an empty ledger.
+    pub fn new(policy: PolicySpec) -> Self {
+        ProtocolState {
+            policy,
+            sc: StationaryNode::new(policy),
+            mc: MobileNode::new(policy),
+            wire: Vec::new(),
+            serving: None,
+            counts: ActionCounts::default(),
+        }
+    }
+
+    /// The policy both nodes run.
+    pub fn policy(&self) -> PolicySpec {
+        self.policy
+    }
+
+    /// Whether no exchange is in progress (a new request may be submitted).
+    pub fn idle(&self) -> bool {
+        self.serving.is_none()
+    }
+
+    /// The request currently being served remotely, if any.
+    pub fn serving(&self) -> Option<Request> {
+        self.serving
+    }
+
+    /// The messages currently on the wire, in send order.
+    pub fn wire(&self) -> &[Envelope] {
+        &self.wire
+    }
+
+    /// The stationary node's state.
+    pub fn sc(&self) -> &StationaryNode {
+        &self.sc
+    }
+
+    /// The mobile node's state.
+    pub fn mc(&self) -> &MobileNode {
+        &self.mc
+    }
+
+    /// The action ledger accumulated so far.
+    pub fn counts(&self) -> ActionCounts {
+        self.counts
+    }
+
+    fn complete(&mut self, action: Action) -> StepOutcome {
+        self.counts.record(action);
+        self.serving = None;
+        StepOutcome::Completed(action)
+    }
+
+    fn send(&mut self, to: Endpoint, message: WireMessage) -> StepOutcome {
+        let envelope = Envelope { to, message };
+        self.wire.push(envelope.clone());
+        StepOutcome::Sent(envelope)
+    }
+
+    /// Begins serving one relevant request. Local operations (a read hitting
+    /// the replica, a silent write) complete inline; remote ones put a
+    /// message on the wire and leave the state mid-exchange until
+    /// [`deliver`](Self::deliver) completes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exchange is already in progress (requests are
+    /// serialized, §3), or if a local read observes a stale replica.
+    pub fn submit(&mut self, request: Request) -> StepOutcome {
+        assert!(
+            self.serving.is_none(),
+            "request submitted while an exchange is in flight (requests are serialized)"
+        );
+        match request {
+            Request::Read => {
+                if self.mc.has_copy() {
+                    let version = self.mc.handle_local_read();
+                    assert_eq!(
+                        version,
+                        self.sc.version(),
+                        "stale local read: replica version {version} behind primary {}",
+                        self.sc.version()
+                    );
+                    self.complete(Action::LocalRead)
+                } else {
+                    self.serving = Some(Request::Read);
+                    self.send(Endpoint::Stationary, WireMessage::read_request())
+                }
+            }
+            Request::Write => match self.sc.handle_local_write() {
+                None => self.complete(Action::SilentWrite),
+                Some(message) => {
+                    self.serving = Some(Request::Write);
+                    self.send(Endpoint::Mobile, message)
+                }
+            },
+        }
+    }
+
+    /// Delivers the in-flight envelope at `index`, advancing the exchange:
+    /// either a response goes back on the wire or the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no exchange is in flight, if `index` is out of range, or if
+    /// the delivered message is impossible at its destination (protocol
+    /// corruption).
+    pub fn deliver(&mut self, index: usize) -> StepOutcome {
+        assert!(
+            self.serving.is_some(),
+            "delivery without an exchange in flight"
+        );
+        let Envelope { to, message } = self.wire.remove(index);
+        match (to, message) {
+            (Endpoint::Stationary, WireMessage::ReadRequest) => {
+                let response = self.sc.handle_read_request();
+                self.send(Endpoint::Mobile, response)
+            }
+            (
+                Endpoint::Mobile,
+                WireMessage::DataResponse {
+                    version,
+                    allocate,
+                    window,
+                },
+            ) => {
+                let got = self.mc.handle_data_response(version, allocate, window);
+                assert_eq!(
+                    got,
+                    self.sc.version(),
+                    "remote read returned a stale version"
+                );
+                self.complete(Action::RemoteRead {
+                    allocates: allocate,
+                })
+            }
+            (Endpoint::Mobile, WireMessage::WritePropagation { version }) => {
+                match self.mc.handle_write_propagation(version) {
+                    Some(delete) => self.send(Endpoint::Stationary, delete),
+                    None => self.complete(Action::PropagatedWrite { deallocates: false }),
+                }
+            }
+            (Endpoint::Stationary, WireMessage::DeleteRequest { window }) => {
+                self.sc.handle_delete_request(window);
+                self.complete(Action::PropagatedWrite { deallocates: true })
+            }
+            (Endpoint::Mobile, WireMessage::DeleteRequest { .. }) => {
+                self.mc.handle_delete_request();
+                self.complete(Action::DeleteRequestWrite)
+            }
+            (to, message) => unreachable!("{} delivered to {to:?}", message.kind()),
+        }
+    }
+
+    /// Mutates the in-flight envelope at `index` — **verification support**:
+    /// the model checker in `mdr-verify` uses this to seed deliberate
+    /// protocol mutations (e.g. stripping the §4 window hand-off from an
+    /// allocating response) and prove that the invariant suite catches them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn tamper_in_flight(&mut self, index: usize, tamper: impl FnOnce(&mut Envelope)) {
+        tamper(&mut self.wire[index]);
+    }
+
+    /// Discards the in-flight envelope at `index` without delivering it —
+    /// verification support for modelling an *unrecovered* message loss
+    /// (the simulator's link-layer ARQ normally makes loss invisible to the
+    /// protocol). The exchange is left dangling, which the checker's
+    /// deadlock invariant must detect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn drop_in_flight(&mut self, index: usize) -> Envelope {
+        self.wire.remove(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_to_completion(state: &mut ProtocolState, request: Request) -> Action {
+        let mut outcome = state.submit(request);
+        loop {
+            match outcome {
+                StepOutcome::Completed(action) => return action,
+                StepOutcome::Sent(_) => outcome = state.deliver(0),
+            }
+        }
+    }
+
+    #[test]
+    fn transition_relation_matches_the_reference_policy() {
+        use mdr_core::Schedule;
+        let schedule: Schedule = "rrrwwwrrwwrw".parse().unwrap();
+        for spec in PolicySpec::roster(&[1, 3, 5], &[1, 2]) {
+            let mut state = ProtocolState::new(spec);
+            let mut oracle = spec.build();
+            for req in &schedule {
+                let action = drive_to_completion(&mut state, req);
+                assert_eq!(action, oracle.on_request(req), "{spec}");
+                assert_eq!(state.mc().has_copy(), oracle.has_copy(), "{spec}");
+                assert!(state.idle());
+                assert!(state.wire().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_accumulates_completed_actions() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        drive_to_completion(&mut state, Request::Read);
+        drive_to_completion(&mut state, Request::Write);
+        assert_eq!(state.counts().remote_reads, 1);
+        assert_eq!(state.counts().silent_writes, 1);
+        assert_eq!(state.counts().total(), 2);
+    }
+
+    #[test]
+    fn remote_read_is_a_two_delivery_exchange() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        let outcome = state.submit(Request::Read);
+        assert!(matches!(outcome, StepOutcome::Sent(ref e) if e.to == Endpoint::Stationary));
+        assert_eq!(state.serving(), Some(Request::Read));
+        let outcome = state.deliver(0);
+        assert!(matches!(outcome, StepOutcome::Sent(ref e) if e.to == Endpoint::Mobile));
+        let outcome = state.deliver(0);
+        assert!(matches!(
+            outcome,
+            StepOutcome::Completed(Action::RemoteRead { allocates: false })
+        ));
+        assert!(state.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "serialized")]
+    fn concurrent_submission_is_rejected() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        let _ = state.submit(Request::Read);
+        let _ = state.submit(Request::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an exchange")]
+    fn delivery_without_an_exchange_is_rejected() {
+        let mut state = ProtocolState::new(PolicySpec::St2);
+        let _ = state.deliver(0);
+    }
+
+    #[test]
+    fn dropping_an_envelope_leaves_the_exchange_dangling() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        let _ = state.submit(Request::Read);
+        let dropped = state.drop_in_flight(0);
+        assert_eq!(dropped.message, WireMessage::read_request());
+        assert!(!state.idle());
+        assert!(state.wire().is_empty());
+    }
+
+    #[test]
+    fn equal_histories_produce_equal_states() {
+        let a = {
+            let mut s = ProtocolState::new(PolicySpec::SlidingWindow { k: 3 });
+            drive_to_completion(&mut s, Request::Read);
+            drive_to_completion(&mut s, Request::Read);
+            s
+        };
+        let b = {
+            let mut s = ProtocolState::new(PolicySpec::SlidingWindow { k: 3 });
+            drive_to_completion(&mut s, Request::Read);
+            drive_to_completion(&mut s, Request::Read);
+            s
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -11,15 +11,14 @@
 //! to the pure-policy replay — an equivalence this crate asserts at runtime
 //! in oracle mode and the workspace re-checks in integration tests.
 
-use crate::nodes::{MobileNode, StationaryNode};
-use crate::wire::{Endpoint, WireMessage};
+use crate::protocol::{Envelope, ProtocolState, StepOutcome};
 use crate::workload::{Arrival, ArrivalProcess};
 use mdr_core::{Action, ActionCounts, AllocationPolicy, CostModel, PolicySpec, Request, Schedule};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Simulation parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// The allocation policy both nodes run.
     pub policy: PolicySpec,
@@ -44,7 +43,7 @@ pub struct SimConfig {
 }
 
 /// Parameters of the cellular-mobility model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MobilityConfig {
     /// Extra one-way latency experienced in each cell (the cell count is
     /// this vector's length).
@@ -57,7 +56,7 @@ pub struct MobilityConfig {
 }
 
 /// Parameters of the lossy-link model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct LossConfig {
     /// Per-transmission loss probability in `[0, 1)`.
     pub loss_probability: f64,
@@ -66,6 +65,55 @@ pub struct LossConfig {
     /// RNG seed for the loss process.
     pub seed: u64,
 }
+
+/// Configuration equality is deliberate about its floating-point fields:
+/// they are compared by IEEE-754 total order (`f64::total_cmp`), so the
+/// semantics of NaN and signed zero are explicit rather than inherited from
+/// a derived float `==` (which the workspace lint bans in accounting paths).
+/// Two configs compare equal exactly when they bit-for-bit describe the same
+/// run.
+impl PartialEq for SimConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.latency.total_cmp(&other.latency).is_eq()
+            && self.oracle_check == other.oracle_check
+            && self.loss == other.loss
+            && self.mobility == other.mobility
+    }
+}
+
+impl Eq for SimConfig {}
+
+/// See [`SimConfig`]'s `PartialEq`: total-order comparison on the latency
+/// vector, exact equality elsewhere.
+impl PartialEq for MobilityConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.cell_extra_latency.len() == other.cell_extra_latency.len()
+            && self
+                .cell_extra_latency
+                .iter()
+                .zip(&other.cell_extra_latency)
+                .all(|(a, b)| a.total_cmp(b).is_eq())
+            && self.handoff_rate.total_cmp(&other.handoff_rate).is_eq()
+            && self.seed == other.seed
+    }
+}
+
+impl Eq for MobilityConfig {}
+
+/// See [`SimConfig`]'s `PartialEq`: total-order comparison on the float
+/// fields, exact equality on the seed.
+impl PartialEq for LossConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.loss_probability
+            .total_cmp(&other.loss_probability)
+            .is_eq()
+            && self.retry_timeout.total_cmp(&other.retry_timeout).is_eq()
+            && self.seed == other.seed
+    }
+}
+
+impl Eq for LossConfig {}
 
 impl SimConfig {
     /// A config with the default link latency (0.01 time units) and oracle
@@ -204,10 +252,9 @@ impl SimReport {
 #[derive(Debug)]
 enum Event {
     Arrival(Arrival),
-    Deliver {
-        to: Endpoint,
-        message: WireMessage,
-    },
+    /// The single in-flight envelope reaches its destination (requests are
+    /// serialized, so the protocol wire never holds more than one).
+    Deliver,
     /// The MC crosses into another cell.
     Handoff,
 }
@@ -244,8 +291,9 @@ impl Ord for Scheduled {
 /// The simulator. Owns the two protocol nodes and the event queue.
 pub struct Simulation {
     config: SimConfig,
-    sc: StationaryNode,
-    mc: MobileNode,
+    /// The protocol transition relation (both nodes + wire + ledger); the
+    /// event loop only adds time, queueing and billing on top.
+    protocol: ProtocolState,
     oracle: Option<Box<dyn AllocationPolicy>>,
     events: BinaryHeap<Scheduled>,
     seq: u64,
@@ -255,7 +303,6 @@ pub struct Simulation {
     now: f64,
     // accounting
     schedule: Schedule,
-    counts: ActionCounts,
     data_messages: u64,
     control_messages: u64,
     queued_requests: u64,
@@ -291,8 +338,7 @@ impl Simulation {
             .as_ref()
             .map(|m| rand::rngs::StdRng::seed_from_u64(m.seed));
         Simulation {
-            sc: StationaryNode::new(config.policy),
-            mc: MobileNode::new(config.policy),
+            protocol: ProtocolState::new(config.policy),
             oracle: config.oracle_check.then(|| config.policy.build()),
             config,
             events: BinaryHeap::new(),
@@ -301,7 +347,6 @@ impl Simulation {
             in_flight: None,
             now: 0.0,
             schedule: Schedule::new(),
-            counts: ActionCounts::default(),
             data_messages: 0,
             control_messages: 0,
             queued_requests: 0,
@@ -326,9 +371,10 @@ impl Simulation {
         });
     }
 
-    fn send(&mut self, to: Endpoint, message: WireMessage) {
-        // Under the lossy-link model the sender retransmits after each
-        // timeout until one attempt gets through; every attempt is billed.
+    /// Bills and schedules the delivery of an envelope the protocol just put
+    /// on the wire. Under the lossy-link model the sender retransmits after
+    /// each timeout until one attempt gets through; every attempt is billed.
+    fn transmit(&mut self, envelope: &Envelope) {
         let attempts = match (self.config.loss, &mut self.link_rng) {
             (Some(loss), Some(rng)) => {
                 use rand::RngExt;
@@ -341,21 +387,19 @@ impl Simulation {
             _ => 1,
         };
         self.retransmissions += attempts - 1;
-        match message.class() {
+        match envelope.message.class() {
             crate::wire::MessageClass::Data => self.data_messages += attempts,
             crate::wire::MessageClass::Control => self.control_messages += attempts,
         }
-        let retry_delay =
-            (attempts - 1) as f64 * self.config.loss.map(|l| l.retry_timeout).unwrap_or(0.0);
+        let retry_delay = (attempts - 1) as f64 * self.config.loss.map_or(0.0, |l| l.retry_timeout);
         let cell_extra = self
             .config
             .mobility
             .as_ref()
-            .map(|m| m.cell_extra_latency[self.current_cell])
-            .unwrap_or(0.0);
+            .map_or(0.0, |m| m.cell_extra_latency[self.current_cell]);
         self.push_event(
             self.now + retry_delay + self.config.latency + cell_extra,
-            Event::Deliver { to, message },
+            Event::Deliver,
         );
     }
 
@@ -406,7 +450,7 @@ impl Simulation {
                         self.begin_service(arrival);
                     }
                 }
-                Event::Deliver { to, message } => self.deliver(to, message),
+                Event::Deliver => self.handle_delivery(),
                 Event::Handoff => {
                     self.perform_handoff();
                     self.schedule_next_handoff();
@@ -418,11 +462,12 @@ impl Simulation {
 
     /// Draws the next exponential dwell time and schedules the handoff.
     fn schedule_next_handoff(&mut self) {
-        let (rate, _) = {
-            let m = self.config.mobility.as_ref().expect("mobility enabled");
-            (m.handoff_rate, m.cell_extra_latency.len())
+        let (Some(mobility), Some(rng)) =
+            (self.config.mobility.as_ref(), self.mobility_rng.as_mut())
+        else {
+            unreachable!("handoff scheduling requires the mobility model")
         };
-        let rng = self.mobility_rng.as_mut().expect("mobility RNG present");
+        let rate = mobility.handoff_rate;
         use rand::RngExt;
         let u: f64 = rng.random();
         let dwell = -f64::ln(1.0 - u) / rate;
@@ -431,15 +476,13 @@ impl Simulation {
 
     /// Moves the MC to a uniformly chosen *different* cell.
     fn perform_handoff(&mut self) {
-        let cells = self
-            .config
-            .mobility
-            .as_ref()
-            .expect("mobility enabled")
-            .cell_extra_latency
-            .len();
+        let (Some(mobility), Some(rng)) =
+            (self.config.mobility.as_ref(), self.mobility_rng.as_mut())
+        else {
+            unreachable!("handoffs require the mobility model")
+        };
+        let cells = mobility.cell_extra_latency.len();
         if cells > 1 {
-            let rng = self.mobility_rng.as_mut().expect("mobility RNG present");
             use rand::RngExt;
             let mut next = (rng.random::<f64>() * (cells - 1) as f64) as usize;
             if next >= self.current_cell {
@@ -450,94 +493,51 @@ impl Simulation {
         self.handoffs += 1;
     }
 
-    /// Starts serving one arrival. Local operations complete inline; remote
-    /// ones put a message on the wire and park in `in_flight`.
+    /// Starts serving one arrival by submitting it to the protocol. Local
+    /// operations complete inline; remote ones put a message on the wire and
+    /// park in `in_flight`.
     fn begin_service(&mut self, arrival: Arrival) {
         debug_assert!(self.in_flight.is_none());
         self.schedule.push(arrival.request);
-        match arrival.request {
-            Request::Read => {
-                if self.mc.has_copy() {
-                    let version = self.mc.handle_local_read();
-                    assert_eq!(
-                        version,
-                        self.sc.version(),
-                        "stale local read: replica version {version} behind primary {}",
-                        self.sc.version()
-                    );
+        match self.protocol.submit(arrival.request) {
+            StepOutcome::Completed(action) => {
+                if action == Action::LocalRead {
                     self.reads_completed += 1; // zero added latency
-                    self.complete(arrival, Action::LocalRead);
-                } else {
-                    self.in_flight = Some(Exchange {
-                        request: Request::Read,
-                        arrived_at: arrival.time,
-                    });
-                    self.send(Endpoint::Stationary, WireMessage::ReadRequest);
                 }
+                self.complete(arrival, action);
             }
-            Request::Write => match self.sc.handle_local_write() {
-                None => self.complete(arrival, Action::SilentWrite),
-                Some(message) => {
-                    self.in_flight = Some(Exchange {
-                        request: Request::Write,
-                        arrived_at: arrival.time,
-                    });
-                    self.send(Endpoint::Mobile, message);
-                }
-            },
+            StepOutcome::Sent(envelope) => {
+                self.in_flight = Some(Exchange {
+                    request: arrival.request,
+                    arrived_at: arrival.time,
+                });
+                self.transmit(&envelope);
+            }
         }
     }
 
-    /// Handles a message arriving at `to`.
-    fn deliver(&mut self, to: Endpoint, message: WireMessage) {
-        let exchange = self
-            .in_flight
-            .expect("delivery without an exchange in flight");
-        match (to, message) {
-            (Endpoint::Stationary, WireMessage::ReadRequest) => {
-                let response = self.sc.handle_read_request();
-                self.send(Endpoint::Mobile, response);
-            }
-            (
-                Endpoint::Mobile,
-                WireMessage::DataResponse {
-                    version,
-                    allocate,
-                    window,
-                },
-            ) => {
-                let got = self.mc.handle_data_response(version, allocate, window);
-                assert_eq!(
-                    got,
-                    self.sc.version(),
-                    "remote read returned a stale version"
-                );
-                self.read_latency_sum += self.now - exchange.arrived_at;
-                self.reads_completed += 1;
-                self.finish_exchange(Action::RemoteRead {
-                    allocates: allocate,
-                });
-            }
-            (Endpoint::Mobile, WireMessage::WritePropagation { version }) => {
-                match self.mc.handle_write_propagation(version) {
-                    Some(delete) => self.send(Endpoint::Stationary, delete),
-                    None => self.finish_exchange(Action::PropagatedWrite { deallocates: false }),
+    /// Handles the scheduled arrival of the in-flight envelope by stepping
+    /// the protocol's transition relation.
+    fn handle_delivery(&mut self) {
+        let Some(exchange) = self.in_flight else {
+            unreachable!("delivery without an exchange in flight")
+        };
+        match self.protocol.deliver(0) {
+            StepOutcome::Sent(envelope) => self.transmit(&envelope),
+            StepOutcome::Completed(action) => {
+                if matches!(action, Action::RemoteRead { .. }) {
+                    self.read_latency_sum += self.now - exchange.arrived_at;
+                    self.reads_completed += 1;
                 }
+                self.finish_exchange(action);
             }
-            (Endpoint::Stationary, WireMessage::DeleteRequest { window }) => {
-                self.sc.handle_delete_request(window);
-                self.finish_exchange(Action::PropagatedWrite { deallocates: true });
-            }
-            (Endpoint::Mobile, WireMessage::DeleteRequest { .. }) => {
-                self.mc.handle_delete_request();
-                self.finish_exchange(Action::DeleteRequestWrite);
-            }
-            (to, message) => unreachable!("{} delivered to {to:?}", message.kind()),
         }
     }
 
     fn finish_exchange(&mut self, action: Action) {
-        let exchange = self.in_flight.take().expect("no exchange to finish");
+        let Some(exchange) = self.in_flight.take() else {
+            unreachable!("no exchange to finish")
+        };
         self.complete(
             Arrival {
                 time: exchange.arrived_at,
@@ -556,29 +556,30 @@ impl Simulation {
         }
     }
 
-    /// Records the served request and re-checks all invariants.
+    /// Records the served request (the protocol ledger already tallied the
+    /// action) and re-checks all invariants.
     fn complete(&mut self, arrival: Arrival, action: Action) {
-        self.counts.record(action);
         self.served += 1;
         self.check_invariants(arrival.request, action);
     }
 
     fn check_invariants(&mut self, request: Request, action: Action) {
+        let (sc, mc) = (self.protocol.sc(), self.protocol.mc());
         // Replica agreement between the two sides.
         assert_eq!(
-            self.sc.mc_has_copy(),
-            self.mc.has_copy(),
+            sc.mc_has_copy(),
+            mc.has_copy(),
             "SC and MC disagree about the replica after {action}"
         );
         // Fresh replica after any completed exchange.
-        if let Some(v) = self.mc.cached_version() {
-            assert_eq!(v, self.sc.version(), "replica left stale after {action}");
+        if let Some(v) = mc.cached_version() {
+            assert_eq!(v, sc.version(), "replica left stale after {action}");
         }
         // Single window owner for window policies.
         if matches!(self.config.policy, PolicySpec::SlidingWindow { .. }) {
             assert_ne!(
-                self.sc.in_charge(),
-                self.mc.in_charge(),
+                sc.in_charge(),
+                mc.in_charge(),
                 "window ownership must live on exactly one side"
             );
         }
@@ -593,19 +594,20 @@ impl Simulation {
             );
             assert_eq!(
                 oracle.has_copy(),
-                self.mc.has_copy(),
+                self.protocol.mc().has_copy(),
                 "replica state diverged"
             );
         }
     }
 
     fn report(&self) -> SimReport {
+        let counts = self.protocol.counts();
         SimReport {
             schedule: self.schedule.clone(),
-            counts: self.counts,
+            counts,
             data_messages: self.data_messages,
             control_messages: self.control_messages,
-            connections: self.counts.connections(),
+            connections: counts.connections(),
             makespan: self.now,
             mean_read_latency: if self.reads_completed == 0 {
                 0.0
@@ -613,8 +615,8 @@ impl Simulation {
                 self.read_latency_sum / self.reads_completed as f64
             },
             queued_requests: self.queued_requests,
-            allocations: self.counts.allocations(),
-            deallocations: self.counts.deallocations(),
+            allocations: counts.allocations(),
+            deallocations: counts.deallocations(),
             retransmissions: self.retransmissions,
             handoffs: self.handoffs,
         }

@@ -39,7 +39,7 @@ pub enum MessageClass {
 /// replica ownership: the allocating [`DataResponse`](WireMessage::DataResponse)
 /// carries the window MC-ward, the deallocating
 /// [`DeleteRequest`](WireMessage::DeleteRequest) carries it SC-ward.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum WireMessage {
     /// MC → SC: a read the MC could not serve locally.
     ReadRequest,
@@ -72,6 +72,45 @@ pub enum WireMessage {
 }
 
 impl WireMessage {
+    /// Builds the MC → SC read-request control message (§3).
+    ///
+    /// All `WireMessage` values are built through these constructors so the
+    /// wire grammar stays in one place; the workspace lint
+    /// (`cargo xtask lint`) forbids literal construction outside this
+    /// module.
+    pub fn read_request() -> Self {
+        WireMessage::ReadRequest
+    }
+
+    /// Builds the SC → MC data response (§3). `window` may only travel on an
+    /// allocating response — that is the §4 ownership-handoff piggyback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is supplied without the allocate indication.
+    pub fn data_response(version: u64, allocate: bool, window: Option<Vec<Request>>) -> Self {
+        assert!(
+            allocate || window.is_none(),
+            "the request window piggybacks only on allocating responses (§4)"
+        );
+        WireMessage::DataResponse {
+            version,
+            allocate,
+            window,
+        }
+    }
+
+    /// Builds the SC → MC write propagation data message (§3).
+    pub fn write_propagation(version: u64) -> Self {
+        WireMessage::WritePropagation { version }
+    }
+
+    /// Builds a delete-request control message (§3/§4). The window is
+    /// present exactly in the MC → SC direction of the window policies.
+    pub fn delete_request(window: Option<Vec<Request>>) -> Self {
+        WireMessage::DeleteRequest { window }
+    }
+
     /// Billing class of this message (§3).
     pub fn class(&self) -> MessageClass {
         match self {

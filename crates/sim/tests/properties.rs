@@ -103,3 +103,19 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn regression_st2_poisson_with_high_latency() {
+    // Pinned from a proptest shrink once recorded in the regression file:
+    // ST2, θ ≈ 0.5357, seed 4359208734433868950, latency ≈ 0.4781. The run
+    // must serve exactly n requests with the oracle check live and with
+    // wire tallies matching the action ledger.
+    let config = SimConfig::new(PolicySpec::St2).with_latency(0.4781375308365721);
+    let mut sim = Simulation::new(config);
+    let mut w = PoissonWorkload::from_theta(1.0, 0.535714170090935, 4359208734433868950);
+    let report = sim.run(&mut w, RunLimit::Requests(400));
+    assert_eq!(report.counts.total(), 400);
+    assert_eq!(report.schedule.len(), 400);
+    assert_eq!(report.data_messages, report.counts.data_messages());
+    assert_eq!(report.control_messages, report.counts.control_messages());
+}

@@ -1,0 +1,379 @@
+//! The bounded model checker: exhaustive DFS over every interleaving of
+//! request arrivals, message deliveries and link-loss events, with
+//! state-hash deduplication.
+//!
+//! The state space is the product of the [`ProtocolState`] transition
+//! relation (both nodes, the wire, the ledger) with the arrival queue and
+//! the billing counters. Transitions:
+//!
+//! * **arrival at the MC** — a read arrives: begins service immediately if
+//!   the protocol is idle, otherwise queues FIFO (§3 serialization);
+//! * **arrival at the SC** — a write arrives, likewise;
+//! * **message delivery** — the in-flight envelope reaches its endpoint;
+//! * **message loss + ARQ retransmit** (lossy mode) — a transmission
+//!   attempt is lost and billed again; the protocol state is unchanged,
+//!   which is exactly the §3 claim that loss inflates the bill without
+//!   changing the actions.
+//!
+//! Every reached state passes the full [`invariants`](crate::invariants)
+//! suite. Deduplication merges states with identical protocol
+//! configuration, queue and bill: the abstract policy's replay state is a
+//! function of the node states for every family in the paper (window
+//! contents for SWk, streak counters for T1m/T2m, nothing for the statics),
+//! so merging is sound for the ledger invariant too.
+
+use crate::invariants::{check_state, StateView, Violation};
+use mdr_core::{Action, CostModel, PolicySpec, Request};
+use mdr_sim::{MessageClass, ProtocolState, StepOutcome, WireMessage};
+use std::collections::{HashSet, VecDeque};
+
+/// Deliberate protocol mutations for the checker's self-test: each fault is
+/// seeded into in-flight messages and must be caught by an invariant (never
+/// by a crash), demonstrating the suite has teeth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Strip the §4 save-the-copy indication (and the piggybacked window)
+    /// from allocating data responses: the SC commits to propagate but the
+    /// MC never caches.
+    SkipAllocationHandoff,
+    /// Strip the window from deallocating MC → SC delete-requests: the
+    /// replica drops but the window hand-off is skipped, leaving no owner.
+    SkipWindowHandoff,
+    /// Silently discard an in-flight delete-request (an unrecovered loss,
+    /// as if the link-layer ARQ were broken).
+    DropDeleteRequest,
+}
+
+/// One bounded-exploration job: a policy, a depth bound, and the modes.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// The policy family to explore.
+    pub policy: PolicySpec,
+    /// Exploration depth: number of transitions along any path.
+    pub depth: usize,
+    /// Whether loss + ARQ retransmit transitions are explored.
+    pub lossy: bool,
+    /// Cost models under which every quiescent ledger is priced (§5/§6).
+    pub models: Vec<CostModel>,
+    /// Bound on the FIFO arrival queue (arrivals beyond it are not
+    /// explored; §3 serialization makes longer queues redundant — service
+    /// order, not arrival time, determines cost).
+    pub max_pending: usize,
+    /// Maximum loss events explored along one path (lossy mode).
+    pub max_losses: u8,
+    /// Optional seeded mutation (checker self-test).
+    pub fault: Option<Fault>,
+}
+
+impl CheckConfig {
+    /// A lossless exploration of `policy` to `depth`, pricing under both
+    /// cost models (connection, and message at ω = ½).
+    pub fn new(policy: PolicySpec, depth: usize) -> Self {
+        CheckConfig {
+            policy,
+            depth,
+            lossy: false,
+            models: vec![CostModel::Connection, CostModel::message(0.5)],
+            max_pending: 2,
+            max_losses: 2,
+            fault: None,
+        }
+    }
+
+    /// Enables loss + ARQ retransmit transitions.
+    #[must_use]
+    pub fn lossy(mut self) -> Self {
+        self.lossy = true;
+        self
+    }
+
+    /// Seeds a deliberate protocol mutation.
+    #[must_use]
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// What one bounded exploration found.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The explored policy.
+    pub policy: PolicySpec,
+    /// The depth bound used.
+    pub depth: usize,
+    /// Whether loss transitions were explored.
+    pub lossy: bool,
+    /// Deduplicated states reached (including the initial state).
+    pub states: usize,
+    /// Transitions applied (including ones into already-seen states).
+    pub transitions: usize,
+    /// Counterexamples found; empty means the run verified.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// Whether the exploration finished without a counterexample.
+    pub fn verified(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The full checker state: protocol configuration × arrival queue ×
+/// billing counters. Equality/hashing over all of it drives deduplication.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    protocol: ProtocolState,
+    pending: VecDeque<Request>,
+    billed_data: u64,
+    billed_control: u64,
+    retrans_data: u64,
+    retrans_control: u64,
+    losses_left: u8,
+}
+
+impl State {
+    fn initial(config: &CheckConfig) -> Self {
+        State {
+            protocol: ProtocolState::new(config.policy),
+            pending: VecDeque::new(),
+            billed_data: 0,
+            billed_control: 0,
+            retrans_data: 0,
+            retrans_control: 0,
+            losses_left: config.max_losses,
+        }
+    }
+
+    fn bill(&mut self, class: MessageClass) {
+        match class {
+            MessageClass::Data => self.billed_data += 1,
+            MessageClass::Control => self.billed_control += 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transition {
+    Arrive(Request),
+    Deliver,
+    Lose,
+}
+
+fn enabled(config: &CheckConfig, state: &State) -> Vec<Transition> {
+    let mut transitions = Vec::with_capacity(4);
+    if !state.protocol.wire().is_empty() {
+        transitions.push(Transition::Deliver);
+        if config.lossy && state.losses_left > 0 {
+            transitions.push(Transition::Lose);
+        }
+    }
+    if state.protocol.idle() || state.pending.len() < config.max_pending {
+        transitions.push(Transition::Arrive(Request::Read));
+        transitions.push(Transition::Arrive(Request::Write));
+    }
+    transitions
+}
+
+/// Applies `transition`, appending served requests to `schedule` and
+/// completed actions to `actions`; returns how many entries each gained so
+/// the DFS can backtrack.
+fn apply(
+    config: &CheckConfig,
+    state: &mut State,
+    transition: Transition,
+    schedule: &mut Vec<Request>,
+    actions: &mut Vec<Action>,
+) -> (usize, usize) {
+    let (mut served, mut completed) = (0, 0);
+    match transition {
+        Transition::Arrive(request) => {
+            if state.protocol.idle() {
+                debug_assert!(state.pending.is_empty(), "queue drains at completion");
+                schedule.push(request);
+                served += 1;
+                match state.protocol.submit(request) {
+                    StepOutcome::Completed(action) => {
+                        actions.push(action);
+                        completed += 1;
+                    }
+                    StepOutcome::Sent(envelope) => state.bill(envelope.message.class()),
+                }
+            } else {
+                state.pending.push_back(request);
+            }
+        }
+        Transition::Deliver => match state.protocol.deliver(0) {
+            StepOutcome::Sent(envelope) => state.bill(envelope.message.class()),
+            StepOutcome::Completed(action) => {
+                actions.push(action);
+                completed += 1;
+                // Drain the queue exactly as the event loop does: inline
+                // completions must not stall it.
+                while state.protocol.idle() {
+                    let Some(next) = state.pending.pop_front() else {
+                        break;
+                    };
+                    schedule.push(next);
+                    served += 1;
+                    match state.protocol.submit(next) {
+                        StepOutcome::Completed(action) => {
+                            actions.push(action);
+                            completed += 1;
+                        }
+                        StepOutcome::Sent(envelope) => state.bill(envelope.message.class()),
+                    }
+                }
+            }
+        },
+        Transition::Lose => {
+            debug_assert!(state.losses_left > 0);
+            state.losses_left -= 1;
+            let class = state.protocol.wire()[0].message.class();
+            state.bill(class);
+            match class {
+                MessageClass::Data => state.retrans_data += 1,
+                MessageClass::Control => state.retrans_control += 1,
+            }
+        }
+    }
+    inject_fault(config, state);
+    (served, completed)
+}
+
+/// Seeds the configured fault into the in-flight message, if it matches.
+fn inject_fault(config: &CheckConfig, state: &mut State) {
+    let Some(fault) = config.fault else { return };
+    if state.protocol.wire().is_empty() {
+        return;
+    }
+    match fault {
+        Fault::SkipAllocationHandoff => state.protocol.tamper_in_flight(0, |envelope| {
+            if let WireMessage::DataResponse {
+                allocate, window, ..
+            } = &mut envelope.message
+            {
+                *allocate = false;
+                *window = None;
+            }
+        }),
+        Fault::SkipWindowHandoff => state.protocol.tamper_in_flight(0, |envelope| {
+            if let WireMessage::DeleteRequest { window } = &mut envelope.message {
+                *window = None;
+            }
+        }),
+        Fault::DropDeleteRequest => {
+            if matches!(
+                state.protocol.wire()[0].message,
+                WireMessage::DeleteRequest { .. }
+            ) {
+                let _ = state.protocol.drop_in_flight(0);
+            }
+        }
+    }
+}
+
+/// Runs one bounded exploration.
+pub fn check(config: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport {
+        policy: config.policy,
+        depth: config.depth,
+        lossy: config.lossy,
+        states: 1,
+        transitions: 0,
+        violations: Vec::new(),
+    };
+    let initial = State::initial(config);
+    let mut seen = HashSet::new();
+    let mut schedule = Vec::new();
+    let mut actions = Vec::new();
+    verify_state(config, &initial, &schedule, &actions, &mut report);
+    seen.insert(initial.clone());
+    dfs(
+        config,
+        &initial,
+        0,
+        &mut seen,
+        &mut schedule,
+        &mut actions,
+        &mut report,
+    );
+    report
+}
+
+fn verify_state(
+    config: &CheckConfig,
+    state: &State,
+    schedule: &[Request],
+    actions: &[Action],
+    report: &mut CheckReport,
+) {
+    let view = StateView {
+        protocol: &state.protocol,
+        schedule,
+        actions,
+        billed_data: state.billed_data,
+        billed_control: state.billed_control,
+        retrans_data: state.retrans_data,
+        retrans_control: state.retrans_control,
+        models: &config.models,
+    };
+    if let Err(violation) = check_state(&view) {
+        report.violations.push(violation);
+    }
+}
+
+fn dfs(
+    config: &CheckConfig,
+    state: &State,
+    depth: usize,
+    seen: &mut HashSet<State>,
+    schedule: &mut Vec<Request>,
+    actions: &mut Vec<Action>,
+    report: &mut CheckReport,
+) {
+    if depth == config.depth || !report.violations.is_empty() {
+        return;
+    }
+    for transition in enabled(config, state) {
+        let mut child = state.clone();
+        let (served, completed) = apply(config, &mut child, transition, schedule, actions);
+        report.transitions += 1;
+        verify_state(config, &child, schedule, actions, report);
+        if report.violations.is_empty() && seen.insert(child.clone()) {
+            report.states += 1;
+            dfs(config, &child, depth + 1, seen, schedule, actions, report);
+        }
+        schedule.truncate(schedule.len() - served);
+        actions.truncate(actions.len() - completed);
+        if !report.violations.is_empty() {
+            return;
+        }
+    }
+}
+
+/// The acceptance roster: the policy families the paper analyzes —
+/// SW1 (§4's optimized write), SWk for k ∈ {3, 5}, the statics ST1/ST2
+/// (§2), and the competitive statics T1m/T2m (§7.1).
+pub fn default_roster() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::SlidingWindow { k: 1 },
+        PolicySpec::SlidingWindow { k: 3 },
+        PolicySpec::SlidingWindow { k: 5 },
+        PolicySpec::St1,
+        PolicySpec::St2,
+        PolicySpec::T1 { m: 2 },
+        PolicySpec::T2 { m: 2 },
+    ]
+}
+
+/// Explores every roster policy, lossless and lossy, to `depth`; returns
+/// one report per run.
+pub fn sweep(depth: usize) -> Vec<CheckReport> {
+    let mut reports = Vec::new();
+    for policy in default_roster() {
+        reports.push(check(&CheckConfig::new(policy, depth)));
+        reports.push(check(&CheckConfig::new(policy, depth).lossy()));
+    }
+    reports
+}

@@ -1,0 +1,314 @@
+//! The invariant suite checked in every state the bounded model checker
+//! reaches.
+//!
+//! The paper's correctness claims for the §4 protocol are *quiescent-state*
+//! claims: between exchanges, exactly one side is in charge of the window,
+//! the SC's replication commitment agrees with the MC's cache, the replica
+//! is fresh, and the distributed execution has cost exactly equal to the
+//! abstract policy's. A model checker, however, also visits *transient*
+//! states — a message is on the wire, ownership is mid-handoff — so each
+//! invariant below is stated in a transient-aware form that degenerates to
+//! the paper's claim when the wire is empty:
+//!
+//! * **Window ownership** (§4): the window has exactly one logical owner.
+//!   A windowed message in flight *is* an owner (the window travels with
+//!   the allocating data response or the deallocating delete-request); an
+//!   MC whose replica is being revoked by an in-flight SC → MC
+//!   delete-request (SW1's optimized write, T1m's phase-ending write) no
+//!   longer counts as an owner, because the SC reconstructed the window
+//!   when it issued the revocation.
+//! * **Replica agreement** (§4): the SC's commitment to propagate writes
+//!   (`mc_has_copy`) differs from the MC's actual cache state exactly while
+//!   one ownership-transfer message is in flight.
+//! * **Freshness** (§3's consistency requirement): the replica never runs
+//!   ahead of the primary, and is exactly current when the wire is empty.
+//! * **Ledger = replay** (§3/§5/§6): at every quiescent state the action
+//!   ledger, the per-class message bill and both cost models' totals equal
+//!   a replay of the serialized schedule through the abstract
+//!   [`AllocationPolicy`](mdr_core::AllocationPolicy).
+//! * **No deadlock**: an exchange in progress always has a message in
+//!   flight to advance it (the link-layer ARQ makes loss invisible; an
+//!   *unrecovered* loss is a protocol bug and must be detected).
+
+use mdr_core::{approx_eq, Action, ActionCounts, CostModel, PolicySpec, Request};
+use mdr_sim::{Endpoint, Envelope, ProtocolState, WireMessage};
+use std::fmt;
+
+/// The invariant classes the checker enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Exactly one logical owner of the request window (§4).
+    SingleWindowOwner,
+    /// SC replication commitment ⇔ MC cache, modulo one in-flight transfer.
+    ReplicaAgreement,
+    /// The replica never runs ahead of, and quiescently equals, the primary.
+    ReplicaFreshness,
+    /// Ledger, bill and costs equal the abstract policy replay (§3).
+    LedgerEqualsReplay,
+    /// An in-progress exchange always has a message in flight.
+    NoDeadlock,
+    /// Requests are serialized (§3): at most one message on the wire.
+    SerializedWire,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Invariant::SingleWindowOwner => "single-window-owner",
+            Invariant::ReplicaAgreement => "replica-agreement",
+            Invariant::ReplicaFreshness => "replica-freshness",
+            Invariant::LedgerEqualsReplay => "ledger-equals-replay",
+            Invariant::NoDeadlock => "no-deadlock",
+            Invariant::SerializedWire => "serialized-wire",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A counterexample: which invariant failed, why, and the serialized
+/// request prefix that reached the bad state.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Human-readable description of the bad state.
+    pub detail: String,
+    /// The serialized schedule prefix that led here.
+    pub schedule: Vec<Request>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated after [", self.invariant)?;
+        for r in &self.schedule {
+            write!(f, "{r}")?;
+        }
+        write!(f, "]: {}", self.detail)
+    }
+}
+
+/// Everything the invariant suite needs to judge one reached state.
+#[derive(Debug, Clone, Copy)]
+pub struct StateView<'a> {
+    /// The protocol configuration reached.
+    pub protocol: &'a ProtocolState,
+    /// The serialized request order so far (service order, §3).
+    pub schedule: &'a [Request],
+    /// The actions the protocol completed, in order.
+    pub actions: &'a [Action],
+    /// Data-message transmission attempts billed so far.
+    pub billed_data: u64,
+    /// Control-message transmission attempts billed so far.
+    pub billed_control: u64,
+    /// Billed data-message attempts that were lost and repeated (ARQ).
+    pub retrans_data: u64,
+    /// Billed control-message attempts that were lost and repeated (ARQ).
+    pub retrans_control: u64,
+    /// The cost models under which the ledger is priced and compared.
+    pub models: &'a [CostModel],
+}
+
+/// Whether this in-flight message transfers replica ownership between the
+/// two sides (the §4 handoff messages).
+fn transfers_ownership(envelope: &Envelope) -> bool {
+    matches!(
+        envelope.message,
+        WireMessage::DataResponse { allocate: true, .. } | WireMessage::DeleteRequest { .. }
+    )
+}
+
+/// Whether this in-flight message carries the request window (§4's
+/// piggyback), making the message itself the window's logical owner.
+fn carries_window(envelope: &Envelope) -> bool {
+    matches!(
+        envelope.message,
+        WireMessage::DataResponse {
+            window: Some(_),
+            ..
+        } | WireMessage::DeleteRequest { window: Some(_) }
+    )
+}
+
+/// Whether this in-flight message revokes the MC's replica from the SC side
+/// (SW1's optimized write, T1m's phase-ending write): the SC has already
+/// retaken the window, so the MC's charge no longer counts.
+fn revokes_mc(envelope: &Envelope) -> bool {
+    envelope.to == Endpoint::Mobile && matches!(envelope.message, WireMessage::DeleteRequest { .. })
+}
+
+/// Checks the full invariant suite against one reached state.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found, with the serialized schedule
+/// prefix attached as the counterexample trace.
+pub fn check_state(view: &StateView<'_>) -> Result<(), Violation> {
+    let p = view.protocol;
+    let violation = |invariant: Invariant, detail: String| Violation {
+        invariant,
+        detail,
+        schedule: view.schedule.to_vec(),
+    };
+
+    // Serialization (§3): the protocol never has more than one message in
+    // flight, and a message in flight implies an exchange in progress.
+    if p.wire().len() > 1 {
+        return Err(violation(
+            Invariant::SerializedWire,
+            format!("{} messages in flight", p.wire().len()),
+        ));
+    }
+
+    // Deadlock-freedom: an exchange mid-flight must have a message to
+    // advance it (only an unrecovered loss can break this).
+    if p.serving().is_some() && p.wire().is_empty() {
+        return Err(violation(
+            Invariant::NoDeadlock,
+            format!(
+                "exchange for {:?} dangling with nothing in flight",
+                p.serving()
+            ),
+        ));
+    }
+
+    // Replica agreement: the sides disagree exactly while one ownership
+    // transfer is in flight.
+    let transfers = p.wire().iter().filter(|e| transfers_ownership(e)).count();
+    let agree = p.sc().mc_has_copy() == p.mc().has_copy();
+    if agree != (transfers == 0) {
+        return Err(violation(
+            Invariant::ReplicaAgreement,
+            format!(
+                "SC commitment {} vs MC cache {} with {} transfer(s) in flight",
+                p.sc().mc_has_copy(),
+                p.mc().has_copy(),
+                transfers
+            ),
+        ));
+    }
+
+    // Single window owner (window policies only, §4).
+    if matches!(p.policy(), PolicySpec::SlidingWindow { .. }) {
+        let revoked = p.wire().iter().any(revokes_mc);
+        let mc_owns = p.mc().in_charge() && !revoked;
+        let in_flight_owners = p.wire().iter().filter(|e| carries_window(e)).count();
+        let owners = usize::from(p.sc().in_charge()) + usize::from(mc_owns) + in_flight_owners;
+        if owners != 1 {
+            return Err(violation(
+                Invariant::SingleWindowOwner,
+                format!(
+                    "{owners} logical window owners (SC {}, MC {}, revoked {}, in flight {})",
+                    p.sc().in_charge(),
+                    p.mc().in_charge(),
+                    revoked,
+                    in_flight_owners
+                ),
+            ));
+        }
+    }
+
+    // Freshness: the replica never runs ahead of the primary; with an empty
+    // wire it is exactly current.
+    if let Some(v) = p.mc().cached_version() {
+        if v > p.sc().version() {
+            return Err(violation(
+                Invariant::ReplicaFreshness,
+                format!("replica version {v} ahead of primary {}", p.sc().version()),
+            ));
+        }
+        if p.wire().is_empty() && v != p.sc().version() {
+            return Err(violation(
+                Invariant::ReplicaFreshness,
+                format!(
+                    "replica version {v} stale behind primary {} at quiescence",
+                    p.sc().version()
+                ),
+            ));
+        }
+    }
+
+    // Ledger = replay (quiescent states only: mid-exchange the in-flight
+    // request is in the schedule but not yet in the ledger).
+    if p.serving().is_none() && p.wire().is_empty() {
+        check_ledger(view).map_err(|(invariant, detail)| violation(invariant, detail))?;
+    }
+
+    Ok(())
+}
+
+/// The quiescent-state accounting checks: replay the serialized schedule
+/// through the abstract policy and compare actions, allocation state, the
+/// per-class message bill, and both cost models' totals.
+fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
+    let p = view.protocol;
+    if view.schedule.len() != view.actions.len() {
+        return Err((
+            Invariant::LedgerEqualsReplay,
+            format!(
+                "{} requests serialized but {} actions completed",
+                view.schedule.len(),
+                view.actions.len()
+            ),
+        ));
+    }
+
+    let mut oracle = p.policy().build();
+    let mut replayed = ActionCounts::default();
+    for (i, (&req, &action)) in view.schedule.iter().zip(view.actions).enumerate() {
+        let expected = oracle.on_request(req);
+        replayed.record(expected);
+        if action != expected {
+            return Err((
+                Invariant::LedgerEqualsReplay,
+                format!("request {i} ({req:?}): protocol did {action}, policy does {expected}"),
+            ));
+        }
+    }
+    if oracle.has_copy() != p.mc().has_copy() {
+        return Err((
+            Invariant::LedgerEqualsReplay,
+            format!(
+                "allocation state diverged: policy {}, protocol {}",
+                oracle.has_copy(),
+                p.mc().has_copy()
+            ),
+        ));
+    }
+    let counts = p.counts();
+    if counts != replayed {
+        return Err((
+            Invariant::LedgerEqualsReplay,
+            format!("ledger {counts:?} differs from replay {replayed:?}"),
+        ));
+    }
+    // The message bill equals the ledger-derived count plus the ARQ
+    // retransmissions (loss inflates the bill without changing actions).
+    if view.billed_data != counts.data_messages() + view.retrans_data
+        || view.billed_control != counts.control_messages() + view.retrans_control
+    {
+        return Err((
+            Invariant::LedgerEqualsReplay,
+            format!(
+                "bill {}d+{}c differs from ledger {}d+{}c plus retransmissions {}d+{}c",
+                view.billed_data,
+                view.billed_control,
+                counts.data_messages(),
+                counts.control_messages(),
+                view.retrans_data,
+                view.retrans_control
+            ),
+        ));
+    }
+    // Both cost models price the ledger exactly as they price the replay.
+    for model in view.models {
+        let ledger_cost = model.price_counts(&counts);
+        let replay_cost = model.price_all(view.actions.iter().copied());
+        if !approx_eq(ledger_cost, replay_cost) {
+            return Err((
+                Invariant::LedgerEqualsReplay,
+                format!("{model}: ledger cost {ledger_cost} vs replay cost {replay_cost}"),
+            ));
+        }
+    }
+    Ok(())
+}

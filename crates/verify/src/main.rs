@@ -1,0 +1,100 @@
+//! `mdr-verify` — run the bounded model checker across the policy roster.
+//!
+//! ```text
+//! mdr-verify [--depth N] [--policy SPEC] [--lossless-only]
+//! ```
+//!
+//! Explores every interleaving of arrivals, deliveries and losses to the
+//! requested depth for each roster policy, printing one row per run.
+//! Exits non-zero if any run finds a counterexample.
+
+use mdr_verify::{check, default_roster, CheckConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut depth = 18usize;
+    let mut only_policy = None;
+    let mut lossless_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--depth" => {
+                let Some(value) = args.next() else { usage() };
+                let Ok(value) = value.parse() else { usage() };
+                depth = value;
+            }
+            "--policy" => {
+                let Some(value) = args.next() else { usage() };
+                only_policy = Some(value);
+            }
+            "--lossless-only" => lossless_only = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let roster: Vec<_> = default_roster()
+        .into_iter()
+        .filter(|spec| match &only_policy {
+            None => true,
+            Some(name) => spec
+                .to_string()
+                .to_lowercase()
+                .replace(['(', ')', ' ', '='], "")
+                .starts_with(&name.to_lowercase()),
+        })
+        .collect();
+    if roster.is_empty() {
+        usage();
+    }
+
+    println!(
+        "{:<12} {:<9} {:>12} {:>12}  result",
+        "policy", "mode", "states", "transitions"
+    );
+    let mut total_states = 0usize;
+    let mut failed = false;
+    for policy in roster {
+        let modes: &[bool] = if lossless_only {
+            &[false]
+        } else {
+            &[false, true]
+        };
+        for &lossy in modes {
+            let mut config = CheckConfig::new(policy, depth);
+            if lossy {
+                config = config.lossy();
+            }
+            let report = check(&config);
+            total_states += report.states;
+            let mode = if lossy { "lossy" } else { "lossless" };
+            let result = if report.verified() {
+                "ok".to_string()
+            } else {
+                failed = true;
+                format!("VIOLATION: {}", report.violations[0])
+            };
+            println!(
+                "{:<12} {:<9} {:>12} {:>12}  {result}",
+                report.policy.to_string(),
+                mode,
+                report.states,
+                report.transitions
+            );
+        }
+    }
+    println!("total deduplicated states at depth {depth}: {total_states}");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: idiomatic library code that every rule accepts — epsilon
+// helpers for cost comparison, constructor helpers for wire messages,
+// let-else instead of unwrap, and `.unwrap()` only mentioned in prose.
+
+/// Costs within `1e-9` are equal; see the docs on `.unwrap()` usage.
+pub fn costs_agree(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9
+}
+
+pub fn describe(m: &WireMessage) -> &'static str {
+    match m {
+        WireMessage::ReadRequest => "read",
+        _ => "other",
+    }
+}
+
+pub fn fetch(version: Option<u64>) -> u64 {
+    let Some(version) = version else {
+        panic!("no version recorded");
+    };
+    version
+}
+
+pub fn count_matches(haystack: &str) -> usize {
+    haystack.matches("x").count()
+}

@@ -1,0 +1,14 @@
+// Fixture: raw f64 equality in cost-accounting code — every comparison
+// below must trip the float-eq rule.
+
+pub fn compare_costs(total_cost: f64, other: f64) -> bool {
+    total_cost == other
+}
+
+pub fn omega_is_free(omega: f64) -> bool {
+    omega == 0.0
+}
+
+pub fn not_a_literal_but_costly(read_ratio: f64, write_ratio: f64) -> bool {
+    read_ratio != write_ratio
+}

@@ -1,0 +1,19 @@
+// Fixture: public items in mdr-core/mdr-analysis must cite the paper.
+// `undocumented_threshold` must trip the paper-ref rule; the others are
+// properly referenced (or not public API).
+
+/// The write-frequency threshold above which ST1 beats ST2 (§5, Eq. 5.2).
+pub fn documented_threshold(omega: f64) -> f64 {
+    (1.0 + omega) / 2.0
+}
+
+/// A helper with prose but no citation.
+pub fn undocumented_threshold(omega: f64) -> f64 {
+    (1.0 - omega) / 2.0
+}
+
+/// Internal plumbing needs no citation.
+pub(crate) fn internal_helper() {}
+
+/// Cited via Theorem 7.1's competitiveness bound.
+pub struct CompetitiveBound;

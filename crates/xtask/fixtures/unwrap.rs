@@ -1,0 +1,16 @@
+// Fixture: unwrap/expect in library code. The two calls in `brittle` must
+// trip the no-unwrap rule; the test-module ones are exempt.
+
+pub fn brittle(input: &str) -> u64 {
+    let first = input.split(',').next().unwrap();
+    first.parse().expect("a number")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: u64 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

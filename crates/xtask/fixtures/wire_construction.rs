@@ -1,0 +1,20 @@
+// Fixture: WireMessage construction outside wire.rs. The two expression-
+// position literals must trip the wire-construction rule; the pattern
+// matches must not.
+
+pub fn forge_a_read() -> WireMessage {
+    WireMessage::ReadRequest
+}
+
+pub fn forge_a_response(version: u64) -> WireMessage {
+    WireMessage::DataResponse {
+        version,
+        allocate: true,
+        window: None,
+    }
+}
+
+pub fn inspect(m: &WireMessage) -> bool {
+    matches!(m, WireMessage::ReadRequest)
+        || matches!(m, WireMessage::DeleteRequest { window: Some(_) })
+}

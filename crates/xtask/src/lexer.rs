@@ -1,0 +1,417 @@
+//! A minimal hand-rolled Rust lexer: just enough to drive the lint rules.
+//!
+//! Produces a flat token stream with comments stripped, string/char
+//! literals reduced to opaque tokens, and doc comments kept as dedicated
+//! tokens (the paper-reference rule reads them; every other rule skips
+//! them, so `.unwrap()` mentioned in prose is never flagged). This is not
+//! a full parser — the rules layer applies local, token-window heuristics
+//! tuned to this workspace's idioms.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// String literal (normal, raw, or byte); text holds the contents.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`); text holds the raw
+    /// comment including its leading markers.
+    Doc,
+    /// Operator or delimiter.
+    Punct,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The lexeme text (contents only, for string literals).
+    pub text: String,
+    /// 1-based line where the lexeme starts.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is exactly the punctuation `p`.
+    pub(crate) fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+
+    /// Whether this token is exactly the identifier/keyword `name`.
+    pub(crate) fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "=>", "->", "::", "..", "<=", ">=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into a token stream. Unrecognized bytes are skipped — the
+/// lint rules are best-effort heuristics, not a compiler front end.
+pub(crate) fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let len = chars.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < len {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && at(i + 1) == Some('/') {
+            let mut j = i;
+            while j < len && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            let is_doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            if is_doc {
+                out.push(Token {
+                    kind: TokenKind::Doc,
+                    text,
+                    line,
+                });
+            }
+            i = j;
+            continue;
+        }
+        if c == '/' && at(i + 1) == Some('*') {
+            let start_line = line;
+            let is_doc = matches!(at(i + 2), Some('!'))
+                || (at(i + 2) == Some('*') && at(i + 3) != Some('/'));
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < len && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && at(j + 1) == Some('*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && at(j + 1) == Some('/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            if is_doc {
+                out.push(Token {
+                    kind: TokenKind::Doc,
+                    text: chars[i..j.min(len)].iter().collect(),
+                    line: start_line,
+                });
+            }
+            i = j;
+            continue;
+        }
+
+        // Raw strings and raw identifiers: r"..", r#".."#, r#ident.
+        if c == 'r' || (c == 'b' && at(i + 1) == Some('r')) {
+            let hash_start = if c == 'r' { i + 1 } else { i + 2 };
+            let mut hashes = 0;
+            while at(hash_start + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if at(hash_start + hashes) == Some('"') {
+                let start_line = line;
+                let mut j = hash_start + hashes + 1;
+                let closes =
+                    |j: usize| chars[j] == '"' && (0..hashes).all(|h| at(j + 1 + h) == Some('#'));
+                while j < len && !closes(j) {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                let body: String = chars[hash_start + hashes + 1..j.min(len)].iter().collect();
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text: body,
+                    line: start_line,
+                });
+                i = (j + 1 + hashes).min(len);
+                continue;
+            }
+            if c == 'r' && hashes == 1 && at(hash_start + 1).is_some_and(is_ident_start) {
+                // Raw identifier r#type: lex the ident part.
+                let mut j = hash_start + 1;
+                while j < len && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[hash_start + 1..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // String literals (including byte strings).
+        if c == '"' || (c == 'b' && at(i + 1) == Some('"')) {
+            let start_line = line;
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            let mut body = String::new();
+            while j < len && chars[j] != '"' {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\n' {
+                    line += 1;
+                }
+                body.push(chars[j]);
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Str,
+                text: body,
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+
+        // Char literals vs lifetimes.
+        if c == '\'' {
+            if at(i + 1).is_some_and(is_ident_start) {
+                let mut j = i + 2;
+                while j < len && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if at(j) != Some('\'') {
+                    // Lifetime: skip it entirely.
+                    i = j;
+                    continue;
+                }
+            }
+            let mut j = i + 1;
+            if at(j) == Some('\\') {
+                j += 2;
+            }
+            while j < len && chars[j] != '\'' {
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Char,
+                text: String::new(),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < len && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut float = false;
+            if c == '0' && matches!(at(j), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+                j += 1;
+                while j < len && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < len && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+                if at(j) == Some('.') && at(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    float = true;
+                    j += 1;
+                    while j < len && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                if matches!(at(j), Some('e' | 'E'))
+                    && (at(j + 1).is_some_and(|d| d.is_ascii_digit())
+                        || (matches!(at(j + 1), Some('+' | '-'))
+                            && at(j + 2).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    float = true;
+                    j += 1;
+                    if matches!(at(j), Some('+' | '-')) {
+                        j += 1;
+                    }
+                    while j < len && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                        j += 1;
+                    }
+                }
+                // Type suffix: f32/f64 makes it a float either way.
+                let suffix_start = j;
+                while j < len && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let suffix: String = chars[suffix_start..j].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    float = true;
+                }
+            }
+            out.push(Token {
+                kind: if float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.chars().count();
+            if i + pl <= len && chars[i..i + pl].iter().collect::<String>() == **p {
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                i += pl;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Token index ranges (half-open) covered by `#[cfg(test)]` or `#[test]`
+/// items — test-only code every rule except missing-docs ignores.
+pub(crate) fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let mut j = i + 2;
+            let mut depth = 1;
+            let attr_start = j;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr: Vec<&str> = tokens[attr_start..j.saturating_sub(1)]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_test_attr =
+                attr == ["test"] || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+            if is_test_attr {
+                // Skip any further attributes/docs, then the item itself.
+                let mut k = j;
+                loop {
+                    if tokens.get(k).is_some_and(|t| t.kind == TokenKind::Doc) {
+                        k += 1;
+                        continue;
+                    }
+                    if tokens.get(k).is_some_and(|t| t.is_punct("#"))
+                        && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+                    {
+                        let mut depth = 1;
+                        k += 2;
+                        while k < tokens.len() && depth > 0 {
+                            if tokens[k].is_punct("[") {
+                                depth += 1;
+                            } else if tokens[k].is_punct("]") {
+                                depth -= 1;
+                            }
+                            k += 1;
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                // The item body: to the first `;` at brace depth 0, or the
+                // matching `}` of its first `{`.
+                let mut depth = 0usize;
+                while k < tokens.len() {
+                    if tokens[k].is_punct("{") {
+                        depth += 1;
+                    } else if tokens[k].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    } else if tokens[k].is_punct(";") && depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                    k += 1;
+                }
+                ranges.push((i, k));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Whether token index `idx` falls inside any of `ranges`.
+pub(crate) fn in_ranges(ranges: &[(usize, usize)], idx: usize) -> bool {
+    ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+}

@@ -1,0 +1,259 @@
+//! `cargo xtask` — workspace maintenance tasks.
+//!
+//! Currently one task: `cargo xtask lint`, the custom protocol-hygiene
+//! lint pass described in `docs/verification.md`. Exits non-zero when any
+//! rule fires.
+
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories under `crates/*/` whose `.rs` files the lint pass covers.
+/// Integration tests, benches and fixtures are out of scope by design:
+/// the rules police *library* code.
+const SOURCE_DIR: &str = "src";
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/xtask; the workspace root is two up.
+    let manifest = env_var("CARGO_MANIFEST_DIR");
+    let mut root = PathBuf::from(manifest);
+    root.pop();
+    root.pop();
+    root
+}
+
+fn env_var(key: &str) -> String {
+    match std::env::var(key) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("xtask: {key} not set; run via `cargo xtask`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        eprintln!("xtask: no crates/ directory under {}", root.display());
+        return ExitCode::from(2);
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        collect_rs(&crate_dir.join(SOURCE_DIR), &mut files);
+    }
+
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let Ok(rel) = file.strip_prefix(&root) else {
+            continue;
+        };
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        match rules::lint_file(&root, &rel) {
+            Ok(mut found) => {
+                checked += 1;
+                violations.append(&mut found);
+            }
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "xtask lint: {} file(s) checked, {} violation(s)",
+        checked,
+        violations.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileContext};
+
+    fn lint_as(path: &str, src: &str) -> Vec<String> {
+        lint_source(FileContext { path }, src)
+            .into_iter()
+            .map(|v| v.rule.to_string())
+            .collect()
+    }
+
+    fn fixture(name: &str) -> String {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(src) => src,
+            Err(e) => panic!("fixture {name}: {e}"),
+        }
+    }
+
+    #[test]
+    fn fixture_float_eq_fails() {
+        let rules = lint_as("crates/demo/src/lib.rs", &fixture("float_eq.rs"));
+        assert!(rules.contains(&"float-eq".to_string()), "{rules:?}");
+    }
+
+    #[test]
+    fn fixture_wire_construction_fails() {
+        let rules = lint_as("crates/demo/src/lib.rs", &fixture("wire_construction.rs"));
+        assert_eq!(
+            rules.iter().filter(|r| *r == "wire-construction").count(),
+            2,
+            "exactly the two expression-position constructions: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_paper_ref_fails() {
+        let rules = lint_as("crates/core/src/demo.rs", &fixture("missing_paper_ref.rs"));
+        assert_eq!(
+            rules.iter().filter(|r| *r == "paper-ref").count(),
+            1,
+            "only the undocumented item: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_unwrap_fails() {
+        let rules = lint_as("crates/demo/src/lib.rs", &fixture("unwrap.rs"));
+        assert_eq!(
+            rules.iter().filter(|r| *r == "no-unwrap").count(),
+            2,
+            "the unwrap and the expect, not the test-module ones: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        let rules = lint_as("crates/demo/src/lib.rs", &fixture("clean.rs"));
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn wire_home_may_construct() {
+        let src = "pub fn read_request() -> WireMessage { WireMessage::ReadRequest }";
+        let rules = lint_as("crates/sim/src/wire.rs", src);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn binaries_may_unwrap() {
+        let src = "fn main() { foo().unwrap(); }";
+        let rules = lint_as("crates/demo/src/main.rs", src);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn patterns_are_not_constructions() {
+        let src = r#"
+fn classify(m: &WireMessage) -> u8 {
+    if matches!(m, WireMessage::ReadRequest) {
+        return 0;
+    }
+    if let WireMessage::DeleteRequest { window } = m {
+        let _ = window;
+        return 1;
+    }
+    match m {
+        WireMessage::ReadRequest => 2,
+        WireMessage::DataResponse { allocate: true, .. } | WireMessage::DataResponse { .. } => 3,
+        WireMessage::WritePropagation { version } if *version > 0 => 4,
+        _ => 5,
+    }
+}
+"#;
+        let rules = lint_as("crates/demo/src/lib.rs", src);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn integer_equality_is_fine() {
+        let src = "fn f(a: u64, b: u64) -> bool { a == b && a != 3 }";
+        let rules = lint_as("crates/demo/src/lib.rs", src);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        // The real pass over the real tree, as CI runs it.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(std::path::Path::to_path_buf);
+        let Some(root) = root else {
+            panic!("workspace root not found")
+        };
+        let mut files = Vec::new();
+        let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+            panic!("crates/ missing")
+        };
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            super::collect_rs(&dir.join("src"), &mut files);
+        }
+        let mut all = Vec::new();
+        for file in &files {
+            let Ok(rel) = file.strip_prefix(&root) else {
+                continue;
+            };
+            let rel = rel.to_string_lossy().replace('\\', "/");
+            match crate::rules::lint_file(&root, &rel) {
+                Ok(mut v) => all.append(&mut v),
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(
+            all.is_empty(),
+            "workspace has lint violations:\n{}",
+            all.iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

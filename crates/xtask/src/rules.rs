@@ -1,0 +1,401 @@
+//! The four workspace lint rules, applied to the token stream produced by
+//! [`crate::lexer`].
+//!
+//! 1. **float-eq** — no raw `f64` `==`/`!=` in cost-accounting code; the
+//!    epsilon helpers (`mdr_core::approx_eq`) or `f64::total_cmp` are the
+//!    sanctioned comparisons. Heuristic: an equality operator with a float
+//!    literal, or an identifier named like a cost quantity, in its operand
+//!    window.
+//! 2. **wire-construction** — `WireMessage` values are constructed only in
+//!    `crates/sim/src/wire.rs`; everywhere else must use the constructor
+//!    helpers so invariants (e.g. "the window piggybacks only on allocating
+//!    responses") hold by construction. Pattern matches are fine.
+//! 3. **paper-ref** — every public item in `mdr-core` and `mdr-analysis`
+//!    carries a doc comment citing the paper (a `§` section, an `Eq.`, or a
+//!    `Theorem`), keeping the reproduction navigable against the source.
+//! 4. **no-unwrap** — no `.unwrap()` / `.expect()` in non-test library
+//!    code; use `let … else` with a described panic, or propagate.
+//!
+//! Test modules (`#[cfg(test)]`, `#[test]`) are exempt from rules 1, 2
+//! and 4; binaries (`main.rs`, `src/bin/`) are exempt from rule 4.
+
+use crate::lexer::{in_ranges, lex, test_ranges, Token, TokenKind};
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub(crate) struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in the lint pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FileContext<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+}
+
+impl FileContext<'_> {
+    fn is_wire_home(&self) -> bool {
+        self.path == "crates/sim/src/wire.rs"
+    }
+
+    fn needs_paper_refs(&self) -> bool {
+        self.path.starts_with("crates/core/src/") || self.path.starts_with("crates/analysis/src/")
+    }
+
+    fn is_binary(&self) -> bool {
+        self.path.ends_with("/main.rs") || self.path.contains("/src/bin/")
+    }
+}
+
+/// Lints one file's source, returning every finding.
+pub(crate) fn lint_source(ctx: FileContext<'_>, src: &str) -> Vec<Violation> {
+    let tokens = lex(src);
+    let exempt = test_ranges(&tokens);
+    let mut out = Vec::new();
+    check_float_eq(&ctx, &tokens, &exempt, &mut out);
+    if !ctx.is_wire_home() {
+        check_wire_construction(&ctx, &tokens, &exempt, &mut out);
+    }
+    if ctx.needs_paper_refs() {
+        check_paper_refs(&ctx, &tokens, &exempt, &mut out);
+    }
+    if !ctx.is_binary() {
+        check_unwrap(&ctx, &tokens, &exempt, &mut out);
+    }
+    out
+}
+
+/// Lints a file on disk; path must be workspace-relative.
+pub(crate) fn lint_file(root: &Path, rel: &str) -> Result<Vec<Violation>, String> {
+    let src =
+        std::fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
+    Ok(lint_source(FileContext { path: rel }, &src))
+}
+
+/// Identifiers that name accumulated-cost quantities: a raw equality on
+/// one of these is (almost certainly) a float comparison in an accounting
+/// path. Matched against the final `snake_case` segment.
+const COSTLY_NAMES: &[&str] = &["cost", "omega", "theta", "ratio", "price", "latency"];
+
+fn names_cost_quantity(ident: &str) -> bool {
+    // PascalCase identifiers are type names (e.g. `CostModel`), not values.
+    if ident.chars().next().is_some_and(char::is_uppercase) {
+        return false;
+    }
+    let last = ident.rsplit('_').next().unwrap_or(ident);
+    COSTLY_NAMES.contains(&last)
+}
+
+/// Tokens that delimit an equality operand window: beyond these, a
+/// neighboring token no longer belongs to the compared expression.
+fn is_operand_boundary(t: &Token) -> bool {
+    (t.kind == TokenKind::Punct
+        && matches!(
+            t.text.as_str(),
+            ";" | "," | "{" | "}" | "&&" | "||" | "(" | ")" | "=" | "=>" | "[" | ":"
+        ))
+        || (t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "if" | "else" | "match" | "while" | "return"
+            ))
+}
+
+fn check_float_eq(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    exempt: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || in_ranges(exempt, i) {
+            continue;
+        }
+        let mut suspicious = None;
+        // Scan each side of the operator out to the operand boundary. An
+        // identifier only counts when it terminates its field chain — a
+        // cost-named receiver of a further call (`latency.len()`) is no
+        // longer a float.
+        let left_start = tokens[..i]
+            .iter()
+            .rposition(is_operand_boundary)
+            .map_or(0, |p| p + 1);
+        let right_end = tokens[i + 1..]
+            .iter()
+            .position(is_operand_boundary)
+            .map_or(tokens.len(), |p| i + 1 + p);
+        for idx in (left_start..i).chain(i + 1..right_end) {
+            let side = &tokens[idx];
+            let chained = tokens
+                .get(idx + 1)
+                .is_some_and(|n| n.is_punct(".") || n.is_punct("("));
+            if side.kind == TokenKind::Float {
+                suspicious = Some(format!("float literal {}", side.text));
+                break;
+            }
+            if side.kind == TokenKind::Ident && names_cost_quantity(&side.text) && !chained {
+                suspicious = Some(format!("cost-like identifier `{}`", side.text));
+                break;
+            }
+        }
+        if let Some(what) = suspicious {
+            out.push(Violation {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: "float-eq",
+                message: format!(
+                    "raw `{}` near {what}; compare costs with `mdr_core::approx_eq` or `f64::total_cmp`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the `WireMessage::Variant` occurrence ending at token index
+/// `end` (exclusive) is a pattern (allowed) rather than an expression
+/// (a construction, forbidden outside wire.rs).
+fn is_pattern_position(tokens: &[Token], start: usize, end: usize) -> bool {
+    // Forward: skip trailing delimiters of enclosing tuple/struct patterns;
+    // a match arm (`=>`), an or-pattern (`|`), a `let` binding (`=`), or a
+    // match guard (`if`) mean pattern position.
+    let mut j = end;
+    while tokens
+        .get(j)
+        .is_some_and(|t| t.is_punct(")") || t.is_punct(","))
+    {
+        j += 1;
+    }
+    if let Some(t) = tokens.get(j) {
+        if t.is_punct("=>") || t.is_punct("|") || t.is_punct("=") || t.is_ident("if") {
+            return true;
+        }
+    }
+    // Backward: a `let`, a `matches!`, or an or-pattern bar before any
+    // expression boundary means pattern; an `=`, `=>` or statement
+    // boundary means expression.
+    let mut k = start;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        if t.is_ident("let") || t.is_ident("matches") || t.is_punct("|") {
+            return true;
+        }
+        if t.is_punct("=") || t.is_punct("=>") || t.is_punct(";") || t.is_punct("}") {
+            return false;
+        }
+        if t.is_punct("{") {
+            // A brace: pattern iff it opens a `match` block (first arm).
+            let mut m = k;
+            while m > 0 {
+                m -= 1;
+                let b = &tokens[m];
+                if b.is_ident("match") {
+                    return true;
+                }
+                if b.is_punct(";") || b.is_punct("{") || b.is_punct("}") {
+                    return false;
+                }
+            }
+            return false;
+        }
+    }
+    false
+}
+
+fn check_wire_construction(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    exempt: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if !(tokens[i].is_ident("WireMessage")
+            && tokens[i + 1].is_punct("::")
+            && tokens[i + 2].kind == TokenKind::Ident)
+            || in_ranges(exempt, i)
+        {
+            i += 1;
+            continue;
+        }
+        let variant = tokens[i + 2].text.clone();
+        // Find the end of the occurrence: the matching `}` of a struct
+        // variant, or the path itself for unit/shorthand uses.
+        let mut end = i + 3;
+        if tokens.get(end).is_some_and(|t| t.is_punct("{")) {
+            let mut depth = 0usize;
+            while end < tokens.len() {
+                if tokens[end].is_punct("{") {
+                    depth += 1;
+                } else if tokens[end].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                end += 1;
+            }
+        } else if tokens.get(end).is_some_and(|t| t.is_punct("(")) {
+            // Function-call syntax is a constructor helper (allowed); the
+            // paths we police are variant literals.
+            i = end;
+            continue;
+        }
+        if !is_pattern_position(tokens, i, end) {
+            out.push(Violation {
+                file: ctx.path.to_string(),
+                line: tokens[i].line,
+                rule: "wire-construction",
+                message: format!(
+                    "`WireMessage::{variant}` constructed outside crates/sim/src/wire.rs; use the constructor helpers"
+                ),
+            });
+        }
+        i = end;
+    }
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+fn doc_has_paper_ref(doc: &str) -> bool {
+    doc.contains('§') || doc.contains("Eq.") || doc.contains("Theorem")
+}
+
+fn check_paper_refs(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    exempt: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("pub") || in_ranges(exempt, i) {
+            continue;
+        }
+        // `pub(crate)` and friends are not part of the public API.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+            while j < tokens.len() && !tokens[j].is_punct(")") {
+                j += 1;
+            }
+            continue;
+        }
+        // Skip `unsafe`/`async`/`extern "C"` qualifiers to the keyword.
+        while tokens
+            .get(j)
+            .is_some_and(|t| matches!(t.text.as_str(), "unsafe" | "async" | "extern"))
+            || tokens.get(j).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            j += 1;
+        }
+        let Some(kw) = tokens.get(j) else { continue };
+        if !ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            continue; // `pub use` re-exports document at the definition.
+        }
+        let name = tokens
+            .get(j + 1)
+            .map_or_else(|| "<unnamed>".to_string(), |t| t.text.clone());
+        // Collect the attached doc block: contiguous docs and attributes
+        // directly above the `pub`.
+        let mut docs = String::new();
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            let t = &tokens[k];
+            if t.kind == TokenKind::Doc && !t.text.starts_with("//!") && !t.text.starts_with("/*!")
+            {
+                docs.push_str(&t.text);
+                docs.push('\n');
+                continue;
+            }
+            // Attributes between docs and the item: step over `#[...]`,
+            // and pick up any `#[doc = "..."]` strings on the way.
+            if t.is_punct("]") {
+                let mut depth = 1;
+                let mut saw_doc_attr = false;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    if tokens[k].is_punct("]") {
+                        depth += 1;
+                    } else if tokens[k].is_punct("[") {
+                        depth -= 1;
+                    } else if tokens[k].kind == TokenKind::Str {
+                        if saw_doc_attr {
+                            docs.push_str(&tokens[k].text);
+                            docs.push('\n');
+                        }
+                    } else if tokens[k].is_ident("doc") {
+                        saw_doc_attr = true;
+                    }
+                }
+                if k > 0 && tokens[k - 1].is_punct("#") {
+                    k -= 1;
+                }
+                continue;
+            }
+            break;
+        }
+        if !doc_has_paper_ref(&docs) {
+            out.push(Violation {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: "paper-ref",
+                message: format!(
+                    "public {} `{name}` lacks a paper reference (§, Eq., or Theorem) in its docs",
+                    kw.text
+                ),
+            });
+        }
+    }
+}
+
+fn check_unwrap(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    exempt: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..tokens.len().saturating_sub(2) {
+        if !tokens[i].is_punct(".") || in_ranges(exempt, i) {
+            continue;
+        }
+        let name = &tokens[i + 1];
+        if name.kind == TokenKind::Ident
+            && (name.text == "unwrap" || name.text == "expect")
+            && tokens[i + 2].is_punct("(")
+        {
+            out.push(Violation {
+                file: ctx.path.to_string(),
+                line: name.line,
+                rule: "no-unwrap",
+                message: format!(
+                    "`.{}()` in library code; use `let … else` with a described panic, or propagate",
+                    name.text
+                ),
+            });
+        }
+    }
+}

@@ -173,3 +173,31 @@ fn opt_through_the_simulator_pipeline() {
         assert!(report.cost(model) <= factor * opt + 20.0);
     }
 }
+
+#[test]
+fn regression_single_read_at_omega_zero() {
+    // Pinned from a proptest shrink once recorded in the regression file:
+    // s = "r", ω = 0. The OPT lower bound and the claimed factors must hold
+    // on the minimal read-only schedule when control messages are free.
+    use mobile_replication::adversary::opt_cost_from;
+    let s: Schedule = "r".parse().unwrap();
+    for model in [CostModel::Connection, CostModel::message(0.0)] {
+        for spec in PolicySpec::roster(&[1, 3, 9], &[2, 5]) {
+            let opt = opt_cost_from(&s, model, spec.build().has_copy());
+            let cost = run_spec(spec, &s, model).total_cost;
+            assert!(cost >= opt - 1e-9, "{spec} {model}: {cost} < OPT {opt}");
+        }
+        for k in [1usize, 3, 7] {
+            let spec = PolicySpec::SlidingWindow { k };
+            let factor = competitive::competitive_factor(spec, model).expect("SWk is competitive");
+            let r = measure(spec, &s, model);
+            let slack = (k as f64 + 1.0) * (1.0 + model.omega());
+            assert!(
+                !r.violates(factor, slack),
+                "{spec} {model}: cost {} vs {factor}·{} + {slack}",
+                r.policy_cost,
+                r.opt_cost
+            );
+        }
+    }
+}

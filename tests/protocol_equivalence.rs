@@ -98,3 +98,75 @@ fn replica_is_never_stale() {
         "the workload must actually churn the replica"
     );
 }
+
+#[test]
+fn omega_zero_bills_only_data_messages() {
+    // §3's lower edge ω = 0: control messages are free, so the message-model
+    // bill of any run is exactly its data-message count, and SW1's optimized
+    // delete-request write (§4, a lone control message) costs nothing.
+    let model = CostModel::message(0.0);
+    for spec in PolicySpec::roster(&[1, 3, 5], &[2]) {
+        for text in ["rwrwrwrwrw", "rrrwwwrrrwwwrrr", "wrrrrwwrwr"] {
+            let s: Schedule = text.parse().unwrap();
+            let sim = simulate_schedule(spec, &s);
+            let reference = run_spec(spec, &s, model);
+            assert!(
+                (sim.cost(model) - reference.total_cost).abs() < 1e-9,
+                "{spec} on {s}: distributed and reference bills diverge"
+            );
+            assert!(
+                (reference.total_cost - reference.counts.data_messages() as f64).abs() < 1e-9,
+                "{spec} on {s}: the ω=0 bill must equal the data-message count"
+            );
+        }
+    }
+    // Alternating requests drive SW1 through its delete-request path, which
+    // must be visible in the tallies yet absent from the ω=0 bill.
+    let s = Schedule::alternating(Request::Read, 40);
+    let sw1 = run_spec(PolicySpec::SlidingWindow { k: 1 }, &s, model);
+    assert!(sw1.counts.delete_request_writes > 0);
+    assert!((sw1.total_cost - sw1.counts.data_messages() as f64).abs() < 1e-9);
+}
+
+#[test]
+fn omega_one_bills_control_like_data() {
+    // §3's upper edge ω = 1: a control message costs as much as a data
+    // message, so the bill is the total number of messages of either kind.
+    let model = CostModel::message(1.0);
+    for spec in PolicySpec::roster(&[1, 3, 5], &[2]) {
+        for text in ["rwrwrwrwrw", "rrrwwwrrrwwwrrr", "wrrrrwwrwr"] {
+            let s: Schedule = text.parse().unwrap();
+            let sim = simulate_schedule(spec, &s);
+            let reference = run_spec(spec, &s, model);
+            assert!(
+                (sim.cost(model) - reference.total_cost).abs() < 1e-9,
+                "{spec} on {s}: distributed and reference bills diverge"
+            );
+            let messages = reference.counts.data_messages() + reference.counts.control_messages();
+            assert!(
+                (reference.total_cost - messages as f64).abs() < 1e-9,
+                "{spec} on {s}: the ω=1 bill must equal the total message count"
+            );
+        }
+    }
+}
+
+#[test]
+fn regression_high_latency_st1_read_write_read() {
+    // Pinned from a proptest shrink once recorded in the regression file:
+    // spec = ST1, s = "rwr", latency ≈ 1.8858. Serialization (§3) makes the
+    // bill latency-independent even when the link is slower than the
+    // inter-arrival gap.
+    use mobile_replication::sim::{RunLimit, TraceWorkload};
+    let s: Schedule = "rwr".parse().unwrap();
+    let run = |lat: f64| {
+        let mut sim = Simulation::new(SimConfig::new(PolicySpec::St1).with_latency(lat));
+        let mut w = TraceWorkload::new(s.clone(), 0.5);
+        sim.run(&mut w, RunLimit::Requests(s.len()))
+    };
+    let fast = run(0.0);
+    let slow = run(1.8857753182245665);
+    assert_eq!(fast.counts, slow.counts);
+    assert!((fast.cost(CostModel::message(0.3)) - slow.cost(CostModel::message(0.3))).abs() < 1e-9);
+    assert!(slow.makespan >= fast.makespan - 1e-9);
+}

@@ -1,0 +1,216 @@
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build container cannot fetch crates, so this crate provides the
+//! subset of the criterion API the workspace's `benches/` use — groups,
+//! throughput annotation, parameterized ids, `Bencher::iter` — with a
+//! deliberately simple measurement loop: each benchmark runs a short
+//! fixed-iteration warm-up and timed pass and prints a mean per-iteration
+//! time. There is no statistical machinery; the point is that `cargo bench`
+//! (and `cargo clippy --all-targets`) build and run.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group (reported verbatim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass (untimed).
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the stub
+    /// always runs a fixed short loop).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, self.throughput, input, f);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion
+            .run_one(&full, self.throughput, &(), |b, ()| f(b));
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Criterion {
+    fn run_one<I: ?Sized, F>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: self.iters.max(1),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0 => {
+                format!(" ({:.1} Melem/s)", n as f64 * 1e3 / per_iter as f64)
+            }
+            _ => String::new(),
+        };
+        println!("bench {name:<60} {per_iter:>12} ns/iter{rate}");
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, None, &(), |b, ()| f(b));
+        self
+    }
+}
+
+/// Entry point used by the `criterion_main!` expansion.
+pub fn runner(groups: &[&dyn Fn(&mut Criterion)]) {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    let mut criterion = Criterion { iters: 3 };
+    for group in groups {
+        group(&mut criterion);
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn_a, fn_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function over one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::runner(&[$(&$group),+]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { iters: 2 };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10)).sample_size(5);
+            g.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+                b.iter(|| x * 2);
+                runs += 1;
+            });
+            g.bench_function("plain", |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p=0.5").id, "p=0.5");
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided — the one entry point this workspace uses —
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63,
+//! which post-dates crossbeam's scoped threads and makes the real crate
+//! unnecessary here). Panics in spawned threads propagate on join, exactly
+//! like `crossbeam::scope(..).expect(..)` behaves at the call sites.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure; lets it spawn threads that
+/// may borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again (the
+    /// crossbeam signature) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before this returns.
+///
+/// Matches crossbeam's `Result`-returning signature. A panic in a spawned
+/// thread propagates when the scope joins it (std behaviour), so the `Err`
+/// arm is never constructed — call sites that `.expect(..)` observe the
+/// same outcomes as with the real crate.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate() {
+        let mut slots = [0u32; 4];
+        super::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(slots, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let out = super::scope(|_| 7).expect("no panic");
+        assert_eq!(out, 7);
+    }
+}

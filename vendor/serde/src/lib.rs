@@ -1,0 +1,448 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serde-shaped (de)serialization layer. Instead of the real
+//! serde's visitor architecture, everything goes through one generic
+//! in-memory tree, [`Value`]: `Serialize` converts *to* a `Value`,
+//! `Deserialize` converts *from* one, and `serde_json` (also vendored)
+//! maps `Value` to and from JSON text. The `derive` feature re-exports the
+//! vendored `serde_derive` proc-macros, which generate impls following the
+//! real serde's externally-tagged conventions (newtype structs unwrap,
+//! unit enum variants become strings, struct variants become
+//! `{"Variant": {...}}` objects).
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The generic data-model tree all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (serialized without a decimal point).
+    UInt(u64),
+    /// A negative integer (serialized without a decimal point).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// A `Value::Null` with a `'static` address, for use as a default lookup
+/// result.
+pub const NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// A short human name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the generic data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the generic data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, found {}", got.kind())))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = match *value {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    ref other => return type_err("a non-negative integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = match *value {
+                    Value::Int(i) => i,
+                    Value::UInt(u) if u <= i64::MAX as u64 => u as i64,
+                    Value::Float(f)
+                        if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) =>
+                    {
+                        f as i64
+                    }
+                    ref other => return type_err("an integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Float(f) => Ok(f),
+            Value::UInt(u) => Ok(u as f64),
+            Value::Int(i) => Ok(i as f64),
+            ref other => type_err("a number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            ref other => type_err("a boolean", other),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error(format!("expected a one-character string, got {s:?}"))),
+                }
+            }
+            other => type_err("a one-character string", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("a string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("an array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => type_err("an object", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error(format!(
+                        "expected an array of {LEN} elements, found {}",
+                        items.len()
+                    ))),
+                    other => type_err("an array", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+// ---------------------------------------------------------------------------
+// Support routines used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Views `value` as an object's field list (derive support).
+pub fn de_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    match value {
+        Value::Object(pairs) => Ok(pairs),
+        other => Err(Error(format!(
+            "expected an object for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Views `value` as an array of exactly `len` elements (derive support).
+pub fn de_array<'v>(value: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], Error> {
+    match value {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(Error(format!(
+            "expected {len} elements for {ty}, found {}",
+            items.len()
+        ))),
+        other => Err(Error(format!(
+            "expected an array for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Looks up and deserializes one named field; a missing key deserializes
+/// from `null` so `Option` fields tolerate omission (derive support).
+pub fn de_field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    let value = fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map_or(&NULL_VALUE, |(_, v)| v);
+    T::from_value(value).map_err(|e| Error(format!("field `{ty}.{name}`: {e}")))
+}
+
+/// Splits an externally-tagged enum value into `(variant_name, content)`:
+/// a bare string is a unit variant (content `null`), a single-key object is
+/// a data-carrying variant (derive support).
+pub fn de_variant<'v>(value: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), Error> {
+    match value {
+        Value::String(tag) => Ok((tag, &NULL_VALUE)),
+        Value::Object(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, &pairs[0].1)),
+        other => Err(Error(format!(
+            "expected a variant tag for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Error for an unknown enum variant tag (derive support).
+pub fn unknown_variant(tag: &str, ty: &str) -> Error {
+    Error(format!("unknown variant `{tag}` for {ty}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&7u64.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&String::from("hi").to_value()),
+            Ok(String::from("hi"))
+        );
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(u64::from_value(&Value::Float(3.0)), Ok(3));
+        assert!(u64::from_value(&Value::Float(3.5)).is_err());
+    }
+
+    #[test]
+    fn map_and_tuple_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), 1.5f64);
+        assert_eq!(BTreeMap::<String, f64>::from_value(&m.to_value()), Ok(m));
+        let t = (1u32, 2.5f64);
+        assert_eq!(<(u32, f64)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn missing_field_is_null_for_option() {
+        let fields: Vec<(String, Value)> = vec![];
+        let v: Option<f64> = de_field(&fields, "ratio", "T").unwrap();
+        assert_eq!(v, None);
+        assert!(de_field::<f64>(&fields, "ratio", "T").is_err());
+    }
+
+    #[test]
+    fn variant_splitting() {
+        let (tag, content) = de_variant(&Value::String("St1".into()), "PolicySpec").unwrap();
+        assert_eq!((tag, content), ("St1", &Value::Null));
+        let obj = Value::Object(vec![("Sw".into(), Value::UInt(3))]);
+        let (tag, content) = de_variant(&obj, "PolicySpec").unwrap();
+        assert_eq!((tag, content), ("Sw", &Value::UInt(3)));
+    }
+}

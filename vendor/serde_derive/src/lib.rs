@@ -1,0 +1,402 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in the offline build container, so this
+//! macro parses the derive input by walking the raw `proc_macro` token
+//! stream directly. It supports exactly the item shapes this workspace
+//! derives on — non-generic named structs, tuple structs, unit structs,
+//! and enums whose variants are unit, named-field, or tuple — and emits
+//! impls of the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! following the real serde's externally-tagged conventions.
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error is valid Rust"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let keyword = expect_ident(&toks, &mut i)?;
+    let name = expect_ident(&toks, &mut i)?;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (vendored): generics on `{name}` are unsupported"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: ItemKind::UnitStruct,
+            }),
+            _ => Err(format!(
+                "serde derive (vendored): malformed struct `{name}`"
+            )),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err(format!("serde derive (vendored): malformed enum `{name}`")),
+        },
+        other => Err(format!(
+            "serde derive (vendored): expected struct or enum, found `{other}`"
+        )),
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // the [...] group
+        }
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1; // pub(crate) etc.
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!(
+            "serde derive (vendored): expected identifier, found {other:?}"
+        )),
+    }
+}
+
+/// Advances past tokens until a comma at angle-bracket depth 0, consuming
+/// the comma. `Group` tokens are atomic, so only `<`/`>` need tracking.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i)?);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde derive (vendored): expected `:` after field name".into()),
+        }
+        skip_to_comma(&toks, &mut i);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        count += 1;
+        skip_to_comma(&toks, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        skip_to_comma(&toks, &mut i); // past discriminant (if any) and comma
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    obj_entry(f, &format!("::serde::Serialize::to_value({f})"))
+                                })
+                                .collect();
+                            let inner = format!(
+                                "::serde::Value::Object(::std::vec![{}])",
+                                entries.join(", ")
+                            );
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 ::serde::Value::Object(::std::vec![{}]),",
+                                obj_entry(vname, &inner)
+                            )
+                        }
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => \
+                                 ::serde::Value::Object(::std::vec![{}]),",
+                                binders.join(", "),
+                                obj_entry(vname, &inner)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__fields, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let __fields = ::serde::de_object(value, \"{name}\")?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de_array(value, {n}, \"{name}\")?; \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::de_field(__fields, \"{f}\", \
+                                         \"{name}::{vname}\")?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ \
+                                   let __fields = \
+                                     ::serde::de_object(__content, \"{name}::{vname}\")?; \
+                                   ::std::result::Result::Ok({name}::{vname} {{ {} }}) \
+                                 }},",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__content)?)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ \
+                                   let __items = ::serde::de_array(__content, {n}, \
+                                     \"{name}::{vname}\")?; \
+                                   ::std::result::Result::Ok({name}::{vname}({})) \
+                                 }},",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __content) = ::serde::de_variant(value, \"{name}\")?; \
+                 let _ = __content; \
+                 match __tag {{ {} __other => \
+                   ::std::result::Result::Err(::serde::unknown_variant(__other, \"{name}\")) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}

@@ -1,0 +1,445 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Maps JSON text to and from the vendored `serde::Value` data model: a
+//! recursive-descent parser ([`from_str`]) and compact/pretty printers
+//! ([`to_string`], [`to_string_pretty`]). Covers the full JSON grammar
+//! (escapes, surrogate pairs, exponent notation); numbers parse to
+//! integers when they are written without a fraction or exponent.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Error produced by JSON parsing or (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Parses JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep floats recognizably floating-point, as serde_json does.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Infinity
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
+                write_value(o, v, indent, d)
+            })
+        }
+        Value::Object(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, v), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(brackets.0);
+    let len = items.len();
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // parse_hex4 already advanced
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("unexpected end"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn parses_profile_maps() {
+        let m: BTreeMap<String, f64> =
+            from_str(r#"{ "r.0": 4.0, "w.01": 2, "r.012": 0.5 }"#).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m["r.0"], 4.0);
+        assert_eq!(m["w.01"], 2.0);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<BTreeMap<String, f64>>("{ \"a\": }").is_err());
+        assert!(from_str::<BTreeMap<String, f64>>("{} trailing").is_err());
+        assert!(from_str::<BTreeMap<String, f64>>("{ \"a\": \"x\" }").is_err());
+    }
+
+    #[test]
+    fn value_roundtrips_through_text() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("q\"uo\\te\n".into())),
+            ("count".into(), Value::UInt(12)),
+            ("neg".into(), Value::Int(-3)),
+            ("ratio".into(), Value::Float(0.25)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "items".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        for text in [
+            to_string(&Wrapper(v.clone())).unwrap(),
+            to_string_pretty(&Wrapper(v.clone())).unwrap(),
+        ] {
+            let mut p = Parser {
+                bytes: text.as_bytes(),
+                pos: 0,
+            };
+            p.skip_ws();
+            let back = p.parse_value().unwrap();
+            assert_eq!(back, v, "text was: {text}");
+        }
+    }
+
+    #[test]
+    fn floats_stay_floats_in_text() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: Vec<String> = from_str(r#"["é", "😀"]"#).unwrap();
+        assert_eq!(s, vec!["é".to_string(), "😀".to_string()]);
+    }
+
+    struct Wrapper(Value);
+    impl Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
