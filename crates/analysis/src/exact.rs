@@ -3,7 +3,8 @@
 //! Under the Poisson model the stationary window of k requests is a vector
 //! of i.i.d. Bernoulli(θ) bits, so the stationary probability of a window
 //! state with `w` writes is exactly `θ^w (1−θ)^{k−w}`. Enumerating all
-//! `2^k` window states and running the *actual* [`SlidingWindow`] policy
+//! `2^k` window states and running the *actual*
+//! [`SlidingWindow`](mdr_core::SlidingWindow) policy
 //! one step from each therefore yields the exact expected cost per request
 //! — no sampling, no closed form. This module is the crate's strongest
 //! internal check: Theorem 1 / Eq. 5 and the reconstructed Eq. 11 must

@@ -55,7 +55,10 @@ fn bench_lossy_link(c: &mut Criterion) {
                     let spec = PolicySpec::SlidingWindow { k: 9 };
                     let mut config = SimConfig::new(spec).without_oracle();
                     if loss > 0.0 {
-                        config = config.with_loss(loss, 0.05, 7);
+                        let Ok(lossy) = config.with_loss(loss, 0.05, 7) else {
+                            unreachable!("benchmark loss grid is valid by construction")
+                        };
+                        config = lossy;
                     }
                     let mut sim = Simulation::new(config);
                     let mut w = PoissonWorkload::from_theta(1.0, 0.4, 1234);

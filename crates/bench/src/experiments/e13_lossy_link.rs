@@ -18,7 +18,10 @@ use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, Simulation};
 fn lossy_cost(spec: PolicySpec, theta: f64, loss: f64, n: usize, model: CostModel) -> (f64, u64) {
     let mut config = SimConfig::new(spec);
     if loss > 0.0 {
-        config = config.with_loss(loss, 0.05, 0xE13);
+        let Ok(lossy) = config.with_loss(loss, 0.05, 0xE13) else {
+            unreachable!("experiment loss grid is valid by construction")
+        };
+        config = lossy;
     }
     let mut sim = Simulation::new(config);
     let mut workload = PoissonWorkload::from_theta(1.0, theta, 0xE13);

@@ -17,7 +17,10 @@ use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, SimReport, Simulation};
 fn roam(spec: PolicySpec, cells: Option<Vec<f64>>, n: usize) -> SimReport {
     let mut config = SimConfig::new(spec).with_latency(0.02);
     if let Some(extra) = cells {
-        config = config.with_mobility(extra, 0.5, 0xE15);
+        let Ok(roaming) = config.with_mobility(extra, 0.5, 0xE15) else {
+            unreachable!("experiment cell grid is valid by construction")
+        };
+        config = roaming;
     }
     let mut sim = Simulation::new(config);
     let mut workload = PoissonWorkload::from_theta(1.0, 0.4, 0xE15);

@@ -158,6 +158,18 @@ impl AllocationPolicy for AdaptivePolicy {
         }
     }
 
+    fn on_replica_lost(&mut self) {
+        // A volatile MC crash loses both the replica and the MC-held
+        // estimation window: fall back to the cold-start state, like SWk.
+        // Without a replica the SC holds the window, which survives.
+        if self.has_copy {
+            let k = self.window.k();
+            self.window = RequestWindow::filled(k, Request::Write);
+            self.has_copy = false;
+            self.target = TargetScheme::OneCopy;
+        }
+    }
+
     fn reset(&mut self) {
         let k = self.window.k();
         self.window = RequestWindow::filled(k, Request::Write);

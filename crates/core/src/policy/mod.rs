@@ -40,6 +40,19 @@ pub trait AllocationPolicy {
     /// communication action it caused.
     fn on_request(&mut self, req: Request) -> Action;
 
+    /// Informs the policy that the MC's replica was lost *outside* the
+    /// request stream — a volatile MC crash, which is a fault-model
+    /// extension beyond the reliable-exchange assumption of §3 (see
+    /// `docs/faults.md`).
+    ///
+    /// The default is a no-op, which is correct for the static methods:
+    /// ST1 (§2) never places a replica at the MC, and ST2 (§2) has the SC
+    /// re-establish the replica during reconnection recovery, so the
+    /// abstract two-copies state is restored before the next request is
+    /// served. Dynamic policies override this to fall back to their
+    /// cold-start allocation state.
+    fn on_replica_lost(&mut self) {}
+
     /// Returns the policy to its initial state.
     fn reset(&mut self);
 }
@@ -150,6 +163,32 @@ mod tests {
                 PolicySpec::T2 { m: 2 },
             ]
         );
+    }
+
+    #[test]
+    fn replica_loss_hook_matches_each_policy_recovery_contract() {
+        for spec in [
+            PolicySpec::St1,
+            PolicySpec::St2,
+            PolicySpec::SlidingWindow { k: 3 },
+            PolicySpec::T1 { m: 2 },
+            PolicySpec::T2 { m: 2 },
+        ] {
+            let mut p = spec.build();
+            // Drive each policy into a replica-holding state where possible.
+            for _ in 0..4 {
+                p.on_request(Request::Read);
+            }
+            p.on_replica_lost();
+            match spec {
+                // The static methods keep their abstract allocation state:
+                // ST1 never had a replica and ST2's is re-established by the
+                // reconnection recovery before the next request.
+                PolicySpec::St1 => assert!(!p.has_copy()),
+                PolicySpec::St2 => assert!(p.has_copy()),
+                _ => assert!(!p.has_copy(), "{spec} must drop the replica"),
+            }
+        }
     }
 
     #[test]

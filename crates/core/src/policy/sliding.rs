@@ -134,6 +134,18 @@ impl AllocationPolicy for SlidingWindow {
         action
     }
 
+    fn on_replica_lost(&mut self) {
+        // A volatile MC crash returns SWk to the §4 cold-start state: the
+        // reconstructed window is conservatively all-writes, so the replica
+        // is re-allocated only once reads again take the majority. When the
+        // MC holds no replica, the window lives at the SC (§4 division of
+        // labour) and survives the crash, so nothing is lost.
+        if self.has_copy {
+            self.window = RequestWindow::filled(self.window.k(), Request::Write);
+            self.has_copy = false;
+        }
+    }
+
     fn reset(&mut self) {
         self.window = self.initial.clone();
         self.has_copy = self.initial.majority_reads();
@@ -281,6 +293,23 @@ mod tests {
         sw.reset();
         assert!(!sw.has_copy());
         assert_eq!(sw.window().writes(), 3);
+    }
+
+    #[test]
+    fn replica_loss_restores_the_cold_start_window() {
+        let mut sw = SlidingWindow::with_initial_copy(3);
+        sw.on_replica_lost();
+        assert!(!sw.has_copy());
+        assert_eq!(sw.window().writes(), 3);
+        // Re-allocation follows the ordinary §4 majority rule from cold.
+        assert_eq!(
+            sw.on_request(Request::Read),
+            Action::RemoteRead { allocates: false }
+        );
+        assert_eq!(
+            sw.on_request(Request::Read),
+            Action::RemoteRead { allocates: true }
+        );
     }
 
     #[test]

@@ -106,6 +106,18 @@ impl AllocationPolicy for T1 {
         }
     }
 
+    fn on_replica_lost(&mut self) {
+        // A volatile MC crash drops the replica: restart the §7.1 one-copy
+        // phase with a fresh read streak. In the one-copy phase the SC holds
+        // the streak (division of labour) and survives the crash, so the
+        // hook is a no-op there.
+        if matches!(self.state, T1State::TwoCopies) {
+            self.state = T1State::OneCopy {
+                consecutive_reads: 0,
+            };
+        }
+    }
+
     fn reset(&mut self) {
         self.state = T1State::OneCopy {
             consecutive_reads: 0,
@@ -191,6 +203,13 @@ impl AllocationPolicy for T2 {
             }
             (T2State::OneCopy, Request::Write) => Action::SilentWrite,
         }
+    }
+
+    fn on_replica_lost(&mut self) {
+        // A volatile MC crash drops the replica: T2m behaves as if its §7.1
+        // one-copy phase had been entered; the next read re-allocates. An
+        // already one-copy T2m loses nothing.
+        self.state = T2State::OneCopy;
     }
 
     fn reset(&mut self) {

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 mod estimate;
+mod faults;
 mod nodes;
 mod protocol;
 mod sim;
@@ -39,6 +40,7 @@ mod wire;
 mod workload;
 
 pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfig, Summary};
+pub use faults::{ConfigError, FaultKind, FaultPlan};
 pub use nodes::{MobileNode, StationaryNode};
 pub use protocol::{Envelope, ProtocolState, StepOutcome};
 pub use sim::{

@@ -168,6 +168,50 @@ impl StationaryNode {
         }
     }
 
+    /// Handles the MC's reconnection announcement after a crash (fault-model
+    /// extension; see `docs/faults.md`), re-validating the replica the MC
+    /// reports against the SC's own commitment. Returns the version to
+    /// re-ship on the acknowledgement, if the policy re-establishes the
+    /// replica during recovery (ST2).
+    ///
+    /// If the MC reports its replica lost while the commitment says it held
+    /// one, the SC retracts the commitment and takes back whatever the MC
+    /// was in charge of: window policies reconstruct a conservative
+    /// all-writes window (the §4 cold-start state), T1m restarts its read
+    /// streak, and T2m falls back to its one-copy phase.
+    pub fn handle_reconnect(&mut self, cached_version: Option<u64>) -> Option<u64> {
+        if let Some(v) = cached_version {
+            // The replica survived in stable storage; it cannot be stale
+            // because propagated writes queue while the MC is unreachable.
+            debug_assert!(
+                self.mc_has_copy,
+                "MC reports a replica the SC never granted"
+            );
+            debug_assert_eq!(v, self.version, "reconnected replica is stale");
+            return None;
+        }
+        if !self.mc_has_copy {
+            return None; // nothing was lost
+        }
+        match self.policy {
+            PolicySpec::St2 => return Some(self.version),
+            PolicySpec::SlidingWindow { k } => {
+                self.mc_has_copy = false;
+                self.charge = ScCharge::Window(RequestWindow::filled(k, Request::Write));
+            }
+            PolicySpec::T1 { .. } => {
+                self.mc_has_copy = false;
+                self.charge = ScCharge::ReadStreak(0);
+            }
+            PolicySpec::T2 { .. } => {
+                self.mc_has_copy = false;
+                self.charge = ScCharge::Idle;
+            }
+            PolicySpec::St1 => unreachable!("ST1 never grants the MC a replica"),
+        }
+        None
+    }
+
     /// Handles a delete-request from the MC (after a propagated write
     /// flipped the window majority, or T2m's streak completed). For window
     /// policies the SC takes charge of the shipped window.
@@ -337,6 +381,22 @@ impl MobileNode {
         debug_assert!(self.cache.is_some(), "delete-request without a replica");
         self.cache = None;
         self.charge = McCharge::Idle;
+    }
+
+    /// Discards the volatile state a crash destroys — the replica and any
+    /// window/streak bookkeeping the MC was in charge of (fault-model
+    /// extension; see `docs/faults.md`).
+    pub fn lose_volatile_state(&mut self) {
+        self.cache = None;
+        self.charge = McCharge::Idle;
+    }
+
+    /// Handles the SC's reconnection acknowledgement: re-caches the replica
+    /// if the SC re-shipped the item (ST2 recovery).
+    pub fn handle_reconnect_ack(&mut self, refresh: Option<u64>) {
+        if let Some(version) = refresh {
+            self.cache = Some(version);
+        }
     }
 }
 
@@ -528,6 +588,69 @@ mod tests {
             mc.handle_data_response(version, allocate, window);
         }
         assert!(mc.has_copy());
+    }
+
+    #[test]
+    fn reconnect_hands_the_window_back_after_a_volatile_crash() {
+        let spec = PolicySpec::SlidingWindow { k: 3 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        // Two reads allocate and put the MC in charge.
+        for _ in 0..2 {
+            if let WireMessage::DataResponse {
+                version,
+                allocate,
+                window,
+            } = sc.handle_read_request()
+            {
+                mc.handle_data_response(version, allocate, window);
+            }
+        }
+        assert!(mc.in_charge());
+        mc.lose_volatile_state();
+        let refresh = sc.handle_reconnect(mc.cached_version());
+        assert_eq!(refresh, None, "window policies do not re-ship on recovery");
+        assert!(sc.in_charge(), "window ownership handed back to the SC");
+        assert!(!sc.mc_has_copy());
+        mc.handle_reconnect_ack(refresh);
+        assert!(!mc.has_copy());
+    }
+
+    #[test]
+    fn st2_reconnect_re_ships_the_item() {
+        let spec = PolicySpec::St2;
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        if let Some(WireMessage::WritePropagation { version }) = sc.handle_local_write() {
+            mc.handle_write_propagation(version);
+        }
+        mc.lose_volatile_state();
+        let refresh = sc.handle_reconnect(mc.cached_version());
+        assert_eq!(refresh, Some(1), "ST2 recovery re-establishes the replica");
+        assert!(sc.mc_has_copy(), "the commitment survives the crash");
+        mc.handle_reconnect_ack(refresh);
+        assert_eq!(mc.cached_version(), Some(sc.version()));
+    }
+
+    #[test]
+    fn stable_crash_reconnect_changes_nothing() {
+        let spec = PolicySpec::SlidingWindow { k: 1 };
+        let mut sc = StationaryNode::new(spec);
+        let mut mc = MobileNode::new(spec);
+        if let WireMessage::DataResponse {
+            version,
+            allocate,
+            window,
+        } = sc.handle_read_request()
+        {
+            mc.handle_data_response(version, allocate, window);
+        }
+        let before = (sc.clone(), mc.clone());
+        // The replica survived in stable storage: revalidation is a no-op.
+        let refresh = sc.handle_reconnect(mc.cached_version());
+        assert_eq!(refresh, None);
+        mc.handle_reconnect_ack(refresh);
+        assert_eq!((sc, mc), before);
     }
 
     #[test]

@@ -29,12 +29,23 @@ use crate::wire::{Endpoint, WireMessage};
 use mdr_core::{Action, ActionCounts, PolicySpec, Request};
 
 /// A message in flight together with its destination endpoint.
+///
+/// Every envelope is stamped with the link **epoch** it was sent under and
+/// a monotone **sequence number** (fault-model extension, `docs/faults.md`):
+/// [`ProtocolState::receive`] discards deliveries from a previous epoch and
+/// duplicate or stale-reordered deliveries, which is what keeps the
+/// protocol correct when the network duplicates or delays envelopes beyond
+/// what the link-layer ARQ masks.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Envelope {
     /// The endpoint the message is addressed to.
     pub to: Endpoint,
     /// The message payload.
     pub message: WireMessage,
+    /// The link epoch the envelope was sent under.
+    pub epoch: u64,
+    /// Monotone per-state sequence number (dup/reorder detection).
+    pub seq: u64,
 }
 
 /// The observable effect of one protocol transition.
@@ -46,6 +57,18 @@ pub enum StepOutcome {
     /// A message was placed on the wire (a copy of this envelope is now
     /// queued in [`ProtocolState::wire`]); the exchange continues.
     Sent(Envelope),
+    /// The reconnection handshake completed: replica and window ownership
+    /// were re-validated on both sides. No ledger entry is recorded — the
+    /// handshake serves no request.
+    Reconciled,
+}
+
+/// A snapshot of both node state machines, taken when a request begins
+/// service so a faulted exchange can be rolled back and retried.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Checkpoint {
+    sc: StationaryNode,
+    mc: MobileNode,
 }
 
 /// The complete protocol configuration: both endpoints, the wire, the
@@ -61,6 +84,17 @@ pub struct ProtocolState {
     wire: Vec<Envelope>,
     serving: Option<Request>,
     counts: ActionCounts,
+    /// Current link epoch; bumped by [`reconnect`](Self::reconnect).
+    epoch: u64,
+    /// Next envelope sequence number.
+    next_seq: u64,
+    /// Highest sequence number delivered to the MC / the SC.
+    delivered_mc: u64,
+    delivered_sc: u64,
+    /// Rollback snapshot for the exchange in progress.
+    checkpoint: Option<Checkpoint>,
+    /// Whether a reconnection handshake is in progress.
+    recovering: bool,
 }
 
 impl ProtocolState {
@@ -74,6 +108,12 @@ impl ProtocolState {
             wire: Vec::new(),
             serving: None,
             counts: ActionCounts::default(),
+            epoch: 0,
+            next_seq: 1,
+            delivered_mc: 0,
+            delivered_sc: 0,
+            checkpoint: None,
+            recovering: false,
         }
     }
 
@@ -112,14 +152,32 @@ impl ProtocolState {
         self.counts
     }
 
+    /// The current link epoch (bumped at every
+    /// [`reconnect`](Self::reconnect)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a reconnection handshake is in progress.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
     fn complete(&mut self, action: Action) -> StepOutcome {
         self.counts.record(action);
         self.serving = None;
+        self.checkpoint = None;
         StepOutcome::Completed(action)
     }
 
     fn send(&mut self, to: Endpoint, message: WireMessage) -> StepOutcome {
-        let envelope = Envelope { to, message };
+        let envelope = Envelope {
+            to,
+            message,
+            epoch: self.epoch,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
         self.wire.push(envelope.clone());
         StepOutcome::Sent(envelope)
     }
@@ -138,6 +196,17 @@ impl ProtocolState {
             self.serving.is_none(),
             "request submitted while an exchange is in flight (requests are serialized)"
         );
+        assert!(
+            !self.recovering,
+            "request submitted while the reconnection handshake is in progress"
+        );
+        // Snapshot both nodes so a faulted exchange can be rolled back to
+        // its submission state and retried (`abort_exchange`). Inline
+        // completions drop the snapshot immediately.
+        self.checkpoint = Some(Checkpoint {
+            sc: self.sc.clone(),
+            mc: self.mc.clone(),
+        });
         match request {
             Request::Read => {
                 if self.mc.has_copy() {
@@ -174,10 +243,16 @@ impl ProtocolState {
     /// corruption).
     pub fn deliver(&mut self, index: usize) -> StepOutcome {
         assert!(
-            self.serving.is_some(),
-            "delivery without an exchange in flight"
+            self.serving.is_some() || self.recovering,
+            "delivery without an exchange or handshake in flight"
         );
-        let Envelope { to, message } = self.wire.remove(index);
+        let Envelope {
+            to, message, seq, ..
+        } = self.wire.remove(index);
+        match to {
+            Endpoint::Mobile => self.delivered_mc = self.delivered_mc.max(seq),
+            Endpoint::Stationary => self.delivered_sc = self.delivered_sc.max(seq),
+        }
         match (to, message) {
             (Endpoint::Stationary, WireMessage::ReadRequest) => {
                 let response = self.sc.handle_read_request();
@@ -215,8 +290,99 @@ impl ProtocolState {
                 self.mc.handle_delete_request();
                 self.complete(Action::DeleteRequestWrite)
             }
+            (Endpoint::Stationary, WireMessage::Reconnect { cached_version, .. }) => {
+                let refresh = self.sc.handle_reconnect(cached_version);
+                let epoch = self.epoch;
+                self.send(Endpoint::Mobile, WireMessage::reconnect_ack(epoch, refresh))
+            }
+            (Endpoint::Mobile, WireMessage::ReconnectAck { refresh, .. }) => {
+                self.mc.handle_reconnect_ack(refresh);
+                self.recovering = false;
+                StepOutcome::Reconciled
+            }
             (to, message) => unreachable!("{} delivered to {to:?}", message.kind()),
         }
+    }
+
+    /// Delivers `envelope` if it is still current, applying the epoch and
+    /// sequence guards of the reconnection protocol: a delivery from a
+    /// previous link epoch, a duplicate, or a reordered stale copy returns
+    /// `None` and leaves the state untouched (fault-model extension,
+    /// `docs/faults.md`). This is the entry point the discrete-event
+    /// simulator uses, since faults can leave ghost deliveries in its event
+    /// queue.
+    pub fn receive(&mut self, envelope: &Envelope) -> Option<StepOutcome> {
+        if envelope.epoch != self.epoch {
+            return None;
+        }
+        let watermark = match envelope.to {
+            Endpoint::Mobile => self.delivered_mc,
+            Endpoint::Stationary => self.delivered_sc,
+        };
+        if envelope.seq <= watermark {
+            return None; // duplicate, or reordered behind a newer delivery
+        }
+        let index = self.wire.iter().position(|e| e == envelope)?;
+        Some(self.deliver(index))
+    }
+
+    /// Aborts the exchange in progress — the timeout path for an envelope
+    /// that will never arrive (an unrecovered loss or a link failure): both
+    /// nodes roll back to the checkpoint taken at submission, the wire is
+    /// cleared, and the request is returned so the driver can retry it.
+    /// Returns `None` when no exchange is in progress.
+    ///
+    /// No ledger entry is recorded: the aborted attempt performed no
+    /// action, and the retry will bill its own messages.
+    pub fn abort_exchange(&mut self) -> Option<Request> {
+        let request = self.serving.take()?;
+        if let Some(Checkpoint { sc, mc }) = self.checkpoint.take() {
+            self.sc = sc;
+            self.mc = mc;
+        }
+        self.wire.clear();
+        Some(request)
+    }
+
+    /// Severs the link (fault-model extension): every in-flight envelope is
+    /// destroyed and a mid-exchange request is rolled back via
+    /// [`abort_exchange`](Self::abort_exchange) and returned for retry. A
+    /// handshake in progress stays pending (`recovering` remains set) and
+    /// must be restarted after the next [`reconnect`](Self::reconnect).
+    pub fn disconnect(&mut self) -> Option<Request> {
+        let aborted = self.abort_exchange();
+        self.wire.clear();
+        aborted
+    }
+
+    /// Re-establishes the link under a new epoch: deliveries stamped with
+    /// an older epoch are discarded by [`receive`](Self::receive) from now
+    /// on.
+    pub fn reconnect(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Starts the reconnection handshake after an MC crash: the MC (having
+    /// lost its volatile state if `volatile`) announces the replica state
+    /// that survived, and the SC will re-validate it against its own
+    /// commitment. The returned envelope carries the current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exchange is in progress (the driver must abort or
+    /// suspend it first).
+    pub fn begin_reconciliation(&mut self, volatile: bool) -> StepOutcome {
+        assert!(
+            self.serving.is_none(),
+            "reconciliation started mid-exchange"
+        );
+        self.recovering = true;
+        if volatile {
+            self.mc.lose_volatile_state();
+        }
+        let epoch = self.epoch;
+        let cached = self.mc.cached_version();
+        self.send(Endpoint::Stationary, WireMessage::reconnect(epoch, cached))
     }
 
     /// Mutates the in-flight envelope at `index` — **verification support**:
@@ -255,6 +421,7 @@ mod tests {
             match outcome {
                 StepOutcome::Completed(action) => return action,
                 StepOutcome::Sent(_) => outcome = state.deliver(0),
+                StepOutcome::Reconciled => unreachable!("no handshake in progress"),
             }
         }
     }
@@ -325,6 +492,152 @@ mod tests {
         assert_eq!(dropped.message, WireMessage::read_request());
         assert!(!state.idle());
         assert!(state.wire().is_empty());
+    }
+
+    #[test]
+    fn a_dangling_exchange_can_be_aborted_and_retried() {
+        // St2 write propagation: submission already bumped the primary
+        // version, so the abort must roll the SC back before the retry.
+        let mut state = ProtocolState::new(PolicySpec::St2);
+        let _ = state.submit(Request::Write);
+        assert_eq!(state.sc().version(), 1);
+        let _ = state.drop_in_flight(0);
+        assert!(!state.idle(), "exchange dangles after the drop");
+        assert_eq!(state.abort_exchange(), Some(Request::Write));
+        assert!(state.idle());
+        assert_eq!(state.sc().version(), 0, "rolled back to submission state");
+        assert_eq!(
+            drive_to_completion(&mut state, Request::Write),
+            Action::PropagatedWrite { deallocates: false }
+        );
+        assert_eq!(state.mc().cached_version(), Some(1));
+        assert_eq!(
+            state.counts().total(),
+            1,
+            "the aborted attempt left no ledger entry"
+        );
+    }
+
+    #[test]
+    fn abort_without_an_exchange_is_a_no_op() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        assert_eq!(state.abort_exchange(), None);
+        assert_eq!(state, ProtocolState::new(PolicySpec::St1));
+    }
+
+    #[test]
+    fn duplicate_and_stale_deliveries_are_discarded() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        let StepOutcome::Sent(request) = state.submit(Request::Read) else {
+            panic!("remote read must go on the wire")
+        };
+        let Some(StepOutcome::Sent(response)) = state.receive(&request) else {
+            panic!("the SC must answer")
+        };
+        // A duplicate of the consumed request is discarded by the watermark.
+        assert_eq!(state.receive(&request), None);
+        assert!(matches!(
+            state.receive(&response),
+            Some(StepOutcome::Completed(_))
+        ));
+        // Late duplicates after completion are discarded too.
+        assert_eq!(state.receive(&response), None);
+        assert_eq!(state.receive(&request), None);
+        assert_eq!(state.counts().total(), 1);
+    }
+
+    #[test]
+    fn deliveries_from_an_old_epoch_are_discarded() {
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        let StepOutcome::Sent(request) = state.submit(Request::Read) else {
+            panic!("remote read must go on the wire")
+        };
+        assert_eq!(state.disconnect(), Some(Request::Read));
+        state.reconnect();
+        // The pre-disconnection envelope arrives after the epoch bump.
+        assert_eq!(state.receive(&request), None);
+        assert!(state.idle() && state.wire().is_empty());
+    }
+
+    #[test]
+    fn volatile_crash_reconciliation_hands_the_window_back() {
+        let mut state = ProtocolState::new(PolicySpec::SlidingWindow { k: 3 });
+        drive_to_completion(&mut state, Request::Read);
+        drive_to_completion(&mut state, Request::Read); // allocates
+        assert!(state.mc().has_copy() && state.mc().in_charge());
+
+        assert_eq!(state.disconnect(), None);
+        state.reconnect();
+        let StepOutcome::Sent(reconnect) = state.begin_reconciliation(true) else {
+            panic!("the handshake starts with a message")
+        };
+        assert!(state.recovering());
+        assert!(!state.mc().has_copy(), "volatile state lost");
+        let Some(StepOutcome::Sent(ack)) = state.receive(&reconnect) else {
+            panic!("the SC must acknowledge")
+        };
+        assert!(!state.sc().mc_has_copy(), "commitment retracted");
+        assert!(state.sc().in_charge(), "window handed back to the SC");
+        assert_eq!(state.receive(&ack), Some(StepOutcome::Reconciled));
+        assert!(!state.recovering());
+        // The protocol now behaves exactly like a cold-started SW3 whose
+        // abstract policy was told about the loss.
+        let mut oracle = PolicySpec::SlidingWindow { k: 3 }.build();
+        oracle.on_request(Request::Read);
+        oracle.on_request(Request::Read);
+        oracle.on_replica_lost();
+        assert_eq!(
+            drive_to_completion(&mut state, Request::Read),
+            oracle.on_request(Request::Read)
+        );
+        assert_eq!(state.mc().has_copy(), oracle.has_copy());
+    }
+
+    #[test]
+    fn st2_reconciliation_refreshes_the_replica() {
+        let mut state = ProtocolState::new(PolicySpec::St2);
+        drive_to_completion(&mut state, Request::Write);
+        assert_eq!(state.mc().cached_version(), Some(1));
+        state.disconnect();
+        state.reconnect();
+        let StepOutcome::Sent(reconnect) = state.begin_reconciliation(true) else {
+            panic!("the handshake starts with a message")
+        };
+        let Some(StepOutcome::Sent(ack)) = state.receive(&reconnect) else {
+            panic!("the SC must acknowledge")
+        };
+        assert!(
+            matches!(
+                ack.message,
+                WireMessage::ReconnectAck {
+                    refresh: Some(1),
+                    ..
+                }
+            ),
+            "ST2 recovery re-ships the item: {ack:?}"
+        );
+        assert_eq!(state.receive(&ack), Some(StepOutcome::Reconciled));
+        assert_eq!(state.mc().cached_version(), Some(1));
+        assert!(state.sc().mc_has_copy());
+    }
+
+    #[test]
+    fn stable_crash_reconciliation_preserves_ownership() {
+        let mut state = ProtocolState::new(PolicySpec::SlidingWindow { k: 3 });
+        drive_to_completion(&mut state, Request::Read);
+        drive_to_completion(&mut state, Request::Read);
+        let before_mc = state.mc().clone();
+        state.disconnect();
+        state.reconnect();
+        let StepOutcome::Sent(reconnect) = state.begin_reconciliation(false) else {
+            panic!("the handshake starts with a message")
+        };
+        let Some(StepOutcome::Sent(ack)) = state.receive(&reconnect) else {
+            panic!("the SC must acknowledge")
+        };
+        assert_eq!(state.receive(&ack), Some(StepOutcome::Reconciled));
+        assert_eq!(*state.mc(), before_mc, "stable replica survives intact");
+        assert!(state.mc().in_charge());
     }
 
     #[test]

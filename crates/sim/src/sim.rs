@@ -11,6 +11,7 @@
 //! to the pure-policy replay — an equivalence this crate asserts at runtime
 //! in oracle mode and the workspace re-checks in integration tests.
 
+use crate::faults::{ConfigError, FaultKind, FaultPlan};
 use crate::protocol::{Envelope, ProtocolState, StepOutcome};
 use crate::workload::{Arrival, ArrivalProcess};
 use mdr_core::{Action, ActionCounts, AllocationPolicy, CostModel, PolicySpec, Request, Schedule};
@@ -40,6 +41,10 @@ pub struct SimConfig {
     /// computer is fixed, so — as the paper asserts — mobility changes
     /// *when* messages arrive, never *what* they cost.
     pub mobility: Option<MobilityConfig>,
+    /// Optional fault injection: deterministic disconnection windows, MC
+    /// crashes, SC outages and message duplication/reordering (see
+    /// [`FaultPlan`] and `docs/faults.md`).
+    pub faults: Option<FaultPlan>,
 }
 
 /// Parameters of the cellular-mobility model.
@@ -79,6 +84,7 @@ impl PartialEq for SimConfig {
             && self.oracle_check == other.oracle_check
             && self.loss == other.loss
             && self.mobility == other.mobility
+            && self.faults == other.faults
     }
 }
 
@@ -125,6 +131,7 @@ impl SimConfig {
             oracle_check: true,
             loss: None,
             mobility: None,
+            faults: None,
         }
     }
 
@@ -143,46 +150,74 @@ impl SimConfig {
 
     /// Enables the lossy-link model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 ≤ loss_probability < 1` and `retry_timeout > 0`.
-    pub fn with_loss(mut self, loss_probability: f64, retry_timeout: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&loss_probability),
-            "loss probability must lie in [0, 1), got {loss_probability}"
-        );
-        assert!(retry_timeout > 0.0, "retry timeout must be positive");
+    /// Returns a [`ConfigError`] unless `0 ≤ loss_probability < 1` and
+    /// `retry_timeout > 0` (configuration mistakes are recoverable, e.g.
+    /// when the parameters come from CLI flags).
+    pub fn with_loss(
+        mut self,
+        loss_probability: f64,
+        retry_timeout: f64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if !(0.0..1.0).contains(&loss_probability) {
+            return Err(ConfigError::new(format!(
+                "loss probability must lie in [0, 1), got {loss_probability}"
+            )));
+        }
+        if retry_timeout <= 0.0 || !retry_timeout.is_finite() {
+            return Err(ConfigError::new(format!(
+                "retry timeout must be finite and positive, got {retry_timeout}"
+            )));
+        }
         self.loss = Some(LossConfig {
             loss_probability,
             retry_timeout,
             seed,
         });
-        self
+        Ok(self)
     }
 
     /// Enables the cellular-mobility model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no cells are given, any extra latency is negative, or the
-    /// handoff rate is not positive.
+    /// Returns a [`ConfigError`] if no cells are given, any extra latency is
+    /// negative, or the handoff rate is not positive.
     pub fn with_mobility(
         mut self,
         cell_extra_latency: Vec<f64>,
         handoff_rate: f64,
         seed: u64,
-    ) -> Self {
-        assert!(!cell_extra_latency.is_empty(), "at least one cell required");
-        assert!(
-            cell_extra_latency.iter().all(|&l| l >= 0.0),
-            "cell latencies must be non-negative"
-        );
-        assert!(handoff_rate > 0.0, "handoff rate must be positive");
+    ) -> Result<Self, ConfigError> {
+        if cell_extra_latency.is_empty() {
+            return Err(ConfigError::new("at least one cell required"));
+        }
+        if !cell_extra_latency
+            .iter()
+            .all(|&l| l >= 0.0 && l.is_finite())
+        {
+            return Err(ConfigError::new(
+                "cell latencies must be finite and non-negative",
+            ));
+        }
+        if handoff_rate <= 0.0 || !handoff_rate.is_finite() {
+            return Err(ConfigError::new(format!(
+                "handoff rate must be finite and positive, got {handoff_rate}"
+            )));
+        }
         self.mobility = Some(MobilityConfig {
             cell_extra_latency,
             handoff_rate,
             seed,
         });
+        Ok(self)
+    }
+
+    /// Enables fault injection from an already-validated [`FaultPlan`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -225,6 +260,28 @@ pub struct SimReport {
     pub retransmissions: u64,
     /// Cell handoffs the MC performed (0 without the mobility model).
     pub handoffs: u64,
+    /// Disconnection windows injected by the fault plan.
+    pub disconnects: u64,
+    /// Disconnections that were MC crashes (volatile or stable).
+    pub mc_crashes: u64,
+    /// Disconnections that were SC outages.
+    pub sc_outages: u64,
+    /// Ghost envelope copies the network injected (duplication and stale
+    /// reordering). Ghosts are never billed — they are a network artifact,
+    /// not a send.
+    pub duplicated_deliveries: u64,
+    /// Deliveries the epoch/sequence guards discarded (ghost copies plus
+    /// envelopes destroyed by a disconnection).
+    pub discarded_deliveries: u64,
+    /// Billed transmission attempts that belonged to exchanges a
+    /// disconnection later aborted (wasted traffic; included in the
+    /// message totals above).
+    pub aborted_messages: u64,
+    /// Billed transmission attempts of the reconnection handshake
+    /// (included in the message totals above).
+    pub reconciliation_messages: u64,
+    /// Reconnection handshakes completed after MC crashes.
+    pub reconciliations: u64,
 }
 
 impl SimReport {
@@ -252,11 +309,22 @@ impl SimReport {
 #[derive(Debug)]
 enum Event {
     Arrival(Arrival),
-    /// The single in-flight envelope reaches its destination (requests are
-    /// serialized, so the protocol wire never holds more than one).
-    Deliver,
+    /// An envelope reaches its destination. Validity is re-checked at
+    /// delivery time ([`ProtocolState::receive`]): faults leave ghost
+    /// deliveries in the queue — duplicates, reordered stale copies, and
+    /// envelopes a disconnection destroyed — which self-discard against
+    /// the protocol's epoch/sequence guards.
+    Deliver(Envelope),
+    /// A ghost copy the network injected (duplication or stale reordering).
+    /// Ghosts are never billed and are only counted as duplicated when they
+    /// actually land (a run may end with ghosts still in the air).
+    GhostDeliver(Envelope),
     /// The MC crosses into another cell.
     Handoff,
+    /// A fault from the [`FaultPlan`] severs the link.
+    LinkDown,
+    /// The current outage ends and the link is re-established.
+    LinkUp,
 }
 
 /// Heap entry ordered by time (earliest first), FIFO within ties.
@@ -317,6 +385,40 @@ pub struct Simulation {
     /// Absolute request-count target for the current `run` call (serving
     /// stops exactly there, even mid-drain).
     target: usize,
+    // --- fault injection (None / quiescent without a FaultPlan) ---
+    fault_rng: Option<rand::rngs::StdRng>,
+    /// Whether the initial link-down has been scheduled (once per
+    /// simulation, not per `run` call).
+    fault_primed: bool,
+    link_up: bool,
+    /// Kind of the outage in progress, while the link is down.
+    outage_kind: Option<FaultKind>,
+    /// An exchange a disconnection aborted, waiting to be retried once the
+    /// link (and any owed reconciliation) is back.
+    suspended: Option<Exchange>,
+    /// An MC crash owing a reconnection handshake at the next link-up;
+    /// the flag records whether volatile state was lost.
+    pending_crash: Option<bool>,
+    /// Whether the reconnection handshake is on the wire right now.
+    reconciling: bool,
+    /// Whether the workload has no further arrivals to offer (lets the
+    /// event loop stop instead of chasing self-perpetuating maintenance
+    /// events forever).
+    arrivals_done: bool,
+    disconnects: u64,
+    mc_crashes: u64,
+    sc_outages: u64,
+    duplicated_deliveries: u64,
+    discarded_deliveries: u64,
+    aborted_messages: u64,
+    reconciliation_messages: u64,
+    reconciliations: u64,
+    /// Billed attempts of the exchange currently in flight — moved into
+    /// `aborted_messages` if a disconnection kills the exchange.
+    exchange_messages: u64,
+    /// Connections beyond the ledger-derived count: one per aborted
+    /// exchange (the wasted setup) and one per reconnection handshake.
+    extra_connections: u64,
 }
 
 /// Book-keeping for the exchange currently on the wire.
@@ -337,6 +439,10 @@ impl Simulation {
             .mobility
             .as_ref()
             .map(|m| rand::rngs::StdRng::seed_from_u64(m.seed));
+        let fault_rng = config
+            .faults
+            .as_ref()
+            .map(|f| rand::rngs::StdRng::seed_from_u64(f.seed));
         Simulation {
             protocol: ProtocolState::new(config.policy),
             oracle: config.oracle_check.then(|| config.policy.build()),
@@ -359,6 +465,24 @@ impl Simulation {
             reads_completed: 0,
             served: 0,
             target: usize::MAX,
+            fault_rng,
+            fault_primed: false,
+            link_up: true,
+            outage_kind: None,
+            suspended: None,
+            pending_crash: None,
+            reconciling: false,
+            arrivals_done: false,
+            disconnects: 0,
+            mc_crashes: 0,
+            sc_outages: 0,
+            duplicated_deliveries: 0,
+            discarded_deliveries: 0,
+            aborted_messages: 0,
+            reconciliation_messages: 0,
+            reconciliations: 0,
+            exchange_messages: 0,
+            extra_connections: 0,
         }
     }
 
@@ -374,7 +498,15 @@ impl Simulation {
     /// Bills and schedules the delivery of an envelope the protocol just put
     /// on the wire. Under the lossy-link model the sender retransmits after
     /// each timeout until one attempt gets through; every attempt is billed.
-    fn transmit(&mut self, envelope: &Envelope) {
+    /// `reconciliation` routes the attempt tally to the handshake counters
+    /// instead of the at-risk exchange tally.
+    ///
+    /// Under a fault plan the network may additionally inject ghost copies
+    /// (duplication, stale reordering). Ghosts are scheduled but never
+    /// billed: they are a delivery artifact, not a send, and the protocol's
+    /// epoch/sequence guards discard them — which is exactly the property
+    /// the `properties.rs` proptests pin down.
+    fn transmit(&mut self, envelope: &Envelope, reconciliation: bool) {
         let attempts = match (self.config.loss, &mut self.link_rng) {
             (Some(loss), Some(rng)) => {
                 use rand::RngExt;
@@ -391,16 +523,46 @@ impl Simulation {
             crate::wire::MessageClass::Data => self.data_messages += attempts,
             crate::wire::MessageClass::Control => self.control_messages += attempts,
         }
+        if reconciliation {
+            self.reconciliation_messages += attempts;
+        } else {
+            self.exchange_messages += attempts;
+        }
         let retry_delay = (attempts - 1) as f64 * self.config.loss.map_or(0.0, |l| l.retry_timeout);
         let cell_extra = self
             .config
             .mobility
             .as_ref()
             .map_or(0.0, |m| m.cell_extra_latency[self.current_cell]);
-        self.push_event(
-            self.now + retry_delay + self.config.latency + cell_extra,
-            Event::Deliver,
-        );
+        let arrives = self.now + retry_delay + self.config.latency + cell_extra;
+        self.push_event(arrives, Event::Deliver(envelope.clone()));
+        let (duplicate, reorder) = match (self.config.faults.as_ref(), self.fault_rng.as_mut()) {
+            (Some(plan), Some(rng)) => {
+                use rand::RngExt;
+                (
+                    plan.duplication > 0.0 && rng.random::<f64>() < plan.duplication,
+                    plan.reorder > 0.0 && rng.random::<f64>() < plan.reorder,
+                )
+            }
+            _ => (false, false),
+        };
+        let latency = self.config.latency;
+        if duplicate {
+            // The copy takes a marginally longer path and arrives right
+            // behind the original: a straight duplicate.
+            self.push_event(
+                arrives + 0.25 * latency + 1e-6,
+                Event::GhostDeliver(envelope.clone()),
+            );
+        }
+        if reorder {
+            // The copy is held up long enough to land behind *subsequent*
+            // traffic: a genuinely out-of-order stale delivery.
+            self.push_event(
+                arrives + 2.5 * latency + 1e-3,
+                Event::GhostDeliver(envelope.clone()),
+            );
+        }
     }
 
     /// Runs the protocol over `workload` until `limit`, returning the
@@ -417,17 +579,35 @@ impl Simulation {
             RunLimit::Time(_) => usize::MAX,
         };
         let target = self.target;
+        self.arrivals_done = false;
         // Prime the movement process.
         if self.config.mobility.is_some() {
             self.schedule_next_handoff();
         }
+        // Prime the fault process (once per simulation).
+        if !self.fault_primed {
+            self.fault_primed = true;
+            self.schedule_next_link_down();
+        }
         // Prime the first arrival.
-        if let Some(a) = workload.next_arrival() {
-            if !matches!(limit, RunLimit::Time(t) if a.time > t) {
+        match workload.next_arrival() {
+            Some(a) if !matches!(limit, RunLimit::Time(t) if a.time > t) => {
                 self.push_event(a.time, Event::Arrival(a));
             }
+            _ => self.arrivals_done = true,
         }
         while self.served < target {
+            // With no arrivals left and nothing in service, the only events
+            // remaining are self-perpetuating maintenance (link faults,
+            // handoffs) and ghost deliveries: stop instead of chasing them.
+            if self.arrivals_done
+                && self.in_flight.is_none()
+                && self.suspended.is_none()
+                && !self.reconciling
+                && self.pending.is_empty()
+            {
+                break;
+            }
             let Some(Scheduled { at, event, .. }) = self.events.pop() else {
                 break;
             };
@@ -437,24 +617,30 @@ impl Simulation {
                 Event::Arrival(arrival) => {
                     // Fetch the next arrival before handling this one so the
                     // queue never starves.
-                    if let Some(next) = workload.next_arrival() {
-                        let stop = matches!(limit, RunLimit::Time(t) if next.time > t);
-                        if !stop {
+                    match workload.next_arrival() {
+                        Some(next) if !matches!(limit, RunLimit::Time(t) if next.time > t) => {
                             self.push_event(next.time, Event::Arrival(next));
                         }
+                        _ => self.arrivals_done = true,
                     }
-                    if self.in_flight.is_some() {
+                    if self.can_begin_service(arrival.request) {
+                        self.begin_service(arrival);
+                    } else {
                         self.queued_requests += 1;
                         self.pending.push_back(arrival);
-                    } else {
-                        self.begin_service(arrival);
                     }
                 }
-                Event::Deliver => self.handle_delivery(),
+                Event::Deliver(envelope) => self.handle_delivery(&envelope),
+                Event::GhostDeliver(envelope) => {
+                    self.duplicated_deliveries += 1;
+                    self.handle_delivery(&envelope);
+                }
                 Event::Handoff => {
                     self.perform_handoff();
                     self.schedule_next_handoff();
                 }
+                Event::LinkDown => self.handle_link_down(),
+                Event::LinkUp => self.handle_link_up(),
             }
         }
         self.report()
@@ -493,6 +679,36 @@ impl Simulation {
         self.handoffs += 1;
     }
 
+    /// Whether a fresh arrival can enter service right now. FIFO order is
+    /// sacrosanct (the §3 serialization is what the oracle equivalence is
+    /// proved against), so nothing may overtake an in-flight, suspended, or
+    /// queued request. During an outage only requests the protocol serves
+    /// without the wire may proceed: local reads survive a doze or an SC
+    /// outage (not an MC crash), silent writes need a live SC only.
+    fn can_begin_service(&self, request: Request) -> bool {
+        if self.in_flight.is_some()
+            || self.suspended.is_some()
+            || self.reconciling
+            || self.protocol.recovering()
+            || !self.pending.is_empty()
+        {
+            return false;
+        }
+        if self.link_up {
+            return true;
+        }
+        match (self.outage_kind, request) {
+            (Some(FaultKind::Doze | FaultKind::ScOutage), Request::Read) => {
+                self.protocol.mc().has_copy()
+            }
+            (
+                Some(FaultKind::Doze | FaultKind::CrashVolatile | FaultKind::CrashStable),
+                Request::Write,
+            ) => !self.protocol.sc().mc_has_copy(),
+            _ => false,
+        }
+    }
+
     /// Starts serving one arrival by submitting it to the protocol. Local
     /// operations complete inline; remote ones put a message on the wire and
     /// park in `in_flight`.
@@ -511,25 +727,70 @@ impl Simulation {
                     request: arrival.request,
                     arrived_at: arrival.time,
                 });
-                self.transmit(&envelope);
+                self.transmit(&envelope, false);
             }
+            StepOutcome::Reconciled => unreachable!("submit never reconciles"),
         }
     }
 
-    /// Handles the scheduled arrival of the in-flight envelope by stepping
-    /// the protocol's transition relation.
-    fn handle_delivery(&mut self) {
-        let Some(exchange) = self.in_flight else {
-            unreachable!("delivery without an exchange in flight")
-        };
-        match self.protocol.deliver(0) {
-            StepOutcome::Sent(envelope) => self.transmit(&envelope),
+    /// Re-submits an exchange a disconnection aborted. Its schedule entry
+    /// and queueing stats were recorded at the original submission; only
+    /// the protocol work is redone. The recovery may have changed the
+    /// allocation state enough that the retry now completes locally (e.g.
+    /// a propagating write turns silent once the replica was retracted).
+    fn resume_service(&mut self, exchange: Exchange) {
+        debug_assert!(self.in_flight.is_none());
+        match self.protocol.submit(exchange.request) {
             StepOutcome::Completed(action) => {
+                if exchange.request == Request::Read {
+                    self.read_latency_sum += self.now - exchange.arrived_at;
+                    self.reads_completed += 1;
+                }
+                self.complete(
+                    Arrival {
+                        time: exchange.arrived_at,
+                        request: exchange.request,
+                    },
+                    action,
+                );
+            }
+            StepOutcome::Sent(envelope) => {
+                self.in_flight = Some(exchange);
+                self.transmit(&envelope, false);
+            }
+            StepOutcome::Reconciled => unreachable!("submit never reconciles"),
+        }
+    }
+
+    /// Handles a scheduled delivery by stepping the protocol's transition
+    /// relation — if the envelope is still current. Ghost deliveries
+    /// (duplicates, stale reorders, envelopes destroyed by a disconnection)
+    /// are discarded by the protocol's epoch/sequence guards.
+    fn handle_delivery(&mut self, envelope: &Envelope) {
+        let Some(outcome) = self.protocol.receive(envelope) else {
+            self.discarded_deliveries += 1;
+            return;
+        };
+        match outcome {
+            StepOutcome::Sent(response) => {
+                let reconciliation = self.reconciling;
+                self.transmit(&response, reconciliation);
+            }
+            StepOutcome::Completed(action) => {
+                let Some(exchange) = self.in_flight else {
+                    unreachable!("completion without an exchange in flight")
+                };
                 if matches!(action, Action::RemoteRead { .. }) {
                     self.read_latency_sum += self.now - exchange.arrived_at;
                     self.reads_completed += 1;
                 }
                 self.finish_exchange(action);
+            }
+            StepOutcome::Reconciled => {
+                self.reconciling = false;
+                self.pending_crash = None;
+                self.reconciliations += 1;
+                self.resume_after_outage();
             }
         }
     }
@@ -538,6 +799,7 @@ impl Simulation {
         let Some(exchange) = self.in_flight.take() else {
             unreachable!("no exchange to finish")
         };
+        self.exchange_messages = 0;
         self.complete(
             Arrival {
                 time: exchange.arrived_at,
@@ -545,15 +807,138 @@ impl Simulation {
             },
             action,
         );
-        // Serve queued arrivals until one needs the wire (or none are left):
-        // local reads and silent writes complete inline and must not stall
-        // the queue. Respect the request target exactly.
+        self.drain_pending();
+    }
+
+    /// Serves queued arrivals until one needs the wire (or none are left):
+    /// local reads and silent writes complete inline and must not stall
+    /// the queue. Respects the request target exactly.
+    fn drain_pending(&mut self) {
         while self.in_flight.is_none() && self.served < self.target {
             let Some(next) = self.pending.pop_front() else {
                 break;
             };
             self.begin_service(next);
         }
+    }
+
+    /// Draws the waiting time to the next disconnection and schedules it.
+    /// No-op without a fault plan (or at disconnect rate zero).
+    fn schedule_next_link_down(&mut self) {
+        let (Some(plan), Some(rng)) = (self.config.faults.as_ref(), self.fault_rng.as_mut()) else {
+            return;
+        };
+        if plan.disconnect_rate <= 0.0 {
+            return;
+        }
+        use rand::RngExt;
+        let u: f64 = rng.random();
+        let gap = -f64::ln(1.0 - u) / plan.disconnect_rate;
+        self.push_event(self.now + gap, Event::LinkDown);
+    }
+
+    /// Classifies the outage that just began and draws its duration.
+    fn draw_outage(&mut self) -> (FaultKind, f64) {
+        let (Some(plan), Some(rng)) = (self.config.faults.as_ref(), self.fault_rng.as_mut()) else {
+            unreachable!("link events require a fault plan")
+        };
+        use rand::RngExt;
+        let classify: f64 = rng.random();
+        let kind = if classify < plan.crash_probability {
+            if rng.random::<f64>() < plan.volatile_probability {
+                FaultKind::CrashVolatile
+            } else {
+                FaultKind::CrashStable
+            }
+        } else if classify < plan.crash_probability + plan.sc_outage_probability {
+            FaultKind::ScOutage
+        } else {
+            FaultKind::Doze
+        };
+        let u: f64 = rng.random();
+        (kind, -f64::ln(1.0 - u) * plan.mean_outage)
+    }
+
+    /// The link goes down: classify the outage, destroy everything in
+    /// flight (suspending a mid-exchange request for retry), and note a
+    /// crash's owed reconciliation.
+    fn handle_link_down(&mut self) {
+        debug_assert!(self.link_up, "link-down while already down");
+        self.link_up = false;
+        let (kind, duration) = self.draw_outage();
+        self.disconnects += 1;
+        match kind {
+            FaultKind::CrashVolatile | FaultKind::CrashStable => self.mc_crashes += 1,
+            FaultKind::ScOutage => self.sc_outages += 1,
+            FaultKind::Doze => {}
+        }
+        self.outage_kind = Some(kind);
+        if matches!(kind, FaultKind::CrashVolatile | FaultKind::CrashStable) {
+            let volatile = matches!(kind, FaultKind::CrashVolatile);
+            // A second crash before the first reconciled keeps the stronger
+            // (volatile) classification.
+            self.pending_crash = Some(self.pending_crash.unwrap_or(false) || volatile);
+            if volatile {
+                // The oracle learns of the loss at crash time; the protocol
+                // applies it when the handshake starts. No request is served
+                // in between, so the two stay equivalent (and the policy
+                // hook is idempotent over the gap).
+                if let Some(oracle) = &mut self.oracle {
+                    oracle.on_replica_lost();
+                }
+            }
+        }
+        if self.in_flight.is_some() {
+            let aborted = self.protocol.disconnect();
+            let Some(exchange) = self.in_flight.take() else {
+                unreachable!("in_flight checked above")
+            };
+            debug_assert_eq!(aborted, Some(exchange.request));
+            self.aborted_messages += self.exchange_messages;
+            self.exchange_messages = 0;
+            self.extra_connections += 1; // the wasted connection setup
+            self.suspended = Some(exchange);
+        } else {
+            // Clears a handshake (or nothing) off the wire; an interrupted
+            // handshake restarts at the next link-up (`pending_crash` and
+            // the protocol's `recovering` flag both persist).
+            let _ = self.protocol.disconnect();
+        }
+        self.reconciling = false;
+        self.push_event(self.now + duration, Event::LinkUp);
+    }
+
+    /// The link comes back: bump the epoch (stale deliveries self-discard
+    /// from here on), then either run the owed reconciliation handshake or
+    /// resume service directly.
+    fn handle_link_up(&mut self) {
+        debug_assert!(!self.link_up, "link-up while already up");
+        self.link_up = true;
+        self.outage_kind = None;
+        self.protocol.reconnect();
+        self.schedule_next_link_down();
+        if let Some(volatile) = self.pending_crash {
+            self.reconciling = true;
+            match self.protocol.begin_reconciliation(volatile) {
+                StepOutcome::Sent(envelope) => {
+                    self.extra_connections += 1; // the handshake's connection
+                    self.transmit(&envelope, true);
+                }
+                outcome => unreachable!("reconciliation must start with a send: {outcome:?}"),
+            }
+        } else {
+            self.resume_after_outage();
+        }
+    }
+
+    /// Retries the suspended exchange (if any) and drains the queue —
+    /// called at link-up for fault kinds that owe no handshake, and after
+    /// `Reconciled` for the ones that do.
+    fn resume_after_outage(&mut self) {
+        if let Some(exchange) = self.suspended.take() {
+            self.resume_service(exchange);
+        }
+        self.drain_pending();
     }
 
     /// Records the served request (the protocol ledger already tallied the
@@ -607,7 +992,7 @@ impl Simulation {
             counts,
             data_messages: self.data_messages,
             control_messages: self.control_messages,
-            connections: counts.connections(),
+            connections: counts.connections() + self.extra_connections,
             makespan: self.now,
             mean_read_latency: if self.reads_completed == 0 {
                 0.0
@@ -619,6 +1004,14 @@ impl Simulation {
             deallocations: counts.deallocations(),
             retransmissions: self.retransmissions,
             handoffs: self.handoffs,
+            disconnects: self.disconnects,
+            mc_crashes: self.mc_crashes,
+            sc_outages: self.sc_outages,
+            duplicated_deliveries: self.duplicated_deliveries,
+            discarded_deliveries: self.discarded_deliveries,
+            aborted_messages: self.aborted_messages,
+            reconciliation_messages: self.reconciliation_messages,
+            reconciliations: self.reconciliations,
         }
     }
 }
@@ -772,7 +1165,7 @@ mod loss_tests {
 
     fn lossy_run(loss: f64, seed: u64) -> SimReport {
         let spec = PolicySpec::SlidingWindow { k: 5 };
-        let config = SimConfig::new(spec).with_loss(loss, 0.05, seed);
+        let config = SimConfig::new(spec).with_loss(loss, 0.05, seed).unwrap();
         let mut sim = Simulation::new(config);
         let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 99);
         sim.run(&mut workload, RunLimit::Requests(8_000))
@@ -831,9 +1224,13 @@ mod loss_tests {
     #[test]
     fn invalid_loss_parameters_are_rejected() {
         let spec = PolicySpec::St1;
-        assert!(std::panic::catch_unwind(|| SimConfig::new(spec).with_loss(1.0, 0.1, 0)).is_err());
-        assert!(std::panic::catch_unwind(|| SimConfig::new(spec).with_loss(-0.1, 0.1, 0)).is_err());
-        assert!(std::panic::catch_unwind(|| SimConfig::new(spec).with_loss(0.3, 0.0, 0)).is_err());
+        assert!(SimConfig::new(spec).with_loss(1.0, 0.1, 0).is_err());
+        assert!(SimConfig::new(spec).with_loss(-0.1, 0.1, 0).is_err());
+        assert!(SimConfig::new(spec).with_loss(0.3, 0.0, 0).is_err());
+        assert!(SimConfig::new(spec).with_loss(f64::NAN, 0.1, 0).is_err());
+        // The error is a value, not a panic: it displays its cause.
+        let err = SimConfig::new(spec).with_loss(1.0, 0.1, 0).unwrap_err();
+        assert!(err.to_string().contains("loss probability"), "{err}");
     }
 }
 
@@ -847,7 +1244,9 @@ mod mobility_tests {
         if mobility {
             // Three cells: a fast downtown microcell, a mid suburb, and a
             // slow rural macrocell.
-            config = config.with_mobility(vec![0.0, 0.05, 0.2], 0.5, seed);
+            config = config
+                .with_mobility(vec![0.0, 0.05, 0.2], 0.5, seed)
+                .unwrap();
         }
         let mut sim = Simulation::new(config);
         let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4242);
@@ -899,7 +1298,8 @@ mod mobility_tests {
         let spec = PolicySpec::St1;
         let config = SimConfig::new(spec)
             .with_latency(0.0)
-            .with_mobility(vec![0.0, 1.0], 5.0, 3);
+            .with_mobility(vec![0.0, 1.0], 5.0, 3)
+            .unwrap();
         let mut sim = Simulation::new(config);
         let mut workload = crate::workload::PoissonWorkload::from_theta(0.2, 0.0, 7);
         let report = sim.run(&mut workload, RunLimit::Requests(400));
@@ -912,21 +1312,156 @@ mod mobility_tests {
     #[test]
     fn invalid_mobility_parameters_are_rejected() {
         let spec = PolicySpec::St1;
-        assert!(
-            std::panic::catch_unwind(|| SimConfig::new(spec).with_mobility(vec![], 1.0, 0))
-                .is_err()
+        assert!(SimConfig::new(spec).with_mobility(vec![], 1.0, 0).is_err());
+        assert!(SimConfig::new(spec)
+            .with_mobility(vec![0.1, -0.2], 1.0, 0)
+            .is_err());
+        assert!(SimConfig::new(spec)
+            .with_mobility(vec![0.1], 0.0, 0)
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use mdr_core::run_spec;
+
+    fn faulty_config(spec: PolicySpec, rate: f64, seed: u64) -> SimConfig {
+        let plan = FaultPlan::new(rate, 2.0, seed)
+            .and_then(|p| p.with_crashes(0.4, 0.6))
+            .and_then(|p| p.with_sc_outages(0.2))
+            .and_then(|p| p.with_duplication(0.05, 0.05))
+            .unwrap();
+        SimConfig::new(spec).with_faults(plan)
+    }
+
+    fn faulty_run(spec: PolicySpec, rate: f64, seed: u64, n: usize) -> SimReport {
+        let mut sim = Simulation::new(faulty_config(spec, rate, seed));
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4711);
+        sim.run(&mut w, RunLimit::Requests(n))
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic() {
+        // Acceptance criterion: identical (FaultPlan, seed) configurations
+        // produce byte-identical reports — cost ledger included.
+        let a = faulty_run(PolicySpec::SlidingWindow { k: 3 }, 0.05, 1, 4_000);
+        let b = faulty_run(PolicySpec::SlidingWindow { k: 3 }, 0.05, 1, 4_000);
+        assert_eq!(a, b);
+        assert!(a.disconnects > 0);
+        assert!(a.mc_crashes > 0);
+        assert!(a.sc_outages > 0);
+        // A different fault seed produces a different fault history.
+        let c = faulty_run(PolicySpec::SlidingWindow { k: 3 }, 0.05, 2, 4_000);
+        assert_ne!(a.disconnects, c.disconnects);
+    }
+
+    #[test]
+    fn doze_outages_change_the_bill_but_not_the_actions() {
+        // Pure dozes: no crashes, so the ledger must replay exactly against
+        // the reference policy; only wasted (aborted) traffic is added.
+        let plan = FaultPlan::new(0.05, 2.0, 3).unwrap();
+        let spec = PolicySpec::SlidingWindow { k: 5 };
+        let mut sim = Simulation::new(SimConfig::new(spec).with_faults(plan));
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 99);
+        let report = sim.run(&mut w, RunLimit::Requests(6_000));
+        assert_eq!(report.counts.total(), 6_000);
+        assert!(report.disconnects > 0);
+        assert_eq!(report.mc_crashes, 0);
+        assert_eq!(report.reconciliations, 0);
+        let reference = run_spec(spec, &report.schedule, CostModel::Connection);
+        assert_eq!(
+            report.counts, reference.counts,
+            "actions unchanged by dozes"
         );
-        assert!(
-            std::panic::catch_unwind(|| SimConfig::new(spec).with_mobility(
-                vec![0.1, -0.2],
-                1.0,
-                0
-            ))
-            .is_err()
-        );
-        assert!(
-            std::panic::catch_unwind(|| SimConfig::new(spec).with_mobility(vec![0.1], 0.0, 0))
-                .is_err()
-        );
+        // Aborted attempts inflate the bill beyond the ledger-derived count.
+        let billed = report.data_messages + report.control_messages;
+        let ledger = report.counts.data_messages() + report.counts.control_messages();
+        assert_eq!(billed, ledger + report.aborted_messages);
+        assert!(report.aborted_messages > 0);
+        assert!(report.connections > report.counts.connections());
+    }
+
+    #[test]
+    fn crash_recovery_keeps_the_oracle_equivalence() {
+        // oracle_check is on by default: every completion asserts action and
+        // replica-state equivalence with the reference policy, across
+        // volatile/stable crashes, SC outages and reconciliations.
+        for spec in PolicySpec::roster(&[1, 3], &[2]) {
+            let report = faulty_run(spec, 0.08, 5, 5_000);
+            assert_eq!(report.counts.total(), 5_000, "{spec}");
+            assert!(report.mc_crashes > 0, "{spec}");
+            assert!(report.reconciliations > 0, "{spec}");
+            assert!(report.reconciliation_messages > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_discarded_without_billing() {
+        let spec = PolicySpec::SlidingWindow { k: 3 };
+        let run_with = |faults: Option<FaultPlan>| {
+            let mut config = SimConfig::new(spec);
+            if let Some(plan) = faults {
+                config = config.with_faults(plan);
+            }
+            let mut sim = Simulation::new(config);
+            let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 77);
+            sim.run(&mut w, RunLimit::Requests(5_000))
+        };
+        let clean = run_with(None);
+        let plan = FaultPlan::new(0.0, 1.0, 8)
+            .and_then(|p| p.with_duplication(0.3, 0.2))
+            .unwrap();
+        let noisy = run_with(Some(plan));
+        // Ghost deliveries change nothing observable but the fault counters:
+        // schedule, ledger, bill and connections are identical.
+        assert_eq!(noisy.schedule, clean.schedule);
+        assert_eq!(noisy.counts, clean.counts);
+        assert_eq!(noisy.data_messages, clean.data_messages);
+        assert_eq!(noisy.control_messages, clean.control_messages);
+        assert_eq!(noisy.connections, clean.connections);
+        assert!(noisy.duplicated_deliveries > 0);
+        assert_eq!(noisy.discarded_deliveries, noisy.duplicated_deliveries);
+    }
+
+    #[test]
+    fn an_inactive_fault_plan_is_identical_to_no_faults() {
+        let spec = PolicySpec::T1 { m: 2 };
+        let clean = {
+            let mut sim = Simulation::new(SimConfig::new(spec));
+            let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.5, 31);
+            sim.run(&mut w, RunLimit::Requests(3_000))
+        };
+        let inert = {
+            let plan = FaultPlan::new(0.0, 1.0, 5).unwrap();
+            let mut sim = Simulation::new(SimConfig::new(spec).with_faults(plan));
+            let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.5, 31);
+            sim.run(&mut w, RunLimit::Requests(3_000))
+        };
+        assert_eq!(clean, inert);
+        assert_eq!(inert.disconnects, 0);
+    }
+
+    #[test]
+    fn time_limited_runs_terminate_under_faults() {
+        // Link faults self-perpetuate; the run must still stop once the
+        // workload is exhausted and nothing is in service.
+        let mut sim = Simulation::new(faulty_config(PolicySpec::St2, 0.1, 9));
+        let mut w = crate::workload::PoissonWorkload::from_theta(5.0, 0.5, 17);
+        let report = sim.run(&mut w, RunLimit::Time(50.0));
+        let n = report.counts.total();
+        assert!(n > 50, "{n}");
+        assert!(report.makespan < 500.0, "{}", report.makespan);
+    }
+
+    #[test]
+    fn faults_under_the_message_cost_model_stay_equivalent() {
+        // Cost model only affects pricing, but exercise SW1's delete-request
+        // optimization (the paper's ω-sensitive path) under crashes too.
+        let report = faulty_run(PolicySpec::SlidingWindow { k: 1 }, 0.06, 13, 4_000);
+        assert_eq!(report.counts.total(), 4_000);
+        assert!(report.cost(CostModel::message(0.5)) > 0.0);
+        assert!(report.mc_crashes > 0);
     }
 }

@@ -69,6 +69,25 @@ pub enum WireMessage {
         /// direction only).
         window: Option<Vec<Request>>,
     },
+    /// MC → SC: announces that the MC is reachable again after a crash
+    /// (fault-model extension, see `docs/faults.md`) and reports which
+    /// replica state survived, so the SC can re-validate its commitment.
+    Reconnect {
+        /// The link epoch the MC reconnects under.
+        epoch: u64,
+        /// The version the MC still caches, if its replica survived in
+        /// stable storage; `None` after a volatile crash.
+        cached_version: Option<u64>,
+    },
+    /// SC → MC: closes the reconnection handshake. When the policy keeps
+    /// the MC subscribed through crashes (ST2), `refresh` re-ships the item
+    /// and the message bills as data; otherwise it is pure control.
+    ReconnectAck {
+        /// The link epoch being acknowledged.
+        epoch: u64,
+        /// Fresh item version re-establishing the replica, if any.
+        refresh: Option<u64>,
+    },
 }
 
 impl WireMessage {
@@ -111,13 +130,34 @@ impl WireMessage {
         WireMessage::DeleteRequest { window }
     }
 
-    /// Billing class of this message (§3).
+    /// Builds the MC → SC reconnection announcement (fault-model extension;
+    /// `docs/faults.md`).
+    pub fn reconnect(epoch: u64, cached_version: Option<u64>) -> Self {
+        WireMessage::Reconnect {
+            epoch,
+            cached_version,
+        }
+    }
+
+    /// Builds the SC → MC reconnection acknowledgement; `refresh` re-ships
+    /// the item when the SC re-establishes the replica during recovery.
+    pub fn reconnect_ack(epoch: u64, refresh: Option<u64>) -> Self {
+        WireMessage::ReconnectAck { epoch, refresh }
+    }
+
+    /// Billing class of this message (§3). The reconnection handshake is
+    /// control traffic unless the acknowledgement re-ships the item.
     pub fn class(&self) -> MessageClass {
         match self {
-            WireMessage::ReadRequest | WireMessage::DeleteRequest { .. } => MessageClass::Control,
-            WireMessage::DataResponse { .. } | WireMessage::WritePropagation { .. } => {
-                MessageClass::Data
-            }
+            WireMessage::ReadRequest
+            | WireMessage::DeleteRequest { .. }
+            | WireMessage::Reconnect { .. }
+            | WireMessage::ReconnectAck { refresh: None, .. } => MessageClass::Control,
+            WireMessage::DataResponse { .. }
+            | WireMessage::WritePropagation { .. }
+            | WireMessage::ReconnectAck {
+                refresh: Some(_), ..
+            } => MessageClass::Data,
         }
     }
 
@@ -128,6 +168,8 @@ impl WireMessage {
             WireMessage::DataResponse { .. } => "data-response",
             WireMessage::WritePropagation { .. } => "write-propagation",
             WireMessage::DeleteRequest { .. } => "delete-request",
+            WireMessage::Reconnect { .. } => "reconnect",
+            WireMessage::ReconnectAck { .. } => "reconnect-ack",
         }
     }
 }
@@ -156,6 +198,20 @@ mod tests {
             WireMessage::WritePropagation { version: 2 }.class(),
             MessageClass::Data
         );
+        // The reconnection handshake is control unless the ack re-ships the
+        // item (ST2 recovery).
+        assert_eq!(
+            WireMessage::reconnect(1, Some(4)).class(),
+            MessageClass::Control
+        );
+        assert_eq!(
+            WireMessage::reconnect_ack(1, None).class(),
+            MessageClass::Control
+        );
+        assert_eq!(
+            WireMessage::reconnect_ack(1, Some(4)).class(),
+            MessageClass::Data
+        );
     }
 
     #[test]
@@ -177,9 +233,11 @@ mod tests {
             .kind(),
             WireMessage::WritePropagation { version: 0 }.kind(),
             WireMessage::DeleteRequest { window: None }.kind(),
+            WireMessage::reconnect(0, None).kind(),
+            WireMessage::reconnect_ack(0, None).kind(),
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 4);
+        assert_eq!(kinds.len(), 6);
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests of the discrete-event simulator.
 
 use mdr_core::{CostModel, PolicySpec, Request, Schedule};
-use mdr_sim::{ArrivalProcess, PoissonWorkload, RunLimit, SimConfig, Simulation, TraceWorkload};
+use mdr_sim::{
+    ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimConfig, Simulation, TraceWorkload,
+};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = PolicySpec> {
@@ -70,7 +72,10 @@ proptest! {
         let run = |with_loss: bool| {
             let mut config = SimConfig::new(spec);
             if with_loss && loss > 0.0 {
-                config = config.with_loss(loss, 0.05, seed);
+                let Ok(lossy) = config.with_loss(loss, 0.05, seed) else {
+                    unreachable!("the generated loss grid is valid by construction")
+                };
+                config = lossy;
             }
             let mut sim = Simulation::new(config);
             let mut w = TraceWorkload::new(s.clone(), 1.0);
@@ -82,6 +87,81 @@ proptest! {
         prop_assert!(lossy.data_messages >= clean.data_messages);
         prop_assert!(lossy.control_messages >= clean.control_messages);
         prop_assert!(lossy.makespan >= clean.makespan - 1e-9);
+    }
+
+    /// Epoch/sequence idempotence: a network that duplicates and reorders
+    /// envelopes (but never disconnects anyone) changes *nothing* — not the
+    /// served actions, not the window state they encode, not a single
+    /// billed message. Ghost copies are discarded by the delivery guards
+    /// and are never billed. The oracle check is live, so any window-state
+    /// divergence in SWk/SW1 would panic the run.
+    #[test]
+    fn duplication_and_reordering_are_invisible(
+        spec in arb_spec(),
+        s in arb_schedule(150),
+        dup in 0.0f64..0.5,
+        reorder in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let run = |ghosts: bool| {
+            let mut config = SimConfig::new(spec).with_latency(0.05);
+            if ghosts {
+                let Ok(plan) = FaultPlan::new(0.0, 1.0, seed)
+                    .and_then(|p| p.with_duplication(dup, reorder)) else {
+                    unreachable!("the generated ghost rates are valid by construction")
+                };
+                config = config.with_faults(plan);
+            }
+            let mut sim = Simulation::new(config);
+            let mut w = TraceWorkload::new(s.clone(), 1.0);
+            sim.run(&mut w, RunLimit::Requests(s.len()))
+        };
+        let clean = run(false);
+        let noisy = run(true);
+        prop_assert_eq!(clean.schedule, noisy.schedule);
+        prop_assert_eq!(clean.counts, noisy.counts);
+        // Ghosts are never billed: the wire tallies are *identical*, not
+        // merely close.
+        prop_assert_eq!(clean.data_messages, noisy.data_messages);
+        prop_assert_eq!(clean.control_messages, noisy.control_messages);
+        prop_assert_eq!(clean.connections, noisy.connections);
+        // Every injected ghost was discarded by the epoch/sequence guards.
+        prop_assert_eq!(noisy.duplicated_deliveries, noisy.discarded_deliveries);
+        prop_assert_eq!(clean.duplicated_deliveries, 0);
+    }
+
+    /// Fault determinism: the same (FaultPlan, workload seed) pair replays
+    /// the same run down to every counter — the acceptance bar for
+    /// reproducible fault schedules.
+    #[test]
+    fn fault_schedules_replay_identically(
+        spec in arb_spec(),
+        rate in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let Ok(plan) = FaultPlan::new(rate, 2.0, seed)
+                .and_then(|p| p.with_crashes(0.4, 0.6))
+                .and_then(|p| p.with_duplication(0.1, 0.1)) else {
+                unreachable!("the generated fault rates are valid by construction")
+            };
+            let config = SimConfig::new(spec).with_latency(0.05).with_faults(plan);
+            let mut sim = Simulation::new(config);
+            let mut w = PoissonWorkload::from_theta(1.0, 0.4, seed ^ 0x5EED);
+            sim.run(&mut w, RunLimit::Requests(300))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.schedule, b.schedule);
+        prop_assert_eq!(a.counts, b.counts);
+        prop_assert_eq!(a.data_messages, b.data_messages);
+        prop_assert_eq!(a.control_messages, b.control_messages);
+        prop_assert_eq!(a.connections, b.connections);
+        prop_assert_eq!(a.disconnects, b.disconnects);
+        prop_assert_eq!(a.mc_crashes, b.mc_crashes);
+        prop_assert_eq!(a.reconciliations, b.reconciliations);
+        prop_assert_eq!(a.aborted_messages, b.aborted_messages);
+        prop_assert_eq!(a.reconciliation_messages, b.reconciliation_messages);
     }
 
     /// Workload determinism: the same seed replays the same arrivals, and

@@ -1,0 +1,50 @@
+//! Quick manual probe of the faulty-mode checker: state counts, timing and
+//! mutation catches at a given depth. Not part of the test suite.
+
+use mdr_core::PolicySpec;
+use mdr_verify::{check, CheckConfig, Fault};
+
+fn main() {
+    let depth: usize = std::env::args()
+        .nth(1)
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(12);
+    for spec in [
+        PolicySpec::SlidingWindow { k: 1 },
+        PolicySpec::SlidingWindow { k: 3 },
+        PolicySpec::St2,
+        PolicySpec::T2 { m: 2 },
+    ] {
+        let start = std::time::Instant::now();
+        let report = check(&CheckConfig::new(spec, depth).faulty());
+        println!(
+            "{spec:?}: states={} transitions={} verified={} in {:?}",
+            report.states,
+            report.transitions,
+            report.verified(),
+            start.elapsed()
+        );
+        if !report.verified() {
+            println!("  FIRST: {}", report.violations[0]);
+        }
+    }
+    for fault in [
+        Fault::LieAboutReplicaOnReconnect,
+        Fault::SkipRecoveryRefresh,
+        Fault::DropReconnect,
+    ] {
+        let spec = if fault == Fault::SkipRecoveryRefresh {
+            PolicySpec::St2
+        } else {
+            PolicySpec::SlidingWindow { k: 3 }
+        };
+        let report = check(&CheckConfig::new(spec, depth).faulty().with_fault(fault));
+        match report.violations.first() {
+            Some(v) => println!("{fault:?} on {spec:?}: caught as {}", v.invariant),
+            None => println!(
+                "{fault:?} on {spec:?}: NOT CAUGHT ({} states)",
+                report.states
+            ),
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The bounded model checker: exhaustive DFS over every interleaving of
-//! request arrivals, message deliveries and link-loss events, with
+//! request arrivals, message deliveries, link-loss events and — in faulty
+//! mode — disconnections, MC crashes and reconnection handshakes, with
 //! state-hash deduplication.
 //!
 //! The state space is the product of the [`ProtocolState`] transition
@@ -13,14 +14,23 @@
 //! * **message loss + ARQ retransmit** (lossy mode) — a transmission
 //!   attempt is lost and billed again; the protocol state is unchanged,
 //!   which is exactly the §3 claim that loss inflates the bill without
-//!   changing the actions.
+//!   changing the actions;
+//! * **doze** (faulty mode) — the link drops and comes back: any exchange
+//!   in flight is rolled back to its checkpoint and retried under the new
+//!   epoch, its billed attempts written off as aborted;
+//! * **MC crash, volatile or stable** (faulty mode) — as a doze, but the
+//!   aborted request parks in a retry slot while the reconnection
+//!   handshake (`Reconnect`/`ReconnectAck`) re-validates the replica; a
+//!   volatile crash additionally destroys the MC's replica and
+//!   window/streak bookkeeping, which the ledger invariant replays via
+//!   [`on_replica_lost`](mdr_core::AllocationPolicy::on_replica_lost).
 //!
 //! Every reached state passes the full [`invariants`](crate::invariants)
 //! suite. Deduplication merges states with identical protocol
-//! configuration, queue and bill: the abstract policy's replay state is a
-//! function of the node states for every family in the paper (window
-//! contents for SWk, streak counters for T1m/T2m, nothing for the statics),
-//! so merging is sound for the ledger invariant too.
+//! configuration, queue, retry slot and bill: the abstract policy's replay
+//! state is a function of the node states for every family in the paper
+//! (window contents for SWk, streak counters for T1m/T2m, nothing for the
+//! statics), so merging is sound for the ledger invariant too.
 
 use crate::invariants::{check_state, StateView, Violation};
 use mdr_core::{Action, CostModel, PolicySpec, Request};
@@ -42,6 +52,17 @@ pub enum Fault {
     /// Silently discard an in-flight delete-request (an unrecovered loss,
     /// as if the link-layer ARQ were broken).
     DropDeleteRequest,
+    /// Make the MC report its replica lost on reconnection even when it
+    /// survived in stable storage: the SC retracts its commitment and
+    /// reconstructs the window while the MC still holds both.
+    LieAboutReplicaOnReconnect,
+    /// Strip the re-shipped item from the reconnection acknowledgement
+    /// (ST2 recovery): the SC stays committed to a replica the MC never
+    /// re-caches.
+    SkipRecoveryRefresh,
+    /// Silently discard an in-flight reconnection announcement: the
+    /// handshake dangles with nothing to advance it.
+    DropReconnect,
 }
 
 /// One bounded-exploration job: a policy, a depth bound, and the modes.
@@ -61,13 +82,16 @@ pub struct CheckConfig {
     pub max_pending: usize,
     /// Maximum loss events explored along one path (lossy mode).
     pub max_losses: u8,
+    /// Maximum disconnection/crash events explored along one path (zero
+    /// disables the fault transitions).
+    pub max_faults: u8,
     /// Optional seeded mutation (checker self-test).
     pub fault: Option<Fault>,
 }
 
 impl CheckConfig {
-    /// A lossless exploration of `policy` to `depth`, pricing under both
-    /// cost models (connection, and message at ω = ½).
+    /// A lossless, fault-free exploration of `policy` to `depth`, pricing
+    /// under both cost models (connection, and message at ω = ½).
     pub fn new(policy: PolicySpec, depth: usize) -> Self {
         CheckConfig {
             policy,
@@ -76,6 +100,7 @@ impl CheckConfig {
             models: vec![CostModel::Connection, CostModel::message(0.5)],
             max_pending: 2,
             max_losses: 2,
+            max_faults: 0,
             fault: None,
         }
     }
@@ -84,6 +109,14 @@ impl CheckConfig {
     #[must_use]
     pub fn lossy(mut self) -> Self {
         self.lossy = true;
+        self
+    }
+
+    /// Enables disconnection, crash and reconnection-handshake transitions
+    /// (up to two faults per path).
+    #[must_use]
+    pub fn faulty(mut self) -> Self {
+        self.max_faults = 2;
         self
     }
 
@@ -104,6 +137,8 @@ pub struct CheckReport {
     pub depth: usize,
     /// Whether loss transitions were explored.
     pub lossy: bool,
+    /// Whether disconnect/crash transitions were explored.
+    pub faulty: bool,
     /// Deduplicated states reached (including the initial state).
     pub states: usize,
     /// Transitions applied (including ones into already-seen states).
@@ -119,17 +154,37 @@ impl CheckReport {
     }
 }
 
-/// The full checker state: protocol configuration × arrival queue ×
-/// billing counters. Equality/hashing over all of it drives deduplication.
+/// The full checker state: protocol configuration × arrival queue × retry
+/// slot × billing counters. Equality/hashing over all of it drives
+/// deduplication.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct State {
     protocol: ProtocolState,
     pending: VecDeque<Request>,
+    /// A request whose exchange an MC crash aborted, awaiting resubmission
+    /// once the reconnection handshake completes. It keeps its original
+    /// schedule slot — the retry serves the same serialized request.
+    retry: Option<Request>,
     billed_data: u64,
     billed_control: u64,
     retrans_data: u64,
     retrans_control: u64,
+    /// Billed attempts that belonged to exchanges a fault later aborted.
+    aborted_data: u64,
+    aborted_control: u64,
+    /// Billed reconnection-handshake attempts (serve no request).
+    recon_data: u64,
+    recon_control: u64,
+    /// At-risk tally for the exchange in flight: attempts billed so far
+    /// (and how many of them were ARQ retransmissions), moved to the
+    /// aborted bucket if a fault kills the exchange, discharged at
+    /// completion.
+    exch_data: u64,
+    exch_control: u64,
+    exch_retrans_data: u64,
+    exch_retrans_control: u64,
     losses_left: u8,
+    faults_left: u8,
 }
 
 impl State {
@@ -137,19 +192,90 @@ impl State {
         State {
             protocol: ProtocolState::new(config.policy),
             pending: VecDeque::new(),
+            retry: None,
             billed_data: 0,
             billed_control: 0,
             retrans_data: 0,
             retrans_control: 0,
+            aborted_data: 0,
+            aborted_control: 0,
+            recon_data: 0,
+            recon_control: 0,
+            exch_data: 0,
+            exch_control: 0,
+            exch_retrans_data: 0,
+            exch_retrans_control: 0,
             losses_left: config.max_losses,
+            faults_left: config.max_faults,
         }
     }
 
-    fn bill(&mut self, class: MessageClass) {
+    /// Bills one exchange transmission attempt (tracked at-risk until the
+    /// exchange completes or aborts).
+    fn bill_exchange(&mut self, class: MessageClass) {
         match class {
-            MessageClass::Data => self.billed_data += 1,
-            MessageClass::Control => self.billed_control += 1,
+            MessageClass::Data => {
+                self.billed_data += 1;
+                self.exch_data += 1;
+            }
+            MessageClass::Control => {
+                self.billed_control += 1;
+                self.exch_control += 1;
+            }
         }
+    }
+
+    /// Bills one reconnection-handshake transmission attempt.
+    fn bill_recon(&mut self, class: MessageClass) {
+        match class {
+            MessageClass::Data => {
+                self.billed_data += 1;
+                self.recon_data += 1;
+            }
+            MessageClass::Control => {
+                self.billed_control += 1;
+                self.recon_control += 1;
+            }
+        }
+    }
+
+    /// Bills a message in the right bucket for the protocol phase: the
+    /// handshake's replies are handshake traffic, everything else belongs
+    /// to the exchange in flight.
+    fn bill_sent(&mut self, class: MessageClass) {
+        if self.protocol.recovering() {
+            self.bill_recon(class);
+        } else {
+            self.bill_exchange(class);
+        }
+    }
+
+    /// Discharges the at-risk tally: the exchange completed, so its
+    /// attempts are accounted for by the ledger (plus the retransmission
+    /// counters, which already hold the lost ones).
+    fn settle_exchange(&mut self) {
+        self.exch_data = 0;
+        self.exch_control = 0;
+        self.exch_retrans_data = 0;
+        self.exch_retrans_control = 0;
+    }
+
+    /// Writes the at-risk tally off as aborted: the retry will bill its own
+    /// messages, and the lost attempts leave the retransmission counters
+    /// (they are aborted traffic now, not ledger inflation).
+    fn abort_exchange_billing(&mut self) {
+        self.aborted_data += self.exch_data;
+        self.aborted_control += self.exch_control;
+        self.retrans_data -= self.exch_retrans_data;
+        self.retrans_control -= self.exch_retrans_control;
+        self.settle_exchange();
+    }
+
+    /// Whether an arrival can begin service inline: the protocol is idle,
+    /// no handshake is in progress, and no aborted request is waiting for
+    /// its retry (FIFO: the retry is the oldest request).
+    fn can_submit(&self) -> bool {
+        self.protocol.idle() && !self.protocol.recovering() && self.retry.is_none()
     }
 }
 
@@ -158,87 +284,185 @@ enum Transition {
     Arrive(Request),
     Deliver,
     Lose,
+    /// The link drops and immediately recovers: abort + rollback + retry.
+    Doze,
+    /// The MC crashes and reboots; reconnection runs the handshake.
+    Crash {
+        volatile: bool,
+    },
 }
 
 fn enabled(config: &CheckConfig, state: &State) -> Vec<Transition> {
-    let mut transitions = Vec::with_capacity(4);
+    let mut transitions = Vec::with_capacity(7);
     if !state.protocol.wire().is_empty() {
         transitions.push(Transition::Deliver);
         if config.lossy && state.losses_left > 0 {
             transitions.push(Transition::Lose);
         }
     }
-    if state.protocol.idle() || state.pending.len() < config.max_pending {
+    if state.can_submit() || state.pending.len() < config.max_pending {
         transitions.push(Transition::Arrive(Request::Read));
         transitions.push(Transition::Arrive(Request::Write));
+    }
+    if state.faults_left > 0 {
+        transitions.push(Transition::Doze);
+        transitions.push(Transition::Crash { volatile: false });
+        transitions.push(Transition::Crash { volatile: true });
     }
     transitions
 }
 
-/// Applies `transition`, appending served requests to `schedule` and
-/// completed actions to `actions`; returns how many entries each gained so
-/// the DFS can backtrack.
+/// How many trace entries one [`apply`] call appended, so the DFS can
+/// backtrack.
+#[derive(Debug, Clone, Copy, Default)]
+struct Applied {
+    served: usize,
+    completed: usize,
+    resets: usize,
+}
+
+/// Submits `request` to an idle protocol, billing a sent message or
+/// recording an inline completion.
+fn submit(state: &mut State, request: Request, actions: &mut Vec<Action>, applied: &mut Applied) {
+    match state.protocol.submit(request) {
+        StepOutcome::Completed(action) => {
+            actions.push(action);
+            applied.completed += 1;
+        }
+        StepOutcome::Sent(envelope) => state.bill_exchange(envelope.message.class()),
+        StepOutcome::Reconciled => unreachable!("submit never reconciles"),
+    }
+}
+
+/// Drains the FIFO queue while the protocol stays idle, exactly as the
+/// simulator's event loop does: inline completions must not stall it.
+fn drain_queue(
+    state: &mut State,
+    schedule: &mut Vec<Request>,
+    actions: &mut Vec<Action>,
+    applied: &mut Applied,
+) {
+    while state.can_submit() {
+        let Some(next) = state.pending.pop_front() else {
+            break;
+        };
+        schedule.push(next);
+        applied.served += 1;
+        submit(state, next, actions, applied);
+    }
+}
+
+/// Applies `transition`, appending served requests to `schedule`, completed
+/// actions to `actions` and volatile-crash points to `resets`; returns how
+/// many entries each gained so the DFS can backtrack.
 fn apply(
     config: &CheckConfig,
     state: &mut State,
     transition: Transition,
     schedule: &mut Vec<Request>,
     actions: &mut Vec<Action>,
-) -> (usize, usize) {
-    let (mut served, mut completed) = (0, 0);
+    resets: &mut Vec<usize>,
+) -> Applied {
+    let mut applied = Applied::default();
     match transition {
         Transition::Arrive(request) => {
-            if state.protocol.idle() {
+            if state.can_submit() {
                 debug_assert!(state.pending.is_empty(), "queue drains at completion");
                 schedule.push(request);
-                served += 1;
-                match state.protocol.submit(request) {
-                    StepOutcome::Completed(action) => {
-                        actions.push(action);
-                        completed += 1;
-                    }
-                    StepOutcome::Sent(envelope) => state.bill(envelope.message.class()),
-                }
+                applied.served += 1;
+                submit(state, request, actions, &mut applied);
             } else {
                 state.pending.push_back(request);
             }
         }
         Transition::Deliver => match state.protocol.deliver(0) {
-            StepOutcome::Sent(envelope) => state.bill(envelope.message.class()),
+            StepOutcome::Sent(envelope) => state.bill_sent(envelope.message.class()),
             StepOutcome::Completed(action) => {
                 actions.push(action);
-                completed += 1;
-                // Drain the queue exactly as the event loop does: inline
-                // completions must not stall it.
-                while state.protocol.idle() {
-                    let Some(next) = state.pending.pop_front() else {
-                        break;
-                    };
-                    schedule.push(next);
-                    served += 1;
-                    match state.protocol.submit(next) {
-                        StepOutcome::Completed(action) => {
-                            actions.push(action);
-                            completed += 1;
-                        }
-                        StepOutcome::Sent(envelope) => state.bill(envelope.message.class()),
-                    }
+                applied.completed += 1;
+                state.settle_exchange();
+                drain_queue(state, schedule, actions, &mut applied);
+            }
+            StepOutcome::Reconciled => {
+                // The handshake completed: the aborted request (if any)
+                // resumes first — it keeps its original schedule slot — and
+                // then the queue drains.
+                if let Some(request) = state.retry.take() {
+                    submit(state, request, actions, &mut applied);
                 }
+                drain_queue(state, schedule, actions, &mut applied);
             }
         },
         Transition::Lose => {
             debug_assert!(state.losses_left > 0);
             state.losses_left -= 1;
             let class = state.protocol.wire()[0].message.class();
-            state.bill(class);
-            match class {
-                MessageClass::Data => state.retrans_data += 1,
-                MessageClass::Control => state.retrans_control += 1,
+            if state.protocol.recovering() {
+                // A lost handshake attempt is retransmitted and billed as
+                // more handshake traffic.
+                state.bill_recon(class);
+            } else {
+                state.bill_exchange(class);
+                match class {
+                    MessageClass::Data => {
+                        state.retrans_data += 1;
+                        state.exch_retrans_data += 1;
+                    }
+                    MessageClass::Control => {
+                        state.retrans_control += 1;
+                        state.exch_retrans_control += 1;
+                    }
+                }
             }
+        }
+        Transition::Doze => {
+            debug_assert!(state.faults_left > 0);
+            state.faults_left -= 1;
+            let aborted = state.protocol.disconnect();
+            state.protocol.reconnect();
+            if aborted.is_some() {
+                state.abort_exchange_billing();
+            }
+            if state.protocol.recovering() {
+                // The doze destroyed an in-flight handshake: restart it
+                // under the new epoch (any volatile loss was already
+                // applied when the handshake began).
+                restart_handshake(state, false);
+            } else if let Some(request) = aborted {
+                // Retry the rolled-back request under the new epoch; it
+                // keeps its original schedule slot.
+                submit(state, request, actions, &mut applied);
+                drain_queue(state, schedule, actions, &mut applied);
+            }
+        }
+        Transition::Crash { volatile } => {
+            debug_assert!(state.faults_left > 0);
+            state.faults_left -= 1;
+            if let Some(request) = state.protocol.disconnect() {
+                state.abort_exchange_billing();
+                debug_assert!(state.retry.is_none(), "at most one exchange in flight");
+                state.retry = Some(request);
+            }
+            state.protocol.reconnect();
+            if volatile {
+                // The replay oracle loses its volatile state at exactly
+                // this many completed actions (see the ledger invariant).
+                resets.push(actions.len());
+                applied.resets += 1;
+            }
+            restart_handshake(state, volatile);
         }
     }
     inject_fault(config, state);
-    (served, completed)
+    applied
+}
+
+/// Starts (or restarts) the reconnection handshake and bills the announce.
+fn restart_handshake(state: &mut State, volatile: bool) {
+    match state.protocol.begin_reconciliation(volatile) {
+        StepOutcome::Sent(envelope) => state.bill_recon(envelope.message.class()),
+        _ => unreachable!("the reconnection announce always goes on the wire"),
+    }
 }
 
 /// Seeds the configured fault into the in-flight message, if it matches.
@@ -270,6 +494,24 @@ fn inject_fault(config: &CheckConfig, state: &mut State) {
                 let _ = state.protocol.drop_in_flight(0);
             }
         }
+        Fault::LieAboutReplicaOnReconnect => state.protocol.tamper_in_flight(0, |envelope| {
+            if let WireMessage::Reconnect { cached_version, .. } = &mut envelope.message {
+                *cached_version = None;
+            }
+        }),
+        Fault::SkipRecoveryRefresh => state.protocol.tamper_in_flight(0, |envelope| {
+            if let WireMessage::ReconnectAck { refresh, .. } = &mut envelope.message {
+                *refresh = None;
+            }
+        }),
+        Fault::DropReconnect => {
+            if matches!(
+                state.protocol.wire()[0].message,
+                WireMessage::Reconnect { .. }
+            ) {
+                let _ = state.protocol.drop_in_flight(0);
+            }
+        }
     }
 }
 
@@ -279,6 +521,7 @@ pub fn check(config: &CheckConfig) -> CheckReport {
         policy: config.policy,
         depth: config.depth,
         lossy: config.lossy,
+        faulty: config.max_faults > 0,
         states: 1,
         transitions: 0,
         violations: Vec::new(),
@@ -287,7 +530,8 @@ pub fn check(config: &CheckConfig) -> CheckReport {
     let mut seen = HashSet::new();
     let mut schedule = Vec::new();
     let mut actions = Vec::new();
-    verify_state(config, &initial, &schedule, &actions, &mut report);
+    let mut resets = Vec::new();
+    verify_state(config, &initial, &schedule, &actions, &resets, &mut report);
     seen.insert(initial.clone());
     dfs(
         config,
@@ -296,6 +540,7 @@ pub fn check(config: &CheckConfig) -> CheckReport {
         &mut seen,
         &mut schedule,
         &mut actions,
+        &mut resets,
         &mut report,
     );
     report
@@ -306,16 +551,22 @@ fn verify_state(
     state: &State,
     schedule: &[Request],
     actions: &[Action],
+    resets: &[usize],
     report: &mut CheckReport,
 ) {
     let view = StateView {
         protocol: &state.protocol,
         schedule,
         actions,
+        resets,
         billed_data: state.billed_data,
         billed_control: state.billed_control,
         retrans_data: state.retrans_data,
         retrans_control: state.retrans_control,
+        aborted_data: state.aborted_data,
+        aborted_control: state.aborted_control,
+        recon_data: state.recon_data,
+        recon_control: state.recon_control,
         models: &config.models,
     };
     if let Err(violation) = check_state(&view) {
@@ -323,6 +574,7 @@ fn verify_state(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     config: &CheckConfig,
     state: &State,
@@ -330,6 +582,7 @@ fn dfs(
     seen: &mut HashSet<State>,
     schedule: &mut Vec<Request>,
     actions: &mut Vec<Action>,
+    resets: &mut Vec<usize>,
     report: &mut CheckReport,
 ) {
     if depth == config.depth || !report.violations.is_empty() {
@@ -337,15 +590,25 @@ fn dfs(
     }
     for transition in enabled(config, state) {
         let mut child = state.clone();
-        let (served, completed) = apply(config, &mut child, transition, schedule, actions);
+        let applied = apply(config, &mut child, transition, schedule, actions, resets);
         report.transitions += 1;
-        verify_state(config, &child, schedule, actions, report);
+        verify_state(config, &child, schedule, actions, resets, report);
         if report.violations.is_empty() && seen.insert(child.clone()) {
             report.states += 1;
-            dfs(config, &child, depth + 1, seen, schedule, actions, report);
+            dfs(
+                config,
+                &child,
+                depth + 1,
+                seen,
+                schedule,
+                actions,
+                resets,
+                report,
+            );
         }
-        schedule.truncate(schedule.len() - served);
-        actions.truncate(actions.len() - completed);
+        schedule.truncate(schedule.len() - applied.served);
+        actions.truncate(actions.len() - applied.completed);
+        resets.truncate(resets.len() - applied.resets);
         if !report.violations.is_empty() {
             return;
         }
@@ -376,4 +639,16 @@ pub fn sweep(depth: usize) -> Vec<CheckReport> {
         reports.push(check(&CheckConfig::new(policy, depth).lossy()));
     }
     reports
+}
+
+/// Explores every roster policy with disconnect/crash/reconnect
+/// transitions enabled, to `depth`; returns one report per policy. Kept
+/// separate from [`sweep`] because the fault transitions multiply the
+/// state space (epoch bumps defeat deduplication across fault counts), so
+/// faulty runs use a smaller depth in practice.
+pub fn faulty_sweep(depth: usize) -> Vec<CheckReport> {
+    default_roster()
+        .into_iter()
+        .map(|policy| check(&CheckConfig::new(policy, depth).faulty()))
+        .collect()
 }

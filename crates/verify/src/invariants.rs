@@ -25,10 +25,21 @@
 //! * **Ledger = replay** (§3/§5/§6): at every quiescent state the action
 //!   ledger, the per-class message bill and both cost models' totals equal
 //!   a replay of the serialized schedule through the abstract
-//!   [`AllocationPolicy`](mdr_core::AllocationPolicy).
-//! * **No deadlock**: an exchange in progress always has a message in
-//!   flight to advance it (the link-layer ARQ makes loss invisible; an
-//!   *unrecovered* loss is a protocol bug and must be detected).
+//!   [`AllocationPolicy`](mdr_core::AllocationPolicy) — with the oracle's
+//!   [`on_replica_lost`](mdr_core::AllocationPolicy::on_replica_lost) hook
+//!   applied at every recorded volatile-crash point, and the bill allowing
+//!   exactly the aborted and reconnection-handshake traffic the faults
+//!   caused.
+//! * **No deadlock**: an exchange or reconnection handshake in progress
+//!   always has a message in flight to advance it (the link-layer ARQ
+//!   makes loss invisible; an *unrecovered* loss is a protocol bug and
+//!   must be detected).
+//!
+//! The fault extension adds one more transient to each structural
+//! invariant: while a reconnection handshake is re-validating a replica a
+//! volatile crash destroyed, the SC's stale commitment stands in for the
+//! lost replica (agreement) and for the lost window charge (ownership)
+//! until the handshake retracts or refreshes it.
 
 use mdr_core::{approx_eq, Action, ActionCounts, CostModel, PolicySpec, Request};
 use mdr_sim::{Endpoint, Envelope, ProtocolState, WireMessage};
@@ -96,6 +107,12 @@ pub struct StateView<'a> {
     pub schedule: &'a [Request],
     /// The actions the protocol completed, in order.
     pub actions: &'a [Action],
+    /// Volatile-crash points: for each, the number of completed actions at
+    /// the moment the crash destroyed the MC's volatile state. The replay
+    /// oracle applies
+    /// [`on_replica_lost`](mdr_core::AllocationPolicy::on_replica_lost) at
+    /// exactly these indices. Ascending.
+    pub resets: &'a [usize],
     /// Data-message transmission attempts billed so far.
     pub billed_data: u64,
     /// Control-message transmission attempts billed so far.
@@ -104,6 +121,14 @@ pub struct StateView<'a> {
     pub retrans_data: u64,
     /// Billed control-message attempts that were lost and repeated (ARQ).
     pub retrans_control: u64,
+    /// Billed data-message attempts on exchanges a fault aborted.
+    pub aborted_data: u64,
+    /// Billed control-message attempts on exchanges a fault aborted.
+    pub aborted_control: u64,
+    /// Billed data-message attempts of reconnection handshakes.
+    pub recon_data: u64,
+    /// Billed control-message attempts of reconnection handshakes.
+    pub recon_control: u64,
     /// The cost models under which the ledger is priced and compared.
     pub models: &'a [CostModel],
 }
@@ -159,49 +184,66 @@ pub fn check_state(view: &StateView<'_>) -> Result<(), Violation> {
         ));
     }
 
-    // Deadlock-freedom: an exchange mid-flight must have a message to
-    // advance it (only an unrecovered loss can break this).
-    if p.serving().is_some() && p.wire().is_empty() {
+    // Deadlock-freedom: an exchange or handshake mid-flight must have a
+    // message to advance it (only an unrecovered loss can break this).
+    if (p.serving().is_some() || p.recovering()) && p.wire().is_empty() {
         return Err(violation(
             Invariant::NoDeadlock,
             format!(
-                "exchange for {:?} dangling with nothing in flight",
-                p.serving()
+                "{} dangling with nothing in flight",
+                if p.recovering() {
+                    "reconnection handshake".to_owned()
+                } else {
+                    format!("exchange for {:?}", p.serving())
+                }
             ),
         ));
     }
 
     // Replica agreement: the sides disagree exactly while one ownership
-    // transfer is in flight.
+    // transfer is in flight — or while a reconnection handshake is
+    // retracting (or refreshing) the SC's commitment to a replica a
+    // volatile crash destroyed.
     let transfers = p.wire().iter().filter(|e| transfers_ownership(e)).count();
+    let retracting = p.recovering() && p.sc().mc_has_copy() && !p.mc().has_copy();
     let agree = p.sc().mc_has_copy() == p.mc().has_copy();
-    if agree != (transfers == 0) {
+    if agree != (transfers == 0 && !retracting) {
         return Err(violation(
             Invariant::ReplicaAgreement,
             format!(
-                "SC commitment {} vs MC cache {} with {} transfer(s) in flight",
+                "SC commitment {} vs MC cache {} with {} transfer(s) in flight (recovering {})",
                 p.sc().mc_has_copy(),
                 p.mc().has_copy(),
-                transfers
+                transfers,
+                p.recovering()
             ),
         ));
     }
 
-    // Single window owner (window policies only, §4).
+    // Single window owner (window policies only, §4). During a
+    // reconnection handshake, a commitment awaiting retraction stands in
+    // for the window charge the crash destroyed: the SC reconstructs the
+    // §4 cold-start window the moment the announce arrives.
     if matches!(p.policy(), PolicySpec::SlidingWindow { .. }) {
         let revoked = p.wire().iter().any(revokes_mc);
         let mc_owns = p.mc().in_charge() && !revoked;
         let in_flight_owners = p.wire().iter().filter(|e| carries_window(e)).count();
-        let owners = usize::from(p.sc().in_charge()) + usize::from(mc_owns) + in_flight_owners;
+        let recovery_owner = p.recovering() && p.sc().mc_has_copy() && !p.mc().in_charge();
+        let owners = usize::from(p.sc().in_charge())
+            + usize::from(mc_owns)
+            + in_flight_owners
+            + usize::from(recovery_owner);
         if owners != 1 {
             return Err(violation(
                 Invariant::SingleWindowOwner,
                 format!(
-                    "{owners} logical window owners (SC {}, MC {}, revoked {}, in flight {})",
+                    "{owners} logical window owners (SC {}, MC {}, revoked {}, in flight {}, \
+                     recovery {})",
                     p.sc().in_charge(),
                     p.mc().in_charge(),
                     revoked,
-                    in_flight_owners
+                    in_flight_owners,
+                    recovery_owner
                 ),
             ));
         }
@@ -228,8 +270,9 @@ pub fn check_state(view: &StateView<'_>) -> Result<(), Violation> {
     }
 
     // Ledger = replay (quiescent states only: mid-exchange the in-flight
-    // request is in the schedule but not yet in the ledger).
-    if p.serving().is_none() && p.wire().is_empty() {
+    // request is in the schedule but not yet in the ledger, and
+    // mid-handshake an aborted request may be parked for retry).
+    if p.serving().is_none() && p.wire().is_empty() && !p.recovering() {
         check_ledger(view).map_err(|(invariant, detail)| violation(invariant, detail))?;
     }
 
@@ -237,7 +280,8 @@ pub fn check_state(view: &StateView<'_>) -> Result<(), Violation> {
 }
 
 /// The quiescent-state accounting checks: replay the serialized schedule
-/// through the abstract policy and compare actions, allocation state, the
+/// through the abstract policy — applying the volatile-crash hook at every
+/// recorded reset point — and compare actions, allocation state, the
 /// per-class message bill, and both cost models' totals.
 fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
     let p = view.protocol;
@@ -254,7 +298,11 @@ fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
 
     let mut oracle = p.policy().build();
     let mut replayed = ActionCounts::default();
+    let mut resets = view.resets.iter().peekable();
     for (i, (&req, &action)) in view.schedule.iter().zip(view.actions).enumerate() {
+        while resets.next_if(|&&at| at <= i).is_some() {
+            oracle.on_replica_lost();
+        }
         let expected = oracle.on_request(req);
         replayed.record(expected);
         if action != expected {
@@ -263,6 +311,10 @@ fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
                 format!("request {i} ({req:?}): protocol did {action}, policy does {expected}"),
             ));
         }
+    }
+    // Crashes after the last completed action still reset the oracle.
+    for _ in resets {
+        oracle.on_replica_lost();
     }
     if oracle.has_copy() != p.mc().has_copy() {
         return Err((
@@ -282,20 +334,31 @@ fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
         ));
     }
     // The message bill equals the ledger-derived count plus the ARQ
-    // retransmissions (loss inflates the bill without changing actions).
-    if view.billed_data != counts.data_messages() + view.retrans_data
-        || view.billed_control != counts.control_messages() + view.retrans_control
+    // retransmissions (loss inflates the bill without changing actions),
+    // the attempts faults aborted, and the reconnection-handshake traffic.
+    if view.billed_data
+        != counts.data_messages() + view.retrans_data + view.aborted_data + view.recon_data
+        || view.billed_control
+            != counts.control_messages()
+                + view.retrans_control
+                + view.aborted_control
+                + view.recon_control
     {
         return Err((
             Invariant::LedgerEqualsReplay,
             format!(
-                "bill {}d+{}c differs from ledger {}d+{}c plus retransmissions {}d+{}c",
+                "bill {}d+{}c differs from ledger {}d+{}c plus retransmissions {}d+{}c, \
+                 aborted {}d+{}c and handshakes {}d+{}c",
                 view.billed_data,
                 view.billed_control,
                 counts.data_messages(),
                 counts.control_messages(),
                 view.retrans_data,
-                view.retrans_control
+                view.retrans_control,
+                view.aborted_data,
+                view.aborted_control,
+                view.recon_data,
+                view.recon_control
             ),
         ));
     }

@@ -9,11 +9,13 @@
 //! The checker drives the same [`ProtocolState`](mdr_sim::ProtocolState)
 //! transition relation the discrete-event simulator uses — not a model of
 //! the protocol but the protocol itself — and exhaustively explores every
-//! interleaving of request arrivals at both nodes, message deliveries, and
-//! (in lossy mode) link-loss events with ARQ retransmission, deduplicating
-//! by full state hash. Every reached state is judged by the transient-aware
-//! invariant suite in [`invariants`]; see that module for the exact
-//! formulations.
+//! interleaving of request arrivals at both nodes, message deliveries,
+//! (in lossy mode) link-loss events with ARQ retransmission, and (in
+//! faulty mode) disconnections, MC crashes — volatile and stable — and the
+//! reconnection handshake that re-validates the replica, deduplicating by
+//! full state hash. Every reached state is judged by the transient-aware
+//! invariant suite ([`check_state`], [`Invariant`]); see
+//! `src/invariants.rs` for the exact formulations.
 //!
 //! ```
 //! use mdr_core::PolicySpec;
@@ -30,7 +32,7 @@
 mod checker;
 mod invariants;
 
-pub use checker::{check, default_roster, sweep, CheckConfig, CheckReport, Fault};
+pub use checker::{check, default_roster, faulty_sweep, sweep, CheckConfig, CheckReport, Fault};
 pub use invariants::{check_state, Invariant, StateView, Violation};
 
 #[cfg(test)]
@@ -152,5 +154,98 @@ mod tests {
         let sw3 = check(&CheckConfig::new(PolicySpec::SlidingWindow { k: 3 }, 10));
         assert!(st1.verified() && sw3.verified());
         assert!(st1.states < sw3.states);
+    }
+
+    /// Fault acceptance: every roster policy — SW1 and SW3 included —
+    /// verifies all invariants under both cost models when disconnections,
+    /// volatile/stable MC crashes and reconnection handshakes are woven
+    /// into every interleaving.
+    #[test]
+    fn faulty_sweep_verifies_at_depth_12() {
+        let reports = faulty_sweep(12);
+        assert_eq!(reports.len(), 7);
+        for report in &reports {
+            assert!(report.faulty);
+            assert!(
+                report.verified(),
+                "{:?} under faults found violations: {:?}",
+                report.policy,
+                report.violations
+            );
+            assert!(
+                report.states > 1_000,
+                "{:?} explored too little",
+                report.policy
+            );
+        }
+    }
+
+    /// Fault transitions strictly enlarge the state space: epoch bumps,
+    /// retry slots and the aborted/handshake bill distinguish
+    /// otherwise-identical protocol states.
+    #[test]
+    fn fault_transitions_enlarge_the_state_space() {
+        let policy = PolicySpec::SlidingWindow { k: 3 };
+        let clean = check(&CheckConfig::new(policy, 10));
+        let faulty = check(&CheckConfig::new(policy, 10).faulty());
+        assert!(clean.verified() && faulty.verified());
+        assert!(
+            faulty.states > clean.states,
+            "faulty {} vs clean {}",
+            faulty.states,
+            clean.states
+        );
+    }
+
+    /// Mutation self-test: an MC that reports its replica lost on
+    /// reconnection while it actually survived makes the SC retract a
+    /// commitment that is still live — caught as a replica-agreement
+    /// violation.
+    #[test]
+    fn lying_reconnect_announce_is_caught() {
+        let config = CheckConfig::new(PolicySpec::SlidingWindow { k: 3 }, 10)
+            .faulty()
+            .with_fault(Fault::LieAboutReplicaOnReconnect);
+        let report = check(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(report.violations[0].invariant, Invariant::ReplicaAgreement);
+    }
+
+    /// Mutation self-test: stripping the re-shipped item from ST2's
+    /// recovery acknowledgement leaves the SC committed to a replica the
+    /// MC never re-caches — caught as a replica-agreement violation at the
+    /// first post-recovery quiescence.
+    #[test]
+    fn skipped_recovery_refresh_is_caught() {
+        let config = CheckConfig::new(PolicySpec::St2, 10)
+            .faulty()
+            .with_fault(Fault::SkipRecoveryRefresh);
+        let report = check(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(report.violations[0].invariant, Invariant::ReplicaAgreement);
+    }
+
+    /// Mutation self-test: silently dropping the reconnection announce
+    /// leaves the handshake dangling — caught as a deadlock.
+    #[test]
+    fn dropped_reconnect_announce_is_caught() {
+        let config = CheckConfig::new(PolicySpec::SlidingWindow { k: 1 }, 10)
+            .faulty()
+            .with_fault(Fault::DropReconnect);
+        let report = check(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(report.violations[0].invariant, Invariant::NoDeadlock);
     }
 }

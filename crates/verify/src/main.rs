@@ -1,29 +1,53 @@
 //! `mdr-verify` — run the bounded model checker across the policy roster.
 //!
 //! ```text
-//! mdr-verify [--depth N] [--policy SPEC] [--lossless-only]
+//! mdr-verify [--depth N] [--policy SPEC] [--lossless-only] [--faults [DEPTH]]
 //! ```
 //!
 //! Explores every interleaving of arrivals, deliveries and losses to the
 //! requested depth for each roster policy, printing one row per run.
-//! Exits non-zero if any run finds a counterexample.
+//! With `--faults`, a third pass per policy additionally interleaves
+//! disconnections, volatile/stable MC crashes and the reconnection
+//! handshake; the optional `DEPTH` bounds that pass separately (faulty
+//! exploration is denser — epoch bumps defeat cross-fault dedup — so it
+//! defaults to `min(depth, 12)`). Exits non-zero if any run finds a
+//! counterexample.
 
 use mdr_verify::{check, default_roster, CheckConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only]"
+        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]]"
     );
     std::process::exit(2);
+}
+
+/// One checker run, printed as a table row; returns (states, verified).
+fn run_one(config: &CheckConfig, mode: &str) -> (usize, bool) {
+    let report = check(config);
+    let result = if report.verified() {
+        "ok".to_string()
+    } else {
+        format!("VIOLATION: {}", report.violations[0])
+    };
+    println!(
+        "{:<12} {:<9} {:>12} {:>12}  {result}",
+        report.policy.to_string(),
+        mode,
+        report.states,
+        report.transitions
+    );
+    (report.states, report.verified())
 }
 
 fn main() -> ExitCode {
     let mut depth = 18usize;
     let mut only_policy = None;
     let mut lossless_only = false;
+    let mut faults: Option<usize> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--depth" => {
@@ -36,6 +60,16 @@ fn main() -> ExitCode {
                 only_policy = Some(value);
             }
             "--lossless-only" => lossless_only = true,
+            "--faults" => {
+                // Optional depth operand: `--faults 10` or bare `--faults`.
+                match args.peek().and_then(|v| v.parse().ok()) {
+                    Some(value) => {
+                        args.next();
+                        faults = Some(value);
+                    }
+                    None => faults = Some(depth.min(12)),
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -73,22 +107,15 @@ fn main() -> ExitCode {
             if lossy {
                 config = config.lossy();
             }
-            let report = check(&config);
-            total_states += report.states;
-            let mode = if lossy { "lossy" } else { "lossless" };
-            let result = if report.verified() {
-                "ok".to_string()
-            } else {
-                failed = true;
-                format!("VIOLATION: {}", report.violations[0])
-            };
-            println!(
-                "{:<12} {:<9} {:>12} {:>12}  {result}",
-                report.policy.to_string(),
-                mode,
-                report.states,
-                report.transitions
-            );
+            let (states, ok) = run_one(&config, if lossy { "lossy" } else { "lossless" });
+            total_states += states;
+            failed |= !ok;
+        }
+        if let Some(fault_depth) = faults {
+            let config = CheckConfig::new(policy, fault_depth).faulty();
+            let (states, ok) = run_one(&config, "faulty");
+            total_states += states;
+            failed |= !ok;
         }
     }
     println!("total deduplicated states at depth {depth}: {total_states}");

@@ -20,7 +20,10 @@ use mobile_replication::sim::PoissonWorkload;
 fn run(spec: PolicySpec, loss: f64) -> SimReport {
     let mut config = SimConfig::new(spec);
     if loss > 0.0 {
-        config = config.with_loss(loss, 0.05, 0xBAD);
+        let Ok(lossy) = config.with_loss(loss, 0.05, 0xBAD) else {
+            unreachable!("example loss grid is valid by construction")
+        };
+        config = lossy;
     }
     let mut sim = Simulation::new(config);
     let mut workload = PoissonWorkload::from_theta(1.0, 0.35, 4242);
