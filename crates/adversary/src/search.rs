@@ -4,10 +4,23 @@
 //! which upgrades the random search into a *proof by enumeration* that no
 //! short schedule violates a claimed competitive factor, and locates the
 //! exact short-horizon worst case.
+//!
+//! The enumeration fans out over the sweep engine's
+//! [`parallel_map`](mdr_sim::sweep::parallel_map): each length level is
+//! split into fixed bit-ranges of the schedule space, workers race for
+//! ranges, and the per-range partial results are folded back **in range
+//! order** with strict-maximum comparisons — so the reported worst
+//! schedule, ratio, and examined count are identical to a serial sweep at
+//! any thread count.
 
 use crate::opt::opt_cost_from;
 use crate::ratio::RatioReport;
 use mdr_core::{approx_eq, run_spec, CostModel, PolicySpec, Schedule};
+use mdr_sim::sweep::parallel_map;
+
+/// Schedules per parallel work item: coarse enough that thread handoff is
+/// noise, fine enough that 4 cores stay busy from length ~14 up.
+const CHUNK: u64 = 1 << 12;
 
 /// Result of an exhaustive sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,40 +48,69 @@ pub fn exhaustive_search(spec: PolicySpec, model: CostModel, max_len: usize) -> 
 }
 
 /// [`exhaustive_search`] for an arbitrary policy constructor — each
-/// schedule gets a fresh instance from `factory`.
+/// schedule gets a fresh instance from `factory` (`Sync` because workers
+/// call it concurrently).
+///
+/// Ties on the ratio keep the first schedule in enumeration order
+/// (shorter length, then lower bits): replacement requires a strictly
+/// larger ratio, which makes the chunked parallel fold agree with the
+/// serial scan exactly.
 pub fn exhaustive_search_policy<F>(factory: F, model: CostModel, max_len: usize) -> SearchOutcome
 where
-    F: Fn() -> Box<dyn mdr_core::AllocationPolicy>,
+    F: Fn() -> Box<dyn mdr_core::AllocationPolicy> + Sync,
 {
     assert!((1..=22).contains(&max_len), "max_len must be in 1..=22");
     let mut worst: Option<(Schedule, RatioReport)> = None;
     let mut unbounded_witness_cost = 0.0f64;
     let mut examined = 0u64;
     for len in 1..=max_len {
-        for bits in 0u64..(1 << len) {
-            let schedule = Schedule::from_bits(bits, len);
-            let mut policy = factory();
-            let initial_copy = policy.has_copy();
-            let policy_cost = mdr_core::run_policy(policy.as_mut(), &schedule, model).total_cost;
-            let opt = opt_cost_from(&schedule, model, initial_copy);
-            examined += 1;
-            if approx_eq(opt, 0.0) {
-                unbounded_witness_cost = unbounded_witness_cost.max(policy_cost);
-                continue;
+        let total = 1u64 << len;
+        let chunks = total.div_ceil(CHUNK) as usize;
+        let partials = parallel_map(chunks, 0, 1, |chunk_index| {
+            let start = chunk_index as u64 * CHUNK;
+            let end = (start + CHUNK).min(total);
+            let mut local_worst: Option<(u64, RatioReport)> = None;
+            let mut local_unbounded = 0.0f64;
+            for bits in start..end {
+                let schedule = Schedule::from_bits(bits, len);
+                let mut policy = factory();
+                let initial_copy = policy.has_copy();
+                let policy_cost =
+                    mdr_core::run_policy(policy.as_mut(), &schedule, model).total_cost;
+                let opt = opt_cost_from(&schedule, model, initial_copy);
+                if approx_eq(opt, 0.0) {
+                    local_unbounded = local_unbounded.max(policy_cost);
+                    continue;
+                }
+                let ratio = policy_cost / opt;
+                let improves = local_worst
+                    .as_ref()
+                    .is_none_or(|(_, w)| ratio > w.ratio.unwrap_or(0.0));
+                if improves {
+                    local_worst = Some((
+                        bits,
+                        RatioReport {
+                            policy_cost,
+                            opt_cost: opt,
+                            ratio: Some(ratio),
+                        },
+                    ));
+                }
             }
-            let ratio = policy_cost / opt;
-            let improves = worst
-                .as_ref()
-                .is_none_or(|(_, w)| ratio > w.ratio.unwrap_or(0.0) + 1e-12);
-            if improves {
-                worst = Some((
-                    schedule,
-                    RatioReport {
-                        policy_cost,
-                        opt_cost: opt,
-                        ratio: Some(ratio),
-                    },
-                ));
+            (local_worst, local_unbounded, end - start)
+        });
+        // Sequential fold in chunk order: first-found strict maxima are
+        // associative over ordered chunks, so this equals the serial scan.
+        for (local_worst, local_unbounded, count) in partials {
+            examined += count;
+            unbounded_witness_cost = unbounded_witness_cost.max(local_unbounded);
+            if let Some((bits, report)) = local_worst {
+                let improves = worst
+                    .as_ref()
+                    .is_none_or(|(_, w)| report.ratio.unwrap_or(0.0) > w.ratio.unwrap_or(0.0));
+                if improves {
+                    worst = Some((Schedule::from_bits(bits, len), report));
+                }
             }
         }
     }
@@ -97,15 +139,24 @@ pub fn verify_factor(
     let initial_copy = spec.build().has_copy();
     let mut examined = 0u64;
     for len in 1..=max_len {
-        for bits in 0u64..(1 << len) {
-            let schedule = Schedule::from_bits(bits, len);
-            let policy_cost = run_spec(spec, &schedule, model).total_cost;
-            let opt = opt_cost_from(&schedule, model, initial_copy);
-            examined += 1;
-            if policy_cost > factor * opt + slack + 1e-9 {
-                return Err(schedule);
-            }
+        let total = 1u64 << len;
+        let chunks = total.div_ceil(CHUNK) as usize;
+        let violations = parallel_map(chunks, 0, 1, |chunk_index| {
+            let start = chunk_index as u64 * CHUNK;
+            let end = (start + CHUNK).min(total);
+            (start..end).find(|&bits| {
+                let schedule = Schedule::from_bits(bits, len);
+                let policy_cost = run_spec(spec, &schedule, model).total_cost;
+                let opt = opt_cost_from(&schedule, model, initial_copy);
+                policy_cost > factor * opt + slack + 1e-9
+            })
+        });
+        // Chunks are folded in order, so the reported witness is the first
+        // violation in enumeration order, same as a serial scan.
+        if let Some(bits) = violations.into_iter().flatten().next() {
+            return Err(Schedule::from_bits(bits, len));
         }
+        examined += total;
     }
     Ok(examined)
 }

@@ -3,18 +3,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mdr_core::PolicySpec;
-use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, Simulation};
+use mdr_sim::{PoissonWorkload, RunLimit, SimBuilder};
 use std::hint::black_box;
 
 const REQUESTS: usize = 5_000;
 
 fn run_sim(spec: PolicySpec, oracle: bool) -> f64 {
-    let config = if oracle {
-        SimConfig::new(spec)
-    } else {
-        SimConfig::new(spec).without_oracle()
+    let Ok(builder) = SimBuilder::new(spec).and_then(|b| b.oracle(oracle)) else {
+        unreachable!("benchmark policies are valid by construction")
     };
-    let mut sim = Simulation::new(config);
+    let mut sim = builder.simulation();
     let mut workload = PoissonWorkload::from_theta(1.0, 0.4, 1234);
     let report = sim.run(&mut workload, RunLimit::Requests(REQUESTS));
     report.cost(mdr_core::CostModel::Connection)
@@ -53,14 +51,18 @@ fn bench_lossy_link(c: &mut Criterion) {
             |b, &loss| {
                 b.iter(|| {
                     let spec = PolicySpec::SlidingWindow { k: 9 };
-                    let mut config = SimConfig::new(spec).without_oracle();
-                    if loss > 0.0 {
-                        let Ok(lossy) = config.with_loss(loss, 0.05, 7) else {
+                    let Ok(builder) = SimBuilder::new(spec).and_then(|b| b.oracle(false)) else {
+                        unreachable!("benchmark policies are valid by construction")
+                    };
+                    let builder = if loss > 0.0 {
+                        let Ok(lossy) = builder.loss(loss, 0.05, 7) else {
                             unreachable!("benchmark loss grid is valid by construction")
                         };
-                        config = lossy;
-                    }
-                    let mut sim = Simulation::new(config);
+                        lossy
+                    } else {
+                        builder
+                    };
+                    let mut sim = builder.simulation();
                     let mut w = PoissonWorkload::from_theta(1.0, 0.4, 1234);
                     sim.run(&mut w, RunLimit::Requests(REQUESTS))
                 });

@@ -1,0 +1,43 @@
+//! Criterion bench: sweep-engine throughput, serial vs parallel.
+//!
+//! The grid is the `e17` preset shrunk to bench-sized runs; the same
+//! work is swept serially and across 2/4/all threads, so the reported
+//! per-run times show the fan-out speedup directly. (Determinism is not
+//! re-asserted here — the `sweep-determinism` CI job and the mdr-sim
+//! property tests own that — but the benched paths are exactly the ones
+//! those tests pin.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdr_bench::sweep::e17_grid;
+use mdr_bench::RunCfg;
+use mdr_sim::sweep::{SweepGrid, SweepOptions};
+
+fn bench_grid() -> SweepGrid {
+    let Ok(grid) = e17_grid(RunCfg { fast: true }).requests(1_500) else {
+        unreachable!("1500 requests is a valid override")
+    };
+    grid
+}
+
+fn bench_sweep_engine(c: &mut Criterion) {
+    let grid = bench_grid();
+    let mut group = c.benchmark_group("sweep_e17_preset_1500_requests");
+    group.throughput(Throughput::Elements(grid.runs() as u64));
+    group.bench_function("serial", |b| b.iter(|| grid.run_serial()));
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| grid.run(SweepOptions { threads, chunk: 0 }));
+            },
+        );
+    }
+    group.bench_function("threads_auto", |b| {
+        b.iter(|| grid.run(SweepOptions::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_engine);
+criterion_main!(benches);

@@ -13,17 +13,21 @@
 use crate::table::{fmt, Experiment, Table};
 use crate::RunCfg;
 use mdr_core::{CostModel, PolicySpec};
-use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, Simulation};
+use mdr_sim::{PoissonWorkload, RunLimit, SimBuilder, Simulation};
 
 fn lossy_cost(spec: PolicySpec, theta: f64, loss: f64, n: usize, model: CostModel) -> (f64, u64) {
-    let mut config = SimConfig::new(spec);
-    if loss > 0.0 {
-        let Ok(lossy) = config.with_loss(loss, 0.05, 0xE13) else {
+    let Ok(builder) = SimBuilder::new(spec) else {
+        unreachable!("experiment policies are valid by construction")
+    };
+    let builder = if loss > 0.0 {
+        let Ok(lossy) = builder.loss(loss, 0.05, 0xE13) else {
             unreachable!("experiment loss grid is valid by construction")
         };
-        config = lossy;
-    }
-    let mut sim = Simulation::new(config);
+        lossy
+    } else {
+        builder
+    };
+    let mut sim = Simulation::new(builder.build());
     let mut workload = PoissonWorkload::from_theta(1.0, theta, 0xE13);
     let report = sim.run(&mut workload, RunLimit::Requests(n));
     (report.cost_per_request(model), report.retransmissions)

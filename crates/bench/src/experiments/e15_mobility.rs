@@ -12,17 +12,21 @@
 use crate::table::{fmt, Experiment, Table};
 use crate::RunCfg;
 use mdr_core::{approx_eq, CostModel, PolicySpec};
-use mdr_sim::{PoissonWorkload, RunLimit, SimConfig, SimReport, Simulation};
+use mdr_sim::{PoissonWorkload, RunLimit, SimBuilder, SimReport, Simulation};
 
 fn roam(spec: PolicySpec, cells: Option<Vec<f64>>, n: usize) -> SimReport {
-    let mut config = SimConfig::new(spec).with_latency(0.02);
-    if let Some(extra) = cells {
-        let Ok(roaming) = config.with_mobility(extra, 0.5, 0xE15) else {
+    let Ok(builder) = SimBuilder::new(spec).and_then(|b| b.latency(0.02)) else {
+        unreachable!("experiment policies are valid by construction")
+    };
+    let builder = if let Some(extra) = cells {
+        let Ok(roaming) = builder.mobility(extra, 0.5, 0xE15) else {
             unreachable!("experiment cell grid is valid by construction")
         };
-        config = roaming;
-    }
-    let mut sim = Simulation::new(config);
+        roaming
+    } else {
+        builder
+    };
+    let mut sim = Simulation::new(builder.build());
     let mut workload = PoissonWorkload::from_theta(1.0, 0.4, 0xE15);
     sim.run(&mut workload, RunLimit::Requests(n))
 }

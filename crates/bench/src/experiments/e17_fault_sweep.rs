@@ -6,56 +6,27 @@
 //! disconnection windows, MC crashes (volatile and stable memory), SC
 //! outages and ghost deliveries (duplication + reordering the link-layer
 //! ARQ does not mask), and the reconnection handshake re-validates the
-//! replica and hands window ownership back. The sweep shows (a) fault
-//! schedules are fully deterministic — two identical configurations
-//! produce byte-identical ledgers, the acceptance bar for reproducible
-//! robustness runs — (b) the recovery traffic is billed and visible as an
-//! aborted/reconciliation share of the total, and (c) an inactive fault
-//! plan is indistinguishable from no plan at all.
+//! replica and hands window ownership back.
+//!
+//! The whole sweep now runs on the [`crate::sweep`] grid (the `e17`
+//! preset), which upgrades the old claims: (a) determinism is asserted
+//! as *serial vs 4-thread byte-identity* of the full sweep report, not
+//! just a run-twice replay; (b) the recovery traffic is billed and
+//! visible as an aborted/reconciliation share of the total; (c) an
+//! installed-but-inert fault plan produces a [`mdr_sim::SimReport`]
+//! *equal* to the no-plan baseline, cell for cell, because the grid
+//! pairs workload seeds across the fault axis.
 
-use crate::table::{fmt, pct, Experiment, Table};
+use crate::sweep::{e17_grid, serial_parallel_verdict, summary_table};
+use crate::table::{fmt_opt, pct, Experiment, Table};
 use crate::RunCfg;
-use mdr_core::{CostModel, PolicySpec};
-use mdr_sim::{FaultPlan, PoissonWorkload, RunLimit, SimConfig, SimReport, Simulation};
+use mdr_sim::sweep::CellReport;
 
-/// Runs `spec` under the E17 fault mix at the given disconnection rate.
-/// A rate of zero still installs the (inactive) plan, exercising the
-/// plan-is-inert path.
-fn faulted(spec: PolicySpec, rate: f64, n: usize) -> SimReport {
-    let ghosts = if rate > 0.0 { 0.05 } else { 0.0 };
-    let Ok(plan) = FaultPlan::new(rate, 2.0, 0xE17)
-        .and_then(|p| p.with_crashes(0.3, 0.5))
-        .and_then(|p| p.with_sc_outages(0.2))
-        .and_then(|p| p.with_duplication(ghosts, ghosts))
-    else {
-        unreachable!("experiment fault grid is valid by construction")
-    };
-    let config = SimConfig::new(spec).with_latency(0.05).with_faults(plan);
-    let mut sim = Simulation::new(config);
-    let mut workload = PoissonWorkload::from_theta(1.0, 0.4, 0xE17);
-    sim.run(&mut workload, RunLimit::Requests(n))
-}
-
-fn baseline(spec: PolicySpec, n: usize) -> SimReport {
-    let mut sim = Simulation::new(SimConfig::new(spec).with_latency(0.05));
-    let mut workload = PoissonWorkload::from_theta(1.0, 0.4, 0xE17);
-    sim.run(&mut workload, RunLimit::Requests(n))
-}
-
-/// Every billed quantity and fault counter of two reports, as one
-/// comparable ledger tuple.
-fn ledger(r: &SimReport) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
-    (
-        r.data_messages,
-        r.control_messages,
-        r.connections,
-        r.disconnects,
-        r.mc_crashes,
-        r.reconciliations,
-        r.aborted_messages,
-        r.reconciliation_messages,
-    )
-}
+/// Fault-axis indices of the `e17` preset grid.
+const NO_PLAN: usize = 0;
+const INERT: usize = 1;
+const STORM: usize = 3;
+const FAULT_AXIS: usize = 4;
 
 /// Runs the experiment.
 pub fn run(cfg: RunCfg) -> Experiment {
@@ -64,17 +35,12 @@ pub fn run(cfg: RunCfg) -> Experiment {
         "disconnection faults — recovery cost sweep + determinism (extension)",
         "extends §3 with MC disconnections/crashes and a reconnection handshake",
     );
+    let grid = e17_grid(cfg);
     let n = cfg.pick(4_000, 20_000);
-    let model = CostModel::message(0.4);
-    let policies = [
-        PolicySpec::St1,
-        PolicySpec::St2,
-        PolicySpec::SlidingWindow { k: 1 },
-        PolicySpec::SlidingWindow { k: 5 },
-        PolicySpec::T2 { m: 5 },
-    ];
-    let rates = [0.0, 0.02, 0.1];
+    let (report, parallel_identical) = serial_parallel_verdict(&grid);
 
+    // One model, one θ, one replication: cells are grouped per policy
+    // along the fault axis [no plan, inert, rate 0.02, rate 0.1].
     let mut table = Table::new(
         format!("cost/request at θ = 0.4, ω = 0.4, vs MC disconnection rate (n = {n})"),
         &[
@@ -90,47 +56,44 @@ pub fn run(cfg: RunCfg) -> Experiment {
     let mut recovery_billed = true;
     let mut faults_fire = true;
     let mut inert_plan_invisible = true;
-    for &spec in &policies {
-        let runs: Vec<SimReport> = rates.iter().map(|&r| faulted(spec, r, n)).collect();
-        let clean = baseline(spec, n);
-        // Rate 0 zeroes every knob, so the installed-but-inactive plan
-        // must replay the no-plan run exactly.
-        inert_plan_invisible &=
-            clean.counts == runs[0].counts && ledger(&clean) == ledger(&runs[0]);
-        let stormy = &runs[2];
-        let recovery = stormy.aborted_messages + stormy.reconciliation_messages;
-        let total = stormy.data_messages + stormy.control_messages;
+    for cells in report.cells.chunks(FAULT_AXIS) {
+        let [clean, inert, mild, stormy]: &[CellReport; 4] = match cells.try_into() {
+            Ok(group) => group,
+            Err(_) => unreachable!("the e17 preset has exactly four fault cells per policy"),
+        };
+        assert_eq!(clean.fault_index, NO_PLAN);
+        assert_eq!(inert.fault_index, INERT);
+        assert_eq!(stormy.fault_index, STORM);
+        // The grid pairs workload seeds across the fault axis, so the
+        // inert plan must replay the baseline *report* exactly — every
+        // counter, not just the billing tuple.
+        inert_plan_invisible &= clean.report == inert.report;
+        let recovery = stormy.report.aborted_messages + stormy.report.reconciliation_messages;
+        let total = stormy.report.data_messages + stormy.report.control_messages;
         recovery_billed &= recovery > 0 && recovery < total;
-        faults_fire &=
-            stormy.disconnects > 10 && stormy.mc_crashes > 0 && stormy.reconciliations > 0;
+        faults_fire &= stormy.report.disconnects > 10
+            && stormy.report.mc_crashes > 0
+            && stormy.report.reconciliations > 0;
         table.row(vec![
-            spec.name(),
-            fmt(runs[0].cost_per_request(model)),
-            fmt(runs[1].cost_per_request(model)),
-            fmt(runs[2].cost_per_request(model)),
+            stormy.policy.name(),
+            fmt_opt(inert.cost_per_request),
+            fmt_opt(mild.cost_per_request),
+            fmt_opt(stormy.cost_per_request),
             pct(recovery as f64 / total as f64),
-            stormy.disconnects.to_string(),
-            stormy.mc_crashes.to_string(),
+            stormy.report.disconnects.to_string(),
+            stormy.report.mc_crashes.to_string(),
         ]);
     }
     table.note("recovery share = (aborted + reconciliation messages) / all billed messages");
     exp.push_table(table);
-
-    // Determinism: the acceptance bar — identical (FaultPlan, seed)
-    // configurations replay byte-identical ledgers and schedules.
-    let mut deterministic = true;
-    for &spec in &policies {
-        let a = faulted(spec, 0.1, n);
-        let b = faulted(spec, 0.1, n);
-        deterministic &= a.schedule == b.schedule
-            && a.counts == b.counts
-            && ledger(&a) == ledger(&b)
-            && a.cost(model).to_bits() == b.cost(model).to_bits();
-    }
+    exp.push_table(summary_table(
+        "sweep summary (grouped by policy × fault plan)",
+        &report.summary,
+    ));
 
     exp.verdict(
-        "fault schedules are deterministic: identical configs give byte-identical ledgers",
-        deterministic,
+        "the sweep is deterministic: 4-thread run is byte-identical to serial (cells, summary, digest)",
+        parallel_identical,
     );
     exp.verdict(
         "recovery traffic (aborts + reconnection handshakes) is billed and non-trivial",
@@ -141,7 +104,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         faults_fire,
     );
     exp.verdict(
-        "an inactive fault plan is invisible: rate-0 runs replay the no-plan baseline",
+        "an inactive fault plan is invisible: rate-0 cells equal the no-plan baseline cells",
         inert_plan_invisible,
     );
     exp

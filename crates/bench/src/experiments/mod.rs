@@ -52,27 +52,17 @@ pub fn run_one(id: &str, cfg: RunCfg) -> Option<Experiment> {
     })
 }
 
-/// Runs every experiment, fanning out across threads (each experiment is
-/// self-contained and independently seeded).
+/// Runs every experiment, fanning out across the sweep engine's thread
+/// pool (each experiment is self-contained and independently seeded, and
+/// [`parallel_map`](mdr_sim::sweep::parallel_map) returns them in
+/// presentation order whatever the scheduling).
 pub fn run_all(cfg: RunCfg) -> Vec<Experiment> {
-    let mut slots: Vec<Option<Experiment>> = (0..ALL_IDS.len()).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for (slot, id) in slots.iter_mut().zip(ALL_IDS.iter()) {
-            scope.spawn(move |_| {
-                *slot = run_one(id, cfg);
-            });
-        }
+    mdr_sim::sweep::parallel_map(ALL_IDS.len(), 0, 1, |i| {
+        let Some(done) = run_one(ALL_IDS[i], cfg) else {
+            unreachable!("every id in ALL_IDS dispatches");
+        };
+        done
     })
-    .unwrap_or_else(|_| panic!("experiment worker panicked"));
-    slots
-        .into_iter()
-        .map(|s| {
-            let Some(done) = s else {
-                unreachable!("every experiment id fills its slot");
-            };
-            done
-        })
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,185 @@
+//! Thin bridge from the experiment harness to the sweep engine.
+//!
+//! The heavy lifting — grid enumeration, deterministic fan-out, the
+//! sequential fold — lives in [`mdr_sim::sweep`]; this module only owns
+//! the harness-side conveniences: the named grid presets the CI
+//! determinism job and the `mdr sweep` CLI share, a [`Table`] renderer
+//! for [`SweepSummary`], and the serial-vs-parallel verdict helper the
+//! experiments use as their acceptance check.
+
+use crate::table::{fmt, fmt_opt, Table};
+use crate::RunCfg;
+use mdr_core::{CostModel, PolicySpec};
+use mdr_sim::sweep::{SweepGrid, SweepOptions, SweepReport, SweepSummary};
+use mdr_sim::FaultPlan;
+
+/// The E17 fault mix at the given disconnection rate: outages of mean
+/// length 2, 30% crash probability (50% volatile), 20% SC outages, and
+/// 5% ghost duplication/reordering whenever the link is faulty at all.
+/// A rate of zero zeroes every knob — the installed-but-inert plan the
+/// experiment compares against the no-plan baseline.
+pub fn e17_fault_plan(rate: f64) -> FaultPlan {
+    let ghosts = if rate > 0.0 { 0.05 } else { 0.0 };
+    let Ok(plan) = FaultPlan::new(rate, 2.0, 0)
+        .and_then(|p| p.with_crashes(0.3, 0.5))
+        .and_then(|p| p.with_sc_outages(0.2))
+        .and_then(|p| p.with_duplication(ghosts, ghosts))
+    else {
+        unreachable!("the preset fault rates are valid by construction")
+    };
+    plan
+}
+
+/// The E17 grid: five policies × the fault axis
+/// `[no plan, inert plan, rate 0.02, rate 0.1]` at θ = 0.4, ω = 0.4,
+/// latency 0.05. One model, one θ, one replication — so cell index is
+/// `policy_index * 4 + fault_index`.
+pub fn e17_grid(cfg: RunCfg) -> SweepGrid {
+    let Ok(grid) = SweepGrid::new(0xE17)
+        .policies(vec![
+            PolicySpec::St1,
+            PolicySpec::St2,
+            PolicySpec::SlidingWindow { k: 1 },
+            PolicySpec::SlidingWindow { k: 5 },
+            PolicySpec::T2 { m: 5 },
+        ])
+        .and_then(|g| g.thetas(vec![0.4]))
+        .and_then(|g| g.models(vec![CostModel::message(0.4)]))
+        .and_then(|g| {
+            g.fault_plans(vec![
+                None,
+                Some(e17_fault_plan(0.0)),
+                Some(e17_fault_plan(0.02)),
+                Some(e17_fault_plan(0.1)),
+            ])
+        })
+        .and_then(|g| g.latency(0.05))
+        .and_then(|g| g.requests(cfg.pick(4_000, 20_000)))
+    else {
+        unreachable!("the E17 preset is valid by construction")
+    };
+    grid
+}
+
+/// The E6 grid: the window-size policies around the ω = 0.8 threshold
+/// (k₀ = 7) across a θ sweep, replicated for confidence intervals.
+pub fn e6_grid(cfg: RunCfg) -> SweepGrid {
+    let Ok(grid) = SweepGrid::new(0xE6)
+        .policies(vec![
+            PolicySpec::SlidingWindow { k: 1 },
+            PolicySpec::SlidingWindow { k: 5 },
+            PolicySpec::SlidingWindow { k: 7 },
+            PolicySpec::SlidingWindow { k: 9 },
+        ])
+        .and_then(|g| g.thetas(vec![0.1, 0.3, 0.5, 0.7, 0.9]))
+        .and_then(|g| g.omegas(vec![0.8]))
+        .and_then(|g| g.replications(cfg.pick(2, 4)))
+        .and_then(|g| g.requests(cfg.pick(2_000, 10_000)))
+    else {
+        unreachable!("the E6 preset is valid by construction")
+    };
+    grid
+}
+
+/// Resolves a preset grid by name (`"e6"` / `"e17"`), as used by the
+/// `mdr sweep --preset` flag and the CI determinism job.
+pub fn preset(name: &str, cfg: RunCfg) -> Option<SweepGrid> {
+    match name {
+        "e6" => Some(e6_grid(cfg)),
+        "e17" => Some(e17_grid(cfg)),
+        _ => None,
+    }
+}
+
+/// Renders a [`SweepSummary`] as one table row per
+/// (policy, θ, fault, model) group.
+pub fn summary_table(title: &str, summary: &SweepSummary) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "policy",
+            "θ",
+            "model",
+            "fault",
+            "cost/req",
+            "stderr",
+            "vs Eq. 2–8",
+            "disconnects",
+            "reconciliations",
+        ],
+    );
+    for entry in &summary.entries {
+        let ratio = if entry.competitive_ratio.n == 0 {
+            None
+        } else {
+            Some(entry.competitive_ratio.mean)
+        };
+        table.row(vec![
+            entry.policy.name(),
+            fmt(entry.theta),
+            entry.model.to_string(),
+            entry.fault_index.to_string(),
+            fmt(entry.cost_per_request.mean),
+            fmt(entry.cost_per_request.stderr()),
+            fmt_opt(ratio),
+            entry.disconnects.to_string(),
+            entry.reconciliations.to_string(),
+        ]);
+    }
+    table
+}
+
+/// The acceptance check of the sweep engine, as the experiments assert
+/// it: the parallel path at 4 threads must reproduce the serial report
+/// bit-for-bit — same cells, same summary, same digest. Returns the
+/// serial report alongside the verdict so callers don't sweep twice.
+pub fn serial_parallel_verdict(grid: &SweepGrid) -> (SweepReport, bool) {
+    let serial = grid.run_serial();
+    let parallel = grid.run(SweepOptions {
+        threads: 4,
+        chunk: 0,
+    });
+    let identical = serial == parallel
+        && serial.ledger_digest() == parallel.ledger_digest()
+        && serial.ledger_lines() == parallel.ledger_lines();
+    (serial, identical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        let cfg = RunCfg { fast: true };
+        assert_eq!(preset("e6", cfg), Some(e6_grid(cfg)));
+        assert_eq!(preset("e17", cfg), Some(e17_grid(cfg)));
+        assert_eq!(preset("e99", cfg), None);
+        assert_eq!(e17_grid(cfg).cells(), 5 * 4);
+        assert_eq!(e6_grid(cfg).cells(), 4 * 5 * 2);
+    }
+
+    #[test]
+    fn summary_renders_one_row_per_group() {
+        let cfg = RunCfg { fast: true };
+        let Ok(grid) = e6_grid(cfg).requests(300) else {
+            unreachable!("300 requests is a valid override")
+        };
+        let report = grid.run_serial();
+        let table = summary_table("demo", &report.summary);
+        assert_eq!(table.rows.len(), report.summary.entries.len());
+        // Fault-free window policies track the analytic expectation.
+        assert!(table.render().contains("SW7"));
+    }
+
+    #[test]
+    fn e6_verdict_helper_agrees_with_itself() {
+        let cfg = RunCfg { fast: true };
+        let Ok(grid) = e6_grid(cfg).requests(200) else {
+            unreachable!("200 requests is a valid override")
+        };
+        let (report, identical) = serial_parallel_verdict(&grid);
+        assert!(identical);
+        assert_eq!(report.cells.len(), grid.cells());
+    }
+}

@@ -6,8 +6,11 @@ use mdr_adversary::{cycle_ratio, exhaustive_search, generators, measure};
 use mdr_analysis::dominance::{connection_winner, message_winner, Winner};
 use mdr_analysis::window_choice::{min_beneficial_k, recommend_k};
 use mdr_analysis::{average_expected_cost, competitive_factor, expected_cost};
+use mdr_bench::sweep::{e17_fault_plan, preset, summary_table};
+use mdr_bench::RunCfg;
 use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
-use mdr_sim::{FaultPlan, PoissonWorkload, RunLimit, SimConfig, Simulation};
+use mdr_sim::sweep::{SweepGrid, SweepOptions};
+use mdr_sim::{FaultPlan, PoissonWorkload, RunLimit, SimBuilder};
 use std::fmt::Write as _;
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
@@ -129,7 +132,9 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
     let latency: f64 = args.number("latency", 0.01)?;
     let omega: f64 = args.number("omega", 0.5)?;
     let fault_rate: f64 = args.number("faults", 0.0)?;
-    let mut config = SimConfig::new(spec).with_latency(latency);
+    let mut builder = SimBuilder::new(spec)
+        .and_then(|b| b.latency(latency))
+        .map_err(|e| CliError(e.to_string()))?;
     if fault_rate > 0.0 {
         let outage: f64 = args.number("outage", 2.0)?;
         let crash: f64 = args.number("crash-prob", 0.3)?;
@@ -137,9 +142,9 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
         let plan = FaultPlan::new(fault_rate, outage, seed ^ 0xFA17)
             .and_then(|p| p.with_crashes(crash, volatile))
             .map_err(|e| CliError(e.to_string()))?;
-        config = config.with_faults(plan);
+        builder = builder.faults(plan).map_err(|e| CliError(e.to_string()))?;
     }
-    let mut sim = Simulation::new(config);
+    let mut sim = builder.simulation();
     let mut workload = PoissonWorkload::from_theta(1.0, theta, seed);
     let report = sim.run(&mut workload, RunLimit::Requests(requests));
     let mut out = String::new();
@@ -181,6 +186,166 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
         expected_cost(spec, CostModel::Connection, theta),
         expected_cost(spec, CostModel::message(omega), theta),
     );
+    Ok(out)
+}
+
+fn parse_f64_list(raw: &str, what: &str) -> Result<Vec<f64>, CliError> {
+    raw.split(',')
+        .map(|x| {
+            x.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError(format!("invalid {what} {x:?}")))
+        })
+        .collect()
+}
+
+/// `mdr sweep [--preset e6|e17] [--policies ST1,SW3,...] [--thetas ...]
+/// [--models connection,message:0.4] [--omegas ...] [--fault-rates ...]
+/// [--replications R] [--requests N] [--seed S] [--latency L]
+/// [--oracle on] [--threads T] [--chunk C] [--format table|ledger|json]
+/// [--full on]`
+///
+/// Stdout is deterministic: the same grid prints the same bytes at any
+/// `--threads`, which is exactly what the CI determinism job diffs.
+/// Timing goes to stderr so it never perturbs the diff.
+pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
+    let cfg = RunCfg {
+        fast: args.get_or("full", "off") == "off",
+    };
+    let grid = match args.flags.get("preset") {
+        Some(name) => {
+            let Some(grid) = preset(name, cfg) else {
+                return err(format!("unknown preset {name:?}; expected e6 or e17"));
+            };
+            // Presets fix their axes; only the run sizes stay adjustable.
+            grid
+        }
+        None => {
+            let seed: u64 = args.number("seed", 0x5EED)?;
+            let mut grid = SweepGrid::new(seed);
+            if let Some(raw) = args.flags.get("policies") {
+                let policies = raw
+                    .split(',')
+                    .map(|p| parse_policy(p.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                grid = grid
+                    .policies(policies)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
+            if let Some(raw) = args.flags.get("thetas") {
+                grid = grid
+                    .thetas(parse_f64_list(raw, "θ")?)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
+            if let Some(raw) = args.flags.get("models") {
+                let models = raw
+                    .split(',')
+                    .map(|m| parse_model(m.trim()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                grid = grid.models(models).map_err(|e| CliError(e.to_string()))?;
+            }
+            if let Some(raw) = args.flags.get("omegas") {
+                grid = grid
+                    .omegas(parse_f64_list(raw, "ω")?)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
+            if let Some(raw) = args.flags.get("fault-rates") {
+                // Each rate installs the E17 fault mix; rate 0 is the
+                // inert plan, and a no-plan baseline is always first.
+                let mut plans = vec![None];
+                for rate in parse_f64_list(raw, "fault rate")? {
+                    if !(0.0..1.0).contains(&rate) {
+                        return err(format!("fault rate must lie in [0, 1), got {rate}"));
+                    }
+                    plans.push(Some(e17_fault_plan(rate)));
+                }
+                grid = grid
+                    .fault_plans(plans)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
+            if let Some(latency) = args.flags.get("latency") {
+                let latency: f64 = latency
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid latency {latency:?}")))?;
+                grid = grid.latency(latency).map_err(|e| CliError(e.to_string()))?;
+            }
+            grid = grid
+                .oracle(args.get_or("oracle", "off") == "on")
+                .map_err(|e| CliError(e.to_string()))?;
+            grid
+        }
+    };
+    // Run sizes are adjustable even on presets.
+    let grid = match args.flags.get("replications") {
+        Some(r) => {
+            let r: usize = r
+                .parse()
+                .map_err(|_| CliError(format!("invalid replication count {r:?}")))?;
+            grid.replications(r).map_err(|e| CliError(e.to_string()))?
+        }
+        None => grid,
+    };
+    let grid = match args.flags.get("requests") {
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| CliError(format!("invalid request count {n:?}")))?;
+            grid.requests(n).map_err(|e| CliError(e.to_string()))?
+        }
+        None => grid,
+    };
+
+    let options = SweepOptions {
+        threads: args.number("threads", 0)?,
+        chunk: args.number("chunk", 0)?,
+    };
+    let started = std::time::Instant::now();
+    let report = grid.run(options);
+    // Timing is scheduling noise — keep it off the deterministic stdout.
+    eprintln!(
+        "swept {} runs ({} cells) in {:.2?}",
+        grid.runs(),
+        grid.cells(),
+        started.elapsed()
+    );
+
+    let mut out = String::new();
+    match args.get_or("format", "table") {
+        "table" => {
+            let _ = writeln!(
+                out,
+                "sweep seed {:#x}: {} runs, {} cells",
+                report.seed,
+                grid.runs(),
+                grid.cells()
+            );
+            let _ = write!(
+                out,
+                "{}",
+                summary_table("summary (policy × θ × fault × model)", &report.summary).render()
+            );
+            let _ = writeln!(out, "ledger digest: {:#018x}", report.ledger_digest());
+        }
+        "ledger" => {
+            let _ = write!(out, "{}", report.ledger_lines());
+            let _ = writeln!(out, "ledger digest: {:#018x}", report.ledger_digest());
+        }
+        "json" => {
+            let summary = serde_json::to_string_pretty(&report.summary)
+                .map_err(|e| CliError(format!("summary serialization failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{{\n\"seed\": {},\n\"digest\": \"{:#018x}\",\n\"summary\": {summary}\n}}",
+                report.seed,
+                report.ledger_digest()
+            );
+        }
+        other => {
+            return err(format!(
+                "unknown format {other:?}; expected table, ledger or json"
+            ))
+        }
+    }
     Ok(out)
 }
 
@@ -347,6 +512,7 @@ pub(crate) fn dispatch(args: &Args) -> Result<String, CliError> {
         "analyze" => analyze(args),
         "recommend" => recommend(args),
         "simulate" => simulate(args),
+        "sweep" => sweep(args),
         "worst-case" => worst_case(args),
         "trace" => trace(args),
         "multi" => multi(args),
@@ -364,6 +530,11 @@ subcommands:
   simulate   --policy <P> [--theta T] [--requests N] [--seed S] [--omega W] [--latency L]
              [--faults RATE] [--outage T] [--crash-prob P] [--volatile-prob P]
              (RATE > 0 injects MC disconnections/crashes + reconnection recovery)
+  sweep      [--preset e6|e17] [--policies P1,P2] [--thetas ...] [--models ...]
+             [--omegas ...] [--fault-rates ...] [--replications R] [--requests N]
+             [--seed S] [--latency L] [--oracle on] [--threads T] [--chunk C]
+             [--format table|ledger|json] [--full on]
+             (deterministic parallel grid; stdout is byte-identical at any --threads)
   worst-case --policy <P> [--model M] [--max-len L] [--cycles C]
   trace      --policy <P> --schedule rrwwr [--model M] per-request execution trace
   multi      --profile profile.json                    §7.2 optimal multi-object allocation
@@ -463,6 +634,69 @@ mod tests {
             "1.5",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn sweep_stdout_is_thread_count_invariant() {
+        let base = [
+            "sweep",
+            "--policies",
+            "ST1,SW3",
+            "--thetas",
+            "0.3,0.7",
+            "--omegas",
+            "0.5",
+            "--requests",
+            "800",
+            "--seed",
+            "9",
+        ];
+        let run_with = |threads: &str, format: &str| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--threads", threads, "--format", format]);
+            run(&argv).unwrap()
+        };
+        for format in ["table", "ledger", "json"] {
+            let serial = run_with("1", format);
+            let parallel = run_with("4", format);
+            assert_eq!(serial, parallel, "--format {format}");
+        }
+        assert!(run_with("1", "table").contains("ledger digest"));
+        assert!(run_with("1", "ledger").contains("theta=0.3"));
+        assert!(run_with("1", "json").contains("\"summary\""));
+    }
+
+    #[test]
+    fn sweep_presets_and_errors() {
+        let out = run(&[
+            "sweep",
+            "--preset",
+            "e6",
+            "--requests",
+            "300",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("SW7"), "{out}");
+        let faulted = run(&[
+            "sweep",
+            "--policies",
+            "SW3",
+            "--fault-rates",
+            "0.1",
+            "--latency",
+            "0.05",
+            "--requests",
+            "1500",
+        ])
+        .unwrap();
+        assert!(faulted.contains("fault"), "{faulted}");
+        assert!(run(&["sweep", "--preset", "bogus"]).is_err());
+        assert!(run(&["sweep", "--thetas", "1.5"]).is_err());
+        assert!(run(&["sweep", "--policies", "SW4"]).is_err());
+        assert!(run(&["sweep", "--format", "xml"]).is_err());
+        assert!(run(&["sweep", "--fault-rates", "2.0"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! The [`SimBuilder`] front door: one fallible builder for every
+//! simulation knob.
+//!
+//! Historically a [`SimConfig`] was assembled through a patchwork of
+//! `SimConfig::new` plus `with_latency` / `with_loss` / `with_mobility` /
+//! `with_faults` / `without_oracle`, with a mix of panics and `Result`s.
+//! The sweep engine (`crate::sweep`) needs every cell of a parameter grid
+//! to be constructible from *one* fallible entry point, so the builder
+//! unifies them: every setter validates its arguments and returns
+//! `Result<Self, ConfigError>`, and [`SimBuilder::build`] is infallible
+//! because nothing unvalidated can reach it.
+//!
+//! ```
+//! use mdr_core::PolicySpec;
+//! use mdr_sim::SimBuilder;
+//!
+//! let config = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
+//!     .and_then(|b| b.latency(0.02))
+//!     .and_then(|b| b.loss(0.1, 0.05, 7))
+//!     .map(mdr_sim::SimBuilder::build);
+//! assert!(config.is_ok());
+//! // Even windows are rejected up front, not at `Simulation::new` time.
+//! assert!(SimBuilder::new(PolicySpec::SlidingWindow { k: 4 }).is_err());
+//! ```
+
+use crate::faults::{ConfigError, FaultPlan};
+use crate::sim::{LossConfig, MobilityConfig, SimConfig, Simulation};
+use mdr_core::PolicySpec;
+
+/// Checks the §2/§7.1 structural constraints on a policy description:
+/// sliding windows must be odd (so the majority vote is never tied) and
+/// T-policy streak thresholds must be at least 1.
+pub(crate) fn validate_policy(policy: PolicySpec) -> Result<(), ConfigError> {
+    match policy {
+        PolicySpec::SlidingWindow { k } if k == 0 || k % 2 == 0 => {
+            Err(ConfigError::EvenWindow { k })
+        }
+        PolicySpec::T1 { m } | PolicySpec::T2 { m } if m == 0 => Err(ConfigError::ZeroThreshold),
+        _ => Ok(()),
+    }
+}
+
+/// Checks a one-way link latency: finite and non-negative.
+pub(crate) fn validate_latency(latency: f64) -> Result<(), ConfigError> {
+    if latency >= 0.0 && latency.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::Latency { value: latency })
+    }
+}
+
+/// Checks the lossy-link parameters: `0 ≤ p < 1`, finite positive timeout.
+pub(crate) fn validate_loss(loss_probability: f64, retry_timeout: f64) -> Result<(), ConfigError> {
+    if !(0.0..1.0).contains(&loss_probability) {
+        return Err(ConfigError::LossProbability {
+            value: loss_probability,
+        });
+    }
+    if retry_timeout <= 0.0 || !retry_timeout.is_finite() {
+        return Err(ConfigError::RetryTimeout {
+            value: retry_timeout,
+        });
+    }
+    Ok(())
+}
+
+/// Checks the mobility parameters: at least one cell, finite non-negative
+/// per-cell latencies, finite positive handoff rate.
+pub(crate) fn validate_mobility(
+    cell_extra_latency: &[f64],
+    handoff_rate: f64,
+) -> Result<(), ConfigError> {
+    if cell_extra_latency.is_empty() {
+        return Err(ConfigError::NoCells);
+    }
+    if let Some(&bad) = cell_extra_latency
+        .iter()
+        .find(|&&l| !(l >= 0.0 && l.is_finite()))
+    {
+        return Err(ConfigError::CellLatency { value: bad });
+    }
+    if handoff_rate <= 0.0 || !handoff_rate.is_finite() {
+        return Err(ConfigError::HandoffRate {
+            value: handoff_rate,
+        });
+    }
+    Ok(())
+}
+
+/// The unified, fallible builder for [`SimConfig`].
+///
+/// Every setter consumes and returns the builder, so configurations chain
+/// with `and_then`; every validation failure is a typed [`ConfigError`]
+/// value rather than a panic. See the module docs for an example and
+/// `docs/sweeps.md` for the migration table from the deprecated
+/// `SimConfig::new` patchwork.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimBuilder {
+    config: SimConfig,
+}
+
+impl SimBuilder {
+    /// Starts a configuration for `policy` with the default link latency
+    /// (0.01 time units) and the oracle equivalence check enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EvenWindow`] for an even (or zero) sliding
+    /// window and [`ConfigError::ZeroThreshold`] for a zero T-policy
+    /// threshold — the structural mistakes the deprecated `SimConfig::new`
+    /// only caught by panicking deep inside `Simulation::new`.
+    pub fn new(policy: PolicySpec) -> Result<Self, ConfigError> {
+        validate_policy(policy)?;
+        Ok(SimBuilder {
+            config: SimConfig::defaults(policy),
+        })
+    }
+
+    /// Sets the one-way message latency (time units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Latency`] unless the latency is finite and
+    /// non-negative.
+    pub fn latency(mut self, latency: f64) -> Result<Self, ConfigError> {
+        validate_latency(latency)?;
+        self.config.latency = latency;
+        Ok(self)
+    }
+
+    /// Enables or disables the in-process reference-policy oracle check
+    /// (on by default; recommended everywhere but hot benches).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` for setter uniformity so caller
+    /// chains read the same for every knob.
+    pub fn oracle(mut self, enabled: bool) -> Result<Self, ConfigError> {
+        self.config.oracle_check = enabled;
+        Ok(self)
+    }
+
+    /// Enables the lossy-link model (link-layer ARQ with per-attempt
+    /// billing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::LossProbability`] unless
+    /// `0 ≤ loss_probability < 1` and [`ConfigError::RetryTimeout`] unless
+    /// the timeout is finite and positive.
+    pub fn loss(
+        mut self,
+        loss_probability: f64,
+        retry_timeout: f64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        validate_loss(loss_probability, retry_timeout)?;
+        self.config.loss = Some(LossConfig {
+            loss_probability,
+            retry_timeout,
+            seed,
+        });
+        Ok(self)
+    }
+
+    /// Enables the cellular-mobility model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoCells`], [`ConfigError::CellLatency`] or
+    /// [`ConfigError::HandoffRate`] for an empty cell list, a negative or
+    /// non-finite per-cell latency, or a non-positive handoff rate.
+    pub fn mobility(
+        mut self,
+        cell_extra_latency: Vec<f64>,
+        handoff_rate: f64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        validate_mobility(&cell_extra_latency, handoff_rate)?;
+        self.config.mobility = Some(MobilityConfig {
+            cell_extra_latency,
+            handoff_rate,
+            seed,
+        });
+        Ok(self)
+    }
+
+    /// Installs an already-validated fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ConflictingFaultPlans`] if a *different*
+    /// plan is already installed (re-installing the identical plan is
+    /// idempotent) — the simulator runs exactly one fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Result<Self, ConfigError> {
+        match &self.config.faults {
+            Some(existing) if *existing != faults => Err(ConfigError::ConflictingFaultPlans),
+            _ => {
+                self.config.faults = Some(faults);
+                Ok(self)
+            }
+        }
+    }
+
+    /// Finishes the configuration. Infallible: every field was validated
+    /// by the setter that produced it.
+    pub fn build(self) -> SimConfig {
+        self.config
+    }
+
+    /// Convenience: builds the configuration and wraps it in a fresh
+    /// [`Simulation`] in the policy's initial state.
+    pub fn simulation(self) -> Simulation {
+        Simulation::new(self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_the_deprecated_constructor() {
+        #[allow(deprecated)]
+        let old = SimConfig::new(PolicySpec::St1);
+        let new = SimBuilder::new(PolicySpec::St1).unwrap().build();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn setters_chain_and_validate() {
+        let config = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.latency(0.5))
+            .and_then(|b| b.oracle(false))
+            .and_then(|b| b.loss(0.2, 0.1, 9))
+            .and_then(|b| b.mobility(vec![0.0, 0.1], 2.0, 4))
+            .unwrap()
+            .build();
+        assert_eq!(config.latency, 0.5);
+        assert!(!config.oracle_check);
+        assert!(config.loss.is_some());
+        assert!(config.mobility.is_some());
+    }
+
+    #[test]
+    fn structural_policy_mistakes_are_typed_errors() {
+        assert_eq!(
+            SimBuilder::new(PolicySpec::SlidingWindow { k: 4 }).unwrap_err(),
+            ConfigError::EvenWindow { k: 4 }
+        );
+        assert_eq!(
+            SimBuilder::new(PolicySpec::SlidingWindow { k: 0 }).unwrap_err(),
+            ConfigError::EvenWindow { k: 0 }
+        );
+        assert_eq!(
+            SimBuilder::new(PolicySpec::T1 { m: 0 }).unwrap_err(),
+            ConfigError::ZeroThreshold
+        );
+        assert_eq!(
+            SimBuilder::new(PolicySpec::T2 { m: 0 }).unwrap_err(),
+            ConfigError::ZeroThreshold
+        );
+    }
+
+    #[test]
+    fn conflicting_fault_plans_are_rejected_but_reinstall_is_idempotent() {
+        let plan_a = FaultPlan::new(0.1, 1.0, 1).unwrap();
+        let plan_b = FaultPlan::new(0.2, 1.0, 1).unwrap();
+        let b = SimBuilder::new(PolicySpec::St2)
+            .and_then(|b| b.faults(plan_a.clone()))
+            .unwrap();
+        assert_eq!(
+            b.clone().faults(plan_b).unwrap_err(),
+            ConfigError::ConflictingFaultPlans
+        );
+        assert!(b.faults(plan_a).is_ok(), "same plan twice is fine");
+    }
+
+    #[test]
+    fn simulation_convenience_runs() {
+        use crate::sim::RunLimit;
+        use crate::workload::PoissonWorkload;
+        let mut sim = SimBuilder::new(PolicySpec::St1).unwrap().simulation();
+        let mut w = PoissonWorkload::from_theta(1.0, 0.2, 3);
+        let report = sim.run(&mut w, RunLimit::Requests(100));
+        assert_eq!(report.counts.total(), 100);
+    }
+}

@@ -88,14 +88,16 @@ pub fn estimate_expected_cost(
     theta: f64,
     config: EstimatorConfig,
 ) -> Summary {
-    let samples: Vec<f64> = (0..config.replications)
-        .map(|i| {
-            let mut sim = Simulation::new(SimConfig::new(spec));
-            let mut workload = PoissonWorkload::from_theta(1.0, theta, config.seed + i as u64);
-            let report = sim.run(&mut workload, RunLimit::Requests(config.requests_per_run));
-            report.cost_per_request(model)
-        })
-        .collect();
+    // Replications fan out across threads; `parallel_map` returns the
+    // samples in replication order and each replication's seed is
+    // `seed + i` exactly as in the serial days, so the Summary is
+    // byte-identical at any thread count.
+    let samples = crate::sweep::parallel_map(config.replications, 0, 1, |i| {
+        let mut sim = Simulation::new(SimConfig::defaults(spec));
+        let mut workload = PoissonWorkload::from_theta(1.0, theta, config.seed + i as u64);
+        let report = sim.run(&mut workload, RunLimit::Requests(config.requests_per_run));
+        report.cost_per_request(model)
+    });
     Summary::from_samples(&samples)
 }
 
@@ -109,22 +111,20 @@ pub fn estimate_average_cost(
     periods: usize,
     config: EstimatorConfig,
 ) -> Summary {
-    let samples: Vec<f64> = (0..config.replications)
-        .map(|i| {
-            let mut sim = Simulation::new(SimConfig::new(spec));
-            let mut workload = DriftingPoisson::new(
-                1.0,
-                requests_per_period,
-                Some(periods),
-                config.seed + i as u64,
-            );
-            let report = sim.run(
-                &mut workload,
-                RunLimit::Requests(requests_per_period * periods),
-            );
-            report.cost_per_request(model)
-        })
-        .collect();
+    let samples = crate::sweep::parallel_map(config.replications, 0, 1, |i| {
+        let mut sim = Simulation::new(SimConfig::defaults(spec));
+        let mut workload = DriftingPoisson::new(
+            1.0,
+            requests_per_period,
+            Some(periods),
+            config.seed + i as u64,
+        );
+        let report = sim.run(
+            &mut workload,
+            RunLimit::Requests(requests_per_period * periods),
+        );
+        report.cost_per_request(model)
+    });
     Summary::from_samples(&samples)
 }
 

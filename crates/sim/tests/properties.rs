@@ -1,8 +1,9 @@
 //! Property-based tests of the discrete-event simulator.
 
 use mdr_core::{CostModel, PolicySpec, Request, Schedule};
+use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{
-    ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimConfig, Simulation, TraceWorkload,
+    ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, Simulation, TraceWorkload,
 };
 use proptest::prelude::*;
 
@@ -21,6 +22,41 @@ fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
         .prop_map(Schedule::from_requests)
 }
 
+/// A small but fully random [`SweepGrid`]: every axis varies, runs stay
+/// cheap enough for a property test.
+fn arb_grid() -> impl Strategy<Value = SweepGrid> {
+    let policies = prop::collection::vec(arb_spec(), 1..=2);
+    let thetas = prop::collection::vec(0.0f64..=1.0, 1..=2);
+    let omegas = prop::collection::vec(0.0f64..=1.0, 1..=2);
+    let faulted = prop::bool::ANY;
+    let reps = 1usize..=2;
+    let requests = 40usize..=120;
+    let seed = any::<u64>();
+    (policies, thetas, omegas, faulted, reps, requests, seed).prop_map(
+        |(policies, thetas, omegas, faulted, reps, requests, seed)| {
+            let faults = if faulted {
+                let Ok(plan) = FaultPlan::new(0.05, 1.5, 0) else {
+                    unreachable!("the literal fault rates are valid")
+                };
+                vec![None, Some(plan)]
+            } else {
+                vec![None]
+            };
+            let Ok(grid) = SweepGrid::new(seed)
+                .policies(policies)
+                .and_then(|g| g.thetas(thetas))
+                .and_then(|g| g.omegas(omegas))
+                .and_then(|g| g.fault_plans(faults))
+                .and_then(|g| g.replications(reps))
+                .and_then(|g| g.requests(requests))
+            else {
+                unreachable!("every generated axis is valid by construction")
+            };
+            grid
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -35,7 +71,10 @@ proptest! {
         latency in 0.0f64..0.5,
     ) {
         let n = 400;
-        let mut sim = Simulation::new(SimConfig::new(spec).with_latency(latency));
+        let mut sim = SimBuilder::new(spec)
+            .and_then(|b| b.latency(latency))
+            .unwrap()
+            .simulation();
         let mut w = PoissonWorkload::from_theta(1.0, theta, seed);
         let report = sim.run(&mut w, RunLimit::Requests(n));
         prop_assert_eq!(report.counts.total(), n as u64);
@@ -53,7 +92,7 @@ proptest! {
         s in arb_schedule(200),
         omega in 0.0f64..=1.0,
     ) {
-        let mut sim = Simulation::new(SimConfig::new(spec));
+        let mut sim = SimBuilder::new(spec).unwrap().simulation();
         let mut w = TraceWorkload::new(s.clone(), 1.0);
         let report = sim.run(&mut w, RunLimit::Requests(s.len()));
         prop_assert!(report.cost(CostModel::Connection) <= s.len() as f64);
@@ -70,14 +109,16 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let run = |with_loss: bool| {
-            let mut config = SimConfig::new(spec);
-            if with_loss && loss > 0.0 {
-                let Ok(lossy) = config.with_loss(loss, 0.05, seed) else {
+            let builder = SimBuilder::new(spec).unwrap();
+            let builder = if with_loss && loss > 0.0 {
+                let Ok(lossy) = builder.loss(loss, 0.05, seed) else {
                     unreachable!("the generated loss grid is valid by construction")
                 };
-                config = lossy;
-            }
-            let mut sim = Simulation::new(config);
+                lossy
+            } else {
+                builder
+            };
+            let mut sim = builder.simulation();
             let mut w = TraceWorkload::new(s.clone(), 1.0);
             sim.run(&mut w, RunLimit::Requests(s.len()))
         };
@@ -104,15 +145,22 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let run = |ghosts: bool| {
-            let mut config = SimConfig::new(spec).with_latency(0.05);
-            if ghosts {
+            let builder = SimBuilder::new(spec)
+                .and_then(|b| b.latency(0.05))
+                .unwrap();
+            let builder = if ghosts {
                 let Ok(plan) = FaultPlan::new(0.0, 1.0, seed)
                     .and_then(|p| p.with_duplication(dup, reorder)) else {
                     unreachable!("the generated ghost rates are valid by construction")
                 };
-                config = config.with_faults(plan);
-            }
-            let mut sim = Simulation::new(config);
+                let Ok(faulted) = builder.faults(plan) else {
+                    unreachable!("no conflicting plan was installed")
+                };
+                faulted
+            } else {
+                builder
+            };
+            let mut sim = builder.simulation();
             let mut w = TraceWorkload::new(s.clone(), 1.0);
             sim.run(&mut w, RunLimit::Requests(s.len()))
         };
@@ -145,8 +193,11 @@ proptest! {
                 .and_then(|p| p.with_duplication(0.1, 0.1)) else {
                 unreachable!("the generated fault rates are valid by construction")
             };
-            let config = SimConfig::new(spec).with_latency(0.05).with_faults(plan);
-            let mut sim = Simulation::new(config);
+            let mut sim = SimBuilder::new(spec)
+                .and_then(|b| b.latency(0.05))
+                .and_then(|b| b.faults(plan))
+                .unwrap()
+                .simulation();
             let mut w = PoissonWorkload::from_theta(1.0, 0.4, seed ^ 0x5EED);
             sim.run(&mut w, RunLimit::Requests(300))
         };
@@ -184,14 +235,44 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case runs a grid 4 times; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole determinism property: **any** grid swept at 1, 2 and N
+    /// threads (and any chunking) produces a byte-identical report —
+    /// every cell, every summary entry, the digest, and the printed
+    /// ledger, down to the last float bit.
+    #[test]
+    fn sweeps_are_thread_count_invariant(
+        grid in arb_grid(),
+        threads in 2usize..=6,
+        chunk in 0usize..=3,
+    ) {
+        let serial = grid.run_serial();
+        let one = grid.run(SweepOptions { threads: 1, chunk });
+        let two = grid.run(SweepOptions { threads: 2, chunk: 1 });
+        let n = grid.run(SweepOptions { threads, chunk });
+        prop_assert_eq!(&serial, &one);
+        prop_assert_eq!(&serial, &two);
+        prop_assert_eq!(&serial, &n);
+        prop_assert_eq!(serial.summary, n.summary.clone());
+        prop_assert_eq!(serial.ledger_digest(), n.ledger_digest());
+        prop_assert_eq!(serial.ledger_lines().into_bytes(), n.ledger_lines().into_bytes());
+    }
+}
+
 #[test]
 fn regression_st2_poisson_with_high_latency() {
     // Pinned from a proptest shrink once recorded in the regression file:
     // ST2, θ ≈ 0.5357, seed 4359208734433868950, latency ≈ 0.4781. The run
     // must serve exactly n requests with the oracle check live and with
     // wire tallies matching the action ledger.
-    let config = SimConfig::new(PolicySpec::St2).with_latency(0.4781375308365721);
-    let mut sim = Simulation::new(config);
+    let mut sim = match SimBuilder::new(PolicySpec::St2).and_then(|b| b.latency(0.4781375308365721))
+    {
+        Ok(builder) => Simulation::new(builder.build()),
+        Err(e) => panic!("builder rejected a valid configuration: {e}"),
+    };
     let mut w = PoissonWorkload::from_theta(1.0, 0.535714170090935, 4359208734433868950);
     let report = sim.run(&mut w, RunLimit::Requests(400));
     assert_eq!(report.counts.total(), 400);

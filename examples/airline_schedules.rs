@@ -79,7 +79,7 @@ fn main() {
     let candidates = PolicySpec::roster(&[1, 9], &[]);
     let mut best_packet: Option<(String, f64)> = None;
     for &spec in &candidates {
-        let report = simulate_poisson(spec, theta, requests, 777);
+        let report = Simulation::run_poisson(spec, theta, requests, 777);
         let cell_cost = report.cost(cellular) * dollars_per_connection;
         let packet_cost = report.cost(packet) * dollars_per_data_msg;
         if best_packet.as_ref().is_none_or(|(_, c)| packet_cost < *c) {

@@ -18,14 +18,18 @@ use mobile_replication::prelude::*;
 use mobile_replication::sim::PoissonWorkload;
 
 fn run(spec: PolicySpec, loss: f64) -> SimReport {
-    let mut config = SimConfig::new(spec);
-    if loss > 0.0 {
-        let Ok(lossy) = config.with_loss(loss, 0.05, 0xBAD) else {
+    let Ok(builder) = SimBuilder::new(spec) else {
+        unreachable!("example policies are valid by construction")
+    };
+    let builder = if loss > 0.0 {
+        let Ok(lossy) = builder.loss(loss, 0.05, 0xBAD) else {
             unreachable!("example loss grid is valid by construction")
         };
-        config = lossy;
-    }
-    let mut sim = Simulation::new(config);
+        lossy
+    } else {
+        builder
+    };
+    let mut sim = builder.simulation();
     let mut workload = PoissonWorkload::from_theta(1.0, 0.35, 4242);
     sim.run(&mut workload, RunLimit::Requests(30_000))
 }

@@ -28,7 +28,7 @@ fn main() {
             // Theory: the paper's closed-form expected cost per request.
             let predicted = expected_cost(spec, model, theta);
             // Practice: run the full distributed MC/SC protocol.
-            let report = simulate_poisson(spec, theta, requests, 42);
+            let report = Simulation::run_poisson(spec, theta, requests, 42);
             println!(
                 "{:<8} {:>14.4} {:>14.4} {:>12} {:>12}",
                 spec.name(),

@@ -23,7 +23,10 @@ fn run_phased(spec: PolicySpec, model: CostModel) -> (f64, u64) {
     // 8 alternating phases of 5 000 requests: quiet (θ = 0.1) ↔ volatile
     // (θ = 0.9); rate 2 requests per minute.
     let mut workload = PhasedWorkload::new(2.0, 5_000, 0.1, 0.9, 2024);
-    let mut sim = Simulation::new(SimConfig::new(spec));
+    let Ok(builder) = SimBuilder::new(spec) else {
+        unreachable!("example policies are valid by construction")
+    };
+    let mut sim = builder.simulation();
     let report = sim.run(&mut workload, RunLimit::Requests(40_000));
     (
         report.cost_per_request(model),

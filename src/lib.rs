@@ -32,10 +32,14 @@
 //! let predicted = expected_cost(spec, CostModel::Connection, 0.3);
 //!
 //! // Run the actual distributed protocol on a Poisson workload.
-//! let report = simulate_poisson(spec, 0.3, 20_000, 7);
+//! let report = Simulation::run_poisson(spec, 0.3, 20_000, 7);
 //! let measured = report.cost_per_request(CostModel::Connection);
 //! assert!((measured - predicted).abs() < 0.02);
 //! ```
+//!
+//! For parameter grids — many policies × θ × fault plans, fanned across
+//! threads with byte-identical results at any thread count — see
+//! [`sim::sweep::SweepGrid`] and `docs/sweeps.md`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -75,8 +79,11 @@ pub mod prelude {
         run_spec, Action, AdaptivePolicy, AllocationPolicy, CostModel, PolicySpec, Request,
         RunOutcome, Schedule, SlidingWindow, St1, St2, T1, T2,
     };
-    pub use mdr_sim::{
-        simulate_poisson, simulate_schedule, PoissonWorkload, RunLimit, SimConfig, SimReport,
-        Simulation,
-    };
+    pub use mdr_sim::sweep::{SweepGrid, SweepOptions, SweepReport};
+    pub use mdr_sim::{PoissonWorkload, RunLimit, SimBuilder, SimConfig, SimReport, Simulation};
+    // Deprecated shims, re-exported for one release so downstream callers
+    // migrate on their own schedule (see the SimBuilder migration table in
+    // docs/sweeps.md).
+    #[allow(deprecated)]
+    pub use mdr_sim::{simulate_poisson, simulate_schedule};
 }

@@ -78,7 +78,7 @@ fn pi_k_matches_observed_replica_residency() {
     // locally happen with probability (1−θ)·π_k).
     let k = 7;
     let theta = 0.4;
-    let report = simulate_poisson(PolicySpec::SlidingWindow { k }, theta, 60_000, 77);
+    let report = Simulation::run_poisson(PolicySpec::SlidingWindow { k }, theta, 60_000, 77);
     let pi = mobile_replication::analysis::pi_k(k, theta);
     let local_read_fraction = report.counts.local_reads as f64 / report.counts.total() as f64;
     let predicted = (1.0 - theta) * pi;
@@ -99,7 +99,7 @@ fn deallocation_rate_matches_eq_11_transition_term() {
     // check it against the simulator's deallocation counter.
     for (k, theta) in [(3usize, 0.5), (5, 0.4), (9, 0.55)] {
         let n = 80_000;
-        let report = simulate_poisson(PolicySpec::SlidingWindow { k }, theta, n, 5);
+        let report = Simulation::run_poisson(PolicySpec::SlidingWindow { k }, theta, n, 5);
         let predicted = mobile_replication::analysis::transition_probability(k, theta);
         let measured = report.deallocations as f64 / n as f64;
         assert!(
@@ -114,7 +114,7 @@ fn connection_model_cost_equals_message_cost_at_omega_one_for_data_only_policies
     // ST2 never sends control messages, so its connection cost equals its
     // message cost at any ω — a cheap consistency check tying the two
     // accounting paths together.
-    let report = simulate_poisson(PolicySpec::St2, 0.5, 10_000, 3);
+    let report = Simulation::run_poisson(PolicySpec::St2, 0.5, 10_000, 3);
     assert_eq!(
         report.cost(CostModel::Connection),
         report.cost(CostModel::message(0.9))

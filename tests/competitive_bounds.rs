@@ -164,7 +164,7 @@ fn opt_through_the_simulator_pipeline() {
     // End-to-end: generate a Poisson schedule with the simulator, then
     // check OPT lower-bounds the very run that produced it.
     let spec = PolicySpec::SlidingWindow { k: 9 };
-    let report = simulate_poisson(spec, 0.45, 10_000, 31);
+    let report = Simulation::run_poisson(spec, 0.45, 10_000, 31);
     for model in [CostModel::Connection, CostModel::message(0.6)] {
         let opt = opt_cost(&report.schedule, model);
         assert!(report.cost(model) >= opt);

@@ -21,7 +21,7 @@ fn paper_reproduction_pipeline() {
     let predicted = expected_cost(winner.spec(), model, theta);
 
     // 4. Running the real distributed protocol confirms the prediction…
-    let report = simulate_poisson(winner.spec(), theta, 40_000, 123);
+    let report = Simulation::run_poisson(winner.spec(), theta, 40_000, 123);
     let measured = report.cost_per_request(model);
     assert!(
         (measured - predicted).abs() < 0.01,
@@ -30,7 +30,7 @@ fn paper_reproduction_pipeline() {
 
     // 5. …and beats both statics on the same seeded workload.
     for other in [PolicySpec::St1, PolicySpec::St2] {
-        let other_cost = simulate_poisson(other, theta, 40_000, 123).cost_per_request(model);
+        let other_cost = Simulation::run_poisson(other, theta, 40_000, 123).cost_per_request(model);
         assert!(measured < other_cost, "{} should lose here", other.name());
     }
 

@@ -4,7 +4,6 @@
 //! executable theorem.
 
 use mobile_replication::prelude::*;
-use mobile_replication::sim::simulate_schedule;
 use proptest::prelude::*;
 
 fn arb_schedule(max_len: usize) -> impl Strategy<Value = Schedule> {
@@ -30,7 +29,7 @@ proptest! {
     /// mode additionally asserts per-request action equality internally.)
     #[test]
     fn distributed_protocol_equals_reference(spec in arb_spec(), s in arb_schedule(150)) {
-        let sim = simulate_schedule(spec, &s);
+        let sim = Simulation::run_schedule(spec, &s);
         let reference = run_spec(spec, &s, CostModel::Connection);
         prop_assert_eq!(sim.counts, reference.counts);
         prop_assert_eq!(sim.cost(CostModel::Connection), reference.total_cost);
@@ -48,7 +47,10 @@ proptest! {
     fn latency_never_changes_cost(spec in arb_spec(), s in arb_schedule(80), latency in 0.0f64..2.0) {
         use mobile_replication::sim::{RunLimit, TraceWorkload};
         let run = |lat: f64| {
-            let mut sim = Simulation::new(SimConfig::new(spec).with_latency(lat));
+            let Ok(builder) = SimBuilder::new(spec).and_then(|b| b.latency(lat)) else {
+                unreachable!("generated policies and latencies are valid")
+            };
+            let mut sim = builder.simulation();
             let mut w = TraceWorkload::new(s.clone(), 0.5);
             sim.run(&mut w, RunLimit::Requests(s.len()))
         };
@@ -66,7 +68,7 @@ fn poisson_runs_pass_the_oracle_for_every_policy() {
     // simply completing these runs is the assertion.
     for spec in PolicySpec::roster(&[1, 3, 5, 9, 15], &[1, 3, 7]) {
         for theta in [0.1, 0.5, 0.9] {
-            let report = simulate_poisson(spec, theta, 3_000, 0xC0FFEE);
+            let report = Simulation::run_poisson(spec, theta, 3_000, 0xC0FFEE);
             assert_eq!(report.counts.total(), 3_000, "{spec} θ={theta}");
         }
     }
@@ -79,7 +81,7 @@ fn window_handoff_carries_exact_history() {
     let s: Schedule = "rrrwwwrrrwwwrrrwwwrrr".parse().unwrap();
     for k in [3usize, 5, 7] {
         let spec = PolicySpec::SlidingWindow { k };
-        let report = simulate_schedule(spec, &s);
+        let report = Simulation::run_schedule(spec, &s);
         assert!(
             report.allocations >= 2,
             "k={k}: ownership must migrate repeatedly"
@@ -92,7 +94,7 @@ fn window_handoff_carries_exact_history() {
 fn replica_is_never_stale() {
     // The sim asserts freshness internally; this drives a write-heavy
     // workload with replica churn to exercise that assertion hard.
-    let report = simulate_poisson(PolicySpec::SlidingWindow { k: 3 }, 0.65, 20_000, 9);
+    let report = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 3 }, 0.65, 20_000, 9);
     assert!(
         report.deallocations > 100,
         "the workload must actually churn the replica"
@@ -108,7 +110,7 @@ fn omega_zero_bills_only_data_messages() {
     for spec in PolicySpec::roster(&[1, 3, 5], &[2]) {
         for text in ["rwrwrwrwrw", "rrrwwwrrrwwwrrr", "wrrrrwwrwr"] {
             let s: Schedule = text.parse().unwrap();
-            let sim = simulate_schedule(spec, &s);
+            let sim = Simulation::run_schedule(spec, &s);
             let reference = run_spec(spec, &s, model);
             assert!(
                 (sim.cost(model) - reference.total_cost).abs() < 1e-9,
@@ -136,7 +138,7 @@ fn omega_one_bills_control_like_data() {
     for spec in PolicySpec::roster(&[1, 3, 5], &[2]) {
         for text in ["rwrwrwrwrw", "rrrwwwrrrwwwrrr", "wrrrrwwrwr"] {
             let s: Schedule = text.parse().unwrap();
-            let sim = simulate_schedule(spec, &s);
+            let sim = Simulation::run_schedule(spec, &s);
             let reference = run_spec(spec, &s, model);
             assert!(
                 (sim.cost(model) - reference.total_cost).abs() < 1e-9,
@@ -160,7 +162,10 @@ fn regression_high_latency_st1_read_write_read() {
     use mobile_replication::sim::{RunLimit, TraceWorkload};
     let s: Schedule = "rwr".parse().unwrap();
     let run = |lat: f64| {
-        let mut sim = Simulation::new(SimConfig::new(PolicySpec::St1).with_latency(lat));
+        let Ok(builder) = SimBuilder::new(PolicySpec::St1).and_then(|b| b.latency(lat)) else {
+            unreachable!("the pinned latency is valid")
+        };
+        let mut sim = builder.simulation();
         let mut w = TraceWorkload::new(s.clone(), 0.5);
         sim.run(&mut w, RunLimit::Requests(s.len()))
     };

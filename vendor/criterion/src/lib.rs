@@ -108,10 +108,18 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// One completed measurement, kept for the optional JSON report.
+struct Measurement {
+    name: String,
+    ns_per_iter: u128,
+    elements: Option<u64>,
+}
+
 /// The benchmark driver.
 #[derive(Default)]
 pub struct Criterion {
     iters: u64,
+    measurements: Vec<Measurement>,
 }
 
 impl Criterion {
@@ -137,6 +145,41 @@ impl Criterion {
             _ => String::new(),
         };
         println!("bench {name:<60} {per_iter:>12} ns/iter{rate}");
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            ns_per_iter: per_iter,
+            elements: match throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+        });
+    }
+
+    /// Renders the recorded measurements as a JSON array (names are
+    /// escaped for quotes and backslashes; ids never need more).
+    fn json_report(&self) -> String {
+        let rows: Vec<String> = self
+            .measurements
+            .iter()
+            .map(|m| {
+                let name: String = m
+                    .name
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' | '\\' => vec!['\\', c],
+                        _ => vec![c],
+                    })
+                    .collect();
+                let elements = m
+                    .elements
+                    .map_or_else(|| "null".to_string(), |n| n.to_string());
+                format!(
+                    "  {{\"name\": \"{name}\", \"ns_per_iter\": {}, \"elements\": {elements}}}",
+                    m.ns_per_iter
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
     }
 
     /// Opens a named benchmark group.
@@ -159,11 +202,27 @@ impl Criterion {
 }
 
 /// Entry point used by the `criterion_main!` expansion.
+///
+/// When the `CRITERION_JSON` environment variable names a path, the
+/// per-benchmark results are additionally written there as a JSON array
+/// of `{name, ns_per_iter, elements}` objects — CI uploads that file as
+/// the bench artifact.
 pub fn runner(groups: &[&dyn Fn(&mut Criterion)]) {
     // `cargo bench` passes harness flags like `--bench`; ignore them.
-    let mut criterion = Criterion { iters: 3 };
+    let mut criterion = Criterion {
+        iters: 3,
+        measurements: Vec::new(),
+    };
     for group in groups {
         group(&mut criterion);
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            match std::fs::write(&path, criterion.json_report()) {
+                Ok(()) => println!("bench results written to {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
     }
 }
 
@@ -193,7 +252,10 @@ mod tests {
 
     #[test]
     fn group_runs_benchmarks() {
-        let mut c = Criterion { iters: 2 };
+        let mut c = Criterion {
+            iters: 2,
+            measurements: Vec::new(),
+        };
         let mut runs = 0u32;
         {
             let mut g = c.benchmark_group("g");
@@ -212,5 +274,30 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("p=0.5").id, "p=0.5");
+    }
+
+    #[test]
+    fn json_report_escapes_and_lists_every_row() {
+        let c = Criterion {
+            iters: 1,
+            measurements: vec![
+                Measurement {
+                    name: "g/\"quoted\"".to_string(),
+                    ns_per_iter: 42,
+                    elements: Some(7),
+                },
+                Measurement {
+                    name: "g/plain".to_string(),
+                    ns_per_iter: 9,
+                    elements: None,
+                },
+            ],
+        };
+        let json = c.json_report();
+        assert!(json.contains("\"name\": \"g/\\\"quoted\\\"\""));
+        assert!(json.contains("\"ns_per_iter\": 42"));
+        assert!(json.contains("\"elements\": 7"));
+        assert!(json.contains("\"elements\": null"));
+        assert!(json.starts_with("[\n") && json.ends_with("\n]\n"));
     }
 }
