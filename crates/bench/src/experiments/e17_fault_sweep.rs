@@ -4,9 +4,11 @@
 //! mobile computers; the analysis itself assumes the MC stays reachable.
 //! This experiment drops that assumption: the fault layer injects
 //! disconnection windows, MC crashes (volatile and stable memory), SC
-//! outages and ghost deliveries (duplication + reordering the link-layer
-//! ARQ does not mask), and the reconnection handshake re-validates the
-//! replica and hands window ownership back.
+//! outages and ghost deliveries (duplication + reordering, which the
+//! transport does not hide — the protocol's own delivery watermark
+//! discards them), and the reconnection handshake re-validates the
+//! replica and hands window ownership back. Timeout-driven loss recovery
+//! is E18's subject: here the link delivers or it is down.
 //!
 //! The whole sweep now runs on the [`crate::sweep`] grid (the `e17`
 //! preset), which upgrades the old claims: (a) determinism is asserted

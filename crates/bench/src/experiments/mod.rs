@@ -9,6 +9,7 @@ pub mod e14_joint_vs_per_object;
 pub mod e15_mobility;
 pub mod e16_recompute_overhead;
 pub mod e17_fault_sweep;
+pub mod e18_arq_sweep;
 pub mod e1_connection_exp;
 pub mod e2_connection_avg;
 pub mod e3_connection_competitive;
@@ -23,12 +24,12 @@ use crate::table::Experiment;
 use crate::RunCfg;
 
 /// The experiment ids, in presentation order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
-/// Runs one experiment by id (`"e1"`…`"e17"`, case-insensitive).
+/// Runs one experiment by id (`"e1"`…`"e18"`, case-insensitive).
 pub fn run_one(id: &str, cfg: RunCfg) -> Option<Experiment> {
     Some(match id.to_ascii_lowercase().as_str() {
         "e1" => e1_connection_exp::run(cfg),
@@ -48,6 +49,7 @@ pub fn run_one(id: &str, cfg: RunCfg) -> Option<Experiment> {
         "e15" => e15_mobility::run(cfg),
         "e16" => e16_recompute_overhead::run(cfg),
         "e17" => e17_fault_sweep::run(cfg),
+        "e18" => e18_arq_sweep::run(cfg),
         _ => return None,
     })
 }

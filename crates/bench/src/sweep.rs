@@ -11,7 +11,7 @@ use crate::table::{fmt, fmt_opt, Table};
 use crate::RunCfg;
 use mdr_core::{CostModel, PolicySpec};
 use mdr_sim::sweep::{SweepGrid, SweepOptions, SweepReport, SweepSummary};
-use mdr_sim::FaultPlan;
+use mdr_sim::{ArqConfig, FaultPlan};
 
 /// The E17 fault mix at the given disconnection rate: outages of mean
 /// length 2, 30% crash probability (50% volatile), 20% SC outages, and
@@ -61,6 +61,50 @@ pub fn e17_grid(cfg: RunCfg) -> SweepGrid {
     grid
 }
 
+/// One E18 transport point: loss rate × retry budget × backoff factor at
+/// base timeout 0.2 (4× the grid latency). The grid re-seeds each run's
+/// transport RNG, so the embedded seed is irrelevant.
+pub fn e18_arq(loss: f64, budget: u32, backoff: f64) -> ArqConfig {
+    let Ok(arq) = ArqConfig::new(loss, 0.2, 0)
+        .and_then(|a| a.with_backoff(backoff, 0.25))
+        .and_then(|a| a.with_retry_budget(budget))
+    else {
+        unreachable!("the preset ARQ points are valid by construction")
+    };
+    arq
+}
+
+/// The E18 grid: three policies × the ARQ axis `[perfect link,
+/// loss 0.05 / budget 8 / backoff 2, loss 0.2 / budget 8 / backoff 2,
+/// loss 0.2 / budget 3 / backoff 1.5, loss 0.4 / budget 4 / backoff 2]`
+/// at θ = 0.4, ω = 0.5, latency 0.05. One model, one θ, one replication —
+/// so cell index is `policy_index * 5 + arq_index`.
+pub fn e18_grid(cfg: RunCfg) -> SweepGrid {
+    let Ok(grid) = SweepGrid::new(0xE18)
+        .policies(vec![
+            PolicySpec::St2,
+            PolicySpec::SlidingWindow { k: 1 },
+            PolicySpec::SlidingWindow { k: 5 },
+        ])
+        .and_then(|g| g.thetas(vec![0.4]))
+        .and_then(|g| g.models(vec![CostModel::message(0.5)]))
+        .and_then(|g| {
+            g.arq_configs(vec![
+                None,
+                Some(e18_arq(0.05, 8, 2.0)),
+                Some(e18_arq(0.2, 8, 2.0)),
+                Some(e18_arq(0.2, 3, 1.5)),
+                Some(e18_arq(0.4, 4, 2.0)),
+            ])
+        })
+        .and_then(|g| g.latency(0.05))
+        .and_then(|g| g.requests(cfg.pick(2_000, 10_000)))
+    else {
+        unreachable!("the E18 preset is valid by construction")
+    };
+    grid
+}
+
 /// The E6 grid: the window-size policies around the ω = 0.8 threshold
 /// (k₀ = 7) across a θ sweep, replicated for confidence intervals.
 pub fn e6_grid(cfg: RunCfg) -> SweepGrid {
@@ -81,18 +125,19 @@ pub fn e6_grid(cfg: RunCfg) -> SweepGrid {
     grid
 }
 
-/// Resolves a preset grid by name (`"e6"` / `"e17"`), as used by the
-/// `mdr sweep --preset` flag and the CI determinism job.
+/// Resolves a preset grid by name (`"e6"` / `"e17"` / `"e18"`), as used
+/// by the `mdr sweep --preset` flag and the CI determinism job.
 pub fn preset(name: &str, cfg: RunCfg) -> Option<SweepGrid> {
     match name {
         "e6" => Some(e6_grid(cfg)),
         "e17" => Some(e17_grid(cfg)),
+        "e18" => Some(e18_grid(cfg)),
         _ => None,
     }
 }
 
 /// Renders a [`SweepSummary`] as one table row per
-/// (policy, θ, fault, model) group.
+/// (policy, θ, fault, arq, model) group.
 pub fn summary_table(title: &str, summary: &SweepSummary) -> Table {
     let mut table = Table::new(
         title,
@@ -101,11 +146,15 @@ pub fn summary_table(title: &str, summary: &SweepSummary) -> Table {
             "θ",
             "model",
             "fault",
+            "arq",
             "cost/req",
             "stderr",
             "vs Eq. 2–8",
             "disconnects",
             "reconciliations",
+            "retx",
+            "acks",
+            "shed",
         ],
     );
     for entry in &summary.entries {
@@ -119,11 +168,15 @@ pub fn summary_table(title: &str, summary: &SweepSummary) -> Table {
             fmt(entry.theta),
             entry.model.to_string(),
             entry.fault_index.to_string(),
+            entry.arq_index.to_string(),
             fmt(entry.cost_per_request.mean),
             fmt(entry.cost_per_request.stderr()),
             fmt_opt(ratio),
             entry.disconnects.to_string(),
             entry.reconciliations.to_string(),
+            entry.retransmissions.to_string(),
+            entry.arq_acks.to_string(),
+            entry.shed_requests.to_string(),
         ]);
     }
     table
@@ -154,8 +207,10 @@ mod tests {
         let cfg = RunCfg { fast: true };
         assert_eq!(preset("e6", cfg), Some(e6_grid(cfg)));
         assert_eq!(preset("e17", cfg), Some(e17_grid(cfg)));
+        assert_eq!(preset("e18", cfg), Some(e18_grid(cfg)));
         assert_eq!(preset("e99", cfg), None);
         assert_eq!(e17_grid(cfg).cells(), 5 * 4);
+        assert_eq!(e18_grid(cfg).cells(), 3 * 5);
         assert_eq!(e6_grid(cfg).cells(), 4 * 5 * 2);
     }
 

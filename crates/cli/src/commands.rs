@@ -6,11 +6,11 @@ use mdr_adversary::{cycle_ratio, exhaustive_search, generators, measure};
 use mdr_analysis::dominance::{connection_winner, message_winner, Winner};
 use mdr_analysis::window_choice::{min_beneficial_k, recommend_k};
 use mdr_analysis::{average_expected_cost, competitive_factor, expected_cost};
-use mdr_bench::sweep::{e17_fault_plan, preset, summary_table};
+use mdr_bench::sweep::{e17_fault_plan, e18_arq, preset, summary_table};
 use mdr_bench::RunCfg;
 use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
-use mdr_sim::{FaultPlan, PoissonWorkload, RunLimit, SimBuilder};
+use mdr_sim::{ArqConfig, FaultPlan, PoissonWorkload, RunLimit, SimBuilder};
 use std::fmt::Write as _;
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
@@ -120,7 +120,8 @@ pub(crate) fn recommend(args: &Args) -> Result<String, CliError> {
 
 /// `mdr simulate --policy SW9 --theta 0.3 [--requests 50000] [--seed 42]
 /// [--omega 0.3] [--latency 0.01] [--faults RATE] [--outage T]
-/// [--crash-prob P] [--volatile-prob P]`
+/// [--crash-prob P] [--volatile-prob P] [--arq-loss P] [--arq-timeout T]
+/// [--arq-budget N] [--arq-backoff F] [--arq-jitter J] [--arq-deadline D]`
 pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
     let spec = parse_policy(args.required("policy")?)?;
     let theta: f64 = args.number("theta", 0.5)?;
@@ -143,6 +144,25 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
             .and_then(|p| p.with_crashes(crash, volatile))
             .map_err(|e| CliError(e.to_string()))?;
         builder = builder.faults(plan).map_err(|e| CliError(e.to_string()))?;
+    }
+    let arq_on = args.flags.contains_key("arq-loss");
+    if arq_on {
+        let arq_loss: f64 = args.number("arq-loss", 0.0)?;
+        let timeout: f64 = args.number("arq-timeout", 0.2)?;
+        let budget: u32 = args.number("arq-budget", 8)?;
+        let backoff: f64 = args.number("arq-backoff", 2.0)?;
+        let jitter: f64 = args.number("arq-jitter", 0.25)?;
+        let mut arq = ArqConfig::new(arq_loss, timeout, seed ^ 0xA6)
+            .and_then(|a| a.with_backoff(backoff, jitter))
+            .and_then(|a| a.with_retry_budget(budget))
+            .map_err(|e| CliError(e.to_string()))?;
+        if args.flags.contains_key("arq-deadline") {
+            let deadline: f64 = args.number("arq-deadline", 0.0)?;
+            arq = arq
+                .with_degrade_deadline(deadline)
+                .map_err(|e| CliError(e.to_string()))?;
+        }
+        builder = builder.arq(arq).map_err(|e| CliError(e.to_string()))?;
     }
     let mut sim = builder.simulation();
     let mut workload = PoissonWorkload::from_theta(1.0, theta, seed);
@@ -180,6 +200,25 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
             report.aborted_messages, report.reconciliation_messages, report.discarded_deliveries
         );
     }
+    if arq_on {
+        let _ = writeln!(
+            out,
+            "  arq: {} retransmissions ({} settled), {} acks billed, {} retry escalations",
+            report.retransmissions,
+            report.settled_retransmissions,
+            report.arq_acks,
+            report.retry_escalations
+        );
+        let opt = |v: Option<f64>| v.map_or_else(|| "n/a".to_owned(), |x| format!("{x:.4}"));
+        let _ = writeln!(
+            out,
+            "  degradation: {} shed, {} degraded reads; MTTR {}; mean staleness {}",
+            report.shed_requests(),
+            report.degraded_reads,
+            opt(report.mean_time_to_recovery()),
+            opt(report.mean_staleness())
+        );
+    }
     let _ = writeln!(
         out,
         "  theory: EXP = {:.4} (connection), {:.4} (message ω = {omega})",
@@ -199,11 +238,11 @@ fn parse_f64_list(raw: &str, what: &str) -> Result<Vec<f64>, CliError> {
         .collect()
 }
 
-/// `mdr sweep [--preset e6|e17] [--policies ST1,SW3,...] [--thetas ...]
+/// `mdr sweep [--preset e6|e17|e18] [--policies ST1,SW3,...] [--thetas ...]
 /// [--models connection,message:0.4] [--omegas ...] [--fault-rates ...]
-/// [--replications R] [--requests N] [--seed S] [--latency L]
-/// [--oracle on] [--threads T] [--chunk C] [--format table|ledger|json]
-/// [--full on]`
+/// [--arq-losses ...] [--replications R] [--requests N] [--seed S]
+/// [--latency L] [--oracle on] [--threads T] [--chunk C]
+/// [--format table|ledger|json] [--full on]`
 ///
 /// Stdout is deterministic: the same grid prints the same bytes at any
 /// `--threads`, which is exactly what the CI determinism job diffs.
@@ -215,7 +254,7 @@ pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
     let grid = match args.flags.get("preset") {
         Some(name) => {
             let Some(grid) = preset(name, cfg) else {
-                return err(format!("unknown preset {name:?}; expected e6 or e17"));
+                return err(format!("unknown preset {name:?}; expected e6, e17 or e18"));
             };
             // Presets fix their axes; only the run sizes stay adjustable.
             grid
@@ -261,6 +300,21 @@ pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
                 }
                 grid = grid
                     .fault_plans(plans)
+                    .map_err(|e| CliError(e.to_string()))?;
+            }
+            if let Some(raw) = args.flags.get("arq-losses") {
+                // Each loss rate installs the E18 transport point
+                // (budget 8, backoff 2, base timeout 0.2); a perfect-link
+                // baseline is always first.
+                let mut configs = vec![None];
+                for loss in parse_f64_list(raw, "ARQ loss rate")? {
+                    if !(0.0..1.0).contains(&loss) {
+                        return err(format!("ARQ loss rate must lie in [0, 1), got {loss}"));
+                    }
+                    configs.push(Some(e18_arq(loss, 8, 2.0)));
+                }
+                grid = grid
+                    .arq_configs(configs)
                     .map_err(|e| CliError(e.to_string()))?;
             }
             if let Some(latency) = args.flags.get("latency") {
@@ -322,7 +376,11 @@ pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
             let _ = write!(
                 out,
                 "{}",
-                summary_table("summary (policy × θ × fault × model)", &report.summary).render()
+                summary_table(
+                    "summary (policy × θ × fault × arq × model)",
+                    &report.summary
+                )
+                .render()
             );
             let _ = writeln!(out, "ledger digest: {:#018x}", report.ledger_digest());
         }
@@ -530,10 +588,14 @@ subcommands:
   simulate   --policy <P> [--theta T] [--requests N] [--seed S] [--omega W] [--latency L]
              [--faults RATE] [--outage T] [--crash-prob P] [--volatile-prob P]
              (RATE > 0 injects MC disconnections/crashes + reconnection recovery)
-  sweep      [--preset e6|e17] [--policies P1,P2] [--thetas ...] [--models ...]
-             [--omegas ...] [--fault-rates ...] [--replications R] [--requests N]
-             [--seed S] [--latency L] [--oracle on] [--threads T] [--chunk C]
-             [--format table|ledger|json] [--full on]
+             [--arq-loss P] [--arq-timeout T] [--arq-budget N] [--arq-backoff F]
+             [--arq-jitter J] [--arq-deadline D]
+             (--arq-loss enables the timed ARQ transport: timeout/backoff
+              retransmission, retry budgets, graceful degradation)
+  sweep      [--preset e6|e17|e18] [--policies P1,P2] [--thetas ...] [--models ...]
+             [--omegas ...] [--fault-rates ...] [--arq-losses ...] [--replications R]
+             [--requests N] [--seed S] [--latency L] [--oracle on] [--threads T]
+             [--chunk C] [--format table|ledger|json] [--full on]
              (deterministic parallel grid; stdout is byte-identical at any --threads)
   worst-case --policy <P> [--model M] [--max-len L] [--cycles C]
   trace      --policy <P> --schedule rrwwr [--model M] per-request execution trace
@@ -637,6 +699,49 @@ mod tests {
     }
 
     #[test]
+    fn simulate_with_arq_reports_transport() {
+        let argv = [
+            "simulate",
+            "--policy",
+            "SW3",
+            "--theta",
+            "0.4",
+            "--requests",
+            "3000",
+            "--seed",
+            "7",
+            "--latency",
+            "0.05",
+            "--arq-loss",
+            "0.2",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("arq:"), "{out}");
+        assert!(out.contains("retry escalations"), "{out}");
+        assert!(out.contains("degradation:"), "{out}");
+        // Identical command lines replay identical reports — the
+        // transport's timers and jitter are seed-derived, not clocked.
+        assert_eq!(out, run(&argv).unwrap());
+        // The transport composes with the fault layer.
+        let mut faulted: Vec<&str> = argv.to_vec();
+        faulted.extend(["--faults", "0.05"]);
+        let both = run(&faulted).unwrap();
+        assert!(both.contains("faults:") && both.contains("arq:"), "{both}");
+        // Invalid transport knobs are friendly errors, not panics.
+        assert!(run(&["simulate", "--policy", "SW3", "--arq-loss", "1.5"]).is_err());
+        assert!(run(&[
+            "simulate",
+            "--policy",
+            "SW3",
+            "--arq-loss",
+            "0.2",
+            "--arq-backoff",
+            "0.5",
+        ])
+        .is_err());
+    }
+
+    #[test]
     fn sweep_stdout_is_thread_count_invariant() {
         let base = [
             "sweep",
@@ -697,6 +802,46 @@ mod tests {
         assert!(run(&["sweep", "--policies", "SW4"]).is_err());
         assert!(run(&["sweep", "--format", "xml"]).is_err());
         assert!(run(&["sweep", "--fault-rates", "2.0"]).is_err());
+        assert!(run(&["sweep", "--arq-losses", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn sweep_arq_axis_is_thread_count_invariant() {
+        let base = [
+            "sweep",
+            "--policies",
+            "SW3",
+            "--thetas",
+            "0.4",
+            "--arq-losses",
+            "0.2",
+            "--latency",
+            "0.05",
+            "--requests",
+            "1000",
+            "--seed",
+            "3",
+        ];
+        let run_with = |threads: &str| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--threads", threads, "--format", "ledger"]);
+            run(&argv).unwrap()
+        };
+        let serial = run_with("1");
+        assert_eq!(serial, run_with("4"));
+        assert!(serial.contains("arq=1"), "{serial}");
+        // The e18 preset resolves and carries the ARQ axis too.
+        let preset = run(&[
+            "sweep",
+            "--preset",
+            "e18",
+            "--requests",
+            "400",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(preset.contains("arq"), "{preset}");
     }
 
     #[test]

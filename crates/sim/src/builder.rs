@@ -23,7 +23,7 @@
 //! assert!(SimBuilder::new(PolicySpec::SlidingWindow { k: 4 }).is_err());
 //! ```
 
-use crate::faults::{ConfigError, FaultPlan};
+use crate::faults::{ArqConfig, ConfigError, FaultPlan};
 use crate::sim::{LossConfig, MobilityConfig, SimConfig, Simulation};
 use mdr_core::PolicySpec;
 
@@ -140,26 +140,50 @@ impl SimBuilder {
         Ok(self)
     }
 
-    /// Enables the lossy-link model (link-layer ARQ with per-attempt
-    /// billing).
+    /// Enables the instant lossy-link model (the whole retry sequence is
+    /// resolved at send time with per-attempt billing; for timed
+    /// retransmission with bounded retries see [`SimBuilder::arq`]).
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError::LossProbability`] unless
-    /// `0 ≤ loss_probability < 1` and [`ConfigError::RetryTimeout`] unless
-    /// the timeout is finite and positive.
+    /// `0 ≤ loss_probability < 1`, [`ConfigError::RetryTimeout`] unless
+    /// the timeout is finite and positive, and
+    /// [`ConfigError::ConflictingLinkModels`] if the ARQ transport is
+    /// already installed — a link plays either loss model, never both.
     pub fn loss(
         mut self,
         loss_probability: f64,
         retry_timeout: f64,
         seed: u64,
     ) -> Result<Self, ConfigError> {
+        if self.config.arq.is_some() {
+            return Err(ConfigError::ConflictingLinkModels);
+        }
         validate_loss(loss_probability, retry_timeout)?;
         self.config.loss = Some(LossConfig {
             loss_probability,
             retry_timeout,
             seed,
         });
+        Ok(self)
+    }
+
+    /// Installs the deterministic ARQ transport from an already-validated
+    /// [`ArqConfig`] (timed stop-and-wait retransmission with exponential
+    /// backoff, bounded retries, declared disconnections and graceful
+    /// degradation — see `docs/faults.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ConflictingLinkModels`] if the instant loss
+    /// model is already installed — a link plays either loss model, never
+    /// both.
+    pub fn arq(mut self, arq: ArqConfig) -> Result<Self, ConfigError> {
+        if self.config.loss.is_some() {
+            return Err(ConfigError::ConflictingLinkModels);
+        }
+        self.config.arq = Some(arq);
         Ok(self)
     }
 
@@ -260,6 +284,31 @@ mod tests {
             SimBuilder::new(PolicySpec::T2 { m: 0 }).unwrap_err(),
             ConfigError::ZeroThreshold
         );
+    }
+
+    #[test]
+    fn the_two_link_models_are_mutually_exclusive() {
+        let arq = ArqConfig::new(0.2, 0.1, 7).unwrap();
+        assert_eq!(
+            SimBuilder::new(PolicySpec::St1)
+                .and_then(|b| b.loss(0.1, 0.05, 1))
+                .and_then(|b| b.arq(arq.clone()))
+                .unwrap_err(),
+            ConfigError::ConflictingLinkModels
+        );
+        assert_eq!(
+            SimBuilder::new(PolicySpec::St1)
+                .and_then(|b| b.arq(arq.clone()))
+                .and_then(|b| b.loss(0.1, 0.05, 1))
+                .unwrap_err(),
+            ConfigError::ConflictingLinkModels
+        );
+        // Alone, either installs fine.
+        let built = SimBuilder::new(PolicySpec::St1)
+            .and_then(|b| b.arq(arq))
+            .unwrap()
+            .build();
+        assert!(built.arq.is_some());
     }
 
     #[test]

@@ -116,6 +116,28 @@ pub enum ConfigError {
         /// Which count was zero.
         what: &'static str,
     },
+    /// An ARQ backoff factor below 1 or not finite (the retransmission
+    /// timeout must not shrink between attempts).
+    BackoffFactor {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An ARQ jitter fraction outside `[0, 1)`.
+    Jitter {
+        /// The rejected value.
+        value: f64,
+    },
+    /// An ARQ retry budget of zero (at least the original transmission
+    /// must be attempted before escalating to a declared disconnection).
+    ZeroRetryBudget,
+    /// An ARQ degradation deadline that is not finite and positive.
+    DegradeDeadline {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Both the legacy instant-retransmit loss model and the ARQ transport
+    /// installed on one builder — the link can only be modelled once.
+    ConflictingLinkModels,
 }
 
 impl fmt::Display for ConfigError {
@@ -184,6 +206,30 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroCount { what } => {
                 write!(f, "{what} must be at least 1")
             }
+            ConfigError::BackoffFactor { value } => {
+                write!(
+                    f,
+                    "backoff factor must be finite and at least 1, got {value}"
+                )
+            }
+            ConfigError::Jitter { value } => {
+                write!(f, "jitter fraction must lie in [0, 1), got {value}")
+            }
+            ConfigError::ZeroRetryBudget => {
+                write!(f, "retry budget must be at least 1")
+            }
+            ConfigError::DegradeDeadline { value } => {
+                write!(
+                    f,
+                    "degradation deadline must be finite and positive, got {value}"
+                )
+            }
+            ConfigError::ConflictingLinkModels => {
+                write!(
+                    f,
+                    "the instant loss model and the ARQ transport cannot both be installed"
+                )
+            }
         }
     }
 }
@@ -226,8 +272,8 @@ impl FaultKind {
 /// classified as an MC crash (volatile or stable), an SC outage, or a
 /// plain doze by the configured probabilities. Independently, every
 /// transmission may be duplicated or have a stale copy reordered past
-/// later traffic — network misbehaviour the link-layer ARQ does *not*
-/// mask, exercised against the protocol's epoch/sequence guards.
+/// later traffic — network misbehaviour that no retransmission scheme
+/// repairs, exercised against the protocol's epoch/sequence guards.
 ///
 /// ```
 /// use mdr_sim::FaultPlan;
@@ -336,6 +382,148 @@ impl FaultPlan {
     }
 }
 
+/// Configuration of the deterministic stop-and-wait ARQ transport
+/// (robustness extension; see the "Transport" section of `docs/faults.md`).
+///
+/// Where [`LossConfig`](crate::LossConfig) models loss as an *instant*
+/// retransmission loop (attempts are pre-drawn and billed in one step, so
+/// the loss probability must stay below 1), `ArqConfig` runs the real
+/// protocol: every envelope is timed, retransmitted on timeout under an
+/// exponential-backoff law with seed-derived jitter, and given up on after
+/// `retry_budget` retransmissions — at which point the transport declares
+/// the link down and escalates into the reconnection path. A declared
+/// partition that outlives `degrade_deadline` puts the MC into degraded
+/// mode: reads are served from the cached replica (staleness-tracked) and
+/// requests that need the wire are shed with a typed outcome instead of
+/// blocking the event loop. Because the budget is bounded, a loss
+/// probability of exactly 1 is legal and the run still terminates.
+///
+/// All timing knobs are validated at construction; this module is the one
+/// place in the workspace allowed to bind raw timeout constants (enforced
+/// by `cargo xtask lint`).
+///
+/// ```
+/// use mdr_sim::ArqConfig;
+///
+/// let arq = ArqConfig::new(0.2, 0.05, 7)
+///     .and_then(|a| a.with_backoff(2.0, 0.1))
+///     .and_then(|a| a.with_retry_budget(6))
+///     .and_then(|a| a.with_degrade_deadline(2.0));
+/// assert!(arq.is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArqConfig {
+    /// Per-attempt probability that the envelope (or its ack) is lost.
+    /// Unlike the instant loss model, the full closed interval `[0, 1]`
+    /// is legal: the retry budget bounds every retransmission loop.
+    pub loss_probability: f64,
+    /// Retransmission timeout of the first attempt (time units).
+    pub base_timeout: f64,
+    /// Multiplicative backoff applied per retransmission (≥ 1).
+    pub backoff_factor: f64,
+    /// Uniform jitter fraction in `[0, 1)`: attempt `i` waits
+    /// `base · factor^(i−1) · (1 + jitter · u)` with `u ~ U[0, 1)` drawn
+    /// from the dedicated ARQ RNG stream.
+    pub jitter: f64,
+    /// Maximum retransmissions per envelope before the transport declares
+    /// the link down (≥ 1).
+    pub retry_budget: u32,
+    /// How long a declared partition may last before the MC degrades:
+    /// serving reads from its replica and shedding wire-bound requests.
+    pub degrade_deadline: f64,
+    /// RNG seed for the ARQ loss/jitter stream.
+    pub seed: u64,
+}
+
+impl ArqConfig {
+    /// An ARQ transport with the given per-attempt loss probability and
+    /// base retransmission timeout: backoff factor 2, no jitter, a budget
+    /// of 8 retransmissions, and a degradation deadline of 40 base
+    /// timeouts. Refine with the `with_*` builders.
+    pub fn new(loss_probability: f64, base_timeout: f64, seed: u64) -> Result<Self, ConfigError> {
+        if !(0.0..=1.0).contains(&loss_probability) {
+            return Err(ConfigError::Probability {
+                what: "ARQ loss probability",
+                value: loss_probability,
+            });
+        }
+        if !(base_timeout > 0.0 && base_timeout.is_finite()) {
+            return Err(ConfigError::RetryTimeout {
+                value: base_timeout,
+            });
+        }
+        Ok(ArqConfig {
+            loss_probability,
+            base_timeout,
+            backoff_factor: 2.0,
+            jitter: 0.0,
+            retry_budget: 8,
+            degrade_deadline: 40.0 * base_timeout,
+            seed,
+        })
+    }
+
+    /// Sets the backoff law: the factor multiplying the timeout per
+    /// retransmission (≥ 1) and the uniform jitter fraction in `[0, 1)`.
+    pub fn with_backoff(mut self, factor: f64, jitter: f64) -> Result<Self, ConfigError> {
+        if !(factor >= 1.0 && factor.is_finite()) {
+            return Err(ConfigError::BackoffFactor { value: factor });
+        }
+        if !((0.0..1.0).contains(&jitter) && jitter.is_finite()) {
+            return Err(ConfigError::Jitter { value: jitter });
+        }
+        self.backoff_factor = factor;
+        self.jitter = jitter;
+        Ok(self)
+    }
+
+    /// Sets the retransmission budget per envelope (≥ 1).
+    pub fn with_retry_budget(mut self, budget: u32) -> Result<Self, ConfigError> {
+        if budget == 0 {
+            return Err(ConfigError::ZeroRetryBudget);
+        }
+        self.retry_budget = budget;
+        Ok(self)
+    }
+
+    /// Sets the degradation deadline: how long a declared partition may
+    /// last before the MC serves degraded reads and sheds wire-bound
+    /// requests.
+    pub fn with_degrade_deadline(mut self, deadline: f64) -> Result<Self, ConfigError> {
+        if !(deadline > 0.0 && deadline.is_finite()) {
+            return Err(ConfigError::DegradeDeadline { value: deadline });
+        }
+        self.degrade_deadline = deadline;
+        Ok(self)
+    }
+
+    /// The retransmission timeout of attempt `attempt` (1-based) before
+    /// jitter: `base_timeout · backoff_factor^(attempt − 1)`.
+    pub fn timeout_for_attempt(&self, attempt: u32) -> f64 {
+        self.base_timeout * self.backoff_factor.powi(attempt.saturating_sub(1) as i32)
+    }
+}
+
+/// Total-order float comparison, like [`FaultPlan`]'s `PartialEq`.
+impl PartialEq for ArqConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.loss_probability
+            .total_cmp(&other.loss_probability)
+            .is_eq()
+            && self.base_timeout.total_cmp(&other.base_timeout).is_eq()
+            && self.backoff_factor.total_cmp(&other.backoff_factor).is_eq()
+            && self.jitter.total_cmp(&other.jitter).is_eq()
+            && self.retry_budget == other.retry_budget
+            && self
+                .degrade_deadline
+                .total_cmp(&other.degrade_deadline)
+                .is_eq()
+            && self.seed == other.seed
+    }
+}
+
+impl Eq for ArqConfig {}
+
 /// See `SimConfig`'s `PartialEq`: IEEE-754 total-order comparison on the
 /// float fields, exact equality on the seed, so the semantics of NaN and
 /// signed zero are explicit rather than inherited from a derived float
@@ -434,5 +622,109 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("invalid configuration"), "{text}");
         assert!(text.contains("disconnect rate"), "{text}");
+    }
+
+    #[test]
+    fn valid_arq_configs_build() {
+        let arq = ArqConfig::new(0.3, 0.05, 11)
+            .and_then(|a| a.with_backoff(1.5, 0.2))
+            .and_then(|a| a.with_retry_budget(4))
+            .and_then(|a| a.with_degrade_deadline(3.0))
+            .unwrap();
+        assert_eq!(arq.retry_budget, 4);
+        assert_eq!(arq.seed, 11);
+        // Total loss is legal under a bounded budget.
+        assert!(ArqConfig::new(1.0, 0.05, 0).is_ok());
+    }
+
+    /// Satellite: `ConfigError::RetryTimeout` is wired end-to-end — a
+    /// non-finite or non-positive base timeout is rejected with exactly
+    /// that variant.
+    #[test]
+    fn arq_retry_timeout_is_validated() {
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let err = ArqConfig::new(0.1, bad, 0).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::RetryTimeout { value } if value.total_cmp(&bad).is_eq()),
+                "{err}"
+            );
+            assert!(err.to_string().contains("retry timeout"), "{err}");
+        }
+    }
+
+    #[test]
+    fn arq_loss_probability_is_validated() {
+        for bad in [-0.1, 1.1, f64::NAN] {
+            let err = ArqConfig::new(bad, 0.05, 0).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Probability { what, .. } if what.contains("ARQ")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn arq_backoff_factor_is_validated() {
+        let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
+        for bad in [0.5, 0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let err = base.clone().with_backoff(bad, 0.0).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::BackoffFactor { value } if value.total_cmp(&bad).is_eq()),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn arq_jitter_is_validated() {
+        let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
+        for bad in [-0.1, 1.0, 1.5, f64::NAN] {
+            let err = base.clone().with_backoff(2.0, bad).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Jitter { value } if value.total_cmp(&bad).is_eq()),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn arq_retry_budget_is_validated() {
+        let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
+        assert_eq!(
+            base.clone().with_retry_budget(0).unwrap_err(),
+            ConfigError::ZeroRetryBudget
+        );
+        assert!(base.with_retry_budget(1).is_ok());
+    }
+
+    #[test]
+    fn arq_degrade_deadline_is_validated() {
+        let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = base.clone().with_degrade_deadline(bad).unwrap_err();
+            assert!(
+                matches!(err, ConfigError::DegradeDeadline { value } if value.total_cmp(&bad).is_eq()),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn arq_backoff_schedule_is_exponential() {
+        let arq = ArqConfig::new(0.1, 0.05, 0)
+            .and_then(|a| a.with_backoff(2.0, 0.0))
+            .unwrap();
+        assert!((arq.timeout_for_attempt(1) - 0.05).abs() < 1e-12);
+        assert!((arq.timeout_for_attempt(2) - 0.10).abs() < 1e-12);
+        assert!((arq.timeout_for_attempt(4) - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arq_equality_is_total_order_on_floats() {
+        let a = ArqConfig::new(0.1, 0.05, 3).unwrap();
+        let b = ArqConfig::new(0.1, 0.05, 3).unwrap();
+        assert_eq!(a, b);
+        let c = ArqConfig::new(0.1, 0.05, 4).unwrap();
+        assert_ne!(a, c);
     }
 }

@@ -46,12 +46,15 @@ mod workload;
 
 pub use builder::SimBuilder;
 pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfig, Summary};
-pub use faults::{ConfigError, FaultKind, FaultPlan};
+pub use faults::{ArqConfig, ConfigError, FaultKind, FaultPlan};
 pub use nodes::{MobileNode, StationaryNode};
 pub use protocol::{Envelope, ProtocolState, StepOutcome};
 #[allow(deprecated)]
 pub use sim::{simulate_poisson, simulate_schedule};
-pub use sim::{LossConfig, MobilityConfig, RunLimit, SimConfig, SimReport, Simulation};
+pub use sim::{
+    InvariantMonitor, LossConfig, MobilityConfig, RunLimit, ShedRequest, SimConfig, SimReport,
+    Simulation,
+};
 pub use wire::{Endpoint, MessageClass, WireMessage};
 pub use workload::{
     Arrival, ArrivalProcess, DriftingPoisson, Period, PhasedWorkload, PoissonWorkload,

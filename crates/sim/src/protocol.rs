@@ -34,8 +34,9 @@ use mdr_core::{Action, ActionCounts, PolicySpec, Request};
 /// a monotone **sequence number** (fault-model extension, `docs/faults.md`):
 /// [`ProtocolState::receive`] discards deliveries from a previous epoch and
 /// duplicate or stale-reordered deliveries, which is what keeps the
-/// protocol correct when the network duplicates or delays envelopes beyond
-/// what the link-layer ARQ masks.
+/// protocol correct when the network duplicates or delays envelopes — and
+/// what makes the ARQ transport's retransmissions idempotent (a retransmit
+/// whose original already arrived is discarded unbilled by the watermark).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Envelope {
     /// The endpoint the message is addressed to.
@@ -399,9 +400,9 @@ impl ProtocolState {
 
     /// Discards the in-flight envelope at `index` without delivering it —
     /// verification support for modelling an *unrecovered* message loss
-    /// (the simulator's link-layer ARQ normally makes loss invisible to the
-    /// protocol). The exchange is left dangling, which the checker's
-    /// deadlock invariant must detect.
+    /// (the simulator's ARQ transport normally repairs loss by timed
+    /// retransmission, see `docs/faults.md`). The exchange is left
+    /// dangling, which the checker's deadlock invariant must detect.
     ///
     /// # Panics
     ///

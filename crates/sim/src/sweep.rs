@@ -1,7 +1,8 @@
 //! Deterministic parallel sweep engine.
 //!
 //! A [`SweepGrid`] declares a cross-product of simulation cells —
-//! policy × θ × cost model (ω) × fault plan × replication — and executes
+//! policy × θ × cost model (ω) × fault plan × ARQ transport ×
+//! replication — and executes
 //! them across a thread pool with a hard guarantee: **the result is
 //! byte-identical to the serial path regardless of thread count, chunk
 //! size, or OS scheduling**. The guarantee rests on three design rules:
@@ -22,7 +23,8 @@
 //!    scheduling noise into the statistics.
 //!
 //! The canonical cell order is policy (outermost) → θ → fault plan →
-//! replication → cost model (innermost). The cost model only re-prices an
+//! ARQ transport → replication → cost model (innermost). The cost model
+//! only re-prices an
 //! already-simulated run — ω is a billing parameter, not a protocol
 //! parameter — so cells that differ only in the model share one
 //! simulation run and *must* report identical ledgers.
@@ -32,7 +34,7 @@
 //! deprecated per-experiment loops.
 
 use crate::builder::{validate_latency, validate_policy};
-use crate::faults::{ConfigError, FaultPlan};
+use crate::faults::{ArqConfig, ConfigError, FaultPlan};
 use crate::sim::{RunLimit, SimConfig, SimReport, Simulation};
 use crate::workload::PoissonWorkload;
 use mdr_core::{CostModel, PolicySpec};
@@ -49,14 +51,16 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Seed streams keep the workload and fault RNGs of one run independent
-/// even though both derive from the same grid seed and (θ, replication)
-/// coordinates.
+/// Seed streams keep the workload, fault and transport RNGs of one run
+/// independent even though all derive from the same grid seed and
+/// (θ, replication) coordinates.
 pub mod streams {
     /// Arrival-process RNG.
     pub const WORKLOAD: u64 = 0;
     /// Fault-schedule RNG.
     pub const FAULT: u64 = 1;
+    /// ARQ transport RNG (loss fates and backoff jitter).
+    pub const ARQ: u64 = 2;
 }
 
 /// Derives the RNG seed for (`stream`, `index`) under `grid_seed`.
@@ -154,6 +158,7 @@ pub struct SweepGrid {
     thetas: Vec<f64>,
     models: Vec<CostModel>,
     faults: Vec<Option<FaultPlan>>,
+    arqs: Vec<Option<ArqConfig>>,
     replications: usize,
     requests: usize,
     latency: f64,
@@ -171,6 +176,7 @@ impl SweepGrid {
             thetas: vec![0.5],
             models: vec![CostModel::Connection],
             faults: vec![None],
+            arqs: vec![None],
             replications: 1,
             requests: 10_000,
             latency: 0.01,
@@ -268,6 +274,24 @@ impl SweepGrid {
         Ok(self)
     }
 
+    /// Sets the ARQ transport axis; `None` entries run the perfect
+    /// (instant, lossless) link. Configs carry their own validation
+    /// ([`ArqConfig::new`]); each run re-seeds its transport RNG from the
+    /// grid seed, so the config's embedded seed is irrelevant here.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyAxis`] on an empty list.
+    pub fn arq_configs(mut self, arqs: Vec<Option<ArqConfig>>) -> Result<Self, ConfigError> {
+        if arqs.is_empty() {
+            return Err(ConfigError::EmptyAxis {
+                what: "ARQ configs",
+            });
+        }
+        self.arqs = arqs;
+        Ok(self)
+    }
+
     /// Sets the number of independent replications per cell.
     ///
     /// # Errors
@@ -326,7 +350,11 @@ impl SweepGrid {
     /// Number of simulation runs (cells ÷ models — the model axis
     /// re-prices runs instead of re-simulating them).
     pub fn runs(&self) -> usize {
-        self.policies.len() * self.thetas.len() * self.faults.len() * self.replications
+        self.policies.len()
+            * self.thetas.len()
+            * self.faults.len()
+            * self.arqs.len()
+            * self.replications
     }
 
     /// Number of priced cells in the grid.
@@ -335,13 +363,14 @@ impl SweepGrid {
     }
 
     /// The (θ, replication) slot of `run_index` — deliberately blind to
-    /// the policy and fault axes, so every policy and every fault plan at
-    /// the same (θ, replication) coordinates draws the same seeds and the
-    /// grid produces *paired* comparisons.
+    /// the policy, fault and ARQ axes, so every policy, fault plan and
+    /// transport at the same (θ, replication) coordinates draws the same
+    /// seeds and the grid produces *paired* comparisons.
     fn workload_index(&self, run_index: usize) -> u64 {
         let reps = self.replications;
         let rep_index = run_index % reps;
-        let theta_index = (run_index / (reps * self.faults.len())) % self.thetas.len();
+        let theta_index =
+            (run_index / (reps * self.arqs.len() * self.faults.len())) % self.thetas.len();
         (theta_index * reps + rep_index) as u64
     }
 
@@ -352,11 +381,11 @@ impl SweepGrid {
     }
 
     /// Fault-schedule seed for `run_index`: one stream slot per
-    /// (fault plan, θ, replication) — shared across policies so every
-    /// policy faces the same outage schedule, distinct per plan so plans
-    /// don't echo each other.
+    /// (fault plan, θ, replication) — shared across policies and ARQ
+    /// configs so every policy and transport faces the same outage
+    /// schedule, distinct per plan so plans don't echo each other.
     fn fault_seed(&self, run_index: usize) -> u64 {
-        let fault_index = (run_index / self.replications) % self.faults.len();
+        let fault_index = (run_index / (self.replications * self.arqs.len())) % self.faults.len();
         let slots = (self.thetas.len() * self.replications) as u64;
         derive_seed(
             self.seed,
@@ -365,15 +394,31 @@ impl SweepGrid {
         )
     }
 
-    /// Decodes `run_index` (canonical order: policy → θ → fault →
+    /// Transport seed for `run_index`: one stream slot per
+    /// (ARQ config, θ, replication) — shared across policies and fault
+    /// plans so every policy faces the same loss fates and jitter draws,
+    /// distinct per config so configs don't echo each other.
+    fn arq_seed(&self, run_index: usize) -> u64 {
+        let arq_index = (run_index / self.replications) % self.arqs.len();
+        let slots = (self.thetas.len() * self.replications) as u64;
+        derive_seed(
+            self.seed,
+            streams::ARQ,
+            arq_index as u64 * slots + self.workload_index(run_index),
+        )
+    }
+
+    /// Decodes `run_index` (canonical order: policy → θ → fault → ARQ →
     /// replication) and executes that run.
     fn execute_run(&self, run_index: usize) -> SimReport {
         let reps = self.replications;
+        let arqs = self.arqs.len();
         let faults = self.faults.len();
         let thetas = self.thetas.len();
-        let fault_index = (run_index / reps) % faults;
-        let theta_index = (run_index / (reps * faults)) % thetas;
-        let policy_index = run_index / (reps * faults * thetas);
+        let arq_index = (run_index / reps) % arqs;
+        let fault_index = (run_index / (reps * arqs)) % faults;
+        let theta_index = (run_index / (reps * arqs * faults)) % thetas;
+        let policy_index = run_index / (reps * arqs * faults * thetas);
 
         let mut config = SimConfig::defaults(self.policies[policy_index]);
         config.latency = self.latency;
@@ -382,6 +427,11 @@ impl SweepGrid {
             let mut plan = plan.clone();
             plan.seed = self.fault_seed(run_index);
             config.faults = Some(plan);
+        }
+        if let Some(arq) = &self.arqs[arq_index] {
+            let mut arq = arq.clone();
+            arq.seed = self.arq_seed(run_index);
+            config.arq = Some(arq);
         }
         let mut sim = Simulation::new(config);
         let mut workload = PoissonWorkload::from_theta(
@@ -415,19 +465,22 @@ impl SweepGrid {
     /// already being in run-index order.
     fn assemble(&self, reports: Vec<SimReport>) -> SweepReport {
         let reps = self.replications;
+        let arqs = self.arqs.len();
         let faults = self.faults.len();
         let mut cells = Vec::with_capacity(self.cells());
         for (run_index, report) in reports.iter().enumerate() {
             let rep_index = run_index % reps;
-            let fault_index = (run_index / reps) % faults;
-            let theta_index = (run_index / (reps * faults)) % self.thetas.len();
-            let policy_index = run_index / (reps * faults * self.thetas.len());
+            let arq_index = (run_index / reps) % arqs;
+            let fault_index = (run_index / (reps * arqs)) % faults;
+            let theta_index = (run_index / (reps * arqs * faults)) % self.thetas.len();
+            let policy_index = run_index / (reps * arqs * faults * self.thetas.len());
             for &model in &self.models {
                 cells.push(CellReport {
                     policy: self.policies[policy_index],
                     theta: self.thetas[theta_index],
                     model,
                     fault_index,
+                    arq_index,
                     replication: rep_index,
                     workload_seed: self.workload_seed(run_index),
                     cost_per_request: report.try_cost_per_request(model),
@@ -436,24 +489,29 @@ impl SweepGrid {
             }
         }
 
-        // Summary groups: (policy, θ, fault, model), replications folded
-        // in ascending order within each group.
+        // Summary groups: (policy, θ, fault, ARQ, model), replications
+        // folded in ascending order within each group.
         let mut entries = Vec::new();
         for (policy_index, &policy) in self.policies.iter().enumerate() {
             for (theta_index, &theta) in self.thetas.iter().enumerate() {
                 for fault_index in 0..faults {
-                    for &model in &self.models {
-                        let mut entry = SweepEntry::empty(policy, theta, model, fault_index);
-                        let analytic = mdr_analysis::expected_cost(policy, model, theta);
-                        for rep_index in 0..reps {
-                            let run_index = ((policy_index * self.thetas.len() + theta_index)
-                                * faults
-                                + fault_index)
-                                * reps
-                                + rep_index;
-                            entry.push(&reports[run_index], model, analytic);
+                    for arq_index in 0..arqs {
+                        for &model in &self.models {
+                            let mut entry =
+                                SweepEntry::empty(policy, theta, model, fault_index, arq_index);
+                            let analytic = mdr_analysis::expected_cost(policy, model, theta);
+                            for rep_index in 0..reps {
+                                let run_index =
+                                    (((policy_index * self.thetas.len() + theta_index) * faults
+                                        + fault_index)
+                                        * arqs
+                                        + arq_index)
+                                        * reps
+                                        + rep_index;
+                                entry.push(&reports[run_index], model, analytic);
+                            }
+                            entries.push(entry);
                         }
-                        entries.push(entry);
                     }
                 }
             }
@@ -536,8 +594,8 @@ impl Moments {
     }
 }
 
-/// Aggregate statistics for one (policy, θ, fault plan, cost model) group
-/// of a sweep, folded over its replications.
+/// Aggregate statistics for one (policy, θ, fault plan, ARQ config, cost
+/// model) group of a sweep, folded over its replications.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SweepEntry {
     /// Allocation policy.
@@ -548,6 +606,8 @@ pub struct SweepEntry {
     pub model: CostModel,
     /// Index into the grid's fault-plan axis (0 = first plan / baseline).
     pub fault_index: usize,
+    /// Index into the grid's ARQ axis (0 = first config / perfect link).
+    pub arq_index: usize,
     /// Per-request cost across replications (empty runs excluded).
     pub cost_per_request: Moments,
     /// Measured cost ÷ the Eq. 2–8 analytic expectation for the same
@@ -569,15 +629,38 @@ pub struct SweepEntry {
     pub disconnects: u64,
     /// Completed reconnection handshakes, summed.
     pub reconciliations: u64,
+    /// ARQ acknowledgements billed, summed.
+    pub arq_acks: u64,
+    /// Retry-budget exhaustions escalated to declared partitions, summed.
+    pub retry_escalations: u64,
+    /// Requests shed while degraded, summed.
+    pub shed_requests: u64,
+    /// Reads served locally while degraded, summed.
+    pub degraded_reads: u64,
+    /// Mean time to recovery per replication (runs that never recovered
+    /// are excluded — `n` says how many replications saw a recovery).
+    pub mttr: Moments,
+    /// Shed fraction — shed ÷ (served + shed) — per replication.
+    pub shed_rate: Moments,
+    /// Mean staleness of degraded reads per replication (runs with no
+    /// degraded reads are excluded).
+    pub staleness: Moments,
 }
 
 impl SweepEntry {
-    fn empty(policy: PolicySpec, theta: f64, model: CostModel, fault_index: usize) -> SweepEntry {
+    fn empty(
+        policy: PolicySpec,
+        theta: f64,
+        model: CostModel,
+        fault_index: usize,
+        arq_index: usize,
+    ) -> SweepEntry {
         SweepEntry {
             policy,
             theta,
             model,
             fault_index,
+            arq_index,
             cost_per_request: Moments::default(),
             competitive_ratio: Moments::default(),
             requests: 0,
@@ -587,6 +670,13 @@ impl SweepEntry {
             retransmissions: 0,
             disconnects: 0,
             reconciliations: 0,
+            arq_acks: 0,
+            retry_escalations: 0,
+            shed_requests: 0,
+            degraded_reads: 0,
+            mttr: Moments::default(),
+            shed_rate: Moments::default(),
+            staleness: Moments::default(),
         }
     }
 
@@ -604,12 +694,28 @@ impl SweepEntry {
         self.retransmissions += report.retransmissions;
         self.disconnects += report.disconnects;
         self.reconciliations += report.reconciliations;
+        self.arq_acks += report.arq_acks;
+        self.retry_escalations += report.retry_escalations;
+        self.shed_requests += report.shed_requests();
+        self.degraded_reads += report.degraded_reads;
+        if let Some(mttr) = report.mean_time_to_recovery() {
+            self.mttr.push(mttr);
+        }
+        let offered = report.counts.total() + report.shed_requests();
+        if offered > 0 {
+            self.shed_rate
+                .push(report.shed_requests() as f64 / offered as f64);
+        }
+        if let Some(staleness) = report.mean_staleness() {
+            self.staleness.push(staleness);
+        }
     }
 
     fn same_group(&self, other: &SweepEntry) -> bool {
         self.policy == other.policy
             && self.theta.to_bits() == other.theta.to_bits()
             && self.fault_index == other.fault_index
+            && self.arq_index == other.arq_index
             && match (self.model, other.model) {
                 (CostModel::Connection, CostModel::Connection) => true,
                 (CostModel::Message { omega: a }, CostModel::Message { omega: b }) => {
@@ -625,6 +731,7 @@ impl SweepEntry {
             theta: self.theta,
             model: self.model,
             fault_index: self.fault_index,
+            arq_index: self.arq_index,
             cost_per_request: self.cost_per_request.merge(&other.cost_per_request),
             competitive_ratio: self.competitive_ratio.merge(&other.competitive_ratio),
             requests: self.requests + other.requests,
@@ -634,6 +741,13 @@ impl SweepEntry {
             retransmissions: self.retransmissions + other.retransmissions,
             disconnects: self.disconnects + other.disconnects,
             reconciliations: self.reconciliations + other.reconciliations,
+            arq_acks: self.arq_acks + other.arq_acks,
+            retry_escalations: self.retry_escalations + other.retry_escalations,
+            shed_requests: self.shed_requests + other.shed_requests,
+            degraded_reads: self.degraded_reads + other.degraded_reads,
+            mttr: self.mttr.merge(&other.mttr),
+            shed_rate: self.shed_rate.merge(&other.shed_rate),
+            staleness: self.staleness.merge(&other.staleness),
         }
     }
 }
@@ -678,6 +792,8 @@ pub struct CellReport {
     pub model: CostModel,
     /// Index into the fault-plan axis.
     pub fault_index: usize,
+    /// Index into the ARQ axis.
+    pub arq_index: usize,
     /// Replication number within the group.
     pub replication: usize,
     /// The derived arrival-process seed this run used.
@@ -720,6 +836,7 @@ impl SweepReport {
             let r = &cell.report;
             eat(cell.workload_seed);
             eat(cell.fault_index as u64);
+            eat(cell.arq_index as u64);
             eat(cell.cost_per_request.map_or(u64::MAX, f64::to_bits));
             eat(r.counts.total());
             eat(r.counts.data_messages());
@@ -741,6 +858,14 @@ impl SweepReport {
             eat(r.reconciliation_messages);
             eat(r.reconciliations);
             eat(r.queued_requests);
+            eat(r.settled_retransmissions);
+            eat(r.arq_acks);
+            eat(r.retry_escalations);
+            eat(r.shed_requests());
+            eat(r.degraded_reads);
+            eat(r.recoveries);
+            eat(r.staleness_sum.to_bits());
+            eat(r.recovery_time_sum.to_bits());
             eat(r.makespan.to_bits());
             eat(r.mean_read_latency.to_bits());
             eat(r.schedule.len() as u64);
@@ -759,12 +884,14 @@ impl SweepReport {
             let cost = cell.cost_per_request.unwrap_or(f64::NAN);
             let _ = writeln!(
                 out,
-                "{} theta={} model={} fault={} rep={} seed={:#018x} \
-                 cost={cost:.6}({cost_bits:#018x}) data={} ctrl={} conn={} retx={} disc={}",
+                "{} theta={} model={} fault={} arq={} rep={} seed={:#018x} \
+                 cost={cost:.6}({cost_bits:#018x}) data={} ctrl={} conn={} retx={} disc={} \
+                 acks={} esc={} shed={} degr={}",
                 cell.policy,
                 cell.theta,
                 cell.model,
                 cell.fault_index,
+                cell.arq_index,
                 cell.replication,
                 cell.workload_seed,
                 cell.report.data_messages,
@@ -772,6 +899,10 @@ impl SweepReport {
                 cell.report.connections,
                 cell.report.retransmissions,
                 cell.report.disconnects,
+                cell.report.arq_acks,
+                cell.report.retry_escalations,
+                cell.report.shed_requests(),
+                cell.report.degraded_reads,
             );
         }
         out
@@ -848,6 +979,12 @@ mod tests {
             }
         );
         assert_eq!(
+            grid().arq_configs(vec![]).unwrap_err(),
+            ConfigError::EmptyAxis {
+                what: "ARQ configs"
+            }
+        );
+        assert_eq!(
             grid().replications(0).unwrap_err(),
             ConfigError::ZeroCount {
                 what: "replications"
@@ -916,6 +1053,82 @@ mod tests {
             assert_eq!(pair[0].report, pair[1].report);
             assert!(pair[0].model != pair[1].model);
         }
+    }
+
+    fn arq_grid() -> SweepGrid {
+        let lossy = ArqConfig::new(0.25, 0.5, 0)
+            .and_then(|a| a.with_backoff(2.0, 0.25))
+            .and_then(|a| a.with_retry_budget(6))
+            .unwrap();
+        SweepGrid::new(0xA6_0A)
+            .policies(vec![PolicySpec::St1, PolicySpec::SlidingWindow { k: 3 }])
+            .and_then(|g| g.thetas(vec![0.3]))
+            .and_then(|g| g.arq_configs(vec![None, Some(lossy)]))
+            .and_then(|g| g.replications(2))
+            .and_then(|g| g.requests(500))
+            .unwrap()
+    }
+
+    #[test]
+    fn arq_axis_multiplies_runs_and_pairs_workloads() {
+        let grid = arq_grid();
+        // policies × θ × faults × ARQ configs × replications.
+        #[allow(clippy::identity_op)]
+        let expected_runs = 2 * 1 * 1 * 2 * 2;
+        assert_eq!(grid.runs(), expected_runs);
+        let report = grid.run_serial();
+        // The transport axis is blind to the workload: paired cells replay
+        // the same arrival stream, so the request schedule — which actions
+        // serve which requests — is identical with and without ARQ; only
+        // the wire traffic differs.
+        for policy_index in 0..2 {
+            for rep in 0..2 {
+                let base = policy_index * 4 + rep;
+                let bare = &report.cells[base];
+                let arq = &report.cells[base + 2];
+                assert_eq!((bare.arq_index, arq.arq_index), (0, 1));
+                assert_eq!(bare.workload_seed, arq.workload_seed);
+                assert_eq!(bare.report.schedule, arq.report.schedule);
+                assert_eq!(bare.report.counts, arq.report.counts);
+                assert!(arq.report.arq_acks > 0);
+                assert_eq!(bare.report.arq_acks, 0);
+            }
+        }
+        // Summary groups split by ARQ index and surface the new columns.
+        assert_eq!(report.summary.entries.len(), 4);
+        let lossy_entry = &report.summary.entries[1];
+        assert_eq!(lossy_entry.arq_index, 1);
+        assert!(lossy_entry.retransmissions > 0);
+        assert!(lossy_entry.arq_acks > 0);
+    }
+
+    #[test]
+    fn arq_cells_are_byte_identical_across_thread_counts() {
+        // The E18 guarantee in miniature: a lossy-ARQ grid (timer events,
+        // retransmissions, jitter draws) must still be byte-identical
+        // between the serial path and any thread count.
+        let grid = arq_grid();
+        let serial = grid.run_serial();
+        for threads in [2, 4] {
+            let parallel = grid.run(SweepOptions { threads, chunk: 0 });
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(serial.ledger_digest(), parallel.ledger_digest());
+            assert_eq!(serial.ledger_lines(), parallel.ledger_lines());
+        }
+    }
+
+    #[test]
+    fn arq_seeds_are_shared_across_policies_and_distinct_per_config() {
+        let grid = arq_grid();
+        // Runs: policy → θ → fault → arq → rep. Policy stride is 4.
+        for run in 0..4 {
+            assert_eq!(grid.arq_seed(run), grid.arq_seed(run + 4), "run {run}");
+        }
+        // Distinct ARQ index ⇒ distinct transport seed at equal slots.
+        assert_ne!(grid.arq_seed(0), grid.arq_seed(2));
+        // And the transport stream never collides with workload or fault.
+        assert_ne!(grid.arq_seed(0), grid.workload_seed(0));
+        assert_ne!(grid.arq_seed(0), grid.fault_seed(0));
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! The wireless wire protocol (§3/§4): the four message kinds exchanged
+//! The wireless wire protocol (§3/§4): the message kinds exchanged
 //! between the mobile computer and the stationary computer, and their
-//! control/data classification for message-model accounting.
+//! control/data classification for message-model accounting. Beyond the
+//! paper's four §3 kinds, the fault extension adds the reconnection
+//! handshake and the transport-level ARQ acknowledgement.
 
 use mdr_core::Request;
 
@@ -88,6 +90,15 @@ pub enum WireMessage {
         /// Fresh item version re-establishing the replica, if any.
         refresh: Option<u64>,
     },
+    /// A transport-level acknowledgement of the envelope with sequence
+    /// number `of_seq` (ARQ extension; `docs/faults.md`). Sent when a
+    /// delivery completes an exchange — deliveries that provoke a protocol
+    /// response are acknowledged implicitly by that response. Acks are
+    /// never themselves acked or retransmitted.
+    Ack {
+        /// Sequence number of the envelope being acknowledged.
+        of_seq: u64,
+    },
 }
 
 impl WireMessage {
@@ -145,6 +156,12 @@ impl WireMessage {
         WireMessage::ReconnectAck { epoch, refresh }
     }
 
+    /// Builds a transport-level ARQ acknowledgement of sequence `of_seq`
+    /// (robustness extension; `docs/faults.md`).
+    pub fn ack(of_seq: u64) -> Self {
+        WireMessage::Ack { of_seq }
+    }
+
     /// Billing class of this message (§3). The reconnection handshake is
     /// control traffic unless the acknowledgement re-ships the item.
     pub fn class(&self) -> MessageClass {
@@ -152,6 +169,7 @@ impl WireMessage {
             WireMessage::ReadRequest
             | WireMessage::DeleteRequest { .. }
             | WireMessage::Reconnect { .. }
+            | WireMessage::Ack { .. }
             | WireMessage::ReconnectAck { refresh: None, .. } => MessageClass::Control,
             WireMessage::DataResponse { .. }
             | WireMessage::WritePropagation { .. }
@@ -170,6 +188,7 @@ impl WireMessage {
             WireMessage::DeleteRequest { .. } => "delete-request",
             WireMessage::Reconnect { .. } => "reconnect",
             WireMessage::ReconnectAck { .. } => "reconnect-ack",
+            WireMessage::Ack { .. } => "ack",
         }
     }
 }
@@ -212,6 +231,8 @@ mod tests {
             WireMessage::reconnect_ack(1, Some(4)).class(),
             MessageClass::Data
         );
+        // Transport-level ARQ acks carry no item: pure control.
+        assert_eq!(WireMessage::ack(3).class(), MessageClass::Control);
     }
 
     #[test]
@@ -235,9 +256,10 @@ mod tests {
             WireMessage::DeleteRequest { window: None }.kind(),
             WireMessage::reconnect(0, None).kind(),
             WireMessage::reconnect_ack(0, None).kind(),
+            WireMessage::ack(0).kind(),
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 6);
+        assert_eq!(kinds.len(), 7);
     }
 }

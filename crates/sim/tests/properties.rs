@@ -3,7 +3,8 @@
 use mdr_core::{CostModel, PolicySpec, Request, Schedule};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{
-    ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, Simulation, TraceWorkload,
+    ArqConfig, ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, Simulation,
+    TraceWorkload,
 };
 use proptest::prelude::*;
 
@@ -213,6 +214,72 @@ proptest! {
         prop_assert_eq!(a.reconciliations, b.reconciliations);
         prop_assert_eq!(a.aborted_messages, b.aborted_messages);
         prop_assert_eq!(a.reconciliation_messages, b.reconciliation_messages);
+    }
+
+    /// ARQ transport determinism and bounded retries: the same
+    /// (ArqConfig, workload seed) replays the whole run — timer firings,
+    /// jitter draws, escalations, sheds — byte-identically; the pre-jitter
+    /// backoff schedule is monotone non-decreasing in the attempt number;
+    /// every escalation consumed the full retry budget; and the billing
+    /// identity closes at termination.
+    #[test]
+    fn arq_schedules_are_deterministic_and_bounded(
+        spec in arb_spec(),
+        loss in 0.0f64..0.6,
+        budget in 1u32..6,
+        backoff in 1.0f64..3.0,
+        jitter in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let arq = || {
+            let Ok(arq) = ArqConfig::new(loss, 0.2, seed)
+                .and_then(|a| a.with_backoff(backoff, jitter))
+                .and_then(|a| a.with_retry_budget(budget)) else {
+                unreachable!("the generated transport knobs are valid by construction")
+            };
+            arq
+        };
+        let run = || {
+            let mut sim = SimBuilder::new(spec)
+                .and_then(|b| b.latency(0.05))
+                .and_then(|b| b.arq(arq()))
+                .unwrap()
+                .simulation();
+            let mut w = PoissonWorkload::from_theta(1.0, 0.4, seed ^ 0x5EED);
+            sim.run(&mut w, RunLimit::Requests(250))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.schedule, &b.schedule);
+        prop_assert_eq!(a.counts, b.counts);
+        prop_assert_eq!(a.data_messages, b.data_messages);
+        prop_assert_eq!(a.control_messages, b.control_messages);
+        prop_assert_eq!(a.retransmissions, b.retransmissions);
+        prop_assert_eq!(a.arq_acks, b.arq_acks);
+        prop_assert_eq!(a.retry_escalations, b.retry_escalations);
+        prop_assert_eq!(a.shed_requests(), b.shed_requests());
+        prop_assert_eq!(a.degraded_reads, b.degraded_reads);
+        prop_assert_eq!(a.recovery_time_sum.to_bits(), b.recovery_time_sum.to_bits());
+        prop_assert_eq!(a.staleness_sum.to_bits(), b.staleness_sum.to_bits());
+        // The pre-jitter backoff schedule never shrinks with the attempt
+        // number (backoff factor ≥ 1 by construction).
+        let cfg = arq();
+        for attempt in 1..=budget {
+            prop_assert!(
+                cfg.timeout_for_attempt(attempt + 1) >= cfg.timeout_for_attempt(attempt)
+            );
+        }
+        // Retries are bounded by the budget: an envelope escalates only
+        // after exactly `budget` retransmissions, so the tally covers at
+        // least that many per escalation.
+        prop_assert!(a.retransmissions >= a.retry_escalations * u64::from(budget));
+        // The billing identity closes at termination.
+        prop_assert_eq!(
+            a.data_messages + a.control_messages,
+            a.counts.data_messages() + a.counts.control_messages()
+                + a.settled_retransmissions + a.aborted_messages
+                + a.reconciliation_messages + a.arq_acks
+        );
     }
 
     /// Workload determinism: the same seed replays the same arrivals, and

@@ -15,6 +15,14 @@
 //!   attempt is lost and billed again; the protocol state is unchanged,
 //!   which is exactly the §3 claim that loss inflates the bill without
 //!   changing the actions;
+//! * **retransmission timeout** (ARQ mode) — the sender's retry timer
+//!   fires: while the per-exchange retry budget lasts, the attempt is
+//!   retransmitted and billed again (as a loss above, but bounded); once
+//!   the budget is exhausted the timeout *escalates* to a declared
+//!   partition — the exchange rolls back exactly as under a doze and is
+//!   retried under the new epoch. ARQ mode also bills one control-class
+//!   acknowledgement per completed exchange and per reconciliation,
+//!   mirroring the simulator's transport;
 //! * **doze** (faulty mode) — the link drops and comes back: any exchange
 //!   in flight is rolled back to its checkpoint and retried under the new
 //!   epoch, its billed attempts written off as aborted;
@@ -63,6 +71,17 @@ pub enum Fault {
     /// Silently discard an in-flight reconnection announcement: the
     /// handshake dangles with nothing to advance it.
     DropReconnect,
+    /// Deliver the completion acknowledgement without billing it (ARQ
+    /// mode): the transport's ack traffic silently stops appearing in the
+    /// per-class bill.
+    SkipAckBilling,
+    /// Retransmit on timeout without billing the repeated attempt (ARQ
+    /// mode): retransmissions ride the wire for free.
+    FreeRetransmit,
+    /// Escalate an exhausted retry budget to a declared partition but
+    /// "forget" the rollback: the aborted request is never resubmitted and
+    /// an interrupted handshake is never restarted.
+    EscalateWithoutRollback,
 }
 
 /// One bounded-exploration job: a policy, a depth bound, and the modes.
@@ -74,6 +93,13 @@ pub struct CheckConfig {
     pub depth: usize,
     /// Whether loss + ARQ retransmit transitions are explored.
     pub lossy: bool,
+    /// Whether timeout-driven ARQ transitions are explored: bounded
+    /// retransmissions, budget-exhaustion escalation to a declared
+    /// partition, and billed completion acknowledgements.
+    pub arq: bool,
+    /// Retransmission attempts per exchange before a timeout escalates
+    /// (ARQ mode).
+    pub retry_budget: u8,
     /// Cost models under which every quiescent ledger is priced (§5/§6).
     pub models: Vec<CostModel>,
     /// Bound on the FIFO arrival queue (arrivals beyond it are not
@@ -97,6 +123,8 @@ impl CheckConfig {
             policy,
             depth,
             lossy: false,
+            arq: false,
+            retry_budget: 2,
             models: vec![CostModel::Connection, CostModel::message(0.5)],
             max_pending: 2,
             max_losses: 2,
@@ -109,6 +137,16 @@ impl CheckConfig {
     #[must_use]
     pub fn lossy(mut self) -> Self {
         self.lossy = true;
+        self
+    }
+
+    /// Enables timeout-driven ARQ transitions (bounded retransmission,
+    /// escalation, billed acks), raising the per-path timeout bound far
+    /// enough that budget exhaustion is reachable.
+    #[must_use]
+    pub fn arq(mut self) -> Self {
+        self.arq = true;
+        self.max_losses = self.max_losses.max(self.retry_budget + 1);
         self
     }
 
@@ -137,6 +175,8 @@ pub struct CheckReport {
     pub depth: usize,
     /// Whether loss transitions were explored.
     pub lossy: bool,
+    /// Whether timeout-driven ARQ transitions were explored.
+    pub arq: bool,
     /// Whether disconnect/crash transitions were explored.
     pub faulty: bool,
     /// Deduplicated states reached (including the initial state).
@@ -175,6 +215,11 @@ struct State {
     /// Billed reconnection-handshake attempts (serve no request).
     recon_data: u64,
     recon_control: u64,
+    /// Billed transport acknowledgements (ARQ mode; always control-class).
+    acks: u64,
+    /// Transmission attempts of the envelope currently in flight (ARQ
+    /// mode): 1 + the timeouts that have fired on it.
+    attempts: u8,
     /// At-risk tally for the exchange in flight: attempts billed so far
     /// (and how many of them were ARQ retransmissions), moved to the
     /// aborted bucket if a fault kills the exchange, discharged at
@@ -201,6 +246,8 @@ impl State {
             aborted_control: 0,
             recon_data: 0,
             recon_control: 0,
+            acks: 0,
+            attempts: 0,
             exch_data: 0,
             exch_control: 0,
             exch_retrans_data: 0,
@@ -284,6 +331,9 @@ enum Transition {
     Arrive(Request),
     Deliver,
     Lose,
+    /// The sender's retry timer fires (ARQ mode): retransmit while the
+    /// budget lasts, escalate to a declared partition once it is spent.
+    ArqTimeout,
     /// The link drops and immediately recovers: abort + rollback + retry.
     Doze,
     /// The MC crashes and reboots; reconnection runs the handshake.
@@ -298,6 +348,9 @@ fn enabled(config: &CheckConfig, state: &State) -> Vec<Transition> {
         transitions.push(Transition::Deliver);
         if config.lossy && state.losses_left > 0 {
             transitions.push(Transition::Lose);
+        }
+        if config.arq && state.losses_left > 0 {
+            transitions.push(Transition::ArqTimeout);
         }
     }
     if state.can_submit() || state.pending.len() < config.max_pending {
@@ -328,8 +381,12 @@ fn submit(state: &mut State, request: Request, actions: &mut Vec<Action>, applie
         StepOutcome::Completed(action) => {
             actions.push(action);
             applied.completed += 1;
+            state.attempts = 0;
         }
-        StepOutcome::Sent(envelope) => state.bill_exchange(envelope.message.class()),
+        StepOutcome::Sent(envelope) => {
+            state.attempts = 1;
+            state.bill_exchange(envelope.message.class());
+        }
         StepOutcome::Reconciled => unreachable!("submit never reconciles"),
     }
 }
@@ -376,14 +433,21 @@ fn apply(
             }
         }
         Transition::Deliver => match state.protocol.deliver(0) {
-            StepOutcome::Sent(envelope) => state.bill_sent(envelope.message.class()),
+            StepOutcome::Sent(envelope) => {
+                state.attempts = 1;
+                state.bill_sent(envelope.message.class());
+            }
             StepOutcome::Completed(action) => {
                 actions.push(action);
                 applied.completed += 1;
+                state.attempts = 0;
+                bill_ack(config, state);
                 state.settle_exchange();
                 drain_queue(state, schedule, actions, &mut applied);
             }
             StepOutcome::Reconciled => {
+                state.attempts = 0;
+                bill_ack(config, state);
                 // The handshake completed: the aborted request (if any)
                 // resumes first — it keeps its original schedule slot — and
                 // then the queue drains.
@@ -415,9 +479,57 @@ fn apply(
                 }
             }
         }
+        Transition::ArqTimeout => {
+            debug_assert!(state.losses_left > 0);
+            state.losses_left -= 1;
+            if state.attempts <= config.retry_budget {
+                // The timer fired with budget to spare: the retransmission
+                // bills exactly like an instant loss, but the attempt count
+                // on this envelope grows toward the budget.
+                state.attempts += 1;
+                let class = state.protocol.wire()[0].message.class();
+                if state.protocol.recovering() {
+                    state.bill_recon(class);
+                } else {
+                    if config.fault != Some(Fault::FreeRetransmit) {
+                        state.bill_exchange(class);
+                    }
+                    match class {
+                        MessageClass::Data => {
+                            state.retrans_data += 1;
+                            state.exch_retrans_data += 1;
+                        }
+                        MessageClass::Control => {
+                            state.retrans_control += 1;
+                            state.exch_retrans_control += 1;
+                        }
+                    }
+                }
+            } else {
+                // The budget is exhausted: the timeout escalates to a
+                // declared partition — abort, rollback, retry under the new
+                // epoch, exactly as a doze.
+                state.attempts = 0;
+                let aborted = state.protocol.disconnect();
+                state.protocol.reconnect();
+                if aborted.is_some() {
+                    state.abort_exchange_billing();
+                }
+                if config.fault == Some(Fault::EscalateWithoutRollback) {
+                    // Mutant: the partition is declared but the recovery is
+                    // forgotten — nothing resumes the aborted work.
+                } else if state.protocol.recovering() {
+                    restart_handshake(state, false);
+                } else if let Some(request) = aborted {
+                    submit(state, request, actions, &mut applied);
+                    drain_queue(state, schedule, actions, &mut applied);
+                }
+            }
+        }
         Transition::Doze => {
             debug_assert!(state.faults_left > 0);
             state.faults_left -= 1;
+            state.attempts = 0;
             let aborted = state.protocol.disconnect();
             state.protocol.reconnect();
             if aborted.is_some() {
@@ -438,6 +550,7 @@ fn apply(
         Transition::Crash { volatile } => {
             debug_assert!(state.faults_left > 0);
             state.faults_left -= 1;
+            state.attempts = 0;
             if let Some(request) = state.protocol.disconnect() {
                 state.abort_exchange_billing();
                 debug_assert!(state.retry.is_none(), "at most one exchange in flight");
@@ -460,8 +573,25 @@ fn apply(
 /// Starts (or restarts) the reconnection handshake and bills the announce.
 fn restart_handshake(state: &mut State, volatile: bool) {
     match state.protocol.begin_reconciliation(volatile) {
-        StepOutcome::Sent(envelope) => state.bill_recon(envelope.message.class()),
+        StepOutcome::Sent(envelope) => {
+            state.attempts = 1;
+            state.bill_recon(envelope.message.class());
+        }
         _ => unreachable!("the reconnection announce always goes on the wire"),
+    }
+}
+
+/// Bills the transport acknowledgement that (in ARQ mode) confirms a
+/// completed exchange or reconciliation — control-class, never
+/// retransmitted, never acknowledged itself. The [`Fault::SkipAckBilling`]
+/// mutant delivers the ack without billing it.
+fn bill_ack(config: &CheckConfig, state: &mut State) {
+    if !config.arq {
+        return;
+    }
+    state.acks += 1;
+    if config.fault != Some(Fault::SkipAckBilling) {
+        state.billed_control += 1;
     }
 }
 
@@ -492,6 +622,7 @@ fn inject_fault(config: &CheckConfig, state: &mut State) {
                 WireMessage::DeleteRequest { .. }
             ) {
                 let _ = state.protocol.drop_in_flight(0);
+                state.attempts = 0;
             }
         }
         Fault::LieAboutReplicaOnReconnect => state.protocol.tamper_in_flight(0, |envelope| {
@@ -510,8 +641,12 @@ fn inject_fault(config: &CheckConfig, state: &mut State) {
                 WireMessage::Reconnect { .. }
             ) {
                 let _ = state.protocol.drop_in_flight(0);
+                state.attempts = 0;
             }
         }
+        // The transport mutants act inside the ARQ transitions themselves,
+        // not on in-flight messages.
+        Fault::SkipAckBilling | Fault::FreeRetransmit | Fault::EscalateWithoutRollback => {}
     }
 }
 
@@ -521,6 +656,7 @@ pub fn check(config: &CheckConfig) -> CheckReport {
         policy: config.policy,
         depth: config.depth,
         lossy: config.lossy,
+        arq: config.arq,
         faulty: config.max_faults > 0,
         states: 1,
         transitions: 0,
@@ -567,6 +703,7 @@ fn verify_state(
         aborted_control: state.aborted_control,
         recon_data: state.recon_data,
         recon_control: state.recon_control,
+        acks: state.acks,
         models: &config.models,
     };
     if let Err(violation) = check_state(&view) {
@@ -650,5 +787,16 @@ pub fn faulty_sweep(depth: usize) -> Vec<CheckReport> {
     default_roster()
         .into_iter()
         .map(|policy| check(&CheckConfig::new(policy, depth).faulty()))
+        .collect()
+}
+
+/// Explores every roster policy with timeout-driven ARQ transitions
+/// enabled — bounded retransmissions, budget-exhaustion escalations and
+/// billed acknowledgements woven into every interleaving — to `depth`;
+/// returns one report per policy.
+pub fn arq_sweep(depth: usize) -> Vec<CheckReport> {
+    default_roster()
+        .into_iter()
+        .map(|policy| check(&CheckConfig::new(policy, depth).arq()))
         .collect()
 }

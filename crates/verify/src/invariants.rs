@@ -31,9 +31,12 @@
 //!   exactly the aborted and reconnection-handshake traffic the faults
 //!   caused.
 //! * **No deadlock**: an exchange or reconnection handshake in progress
-//!   always has a message in flight to advance it (the link-layer ARQ
-//!   makes loss invisible; an *unrecovered* loss is a protocol bug and
-//!   must be detected).
+//!   always has a message in flight to advance it. Loss is repaired by the
+//!   ARQ transport's timeout-driven retransmissions — and when the retry
+//!   budget runs out, the timeout must escalate to a declared partition
+//!   that rolls the exchange back and retries it; an exchange left
+//!   dangling with nothing in flight (an unrecovered loss, a forgotten
+//!   escalation rollback) is a transport bug and must be detected.
 //!
 //! The fault extension adds one more transient to each structural
 //! invariant: while a reconnection handshake is re-validating a replica a
@@ -129,6 +132,9 @@ pub struct StateView<'a> {
     pub recon_data: u64,
     /// Billed control-message attempts of reconnection handshakes.
     pub recon_control: u64,
+    /// Billed transport acknowledgements (ARQ mode; always control-class,
+    /// never retransmitted or acknowledged themselves).
+    pub acks: u64,
     /// The cost models under which the ledger is priced and compared.
     pub models: &'a [CostModel],
 }
@@ -335,7 +341,8 @@ fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
     }
     // The message bill equals the ledger-derived count plus the ARQ
     // retransmissions (loss inflates the bill without changing actions),
-    // the attempts faults aborted, and the reconnection-handshake traffic.
+    // the attempts faults aborted, the reconnection-handshake traffic, and
+    // the transport's control-class acknowledgements.
     if view.billed_data
         != counts.data_messages() + view.retrans_data + view.aborted_data + view.recon_data
         || view.billed_control
@@ -343,12 +350,13 @@ fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
                 + view.retrans_control
                 + view.aborted_control
                 + view.recon_control
+                + view.acks
     {
         return Err((
             Invariant::LedgerEqualsReplay,
             format!(
                 "bill {}d+{}c differs from ledger {}d+{}c plus retransmissions {}d+{}c, \
-                 aborted {}d+{}c and handshakes {}d+{}c",
+                 aborted {}d+{}c, handshakes {}d+{}c and acks {}c",
                 view.billed_data,
                 view.billed_control,
                 counts.data_messages(),
@@ -358,7 +366,8 @@ fn check_ledger(view: &StateView<'_>) -> Result<(), (Invariant, String)> {
                 view.aborted_data,
                 view.aborted_control,
                 view.recon_data,
-                view.recon_control
+                view.recon_control,
+                view.acks
             ),
         ));
     }

@@ -10,10 +10,12 @@
 //! transition relation the discrete-event simulator uses — not a model of
 //! the protocol but the protocol itself — and exhaustively explores every
 //! interleaving of request arrivals at both nodes, message deliveries,
-//! (in lossy mode) link-loss events with ARQ retransmission, and (in
-//! faulty mode) disconnections, MC crashes — volatile and stable — and the
-//! reconnection handshake that re-validates the replica, deduplicating by
-//! full state hash. Every reached state is judged by the transient-aware
+//! (in lossy mode) link-loss events with instant retransmission, (in ARQ
+//! mode) retransmission-timeout firings — budget-bounded retransmits,
+//! escalations to declared partitions and billed acknowledgements — and
+//! (in faulty mode) disconnections, MC crashes — volatile and stable — and
+//! the reconnection handshake that re-validates the replica, deduplicating
+//! by full state hash. Every reached state is judged by the transient-aware
 //! invariant suite ([`check_state`], [`Invariant`]); see
 //! `src/invariants.rs` for the exact formulations.
 //!
@@ -32,7 +34,9 @@
 mod checker;
 mod invariants;
 
-pub use checker::{check, default_roster, faulty_sweep, sweep, CheckConfig, CheckReport, Fault};
+pub use checker::{
+    arq_sweep, check, default_roster, faulty_sweep, sweep, CheckConfig, CheckReport, Fault,
+};
 pub use invariants::{check_state, Invariant, StateView, Violation};
 
 #[cfg(test)]
@@ -231,6 +235,126 @@ mod tests {
             report.states
         );
         assert_eq!(report.violations[0].invariant, Invariant::ReplicaAgreement);
+    }
+
+    /// ARQ acceptance: every roster policy verifies all invariants when
+    /// timeout firings, budget-bounded retransmissions, escalations to
+    /// declared partitions and billed acknowledgements are woven into
+    /// every interleaving.
+    #[test]
+    fn arq_sweep_verifies_at_depth_12() {
+        let reports = arq_sweep(12);
+        assert_eq!(reports.len(), 7);
+        for report in &reports {
+            assert!(report.arq);
+            assert!(
+                report.verified(),
+                "{:?} under ARQ found violations: {:?}",
+                report.policy,
+                report.violations
+            );
+            assert!(
+                report.states > 1_000,
+                "{:?} explored too little",
+                report.policy
+            );
+        }
+    }
+
+    /// ARQ and fault transitions compose: timeout escalations interleave
+    /// with injected dozes, crashes and reconnection handshakes, and every
+    /// invariant still holds.
+    #[test]
+    fn arq_composes_with_fault_transitions() {
+        for policy in [PolicySpec::SlidingWindow { k: 3 }, PolicySpec::St2] {
+            let report = check(&CheckConfig::new(policy, 10).faulty().arq());
+            assert!(report.arq && report.faulty);
+            assert!(
+                report.verified(),
+                "{policy:?} under ARQ + faults found violations: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    /// ARQ transitions strictly enlarge the state space: attempt counters
+    /// and the ack bill distinguish otherwise-identical protocol states.
+    #[test]
+    fn arq_transitions_enlarge_the_state_space() {
+        let policy = PolicySpec::SlidingWindow { k: 3 };
+        let clean = check(&CheckConfig::new(policy, 10));
+        let arq = check(&CheckConfig::new(policy, 10).arq());
+        assert!(clean.verified() && arq.verified());
+        assert!(
+            arq.states > clean.states,
+            "arq {} vs clean {}",
+            arq.states,
+            clean.states
+        );
+    }
+
+    /// Mutation self-test: delivering the completion acknowledgement
+    /// without billing it must be caught by the ledger identity — the
+    /// per-class bill no longer covers the transport's ack traffic.
+    #[test]
+    fn skipped_ack_billing_is_caught() {
+        let config = CheckConfig::new(PolicySpec::SlidingWindow { k: 3 }, 10)
+            .arq()
+            .with_fault(Fault::SkipAckBilling);
+        let report = check(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(
+            report.violations[0].invariant,
+            Invariant::LedgerEqualsReplay
+        );
+    }
+
+    /// Mutation self-test: retransmitting on timeout without billing the
+    /// repeated attempt must be caught by the ledger identity — the
+    /// retransmission counters outrun the bill.
+    #[test]
+    fn free_retransmit_is_caught() {
+        let config = CheckConfig::new(PolicySpec::SlidingWindow { k: 3 }, 10)
+            .arq()
+            .with_fault(Fault::FreeRetransmit);
+        let report = check(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(
+            report.violations[0].invariant,
+            Invariant::LedgerEqualsReplay
+        );
+    }
+
+    /// Mutation self-test: escalating an exhausted retry budget without
+    /// rolling the exchange back (or restarting the interrupted handshake)
+    /// strands the aborted work — caught as a dangling protocol state.
+    #[test]
+    fn escalation_without_rollback_is_caught() {
+        let config = CheckConfig::new(PolicySpec::SlidingWindow { k: 3 }, 10)
+            .arq()
+            .with_fault(Fault::EscalateWithoutRollback);
+        let report = check(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert!(
+            matches!(
+                report.violations[0].invariant,
+                Invariant::LedgerEqualsReplay | Invariant::NoDeadlock
+            ),
+            "unexpected invariant: {}",
+            report.violations[0].invariant
+        );
     }
 
     /// Mutation self-test: silently dropping the reconnection announce

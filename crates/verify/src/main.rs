@@ -1,24 +1,27 @@
 //! `mdr-verify` — run the bounded model checker across the policy roster.
 //!
 //! ```text
-//! mdr-verify [--depth N] [--policy SPEC] [--lossless-only] [--faults [DEPTH]]
+//! mdr-verify [--depth N] [--policy SPEC] [--lossless-only]
+//!            [--faults [DEPTH]] [--arq [DEPTH]]
 //! ```
 //!
 //! Explores every interleaving of arrivals, deliveries and losses to the
 //! requested depth for each roster policy, printing one row per run.
-//! With `--faults`, a third pass per policy additionally interleaves
+//! With `--faults`, two more passes per policy additionally interleave
 //! disconnections, volatile/stable MC crashes and the reconnection
-//! handshake; the optional `DEPTH` bounds that pass separately (faulty
-//! exploration is denser — epoch bumps defeat cross-fault dedup — so it
-//! defaults to `min(depth, 12)`). Exits non-zero if any run finds a
-//! counterexample.
+//! handshake — once bare, and once with the ARQ transport's timeout
+//! firings, budget-bounded retransmissions and escalations woven in; the
+//! optional `DEPTH` bounds those passes separately (faulty exploration is
+//! denser — epoch bumps defeat cross-fault dedup — so it defaults to
+//! `min(depth, 12)`). With `--arq`, one pass per policy explores the ARQ
+//! transitions alone. Exits non-zero if any run finds a counterexample.
 
 use mdr_verify::{check, default_roster, CheckConfig};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]]"
+        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]] [--arq [DEPTH]]"
     );
     std::process::exit(2);
 }
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
     let mut only_policy = None;
     let mut lossless_only = false;
     let mut faults: Option<usize> = None;
+    let mut arq: Option<usize> = None;
 
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -68,6 +72,16 @@ fn main() -> ExitCode {
                         faults = Some(value);
                     }
                     None => faults = Some(depth.min(12)),
+                }
+            }
+            "--arq" => {
+                // Optional depth operand: `--arq 10` or bare `--arq`.
+                match args.peek().and_then(|v| v.parse().ok()) {
+                    Some(value) => {
+                        args.next();
+                        arq = Some(value);
+                    }
+                    None => arq = Some(depth.min(12)),
                 }
             }
             "--help" | "-h" => usage(),
@@ -111,9 +125,19 @@ fn main() -> ExitCode {
             total_states += states;
             failed |= !ok;
         }
+        if let Some(arq_depth) = arq {
+            let config = CheckConfig::new(policy, arq_depth).arq();
+            let (states, ok) = run_one(&config, "arq");
+            total_states += states;
+            failed |= !ok;
+        }
         if let Some(fault_depth) = faults {
             let config = CheckConfig::new(policy, fault_depth).faulty();
             let (states, ok) = run_one(&config, "faulty");
+            total_states += states;
+            failed |= !ok;
+            let config = CheckConfig::new(policy, fault_depth).faulty().arq();
+            let (states, ok) = run_one(&config, "arq+faulty");
             total_states += states;
             failed |= !ok;
         }

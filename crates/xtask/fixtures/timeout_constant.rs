@@ -1,0 +1,37 @@
+//! Fixture for the timeout-constant rule: three raw timing literals in
+//! library code, one exempt in a test module, and several bindings that
+//! merely move a timeout around.
+
+const RETRY_TIMEOUT: f64 = 0.35;
+
+pub struct Link {
+    pub ack_timeout_secs: f64,
+}
+
+pub fn link(base: f64) -> Link {
+    let timeout = 2.5;
+    let forwarded_timeout = base;
+    Link {
+        ack_timeout_secs: timeout * forwarded_timeout,
+    }
+}
+
+fn tuned() -> Link {
+    Link {
+        ack_timeout_secs: 0.125,
+    }
+}
+
+pub fn threaded(retry_timeout: f64) -> f64 {
+    let copied_timeout = retry_timeout;
+    copied_timeout + RETRY_TIMEOUT + tuned().ack_timeout_secs
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_pin_timing() {
+        let base_timeout = 0.01;
+        assert!(base_timeout > 0.0);
+    }
+}

@@ -168,6 +168,24 @@ mod tests {
     }
 
     #[test]
+    fn fixture_timeout_constant_fails() {
+        let rules = lint_as("crates/demo/src/lib.rs", &fixture("timeout_constant.rs"));
+        assert_eq!(
+            rules.iter().filter(|r| *r == "timeout-constant").count(),
+            3,
+            "the const, the let, and the field init — not the test module \
+             or the pass-through bindings: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn arq_home_may_pin_timeouts() {
+        let src = "pub fn default_timeout() -> f64 { let base_timeout = 0.2; base_timeout }";
+        let rules = lint_as("crates/sim/src/faults.rs", src);
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
     fn clean_source_passes() {
         let rules = lint_as("crates/demo/src/lib.rs", &fixture("clean.rs"));
         assert!(rules.is_empty(), "{rules:?}");

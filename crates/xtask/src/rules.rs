@@ -1,4 +1,4 @@
-//! The four workspace lint rules, applied to the token stream produced by
+//! The five workspace lint rules, applied to the token stream produced by
 //! [`crate::lexer`].
 //!
 //! 1. **float-eq** — no raw `f64` `==`/`!=` in cost-accounting code; the
@@ -15,9 +15,15 @@
 //!    `Theorem`), keeping the reproduction navigable against the source.
 //! 4. **no-unwrap** — no `.unwrap()` / `.expect()` in non-test library
 //!    code; use `let … else` with a described panic, or propagate.
+//! 5. **timeout-constant** — no identifier named like a timeout bound to a
+//!    raw numeric literal outside `crates/sim/src/faults.rs`: every
+//!    retransmission-timing knob goes through `ArqConfig`, so one type
+//!    owns validation, backoff, and the determinism story. Reading a
+//!    timeout field or threading one through a parameter is fine; pinning
+//!    one to a number anywhere else is not.
 //!
-//! Test modules (`#[cfg(test)]`, `#[test]`) are exempt from rules 1, 2
-//! and 4; binaries (`main.rs`, `src/bin/`) are exempt from rule 4.
+//! Test modules (`#[cfg(test)]`, `#[test]`) are exempt from rules 1, 2, 4
+//! and 5; binaries (`main.rs`, `src/bin/`) are exempt from rule 4.
 
 use crate::lexer::{in_ranges, lex, test_ranges, Token, TokenKind};
 use std::fmt;
@@ -65,6 +71,10 @@ impl FileContext<'_> {
     fn is_binary(&self) -> bool {
         self.path.ends_with("/main.rs") || self.path.contains("/src/bin/")
     }
+
+    fn is_arq_home(&self) -> bool {
+        self.path == "crates/sim/src/faults.rs"
+    }
 }
 
 /// Lints one file's source, returning every finding.
@@ -81,6 +91,9 @@ pub(crate) fn lint_source(ctx: FileContext<'_>, src: &str) -> Vec<Violation> {
     }
     if !ctx.is_binary() {
         check_unwrap(&ctx, &tokens, &exempt, &mut out);
+    }
+    if !ctx.is_arq_home() {
+        check_timeout_constant(&ctx, &tokens, &exempt, &mut out);
     }
     out
 }
@@ -366,6 +379,70 @@ fn check_paper_refs(
                 message: format!(
                     "public {} `{name}` lacks a paper reference (§, Eq., or Theorem) in its docs",
                     kw.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 5: a timeout-named identifier pinned to a raw numeric literal,
+/// either as a struct-literal field (`ack_timeout: 0.25`) or a binding /
+/// assignment (`let timeout = 2.5`, `const RETRY_TIMEOUT: f64 = 0.35`).
+/// Declarations (`retry_timeout: f64,` in a struct or parameter list) and
+/// bindings to expressions (`let timeout = cfg.retry_timeout;`) pass:
+/// they move a timeout around, they don't invent one.
+fn check_timeout_constant(
+    ctx: &FileContext<'_>,
+    tokens: &[Token],
+    exempt: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !t.text.to_ascii_lowercase().contains("timeout")
+            || in_ranges(exempt, i)
+        {
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|n| n.is_punct(":")) {
+            j += 1;
+            // Step over a type annotation (`f64`, `Option<f64>`, …) to a
+            // following `=`; a literal directly after the `:` is a
+            // struct-literal field init and stays in scope.
+            if tokens.get(j).is_some_and(|n| n.kind == TokenKind::Ident) {
+                while tokens.get(j).is_some_and(|n| {
+                    n.kind == TokenKind::Ident
+                        || n.is_punct("::")
+                        || n.is_punct("<")
+                        || n.is_punct(">")
+                }) {
+                    j += 1;
+                }
+                if !tokens.get(j).is_some_and(|n| n.is_punct("=")) {
+                    continue;
+                }
+                j += 1;
+            }
+        } else if tokens.get(j).is_some_and(|n| n.is_punct("=")) {
+            j += 1;
+        } else {
+            continue;
+        }
+        if tokens.get(j).is_some_and(|n| n.is_punct("-")) {
+            j += 1;
+        }
+        if tokens
+            .get(j)
+            .is_some_and(|n| matches!(n.kind, TokenKind::Int | TokenKind::Float))
+        {
+            out.push(Violation {
+                file: ctx.path.to_string(),
+                line: t.line,
+                rule: "timeout-constant",
+                message: format!(
+                    "`{}` bound to a raw numeric literal; retransmission timing is owned by `ArqConfig` in crates/sim/src/faults.rs",
+                    t.text
                 ),
             });
         }
