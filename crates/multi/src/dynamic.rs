@@ -12,7 +12,7 @@ use crate::profile::{Allocation, OperationProfile};
 use mdr_core::approx_eq;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The windowed frequency-estimating allocator.
 #[derive(Debug, Clone)]
@@ -20,8 +20,13 @@ pub struct WindowedAllocator {
     n_objects: usize,
     window_size: usize,
     recompute_every: usize,
+    // Ordered map on purpose: `estimate_profile` folds these counts into
+    // float frequencies, and hash-order iteration would let the summation
+    // order — and therefore the last-bit rounding of every estimated cost
+    // — vary between processes, breaking byte-identical sweep ledgers
+    // (`cargo xtask audit` rule `map-iteration`).
     window: VecDeque<Operation>,
-    counts: HashMap<Operation, usize>,
+    counts: BTreeMap<Operation, usize>,
     since_recompute: usize,
     current: Allocation,
     reallocations: u64,
@@ -49,7 +54,7 @@ impl WindowedAllocator {
             window_size,
             recompute_every,
             window: VecDeque::with_capacity(window_size),
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             since_recompute: 0,
             current: Allocation::EMPTY,
             reallocations: 0,
@@ -126,7 +131,9 @@ impl WindowedAllocator {
         cost + transition
     }
 
-    /// The frequency estimate from the current window contents.
+    /// The frequency estimate from the current window contents. Entries
+    /// are produced in `Operation` order (the map is ordered), so the
+    /// profile's float folds are reproducible across processes.
     pub fn estimate_profile(&self) -> OperationProfile {
         let entries: Vec<(Operation, f64)> =
             self.counts.iter().map(|(&op, &c)| (op, c as f64)).collect();
@@ -153,6 +160,28 @@ pub struct MultiRunReport {
 }
 
 impl MultiRunReport {
+    /// FNV-1a fingerprint of the report's exact bit patterns (float fields
+    /// contribute their IEEE-754 bits, not a rounded rendering). Two runs
+    /// that are byte-identical — the determinism contract the sweep engine
+    /// sells — produce equal digests; any last-bit drift changes them.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            self.operations as u64,
+            self.dynamic_cost.to_bits(),
+            self.optimal_static_cost.to_bits(),
+            self.st1_cost.to_bits(),
+            self.st2_cost.to_bits(),
+            self.reallocations,
+        ] {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Dynamic-over-optimal-static cost ratio (≥ 1 in the stationary case,
     /// up to estimation noise).
     pub fn regret_ratio(&self) -> f64 {
@@ -329,6 +358,61 @@ mod tests {
             ..r
         };
         assert_eq!(r.regret_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn ledger_digest_is_reproducible_across_allocator_instances() {
+        // Regression for the map-iteration determinism fix: with the old
+        // hash-ordered `counts`, two identical runs in the same process
+        // could fold the frequency estimates in different orders (std's
+        // hasher is seeded per map instance) and drift in the last bit.
+        let profile = read_heavy_x_write_heavy_y();
+        let mut a = WindowedAllocator::new(2, 200, 20).with_transition_costs(0.25, 0.125);
+        let mut b = WindowedAllocator::new(2, 200, 20).with_transition_costs(0.25, 0.125);
+        let ra = simulate_windowed(&profile, &mut a, 10_000, 17);
+        let rb = simulate_windowed(&profile, &mut b, 10_000, 17);
+        assert_eq!(ra, rb);
+        assert_eq!(ra.digest(), rb.digest());
+    }
+
+    #[test]
+    fn ledger_digest_is_pinned() {
+        // The exact fingerprints of two fixed scenarios, pinned so any
+        // future change to operation ordering, float folding, or the
+        // estimator silently altering the ledger fails loudly. Update only
+        // with a changelog entry explaining the behavioural change.
+        let profile = read_heavy_x_write_heavy_y();
+        let mut alloc = WindowedAllocator::new(2, 200, 20);
+        let stationary = simulate_windowed(&profile, &mut alloc, 10_000, 17);
+        let read_heavy = OperationProfile::two_objects(10.0, 10.0, 5.0, 1.0, 1.0, 0.5);
+        let write_heavy = OperationProfile::two_objects(1.0, 1.0, 0.5, 10.0, 10.0, 5.0);
+        let mut alloc = WindowedAllocator::new(2, 150, 25);
+        let shifting = simulate_windowed_shift(&read_heavy, &write_heavy, &mut alloc, 5_000, 21);
+        assert_eq!(
+            (stationary.digest(), shifting.digest()),
+            (PINNED_STATIONARY, PINNED_SHIFTING),
+            "ledger fingerprints moved: {stationary:?} / {shifting:?}"
+        );
+    }
+
+    /// Pinned [`MultiRunReport::digest`] of the stationary scenario above.
+    const PINNED_STATIONARY: u64 = 0xf61a_8ebe_fa24_185b;
+    /// Pinned digest of the shifting scenario above.
+    const PINNED_SHIFTING: u64 = 0x0e21_5656_56e9_c1f9;
+
+    #[test]
+    fn digest_distinguishes_last_bit_changes() {
+        let r = MultiRunReport {
+            operations: 1,
+            dynamic_cost: 1.0,
+            optimal_static_cost: 2.0,
+            st1_cost: 3.0,
+            st2_cost: 4.0,
+            reallocations: 5,
+        };
+        let mut nudged = r.clone();
+        nudged.dynamic_cost = f64::from_bits(r.dynamic_cost.to_bits() + 1);
+        assert_ne!(r.digest(), nudged.digest());
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub(crate) fn validate_mobility(
 /// Every setter consumes and returns the builder, so configurations chain
 /// with `and_then`; every validation failure is a typed [`ConfigError`]
 /// value rather than a panic. See the module docs for an example and
-/// `docs/sweeps.md` for the migration table from the deprecated
+/// `docs/sweeps.md` for the migration table from the removed
 /// `SimConfig::new` patchwork.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimBuilder {
@@ -107,7 +107,7 @@ impl SimBuilder {
     ///
     /// Returns [`ConfigError::EvenWindow`] for an even (or zero) sliding
     /// window and [`ConfigError::ZeroThreshold`] for a zero T-policy
-    /// threshold — the structural mistakes the deprecated `SimConfig::new`
+    /// threshold — the structural mistakes the removed `SimConfig::new`
     /// only caught by panicking deep inside `Simulation::new`.
     pub fn new(policy: PolicySpec) -> Result<Self, ConfigError> {
         validate_policy(policy)?;
@@ -244,9 +244,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builder_defaults_match_the_deprecated_constructor() {
-        #[allow(deprecated)]
-        let old = SimConfig::new(PolicySpec::St1);
+    fn builder_defaults_match_the_internal_defaults() {
+        let old = SimConfig::defaults(PolicySpec::St1);
         let new = SimBuilder::new(PolicySpec::St1).unwrap().build();
         assert_eq!(old, new);
     }

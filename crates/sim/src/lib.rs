@@ -49,8 +49,6 @@ pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfi
 pub use faults::{ArqConfig, ConfigError, FaultKind, FaultPlan};
 pub use nodes::{MobileNode, StationaryNode};
 pub use protocol::{Envelope, ProtocolState, StepOutcome};
-#[allow(deprecated)]
-pub use sim::{simulate_poisson, simulate_schedule};
 pub use sim::{
     InvariantMonitor, LossConfig, MobilityConfig, RunLimit, ShedRequest, SimConfig, SimReport,
     Simulation,

@@ -11,7 +11,7 @@
 //! to the pure-policy replay — an equivalence this crate asserts at runtime
 //! in oracle mode and the workspace re-checks in integration tests.
 
-use crate::faults::{ArqConfig, ConfigError, FaultKind, FaultPlan};
+use crate::faults::{ArqConfig, FaultKind, FaultPlan};
 use crate::protocol::{Envelope, ProtocolState, StepOutcome};
 use crate::workload::{Arrival, ArrivalProcess};
 use mdr_core::{Action, ActionCounts, AllocationPolicy, CostModel, PolicySpec, Request, Schedule};
@@ -134,8 +134,8 @@ impl PartialEq for LossConfig {
 impl Eq for LossConfig {}
 
 impl SimConfig {
-    /// Crate-internal default construction shared by the deprecated
-    /// [`SimConfig::new`] and the [`crate::SimBuilder`] front door.
+    /// Crate-internal default construction shared with the
+    /// [`crate::SimBuilder`] front door.
     pub(crate) fn defaults(policy: PolicySpec) -> Self {
         SimConfig {
             policy,
@@ -146,85 +146,6 @@ impl SimConfig {
             mobility: None,
             faults: None,
         }
-    }
-
-    /// A config with the default link latency (0.01 time units) and oracle
-    /// checking enabled.
-    #[deprecated(since = "0.2.0", note = "use `SimBuilder::new` instead")]
-    pub fn new(policy: PolicySpec) -> Self {
-        SimConfig::defaults(policy)
-    }
-
-    /// Sets the one-way latency.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the latency is negative; [`crate::SimBuilder::latency`]
-    /// reports the same mistake as a recoverable [`ConfigError`].
-    #[deprecated(since = "0.2.0", note = "use `SimBuilder::latency` instead")]
-    pub fn with_latency(mut self, latency: f64) -> Self {
-        assert!(latency >= 0.0, "latency must be non-negative");
-        self.latency = latency;
-        self
-    }
-
-    /// Disables the oracle equivalence check.
-    #[deprecated(since = "0.2.0", note = "use `SimBuilder::oracle(false)` instead")]
-    pub fn without_oracle(mut self) -> Self {
-        self.oracle_check = false;
-        self
-    }
-
-    /// Enables the lossy-link model.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] unless `0 ≤ loss_probability < 1` and
-    /// `retry_timeout > 0` (configuration mistakes are recoverable, e.g.
-    /// when the parameters come from CLI flags).
-    #[deprecated(since = "0.2.0", note = "use `SimBuilder::loss` instead")]
-    pub fn with_loss(
-        mut self,
-        loss_probability: f64,
-        retry_timeout: f64,
-        seed: u64,
-    ) -> Result<Self, ConfigError> {
-        crate::builder::validate_loss(loss_probability, retry_timeout)?;
-        self.loss = Some(LossConfig {
-            loss_probability,
-            retry_timeout,
-            seed,
-        });
-        Ok(self)
-    }
-
-    /// Enables the cellular-mobility model.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] if no cells are given, any extra latency is
-    /// negative, or the handoff rate is not positive.
-    #[deprecated(since = "0.2.0", note = "use `SimBuilder::mobility` instead")]
-    pub fn with_mobility(
-        mut self,
-        cell_extra_latency: Vec<f64>,
-        handoff_rate: f64,
-        seed: u64,
-    ) -> Result<Self, ConfigError> {
-        crate::builder::validate_mobility(&cell_extra_latency, handoff_rate)?;
-        self.mobility = Some(MobilityConfig {
-            cell_extra_latency,
-            handoff_rate,
-            seed,
-        });
-        Ok(self)
-    }
-
-    /// Enables fault injection from an already-validated [`FaultPlan`].
-    #[deprecated(since = "0.2.0", note = "use `SimBuilder::faults` instead")]
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = Some(faults);
-        self
     }
 }
 
@@ -1566,9 +1487,7 @@ impl Simulation {
     /// Poisson workload with default latency and the oracle check on.
     ///
     /// This (with [`Simulation::run_schedule`]) is the uniform
-    /// cell-execution signature the sweep engine fans out over; the free
-    /// functions `simulate_poisson` / `simulate_schedule` are deprecated
-    /// wrappers around these.
+    /// cell-execution signature the sweep engine fans out over.
     pub fn run_poisson(spec: PolicySpec, theta: f64, requests: usize, seed: u64) -> SimReport {
         let mut sim = Simulation::new(SimConfig::defaults(spec));
         let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, theta, seed);
@@ -1585,18 +1504,6 @@ impl Simulation {
         let mut workload = crate::workload::TraceWorkload::new(schedule.clone(), 1.0);
         sim.run(&mut workload, RunLimit::Requests(schedule.len()))
     }
-}
-
-/// Convenience: simulate `spec` over a fresh Poisson workload.
-#[deprecated(since = "0.2.0", note = "use `Simulation::run_poisson` instead")]
-pub fn simulate_poisson(spec: PolicySpec, theta: f64, requests: usize, seed: u64) -> SimReport {
-    Simulation::run_poisson(spec, theta, requests, seed)
-}
-
-/// Convenience: push an explicit schedule through the full protocol.
-#[deprecated(since = "0.2.0", note = "use `Simulation::run_schedule` instead")]
-pub fn simulate_schedule(spec: PolicySpec, schedule: &Schedule) -> SimReport {
-    Simulation::run_schedule(spec, schedule)
 }
 
 #[cfg(test)]
@@ -1737,6 +1644,7 @@ mod tests {
 #[cfg(test)]
 mod loss_tests {
     use super::*;
+    use crate::faults::ConfigError;
     use crate::SimBuilder;
     use mdr_core::run_spec;
 
@@ -1831,6 +1739,7 @@ mod loss_tests {
 #[cfg(test)]
 mod mobility_tests {
     use super::*;
+    use crate::faults::ConfigError;
     use crate::SimBuilder;
 
     fn mobile_run(mobility: bool, seed: u64) -> SimReport {
@@ -2284,47 +2193,119 @@ mod arq_tests {
     }
 }
 
-/// The deprecated entry points stay behaviourally identical to their
-/// replacements for one release; these shim tests pin that down.
 #[cfg(test)]
-#[allow(deprecated)]
-mod deprecated_shim_tests {
+mod mutation_regressions {
+    //! Seed-pinned counter and ledger-field regressions added after a
+    //! `cargo xtask mutate` run surfaced surviving mutants in this file:
+    //! the per-event counters below were reported but never asserted
+    //! exactly, so off-by-one and sign mutations went unnoticed. Each
+    //! test pins one deterministic run; float fields are compared by
+    //! bit pattern (the runs are exactly reproducible by construction).
+
     use super::*;
     use crate::SimBuilder;
 
     #[test]
-    fn old_patchwork_builds_the_same_config_as_the_builder() {
-        let plan = FaultPlan::new(0.02, 1.5, 4).unwrap();
-        let old = SimConfig::new(PolicySpec::SlidingWindow { k: 5 })
-            .with_latency(0.03)
-            .without_oracle()
-            .with_loss(0.1, 0.05, 7)
+    fn handoff_count_is_pinned() {
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.latency(0.02))
+            .and_then(|b| b.mobility(vec![0.0, 0.05, 0.2], 0.5, 9))
             .unwrap()
-            .with_mobility(vec![0.0, 0.1], 2.0, 9)
-            .unwrap()
-            .with_faults(plan.clone());
-        let new = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
-            .and_then(|b| b.latency(0.03))
-            .and_then(|b| b.oracle(false))
-            .and_then(|b| b.loss(0.1, 0.05, 7))
-            .and_then(|b| b.mobility(vec![0.0, 0.1], 2.0, 9))
-            .and_then(|b| b.faults(plan))
-            .unwrap()
-            .build();
-        assert_eq!(old, new);
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4242);
+        let r = sim.run(&mut w, RunLimit::Requests(4_000));
+        assert_eq!(r.handoffs, 1_971);
     }
 
     #[test]
-    fn old_free_functions_match_the_associated_constructors() {
-        let spec = PolicySpec::SlidingWindow { k: 3 };
-        assert_eq!(
-            simulate_poisson(spec, 0.4, 2_000, 11),
-            Simulation::run_poisson(spec, 0.4, 2_000, 11)
-        );
-        let sched: Schedule = "rrwwrwr".parse().unwrap();
-        assert_eq!(
-            simulate_schedule(spec, &sched),
-            Simulation::run_schedule(spec, &sched)
-        );
+    fn disconnect_tallies_are_pinned() {
+        let plan = FaultPlan::new(0.05, 2.0, 1)
+            .and_then(|p| p.with_crashes(0.4, 0.6))
+            .and_then(|p| p.with_sc_outages(0.2))
+            .unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.faults(plan))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4711);
+        let r = sim.run(&mut w, RunLimit::Requests(4_000));
+        assert_eq!((r.disconnects, r.mc_crashes, r.sc_outages), (174, 72, 20));
+    }
+
+    #[test]
+    fn mean_read_latency_is_pinned() {
+        // SW3 mixes zero-latency local reads (which enter the divisor)
+        // with wire reads and queueing delay, so both the latency sum
+        // and the completed-reads count are load-bearing here.
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.latency(0.05))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(2.0, 0.4, 77);
+        let r = sim.run(&mut w, RunLimit::Requests(3_000));
+        assert!(r.queued_requests > 0);
+        assert_eq!(r.mean_read_latency.to_bits(), 0x3fa2_b10a_251b_1c26);
+    }
+
+    #[test]
+    fn arq_jitter_timing_is_pinned() {
+        // Jitter stretches each RTO by `1 + jitter·u`; the retransmission
+        // tally and the makespan both depend on the sign and size of that
+        // stretch through every timeout on the critical path.
+        let arq = ArqConfig::new(0.3, 0.05, 5)
+            .and_then(|a| a.with_backoff(1.5, 0.4))
+            .unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.latency(0.02))
+            .and_then(|b| b.arq(arq))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 2024);
+        let r = sim.run(&mut w, RunLimit::Requests(1_500));
+        assert_eq!(r.retransmissions, 490);
+        assert_eq!(r.makespan.to_bits(), 0x4097_c13d_5150_a875);
+    }
+
+    #[test]
+    fn degraded_staleness_sum_is_pinned() {
+        // Each degraded read contributes `now − partition_start`; the sum
+        // must stay below `degraded_reads × makespan` (and is pinned
+        // exactly), so a sign flip in the subtraction cannot hide.
+        let arq = ArqConfig::new(1.0, 0.05, 1)
+            .and_then(|a| a.with_retry_budget(3))
+            .and_then(|a| a.with_degrade_deadline(1.0))
+            .unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::St2)
+            .and_then(|b| b.arq(arq))
+            .unwrap()
+            .simulation();
+        let sched = Schedule::alternating(Request::Read, 400);
+        let mut w = crate::workload::TraceWorkload::new(sched, 0.05);
+        let r = sim.run(&mut w, RunLimit::Requests(400));
+        assert_eq!(r.degraded_reads, 191);
+        assert!(r.staleness_sum <= r.degraded_reads as f64 * r.makespan);
+        assert_eq!(r.staleness_sum.to_bits(), 0x409c_1d00_0000_0000);
+    }
+
+    #[test]
+    fn arq_delivery_includes_cell_latency() {
+        // ARQ deliveries must *add* the current cell's extra latency —
+        // every other ARQ test runs without mobility, where that term is
+        // zero and a sign flip is invisible. The read-latency mean is
+        // pinned from a run that spends time in the slow cells.
+        let arq = ArqConfig::new(0.2, 0.05, 5)
+            .and_then(|a| a.with_backoff(1.5, 0.3))
+            .unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.latency(0.02))
+            .and_then(|b| b.mobility(vec![0.0, 0.05, 0.2], 0.5, 9))
+            .and_then(|b| b.arq(arq))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 2024);
+        let r = sim.run(&mut w, RunLimit::Requests(1_500));
+        assert!(r.handoffs > 0 && r.retransmissions > 0);
+        assert_eq!(r.retransmissions, 1_400);
+        assert_eq!(r.mean_read_latency.to_bits(), 0x3fba_2603_ddf5_8473);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mdr-verify [--depth N] [--policy SPEC] [--lossless-only]
-//!            [--faults [DEPTH]] [--arq [DEPTH]]
+//!            [--faults [DEPTH]] [--arq [DEPTH]] [--kill-suite]
 //! ```
 //!
 //! Explores every interleaving of arrivals, deliveries and losses to the
@@ -15,15 +15,203 @@
 //! denser — epoch bumps defeat cross-fault dedup — so it defaults to
 //! `min(depth, 12)`). With `--arq`, one pass per policy explores the ARQ
 //! transitions alone. Exits non-zero if any run finds a counterexample.
+//!
+//! `--kill-suite` instead runs the fast mutation-detection battery that
+//! `cargo xtask mutate` uses to judge mutants (see
+//! `docs/static-analysis.md`): clean checks that must verify, injected
+//! faults that must be *caught* (so a weakened invariant fails the
+//! suite, not just a broken protocol), and the protocol-vs-reference
+//! cost-equivalence sweep.
 
-use mdr_verify::{check, default_roster, CheckConfig};
+use mdr_core::{run_spec, CostModel, PolicySpec, Schedule};
+use mdr_sim::Simulation;
+use mdr_verify::{check, default_roster, CheckConfig, Fault, Invariant};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]] [--arq [DEPTH]]"
+        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]] [--arq [DEPTH]] [--kill-suite]"
     );
     std::process::exit(2);
+}
+
+/// The checker modes a kill-suite entry can run in.
+#[derive(Clone, Copy)]
+enum SuiteMode {
+    /// Arrivals/deliveries (+losses) only.
+    Plain,
+    /// ARQ transport transitions woven in.
+    Arq,
+    /// Disconnection/crash/reconnection transitions woven in.
+    Faulty,
+}
+
+/// One must-catch row: name, policy, seeded fault, checker mode, depth,
+/// and the invariant expected to flag it (`None` = any violation).
+type CatchCase = (
+    &'static str,
+    PolicySpec,
+    Fault,
+    SuiteMode,
+    usize,
+    Option<Invariant>,
+);
+
+/// The fast battery `cargo xtask mutate` runs against every mutant.
+///
+/// Three layers, every one of which must hold:
+/// 1. *must-verify*: clean checks over representative policies — a
+///    mutant that breaks the protocol or the checker's exploration
+///    fails here;
+/// 2. *must-catch*: seeded protocol faults whose detection is asserted,
+///    including the expected invariant — a mutant that weakens an
+///    invariant (the classic vacuous-checker failure) fails here even
+///    though every clean check still passes;
+/// 3. *equivalence*: the full simulator against the §3 reference policy
+///    fold on fixed schedules, exact in the connection model — a mutant
+///    that perturbs either cost ledger fails here.
+fn kill_suite() -> ExitCode {
+    let sw3 = PolicySpec::SlidingWindow { k: 3 };
+    let sw1 = PolicySpec::SlidingWindow { k: 1 };
+    let mut failed = false;
+    let mut entry = |name: &str, ok: bool| {
+        println!("{:<44} {}", name, if ok { "ok" } else { "FAILED" });
+        failed |= !ok;
+    };
+
+    // Layer 1: must-verify.
+    for (name, spec) in [
+        ("verify sw3", sw3),
+        ("verify st2", PolicySpec::St2),
+        ("verify t2(2)", PolicySpec::T2 { m: 2 }),
+    ] {
+        let report = check(&CheckConfig::new(spec, 8));
+        entry(name, report.verified() && report.states > 1);
+    }
+    entry(
+        "verify sw3 lossy",
+        check(&CheckConfig::new(sw3, 8).lossy()).verified(),
+    );
+    entry(
+        "verify sw3 arq",
+        check(&CheckConfig::new(sw3, 8).arq()).verified(),
+    );
+    entry(
+        "verify sw3 faulty",
+        check(&CheckConfig::new(sw3, 8).faulty()).verified(),
+    );
+
+    // Layer 2: must-catch (fault, mode, depth, expected invariant).
+    let catches: &[CatchCase] = &[
+        (
+            "catch skip-allocation-handoff",
+            sw3,
+            Fault::SkipAllocationHandoff,
+            SuiteMode::Plain,
+            12,
+            Some(Invariant::ReplicaAgreement),
+        ),
+        (
+            "catch skip-window-handoff",
+            sw3,
+            Fault::SkipWindowHandoff,
+            SuiteMode::Plain,
+            12,
+            Some(Invariant::SingleWindowOwner),
+        ),
+        (
+            "catch drop-delete-request",
+            sw1,
+            Fault::DropDeleteRequest,
+            SuiteMode::Plain,
+            12,
+            Some(Invariant::NoDeadlock),
+        ),
+        (
+            "catch skip-ack-billing",
+            sw3,
+            Fault::SkipAckBilling,
+            SuiteMode::Arq,
+            10,
+            Some(Invariant::LedgerEqualsReplay),
+        ),
+        (
+            "catch free-retransmit",
+            sw3,
+            Fault::FreeRetransmit,
+            SuiteMode::Arq,
+            10,
+            Some(Invariant::LedgerEqualsReplay),
+        ),
+        (
+            "catch lie-about-replica",
+            sw3,
+            Fault::LieAboutReplicaOnReconnect,
+            SuiteMode::Faulty,
+            10,
+            None,
+        ),
+    ];
+    for &(name, spec, fault, mode, depth, expected) in catches {
+        let mut config = CheckConfig::new(spec, depth).with_fault(fault);
+        config = match mode {
+            SuiteMode::Plain => config,
+            SuiteMode::Arq => config.arq(),
+            SuiteMode::Faulty => config.faulty(),
+        };
+        let report = check(&config);
+        let caught = !report.verified()
+            && match expected {
+                None => true,
+                Some(inv) => report
+                    .violations
+                    .first()
+                    .is_some_and(|v| v.invariant == inv),
+            };
+        entry(name, caught);
+    }
+
+    // Layer 3: protocol-vs-reference equivalence on fixed schedules.
+    let schedules = ["rrrwwwrrr", "rwrwrwrwrw", "wwwwwrrrrrwwwww", "r", "w"];
+    let mut equivalent = true;
+    for spec in PolicySpec::roster(&[1, 3, 5], &[2]) {
+        for s in schedules {
+            let Ok(sched) = s.parse::<Schedule>() else {
+                equivalent = false;
+                continue;
+            };
+            let report = Simulation::run_schedule(spec, &sched);
+            let reference = run_spec(spec, &sched, CostModel::Connection);
+            if report.counts != reference.counts {
+                equivalent = false;
+            }
+            // Bit-exact on purpose (and bit-compared so the float-eq lint
+            // holds): the connection-model ledger is integral counts.
+            let exact =
+                report.cost(CostModel::Connection).to_bits() == reference.total_cost.to_bits();
+            let model = CostModel::message(0.3);
+            let priced = run_spec(spec, &sched, model);
+            let close = (report.cost(model) - priced.total_cost).abs() < 1e-9;
+            if !(exact && close) {
+                equivalent = false;
+            }
+        }
+    }
+    entry("protocol equals reference on schedules", equivalent);
+
+    // The Poisson path with the oracle on asserts step equivalence
+    // internally; reaching here without a panic plus the exact request
+    // count is the check.
+    let report = Simulation::run_poisson(sw3, 0.4, 2_000, 11);
+    entry("poisson oracle run", report.counts.total() == 2_000);
+
+    if failed {
+        println!("kill-suite: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("kill-suite: ok");
+        ExitCode::SUCCESS
+    }
 }
 
 /// One checker run, printed as a table row; returns (states, verified).
@@ -54,6 +242,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--kill-suite" => return kill_suite(),
             "--depth" => {
                 let Some(value) = args.next() else { usage() };
                 let Ok(value) = value.parse() else { usage() };

@@ -1,0 +1,42 @@
+//! Audit fixture: the negative cases. The same constructs the rules
+//! fire on, placed where they are legitimate — unreachable helpers,
+//! ordered maps, and test-only code — must produce zero findings.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn never_called_from_a_root() -> f64 {
+    // Hash iteration and wall-clock reads are fine in code the
+    // determinism-critical roots cannot reach.
+    let counts: HashMap<u64, u64> = HashMap::new();
+    let mut total = 0.0;
+    for v in counts.values() {
+        total += *v as f64;
+    }
+    let _ = std::time::Instant::now();
+    total
+}
+
+pub fn run_cell(seed: u64) -> u64 {
+    // Ordered iteration is the blessed pattern.
+    let ordered: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut sum = seed;
+    for (k, v) in &ordered {
+        sum += k + v;
+    }
+    // Membership operations on hash containers are order-insensitive and
+    // allowed; only iteration is flagged.
+    let members: HashMap<u64, u64> = HashMap::new();
+    if members.contains_key(&sum) {
+        sum += 1;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_ambient_time_and_entropy() {
+        let _ = std::time::Instant::now();
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,36 @@
+//! Audit fixture: one positive case per determinism rule, all reachable
+//! from the `pub fn … seed` root.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn run_cell(seed: u64) -> f64 {
+    let started = Instant::now();
+    let mut ambient = rand::thread_rng();
+    let noise = rand::random::<f64>();
+    let mut rng = StdRng::seed_from_u64(seed);
+    helper() + noise + started.elapsed().as_secs_f64()
+}
+
+fn helper() -> f64 {
+    let counts: HashMap<u64, u64> = HashMap::new();
+    let mut total = 0.0;
+    for (k, v) in &counts {
+        total += (*k + *v) as f64;
+    }
+    for v in counts.values() {
+        total += *v as f64;
+    }
+    total
+}
+
+#[deprecated(since = "0.2.0", note = "use new_entry")]
+pub fn old_entry(x: u64) -> u64 {
+    x
+}
+
+pub fn caller() -> u64 {
+    old_entry(3)
+}

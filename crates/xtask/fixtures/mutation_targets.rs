@@ -1,0 +1,50 @@
+//! Mutation-engine fixture: a small corpus exercising every operator,
+//! plus the positions the guards must leave alone.
+
+pub fn arith(a: u64, b: u64) -> u64 {
+    let sum = a + b;
+    let diff = sum - 1;
+    if a < b && diff <= 10 {
+        return diff + 2;
+    }
+    let flag = !done(a);
+    if flag || a >= b {
+        count(a) + 3
+    } else {
+        match a {
+            0 => 1,
+            9 => b - a,
+            _ => 4,
+        }
+    }
+}
+
+fn done(a: u64) -> bool {
+    a == 0
+}
+
+fn count(a: u64) -> u64 {
+    if a != 3 {
+        a
+    } else {
+        5
+    }
+}
+
+pub fn generics_must_survive(xs: Vec<u64>) -> Vec<u64> {
+    // `Vec<u64>` and the turbofish are type syntax: no cmp-swap mutants
+    // may be derived from these angle brackets.
+    let mut out = Vec::<u64>::new();
+    for x in xs {
+        out.push(x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_never_mutated() {
+        assert_eq!(super::arith(1 + 1, 3), 5 - 1);
+    }
+}

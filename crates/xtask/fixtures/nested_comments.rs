@@ -1,0 +1,17 @@
+//! Lexer-hardening fixture: nested block comments at several depths.
+
+/* level one /* level two /* level three */ still level two */ back to one */
+pub fn after_nested() -> u32 {
+    /* outer /* inner "quote inside a comment */ tail */
+    7
+}
+
+/** doc block /* nested inside the doc */ continues */
+pub fn documented() -> u32 {
+    8
+}
+
+/* closes exactly: /* */ */
+pub fn last_line_marker() -> u32 {
+    9
+}

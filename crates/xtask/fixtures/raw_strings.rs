@@ -1,0 +1,17 @@
+//! Lexer-hardening fixture: raw strings of every stripe. Nothing in any
+//! string body may be re-lexed as code.
+
+pub fn raw_strings() -> usize {
+    let plain = r"no escapes \ here";
+    let hashed = r#"contains "quotes", a // line comment, and /* a block */"#;
+    let deep = r##"one "# embedded guard"##;
+    let bytes = br#"raw bytes with "quotes""#;
+    let c_plain = c"plain c string";
+    let c_raw = cr#"raw c string with "quotes""#;
+    let code_like = r#"#[cfg(test)] fn looks_like_code() { x.unwrap(); }"#;
+    plain.len() + hashed.len() + deep.len() + bytes.len() + code_like.len()
+}
+
+fn after_the_strings() -> u32 {
+    40 + 2
+}

@@ -1,0 +1,106 @@
+//! Call-site extraction and name-based call-graph resolution.
+//!
+//! Within each function body the extractor records plain calls
+//! (`helper(…)`, with their immediate `Path::` qualifier when present)
+//! and method calls (`.step(…)`). Resolution is by name against the
+//! workspace symbol table: a qualified call binds to symbols owned by
+//! that type when any exist, otherwise — like every method call — to
+//! *every* symbol with a matching name. The result is a deliberate
+//! over-approximation: reachability built on it can only over-report,
+//! never miss a path, which is the right failure mode for a determinism
+//! audit.
+
+use crate::lexer::{Token, TokenKind};
+use crate::symbols::Symbol;
+use std::collections::BTreeMap;
+
+/// One call occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    /// Callee function/method name.
+    pub name: String,
+    /// Immediate path qualifier (`Simulation::new` → `Simulation`), if
+    /// syntactically present.
+    pub qualifier: Option<String>,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "loop", "return", "fn", "let", "in", "move", "unsafe",
+    "as", "where", "impl", "dyn", "ref", "mut", "box", "await",
+];
+
+/// Extracts the call sites inside `tokens[body.0..body.1]`.
+pub(crate) fn calls_in(tokens: &[Token], body: (usize, usize)) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let (start, end) = body;
+    for t in start..end.min(tokens.len()).saturating_sub(1) {
+        let tok = &tokens[t];
+        if tok.kind != TokenKind::Ident || !tokens[t + 1].is_punct("(") {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let prev = t.checked_sub(1).map(|p| &tokens[p]);
+        // `fn name(` is a definition (nested fn / closure parameter list
+        // never looks like this), and `ident!(` is a macro invocation —
+        // its *arguments* still lex as body tokens, so calls inside
+        // macros are picked up individually.
+        if prev.is_some_and(|p| p.is_ident("fn") || p.is_punct("!")) {
+            continue;
+        }
+        let (name, qualifier) = if prev.is_some_and(|p| p.is_punct(".")) {
+            (tok.text.clone(), None)
+        } else if prev.is_some_and(|p| p.is_punct("::")) && t >= 2 {
+            let q = &tokens[t - 2];
+            let qualifier = (q.kind == TokenKind::Ident).then(|| q.text.clone());
+            (tok.text.clone(), qualifier)
+        } else {
+            (tok.text.clone(), None)
+        };
+        out.push(CallSite {
+            name,
+            qualifier,
+            line: tok.line,
+        });
+    }
+    out
+}
+
+/// An index over the workspace symbol table for name-based resolution.
+pub(crate) struct Resolver {
+    /// name → indices of symbols bearing it.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Resolver {
+    /// Builds the index.
+    pub(crate) fn new(symbols: &[Symbol]) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, s) in symbols.iter().enumerate() {
+            by_name.entry(s.name.clone()).or_default().push(i);
+        }
+        Resolver { by_name }
+    }
+
+    /// Resolves one call site to candidate symbol indices.
+    pub(crate) fn resolve(&self, symbols: &[Symbol], call: &CallSite) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        if let Some(q) = &call.qualifier {
+            let owned: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| symbols[i].owner.as_deref() == Some(q.as_str()))
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+        }
+        candidates.clone()
+    }
+}

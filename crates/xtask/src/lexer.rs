@@ -1,11 +1,28 @@
-//! A minimal hand-rolled Rust lexer: just enough to drive the lint rules.
+//! A minimal hand-rolled Rust lexer: just enough to drive the lint rules,
+//! the determinism auditor, and the mutation engine.
 //!
 //! Produces a flat token stream with comments stripped, string/char
 //! literals reduced to opaque tokens, and doc comments kept as dedicated
 //! tokens (the paper-reference rule reads them; every other rule skips
-//! them, so `.unwrap()` mentioned in prose is never flagged). This is not
-//! a full parser — the rules layer applies local, token-window heuristics
-//! tuned to this workspace's idioms.
+//! them, so `.unwrap()` mentioned in prose is never flagged). Every token
+//! carries its half-open `[start, end)` span in *char* indices of the
+//! source, so the mutation engine can splice single-token edits back into
+//! the original text. This is not a full parser — the rules layer applies
+//! local, token-window heuristics tuned to this workspace's idioms.
+//!
+//! Hardened corner cases (each pinned by a fixture test):
+//!
+//! * raw strings and raw byte strings with any hash depth (`r"…"`,
+//!   `r#"…"#`, `br##"…"##`), including bodies containing quotes, hashes,
+//!   `//`, `/*`, and `#[cfg(test)]` text — the body is a single opaque
+//!   `Str` token, never re-lexed;
+//! * C string literals (`c"…"`, `cr#"…"#`), lexed as one `Str` token
+//!   rather than a spurious `c` identifier followed by a string;
+//! * nested block comments (`/* a /* b */ c */`) at any depth, doc or
+//!   plain, terminated or not;
+//! * line-continuation escapes inside string literals (`"…\` at end of
+//!   line): the swallowed newline still advances the line counter, so
+//!   diagnostics after a continued string point at the right line.
 
 /// What kind of lexeme a [`Token`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,7 +33,7 @@ pub(crate) enum TokenKind {
     Int,
     /// Floating-point literal.
     Float,
-    /// String literal (normal, raw, or byte); text holds the contents.
+    /// String literal (normal, raw, byte, or C); text holds the contents.
     Str,
     /// Character or byte literal.
     Char,
@@ -27,7 +44,7 @@ pub(crate) enum TokenKind {
     Punct,
 }
 
-/// One lexeme with its 1-based source line.
+/// One lexeme with its 1-based source line and char-index span.
 #[derive(Debug, Clone)]
 pub(crate) struct Token {
     /// The lexeme class.
@@ -36,6 +53,10 @@ pub(crate) struct Token {
     pub text: String,
     /// 1-based line where the lexeme starts.
     pub line: usize,
+    /// Char index of the lexeme's first character in the source.
+    pub start: usize,
+    /// Char index one past the lexeme's last character.
+    pub end: usize,
 }
 
 impl Token {
@@ -57,7 +78,7 @@ const PUNCTS: &[&str] = &[
 ];
 
 /// Lexes `src` into a token stream. Unrecognized bytes are skipped — the
-/// lint rules are best-effort heuristics, not a compiler front end.
+/// analysis passes are best-effort heuristics, not a compiler front end.
 pub(crate) fn lex(src: &str) -> Vec<Token> {
     let chars: Vec<char> = src.chars().collect();
     let len = chars.len();
@@ -93,6 +114,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                     kind: TokenKind::Doc,
                     text,
                     line,
+                    start: i,
+                    end: j,
                 });
             }
             i = j;
@@ -123,14 +146,17 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                     kind: TokenKind::Doc,
                     text: chars[i..j.min(len)].iter().collect(),
                     line: start_line,
+                    start: i,
+                    end: j.min(len),
                 });
             }
             i = j;
             continue;
         }
 
-        // Raw strings and raw identifiers: r"..", r#".."#, r#ident.
-        if c == 'r' || (c == 'b' && at(i + 1) == Some('r')) {
+        // Raw strings, raw byte strings, raw C strings, and raw
+        // identifiers: r".."/r#".."#/br".."/cr#".."#/r#ident.
+        if c == 'r' || ((c == 'b' || c == 'c') && at(i + 1) == Some('r')) {
             let hash_start = if c == 'r' { i + 1 } else { i + 2 };
             let mut hashes = 0;
             while at(hash_start + hashes) == Some('#') {
@@ -152,6 +178,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                     kind: TokenKind::Str,
                     text: body,
                     line: start_line,
+                    start: i,
+                    end: (j + 1 + hashes).min(len),
                 });
                 i = (j + 1 + hashes).min(len);
                 continue;
@@ -166,20 +194,29 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                     kind: TokenKind::Ident,
                     text: chars[hash_start + 1..j].iter().collect(),
                     line,
+                    start: i,
+                    end: j,
                 });
                 i = j;
                 continue;
             }
-            // Fall through: plain identifier starting with r/b.
+            // Fall through: plain identifier starting with r/b/c.
         }
 
-        // String literals (including byte strings).
-        if c == '"' || (c == 'b' && at(i + 1) == Some('"')) {
+        // String literals (including byte strings and C strings).
+        if c == '"' || ((c == 'b' || c == 'c') && at(i + 1) == Some('"')) {
             let start_line = line;
             let mut j = if c == '"' { i + 1 } else { i + 2 };
             let mut body = String::new();
             while j < len && chars[j] != '"' {
                 if chars[j] == '\\' {
+                    // An escape consumes the next char wholesale; a
+                    // line-continuation escape (`\` at end of line) swallows
+                    // the newline, which must still count toward the line
+                    // number or every diagnostic below drifts.
+                    if at(j + 1) == Some('\n') {
+                        line += 1;
+                    }
                     j += 2;
                     continue;
                 }
@@ -193,6 +230,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                 kind: TokenKind::Str,
                 text: body,
                 line: start_line,
+                start: i,
+                end: (j + 1).min(len),
             });
             i = j + 1;
             continue;
@@ -222,6 +261,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                 kind: TokenKind::Char,
                 text: String::new(),
                 line,
+                start: i,
+                end: (j + 1).min(len),
             });
             i = j + 1;
             continue;
@@ -237,6 +278,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                 kind: TokenKind::Ident,
                 text: chars[i..j].iter().collect(),
                 line,
+                start: i,
+                end: j,
             });
             i = j;
             continue;
@@ -294,6 +337,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                 },
                 text: chars[i..j].iter().collect(),
                 line,
+                start: i,
+                end: j,
             });
             i = j;
             continue;
@@ -308,6 +353,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                     kind: TokenKind::Punct,
                     text: (*p).to_string(),
                     line,
+                    start: i,
+                    end: i + pl,
                 });
                 i += pl;
                 matched = true;
@@ -319,6 +366,8 @@ pub(crate) fn lex(src: &str) -> Vec<Token> {
                 kind: TokenKind::Punct,
                 text: c.to_string(),
                 line,
+                start: i,
+                end: i + 1,
             });
             i += 1;
         }
@@ -414,4 +463,126 @@ pub(crate) fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
 /// Whether token index `idx` falls inside any of `ranges`.
 pub(crate) fn in_ranges(ranges: &[(usize, usize)], idx: usize) -> bool {
     ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> String {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(src) => src,
+            Err(e) => panic!("fixture {name}: {e}"),
+        }
+    }
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_bodies_are_never_relexed() {
+        let src = fixture("raw_strings.rs");
+        let tokens = lex(&src);
+        // The code-like text lives inside string bodies: no `unwrap`
+        // ident, no `cfg` attribute, no test range may surface.
+        assert!(
+            !idents(&tokens).contains(&"unwrap"),
+            "{:?}",
+            idents(&tokens)
+        );
+        assert!(test_ranges(&tokens).is_empty());
+        let strings: Vec<&Token> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strings.len(), 7, "one Str token per literal");
+        assert!(strings.iter().any(|t| t.text.contains("// line comment")));
+        assert!(strings
+            .iter()
+            .any(|t| t.text.contains("\"# embedded guard")));
+        assert!(strings.iter().any(|t| t.text.contains("cfg(test)")));
+    }
+
+    #[test]
+    fn lexing_stays_in_sync_after_raw_strings() {
+        let src = fixture("raw_strings.rs");
+        let tokens = lex(&src);
+        let after = tokens
+            .iter()
+            .find(|t| t.is_ident("after_the_strings"))
+            .map(|t| t.line);
+        // The fn sits right after the string salvo; a desynced lexer
+        // would swallow it or misreport its line.
+        let expected = src
+            .lines()
+            .position(|l| l.contains("fn after_the_strings"))
+            .map(|n| n + 1);
+        assert_eq!(after, expected);
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Int && t.text == "40"));
+    }
+
+    #[test]
+    fn nested_block_comments_balance_at_depth() {
+        let src = fixture("nested_comments.rs");
+        let tokens = lex(&src);
+        let names = idents(&tokens);
+        for name in ["after_nested", "documented", "last_line_marker"] {
+            assert!(names.contains(&name), "{name} swallowed by a comment");
+        }
+        // A quote inside a comment must not open a string.
+        assert!(tokens.iter().all(|t| t.kind != TokenKind::Str));
+        for value in ["7", "8", "9"] {
+            assert!(tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Int && t.text == value));
+        }
+        // Block-comment newlines still count: the last fn's line is exact.
+        let marker = tokens
+            .iter()
+            .find(|t| t.is_ident("last_line_marker"))
+            .map(|t| t.line);
+        let expected = src
+            .lines()
+            .position(|l| l.contains("fn last_line_marker"))
+            .map(|n| n + 1);
+        assert_eq!(marker, expected);
+    }
+
+    #[test]
+    fn doc_block_comments_survive_nesting() {
+        let src = fixture("nested_comments.rs");
+        let tokens = lex(&src);
+        let docs: Vec<&Token> = tokens.iter().filter(|t| t.kind == TokenKind::Doc).collect();
+        // `//!` module doc + the `/** … */` block doc.
+        assert_eq!(docs.len(), 2, "{docs:?}");
+        assert!(docs
+            .iter()
+            .any(|t| t.text.contains("nested inside the doc")));
+    }
+
+    #[test]
+    fn string_line_continuations_count_their_newline() {
+        let src = "let a = \"one\\\ntwo\";\nfn marker() {}\n";
+        let tokens = lex(src);
+        let marker = tokens.iter().find(|t| t.is_ident("marker"));
+        assert_eq!(marker.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn spans_cover_the_source_text() {
+        let src = fixture("mutation_targets.rs");
+        let chars: Vec<char> = src.chars().collect();
+        for t in lex(&src) {
+            assert!(t.start < t.end && t.end <= chars.len(), "{t:?}");
+            if matches!(t.kind, TokenKind::Ident | TokenKind::Int | TokenKind::Punct) {
+                let text: String = chars[t.start..t.end].iter().collect();
+                assert_eq!(text, t.text, "span text mismatch at line {}", t.line);
+            }
+        }
+    }
 }

@@ -1,11 +1,23 @@
 //! `cargo xtask` — workspace maintenance tasks.
 //!
-//! Currently one task: `cargo xtask lint`, the custom protocol-hygiene
-//! lint pass described in `docs/verification.md`. Exits non-zero when any
-//! rule fires.
+//! * `cargo xtask lint` — the token-window protocol-hygiene lint pass
+//!   described in `docs/verification.md`.
+//! * `cargo xtask audit` — the reachability-based determinism audit
+//!   (symbol + call-graph extraction, rules in `audit.rs`), with triaged
+//!   exceptions in `crates/xtask/audit.allow`.
+//! * `cargo xtask mutate` — single-token mutation testing over the
+//!   protocol-critical sources, survivors manifested in
+//!   `crates/xtask/mutants.allow`.
+//!
+//! All passes exit non-zero when a rule fires / a gate fails. See
+//! `docs/static-analysis.md`.
 
+mod audit;
+mod callgraph;
 mod lexer;
+mod mutate;
 mod rules;
+mod symbols;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -97,16 +109,96 @@ fn lint() -> ExitCode {
     }
 }
 
+/// Reads every workspace source file the audit covers: `crates/*/src`
+/// plus the facade crate's `src/`, as workspace-relative `(path, text)`
+/// pairs in sorted order.
+fn workspace_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        collect_rs(&crate_dir.join(SOURCE_DIR), &mut files);
+    }
+    collect_rs(&root.join(SOURCE_DIR), &mut files);
+    let mut out = Vec::new();
+    for file in files {
+        let Ok(rel) = file.strip_prefix(root) else {
+            continue;
+        };
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("{rel}: {e}"))?;
+        out.push((rel, text));
+    }
+    Ok(out)
+}
+
+fn audit_cmd() -> ExitCode {
+    let root = workspace_root();
+    let sources = match workspace_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = root.join("crates/xtask/audit.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match audit::parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("xtask audit: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let report = audit::audit_sources(&sources, &allow);
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for s in &report.suppressed {
+        println!("xtask audit: allowlisted: {s}");
+    }
+    for stale in &report.unused_allow {
+        eprintln!("xtask audit: warning: stale allowlist entry `{stale}` matched nothing");
+    }
+    let deprecated = audit::deprecated_symbols(&sources);
+    if deprecated.is_empty() {
+        println!("xtask audit: deprecated symbols: none");
+    } else {
+        for (id, users) in &deprecated {
+            println!("xtask audit: deprecated `{id}`: {users} internal user(s)");
+        }
+    }
+    println!(
+        "xtask audit: {} symbol(s), {} reachable, {} finding(s), {} allowlisted",
+        report.symbols,
+        report.reachable,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("audit") => audit_cmd(),
+        Some("mutate") => mutate::run(&workspace_root(), &args[1..]),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            eprintln!("xtask: unknown task `{other}` (available: lint, audit, mutate)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|audit|mutate>");
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,404 @@
+//! Module-level symbol extraction: functions, their impl owners, and the
+//! attributes the audit passes care about, recovered from the flat token
+//! stream of one file.
+//!
+//! This is deliberately a heuristic extractor, not a parser: it tracks
+//! brace depth and an `impl`/`trait` owner stack, recognizes `fn` items,
+//! and records for each one its visibility, `#[deprecated]` marker,
+//! whether it takes an explicit RNG seed parameter (`seed` / `*_seed`),
+//! and the token range of its body. Symbol ids look like
+//! `sim::sweep::SweepGrid::run_serial` — `<crate dir>::<file stem>` plus
+//! the owner type and function name — which is unambiguous enough for
+//! name-based call-graph resolution over this workspace.
+
+use crate::lexer::{in_ranges, lex, test_ranges, Token, TokenKind};
+
+/// One extracted function symbol.
+#[derive(Debug, Clone)]
+pub(crate) struct Symbol {
+    /// Stable id: `crate::module[::Owner]::name`.
+    pub id: String,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub owner: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range of the body including braces; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+    /// Declared plain `pub` (restricted `pub(crate)` and private count as
+    /// internal).
+    pub is_pub: bool,
+    /// Carries `#[deprecated]`.
+    pub deprecated: bool,
+    /// Has a parameter named `seed` or ending in `_seed` — the workspace
+    /// convention for "deterministic given this seed" entry points.
+    pub takes_seed: bool,
+}
+
+/// Everything the audit needs from one file.
+#[derive(Debug)]
+pub(crate) struct FileSymbols {
+    /// The full token stream (symbol body ranges index into this).
+    pub tokens: Vec<Token>,
+    /// Extracted function symbols, in source order.
+    pub symbols: Vec<Symbol>,
+    /// Names declared with a `HashMap`/`HashSet` type or initializer
+    /// anywhere in the file (struct fields, locals, parameters): the
+    /// receiver set for the map-iteration rule.
+    pub hash_names: Vec<String>,
+}
+
+/// Rust keywords that can prefix `fn` in a signature.
+const FN_QUALIFIERS: &[&str] = &["unsafe", "async", "const", "extern"];
+
+/// Derives the `crate::module` prefix from a workspace-relative path like
+/// `crates/sim/src/sweep.rs` (→ `sim::sweep`). `lib.rs`/`main.rs`/`mod.rs`
+/// use the directory name alone.
+fn module_prefix(path: &str) -> String {
+    let mut parts: Vec<&str> = path.split('/').collect();
+    let Some(file) = parts.pop() else {
+        return path.to_string();
+    };
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    // crates/<dir>/src/<...>/<stem>.rs
+    let crate_name = parts.get(1).copied().unwrap_or("crate");
+    let nested: Vec<&str> = parts.iter().skip(3).copied().collect();
+    let mut id = String::from(crate_name);
+    for n in &nested {
+        id.push_str("::");
+        id.push_str(n);
+    }
+    if !matches!(stem, "lib" | "main" | "mod") {
+        id.push_str("::");
+        id.push_str(stem);
+    }
+    id
+}
+
+/// Scans an `impl`/`trait` header starting after its keyword and returns
+/// (type name, token index of the opening `{`), or `None` if the header
+/// never opens a block.
+///
+/// For `impl`, the self type is the *last* top-level path segment before
+/// the block or `where` clause (`impl fmt::Display for sweep::SweepGrid`
+/// → `SweepGrid`); for `trait`, it is the *first* identifier (supertraits
+/// follow the name, not precede it).
+fn impl_header(tokens: &[Token], after_kw: usize, first_wins: bool) -> Option<(String, usize)> {
+    let mut angle: i64 = 0;
+    let mut candidate: Option<String> = None;
+    let mut frozen = false;
+    let mut j = after_kw;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("{") && angle <= 0 {
+            return candidate.map(|c| (c, j));
+        }
+        if t.is_punct(";") || t.is_punct("}") {
+            return None;
+        }
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+        } else if t.kind == TokenKind::Ident && angle <= 0 {
+            if t.text == "where" {
+                frozen = true;
+            } else if !frozen && !matches!(t.text.as_str(), "for" | "dyn" | "mut" | "const") {
+                if candidate.is_none() || !first_wins {
+                    candidate = Some(t.text.clone());
+                }
+                frozen = first_wins;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Extracts the symbols of one lexed file.
+pub(crate) fn extract(path: &str, src: &str) -> FileSymbols {
+    let tokens = lex(src);
+    let tests = test_ranges(&tokens);
+    let prefix = module_prefix(path);
+    let mut symbols = Vec::new();
+    // Owner stack: (type name, brace depth at which its block closes).
+    let mut owners: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            while owners.last().is_some_and(|(_, d)| *d > depth) {
+                owners.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident && (t.text == "impl" || t.text == "trait") {
+            // `trait Name {` vs `impl [<G>] [Trait for] Type [where …] {`.
+            if let Some((owner, open)) = impl_header(&tokens, i + 1, t.text == "trait") {
+                owners.push((owner, depth + 1));
+                depth += 1;
+                i = open + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident)
+        {
+            let name = tokens[i + 1].text.clone();
+            let line = t.line;
+            let is_test = in_ranges(&tests, i);
+            let (is_pub, deprecated) = lookback_qualifiers(&tokens, i);
+            let (takes_seed, sig_end) = scan_signature(&tokens, i + 2);
+            // Body: first `{` (matched) or `;` after the signature.
+            let mut body = None;
+            let mut j = sig_end;
+            while j < tokens.len() {
+                if tokens[j].is_punct(";") {
+                    j += 1;
+                    break;
+                }
+                if tokens[j].is_punct("{") {
+                    let close = match_brace(&tokens, j);
+                    body = Some((j, close));
+                    j = close;
+                    break;
+                }
+                j += 1;
+            }
+            let owner = owners.last().map(|(o, _)| o.clone());
+            let id = match &owner {
+                Some(o) => format!("{prefix}::{o}::{name}"),
+                None => format!("{prefix}::{name}"),
+            };
+            symbols.push(Symbol {
+                id,
+                name,
+                owner,
+                file: path.to_string(),
+                line,
+                body,
+                is_test,
+                is_pub,
+                deprecated,
+                takes_seed,
+            });
+            i = j.max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+
+    let hash_names = hash_typed_names(&tokens);
+    FileSymbols {
+        tokens,
+        symbols,
+        hash_names,
+    }
+}
+
+/// Walks back from the `fn` keyword over qualifiers and attributes to
+/// find `pub` visibility and a `#[deprecated]` marker.
+fn lookback_qualifiers(tokens: &[Token], fn_idx: usize) -> (bool, bool) {
+    let mut is_pub = false;
+    let mut deprecated = false;
+    let mut k = fn_idx;
+    while k > 0 {
+        let prev = &tokens[k - 1];
+        if prev.kind == TokenKind::Ident && FN_QUALIFIERS.contains(&prev.text.as_str()) {
+            k -= 1;
+            continue;
+        }
+        if prev.kind == TokenKind::Str {
+            // `extern "C"` ABI string.
+            k -= 1;
+            continue;
+        }
+        if prev.is_ident("pub") {
+            is_pub = true;
+            k -= 1;
+            continue;
+        }
+        if prev.is_punct(")") {
+            // Possibly `pub(crate)` / `pub(super)`: scan to the matching
+            // `(` and check for a `pub` before it.
+            let mut depth = 1;
+            let mut m = k - 1;
+            while m > 0 && depth > 0 {
+                m -= 1;
+                if tokens[m].is_punct(")") {
+                    depth += 1;
+                } else if tokens[m].is_punct("(") {
+                    depth -= 1;
+                }
+            }
+            if m > 0 && tokens[m - 1].is_ident("pub") {
+                // Restricted visibility: internal, not `pub`.
+                k = m - 1;
+                continue;
+            }
+            break;
+        }
+        if prev.is_punct("]") {
+            // An attribute: scan back to its `#`, noting `deprecated`.
+            let mut depth = 1;
+            let mut m = k - 1;
+            while m > 0 && depth > 0 {
+                m -= 1;
+                if tokens[m].is_punct("]") {
+                    depth += 1;
+                } else if tokens[m].is_punct("[") {
+                    depth -= 1;
+                } else if tokens[m].is_ident("deprecated") {
+                    deprecated = true;
+                }
+            }
+            if m > 0 && tokens[m - 1].is_punct("#") {
+                k = m - 1;
+                continue;
+            }
+            break;
+        }
+        if prev.kind == TokenKind::Doc {
+            k -= 1;
+            continue;
+        }
+        break;
+    }
+    (is_pub, deprecated)
+}
+
+/// Scans a signature from just after the function name: steps over the
+/// generic parameter list, then the parenthesized parameters, reporting
+/// whether any parameter is named `seed`/`*_seed`. Returns (takes_seed,
+/// token index just past the closing `)`).
+fn scan_signature(tokens: &[Token], mut j: usize) -> (bool, usize) {
+    // Generics.
+    if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut angle: i64 = 0;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            j += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    let mut takes_seed = false;
+    if tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            if tokens[j].is_punct("(") {
+                depth += 1;
+            } else if tokens[j].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if depth == 1
+                && tokens[j].kind == TokenKind::Ident
+                && (tokens[j].text == "seed" || tokens[j].text.ends_with("_seed"))
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct(":"))
+            {
+                takes_seed = true;
+            }
+            j += 1;
+        }
+    }
+    (takes_seed, j)
+}
+
+/// Token index one past the `}` matching the `{` at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct("{") {
+            depth += 1;
+        } else if tokens[j].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Iteration-order-sensitive methods on hash containers.
+pub(crate) const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Names declared with a `HashMap`/`HashSet` type annotation or
+/// initializer anywhere in the token stream: `field: HashMap<..>`,
+/// `let m = HashSet::new()`, `counts: &mut HashMap<..>`, and the
+/// `std::collections::` spellings of each.
+fn hash_typed_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::` path prefix.
+        let mut k = i;
+        while k >= 2 && tokens[k - 1].is_punct("::") && tokens[k - 2].kind == TokenKind::Ident {
+            k -= 2;
+        }
+        // `name : [& [mut]] HashMap`.
+        let mut b = k;
+        while b > 0 && (tokens[b - 1].is_punct("&") || tokens[b - 1].is_ident("mut")) {
+            b -= 1;
+        }
+        if b >= 2 && tokens[b - 1].is_punct(":") && tokens[b - 2].kind == TokenKind::Ident {
+            names.push(tokens[b - 2].text.clone());
+            continue;
+        }
+        // `let [mut] name = HashMap::…` / `name = HashMap::…`.
+        if b >= 2 && tokens[b - 1].is_punct("=") && tokens[b - 2].kind == TokenKind::Ident {
+            names.push(tokens[b - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}

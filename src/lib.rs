@@ -81,9 +81,4 @@ pub mod prelude {
     };
     pub use mdr_sim::sweep::{SweepGrid, SweepOptions, SweepReport};
     pub use mdr_sim::{PoissonWorkload, RunLimit, SimBuilder, SimConfig, SimReport, Simulation};
-    // Deprecated shims, re-exported for one release so downstream callers
-    // migrate on their own schedule (see the SimBuilder migration table in
-    // docs/sweeps.md).
-    #[allow(deprecated)]
-    pub use mdr_sim::{simulate_poisson, simulate_schedule};
 }

@@ -72,6 +72,6 @@
 //! ## Beyond the paper
 //!
 //! Adaptation latency (E12), lossy links with ARQ
-//! ([`SimConfig::with_loss`](mdr_sim::SimConfig::with_loss), E13), and the
+//! ([`SimBuilder::loss`](mdr_sim::SimBuilder::loss), E13), and the
 //! per-object baseline ([`PerObjectWindows`](mdr_multi::PerObjectWindows),
 //! E14) — all documented as extensions in DESIGN.md.
