@@ -10,6 +10,7 @@ pub mod e15_mobility;
 pub mod e16_recompute_overhead;
 pub mod e17_fault_sweep;
 pub mod e18_arq_sweep;
+pub mod e19_invalidation;
 pub mod e1_connection_exp;
 pub mod e2_connection_avg;
 pub mod e3_connection_competitive;
@@ -24,12 +25,12 @@ use crate::table::Experiment;
 use crate::RunCfg;
 
 /// The experiment ids, in presentation order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
-/// Runs one experiment by id (`"e1"`…`"e18"`, case-insensitive).
+/// Runs one experiment by id (`"e1"`…`"e19"`, case-insensitive).
 pub fn run_one(id: &str, cfg: RunCfg) -> Option<Experiment> {
     Some(match id.to_ascii_lowercase().as_str() {
         "e1" => e1_connection_exp::run(cfg),
@@ -50,6 +51,7 @@ pub fn run_one(id: &str, cfg: RunCfg) -> Option<Experiment> {
         "e16" => e16_recompute_overhead::run(cfg),
         "e17" => e17_fault_sweep::run(cfg),
         "e18" => e18_arq_sweep::run(cfg),
+        "e19" => e19_invalidation::run(cfg),
         _ => return None,
     })
 }

@@ -11,7 +11,7 @@ use crate::table::{fmt, fmt_opt, Table};
 use crate::RunCfg;
 use mdr_core::{CostModel, PolicySpec};
 use mdr_sim::sweep::{SweepGrid, SweepOptions, SweepReport, SweepSummary};
-use mdr_sim::{ArqConfig, FaultPlan};
+use mdr_sim::{ArqConfig, FaultPlan, TopologyConfig};
 
 /// The E17 fault mix at the given disconnection rate: outages of mean
 /// length 2, 30% crash probability (50% volatile), 20% SC outages, and
@@ -105,6 +105,55 @@ pub fn e18_grid(cfg: RunCfg) -> SweepGrid {
     grid
 }
 
+/// One E19 topology point: 5 cells, the given migration rate and
+/// backbone loss, handoff deadline 1.0 (20× the grid latency), and
+/// per-cell or broadcast invalidation. The grid re-seeds each run's
+/// topology RNG, so the embedded seed is irrelevant.
+pub fn e19_topology(rate: f64, loss: f64, broadcast: bool) -> TopologyConfig {
+    let Ok(topology) = TopologyConfig::new(5, rate, 1.0, 0).and_then(|t| t.with_loss(loss)) else {
+        unreachable!("the preset topology points are valid by construction")
+    };
+    if broadcast {
+        topology.with_broadcast_invalidation()
+    } else {
+        topology
+    }
+}
+
+/// The E19 grid: three policies × the topology axis `[single cell,
+/// inert 5-cell plan, per-cell rate 0.2, per-cell rate 0.8,
+/// per-cell rate 0.8 / loss 0.2, broadcast rate 0.8,
+/// broadcast rate 0.8 / loss 0.2]` at θ = 0.4, ω = 0.5, latency 0.05.
+/// One model, one θ, one replication — so cell index is
+/// `policy_index * 7 + topology_index`.
+pub fn e19_grid(cfg: RunCfg) -> SweepGrid {
+    let Ok(grid) = SweepGrid::new(0xE19)
+        .policies(vec![
+            PolicySpec::St2,
+            PolicySpec::SlidingWindow { k: 1 },
+            PolicySpec::SlidingWindow { k: 5 },
+        ])
+        .and_then(|g| g.thetas(vec![0.4]))
+        .and_then(|g| g.models(vec![CostModel::message(0.5)]))
+        .and_then(|g| {
+            g.topology_configs(vec![
+                None,
+                Some(e19_topology(0.0, 0.0, false)),
+                Some(e19_topology(0.2, 0.0, false)),
+                Some(e19_topology(0.8, 0.0, false)),
+                Some(e19_topology(0.8, 0.2, false)),
+                Some(e19_topology(0.8, 0.0, true)),
+                Some(e19_topology(0.8, 0.2, true)),
+            ])
+        })
+        .and_then(|g| g.latency(0.05))
+        .and_then(|g| g.requests(cfg.pick(2_000, 10_000)))
+    else {
+        unreachable!("the E19 preset is valid by construction")
+    };
+    grid
+}
+
 /// The E6 grid: the window-size policies around the ω = 0.8 threshold
 /// (k₀ = 7) across a θ sweep, replicated for confidence intervals.
 pub fn e6_grid(cfg: RunCfg) -> SweepGrid {
@@ -125,13 +174,15 @@ pub fn e6_grid(cfg: RunCfg) -> SweepGrid {
     grid
 }
 
-/// Resolves a preset grid by name (`"e6"` / `"e17"` / `"e18"`), as used
-/// by the `mdr sweep --preset` flag and the CI determinism job.
+/// Resolves a preset grid by name (`"e6"` / `"e17"` / `"e18"` /
+/// `"e19"`), as used by the `mdr sweep --preset` flag and the CI
+/// determinism job.
 pub fn preset(name: &str, cfg: RunCfg) -> Option<SweepGrid> {
     match name {
         "e6" => Some(e6_grid(cfg)),
         "e17" => Some(e17_grid(cfg)),
         "e18" => Some(e18_grid(cfg)),
+        "e19" => Some(e19_grid(cfg)),
         _ => None,
     }
 }
@@ -208,9 +259,11 @@ mod tests {
         assert_eq!(preset("e6", cfg), Some(e6_grid(cfg)));
         assert_eq!(preset("e17", cfg), Some(e17_grid(cfg)));
         assert_eq!(preset("e18", cfg), Some(e18_grid(cfg)));
+        assert_eq!(preset("e19", cfg), Some(e19_grid(cfg)));
         assert_eq!(preset("e99", cfg), None);
         assert_eq!(e17_grid(cfg).cells(), 5 * 4);
         assert_eq!(e18_grid(cfg).cells(), 3 * 5);
+        assert_eq!(e19_grid(cfg).cells(), 3 * 7);
         assert_eq!(e6_grid(cfg).cells(), 4 * 5 * 2);
     }
 

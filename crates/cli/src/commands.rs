@@ -10,7 +10,7 @@ use mdr_bench::sweep::{e17_fault_plan, e18_arq, preset, summary_table};
 use mdr_bench::RunCfg;
 use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
-use mdr_sim::{ArqConfig, FaultPlan, PoissonWorkload, RunLimit, SimBuilder};
+use mdr_sim::{ArqConfig, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, TopologyConfig};
 use std::fmt::Write as _;
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
@@ -121,7 +121,9 @@ pub(crate) fn recommend(args: &Args) -> Result<String, CliError> {
 /// `mdr simulate --policy SW9 --theta 0.3 [--requests 50000] [--seed 42]
 /// [--omega 0.3] [--latency 0.01] [--faults RATE] [--outage T]
 /// [--crash-prob P] [--volatile-prob P] [--arq-loss P] [--arq-timeout T]
-/// [--arq-budget N] [--arq-backoff F] [--arq-jitter J] [--arq-deadline D]`
+/// [--arq-budget N] [--arq-backoff F] [--arq-jitter J] [--arq-deadline D]
+/// [--cells N] [--mobility RATE] [--handoff-deadline D] [--handoff-loss P]
+/// [--broadcast-inv on]`
 pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
     let spec = parse_policy(args.required("policy")?)?;
     let theta: f64 = args.number("theta", 0.5)?;
@@ -163,6 +165,21 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
                 .map_err(|e| CliError(e.to_string()))?;
         }
         builder = builder.arq(arq).map_err(|e| CliError(e.to_string()))?;
+    }
+    let cells: usize = args.number("cells", 1)?;
+    if cells > 1 {
+        let mobility: f64 = args.number("mobility", 0.5)?;
+        let deadline: f64 = args.number("handoff-deadline", 1.0)?;
+        let handoff_loss: f64 = args.number("handoff-loss", 0.0)?;
+        let mut topology = TopologyConfig::new(cells, mobility, deadline, seed ^ 0x70)
+            .and_then(|t| t.with_loss(handoff_loss))
+            .map_err(|e| CliError(e.to_string()))?;
+        if args.get_or("broadcast-inv", "off") == "on" {
+            topology = topology.with_broadcast_invalidation();
+        }
+        builder = builder
+            .topology(topology)
+            .map_err(|e| CliError(e.to_string()))?;
     }
     let mut sim = builder.simulation();
     let mut workload = PoissonWorkload::from_theta(1.0, theta, seed);
@@ -219,6 +236,25 @@ pub(crate) fn simulate(args: &Args) -> Result<String, CliError> {
             opt(report.mean_staleness())
         );
     }
+    if cells > 1 {
+        let _ = writeln!(
+            out,
+            "  mobility: {} migrations, {} handoffs committed, {} aborted, {} legs billed ({} stale-fence discards)",
+            report.migrations,
+            report.handoffs_committed,
+            report.handoffs_aborted,
+            report.handoff_messages,
+            report.handoff_discards
+        );
+        let _ = writeln!(
+            out,
+            "  invalidation: {} messages over {} rounds ({} replicas dropped); {} stale reads served",
+            report.invalidation_messages,
+            report.invalidation_rounds,
+            report.replicas_invalidated,
+            report.stale_reads
+        );
+    }
     let _ = writeln!(
         out,
         "  theory: EXP = {:.4} (connection), {:.4} (message ω = {omega})",
@@ -238,7 +274,7 @@ fn parse_f64_list(raw: &str, what: &str) -> Result<Vec<f64>, CliError> {
         .collect()
 }
 
-/// `mdr sweep [--preset e6|e17|e18] [--policies ST1,SW3,...] [--thetas ...]
+/// `mdr sweep [--preset e6|e17|e18|e19] [--policies ST1,SW3,...] [--thetas ...]
 /// [--models connection,message:0.4] [--omegas ...] [--fault-rates ...]
 /// [--arq-losses ...] [--replications R] [--requests N] [--seed S]
 /// [--latency L] [--oracle on] [--threads T] [--chunk C]
@@ -254,7 +290,9 @@ pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
     let grid = match args.flags.get("preset") {
         Some(name) => {
             let Some(grid) = preset(name, cfg) else {
-                return err(format!("unknown preset {name:?}; expected e6, e17 or e18"));
+                return err(format!(
+                    "unknown preset {name:?}; expected e6, e17, e18 or e19"
+                ));
             };
             // Presets fix their axes; only the run sizes stay adjustable.
             grid
@@ -592,7 +630,11 @@ subcommands:
              [--arq-jitter J] [--arq-deadline D]
              (--arq-loss enables the timed ARQ transport: timeout/backoff
               retransmission, retry budgets, graceful degradation)
-  sweep      [--preset e6|e17|e18] [--policies P1,P2] [--thetas ...] [--models ...]
+             [--cells N] [--mobility RATE] [--handoff-deadline D] [--handoff-loss P]
+             [--broadcast-inv on]
+             (--cells > 1 enables the multi-cell topology: seed-driven migration,
+              epoch-fenced three-way handoff, stale-replica invalidation)
+  sweep      [--preset e6|e17|e18|e19] [--policies P1,P2] [--thetas ...] [--models ...]
              [--omegas ...] [--fault-rates ...] [--arq-losses ...] [--replications R]
              [--requests N] [--seed S] [--latency L] [--oracle on] [--threads T]
              [--chunk C] [--format table|ledger|json] [--full on]
@@ -737,6 +779,71 @@ mod tests {
             "0.2",
             "--arq-backoff",
             "0.5",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_with_topology_reports_mobility() {
+        let argv = [
+            "simulate",
+            "--policy",
+            "SW3",
+            "--theta",
+            "0.4",
+            "--requests",
+            "3000",
+            "--seed",
+            "7",
+            "--latency",
+            "0.05",
+            "--cells",
+            "4",
+            "--mobility",
+            "0.6",
+            "--handoff-loss",
+            "0.2",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("mobility:"), "{out}");
+        assert!(out.contains("invalidation:"), "{out}");
+        // Identical command lines replay identical reports — migrations
+        // and handoff legs are seed-derived, not clocked.
+        assert_eq!(out, run(&argv).unwrap());
+        // The topology composes with faults and the ARQ transport.
+        let mut loaded: Vec<&str> = argv.to_vec();
+        loaded.extend([
+            "--faults",
+            "0.05",
+            "--arq-loss",
+            "0.2",
+            "--broadcast-inv",
+            "on",
+        ]);
+        let all = run(&loaded).unwrap();
+        assert!(
+            all.contains("faults:") && all.contains("arq:") && all.contains("mobility:"),
+            "{all}"
+        );
+        // Invalid topology knobs are friendly errors, not panics.
+        assert!(run(&[
+            "simulate",
+            "--policy",
+            "SW3",
+            "--cells",
+            "4",
+            "--mobility",
+            "-0.5"
+        ])
+        .is_err());
+        assert!(run(&[
+            "simulate",
+            "--policy",
+            "SW3",
+            "--cells",
+            "4",
+            "--handoff-loss",
+            "1.5",
         ])
         .is_err());
     }

@@ -25,7 +25,26 @@
 
 use crate::faults::{ArqConfig, ConfigError, FaultPlan};
 use crate::sim::{LossConfig, MobilityConfig, SimConfig, Simulation};
+use crate::topology::TopologyConfig;
 use mdr_core::PolicySpec;
+
+/// Checks the cross-knob constraint between a topology and the ARQ
+/// transport: a handoff deadline shorter than the transport's *first*
+/// retransmission timeout could never see a single retransmission before
+/// aborting, which is always a misconfiguration.
+fn validate_handoff_deadline(
+    topology: &TopologyConfig,
+    arq: &ArqConfig,
+) -> Result<(), ConfigError> {
+    let rto = arq.timeout_for_attempt(1);
+    if topology.handoff_deadline < rto {
+        return Err(ConfigError::HandoffDeadline {
+            deadline: topology.handoff_deadline,
+            rto,
+        });
+    }
+    Ok(())
+}
 
 /// Checks the §2/§7.1 structural constraints on a policy description:
 /// sliding windows must be odd (so the majority vote is never tied) and
@@ -183,6 +202,9 @@ impl SimBuilder {
         if self.config.loss.is_some() {
             return Err(ConfigError::ConflictingLinkModels);
         }
+        if let Some(topology) = &self.config.topology {
+            validate_handoff_deadline(topology, &arq)?;
+        }
         self.config.arq = Some(arq);
         Ok(self)
     }
@@ -224,6 +246,25 @@ impl SimBuilder {
                 Ok(self)
             }
         }
+    }
+
+    /// Installs an already-validated multi-cell topology with
+    /// fault-hardened handoff (mobility extension, `docs/topology.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::HandoffDeadline`] if the ARQ transport is
+    /// already installed and the topology's handoff deadline is shorter
+    /// than the transport's first retransmission timeout — such a flight
+    /// would abort before a single backbone retransmission could fire.
+    /// (The same check runs in [`SimBuilder::arq`] for the other
+    /// installation order.)
+    pub fn topology(mut self, topology: TopologyConfig) -> Result<Self, ConfigError> {
+        if let Some(arq) = &self.config.arq {
+            validate_handoff_deadline(&topology, arq)?;
+        }
+        self.config.topology = Some(topology);
+        Ok(self)
     }
 
     /// Finishes the configuration. Infallible: every field was validated
@@ -322,6 +363,38 @@ mod tests {
             ConfigError::ConflictingFaultPlans
         );
         assert!(b.faults(plan_a).is_ok(), "same plan twice is fine");
+    }
+
+    #[test]
+    fn handoff_deadline_must_cover_the_arq_rto_in_either_order() {
+        let arq = ArqConfig::new(0.1, 0.5, 3).unwrap();
+        let rto = arq.timeout_for_attempt(1);
+        let short = TopologyConfig::new(3, 0.5, rto / 2.0, 11).unwrap();
+        // topology after arq
+        assert!(matches!(
+            SimBuilder::new(PolicySpec::St1)
+                .and_then(|b| b.arq(arq.clone()))
+                .and_then(|b| b.topology(short.clone()))
+                .unwrap_err(),
+            ConfigError::HandoffDeadline { deadline, rto: r }
+                if deadline.total_cmp(&(rto / 2.0)).is_eq() && r.total_cmp(&rto).is_eq()
+        ));
+        // arq after topology
+        assert!(matches!(
+            SimBuilder::new(PolicySpec::St1)
+                .and_then(|b| b.topology(short))
+                .and_then(|b| b.arq(arq.clone()))
+                .unwrap_err(),
+            ConfigError::HandoffDeadline { .. }
+        ));
+        // A deadline covering the first RTO installs fine either way.
+        let ample = TopologyConfig::new(3, 0.5, rto * 10.0, 11).unwrap();
+        let built = SimBuilder::new(PolicySpec::St1)
+            .and_then(|b| b.arq(arq))
+            .and_then(|b| b.topology(ample))
+            .unwrap()
+            .build();
+        assert!(built.topology.is_some() && built.arq.is_some());
     }
 
     #[test]

@@ -138,6 +138,23 @@ pub enum ConfigError {
     /// Both the legacy instant-retransmit loss model and the ARQ transport
     /// installed on one builder — the link can only be modelled once.
     ConflictingLinkModels,
+    /// An MC homed to a cell index the topology does not contain.
+    UnknownHomeCell {
+        /// The rejected home-cell index.
+        home: usize,
+        /// How many cells the topology has.
+        cells: usize,
+    },
+    /// A handoff deadline shorter than the ARQ transport's first
+    /// retransmission timeout: the three-way handoff rides the ARQ link, so
+    /// a deadline below one RTO would abort every handoff before its first
+    /// retransmission could even fire.
+    HandoffDeadline {
+        /// The rejected deadline.
+        deadline: f64,
+        /// The ARQ transport's first retransmission timeout.
+        rto: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -228,6 +245,18 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "the instant loss model and the ARQ transport cannot both be installed"
+                )
+            }
+            ConfigError::UnknownHomeCell { home, cells } => {
+                write!(
+                    f,
+                    "home cell {home} does not exist in a topology of {cells} cell(s)"
+                )
+            }
+            ConfigError::HandoffDeadline { deadline, rto } => {
+                write!(
+                    f,
+                    "handoff deadline {deadline} is shorter than the ARQ retransmission timeout {rto}"
                 )
             }
         }

@@ -41,6 +41,7 @@ mod nodes;
 mod protocol;
 mod sim;
 pub mod sweep;
+mod topology;
 mod wire;
 mod workload;
 
@@ -50,9 +51,10 @@ pub use faults::{ArqConfig, ConfigError, FaultKind, FaultPlan};
 pub use nodes::{MobileNode, StationaryNode};
 pub use protocol::{Envelope, ProtocolState, StepOutcome};
 pub use sim::{
-    InvariantMonitor, LossConfig, MobilityConfig, RunLimit, ShedRequest, SimConfig, SimReport,
-    Simulation,
+    InvariantMonitor, LossConfig, MobilityConfig, RunLimit, ShedReason, ShedRequest, SimConfig,
+    SimReport, Simulation,
 };
+pub use topology::{HandoffLeg, HandoffSnapshot, TopologyConfig};
 pub use wire::{Endpoint, MessageClass, WireMessage};
 pub use workload::{
     Arrival, ArrivalProcess, DriftingPoisson, Period, PhasedWorkload, PoissonWorkload,

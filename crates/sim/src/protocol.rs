@@ -164,6 +164,20 @@ impl ProtocolState {
         self.recovering
     }
 
+    /// The replica state a handoff's `StateTransfer` leg ships to the
+    /// target cell (mobility extension; `docs/topology.md`): the primary's
+    /// version, the SC's replication commitment (ST2 replica state) and
+    /// which side holds the §4 window (T1/T2 streaks live on whichever
+    /// side is in charge).
+    pub fn handoff_snapshot(&self) -> crate::topology::HandoffSnapshot {
+        crate::topology::HandoffSnapshot {
+            version: self.sc.version(),
+            mc_has_copy: self.sc.mc_has_copy(),
+            sc_in_charge: self.sc.in_charge(),
+            mc_in_charge: self.mc.in_charge(),
+        }
+    }
+
     fn complete(&mut self, action: Action) -> StepOutcome {
         self.counts.record(action);
         self.serving = None;
@@ -656,5 +670,17 @@ mod tests {
             s
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reconnect_bumps_the_epoch_every_time() {
+        // The epoch is the fence that kills pre-outage ghost deliveries;
+        // a reconnect that re-used the old epoch would let them through.
+        let mut state = ProtocolState::new(PolicySpec::St1);
+        let before = state.epoch();
+        state.reconnect();
+        assert_eq!(state.epoch(), before + 1);
+        state.reconnect();
+        assert_eq!(state.epoch(), before + 2);
     }
 }

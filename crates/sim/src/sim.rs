@@ -13,6 +13,7 @@
 
 use crate::faults::{ArqConfig, FaultKind, FaultPlan};
 use crate::protocol::{Envelope, ProtocolState, StepOutcome};
+use crate::topology::{HandoffLeg, HandoffSnapshot, TopologyConfig};
 use crate::workload::{Arrival, ArrivalProcess};
 use mdr_core::{Action, ActionCounts, AllocationPolicy, CostModel, PolicySpec, Request, Schedule};
 use std::cmp::Ordering;
@@ -56,6 +57,13 @@ pub struct SimConfig {
     /// crashes, SC outages and message duplication/reordering (see
     /// [`FaultPlan`] and `docs/faults.md`).
     pub faults: Option<FaultPlan>,
+    /// Optional multi-cell topology with fault-hardened handoff (mobility
+    /// extension, see `docs/topology.md`): the MC migrates between cells
+    /// on a seed-driven plan and window ownership follows it via a
+    /// three-way, epoch-fenced handoff protocol over the wired backbone.
+    /// An inert plan (zero migration rate) schedules no events and draws
+    /// no randomness, so it reproduces the single-cell run exactly.
+    pub topology: Option<TopologyConfig>,
 }
 
 /// Parameters of the cellular-mobility model.
@@ -97,6 +105,7 @@ impl PartialEq for SimConfig {
             && self.arq == other.arq
             && self.mobility == other.mobility
             && self.faults == other.faults
+            && self.topology == other.topology
     }
 }
 
@@ -145,6 +154,7 @@ impl SimConfig {
             arq: None,
             mobility: None,
             faults: None,
+            topology: None,
         }
     }
 }
@@ -243,6 +253,36 @@ pub struct SimReport {
     pub reconciliation_messages: u64,
     /// Reconnection handshakes completed after MC crashes.
     pub reconciliations: u64,
+    /// Cell migrations the topology's mobility plan performed (0 without
+    /// a [`TopologyConfig`]; distinct from `handoffs`, which counts the
+    /// latency-only cellular model's crossings).
+    pub migrations: u64,
+    /// Three-way ownership handoffs that committed at the target cell.
+    pub handoffs_committed: u64,
+    /// Handoff attempts aborted by the deadline or re-fenced by a
+    /// migration mid-flight (ownership rolled back to the origin cell).
+    pub handoffs_aborted: u64,
+    /// Backbone transmission attempts of handoff legs (billed as their
+    /// own traffic class, *not* part of the §3 wireless bill above).
+    pub handoff_messages: u64,
+    /// Handoff leg attempts whose flight eventually committed.
+    pub settled_handoff_messages: u64,
+    /// Handoff leg attempts whose flight was aborted (wasted backbone
+    /// traffic; included in `handoff_messages`).
+    pub aborted_handoff_messages: u64,
+    /// Invalidation traffic billed on commit (third message class): one
+    /// broadcast per commit round, or one unicast per stale replica.
+    pub invalidation_messages: u64,
+    /// Commits that triggered a broadcast invalidation round.
+    pub invalidation_rounds: u64,
+    /// Stale non-owner replicas dropped by invalidation.
+    pub replicas_invalidated: u64,
+    /// Reads served from the origin cell's replica while window ownership
+    /// was away from (or migrating toward) the MC's current cell.
+    pub stale_reads: u64,
+    /// Handoff legs the epoch fence discarded: duplicated or reordered
+    /// commit copies, and stragglers of aborted flights.
+    pub handoff_discards: u64,
 }
 
 impl SimReport {
@@ -297,15 +337,39 @@ impl SimReport {
     }
 }
 
-/// Typed outcome for a request the ARQ transport refused instead of
-/// queueing forever: the MC was partitioned beyond the degradation deadline
-/// and the request needed the wire (robustness extension, `docs/faults.md`).
+/// Typed outcome for a request the transport refused instead of queueing
+/// forever: the request needed the wire while the simulator was degraded —
+/// partitioned beyond the ARQ degradation deadline, or mid-migration with
+/// a handoff stuck past its deadline (`docs/faults.md`, `docs/topology.md`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShedRequest {
     /// Simulation time at which the request was shed.
     pub at: f64,
     /// The refused request.
     pub request: Request,
+    /// Which degradation shed it.
+    pub reason: ShedReason,
+}
+
+/// Why the transport refused a request instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The MC was partitioned beyond the ARQ degradation deadline.
+    DegradedPartition,
+    /// A cell handoff was stuck past its deadline: window ownership was
+    /// mid-migration, so wire-needing requests could not be served
+    /// correctly by either cell.
+    HandoffStuck,
+}
+
+impl ShedReason {
+    /// Stable lower-case name for reports and ledgers.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::DegradedPartition => "degraded-partition",
+            ShedReason::HandoffStuck => "handoff-stuck",
+        }
+    }
 }
 
 /// Online invariant monitor (robustness extension): re-checks the §4
@@ -392,6 +456,38 @@ impl InvariantMonitor {
              {reconciliation} reconciliation + {acks} acks"
         );
     }
+
+    /// Handoff-ledger consistency check (mobility extension): every billed
+    /// backbone leg attempt is accounted for exactly once — settled with a
+    /// committed flight, aborted with a fenced one, or still in the air —
+    /// and the invalidation bill matches its class's pricing rule (one
+    /// broadcast per round, or one unicast per dropped replica).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either identity does not hold.
+    pub fn check_handoff_billing(
+        &mut self,
+        billed: u64,
+        settled: u64,
+        aborted: u64,
+        in_flight: u64,
+        invalidation_billed: u64,
+        invalidation_expected: u64,
+    ) {
+        self.checks += 1;
+        assert_eq!(
+            billed,
+            settled + aborted + in_flight,
+            "handoff billing identity broken: {billed} billed vs {settled} settled + \
+             {aborted} aborted + {in_flight} in flight"
+        );
+        assert_eq!(
+            invalidation_billed, invalidation_expected,
+            "invalidation billing identity broken: {invalidation_billed} billed vs \
+             {invalidation_expected} owed by the invalidation class's pricing rule"
+        );
+    }
 }
 
 #[derive(Debug)]
@@ -426,9 +522,62 @@ enum Event {
         /// Matches the outstanding transmission's timer id when current.
         timer: u64,
     },
+    /// The topology's mobility plan moves the MC to another cell
+    /// (mobility extension, `docs/topology.md`).
+    Migrate,
+    /// A handoff leg lands at its destination SC over the backbone.
+    /// Stale copies — legs of an aborted (fenced) epoch, duplicated or
+    /// reordered commits — self-discard against the epoch fence.
+    HandoffLegArrive {
+        /// The flight epoch stamped on the leg at send time.
+        epoch: u64,
+        /// Which of the three legs this is.
+        leg: HandoffLeg,
+    },
+    /// The retransmission timer for an in-flight handoff leg fires (only
+    /// scheduled when the ARQ transport is installed; its timeout law and
+    /// retry budget govern backbone legs too). Stale timers — the leg
+    /// landed, the flight advanced, or the epoch was fenced — are
+    /// identified by (epoch, leg, attempt) and ignored.
+    HandoffRetry {
+        /// The flight epoch the timer belongs to.
+        epoch: u64,
+        /// The leg that was in the air when the timer was armed.
+        leg: HandoffLeg,
+        /// The attempt count when the timer was armed.
+        attempt: u32,
+    },
+    /// The handoff deadline expires: if the flight with this epoch is
+    /// still in the air, it aborts and rolls back to the origin cell.
+    HandoffDeadline {
+        /// The flight epoch the deadline was armed for.
+        epoch: u64,
+    },
 }
 
-/// Heap entry ordered by time (earliest first), FIFO within ties.
+impl Event {
+    /// Actor rank for same-instant ties, the first tie-break after time
+    /// (see [`Scheduled`]'s `Ord`): the network/SC actor (an injected
+    /// outage severing the link) resolves first, ordinary protocol and
+    /// workload events second, and MC-side timers (retransmission timers,
+    /// handoff deadlines) last. This pins the documented order for the
+    /// corner where an SC outage and a simultaneous MC-side event land at
+    /// the same instant — the outage wins, deterministically, instead of
+    /// depending on scheduling order.
+    fn actor_rank(&self) -> u8 {
+        match self {
+            Event::LinkDown => 0,
+            Event::ArqTimeout { .. }
+            | Event::HandoffRetry { .. }
+            | Event::HandoffDeadline { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Heap entry ordered by (time, actor-id, seq): earliest first, the
+/// network/SC actor before MC-side actors within an instant (see
+/// [`Event::actor_rank`]), FIFO within the remaining ties.
 struct Scheduled {
     at: f64,
     seq: u64,
@@ -448,11 +597,15 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, seq).
+        // Reverse for a min-heap on (time, actor-id, seq). The actor rank
+        // documents and pins the tie-break for simultaneous faults: an SC
+        // outage scheduled at the same instant as an MC-side timer resolves
+        // strictly first (satellite of the multi-cell topology work).
         other
             .at
             .partial_cmp(&self.at)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| other.event.actor_rank().cmp(&self.event.actor_rank()))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -549,6 +702,41 @@ pub struct Simulation {
     staleness_sum: f64,
     recovery_time_sum: f64,
     recoveries: u64,
+    // --- multi-cell topology (None / quiescent without a TopologyConfig) ---
+    /// Dwell times, destination cells, and handoff-leg loss/jitter draws.
+    topology_rng: Option<rand::rngs::StdRng>,
+    /// Commit duplication/reordering draws. A separate stream so turning
+    /// ghosts on cannot perturb the legs' loss fates — the idempotence
+    /// property in `properties.rs` relies on this.
+    topology_ghost_rng: Option<rand::rngs::StdRng>,
+    /// The cell the MC currently sits in (distinct from `current_cell`,
+    /// the latency-only cellular model's position).
+    mc_cell: usize,
+    /// The cell whose SC currently owns the window and replica state.
+    owner_cell: usize,
+    /// Cells left holding a stale replica copy by an aborted transfer or
+    /// a committed migration; cleared by invalidation on commit.
+    stale_replica: Vec<bool>,
+    /// The handoff flight currently in the air, if any.
+    handoff: Option<HandoffFlight>,
+    /// Monotone epoch source; every flight gets a fresh epoch and legs of
+    /// older epochs self-discard (the fence).
+    handoff_epoch: u64,
+    /// Whether the last handoff attempt aborted with the MC still away
+    /// from the owner cell: reads are served stale from the origin and
+    /// wire-needing requests are shed with a typed outcome.
+    handoff_stuck: bool,
+    migrations: u64,
+    handoffs_committed: u64,
+    handoffs_aborted: u64,
+    handoff_messages: u64,
+    settled_handoff_messages: u64,
+    aborted_handoff_messages: u64,
+    invalidation_messages: u64,
+    invalidation_rounds: u64,
+    replicas_invalidated: u64,
+    stale_reads: u64,
+    handoff_discards: u64,
     monitor: InvariantMonitor,
 }
 
@@ -572,6 +760,34 @@ struct Exchange {
     arrived_at: f64,
 }
 
+/// Book-keeping for the three-way handoff flight currently in the air
+/// (mobility extension, `docs/topology.md`). At most one flight exists at
+/// a time; a migration mid-flight fences the epoch and starts over.
+#[derive(Debug, Clone)]
+struct HandoffFlight {
+    /// The cell ownership departs from (and rolls back to on abort).
+    origin: usize,
+    /// The cell ownership is migrating toward (always the MC's cell at
+    /// initiation; a migration mid-flight aborts and re-initiates).
+    target: usize,
+    /// The fence: legs stamped with an older epoch self-discard.
+    epoch: u64,
+    /// The leg currently in the air.
+    awaiting: HandoffLeg,
+    /// Transmission attempts of the awaiting leg (1 = the original send);
+    /// reset when the flight advances to the next leg.
+    attempts: u32,
+    /// Billed backbone attempts of this flight — settled on commit, moved
+    /// to the aborted tally if the deadline or a migration fences it.
+    messages: u64,
+    /// Whether the state-transfer leg landed at the target (an abort then
+    /// leaves an orphaned stale replica there to invalidate later).
+    transfer_landed: bool,
+    /// The window/replica state captured at initiation and shipped on the
+    /// state-transfer leg.
+    snapshot: HandoffSnapshot,
+}
+
 impl Simulation {
     /// Creates a simulation in the policy's initial state.
     pub fn new(config: SimConfig) -> Self {
@@ -591,6 +807,17 @@ impl Simulation {
             .arq
             .as_ref()
             .map(|a| rand::rngs::StdRng::seed_from_u64(a.seed));
+        let topology_rng = config
+            .topology
+            .as_ref()
+            .map(|t| rand::rngs::StdRng::seed_from_u64(t.seed));
+        // Salted so the ghost stream is independent of the leg stream.
+        let topology_ghost_rng = config
+            .topology
+            .as_ref()
+            .map(|t| rand::rngs::StdRng::seed_from_u64(t.seed ^ 0x9e37_79b9_7f4a_7c15));
+        let home_cell = config.topology.as_ref().map_or(0, |t| t.home_cell);
+        let cells = config.topology.as_ref().map_or(1, |t| t.cells);
         Simulation {
             protocol: ProtocolState::new(config.policy),
             oracle: config.oracle_check.then(|| config.policy.build()),
@@ -646,6 +873,25 @@ impl Simulation {
             staleness_sum: 0.0,
             recovery_time_sum: 0.0,
             recoveries: 0,
+            topology_rng,
+            topology_ghost_rng,
+            mc_cell: home_cell,
+            owner_cell: home_cell,
+            stale_replica: vec![false; cells],
+            handoff: None,
+            handoff_epoch: 0,
+            handoff_stuck: false,
+            migrations: 0,
+            handoffs_committed: 0,
+            handoffs_aborted: 0,
+            handoff_messages: 0,
+            settled_handoff_messages: 0,
+            aborted_handoff_messages: 0,
+            invalidation_messages: 0,
+            invalidation_rounds: 0,
+            replicas_invalidated: 0,
+            stale_reads: 0,
+            handoff_discards: 0,
             monitor: InvariantMonitor::new(),
         }
     }
@@ -690,6 +936,11 @@ impl Simulation {
         match envelope.message.class() {
             crate::wire::MessageClass::Data => self.data_messages += attempts,
             crate::wire::MessageClass::Control => self.control_messages += attempts,
+            crate::wire::MessageClass::Invalidation => {
+                // Invalidation traffic rides the wired backbone, never the
+                // MC/SC wireless link this transport models.
+                unreachable!("invalidation-class traffic on the wireless link")
+            }
         }
         if reconciliation {
             self.reconciliation_messages += attempts;
@@ -759,6 +1010,11 @@ impl Simulation {
         match envelope.message.class() {
             crate::wire::MessageClass::Data => self.data_messages += 1,
             crate::wire::MessageClass::Control => self.control_messages += 1,
+            crate::wire::MessageClass::Invalidation => {
+                // See `transmit`: the backbone class never enters the
+                // wireless transport.
+                unreachable!("invalidation-class traffic on the wireless link")
+            }
         }
         if reconciliation {
             self.reconciliation_messages += 1;
@@ -886,10 +1142,11 @@ impl Simulation {
 
     /// Sheds a request with a typed outcome: it never enters the schedule,
     /// the ledger, or the oracle.
-    fn shed_request(&mut self, arrival: Arrival) {
+    fn shed_request(&mut self, arrival: Arrival, reason: ShedReason) {
         self.shed.push(ShedRequest {
             at: self.now,
             request: arrival.request,
+            reason,
         });
     }
 
@@ -899,15 +1156,18 @@ impl Simulation {
     fn degrade_pending(&mut self) {
         if let Some(exchange) = self.suspended.take() {
             // A suspended exchange needed the wire by construction.
-            self.shed_request(Arrival {
-                time: exchange.arrived_at,
-                request: exchange.request,
-            });
+            self.shed_request(
+                Arrival {
+                    time: exchange.arrived_at,
+                    request: exchange.request,
+                },
+                ShedReason::DegradedPartition,
+            );
         }
         let queued = std::mem::take(&mut self.pending);
         for arrival in queued {
             if self.needs_wire(arrival.request) {
-                self.shed_request(arrival);
+                self.shed_request(arrival, ShedReason::DegradedPartition);
             } else {
                 self.pending.push_back(arrival);
             }
@@ -943,6 +1203,12 @@ impl Simulation {
         // Prime the movement process.
         if self.config.mobility.is_some() {
             self.schedule_next_handoff();
+        }
+        // Prime the topology's mobility plan. An inert plan (zero
+        // migration rate) schedules nothing and draws nothing, so it
+        // reproduces the single-cell run bit for bit.
+        if self.topology_active() {
+            self.schedule_next_migration();
         }
         // Prime the fault process (once per simulation).
         if !self.fault_primed {
@@ -996,7 +1262,19 @@ impl Simulation {
                         // queue the earlier entries were already shed or are
                         // locally servable, so this branch keeps FIFO
                         // intact.)
-                        self.shed_request(arrival);
+                        self.shed_request(arrival, ShedReason::DegradedPartition);
+                    } else if self.handoff_stuck
+                        && self.pending.is_empty()
+                        && self.suspended.is_none()
+                        && self.needs_wire(arrival.request)
+                    {
+                        // A handoff stuck past its deadline degrades the
+                        // same way: ownership is mid-migration, so a
+                        // wire-needing request is shed instead of queueing
+                        // behind a handoff of unknown length. Reads the MC
+                        // can serve from its copy still go through (stale,
+                        // from the origin cell).
+                        self.shed_request(arrival, ShedReason::HandoffStuck);
                     } else {
                         self.queued_requests += 1;
                         self.pending.push_back(arrival);
@@ -1014,6 +1292,17 @@ impl Simulation {
                 Event::LinkDown => self.handle_link_down(),
                 Event::LinkUp { token } => self.handle_link_up(token),
                 Event::ArqTimeout { timer } => self.handle_arq_timeout(timer),
+                Event::Migrate => {
+                    self.perform_migration();
+                    self.schedule_next_migration();
+                }
+                Event::HandoffLegArrive { epoch, leg } => self.handle_handoff_leg(epoch, leg),
+                Event::HandoffRetry {
+                    epoch,
+                    leg,
+                    attempt,
+                } => self.handle_handoff_retry(epoch, leg, attempt),
+                Event::HandoffDeadline { epoch } => self.handle_handoff_deadline(epoch),
             }
         }
         self.report()
@@ -1052,6 +1341,306 @@ impl Simulation {
         self.handoffs += 1;
     }
 
+    /// Whether the multi-cell topology layer is live: configured and not
+    /// inert (an inert plan must behave exactly like no plan at all).
+    fn topology_active(&self) -> bool {
+        self.config.topology.as_ref().is_some_and(|t| !t.is_inert())
+    }
+
+    /// Draws the next exponential dwell time and schedules the migration.
+    fn schedule_next_migration(&mut self) {
+        let (Some(topology), Some(rng)) =
+            (self.config.topology.as_ref(), self.topology_rng.as_mut())
+        else {
+            unreachable!("migration scheduling requires a topology")
+        };
+        use rand::RngExt;
+        let u: f64 = rng.random();
+        let dwell = -f64::ln(1.0 - u) / topology.migration_rate;
+        self.push_event(self.now + dwell, Event::Migrate);
+    }
+
+    /// Moves the MC to a uniformly chosen *different* cell and kicks off
+    /// the ownership handoff. A migration while a flight is already in the
+    /// air fences that flight's epoch (abort + rollback to the origin) and
+    /// re-initiates toward the new cell, so a live flight always targets
+    /// the MC's current cell.
+    fn perform_migration(&mut self) {
+        let (Some(topology), Some(rng)) =
+            (self.config.topology.as_ref(), self.topology_rng.as_mut())
+        else {
+            unreachable!("migrations require a topology")
+        };
+        let cells = topology.cells;
+        if cells > 1 {
+            use rand::RngExt;
+            let mut next = (rng.random::<f64>() * (cells - 1) as f64) as usize;
+            if next >= self.mc_cell {
+                next += 1;
+            }
+            self.mc_cell = next.min(cells - 1);
+        }
+        self.migrations += 1;
+        if self.handoff.is_some() {
+            self.abort_handoff();
+        }
+        if self.mc_cell != self.owner_cell {
+            self.initiate_handoff();
+        } else {
+            // Moved back into the owner cell: nothing left to migrate.
+            self.handoff_stuck = false;
+            self.drain_pending();
+        }
+    }
+
+    /// Starts a fresh three-way handoff flight from the owner cell toward
+    /// the MC's current cell under a new epoch, arms its deadline, and
+    /// sends the first leg.
+    fn initiate_handoff(&mut self) {
+        let Some(topology) = self.config.topology.as_ref() else {
+            unreachable!("handoffs require a topology")
+        };
+        debug_assert!(self.handoff.is_none(), "at most one flight in the air");
+        debug_assert_ne!(self.owner_cell, self.mc_cell);
+        self.handoff_epoch += 1;
+        let epoch = self.handoff_epoch;
+        let deadline = topology.handoff_deadline;
+        self.handoff = Some(HandoffFlight {
+            origin: self.owner_cell,
+            target: self.mc_cell,
+            epoch,
+            awaiting: HandoffLeg::Request,
+            attempts: 0,
+            messages: 0,
+            transfer_landed: false,
+            snapshot: self.protocol.handoff_snapshot(),
+        });
+        self.push_event(self.now + deadline, Event::HandoffDeadline { epoch });
+        self.send_handoff_leg(HandoffLeg::Request);
+    }
+
+    /// One backbone transmission attempt of the awaiting leg: bill it,
+    /// draw its fate, schedule the arrival if it survives, and — with the
+    /// ARQ transport installed — arm a retransmission timer under the
+    /// transport's own timeout law and retry budget. Without ARQ a leg is
+    /// sent once and the deadline abort is the only recovery.
+    fn send_handoff_leg(&mut self, leg: HandoffLeg) {
+        let (Some(topology), Some(rng)) =
+            (self.config.topology.clone(), self.topology_rng.as_mut())
+        else {
+            unreachable!("handoff legs require a topology")
+        };
+        use rand::RngExt;
+        // Two draws per attempt — loss fate, then retry jitter — mirroring
+        // the ARQ transport so the stream position is a function of the
+        // attempt count alone.
+        let lost = rng.random::<f64>() < topology.loss_probability;
+        let jitter_u: f64 = rng.random();
+        let Some(flight) = self.handoff.as_mut() else {
+            unreachable!("sending a leg requires a flight in the air")
+        };
+        flight.attempts += 1;
+        flight.messages += 1;
+        let attempt = flight.attempts;
+        let epoch = flight.epoch;
+        self.handoff_messages += 1;
+        if !lost {
+            // Backbone legs ride SC-to-SC wiring at the base latency: no
+            // cellular extra, no wireless billing.
+            let arrives = self.now + self.config.latency;
+            self.push_event(arrives, Event::HandoffLegArrive { epoch, leg });
+            if leg == HandoffLeg::Commit {
+                self.inject_commit_ghosts(epoch, arrives);
+            }
+        }
+        if let Some(arq) = self.config.arq.as_ref() {
+            if attempt <= arq.retry_budget {
+                let rto = arq.timeout_for_attempt(attempt) * (1.0 + arq.jitter * jitter_u);
+                self.push_event(
+                    self.now + rto,
+                    Event::HandoffRetry {
+                        epoch,
+                        leg,
+                        attempt,
+                    },
+                );
+            }
+            // Budget exhausted: stop retransmitting and let the deadline
+            // abort recover (graceful degradation, not escalation — the
+            // wireless link is fine).
+        }
+    }
+
+    /// Schedules ghost copies of a commit leg (duplication, stale
+    /// reordering) when the topology asks for them, from the dedicated
+    /// ghost stream. Ghost copies land strictly after the original, so
+    /// the epoch fence discards every one of them — the idempotence
+    /// property `properties.rs` pins down.
+    fn inject_commit_ghosts(&mut self, epoch: u64, arrives: f64) {
+        let (duplicate, reorder) = match (
+            self.config.topology.as_ref(),
+            self.topology_ghost_rng.as_mut(),
+        ) {
+            (Some(t), Some(rng)) if t.has_ghosts() => {
+                use rand::RngExt;
+                (
+                    t.commit_duplication > 0.0 && rng.random::<f64>() < t.commit_duplication,
+                    t.commit_reorder > 0.0 && rng.random::<f64>() < t.commit_reorder,
+                )
+            }
+            _ => (false, false),
+        };
+        let latency = self.config.latency;
+        let leg = HandoffLeg::Commit;
+        if duplicate {
+            self.push_event(
+                arrives + 0.25 * latency + 1e-6,
+                Event::HandoffLegArrive { epoch, leg },
+            );
+        }
+        if reorder {
+            self.push_event(
+                arrives + 2.5 * latency + 1e-3,
+                Event::HandoffLegArrive { epoch, leg },
+            );
+        }
+    }
+
+    /// A handoff leg landed. Stale copies — wrong epoch (fenced flight),
+    /// wrong leg (duplicated or reordered copy of an already-processed
+    /// one) — self-discard against the fence; a current leg advances the
+    /// flight's state machine.
+    fn handle_handoff_leg(&mut self, epoch: u64, leg: HandoffLeg) {
+        let current = self
+            .handoff
+            .as_ref()
+            .is_some_and(|f| f.epoch == epoch && f.awaiting == leg);
+        if !current {
+            self.handoff_discards += 1;
+            return;
+        }
+        match leg {
+            HandoffLeg::Request => {
+                let Some(flight) = self.handoff.as_mut() else {
+                    unreachable!("checked above")
+                };
+                flight.awaiting = HandoffLeg::Transfer;
+                flight.attempts = 0;
+                self.send_handoff_leg(HandoffLeg::Transfer);
+            }
+            HandoffLeg::Transfer => {
+                let Some(flight) = self.handoff.as_mut() else {
+                    unreachable!("checked above")
+                };
+                debug_assert!(
+                    flight.snapshot.version <= self.protocol.sc().version(),
+                    "the shipped snapshot cannot be newer than the SC"
+                );
+                flight.transfer_landed = true;
+                flight.awaiting = HandoffLeg::Commit;
+                flight.attempts = 0;
+                self.send_handoff_leg(HandoffLeg::Commit);
+            }
+            HandoffLeg::Commit => self.commit_handoff(),
+        }
+    }
+
+    /// A leg retransmission timer fired. If the flight, leg, and attempt
+    /// count still match — the leg neither landed nor was fenced in the
+    /// meantime — retransmit it.
+    fn handle_handoff_retry(&mut self, epoch: u64, leg: HandoffLeg, attempt: u32) {
+        let current = self
+            .handoff
+            .as_ref()
+            .is_some_and(|f| f.epoch == epoch && f.awaiting == leg && f.attempts == attempt);
+        if !current {
+            return; // landed, advanced, or fenced: stale timer
+        }
+        self.send_handoff_leg(leg);
+    }
+
+    /// The deadline for the flight with `epoch` expired. If that flight is
+    /// still in the air, abort it (rollback to the origin cell) and — with
+    /// the MC still away from the owner — try again under a fresh epoch.
+    fn handle_handoff_deadline(&mut self, epoch: u64) {
+        let current = self.handoff.as_ref().is_some_and(|f| f.epoch == epoch);
+        if !current {
+            return; // committed or already fenced: stale deadline
+        }
+        self.abort_handoff();
+        if self.mc_cell != self.owner_cell {
+            self.initiate_handoff();
+        }
+    }
+
+    /// Aborts the flight in the air: ownership rolls back to (stays at)
+    /// the origin cell, the flight's billed legs move to the aborted
+    /// tally, an orphaned transfer leaves a stale replica at the target,
+    /// and the simulator enters the stuck-handoff degradation — reads are
+    /// served stale from the origin and wire-needing requests shed.
+    fn abort_handoff(&mut self) {
+        let Some(flight) = self.handoff.take() else {
+            return;
+        };
+        self.handoffs_aborted += 1;
+        self.aborted_handoff_messages += flight.messages;
+        if flight.transfer_landed {
+            self.stale_replica[flight.target] = true;
+        }
+        self.handoff_stuck = true;
+        // Degrade like a sustained partition: shed queued wire-needing
+        // requests (typed outcome) and serve what completes locally, so
+        // the queue cannot wedge behind a handoff of unknown length.
+        let queued = std::mem::take(&mut self.pending);
+        for arrival in queued {
+            if self.needs_wire(arrival.request) {
+                self.shed_request(arrival, ShedReason::HandoffStuck);
+            } else {
+                self.pending.push_back(arrival);
+            }
+        }
+        self.drain_pending();
+    }
+
+    /// The commit leg landed at the target: ownership moves, the origin's
+    /// replica goes stale, and invalidation traffic (the third message
+    /// class) makes every non-owner cell drop its stale copy — one
+    /// broadcast per commit round, or one unicast per stale replica.
+    fn commit_handoff(&mut self) {
+        let Some(flight) = self.handoff.take() else {
+            unreachable!("committing requires a flight in the air")
+        };
+        debug_assert_eq!(
+            flight.target, self.mc_cell,
+            "a migration mid-flight re-fences the handoff"
+        );
+        self.settled_handoff_messages += flight.messages;
+        self.handoffs_committed += 1;
+        self.stale_replica[flight.origin] = true;
+        self.owner_cell = flight.target;
+        self.stale_replica[flight.target] = false;
+        self.handoff_stuck = false;
+        let stale = self.stale_replica.iter().filter(|s| **s).count() as u64;
+        if stale > 0 {
+            let broadcast = self
+                .config
+                .topology
+                .as_ref()
+                .is_some_and(|t| t.broadcast_invalidation);
+            if broadcast {
+                self.invalidation_messages += 1;
+                self.invalidation_rounds += 1;
+            } else {
+                self.invalidation_messages += stale;
+            }
+            self.replicas_invalidated += stale;
+            for s in &mut self.stale_replica {
+                *s = false;
+            }
+        }
+        self.drain_pending();
+    }
+
     /// Whether a fresh arrival can enter service right now. FIFO order is
     /// sacrosanct (the §3 serialization is what the oracle equivalence is
     /// proved against), so nothing may overtake an in-flight, suspended, or
@@ -1073,6 +1662,13 @@ impl Simulation {
     /// gate and the queue drain so neither can overtake a handshake.
     fn request_is_servable(&self, request: Request) -> bool {
         if self.reconciling || self.protocol.recovering() {
+            return false;
+        }
+        // A handoff stuck past its deadline blocks wire-needing requests:
+        // ownership is mid-migration between cells, so neither SC may run
+        // the exchange. Local reads still go through (served stale from
+        // the origin cell) and silent writes complete on the MC alone.
+        if self.handoff_stuck && self.needs_wire(request) {
             return false;
         }
         if self.link_up {
@@ -1107,6 +1703,12 @@ impl Simulation {
                         };
                         self.degraded_reads += 1;
                         self.staleness_sum += self.now - since;
+                    }
+                    if self.mc_cell != self.owner_cell {
+                        // Window ownership is away from (or migrating
+                        // toward) the MC's cell: the read is served stale
+                        // from the origin cell's state.
+                        self.stale_reads += 1;
                     }
                 }
                 self.complete(arrival, action);
@@ -1314,21 +1916,15 @@ impl Simulation {
             FaultKind::Doze => {}
         }
         self.outage_kind = Some(kind);
-        if matches!(kind, FaultKind::CrashVolatile | FaultKind::CrashStable) {
-            let volatile = matches!(kind, FaultKind::CrashVolatile);
-            // A second crash before the first reconciled keeps the stronger
-            // (volatile) classification.
-            self.pending_crash = Some(self.pending_crash.unwrap_or(false) || volatile);
-            if volatile {
-                // The oracle learns of the loss at crash time; the protocol
-                // applies it when the handshake starts. No request is served
-                // in between, so the two stay equivalent (and the policy
-                // hook is idempotent over the gap).
-                if let Some(oracle) = &mut self.oracle {
-                    oracle.on_replica_lost();
-                }
-            }
-        }
+        // Resolution order for simultaneous faults is deterministic and
+        // documented, matching the event queue's (time, actor-id, seq)
+        // tie-break: the network/SC side resolves first — the outage tears
+        // the in-flight exchange off the wire — and only then is MC-side
+        // crash state (the owed reconciliation, volatile-replica loss)
+        // applied. An SC outage landing during an in-flight exchange at
+        // the same instant as an MC crash therefore always aborts the
+        // exchange before the crash is bookkept, regardless of scheduling
+        // order.
         if self.in_flight.is_some() {
             let aborted = self.protocol.disconnect();
             let Some(exchange) = self.in_flight.take() else {
@@ -1345,6 +1941,21 @@ impl Simulation {
             // handshake restarts at the next link-up (`pending_crash` and
             // the protocol's `recovering` flag both persist).
             let _ = self.protocol.disconnect();
+        }
+        if matches!(kind, FaultKind::CrashVolatile | FaultKind::CrashStable) {
+            let volatile = matches!(kind, FaultKind::CrashVolatile);
+            // A second crash before the first reconciled keeps the stronger
+            // (volatile) classification.
+            self.pending_crash = Some(self.pending_crash.unwrap_or(false) || volatile);
+            if volatile {
+                // The oracle learns of the loss at crash time; the protocol
+                // applies it when the handshake starts. No request is served
+                // in between, so the two stay equivalent (and the policy
+                // hook is idempotent over the gap).
+                if let Some(oracle) = &mut self.oracle {
+                    oracle.on_replica_lost();
+                }
+            }
         }
         self.reconciling = false;
         self.link_token += 1;
@@ -1425,6 +2036,32 @@ impl Simulation {
             self.reconciliation_messages,
             self.arq_acks,
         );
+        // Handoff-ledger consistency (mobility extension): backbone legs
+        // and invalidation traffic close their own identities — handoff
+        // billing is a separate class, never mixed into the §3 wireless
+        // bill above. Skipped for an inert plan, which must reproduce the
+        // single-cell run exactly — including the check counter.
+        if self.topology_active() {
+            let in_flight = self.handoff.as_ref().map_or(0, |f| f.messages);
+            let broadcast = self
+                .config
+                .topology
+                .as_ref()
+                .is_some_and(|t| t.broadcast_invalidation);
+            let invalidation_expected = if broadcast {
+                self.invalidation_rounds
+            } else {
+                self.replicas_invalidated
+            };
+            self.monitor.check_handoff_billing(
+                self.handoff_messages,
+                self.settled_handoff_messages,
+                self.aborted_handoff_messages,
+                in_flight,
+                self.invalidation_messages,
+                invalidation_expected,
+            );
+        }
         // Oracle equivalence: the distributed protocol must take exactly the
         // action the reference policy takes.
         if let Some(oracle) = &mut self.oracle {
@@ -1478,6 +2115,17 @@ impl Simulation {
             recovery_time_sum: self.recovery_time_sum,
             recoveries: self.recoveries,
             invariant_checks: self.monitor.checks(),
+            migrations: self.migrations,
+            handoffs_committed: self.handoffs_committed,
+            handoffs_aborted: self.handoffs_aborted,
+            handoff_messages: self.handoff_messages,
+            settled_handoff_messages: self.settled_handoff_messages,
+            aborted_handoff_messages: self.aborted_handoff_messages,
+            invalidation_messages: self.invalidation_messages,
+            invalidation_rounds: self.invalidation_rounds,
+            replicas_invalidated: self.replicas_invalidated,
+            stale_reads: self.stale_reads,
+            handoff_discards: self.handoff_discards,
         }
     }
 }
@@ -1638,6 +2286,91 @@ mod tests {
         let a = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 9 }, 0.4, 5_000, 1234);
         let b = Simulation::run_poisson(PolicySpec::SlidingWindow { k: 9 }, 0.4, 5_000, 1234);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_equality_discriminates_every_field() {
+        // `SimConfig`'s hand-written `PartialEq` must notice a change in
+        // any single field — a comparison that short-circuits true would
+        // let the sweep engine conflate distinct runs.
+        let base = || SimConfig {
+            policy: PolicySpec::St1,
+            latency: 0.1,
+            oracle_check: true,
+            loss: None,
+            arq: None,
+            mobility: None,
+            faults: None,
+            topology: None,
+        };
+        assert_eq!(base(), base());
+        let mut c = base();
+        c.policy = PolicySpec::St2;
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.latency = 0.2;
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.oracle_check = false;
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.loss = Some(LossConfig {
+            loss_probability: 0.1,
+            retry_timeout: 0.5,
+            seed: 1,
+        });
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.arq = Some(ArqConfig::new(0.1, 0.05, 1).unwrap());
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.mobility = Some(MobilityConfig {
+            cell_extra_latency: vec![0.0],
+            handoff_rate: 0.5,
+            seed: 3,
+        });
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.faults = Some(FaultPlan::new(0.05, 2.0, 3).unwrap());
+        assert_ne!(base(), c);
+        let mut c = base();
+        c.topology = Some(TopologyConfig::new(3, 0.5, 2.0, 7).unwrap());
+        assert_ne!(base(), c);
+    }
+
+    #[test]
+    fn mobility_config_equality_discriminates_every_field() {
+        let base = || MobilityConfig {
+            cell_extra_latency: vec![0.0, 0.1],
+            handoff_rate: 0.5,
+            seed: 3,
+        };
+        assert_eq!(base(), base());
+        let mut m = base();
+        m.cell_extra_latency = vec![0.0, 0.2];
+        assert_ne!(base(), m);
+        let mut m = base();
+        m.cell_extra_latency = vec![0.0];
+        assert_ne!(base(), m);
+        let mut m = base();
+        m.handoff_rate = 0.7;
+        assert_ne!(base(), m);
+        let mut m = base();
+        m.seed = 4;
+        assert_ne!(base(), m);
+    }
+
+    #[test]
+    fn invariant_monitor_counts_handoff_billing_checks() {
+        // The monitor's check tally feeds `SimReport::invariant_checks`;
+        // a handoff-billing check that forgets to count itself would
+        // under-report the run's online coverage.
+        let mut monitor = InvariantMonitor::new();
+        assert_eq!(monitor.checks(), 0);
+        monitor.check_handoff_billing(3, 3, 0, 0, 5, 5);
+        assert_eq!(monitor.checks(), 1);
+        monitor.check_handoff_billing(7, 3, 3, 1, 0, 0);
+        assert_eq!(monitor.checks(), 2);
     }
 }
 
@@ -2122,6 +2855,15 @@ mod arq_tests {
         assert!(report.retry_escalations > 0);
         assert!(report.recoveries > 0);
         assert!(report.mean_time_to_recovery().is_some());
+        // Each recovery adds the *outage duration* (now − since) to the
+        // ledger, never a timestamp sum: outages are short next to the
+        // run, so the mean must stay a small fraction of the makespan.
+        let mean = report.mean_time_to_recovery().expect("recoveries observed");
+        assert!(
+            mean * 4.0 < report.makespan,
+            "mean recovery {mean} vs makespan {}",
+            report.makespan
+        );
         assert!(
             report.aborted_messages > 0,
             "escalated exchanges waste traffic"
@@ -2307,5 +3049,232 @@ mod mutation_regressions {
         assert!(r.handoffs > 0 && r.retransmissions > 0);
         assert_eq!(r.retransmissions, 1_400);
         assert_eq!(r.mean_read_latency.to_bits(), 0x3fba_2603_ddf5_8473);
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+    use crate::SimBuilder;
+
+    fn topo_run(topology: Option<TopologyConfig>, seed: u64) -> SimReport {
+        let mut builder = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
+            .and_then(|b| b.latency(0.02))
+            .unwrap();
+        if let Some(t) = topology {
+            builder = builder.topology(t).unwrap();
+        }
+        let mut sim = builder.simulation();
+        let mut workload = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, seed);
+        sim.run(&mut workload, RunLimit::Requests(4_000))
+    }
+
+    #[test]
+    fn inert_topology_reproduces_the_single_cell_run_exactly() {
+        // The acceptance bar for the whole layer: a plan with zero
+        // migrations must schedule no events and draw no randomness, so
+        // the report — schedule, ledger, float fields, everything —
+        // matches the no-topology run bit for bit.
+        let baseline = topo_run(None, 4242);
+        let inert = topo_run(Some(TopologyConfig::new(4, 0.0, 1.0, 99).unwrap()), 4242);
+        assert!(TopologyConfig::new(4, 0.0, 1.0, 99).unwrap().is_inert());
+        assert_eq!(baseline, inert);
+        assert_eq!(inert.migrations, 0);
+        assert_eq!(inert.handoff_messages, 0);
+    }
+
+    #[test]
+    fn lossless_handoffs_commit_and_bill_three_legs_per_commit() {
+        let t = TopologyConfig::new(3, 0.5, 2.0, 7).unwrap();
+        let r = topo_run(Some(t), 4242);
+        assert!(r.migrations > 100, "dwell 2 over a ~4000-unit run");
+        assert!(r.handoffs_committed > 0);
+        // On a lossless backbone with no mid-flight migrations aborted
+        // mid-air, settled legs are exactly 3 per commit; aborted flights
+        // (migration re-fences) account for the rest.
+        assert_eq!(
+            r.handoff_messages,
+            r.settled_handoff_messages + r.aborted_handoff_messages
+        );
+        assert_eq!(r.settled_handoff_messages, 3 * r.handoffs_committed);
+        // Every commit away from a freshly-invalidated state strands one
+        // stale replica at the origin.
+        assert!(r.replicas_invalidated >= r.handoffs_committed);
+    }
+
+    #[test]
+    fn topology_runs_are_deterministic_per_seed() {
+        let t = || {
+            TopologyConfig::new(3, 0.5, 2.0, 7)
+                .unwrap()
+                .with_loss(0.3)
+                .unwrap()
+        };
+        let a = topo_run(Some(t()), 4242);
+        let b = topo_run(Some(t()), 4242);
+        assert_eq!(a, b);
+        let c = topo_run(
+            Some(
+                TopologyConfig::new(3, 0.5, 2.0, 8)
+                    .unwrap()
+                    .with_loss(0.3)
+                    .unwrap(),
+            ),
+            4242,
+        );
+        assert_ne!(a.migrations, c.migrations);
+    }
+
+    #[test]
+    fn lossy_backbone_degrades_gracefully() {
+        // Heavy backbone loss without ARQ: single-shot legs mostly die,
+        // deadlines abort, ownership rolls back, reads are served stale
+        // from the origin and wire-needing requests shed with a typed
+        // outcome. The run still terminates and the handoff billing
+        // identity holds at every completion (the monitor panics if not).
+        let t = TopologyConfig::new(3, 0.5, 0.5, 7)
+            .unwrap()
+            .with_loss(0.8)
+            .unwrap();
+        let r = topo_run(Some(t), 4242);
+        assert!(r.handoffs_aborted > 0);
+        assert!(r.stale_reads > 0, "reads served stale from the origin cell");
+        assert!(
+            r.shed.iter().any(|s| s.reason == ShedReason::HandoffStuck),
+            "stuck handoffs shed wire-needing requests with a typed outcome"
+        );
+        assert_eq!(
+            r.handoff_messages,
+            r.settled_handoff_messages + r.aborted_handoff_messages,
+            "no flight left in the air at the end of this run"
+        );
+    }
+
+    #[test]
+    fn broadcast_invalidation_bills_rounds_not_replicas() {
+        let per_cell = topo_run(Some(TopologyConfig::new(5, 0.5, 2.0, 7).unwrap()), 4242);
+        let broadcast = topo_run(
+            Some(
+                TopologyConfig::new(5, 0.5, 2.0, 7)
+                    .unwrap()
+                    .with_broadcast_invalidation(),
+            ),
+            4242,
+        );
+        // Same seed, same flights: only the invalidation pricing differs.
+        assert_eq!(per_cell.handoffs_committed, broadcast.handoffs_committed);
+        assert_eq!(
+            per_cell.replicas_invalidated,
+            broadcast.replicas_invalidated
+        );
+        assert_eq!(
+            per_cell.invalidation_messages,
+            per_cell.replicas_invalidated
+        );
+        assert_eq!(
+            broadcast.invalidation_messages,
+            broadcast.invalidation_rounds
+        );
+        assert!(broadcast.invalidation_messages <= per_cell.invalidation_messages);
+    }
+
+    #[test]
+    fn arq_transport_governs_backbone_retransmissions() {
+        // With ARQ installed, lost legs retransmit under the transport's
+        // own timeout law instead of waiting for the deadline: flights
+        // commit despite heavy loss, at the price of extra backbone
+        // attempts.
+        let arq = ArqConfig::new(0.0, 0.05, 5).unwrap();
+        let t = TopologyConfig::new(3, 0.5, 5.0, 7)
+            .unwrap()
+            .with_loss(0.5)
+            .unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
+            .and_then(|b| b.latency(0.02))
+            .and_then(|b| b.arq(arq))
+            .and_then(|b| b.topology(t))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4242);
+        let r = sim.run(&mut w, RunLimit::Requests(4_000));
+        assert!(r.handoffs_committed > 0);
+        assert!(
+            r.settled_handoff_messages > 3 * r.handoffs_committed,
+            "retransmitted legs settle with their flight"
+        );
+    }
+
+    #[test]
+    fn commit_ghosts_only_add_discards() {
+        // Duplicated and reordered HandoffCommit copies land strictly
+        // after the original and die on the epoch fence: the runs are
+        // identical except for the discard tally (idempotence; the
+        // proptest in properties.rs generalizes this).
+        let clean = topo_run(Some(TopologyConfig::new(3, 0.5, 2.0, 7).unwrap()), 4242);
+        let noisy = topo_run(
+            Some(
+                TopologyConfig::new(3, 0.5, 2.0, 7)
+                    .unwrap()
+                    .with_commit_ghosts(0.7, 0.5)
+                    .unwrap(),
+            ),
+            4242,
+        );
+        assert!(noisy.handoff_discards > 0);
+        assert_eq!(clean.handoffs_committed, noisy.handoffs_committed);
+        assert_eq!(clean.handoff_messages, noisy.handoff_messages);
+        assert_eq!(clean.schedule, noisy.schedule);
+        assert_eq!(clean.counts, noisy.counts);
+        assert_eq!(
+            clean.makespan.to_bits(),
+            noisy.makespan.to_bits(),
+            "ghosts draw from their own stream and perturb nothing"
+        );
+    }
+
+    #[test]
+    fn reorder_only_ghosts_draw_only_the_reorder_channel() {
+        // A ghost channel whose probability is exactly zero must not
+        // consume a draw from the ghost stream: an extra draw for the
+        // disabled duplication channel would shift every reorder decision,
+        // and a discard tallied twice would double the count. The exact
+        // tally is pinned as a regression value for the seeded run.
+        let clean = topo_run(Some(TopologyConfig::new(3, 0.5, 2.0, 7).unwrap()), 4242);
+        let t = TopologyConfig::new(3, 0.5, 2.0, 7)
+            .unwrap()
+            .with_commit_ghosts(0.0, 0.5)
+            .unwrap();
+        let r = topo_run(Some(t), 4242);
+        assert_eq!(clean.handoffs_committed, r.handoffs_committed);
+        assert_eq!(clean.makespan.to_bits(), r.makespan.to_bits());
+        assert!(r.handoff_discards > 0);
+        assert_eq!(r.handoff_discards, 1_066, "regression pin");
+    }
+
+    #[test]
+    fn jittered_handoff_retries_follow_the_backoff_law() {
+        // Handoff-leg retransmissions wait base · factor^(i−1) · (1 +
+        // jitter · u) like every other ARQ envelope. Flipping the jitter
+        // sign shortens every timeout, changing how many legs are resent
+        // before the deadline; the seeded leg tally is pinned.
+        let arq = ArqConfig::new(0.0, 0.05, 5)
+            .and_then(|a| a.with_backoff(2.0, 0.8))
+            .and_then(|a| a.with_retry_budget(5))
+            .unwrap();
+        let t = TopologyConfig::new(3, 0.5, 5.0, 7)
+            .unwrap()
+            .with_loss(0.5)
+            .unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 5 })
+            .and_then(|b| b.latency(0.02))
+            .and_then(|b| b.arq(arq))
+            .and_then(|b| b.topology(t))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.4, 4242);
+        let r = sim.run(&mut w, RunLimit::Requests(4_000));
+        assert!(r.handoffs_committed > 0);
+        assert_eq!(r.handoff_messages, 9_283, "regression pin");
+        assert_eq!(r.settled_handoff_messages, 7_530, "regression pin");
     }
 }

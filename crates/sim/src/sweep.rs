@@ -36,6 +36,7 @@
 use crate::builder::{validate_latency, validate_policy};
 use crate::faults::{ArqConfig, ConfigError, FaultPlan};
 use crate::sim::{RunLimit, SimConfig, SimReport, Simulation};
+use crate::topology::TopologyConfig;
 use crate::workload::PoissonWorkload;
 use mdr_core::{CostModel, PolicySpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -61,6 +62,9 @@ pub mod streams {
     pub const FAULT: u64 = 1;
     /// ARQ transport RNG (loss fates and backoff jitter).
     pub const ARQ: u64 = 2;
+    /// Topology RNG (migration dwell times, destination cells, handoff-leg
+    /// loss fates and ghost draws).
+    pub const TOPOLOGY: u64 = 3;
 }
 
 /// Derives the RNG seed for (`stream`, `index`) under `grid_seed`.
@@ -159,6 +163,7 @@ pub struct SweepGrid {
     models: Vec<CostModel>,
     faults: Vec<Option<FaultPlan>>,
     arqs: Vec<Option<ArqConfig>>,
+    topologies: Vec<Option<TopologyConfig>>,
     replications: usize,
     requests: usize,
     latency: f64,
@@ -177,6 +182,7 @@ impl SweepGrid {
             models: vec![CostModel::Connection],
             faults: vec![None],
             arqs: vec![None],
+            topologies: vec![None],
             replications: 1,
             requests: 10_000,
             latency: 0.01,
@@ -292,6 +298,25 @@ impl SweepGrid {
         Ok(self)
     }
 
+    /// Sets the multi-cell topology axis; `None` entries run single-cell
+    /// baselines. Configs carry their own validation
+    /// ([`TopologyConfig::new`]); each run re-seeds its topology RNG from
+    /// the grid seed, so the config's embedded seed is irrelevant here.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::EmptyAxis`] on an empty list.
+    pub fn topology_configs(
+        mut self,
+        topologies: Vec<Option<TopologyConfig>>,
+    ) -> Result<Self, ConfigError> {
+        if topologies.is_empty() {
+            return Err(ConfigError::EmptyAxis { what: "topologies" });
+        }
+        self.topologies = topologies;
+        Ok(self)
+    }
+
     /// Sets the number of independent replications per cell.
     ///
     /// # Errors
@@ -354,6 +379,7 @@ impl SweepGrid {
             * self.thetas.len()
             * self.faults.len()
             * self.arqs.len()
+            * self.topologies.len()
             * self.replications
     }
 
@@ -363,14 +389,16 @@ impl SweepGrid {
     }
 
     /// The (θ, replication) slot of `run_index` — deliberately blind to
-    /// the policy, fault and ARQ axes, so every policy, fault plan and
-    /// transport at the same (θ, replication) coordinates draws the same
-    /// seeds and the grid produces *paired* comparisons.
+    /// the policy, fault, ARQ and topology axes, so every policy, fault
+    /// plan, transport and topology at the same (θ, replication)
+    /// coordinates draws the same seeds and the grid produces *paired*
+    /// comparisons.
     fn workload_index(&self, run_index: usize) -> u64 {
         let reps = self.replications;
         let rep_index = run_index % reps;
-        let theta_index =
-            (run_index / (reps * self.arqs.len() * self.faults.len())) % self.thetas.len();
+        let theta_index = (run_index
+            / (reps * self.topologies.len() * self.arqs.len() * self.faults.len()))
+            % self.thetas.len();
         (theta_index * reps + rep_index) as u64
     }
 
@@ -385,7 +413,9 @@ impl SweepGrid {
     /// configs so every policy and transport faces the same outage
     /// schedule, distinct per plan so plans don't echo each other.
     fn fault_seed(&self, run_index: usize) -> u64 {
-        let fault_index = (run_index / (self.replications * self.arqs.len())) % self.faults.len();
+        let fault_index = (run_index
+            / (self.replications * self.topologies.len() * self.arqs.len()))
+            % self.faults.len();
         let slots = (self.thetas.len() * self.replications) as u64;
         derive_seed(
             self.seed,
@@ -399,7 +429,7 @@ impl SweepGrid {
     /// plans so every policy faces the same loss fates and jitter draws,
     /// distinct per config so configs don't echo each other.
     fn arq_seed(&self, run_index: usize) -> u64 {
-        let arq_index = (run_index / self.replications) % self.arqs.len();
+        let arq_index = (run_index / (self.replications * self.topologies.len())) % self.arqs.len();
         let slots = (self.thetas.len() * self.replications) as u64;
         derive_seed(
             self.seed,
@@ -408,17 +438,34 @@ impl SweepGrid {
         )
     }
 
+    /// Topology seed for `run_index`: one stream slot per
+    /// (topology, θ, replication) — shared across policies, fault plans
+    /// and transports so every policy faces the same migration schedule
+    /// and backbone fates, distinct per topology so topologies don't echo
+    /// each other.
+    fn topology_seed(&self, run_index: usize) -> u64 {
+        let topology_index = (run_index / self.replications) % self.topologies.len();
+        let slots = (self.thetas.len() * self.replications) as u64;
+        derive_seed(
+            self.seed,
+            streams::TOPOLOGY,
+            topology_index as u64 * slots + self.workload_index(run_index),
+        )
+    }
+
     /// Decodes `run_index` (canonical order: policy → θ → fault → ARQ →
-    /// replication) and executes that run.
+    /// topology → replication) and executes that run.
     fn execute_run(&self, run_index: usize) -> SimReport {
         let reps = self.replications;
+        let topos = self.topologies.len();
         let arqs = self.arqs.len();
         let faults = self.faults.len();
         let thetas = self.thetas.len();
-        let arq_index = (run_index / reps) % arqs;
-        let fault_index = (run_index / (reps * arqs)) % faults;
-        let theta_index = (run_index / (reps * arqs * faults)) % thetas;
-        let policy_index = run_index / (reps * arqs * faults * thetas);
+        let topology_index = (run_index / reps) % topos;
+        let arq_index = (run_index / (reps * topos)) % arqs;
+        let fault_index = (run_index / (reps * topos * arqs)) % faults;
+        let theta_index = (run_index / (reps * topos * arqs * faults)) % thetas;
+        let policy_index = run_index / (reps * topos * arqs * faults * thetas);
 
         let mut config = SimConfig::defaults(self.policies[policy_index]);
         config.latency = self.latency;
@@ -432,6 +479,11 @@ impl SweepGrid {
             let mut arq = arq.clone();
             arq.seed = self.arq_seed(run_index);
             config.arq = Some(arq);
+        }
+        if let Some(topology) = &self.topologies[topology_index] {
+            let mut topology = topology.clone();
+            topology.seed = self.topology_seed(run_index);
+            config.topology = Some(topology);
         }
         let mut sim = Simulation::new(config);
         let mut workload = PoissonWorkload::from_theta(
@@ -465,15 +517,17 @@ impl SweepGrid {
     /// already being in run-index order.
     fn assemble(&self, reports: Vec<SimReport>) -> SweepReport {
         let reps = self.replications;
+        let topos = self.topologies.len();
         let arqs = self.arqs.len();
         let faults = self.faults.len();
         let mut cells = Vec::with_capacity(self.cells());
         for (run_index, report) in reports.iter().enumerate() {
             let rep_index = run_index % reps;
-            let arq_index = (run_index / reps) % arqs;
-            let fault_index = (run_index / (reps * arqs)) % faults;
-            let theta_index = (run_index / (reps * arqs * faults)) % self.thetas.len();
-            let policy_index = run_index / (reps * arqs * faults * self.thetas.len());
+            let topology_index = (run_index / reps) % topos;
+            let arq_index = (run_index / (reps * topos)) % arqs;
+            let fault_index = (run_index / (reps * topos * arqs)) % faults;
+            let theta_index = (run_index / (reps * topos * arqs * faults)) % self.thetas.len();
+            let policy_index = run_index / (reps * topos * arqs * faults * self.thetas.len());
             for &model in &self.models {
                 cells.push(CellReport {
                     policy: self.policies[policy_index],
@@ -481,6 +535,7 @@ impl SweepGrid {
                     model,
                     fault_index,
                     arq_index,
+                    topology_index,
                     replication: rep_index,
                     workload_seed: self.workload_seed(run_index),
                     cost_per_request: report.try_cost_per_request(model),
@@ -489,28 +544,39 @@ impl SweepGrid {
             }
         }
 
-        // Summary groups: (policy, θ, fault, ARQ, model), replications
-        // folded in ascending order within each group.
+        // Summary groups: (policy, θ, fault, ARQ, topology, model),
+        // replications folded in ascending order within each group.
         let mut entries = Vec::new();
         for (policy_index, &policy) in self.policies.iter().enumerate() {
             for (theta_index, &theta) in self.thetas.iter().enumerate() {
                 for fault_index in 0..faults {
                     for arq_index in 0..arqs {
-                        for &model in &self.models {
-                            let mut entry =
-                                SweepEntry::empty(policy, theta, model, fault_index, arq_index);
-                            let analytic = mdr_analysis::expected_cost(policy, model, theta);
-                            for rep_index in 0..reps {
-                                let run_index =
-                                    (((policy_index * self.thetas.len() + theta_index) * faults
+                        for topology_index in 0..topos {
+                            for &model in &self.models {
+                                let mut entry = SweepEntry::empty(
+                                    policy,
+                                    theta,
+                                    model,
+                                    fault_index,
+                                    arq_index,
+                                    topology_index,
+                                );
+                                let analytic = mdr_analysis::expected_cost(policy, model, theta);
+                                for rep_index in 0..reps {
+                                    let run_index = ((((policy_index * self.thetas.len()
+                                        + theta_index)
+                                        * faults
                                         + fault_index)
                                         * arqs
                                         + arq_index)
+                                        * topos
+                                        + topology_index)
                                         * reps
                                         + rep_index;
-                                entry.push(&reports[run_index], model, analytic);
+                                    entry.push(&reports[run_index], model, analytic);
+                                }
+                                entries.push(entry);
                             }
-                            entries.push(entry);
                         }
                     }
                 }
@@ -608,6 +674,8 @@ pub struct SweepEntry {
     pub fault_index: usize,
     /// Index into the grid's ARQ axis (0 = first config / perfect link).
     pub arq_index: usize,
+    /// Index into the grid's topology axis (0 = first entry / single cell).
+    pub topology_index: usize,
     /// Per-request cost across replications (empty runs excluded).
     pub cost_per_request: Moments,
     /// Measured cost ÷ the Eq. 2–8 analytic expectation for the same
@@ -645,6 +713,18 @@ pub struct SweepEntry {
     /// Mean staleness of degraded reads per replication (runs with no
     /// degraded reads are excluded).
     pub staleness: Moments,
+    /// Inter-cell migrations, summed over replications.
+    pub migrations: u64,
+    /// Handoffs committed at the target cell, summed.
+    pub handoffs_committed: u64,
+    /// Handoffs aborted back to the origin cell, summed.
+    pub handoffs_aborted: u64,
+    /// Backbone handoff-class messages billed, summed.
+    pub handoff_messages: u64,
+    /// Invalidation-class messages billed on commit, summed.
+    pub invalidation_messages: u64,
+    /// Reads served from a non-owner cell's stale replica, summed.
+    pub stale_reads: u64,
 }
 
 impl SweepEntry {
@@ -654,6 +734,7 @@ impl SweepEntry {
         model: CostModel,
         fault_index: usize,
         arq_index: usize,
+        topology_index: usize,
     ) -> SweepEntry {
         SweepEntry {
             policy,
@@ -661,6 +742,7 @@ impl SweepEntry {
             model,
             fault_index,
             arq_index,
+            topology_index,
             cost_per_request: Moments::default(),
             competitive_ratio: Moments::default(),
             requests: 0,
@@ -677,6 +759,12 @@ impl SweepEntry {
             mttr: Moments::default(),
             shed_rate: Moments::default(),
             staleness: Moments::default(),
+            migrations: 0,
+            handoffs_committed: 0,
+            handoffs_aborted: 0,
+            handoff_messages: 0,
+            invalidation_messages: 0,
+            stale_reads: 0,
         }
     }
 
@@ -709,6 +797,12 @@ impl SweepEntry {
         if let Some(staleness) = report.mean_staleness() {
             self.staleness.push(staleness);
         }
+        self.migrations += report.migrations;
+        self.handoffs_committed += report.handoffs_committed;
+        self.handoffs_aborted += report.handoffs_aborted;
+        self.handoff_messages += report.handoff_messages;
+        self.invalidation_messages += report.invalidation_messages;
+        self.stale_reads += report.stale_reads;
     }
 
     fn same_group(&self, other: &SweepEntry) -> bool {
@@ -716,6 +810,7 @@ impl SweepEntry {
             && self.theta.to_bits() == other.theta.to_bits()
             && self.fault_index == other.fault_index
             && self.arq_index == other.arq_index
+            && self.topology_index == other.topology_index
             && match (self.model, other.model) {
                 (CostModel::Connection, CostModel::Connection) => true,
                 (CostModel::Message { omega: a }, CostModel::Message { omega: b }) => {
@@ -732,6 +827,7 @@ impl SweepEntry {
             model: self.model,
             fault_index: self.fault_index,
             arq_index: self.arq_index,
+            topology_index: self.topology_index,
             cost_per_request: self.cost_per_request.merge(&other.cost_per_request),
             competitive_ratio: self.competitive_ratio.merge(&other.competitive_ratio),
             requests: self.requests + other.requests,
@@ -748,6 +844,12 @@ impl SweepEntry {
             mttr: self.mttr.merge(&other.mttr),
             shed_rate: self.shed_rate.merge(&other.shed_rate),
             staleness: self.staleness.merge(&other.staleness),
+            migrations: self.migrations + other.migrations,
+            handoffs_committed: self.handoffs_committed + other.handoffs_committed,
+            handoffs_aborted: self.handoffs_aborted + other.handoffs_aborted,
+            handoff_messages: self.handoff_messages + other.handoff_messages,
+            invalidation_messages: self.invalidation_messages + other.invalidation_messages,
+            stale_reads: self.stale_reads + other.stale_reads,
         }
     }
 }
@@ -794,6 +896,8 @@ pub struct CellReport {
     pub fault_index: usize,
     /// Index into the ARQ axis.
     pub arq_index: usize,
+    /// Index into the topology axis.
+    pub topology_index: usize,
     /// Replication number within the group.
     pub replication: usize,
     /// The derived arrival-process seed this run used.
@@ -837,6 +941,7 @@ impl SweepReport {
             eat(cell.workload_seed);
             eat(cell.fault_index as u64);
             eat(cell.arq_index as u64);
+            eat(cell.topology_index as u64);
             eat(cell.cost_per_request.map_or(u64::MAX, f64::to_bits));
             eat(r.counts.total());
             eat(r.counts.data_messages());
@@ -869,6 +974,17 @@ impl SweepReport {
             eat(r.makespan.to_bits());
             eat(r.mean_read_latency.to_bits());
             eat(r.schedule.len() as u64);
+            eat(r.migrations);
+            eat(r.handoffs_committed);
+            eat(r.handoffs_aborted);
+            eat(r.handoff_messages);
+            eat(r.settled_handoff_messages);
+            eat(r.aborted_handoff_messages);
+            eat(r.invalidation_messages);
+            eat(r.invalidation_rounds);
+            eat(r.replicas_invalidated);
+            eat(r.stale_reads);
+            eat(r.handoff_discards);
         }
         hash
     }
@@ -884,14 +1000,15 @@ impl SweepReport {
             let cost = cell.cost_per_request.unwrap_or(f64::NAN);
             let _ = writeln!(
                 out,
-                "{} theta={} model={} fault={} arq={} rep={} seed={:#018x} \
+                "{} theta={} model={} fault={} arq={} topo={} rep={} seed={:#018x} \
                  cost={cost:.6}({cost_bits:#018x}) data={} ctrl={} conn={} retx={} disc={} \
-                 acks={} esc={} shed={} degr={}",
+                 acks={} esc={} shed={} degr={} migr={} hcom={} habt={} hmsg={} inv={} stale={}",
                 cell.policy,
                 cell.theta,
                 cell.model,
                 cell.fault_index,
                 cell.arq_index,
+                cell.topology_index,
                 cell.replication,
                 cell.workload_seed,
                 cell.report.data_messages,
@@ -903,6 +1020,12 @@ impl SweepReport {
                 cell.report.retry_escalations,
                 cell.report.shed_requests(),
                 cell.report.degraded_reads,
+                cell.report.migrations,
+                cell.report.handoffs_committed,
+                cell.report.handoffs_aborted,
+                cell.report.handoff_messages,
+                cell.report.invalidation_messages,
+                cell.report.stale_reads,
             );
         }
         out
@@ -1191,6 +1314,121 @@ mod tests {
             "ratio {}",
             entry.competitive_ratio.mean
         );
+    }
+
+    fn topology_grid() -> SweepGrid {
+        let mobile = TopologyConfig::new(3, 0.4, 0.6, 0)
+            .unwrap()
+            .with_loss(0.2)
+            .unwrap();
+        SweepGrid::new(0x70_70)
+            .policies(vec![PolicySpec::St1, PolicySpec::SlidingWindow { k: 3 }])
+            .and_then(|g| g.thetas(vec![0.3]))
+            .and_then(|g| g.topology_configs(vec![None, Some(mobile)]))
+            .and_then(|g| g.replications(2))
+            .and_then(|g| g.requests(500))
+            .unwrap()
+    }
+
+    #[test]
+    fn topology_axis_multiplies_runs_and_pairs_workloads() {
+        let grid = topology_grid();
+        // policies × θ × faults × ARQ × topologies × replications.
+        #[allow(clippy::identity_op)]
+        let expected_runs = 2 * 1 * 1 * 1 * 2 * 2;
+        assert_eq!(grid.runs(), expected_runs);
+        assert!(grid.topology_configs(vec![]).is_err());
+        let grid = topology_grid();
+        let report = grid.run_serial();
+        // The topology axis is blind to the workload: paired cells replay
+        // the same arrival stream; only mobility and its handoff traffic
+        // differ.
+        for policy_index in 0..2 {
+            for rep in 0..2 {
+                let base = policy_index * 4 + rep;
+                let single = &report.cells[base];
+                let multi = &report.cells[base + 2];
+                assert_eq!((single.topology_index, multi.topology_index), (0, 1));
+                assert_eq!(single.workload_seed, multi.workload_seed);
+                assert_eq!(single.report.migrations, 0);
+                assert!(multi.report.migrations > 0);
+                assert!(multi.report.handoffs_committed > 0);
+            }
+        }
+        // Summary groups split by topology index and surface the new
+        // columns.
+        assert_eq!(report.summary.entries.len(), 4);
+        let mobile_entry = &report.summary.entries[1];
+        assert_eq!(mobile_entry.topology_index, 1);
+        assert!(mobile_entry.migrations > 0);
+        assert!(mobile_entry.handoff_messages > 0);
+        assert_eq!(report.summary.entries[0].handoff_messages, 0);
+    }
+
+    #[test]
+    fn topology_cells_are_byte_identical_across_thread_counts() {
+        // The E19 guarantee in miniature: a multi-cell grid with a lossy
+        // backbone must stay byte-identical between the serial path and
+        // any thread count.
+        let grid = topology_grid();
+        let serial = grid.run_serial();
+        for threads in [2, 4] {
+            let parallel = grid.run(SweepOptions { threads, chunk: 0 });
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(serial.ledger_digest(), parallel.ledger_digest());
+            assert_eq!(serial.ledger_lines(), parallel.ledger_lines());
+        }
+    }
+
+    #[test]
+    fn inert_topology_cell_matches_the_none_cell() {
+        // An inert mobility plan (zero migrations) must reproduce the
+        // single-cell run exactly, counter for counter — the topology
+        // layer is strictly opt-in.
+        let inert = TopologyConfig::new(4, 0.0, 1.0, 7).unwrap();
+        let report = SweepGrid::new(0xE19)
+            .policies(vec![PolicySpec::SlidingWindow { k: 5 }])
+            .and_then(|g| g.topology_configs(vec![None, Some(inert)]))
+            .and_then(|g| g.requests(500))
+            .unwrap()
+            .run_serial();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(
+            report.cells[0].report, report.cells[1].report,
+            "an inert topology must not perturb the paired single-cell run"
+        );
+        assert_eq!(
+            report.cells[0].cost_per_request,
+            report.cells[1].cost_per_request
+        );
+    }
+
+    #[test]
+    fn simultaneous_fault_resolution_order_is_pinned() {
+        // Regression pin for the documented simultaneous-fault tie-break:
+        // when an SC outage lands during an in-flight exchange at the same
+        // instant as MC-crash bookkeeping, the network/SC side resolves
+        // first (the outage tears the exchange off the wire) and only then
+        // is the MC-side crash state applied — ordered by the event
+        // queue's (time, actor-rank, seq) key. Any change to that order
+        // shifts this ledger digest.
+        let plan = FaultPlan::new(0.35, 1.2, 0)
+            .and_then(|p| p.with_crashes(0.5, 0.5))
+            .and_then(|p| p.with_sc_outages(0.5))
+            .and_then(|p| p.with_duplication(0.2, 0.2))
+            .unwrap();
+        let report = SweepGrid::new(0xFA_01)
+            .policies(vec![PolicySpec::SlidingWindow { k: 3 }, PolicySpec::St2])
+            .and_then(|g| g.thetas(vec![0.4]))
+            .and_then(|g| g.fault_plans(vec![Some(plan)]))
+            .and_then(|g| g.replications(2))
+            .and_then(|g| g.requests(1_500))
+            .unwrap()
+            .run_serial();
+        let crashed: u64 = report.cells.iter().map(|c| c.report.mc_crashes).sum();
+        let outages: u64 = report.cells.iter().map(|c| c.report.sc_outages).sum();
+        assert!(crashed > 0 && outages > 0, "plan must exercise both faults");
+        assert_eq!(report.ledger_digest(), 0x0ff8_4e7e_ee45_a9f4);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use mdr_core::{CostModel, PolicySpec, Request, Schedule};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{
     ArqConfig, ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, Simulation,
-    TraceWorkload,
+    TopologyConfig, TraceWorkload,
 };
 use proptest::prelude::*;
 
@@ -48,6 +48,56 @@ fn arb_grid() -> impl Strategy<Value = SweepGrid> {
                 .and_then(|g| g.thetas(thetas))
                 .and_then(|g| g.omegas(omegas))
                 .and_then(|g| g.fault_plans(faults))
+                .and_then(|g| g.replications(reps))
+                .and_then(|g| g.requests(requests))
+            else {
+                unreachable!("every generated axis is valid by construction")
+            };
+            grid
+        },
+    )
+}
+
+/// A random multi-cell topology: 2–4 cells, a live migration rate, a
+/// lossy backbone, and optionally broadcast invalidation.
+fn arb_topology() -> impl Strategy<Value = TopologyConfig> {
+    let cells = 2usize..=4;
+    let rate = 0.1f64..1.0;
+    let deadline = 0.5f64..2.0;
+    let loss = 0.0f64..0.5;
+    let broadcast = prop::bool::ANY;
+    let seed = any::<u64>();
+    (cells, rate, deadline, loss, broadcast, seed).prop_map(
+        |(cells, rate, deadline, loss, broadcast, seed)| {
+            let Ok(topology) =
+                TopologyConfig::new(cells, rate, deadline, seed).and_then(|t| t.with_loss(loss))
+            else {
+                unreachable!("the generated topology knobs are valid by construction")
+            };
+            if broadcast {
+                topology.with_broadcast_invalidation()
+            } else {
+                topology
+            }
+        },
+    )
+}
+
+/// A random grid with a live topology axis: [single-cell, random
+/// multi-cell], small enough for a property test.
+fn arb_topology_grid() -> impl Strategy<Value = SweepGrid> {
+    let policies = prop::collection::vec(arb_spec(), 1..=2);
+    let thetas = prop::collection::vec(0.0f64..=1.0, 1..=2);
+    let topology = arb_topology();
+    let reps = 1usize..=2;
+    let requests = 40usize..=120;
+    let seed = any::<u64>();
+    (policies, thetas, topology, reps, requests, seed).prop_map(
+        |(policies, thetas, topology, reps, requests, seed)| {
+            let Ok(grid) = SweepGrid::new(seed)
+                .policies(policies)
+                .and_then(|g| g.thetas(thetas))
+                .and_then(|g| g.topology_configs(vec![None, Some(topology)]))
                 .and_then(|g| g.replications(reps))
                 .and_then(|g| g.requests(requests))
             else {
@@ -282,6 +332,54 @@ proptest! {
         );
     }
 
+    /// Handoff idempotence: a backbone that duplicates and reorders
+    /// HandoffCommit legs changes *nothing* observable — the epoch fence
+    /// discards every ghost copy before it can re-commit a finished
+    /// handoff. Only the discard tally moves.
+    #[test]
+    fn handoff_commits_are_idempotent_under_ghosts(
+        spec in arb_spec(),
+        theta in 0.0f64..=1.0,
+        cells in 2usize..=4,
+        rate in 0.1f64..1.0,
+        dup in 0.1f64..0.8,
+        reorder in 0.1f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let run = |ghosts: bool| {
+            let Ok(topology) = TopologyConfig::new(cells, rate, 2.0, seed).and_then(|t| {
+                if ghosts { t.with_commit_ghosts(dup, reorder) } else { Ok(t) }
+            }) else {
+                unreachable!("the generated ghost rates are valid by construction")
+            };
+            let mut sim = SimBuilder::new(spec)
+                .and_then(|b| b.latency(0.05))
+                .and_then(|b| b.topology(topology))
+                .unwrap()
+                .simulation();
+            let mut w = PoissonWorkload::from_theta(1.0, theta, seed ^ 0x5EED);
+            sim.run(&mut w, RunLimit::Requests(250))
+        };
+        let clean = run(false);
+        let noisy = run(true);
+        prop_assert_eq!(&clean.schedule, &noisy.schedule);
+        prop_assert_eq!(clean.counts, noisy.counts);
+        prop_assert_eq!(clean.migrations, noisy.migrations);
+        prop_assert_eq!(clean.handoffs_committed, noisy.handoffs_committed);
+        prop_assert_eq!(clean.handoffs_aborted, noisy.handoffs_aborted);
+        // Ghost legs are never billed and never re-commit: the handoff
+        // bill and the invalidation traffic are *identical*.
+        prop_assert_eq!(clean.handoff_messages, noisy.handoff_messages);
+        prop_assert_eq!(clean.settled_handoff_messages, noisy.settled_handoff_messages);
+        prop_assert_eq!(clean.invalidation_messages, noisy.invalidation_messages);
+        prop_assert_eq!(clean.replicas_invalidated, noisy.replicas_invalidated);
+        prop_assert_eq!(clean.stale_reads, noisy.stale_reads);
+        prop_assert_eq!(clean.makespan.to_bits(), noisy.makespan.to_bits());
+        // Ghosts can only *add* fence discards on top of the ones a
+        // mid-flight migration already produces.
+        prop_assert!(noisy.handoff_discards >= clean.handoff_discards);
+    }
+
     /// Workload determinism: the same seed replays the same arrivals, and
     /// arrival times are strictly increasing.
     #[test]
@@ -326,6 +424,24 @@ proptest! {
         prop_assert_eq!(serial.summary, n.summary.clone());
         prop_assert_eq!(serial.ledger_digest(), n.ledger_digest());
         prop_assert_eq!(serial.ledger_lines().into_bytes(), n.ledger_lines().into_bytes());
+    }
+
+    /// Handoff determinism across thread counts: a grid with a random
+    /// multi-cell topology axis — migrations, lossy backbone handoffs,
+    /// invalidation fan-out — swept at 1 and 4 threads produces a
+    /// byte-identical ledger, digest and printed lines.
+    #[test]
+    fn handoff_sweeps_are_thread_count_invariant(
+        grid in arb_topology_grid(),
+        chunk in 0usize..=3,
+    ) {
+        let serial = grid.run_serial();
+        let one = grid.run(SweepOptions { threads: 1, chunk });
+        let four = grid.run(SweepOptions { threads: 4, chunk });
+        prop_assert_eq!(&serial, &one);
+        prop_assert_eq!(&serial, &four);
+        prop_assert_eq!(serial.ledger_digest(), four.ledger_digest());
+        prop_assert_eq!(serial.ledger_lines().into_bytes(), four.ledger_lines().into_bytes());
     }
 }
 

@@ -269,6 +269,11 @@ impl State {
                 self.billed_control += 1;
                 self.exch_control += 1;
             }
+            // The backbone class never enters the MC/SC wireless protocol
+            // this checker models (it has its own model in `handoff`).
+            MessageClass::Invalidation => {
+                unreachable!("invalidation-class traffic in the wireless checker")
+            }
         }
     }
 
@@ -282,6 +287,10 @@ impl State {
             MessageClass::Control => {
                 self.billed_control += 1;
                 self.recon_control += 1;
+            }
+            // See `bill_exchange`: the backbone class never reaches here.
+            MessageClass::Invalidation => {
+                unreachable!("invalidation-class traffic in the wireless checker")
             }
         }
     }
@@ -476,6 +485,9 @@ fn apply(
                         state.retrans_control += 1;
                         state.exch_retrans_control += 1;
                     }
+                    MessageClass::Invalidation => {
+                        unreachable!("invalidation-class traffic in the wireless checker")
+                    }
                 }
             }
         }
@@ -502,6 +514,9 @@ fn apply(
                         MessageClass::Control => {
                             state.retrans_control += 1;
                             state.exch_retrans_control += 1;
+                        }
+                        MessageClass::Invalidation => {
+                            unreachable!("invalidation-class traffic in the wireless checker")
                         }
                     }
                 }

@@ -32,10 +32,15 @@
 #![deny(missing_docs)]
 
 mod checker;
+mod handoff;
 mod invariants;
 
 pub use checker::{
     arq_sweep, check, default_roster, faulty_sweep, sweep, CheckConfig, CheckReport, Fault,
+};
+pub use handoff::{
+    check_handoff, handoff_sweep, HandoffConfig, HandoffFault, HandoffInvariant, HandoffReport,
+    HandoffViolation,
 };
 pub use invariants::{check_state, Invariant, StateView, Violation};
 
@@ -371,5 +376,140 @@ mod tests {
             report.states
         );
         assert_eq!(report.violations[0].invariant, Invariant::NoDeadlock);
+    }
+
+    /// Handoff acceptance: migration interleaved with backbone loss,
+    /// duplicated commits, deadline aborts and crash/reconnect cycles,
+    /// over 2 and 3 cells, verifies single-owner-across-cells,
+    /// no-lost-window and the billing identity with zero violations.
+    #[test]
+    fn handoff_sweep_verifies_at_depth_14() {
+        let reports = handoff_sweep(14);
+        assert_eq!(reports.len(), 10, "2 cell counts × 5 modes");
+        let mut total_states = 0;
+        for report in &reports {
+            assert!(
+                report.verified(),
+                "{} cells (lossy {}, faulty {}, ghosts {}) found violations: {:?}",
+                report.cells,
+                report.lossy,
+                report.faulty,
+                report.ghosts,
+                report.violations
+            );
+            assert!(report.states > 1, "explored nothing");
+            total_states += report.states;
+        }
+        assert!(
+            total_states >= 10_000,
+            "acceptance floor not met: {total_states} deduplicated states"
+        );
+    }
+
+    /// Handoff fault/ghost transitions strictly enlarge the state space.
+    #[test]
+    fn handoff_fault_transitions_enlarge_the_state_space() {
+        let clean = check_handoff(&HandoffConfig::new(3, 10));
+        let faulty = check_handoff(&HandoffConfig::new(3, 10).lossy().faulty().ghosts());
+        assert!(clean.verified() && faulty.verified());
+        assert!(
+            faulty.states > clean.states,
+            "faulty {} vs clean {}",
+            faulty.states,
+            clean.states
+        );
+    }
+
+    /// Mutation self-test: applying a stale commit ghost without the
+    /// epoch fence re-commits a finished handoff — caught when the window
+    /// state is no longer where the re-committed owner sits.
+    #[test]
+    fn skipped_epoch_fence_is_caught() {
+        let config = HandoffConfig::new(3, 14)
+            .faulty()
+            .ghosts()
+            .with_fault(HandoffFault::SkipEpochFence);
+        let report = check_handoff(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert!(matches!(
+            report.violations[0].invariant,
+            HandoffInvariant::NoLostWindow | HandoffInvariant::SingleOwnerAcrossCells
+        ));
+    }
+
+    /// Mutation self-test: aborting a handoff without rolling ownership
+    /// back to the origin leaves the window with no owner.
+    #[test]
+    fn skipped_rollback_is_caught() {
+        let config = HandoffConfig::new(2, 8)
+            .faulty()
+            .with_fault(HandoffFault::SkipRollback);
+        let report = check_handoff(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(
+            report.violations[0].invariant,
+            HandoffInvariant::SingleOwnerAcrossCells
+        );
+    }
+
+    /// Mutation self-test: committing before the state transfer lands
+    /// makes the target own a window it never received — caught at the
+    /// first post-commit quiescence.
+    #[test]
+    fn commit_without_transfer_is_caught() {
+        let config = HandoffConfig::new(2, 8).with_fault(HandoffFault::CommitWithoutTransfer);
+        let report = check_handoff(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(
+            report.violations[0].invariant,
+            HandoffInvariant::NoLostWindow
+        );
+    }
+
+    /// Mutation self-test: skipping the invalidation fan-out on commit
+    /// leaves the invalidation bill short of what the stale-replica
+    /// bookkeeping demands.
+    #[test]
+    fn skipped_invalidation_is_caught() {
+        let config = HandoffConfig::new(3, 10).with_fault(HandoffFault::SkipInvalidation);
+        let report = check_handoff(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(
+            report.violations[0].invariant,
+            HandoffInvariant::BillingIdentity
+        );
+    }
+
+    /// Mutation self-test: a handoff leg that rides the backbone without
+    /// being billed breaks billed = settled + aborted + in-flight.
+    #[test]
+    fn free_handoff_leg_is_caught() {
+        let config = HandoffConfig::new(2, 6).with_fault(HandoffFault::FreeHandoffLeg);
+        let report = check_handoff(&config);
+        assert!(
+            !report.verified(),
+            "mutation survived {} states",
+            report.states
+        );
+        assert_eq!(
+            report.violations[0].invariant,
+            HandoffInvariant::BillingIdentity
+        );
     }
 }

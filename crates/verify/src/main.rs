@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mdr-verify [--depth N] [--policy SPEC] [--lossless-only]
-//!            [--faults [DEPTH]] [--arq [DEPTH]] [--kill-suite]
+//!            [--faults [DEPTH]] [--arq [DEPTH]] [--handoff [DEPTH]]
+//!            [--kill-suite]
 //! ```
 //!
 //! Explores every interleaving of arrivals, deliveries and losses to the
@@ -14,7 +15,12 @@
 //! optional `DEPTH` bounds those passes separately (faulty exploration is
 //! denser — epoch bumps defeat cross-fault dedup — so it defaults to
 //! `min(depth, 12)`). With `--arq`, one pass per policy explores the ARQ
-//! transitions alone. Exits non-zero if any run finds a counterexample.
+//! transitions alone. With `--handoff`, the multi-cell mobility layer is
+//! model-checked separately: migration interleaved with backbone loss,
+//! duplicated/reordered commits, deadline aborts and crash/reconnect
+//! cycles, judged against single-owner-across-cells, no-lost-window and
+//! the handoff billing identity (see `docs/topology.md`). Exits non-zero
+//! if any run finds a counterexample.
 //!
 //! `--kill-suite` instead runs the fast mutation-detection battery that
 //! `cargo xtask mutate` uses to judge mutants (see
@@ -25,12 +31,15 @@
 
 use mdr_core::{run_spec, CostModel, PolicySpec, Schedule};
 use mdr_sim::Simulation;
-use mdr_verify::{check, default_roster, CheckConfig, Fault, Invariant};
+use mdr_verify::{
+    check, check_handoff, default_roster, handoff_sweep, CheckConfig, Fault, HandoffConfig,
+    HandoffFault, HandoffInvariant, Invariant,
+};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]] [--arq [DEPTH]] [--kill-suite]"
+        "usage: mdr-verify [--depth N] [--policy sw1|sw3|sw5|st1|st2|t1|t2] [--lossless-only] [--faults [DEPTH]] [--arq [DEPTH]] [--handoff [DEPTH]] [--kill-suite]"
     );
     std::process::exit(2);
 }
@@ -197,6 +206,57 @@ fn kill_suite() -> ExitCode {
             }
         }
     }
+    // Handoff layer: must-verify, then the seeded mutants that must be
+    // caught by the expected invariant.
+    entry(
+        "verify handoff 3-cell faulty+ghosts",
+        check_handoff(&HandoffConfig::new(3, 12).lossy().faulty().ghosts()).verified(),
+    );
+    let handoff_catches: &[(&str, HandoffConfig, &[HandoffInvariant])] = &[
+        (
+            "catch handoff skip-epoch-fence",
+            HandoffConfig::new(3, 14)
+                .faulty()
+                .ghosts()
+                .with_fault(HandoffFault::SkipEpochFence),
+            &[
+                HandoffInvariant::NoLostWindow,
+                HandoffInvariant::SingleOwnerAcrossCells,
+            ],
+        ),
+        (
+            "catch handoff skip-rollback",
+            HandoffConfig::new(2, 8)
+                .faulty()
+                .with_fault(HandoffFault::SkipRollback),
+            &[HandoffInvariant::SingleOwnerAcrossCells],
+        ),
+        (
+            "catch handoff commit-without-transfer",
+            HandoffConfig::new(2, 8).with_fault(HandoffFault::CommitWithoutTransfer),
+            &[HandoffInvariant::NoLostWindow],
+        ),
+        (
+            "catch handoff skip-invalidation",
+            HandoffConfig::new(3, 10).with_fault(HandoffFault::SkipInvalidation),
+            &[HandoffInvariant::BillingIdentity],
+        ),
+        (
+            "catch handoff free-leg",
+            HandoffConfig::new(2, 6).with_fault(HandoffFault::FreeHandoffLeg),
+            &[HandoffInvariant::BillingIdentity],
+        ),
+    ];
+    for (name, config, expected) in handoff_catches {
+        let report = check_handoff(config);
+        let caught = !report.verified()
+            && report
+                .violations
+                .first()
+                .is_some_and(|v| expected.contains(&v.invariant));
+        entry(name, caught);
+    }
+
     entry("protocol equals reference on schedules", equivalent);
 
     // The Poisson path with the oracle on asserts step equivalence
@@ -232,6 +292,44 @@ fn run_one(config: &CheckConfig, mode: &str) -> (usize, bool) {
     (report.states, report.verified())
 }
 
+/// Runs the multi-cell handoff sweep, printed as a table; returns
+/// success iff every run verified.
+fn run_handoff(depth: usize) -> ExitCode {
+    println!(
+        "{:<12} {:<24} {:>12} {:>12}  result",
+        "cells", "mode", "states", "transitions"
+    );
+    let mut total_states = 0usize;
+    let mut failed = false;
+    for report in handoff_sweep(depth) {
+        let mode = match (report.lossy, report.faulty, report.ghosts) {
+            (false, false, false) => "migrate",
+            (true, false, false) => "lossy",
+            (false, true, false) => "faulty",
+            (false, true, true) => "faulty+ghosts",
+            (true, true, true) => "lossy+faulty+ghosts",
+            _ => "mixed",
+        };
+        let result = if report.verified() {
+            "ok".to_string()
+        } else {
+            format!("VIOLATION: {}", report.violations[0])
+        };
+        println!(
+            "{:<12} {:<24} {:>12} {:>12}  {result}",
+            report.cells, mode, report.states, report.transitions
+        );
+        total_states += report.states;
+        failed |= !report.verified();
+    }
+    println!("total deduplicated handoff states at depth {depth}: {total_states}");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut depth = 18usize;
     let mut only_policy = None;
@@ -243,6 +341,20 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--kill-suite" => return kill_suite(),
+            "--handoff" => {
+                // Optional depth operand: `--handoff 12` or bare
+                // `--handoff` (denser than the wireless checker — the
+                // flight/ghost product defeats dedup — so it defaults
+                // lower).
+                let handoff_depth = match args.peek().and_then(|v| v.parse().ok()) {
+                    Some(value) => {
+                        args.next();
+                        value
+                    }
+                    None => depth.min(14),
+                };
+                return run_handoff(handoff_depth);
+            }
             "--depth" => {
                 let Some(value) = args.next() else { usage() };
                 let Ok(value) = value.parse() else { usage() };

@@ -414,6 +414,7 @@ pub(crate) fn target_files(root: &Path) -> Vec<String> {
         "crates/sim/src/protocol.rs",
         "crates/sim/src/faults.rs",
         "crates/sim/src/sim.rs",
+        "crates/sim/src/topology.rs",
         "crates/verify/src/invariants.rs",
     ] {
         if root.join(fixed).is_file() {

@@ -44,7 +44,7 @@ fn paper_reproduction_pipeline() {
 #[test]
 fn all_experiments_reproduce_in_fast_mode() {
     let experiments = mdr_bench::experiments::run_all(mdr_bench::RunCfg { fast: true });
-    assert_eq!(experiments.len(), 18);
+    assert_eq!(experiments.len(), mdr_bench::experiments::ALL_IDS.len());
     for e in &experiments {
         assert!(
             e.all_reproduced(),
