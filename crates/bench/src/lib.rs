@@ -17,9 +17,11 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod snapshot;
 pub mod sweep;
 pub mod table;
 
+pub use snapshot::{BenchSnapshot, RegressionVerdict};
 pub use table::{Experiment, Table};
 
 /// Global knob for experiment sizes: `fast` shrinks Monte-Carlo sizes to

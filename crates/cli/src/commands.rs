@@ -7,7 +7,7 @@ use mdr_analysis::dominance::{connection_winner, message_winner, Winner};
 use mdr_analysis::window_choice::{min_beneficial_k, recommend_k};
 use mdr_analysis::{average_expected_cost, competitive_factor, expected_cost};
 use mdr_bench::sweep::{e17_fault_plan, e18_arq, preset, summary_table};
-use mdr_bench::RunCfg;
+use mdr_bench::{BenchSnapshot, RunCfg};
 use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{ArqConfig, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, TopologyConfig};
@@ -445,6 +445,135 @@ pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mdr bench --preset e6|e17|e18|e19 [--baseline BENCH_e17.json]
+/// [--gate-pct 10] [--write-baseline on] [--full on] [--requests N]
+/// [--replications R] [--threads T] [--chunk C] [--format table|json]`
+///
+/// Measures a preset sweep with the typed perf API
+/// ([`SweepGrid::run_timed`]) and renders a [`BenchSnapshot`]: events
+/// processed, wall time, events/sec, and the deterministic ledger digest.
+/// With `--write-baseline on` the snapshot is written to the baseline
+/// path (default `BENCH_<preset>.json`); otherwise, when the baseline
+/// file exists, the measurement is gated against it — a throughput drop
+/// beyond `--gate-pct` percent, or *any* ledger-digest drift, is an
+/// error (non-zero exit), which is what the CI perf-gate job runs.
+pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
+    let Some(preset_name) = args.flags.get("preset") else {
+        return err("bench requires --preset e6|e17|e18|e19");
+    };
+    let cfg = RunCfg {
+        fast: args.get_or("full", "off") == "off",
+    };
+    let Some(grid) = preset(preset_name, cfg) else {
+        return err(format!(
+            "unknown preset {preset_name:?}; expected e6, e17, e18 or e19"
+        ));
+    };
+    let grid = match args.flags.get("replications") {
+        Some(r) => {
+            let r: usize = r
+                .parse()
+                .map_err(|_| CliError(format!("invalid replication count {r:?}")))?;
+            grid.replications(r).map_err(|e| CliError(e.to_string()))?
+        }
+        None => grid,
+    };
+    let grid = match args.flags.get("requests") {
+        Some(n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| CliError(format!("invalid request count {n:?}")))?;
+            grid.requests(n).map_err(|e| CliError(e.to_string()))?
+        }
+        None => grid,
+    };
+    let gate_pct: f64 = match args.flags.get("gate-pct") {
+        Some(p) => p
+            .parse()
+            .map_err(|_| CliError(format!("invalid gate percentage {p:?}")))?,
+        None => 10.0,
+    };
+    if !(0.0..100.0).contains(&gate_pct) {
+        return err(format!(
+            "gate percentage must lie in [0, 100), got {gate_pct}"
+        ));
+    }
+    let baseline_path = match args.get_or("baseline", "") {
+        "" => format!("BENCH_{preset_name}.json"),
+        path => path.to_owned(),
+    };
+
+    let options = SweepOptions {
+        threads: args.number("threads", 0)?,
+        chunk: args.number("chunk", 0)?,
+    };
+    let (report, stats) = grid.run_timed(options);
+    let snapshot = BenchSnapshot::new(
+        preset_name,
+        cfg.fast,
+        grid.requests_per_run(),
+        grid.runs(),
+        stats,
+        report.ledger_digest(),
+    );
+
+    let mut out = String::new();
+    match args.get_or("format", "table") {
+        "table" => {
+            let _ = writeln!(
+                out,
+                "bench {}/{}: {} runs x {} requests",
+                snapshot.preset, snapshot.mode, snapshot.runs, snapshot.requests
+            );
+            let _ = writeln!(
+                out,
+                "events {}   wall {:.2} ms   throughput {:.0} events/sec",
+                snapshot.events,
+                snapshot.wall_nanos as f64 / 1e6,
+                snapshot.events_per_sec
+            );
+            let _ = writeln!(out, "ledger digest: {}", snapshot.ledger_digest);
+        }
+        "json" => {
+            let _ = write!(out, "{}", snapshot.to_json());
+        }
+        other => {
+            return err(format!("unknown format {other:?}; expected table or json"));
+        }
+    }
+
+    if args.get_or("write-baseline", "off") == "on" {
+        std::fs::write(&baseline_path, snapshot.to_json())
+            .map_err(|e| CliError(format!("cannot write baseline {baseline_path:?}: {e}")))?;
+        let _ = writeln!(out, "baseline written: {baseline_path}");
+        return Ok(out);
+    }
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            let baseline = BenchSnapshot::parse(&text)
+                .map_err(|e| CliError(format!("baseline {baseline_path:?}: {e}")))?;
+            let verdict = snapshot.compare(&baseline, gate_pct);
+            let _ = writeln!(out, "gate vs {baseline_path}: {}", verdict.render());
+            if !verdict.passed() {
+                // The rendered measurement still matters on failure:
+                // print it before erroring so CI logs show the numbers.
+                print!("{out}");
+                return err(format!("perf gate failed: {}", verdict.render()));
+            }
+        }
+        Err(_) if args.flags.contains_key("baseline") => {
+            return err(format!("cannot read baseline {baseline_path:?}"));
+        }
+        Err(_) => {
+            let _ = writeln!(
+                out,
+                "no baseline at {baseline_path} (write one with --write-baseline on)"
+            );
+        }
+    }
+    Ok(out)
+}
+
 /// `mdr worst-case --policy SW5 --model message:0.5 [--max-len 13]
 /// [--cycles 300]`
 pub(crate) fn worst_case(args: &Args) -> Result<String, CliError> {
@@ -609,6 +738,7 @@ pub(crate) fn dispatch(args: &Args) -> Result<String, CliError> {
         "recommend" => recommend(args),
         "simulate" => simulate(args),
         "sweep" => sweep(args),
+        "bench" => bench(args),
         "worst-case" => worst_case(args),
         "trace" => trace(args),
         "multi" => multi(args),
@@ -639,6 +769,11 @@ subcommands:
              [--requests N] [--seed S] [--latency L] [--oracle on] [--threads T]
              [--chunk C] [--format table|ledger|json] [--full on]
              (deterministic parallel grid; stdout is byte-identical at any --threads)
+  bench      --preset e6|e17|e18|e19 [--baseline BENCH_e17.json] [--gate-pct 10]
+             [--write-baseline on] [--full on] [--requests N] [--replications R]
+             [--threads T] [--chunk C] [--format table|json]
+             (typed perf measurement: events, wall time, events/sec, ledger digest;
+              gates against a committed BENCH_*.json — digest drift always fails)
   worst-case --policy <P> [--model M] [--max-len L] [--cycles C]
   trace      --policy <P> --schedule rrwwr [--model M] per-request execution trace
   multi      --profile profile.json                    §7.2 optimal multi-object allocation

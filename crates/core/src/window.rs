@@ -15,6 +15,52 @@
 use crate::request::Request;
 use std::fmt;
 
+/// Bit words kept inline (no heap) — covers every window size the §4
+/// policies use in practice (`k ≤ 128`); larger windows spill to a heap
+/// allocation. Keeping the common case inline makes cloning a window —
+/// and with it cloning node state for checkpoints, and shipping windows
+/// inside wire messages — a flat memcpy on the simulator's hot path.
+const INLINE_WORDS: usize = 2;
+
+/// Backing storage for the window bits: inline words for `k ≤ 128`,
+/// heap-spilled words beyond. The variant is a function of `k` alone, so
+/// derived equality/hashing never compares across variants for windows
+/// of the same size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Bits {
+    /// `k ≤ 128`: words beyond `k.div_ceil(64)` stay zero.
+    Inline([u64; INLINE_WORDS]),
+    /// `k > 128`: exactly `k.div_ceil(64)` words.
+    Spill(Vec<u64>),
+}
+
+impl Bits {
+    /// Zeroed storage for `words` 64-bit words.
+    fn zeroed(words: usize) -> Self {
+        if words <= INLINE_WORDS {
+            Bits::Inline([0; INLINE_WORDS])
+        } else {
+            Bits::Spill(vec![0; words])
+        }
+    }
+
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match self {
+            Bits::Inline(a) => a,
+            Bits::Spill(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match self {
+            Bits::Inline(a) => a,
+            Bits::Spill(v) => v,
+        }
+    }
+}
+
 /// A sliding window over the last `k` relevant requests, `k` odd (§4).
 ///
 /// With `k` odd there is always a strict majority, and the paper's
@@ -30,11 +76,11 @@ use std::fmt;
 /// w.push(Request::Read);
 /// assert!(w.majority_reads()); // window is now [w, r, r]
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RequestWindow {
-    /// Bit i of `bits[i / 64]` holds the request at logical position
+    /// Bit i of word `i / 64` holds the request at logical position
     /// `(head + i) % k`... — see `at()` for the mapping. `true` = write.
-    bits: Vec<u64>,
+    bits: Bits,
     /// Window size (odd).
     k: usize,
     /// Index of the slot holding the *oldest* request.
@@ -59,9 +105,9 @@ impl RequestWindow {
         assert!(k >= 1, "window size k must be at least 1");
         assert!(k % 2 == 1, "window size k must be odd (paper §4), got {k}");
         let words = k.div_ceil(64);
-        let mut bits = vec![0u64; words];
+        let mut bits = Bits::zeroed(words);
         if fill.is_write() {
-            for (i, word) in bits.iter_mut().enumerate() {
+            for (i, word) in bits.words_mut()[..words].iter_mut().enumerate() {
                 let remaining = k - (i * 64).min(k);
                 *word = if remaining >= 64 {
                     u64::MAX
@@ -121,16 +167,17 @@ impl RequestWindow {
     /// Raw bit accessor: physical slot `slot`.
     #[inline]
     fn bit(&self, slot: usize) -> bool {
-        (self.bits[slot / 64] >> (slot % 64)) & 1 == 1
+        (self.bits.words()[slot / 64] >> (slot % 64)) & 1 == 1
     }
 
     #[inline]
     fn set_bit(&mut self, slot: usize, value: bool) {
         let mask = 1u64 << (slot % 64);
+        let word = &mut self.bits.words_mut()[slot / 64];
         if value {
-            self.bits[slot / 64] |= mask;
+            *word |= mask;
         } else {
-            self.bits[slot / 64] &= !mask;
+            *word &= !mask;
         }
     }
 
@@ -164,10 +211,77 @@ impl RequestWindow {
         dropped
     }
 
-    /// The window contents, oldest first — the representation shipped
-    /// between MC and SC on ownership handoff (§4).
+    /// The window contents, oldest first — the human-readable form of the
+    /// §4 bit sequence.
     pub fn to_requests(&self) -> Vec<Request> {
         (0..self.k).map(|i| self.at(i)).collect()
+    }
+
+    /// The same logical window re-based so the oldest request sits in
+    /// slot 0 (`head == 0`) — exactly the representation
+    /// [`from_requests`](Self::from_requests) builds. This is the form
+    /// shipped between MC and SC on ownership handoff (§4): re-basing at
+    /// the sender keeps the receiving side's representation (and thus
+    /// derived equality/hashing of node state, which the model checker
+    /// relies on for deduplication) independent of the sender's ring
+    /// position, without round-tripping through a heap-allocated request
+    /// vector.
+    pub fn canonical(&self) -> RequestWindow {
+        if self.head == 0 {
+            return self.clone();
+        }
+        let mut out = RequestWindow {
+            bits: Bits::zeroed(self.k.div_ceil(64)),
+            k: self.k,
+            head: 0,
+            writes: self.writes,
+        };
+        for i in 0..self.k {
+            if self.at(i).is_write() {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+}
+
+// Hand-written (de)serialization keeping the exact field layout the
+// pre-inline-storage representation derived (`bits` as a word array of
+// length `k.div_ceil(64)`), so snapshots round-trip across the storage
+// change.
+impl serde::Serialize for RequestWindow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "bits".into(),
+                self.bits.words()[..self.k.div_ceil(64)].to_vec().to_value(),
+            ),
+            ("k".into(), self.k.to_value()),
+            ("head".into(), self.head.to_value()),
+            ("writes".into(), self.writes.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RequestWindow {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = serde::de_object(value, "RequestWindow")?;
+        let words_vec: Vec<u64> = serde::de_field(fields, "bits", "RequestWindow")?;
+        let k: usize = serde::de_field(fields, "k", "RequestWindow")?;
+        let head: usize = serde::de_field(fields, "head", "RequestWindow")?;
+        let writes: usize = serde::de_field(fields, "writes", "RequestWindow")?;
+        let words = k.div_ceil(64);
+        if k == 0 || k % 2 == 0 || words_vec.len() != words || head >= k || writes > k {
+            return Err(serde::Error::custom("malformed request window"));
+        }
+        let mut bits = Bits::zeroed(words);
+        bits.words_mut()[..words].copy_from_slice(&words_vec);
+        Ok(RequestWindow {
+            bits,
+            k,
+            head,
+            writes,
+        })
     }
 }
 
@@ -280,6 +394,89 @@ mod tests {
         }
         for i in 64..129 {
             assert_eq!(w.at(i), Request::Read, "position {i}");
+        }
+    }
+
+    #[test]
+    fn canonical_rebases_without_changing_contents() {
+        let mut w = RequestWindow::filled(5, Request::Read);
+        // Push a non-multiple of k so the ring head lands mid-array.
+        for &r in &[Request::Write, Request::Read, Request::Write] {
+            w.push(r);
+        }
+        assert_ne!(w.head, 0, "the test needs a rotated ring to be meaningful");
+        let canon = w.canonical();
+        // Same logical window...
+        assert_eq!(canon.to_requests(), w.to_requests());
+        assert_eq!(canon.writes(), w.writes());
+        assert_eq!(canon.k(), w.k());
+        // ...in the exact representation `from_requests` builds, so the
+        // derived equality the model checker dedups on sees them as one.
+        assert_eq!(canon.head, 0);
+        assert_eq!(canon, RequestWindow::from_requests(&w.to_requests()));
+        // Re-canonicalising is a fixed point.
+        assert_eq!(canon.canonical(), canon);
+    }
+
+    #[test]
+    fn canonical_spill_window_rebases_too() {
+        let mut w = RequestWindow::filled(129, Request::Write);
+        for _ in 0..70 {
+            w.push(Request::Read);
+        }
+        let canon = w.canonical();
+        assert_eq!(canon.head, 0);
+        assert_eq!(canon.to_requests(), w.to_requests());
+        assert_eq!(canon, RequestWindow::from_requests(&w.to_requests()));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_ring_state() {
+        // Inline storage with a rotated head, and spill storage (k = 129):
+        // both must round-trip to the identical struct, ring position
+        // included.
+        let mut small = RequestWindow::filled(5, Request::Read);
+        small.push(Request::Write);
+        small.push(Request::Read);
+        let mut large = RequestWindow::filled(129, Request::Write);
+        for _ in 0..65 {
+            large.push(Request::Read);
+        }
+        for w in [small, large] {
+            let value = serde::Serialize::to_value(&w);
+            let back: RequestWindow =
+                serde::Deserialize::from_value(&value).expect("roundtrip parses");
+            assert_eq!(back, w);
+            assert_eq!(back.head, w.head);
+            assert_eq!(back.to_requests(), w.to_requests());
+        }
+    }
+
+    #[test]
+    fn serde_rejects_malformed_windows() {
+        let valid = serde::Serialize::to_value(&RequestWindow::filled(3, Request::Read));
+        let corrupt = |field: &str, v: u64| {
+            let serde::Value::Object(mut fields) = valid.clone() else {
+                panic!("windows serialize to objects")
+            };
+            for (name, slot) in &mut fields {
+                if name == field {
+                    *slot = serde::Serialize::to_value(&(v as usize));
+                }
+            }
+            serde::Value::Object(fields)
+        };
+        for bad in [
+            corrupt("k", 0),      // zero size
+            corrupt("k", 4),      // even size
+            corrupt("k", 129),    // word count no longer matches the bits array
+            corrupt("head", 3),   // head out of range
+            corrupt("writes", 4), // more writes than slots
+        ] {
+            assert!(
+                <RequestWindow as serde::Deserialize>::from_value(&bad).is_err(),
+                "malformed window accepted: {bad:?}"
+            );
         }
     }
 

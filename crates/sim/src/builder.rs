@@ -332,13 +332,13 @@ mod tests {
         assert_eq!(
             SimBuilder::new(PolicySpec::St1)
                 .and_then(|b| b.loss(0.1, 0.05, 1))
-                .and_then(|b| b.arq(arq.clone()))
+                .and_then(|b| b.arq(arq))
                 .unwrap_err(),
             ConfigError::ConflictingLinkModels
         );
         assert_eq!(
             SimBuilder::new(PolicySpec::St1)
-                .and_then(|b| b.arq(arq.clone()))
+                .and_then(|b| b.arq(arq))
                 .and_then(|b| b.loss(0.1, 0.05, 1))
                 .unwrap_err(),
             ConfigError::ConflictingLinkModels
@@ -373,8 +373,8 @@ mod tests {
         // topology after arq
         assert!(matches!(
             SimBuilder::new(PolicySpec::St1)
-                .and_then(|b| b.arq(arq.clone()))
-                .and_then(|b| b.topology(short.clone()))
+                .and_then(|b| b.arq(arq))
+                .and_then(|b| b.topology(short))
                 .unwrap_err(),
             ConfigError::HandoffDeadline { deadline, rto: r }
                 if deadline.total_cmp(&(rto / 2.0)).is_eq() && r.total_cmp(&rto).is_eq()
@@ -383,7 +383,7 @@ mod tests {
         assert!(matches!(
             SimBuilder::new(PolicySpec::St1)
                 .and_then(|b| b.topology(short))
-                .and_then(|b| b.arq(arq.clone()))
+                .and_then(|b| b.arq(arq))
                 .unwrap_err(),
             ConfigError::HandoffDeadline { .. }
         ));

@@ -440,7 +440,7 @@ impl FaultPlan {
 ///     .and_then(|a| a.with_degrade_deadline(2.0));
 /// assert!(arq.is_ok());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct ArqConfig {
     /// Per-attempt probability that the envelope (or its ack) is lost.
     /// Unlike the instant loss model, the full closed interval `[0, 1]`
@@ -696,7 +696,7 @@ mod tests {
     fn arq_backoff_factor_is_validated() {
         let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
         for bad in [0.5, 0.0, -2.0, f64::NAN, f64::INFINITY] {
-            let err = base.clone().with_backoff(bad, 0.0).unwrap_err();
+            let err = base.with_backoff(bad, 0.0).unwrap_err();
             assert!(
                 matches!(err, ConfigError::BackoffFactor { value } if value.total_cmp(&bad).is_eq()),
                 "{err}"
@@ -708,7 +708,7 @@ mod tests {
     fn arq_jitter_is_validated() {
         let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
         for bad in [-0.1, 1.0, 1.5, f64::NAN] {
-            let err = base.clone().with_backoff(2.0, bad).unwrap_err();
+            let err = base.with_backoff(2.0, bad).unwrap_err();
             assert!(
                 matches!(err, ConfigError::Jitter { value } if value.total_cmp(&bad).is_eq()),
                 "{err}"
@@ -720,7 +720,7 @@ mod tests {
     fn arq_retry_budget_is_validated() {
         let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
         assert_eq!(
-            base.clone().with_retry_budget(0).unwrap_err(),
+            base.with_retry_budget(0).unwrap_err(),
             ConfigError::ZeroRetryBudget
         );
         assert!(base.with_retry_budget(1).is_ok());
@@ -730,7 +730,7 @@ mod tests {
     fn arq_degrade_deadline_is_validated() {
         let base = ArqConfig::new(0.1, 0.05, 0).unwrap();
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
-            let err = base.clone().with_degrade_deadline(bad).unwrap_err();
+            let err = base.with_degrade_deadline(bad).unwrap_err();
             assert!(
                 matches!(err, ConfigError::DegradeDeadline { value } if value.total_cmp(&bad).is_eq()),
                 "{err}"

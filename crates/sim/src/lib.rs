@@ -35,9 +35,11 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+pub mod calendar;
 mod estimate;
 mod faults;
 mod nodes;
+pub mod perf;
 mod protocol;
 mod sim;
 pub mod sweep;

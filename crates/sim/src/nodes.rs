@@ -97,7 +97,7 @@ impl StationaryNode {
                 if w.majority_reads() {
                     // §4: piggyback the save indication and the window; the
                     // MC takes charge from here.
-                    let window = w.to_requests();
+                    let window = w.canonical();
                     self.charge = ScCharge::Idle;
                     self.mc_has_copy = true;
                     WireMessage::data_response(self.version, true, Some(window))
@@ -215,7 +215,7 @@ impl StationaryNode {
     /// Handles a delete-request from the MC (after a propagated write
     /// flipped the window majority, or T2m's streak completed). For window
     /// policies the SC takes charge of the shipped window.
-    pub fn handle_delete_request(&mut self, window: Option<Vec<Request>>) {
+    pub fn handle_delete_request(&mut self, window: Option<RequestWindow>) {
         debug_assert!(
             self.mc_has_copy,
             "delete-request without a replica outstanding"
@@ -223,10 +223,10 @@ impl StationaryNode {
         self.mc_has_copy = false;
         match self.policy {
             PolicySpec::SlidingWindow { .. } => {
-                let Some(reqs) = window else {
+                let Some(w) = window else {
                     panic!("window policies piggyback the window on delete-requests")
                 };
-                self.charge = ScCharge::Window(RequestWindow::from_requests(&reqs));
+                self.charge = ScCharge::Window(w);
             }
             PolicySpec::T2 { .. } => {
                 self.charge = ScCharge::Idle;
@@ -316,16 +316,16 @@ impl MobileNode {
         &mut self,
         version: u64,
         allocate: bool,
-        window: Option<Vec<Request>>,
+        window: Option<RequestWindow>,
     ) -> u64 {
         if allocate {
             self.cache = Some(version);
             match self.policy {
                 PolicySpec::SlidingWindow { .. } => {
-                    let Some(reqs) = window else {
+                    let Some(w) = window else {
                         panic!("window policies piggyback the window on allocation")
                     };
-                    self.charge = McCharge::Window(RequestWindow::from_requests(&reqs));
+                    self.charge = McCharge::Window(w);
                 }
                 PolicySpec::T2 { .. } => {
                     self.charge = McCharge::WriteStreak(0);
@@ -354,7 +354,7 @@ impl MobileNode {
                 } else {
                     // Writes outnumber reads: deallocate, shipping the
                     // window back (§4).
-                    let window = w.to_requests();
+                    let window = w.canonical();
                     self.cache = None;
                     self.charge = McCharge::Idle;
                     Some(WireMessage::delete_request(Some(window)))
@@ -443,7 +443,7 @@ mod tests {
                 window: Some(w),
                 version,
             } => {
-                assert_eq!(w.iter().filter(|r| r.is_read()).count(), 2);
+                assert_eq!(w.reads(), 2);
                 mc.handle_data_response(version, true, Some(w));
             }
             other => panic!("unexpected {other:?}"),

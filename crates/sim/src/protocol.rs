@@ -216,12 +216,14 @@ impl ProtocolState {
             "request submitted while the reconnection handshake is in progress"
         );
         // Snapshot both nodes so a faulted exchange can be rolled back to
-        // its submission state and retried (`abort_exchange`). Inline
-        // completions drop the snapshot immediately.
-        self.checkpoint = Some(Checkpoint {
-            sc: self.sc.clone(),
-            mc: self.mc.clone(),
-        });
+        // its submission state and retried (`abort_exchange`). Only
+        // exchanges that put a message on the wire can be aborted, so the
+        // snapshot is taken lazily on exactly those paths — an inline
+        // completion (local read, silent write) never pays for the two
+        // node clones it would immediately drop. A read goes remote iff
+        // the MC lacks a copy; a write propagates iff the MC holds one —
+        // both conditions are known *before* the nodes mutate, so the
+        // snapshot still captures the pristine submission state.
         match request {
             Request::Read => {
                 if self.mc.has_copy() {
@@ -234,17 +236,29 @@ impl ProtocolState {
                     );
                     self.complete(Action::LocalRead)
                 } else {
+                    self.checkpoint = Some(Checkpoint {
+                        sc: self.sc.clone(),
+                        mc: self.mc.clone(),
+                    });
                     self.serving = Some(Request::Read);
                     self.send(Endpoint::Stationary, WireMessage::read_request())
                 }
             }
-            Request::Write => match self.sc.handle_local_write() {
-                None => self.complete(Action::SilentWrite),
-                Some(message) => {
-                    self.serving = Some(Request::Write);
-                    self.send(Endpoint::Mobile, message)
+            Request::Write => {
+                if self.sc.mc_has_copy() {
+                    self.checkpoint = Some(Checkpoint {
+                        sc: self.sc.clone(),
+                        mc: self.mc.clone(),
+                    });
                 }
-            },
+                match self.sc.handle_local_write() {
+                    None => self.complete(Action::SilentWrite),
+                    Some(message) => {
+                        self.serving = Some(Request::Write);
+                        self.send(Endpoint::Mobile, message)
+                    }
+                }
+            }
         }
     }
 

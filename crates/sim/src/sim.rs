@@ -11,13 +11,14 @@
 //! to the pure-policy replay — an equivalence this crate asserts at runtime
 //! in oracle mode and the workspace re-checks in integration tests.
 
+use crate::calendar::{key_lt, CalendarQueue};
 use crate::faults::{ArqConfig, FaultKind, FaultPlan};
+use crate::perf::{BatchedF64, PerfStats, Stopwatch};
 use crate::protocol::{Envelope, ProtocolState, StepOutcome};
 use crate::topology::{HandoffLeg, HandoffSnapshot, TopologyConfig};
 use crate::workload::{Arrival, ArrivalProcess};
 use mdr_core::{Action, ActionCounts, AllocationPolicy, CostModel, PolicySpec, Request, Schedule};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -229,6 +230,11 @@ pub struct SimReport {
     /// Online invariant checks the [`InvariantMonitor`] performed during
     /// the run.
     pub invariant_checks: u64,
+    /// Events the simulation loop processed — a deterministic fact of
+    /// config, workload and seeds (the denominator-free half of the
+    /// [`perf`](crate::perf) measurements; wall time stays out of the
+    /// report so serial and parallel sweeps compare equal).
+    pub events_processed: u64,
     /// Cell handoffs the MC performed (0 without the mobility model).
     pub handoffs: u64,
     /// Disconnection windows injected by the fault plan.
@@ -497,12 +503,15 @@ enum Event {
     /// delivery time ([`ProtocolState::receive`]): faults leave ghost
     /// deliveries in the queue — duplicates, reordered stale copies, and
     /// envelopes a disconnection destroyed — which self-discard against
-    /// the protocol's epoch/sequence guards.
-    Deliver(Envelope),
+    /// the protocol's epoch/sequence guards. The payload is a slot index
+    /// into the simulation's [`EnvelopePool`], so a queued delivery is a
+    /// handful of bytes instead of a cloned envelope.
+    Deliver(u32),
     /// A ghost copy the network injected (duplication or stale reordering).
     /// Ghosts are never billed and are only counted as duplicated when they
-    /// actually land (a run may end with ghosts still in the air).
-    GhostDeliver(Envelope),
+    /// actually land (a run may end with ghosts still in the air). Ghost
+    /// copies share the original delivery's pool slot.
+    GhostDeliver(u32),
     /// The MC crosses into another cell.
     Handoff,
     /// A fault from the [`FaultPlan`] severs the link.
@@ -557,56 +566,98 @@ enum Event {
 
 impl Event {
     /// Actor rank for same-instant ties, the first tie-break after time
-    /// (see [`Scheduled`]'s `Ord`): the network/SC actor (an injected
-    /// outage severing the link) resolves first, ordinary protocol and
-    /// workload events second, and MC-side timers (retransmission timers,
-    /// handoff deadlines) last. This pins the documented order for the
-    /// corner where an SC outage and a simultaneous MC-side event land at
-    /// the same instant — the outage wins, deterministically, instead of
-    /// depending on scheduling order.
+    /// in the [`CalendarQueue`]'s `(time, actor-id, seq)` order: the
+    /// network/SC actor (an injected outage severing the link) resolves
+    /// first, ordinary protocol and workload events second, and MC-side
+    /// timers (retransmission timers, handoff deadlines) last. This pins
+    /// the documented order for the corner where an SC outage and a
+    /// simultaneous MC-side event land at the same instant — the outage
+    /// wins, deterministically, instead of depending on scheduling order.
     fn actor_rank(&self) -> u8 {
         match self {
             Event::LinkDown => 0,
             Event::ArqTimeout { .. }
             | Event::HandoffRetry { .. }
             | Event::HandoffDeadline { .. } => 2,
-            _ => 1,
+            _ => PROTOCOL_RANK,
         }
     }
 }
 
-/// Heap entry ordered by (time, actor-id, seq): earliest first, the
-/// network/SC actor before MC-side actors within an instant (see
-/// [`Event::actor_rank`]), FIFO within the remaining ties.
-struct Scheduled {
-    at: f64,
-    seq: u64,
-    event: Event,
+/// The [`Event::actor_rank`] of ordinary protocol and workload events —
+/// in particular of arrivals and deliveries, the two event kinds the run
+/// loop stages outside the calendar queue.
+const PROTOCOL_RANK: u8 = 1;
+
+/// Which source holds the earliest pending event: one of the two staged
+/// slots, or the calendar queue's head.
+#[derive(Clone, Copy)]
+enum NextEvent {
+    StagedArrival,
+    StagedDelivery,
+    Queue,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Slab of envelopes awaiting delivery. A transmission parks its envelope
+/// here once and the scheduled [`Event::Deliver`]/[`Event::GhostDeliver`]
+/// copies carry the slot index; the reference count (original + ghosts)
+/// lets the last delivery move the envelope out without cloning — the hot
+/// ghost-free path never copies an envelope at all. Slots are recycled
+/// through a free list, so a long run touches a handful of slots forever.
+struct EnvelopePool {
+    slots: Vec<Option<Envelope>>,
+    refs: Vec<u32>,
+    free: Vec<u32>,
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl EnvelopePool {
+    fn new() -> Self {
+        EnvelopePool {
+            slots: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+        }
     }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, actor-id, seq). The actor rank
-        // documents and pins the tie-break for simultaneous faults: an SC
-        // outage scheduled at the same instant as an MC-side timer resolves
-        // strictly first (satellite of the multi-cell topology work).
-        other
-            .at
-            .partial_cmp(&self.at)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.event.actor_rank().cmp(&self.event.actor_rank()))
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    /// Parks `envelope` under `refs` pending deliveries and returns its
+    /// slot.
+    fn insert(&mut self, envelope: Envelope, refs: u32) -> u32 {
+        debug_assert!(refs >= 1, "a pooled envelope needs at least one taker");
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(envelope);
+                self.refs[slot as usize] = refs;
+                slot
+            }
+            None => {
+                self.slots.push(Some(envelope));
+                self.refs.push(refs);
+                let Ok(slot) = u32::try_from(self.slots.len() - 1) else {
+                    unreachable!("pool slots outnumbered u32::MAX in-flight envelopes")
+                };
+                slot
+            }
+        }
+    }
+
+    /// Redeems one scheduled delivery of the envelope in `slot`: the last
+    /// taker moves the envelope out and recycles the slot, earlier takers
+    /// (ghost copies sharing it) receive a clone.
+    fn take(&mut self, slot: u32) -> Envelope {
+        let index = slot as usize;
+        self.refs[index] -= 1;
+        if self.refs[index] == 0 {
+            let Some(envelope) = self.slots[index].take() else {
+                unreachable!("pool slot redeemed past its reference count")
+            };
+            self.free.push(slot);
+            envelope
+        } else {
+            let Some(envelope) = self.slots[index].as_ref() else {
+                unreachable!("pool slot redeemed past its reference count")
+            };
+            envelope.clone()
+        }
     }
 }
 
@@ -617,8 +668,29 @@ pub struct Simulation {
     /// event loop only adds time, queueing and billing on top.
     protocol: ProtocolState,
     oracle: Option<Box<dyn AllocationPolicy>>,
-    events: BinaryHeap<Scheduled>,
+    events: CalendarQueue<Event>,
+    /// Envelopes parked between transmission and delivery, indexed by the
+    /// slot the queued [`Event::Deliver`]/[`Event::GhostDeliver`] carries.
+    pool: EnvelopePool,
     seq: u64,
+    /// The next workload arrival, staged outside the calendar under the
+    /// `(time, seq)` key (rank 1) the queued [`Event::Arrival`] would have
+    /// carried. At most one future arrival is known at a time, so in the
+    /// steady state arrivals never touch the queue at all: the run loop
+    /// picks the earliest of the staged events and the queue head.
+    staged_arrival: Option<(f64, u64, Arrival)>,
+    /// A ghost-free delivery staged outside the calendar and the pool,
+    /// same scheme. The §3 exchange serialization leaves at most one
+    /// envelope in the air, so the fault-free hot path pays neither a
+    /// queue round trip nor a pool slot per delivery; ghost-bearing
+    /// deliveries (and a rare second in-flight envelope under ARQ
+    /// retransmission) still go through the queue.
+    staged_delivery: Option<(f64, u64, Envelope)>,
+    /// Events the run loop has processed over the simulation's lifetime
+    /// (a deterministic fact of config + workload + seeds, surfaced on
+    /// [`SimReport::events_processed`] and the [`perf`](crate::perf)
+    /// measurements).
+    events_processed: u64,
     /// Arrivals waiting for the in-flight exchange to finish.
     pending: VecDeque<Arrival>,
     in_flight: Option<Exchange>,
@@ -629,9 +701,13 @@ pub struct Simulation {
     control_messages: u64,
     queued_requests: u64,
     retransmissions: u64,
-    link_rng: Option<rand::rngs::StdRng>,
-    mobility_rng: Option<rand::rngs::StdRng>,
+    link_rng: Option<BatchedF64>,
+    mobility_rng: Option<BatchedF64>,
     current_cell: usize,
+    /// Cached `cell_extra_latency[current_cell]` (0 without the mobility
+    /// model), so the per-transmit hot path reads one `f64` instead of
+    /// indexing through the config.
+    cell_extra: f64,
     handoffs: u64,
     read_latency_sum: f64,
     reads_completed: u64,
@@ -640,7 +716,7 @@ pub struct Simulation {
     /// stops exactly there, even mid-drain).
     target: usize,
     // --- fault injection (None / quiescent without a FaultPlan) ---
-    fault_rng: Option<rand::rngs::StdRng>,
+    fault_rng: Option<BatchedF64>,
     /// Whether the initial link-down has been scheduled (once per
     /// simulation, not per `run` call).
     fault_primed: bool,
@@ -678,7 +754,7 @@ pub struct Simulation {
     /// per ARQ retransmission (connection model: every retransmit re-dials).
     extra_connections: u64,
     // --- ARQ transport (None / quiescent without an ArqConfig) ---
-    arq_rng: Option<rand::rngs::StdRng>,
+    arq_rng: Option<BatchedF64>,
     /// The envelope currently awaiting acknowledgement, if any (stop-and-
     /// wait: at most one).
     arq_outstanding: Option<ArqOutstanding>,
@@ -704,11 +780,11 @@ pub struct Simulation {
     recoveries: u64,
     // --- multi-cell topology (None / quiescent without a TopologyConfig) ---
     /// Dwell times, destination cells, and handoff-leg loss/jitter draws.
-    topology_rng: Option<rand::rngs::StdRng>,
+    topology_rng: Option<BatchedF64>,
     /// Commit duplication/reordering draws. A separate stream so turning
     /// ghosts on cannot perturb the legs' loss fates — the idempotence
     /// property in `properties.rs` relies on this.
-    topology_ghost_rng: Option<rand::rngs::StdRng>,
+    topology_ghost_rng: Option<BatchedF64>,
     /// The cell the MC currently sits in (distinct from `current_cell`,
     /// the latency-only cellular model's position).
     mc_cell: usize,
@@ -791,39 +867,36 @@ struct HandoffFlight {
 impl Simulation {
     /// Creates a simulation in the policy's initial state.
     pub fn new(config: SimConfig) -> Self {
-        use rand::SeedableRng;
-        let link_rng = config
-            .loss
-            .map(|l| rand::rngs::StdRng::seed_from_u64(l.seed));
-        let mobility_rng = config
-            .mobility
-            .as_ref()
-            .map(|m| rand::rngs::StdRng::seed_from_u64(m.seed));
-        let fault_rng = config
-            .faults
-            .as_ref()
-            .map(|f| rand::rngs::StdRng::seed_from_u64(f.seed));
-        let arq_rng = config
-            .arq
-            .as_ref()
-            .map(|a| rand::rngs::StdRng::seed_from_u64(a.seed));
-        let topology_rng = config
-            .topology
-            .as_ref()
-            .map(|t| rand::rngs::StdRng::seed_from_u64(t.seed));
+        // Every stream head below goes through `BatchedF64::new`, which
+        // seeds the same SplitMix64-expanded `StdRng` the unbatched
+        // simulator used — stream identity is pinned by the ledger-digest
+        // regression tests.
+        let link_rng = config.loss.map(|l| BatchedF64::new(l.seed));
+        let mobility_rng = config.mobility.as_ref().map(|m| BatchedF64::new(m.seed));
+        let fault_rng = config.faults.as_ref().map(|f| BatchedF64::new(f.seed));
+        let arq_rng = config.arq.as_ref().map(|a| BatchedF64::new(a.seed));
+        let topology_rng = config.topology.as_ref().map(|t| BatchedF64::new(t.seed));
         // Salted so the ghost stream is independent of the leg stream.
         let topology_ghost_rng = config
             .topology
             .as_ref()
-            .map(|t| rand::rngs::StdRng::seed_from_u64(t.seed ^ 0x9e37_79b9_7f4a_7c15));
+            .map(|t| BatchedF64::new(t.seed ^ 0x9e37_79b9_7f4a_7c15));
+        let cell_extra = config
+            .mobility
+            .as_ref()
+            .map_or(0.0, |m| m.cell_extra_latency[0]);
         let home_cell = config.topology.as_ref().map_or(0, |t| t.home_cell);
         let cells = config.topology.as_ref().map_or(1, |t| t.cells);
         Simulation {
             protocol: ProtocolState::new(config.policy),
             oracle: config.oracle_check.then(|| config.policy.build()),
             config,
-            events: BinaryHeap::new(),
+            events: CalendarQueue::new(),
+            pool: EnvelopePool::new(),
             seq: 0,
+            staged_arrival: None,
+            staged_delivery: None,
+            events_processed: 0,
             pending: VecDeque::new(),
             in_flight: None,
             now: 0.0,
@@ -835,6 +908,7 @@ impl Simulation {
             link_rng,
             mobility_rng,
             current_cell: 0,
+            cell_extra,
             handoffs: 0,
             read_latency_sum: 0.0,
             reads_completed: 0,
@@ -898,11 +972,66 @@ impl Simulation {
 
     fn push_event(&mut self, at: f64, event: Event) {
         self.seq += 1;
-        self.events.push(Scheduled {
-            at,
-            seq: self.seq,
-            event,
-        });
+        let rank = event.actor_rank();
+        self.events.push(at, rank, self.seq, event);
+    }
+
+    /// Fetches the next arrival from the workload and stages it (or, when
+    /// a staged arrival is already pending from an earlier `run` call,
+    /// queues it behind that one). Consumes a `seq` either way, at the
+    /// exact point the old queue-everything loop consumed it, so event
+    /// keys — and therefore tie-breaks and digests — are unchanged.
+    fn stage_next_arrival(&mut self, workload: &mut dyn ArrivalProcess, limit: RunLimit) {
+        match workload.next_arrival() {
+            Some(a) if !matches!(limit, RunLimit::Time(t) if a.time > t) => {
+                if self.staged_arrival.is_none() {
+                    self.seq += 1;
+                    self.staged_arrival = Some((a.time, self.seq, a));
+                } else {
+                    self.push_event(a.time, Event::Arrival(a));
+                }
+            }
+            _ => self.arrivals_done = true,
+        }
+    }
+
+    /// Processes one arrival: stage its successor first (so service never
+    /// starves), then begin service, shed, or queue it.
+    fn handle_arrival(
+        &mut self,
+        arrival: Arrival,
+        workload: &mut dyn ArrivalProcess,
+        limit: RunLimit,
+    ) {
+        self.stage_next_arrival(workload, limit);
+        if self.can_begin_service(arrival.request) {
+            self.begin_service(arrival);
+        } else if self.degraded()
+            && self.pending.is_empty()
+            && self.suspended.is_none()
+            && self.needs_wire(arrival.request)
+        {
+            // Degraded mode: a wire-needing request is shed with a typed
+            // outcome instead of queueing behind a partition of unknown
+            // length. (With a non-empty queue the earlier entries were
+            // already shed or are locally servable, so this branch keeps
+            // FIFO intact.)
+            self.shed_request(arrival, ShedReason::DegradedPartition);
+        } else if self.handoff_stuck
+            && self.pending.is_empty()
+            && self.suspended.is_none()
+            && self.needs_wire(arrival.request)
+        {
+            // A handoff stuck past its deadline degrades the same way:
+            // ownership is mid-migration, so a wire-needing request is
+            // shed instead of queueing behind a handoff of unknown
+            // length. Reads the MC can serve from its copy still go
+            // through (stale, from the origin cell).
+            self.shed_request(arrival, ShedReason::HandoffStuck);
+        } else {
+            self.queued_requests += 1;
+            self.pending.push_back(arrival);
+        }
     }
 
     /// Bills and schedules the delivery of an envelope the protocol just put
@@ -916,16 +1045,15 @@ impl Simulation {
     /// billed: they are a delivery artifact, not a send, and the protocol's
     /// epoch/sequence guards discard them — which is exactly the property
     /// the `properties.rs` proptests pin down.
-    fn transmit(&mut self, envelope: &Envelope, reconciliation: bool) {
+    fn transmit(&mut self, envelope: Envelope, reconciliation: bool) {
         if self.config.arq.is_some() {
             self.transmit_arq(envelope, reconciliation, 1);
             return;
         }
         let attempts = match (self.config.loss, &mut self.link_rng) {
             (Some(loss), Some(rng)) => {
-                use rand::RngExt;
                 let mut attempts = 1u64;
-                while rng.random::<f64>() < loss.loss_probability {
+                while rng.draw() < loss.loss_probability {
                     attempts += 1;
                 }
                 attempts
@@ -949,47 +1077,48 @@ impl Simulation {
             self.exchange_retrans += attempts - 1;
         }
         let retry_delay = (attempts - 1) as f64 * self.config.loss.map_or(0.0, |l| l.retry_timeout);
-        let cell_extra = self
-            .config
-            .mobility
-            .as_ref()
-            .map_or(0.0, |m| m.cell_extra_latency[self.current_cell]);
-        let arrives = self.now + retry_delay + self.config.latency + cell_extra;
-        self.push_event(arrives, Event::Deliver(envelope.clone()));
-        self.inject_ghosts(envelope, arrives);
+        let arrives = self.now + retry_delay + self.config.latency + self.cell_extra;
+        self.schedule_delivery(envelope, arrives);
     }
 
-    /// Schedules ghost copies (duplication, stale reordering) of a
-    /// delivered envelope when a fault plan asks for them. Ghosts are
-    /// scheduled but never billed: they are a delivery artifact, not a
-    /// send, and the protocol's epoch/sequence guards discard them.
-    fn inject_ghosts(&mut self, envelope: &Envelope, arrives: f64) {
+    /// Parks the envelope in the pool and schedules its delivery plus any
+    /// ghost copies (duplication, stale reordering) a fault plan asks for.
+    /// Ghost fates are drawn up front so the pool slot's reference count
+    /// covers every scheduled taker; the fault stream sees the draws in
+    /// the same order as ever. Ghosts are scheduled but never billed: they
+    /// are a delivery artifact, not a send, and the protocol's
+    /// epoch/sequence guards discard them.
+    fn schedule_delivery(&mut self, envelope: Envelope, arrives: f64) {
         let (duplicate, reorder) = match (self.config.faults.as_ref(), self.fault_rng.as_mut()) {
-            (Some(plan), Some(rng)) => {
-                use rand::RngExt;
-                (
-                    plan.duplication > 0.0 && rng.random::<f64>() < plan.duplication,
-                    plan.reorder > 0.0 && rng.random::<f64>() < plan.reorder,
-                )
-            }
+            (Some(plan), Some(rng)) => (
+                plan.duplication > 0.0 && rng.draw() < plan.duplication,
+                plan.reorder > 0.0 && rng.draw() < plan.reorder,
+            ),
             _ => (false, false),
         };
+        if !duplicate && !reorder && self.staged_delivery.is_none() {
+            // The common ghost-free case: stage the sole in-flight
+            // delivery outside the queue and the pool. It is consumed in
+            // exact `(time, rank, seq)` order by the run loop's
+            // three-way pick, under the very seq it would have queued
+            // with — so billing, tie-breaks and digests are unchanged.
+            self.seq += 1;
+            self.staged_delivery = Some((arrives, self.seq, envelope));
+            return;
+        }
+        let refs = 1 + u32::from(duplicate) + u32::from(reorder);
+        let slot = self.pool.insert(envelope, refs);
+        self.push_event(arrives, Event::Deliver(slot));
         let latency = self.config.latency;
         if duplicate {
             // The copy takes a marginally longer path and arrives right
             // behind the original: a straight duplicate.
-            self.push_event(
-                arrives + 0.25 * latency + 1e-6,
-                Event::GhostDeliver(envelope.clone()),
-            );
+            self.push_event(arrives + 0.25 * latency + 1e-6, Event::GhostDeliver(slot));
         }
         if reorder {
             // The copy is held up long enough to land behind *subsequent*
             // traffic: a genuinely out-of-order stale delivery.
-            self.push_event(
-                arrives + 2.5 * latency + 1e-3,
-                Event::GhostDeliver(envelope.clone()),
-            );
+            self.push_event(arrives + 2.5 * latency + 1e-3, Event::GhostDeliver(slot));
         }
     }
 
@@ -998,15 +1127,14 @@ impl Simulation {
     /// arm the backoff timer. `attempts` counts this transmission (1 = the
     /// original send); retransmissions re-enter here from
     /// [`Simulation::handle_arq_timeout`].
-    fn transmit_arq(&mut self, envelope: &Envelope, reconciliation: bool, attempts: u32) {
-        let (Some(arq), Some(rng)) = (self.config.arq.clone(), self.arq_rng.as_mut()) else {
+    fn transmit_arq(&mut self, envelope: Envelope, reconciliation: bool, attempts: u32) {
+        let (Some(arq), Some(rng)) = (self.config.arq, self.arq_rng.as_mut()) else {
             unreachable!("ARQ transmission requires an ArqConfig")
         };
-        use rand::RngExt;
         // Two draws per attempt — loss fate, then jitter — so the stream
         // position is a function of the attempt count alone.
-        let lost = rng.random::<f64>() < arq.loss_probability;
-        let jitter_u: f64 = rng.random();
+        let lost = rng.draw() < arq.loss_probability;
+        let jitter_u = rng.draw();
         match envelope.message.class() {
             crate::wire::MessageClass::Data => self.data_messages += 1,
             crate::wire::MessageClass::Control => self.control_messages += 1,
@@ -1030,20 +1158,17 @@ impl Simulation {
             self.extra_connections += 1;
         }
         if !lost {
-            let cell_extra = self
-                .config
-                .mobility
-                .as_ref()
-                .map_or(0.0, |m| m.cell_extra_latency[self.current_cell]);
-            let arrives = self.now + self.config.latency + cell_extra;
-            self.push_event(arrives, Event::Deliver(envelope.clone()));
-            self.inject_ghosts(envelope, arrives);
+            let arrives = self.now + self.config.latency + self.cell_extra;
+            // The outstanding slot keeps the owned envelope for
+            // retransmission and ack-matching; only a delivered attempt
+            // pays for a clone.
+            self.schedule_delivery(envelope.clone(), arrives);
         }
         let rto = arq.timeout_for_attempt(attempts) * (1.0 + arq.jitter * jitter_u);
         self.arq_timer_seq += 1;
         let timer = self.arq_timer_seq;
         self.arq_outstanding = Some(ArqOutstanding {
-            envelope: envelope.clone(),
+            envelope,
             attempts,
             reconciliation,
             timer,
@@ -1065,20 +1190,20 @@ impl Simulation {
         let Some(out) = self.arq_outstanding.take() else {
             unreachable!("checked above")
         };
-        let Some(arq) = self.config.arq.clone() else {
+        let Some(arq) = self.config.arq else {
             unreachable!("ARQ timeout without an ArqConfig")
         };
         if out.attempts <= arq.retry_budget {
-            self.transmit_arq(&out.envelope, out.reconciliation, out.attempts + 1);
+            self.transmit_arq(out.envelope, out.reconciliation, out.attempts + 1);
         } else {
-            self.escalate_partition(out, &arq);
+            self.escalate_partition(out, arq);
         }
     }
 
     /// The retry budget is exhausted: declare the link disconnected, feed
     /// the exchange to the existing reconnect/suspend machinery, and probe
     /// for the link later (the backoff law continues past the budget).
-    fn escalate_partition(&mut self, out: ArqOutstanding, arq: &ArqConfig) {
+    fn escalate_partition(&mut self, out: ArqOutstanding, arq: ArqConfig) {
         self.retry_escalations += 1;
         self.link_up = false;
         self.declared_down = true;
@@ -1110,10 +1235,7 @@ impl Simulation {
             self.degrade_pending();
         }
         let jitter_u = match self.arq_rng.as_mut() {
-            Some(rng) => {
-                use rand::RngExt;
-                rng.random::<f64>()
-            }
+            Some(rng) => rng.draw(),
             None => 0.0,
         };
         let probe = arq.timeout_for_attempt(out.attempts + 1) * (1.0 + arq.jitter * jitter_u);
@@ -1216,12 +1338,7 @@ impl Simulation {
             self.schedule_next_link_down();
         }
         // Prime the first arrival.
-        match workload.next_arrival() {
-            Some(a) if !matches!(limit, RunLimit::Time(t) if a.time > t) => {
-                self.push_event(a.time, Event::Arrival(a));
-            }
-            _ => self.arrivals_done = true,
-        }
+        self.stage_next_arrival(workload, limit);
         while self.served < target {
             // With no arrivals left and nothing in service, the only events
             // remaining are self-perpetuating maintenance (link faults,
@@ -1234,55 +1351,57 @@ impl Simulation {
             {
                 break;
             }
-            let Some(Scheduled { at, event, .. }) = self.events.pop() else {
+            // Pick the earliest of the two staged events and the queue
+            // head under the queue's own `(time, rank, seq)` total order
+            // (keys are unique — every event consumed a distinct seq).
+            let mut best = self.events.peek_key().map(|key| (key, NextEvent::Queue));
+            if let Some((t, s, _)) = &self.staged_delivery {
+                let key = (*t, PROTOCOL_RANK, *s);
+                if best.is_none_or(|(b, _)| key_lt(key, b)) {
+                    best = Some((key, NextEvent::StagedDelivery));
+                }
+            }
+            if let Some((t, s, _)) = &self.staged_arrival {
+                let key = (*t, PROTOCOL_RANK, *s);
+                if best.is_none_or(|(b, _)| key_lt(key, b)) {
+                    best = Some((key, NextEvent::StagedArrival));
+                }
+            }
+            let Some(((at, _, _), source)) = best else {
                 break;
             };
             debug_assert!(at >= self.now - 1e-9, "time went backwards");
             self.now = at.max(self.now);
-            match event {
-                Event::Arrival(arrival) => {
-                    // Fetch the next arrival before handling this one so the
-                    // queue never starves.
-                    match workload.next_arrival() {
-                        Some(next) if !matches!(limit, RunLimit::Time(t) if next.time > t) => {
-                            self.push_event(next.time, Event::Arrival(next));
-                        }
-                        _ => self.arrivals_done = true,
-                    }
-                    if self.can_begin_service(arrival.request) {
-                        self.begin_service(arrival);
-                    } else if self.degraded()
-                        && self.pending.is_empty()
-                        && self.suspended.is_none()
-                        && self.needs_wire(arrival.request)
-                    {
-                        // Degraded mode: a wire-needing request is shed with
-                        // a typed outcome instead of queueing behind a
-                        // partition of unknown length. (With a non-empty
-                        // queue the earlier entries were already shed or are
-                        // locally servable, so this branch keeps FIFO
-                        // intact.)
-                        self.shed_request(arrival, ShedReason::DegradedPartition);
-                    } else if self.handoff_stuck
-                        && self.pending.is_empty()
-                        && self.suspended.is_none()
-                        && self.needs_wire(arrival.request)
-                    {
-                        // A handoff stuck past its deadline degrades the
-                        // same way: ownership is mid-migration, so a
-                        // wire-needing request is shed instead of queueing
-                        // behind a handoff of unknown length. Reads the MC
-                        // can serve from its copy still go through (stale,
-                        // from the origin cell).
-                        self.shed_request(arrival, ShedReason::HandoffStuck);
-                    } else {
-                        self.queued_requests += 1;
-                        self.pending.push_back(arrival);
-                    }
+            self.events_processed += 1;
+            match source {
+                NextEvent::StagedArrival => {
+                    let Some((_, _, arrival)) = self.staged_arrival.take() else {
+                        unreachable!("picked a staged arrival that is not there")
+                    };
+                    self.handle_arrival(arrival, workload, limit);
+                    continue;
                 }
-                Event::Deliver(envelope) => self.handle_delivery(&envelope),
-                Event::GhostDeliver(envelope) => {
+                NextEvent::StagedDelivery => {
+                    let Some((_, _, envelope)) = self.staged_delivery.take() else {
+                        unreachable!("picked a staged delivery that is not there")
+                    };
+                    self.handle_delivery(&envelope);
+                    continue;
+                }
+                NextEvent::Queue => {}
+            }
+            let Some((_, event)) = self.events.pop() else {
+                unreachable!("picked a queue head from an empty queue")
+            };
+            match event {
+                Event::Arrival(arrival) => self.handle_arrival(arrival, workload, limit),
+                Event::Deliver(slot) => {
+                    let envelope = self.pool.take(slot);
+                    self.handle_delivery(&envelope);
+                }
+                Event::GhostDeliver(slot) => {
                     self.duplicated_deliveries += 1;
+                    let envelope = self.pool.take(slot);
                     self.handle_delivery(&envelope);
                 }
                 Event::Handoff => {
@@ -1308,6 +1427,23 @@ impl Simulation {
         self.report()
     }
 
+    /// Runs like [`Simulation::run`] while timing the event loop: returns
+    /// the usual deterministic report plus a [`PerfStats`] measurement
+    /// (events processed by *this* call, wall time, events/sec). The
+    /// report is bit-identical to what `run` produces — wall time never
+    /// feeds simulation state, ledgers, or digests.
+    pub fn run_timed(
+        &mut self,
+        workload: &mut dyn ArrivalProcess,
+        limit: RunLimit,
+    ) -> (SimReport, PerfStats) {
+        let before = self.events_processed;
+        let watch = Stopwatch::start();
+        let report = self.run(workload, limit);
+        let stats = watch.stats(self.events_processed - before);
+        (report, stats)
+    }
+
     /// Draws the next exponential dwell time and schedules the handoff.
     fn schedule_next_handoff(&mut self) {
         let (Some(mobility), Some(rng)) =
@@ -1316,8 +1452,7 @@ impl Simulation {
             unreachable!("handoff scheduling requires the mobility model")
         };
         let rate = mobility.handoff_rate;
-        use rand::RngExt;
-        let u: f64 = rng.random();
+        let u = rng.draw();
         let dwell = -f64::ln(1.0 - u) / rate;
         self.push_event(self.now + dwell, Event::Handoff);
     }
@@ -1331,14 +1466,18 @@ impl Simulation {
         };
         let cells = mobility.cell_extra_latency.len();
         if cells > 1 {
-            use rand::RngExt;
-            let mut next = (rng.random::<f64>() * (cells - 1) as f64) as usize;
+            let mut next = (rng.draw() * (cells - 1) as f64) as usize;
             if next >= self.current_cell {
                 next += 1;
             }
             self.current_cell = next.min(cells - 1);
         }
         self.handoffs += 1;
+        self.cell_extra = self
+            .config
+            .mobility
+            .as_ref()
+            .map_or(0.0, |m| m.cell_extra_latency[self.current_cell]);
     }
 
     /// Whether the multi-cell topology layer is live: configured and not
@@ -1354,8 +1493,7 @@ impl Simulation {
         else {
             unreachable!("migration scheduling requires a topology")
         };
-        use rand::RngExt;
-        let u: f64 = rng.random();
+        let u = rng.draw();
         let dwell = -f64::ln(1.0 - u) / topology.migration_rate;
         self.push_event(self.now + dwell, Event::Migrate);
     }
@@ -1373,8 +1511,7 @@ impl Simulation {
         };
         let cells = topology.cells;
         if cells > 1 {
-            use rand::RngExt;
-            let mut next = (rng.random::<f64>() * (cells - 1) as f64) as usize;
+            let mut next = (rng.draw() * (cells - 1) as f64) as usize;
             if next >= self.mc_cell {
                 next += 1;
             }
@@ -1425,17 +1562,14 @@ impl Simulation {
     /// transport's own timeout law and retry budget. Without ARQ a leg is
     /// sent once and the deadline abort is the only recovery.
     fn send_handoff_leg(&mut self, leg: HandoffLeg) {
-        let (Some(topology), Some(rng)) =
-            (self.config.topology.clone(), self.topology_rng.as_mut())
-        else {
+        let (Some(topology), Some(rng)) = (self.config.topology, self.topology_rng.as_mut()) else {
             unreachable!("handoff legs require a topology")
         };
-        use rand::RngExt;
         // Two draws per attempt — loss fate, then retry jitter — mirroring
         // the ARQ transport so the stream position is a function of the
         // attempt count alone.
-        let lost = rng.random::<f64>() < topology.loss_probability;
-        let jitter_u: f64 = rng.random();
+        let lost = rng.draw() < topology.loss_probability;
+        let jitter_u = rng.draw();
         let Some(flight) = self.handoff.as_mut() else {
             unreachable!("sending a leg requires a flight in the air")
         };
@@ -1481,13 +1615,10 @@ impl Simulation {
             self.config.topology.as_ref(),
             self.topology_ghost_rng.as_mut(),
         ) {
-            (Some(t), Some(rng)) if t.has_ghosts() => {
-                use rand::RngExt;
-                (
-                    t.commit_duplication > 0.0 && rng.random::<f64>() < t.commit_duplication,
-                    t.commit_reorder > 0.0 && rng.random::<f64>() < t.commit_reorder,
-                )
-            }
+            (Some(t), Some(rng)) if t.has_ghosts() => (
+                t.commit_duplication > 0.0 && rng.draw() < t.commit_duplication,
+                t.commit_reorder > 0.0 && rng.draw() < t.commit_reorder,
+            ),
             _ => (false, false),
         };
         let latency = self.config.latency;
@@ -1722,7 +1853,7 @@ impl Simulation {
                     request: arrival.request,
                     arrived_at: arrival.time,
                 });
-                self.transmit(&envelope, false);
+                self.transmit(envelope, false);
             }
             StepOutcome::Reconciled => unreachable!("submit never reconciles"),
         }
@@ -1752,7 +1883,7 @@ impl Simulation {
             }
             StepOutcome::Sent(envelope) => {
                 self.in_flight = Some(exchange);
-                self.transmit(&envelope, false);
+                self.transmit(envelope, false);
             }
             StepOutcome::Reconciled => unreachable!("submit never reconciles"),
         }
@@ -1788,7 +1919,7 @@ impl Simulation {
                 // The response acknowledges the delivered envelope
                 // implicitly; its own timer takes over the outstanding slot.
                 let reconciliation = self.reconciling;
-                self.transmit(&response, reconciliation);
+                self.transmit(response, reconciliation);
             }
             StepOutcome::Completed(action) => {
                 let Some(exchange) = self.in_flight else {
@@ -1862,8 +1993,7 @@ impl Simulation {
         if plan.disconnect_rate <= 0.0 {
             return;
         }
-        use rand::RngExt;
-        let u: f64 = rng.random();
+        let u = rng.draw();
         let gap = -f64::ln(1.0 - u) / plan.disconnect_rate;
         self.push_event(self.now + gap, Event::LinkDown);
     }
@@ -1873,10 +2003,9 @@ impl Simulation {
         let (Some(plan), Some(rng)) = (self.config.faults.as_ref(), self.fault_rng.as_mut()) else {
             unreachable!("link events require a fault plan")
         };
-        use rand::RngExt;
-        let classify: f64 = rng.random();
+        let classify = rng.draw();
         let kind = if classify < plan.crash_probability {
-            if rng.random::<f64>() < plan.volatile_probability {
+            if rng.draw() < plan.volatile_probability {
                 FaultKind::CrashVolatile
             } else {
                 FaultKind::CrashStable
@@ -1886,7 +2015,7 @@ impl Simulation {
         } else {
             FaultKind::Doze
         };
-        let u: f64 = rng.random();
+        let u = rng.draw();
         (kind, -f64::ln(1.0 - u) * plan.mean_outage)
     }
 
@@ -1990,7 +2119,7 @@ impl Simulation {
             match self.protocol.begin_reconciliation(volatile) {
                 StepOutcome::Sent(envelope) => {
                     self.extra_connections += 1; // the handshake's connection
-                    self.transmit(&envelope, true);
+                    self.transmit(envelope, true);
                 }
                 outcome => unreachable!("reconciliation must start with a send: {outcome:?}"),
             }
@@ -2115,6 +2244,7 @@ impl Simulation {
             recovery_time_sum: self.recovery_time_sum,
             recoveries: self.recoveries,
             invariant_checks: self.monitor.checks(),
+            events_processed: self.events_processed,
             migrations: self.migrations,
             handoffs_committed: self.handoffs_committed,
             handoffs_aborted: self.handoffs_aborted,
@@ -2759,6 +2889,26 @@ mod arq_tests {
         assert_eq!(
             report.control_messages,
             lossless.control_messages + report.arq_acks
+        );
+    }
+
+    #[test]
+    fn every_retransmission_redials_in_the_connection_tally() {
+        // With pure ARQ loss (no faults, no topology, budget deep enough
+        // that nothing escalates), the only extra connections a run can
+        // accrue are retransmission re-dials — exactly one per
+        // retransmitted attempt. Pins the connection-model billing of
+        // the retry path.
+        let arq = ArqConfig::new(0.5, 0.05, 17)
+            .and_then(|a| a.with_retry_budget(30))
+            .unwrap();
+        let report = arq_run(PolicySpec::St2, arq, 300);
+        assert!(report.retransmissions > 0, "loss must force retries");
+        assert_eq!(report.retry_escalations, 0, "budget 30 never escalates");
+        assert_eq!(
+            report.connections,
+            report.counts.connections() + report.retransmissions,
+            "one re-dialed connection per retransmission, no more, no less"
         );
     }
 

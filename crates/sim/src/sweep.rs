@@ -388,6 +388,13 @@ impl SweepGrid {
         self.runs() * self.models.len()
     }
 
+    /// The per-run request cap (the [`requests`](Self::requests) builder
+    /// setting) — surfaced so measurement tooling can record the exact
+    /// workload size alongside its timings.
+    pub fn requests_per_run(&self) -> usize {
+        self.requests
+    }
+
     /// The (θ, replication) slot of `run_index` — deliberately blind to
     /// the policy, fault, ARQ and topology axes, so every policy, fault
     /// plan, transport and topology at the same (θ, replication)
@@ -476,12 +483,12 @@ impl SweepGrid {
             config.faults = Some(plan);
         }
         if let Some(arq) = &self.arqs[arq_index] {
-            let mut arq = arq.clone();
+            let mut arq = *arq;
             arq.seed = self.arq_seed(run_index);
             config.arq = Some(arq);
         }
         if let Some(topology) = &self.topologies[topology_index] {
-            let mut topology = topology.clone();
+            let mut topology = *topology;
             topology.seed = self.topology_seed(run_index);
             config.topology = Some(topology);
         }
@@ -509,6 +516,18 @@ impl SweepGrid {
             self.execute_run(i)
         });
         self.assemble(reports)
+    }
+
+    /// Runs like [`SweepGrid::run`] while timing the whole sweep: returns
+    /// the usual deterministic report plus a [`PerfStats`](crate::perf::PerfStats) measurement
+    /// (events processed across every run, wall time, events/sec). The
+    /// report is bit-identical to what `run` produces — wall time never
+    /// feeds simulation state, ledgers, or digests.
+    pub fn run_timed(&self, options: SweepOptions) -> (SweepReport, crate::perf::PerfStats) {
+        let watch = crate::perf::Stopwatch::start();
+        let report = self.run(options);
+        let stats = watch.stats(report.events_processed);
+        (report, stats)
     }
 
     /// Prices the runs under every cost model and folds the summary —
@@ -582,10 +601,12 @@ impl SweepGrid {
                 }
             }
         }
+        let events_processed = reports.iter().map(|r| r.events_processed).sum();
         SweepReport {
             seed: self.seed,
             summary: SweepSummary { entries },
             cells,
+            events_processed,
         }
     }
 }
@@ -920,6 +941,11 @@ pub struct SweepReport {
     pub cells: Vec<CellReport>,
     /// The sequential fold of the cells.
     pub summary: SweepSummary,
+    /// Events the simulation loops processed, summed over every run —
+    /// a deterministic fact of the grid (identical at any thread count),
+    /// and the event count [`SweepGrid::run_timed`] measures throughput
+    /// over.
+    pub events_processed: u64,
 }
 
 impl SweepReport {

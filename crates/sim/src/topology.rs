@@ -101,7 +101,7 @@ pub struct HandoffSnapshot {
 ///     .and_then(|t| t.with_loss(0.1));
 /// assert!(topology.is_ok());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct TopologyConfig {
     /// Number of cells (≥ 1). One cell makes every migration a no-op.
     pub cells: usize,
@@ -308,7 +308,7 @@ mod tests {
         // alone.
         let base = TopologyConfig::new(3, 0.5, 2.0, 7).unwrap();
         assert!(!base.has_ghosts());
-        let dup_only = base.clone().with_commit_ghosts(0.3, 0.0).unwrap();
+        let dup_only = base.with_commit_ghosts(0.3, 0.0).unwrap();
         assert!(dup_only.has_ghosts());
         let reorder_only = base.with_commit_ghosts(0.0, 0.3).unwrap();
         assert!(reorder_only.has_ghosts());
@@ -375,9 +375,9 @@ mod tests {
     fn backbone_probabilities_are_validated() {
         let base = TopologyConfig::new(2, 0.5, 2.0, 0).unwrap();
         for bad in [-0.1, 1.1, f64::NAN] {
-            assert!(base.clone().with_loss(bad).is_err());
-            assert!(base.clone().with_commit_ghosts(bad, 0.0).is_err());
-            assert!(base.clone().with_commit_ghosts(0.0, bad).is_err());
+            assert!(base.with_loss(bad).is_err());
+            assert!(base.with_commit_ghosts(bad, 0.0).is_err());
+            assert!(base.with_commit_ghosts(0.0, bad).is_err());
         }
     }
 

@@ -4,7 +4,7 @@
 //! paper's four §3 kinds, the fault extension adds the reconnection
 //! handshake and the transport-level ARQ acknowledgement.
 
-use mdr_core::Request;
+use mdr_core::RequestWindow;
 
 /// The two ends of the wireless link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,8 +59,9 @@ pub enum WireMessage {
         /// Whether the MC should save the copy (ownership handoff).
         allocate: bool,
         /// The piggybacked request window (present iff `allocate`, for the
-        /// window-based policies).
-        window: Option<Vec<Request>>,
+        /// window-based policies), shipped in the canonical (`head = 0`)
+        /// representation.
+        window: Option<RequestWindow>,
     },
     /// SC → MC: a write propagated to the MC's replica.
     WritePropagation {
@@ -73,8 +74,9 @@ pub enum WireMessage {
     /// phase-ending write).
     DeleteRequest {
         /// The piggybacked request window (window-based policies, MC → SC
-        /// direction only).
-        window: Option<Vec<Request>>,
+        /// direction only), shipped in the canonical (`head = 0`)
+        /// representation.
+        window: Option<RequestWindow>,
     },
     /// MC → SC: announces that the MC is reachable again after a crash
     /// (fault-model extension, see `docs/faults.md`) and reports which
@@ -154,7 +156,7 @@ impl WireMessage {
     /// # Panics
     ///
     /// Panics if a window is supplied without the allocate indication.
-    pub fn data_response(version: u64, allocate: bool, window: Option<Vec<Request>>) -> Self {
+    pub fn data_response(version: u64, allocate: bool, window: Option<RequestWindow>) -> Self {
         assert!(
             allocate || window.is_none(),
             "the request window piggybacks only on allocating responses (§4)"
@@ -173,7 +175,7 @@ impl WireMessage {
 
     /// Builds a delete-request control message (§3/§4). The window is
     /// present exactly in the MC → SC direction of the window policies.
-    pub fn delete_request(window: Option<Vec<Request>>) -> Self {
+    pub fn delete_request(window: Option<RequestWindow>) -> Self {
         WireMessage::DeleteRequest { window }
     }
 

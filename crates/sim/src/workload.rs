@@ -10,9 +10,8 @@
 //! splits into periods, each with its own (λ_r, λ_w) drawn so that θ is
 //! uniform on [0, 1] — [`DriftingPoisson`] models exactly that.
 
+use crate::perf::BatchedF64;
 use mdr_core::{Request, Schedule};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// A timestamped relevant request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,17 +30,17 @@ pub trait ArrivalProcess {
 }
 
 /// Draws an Exp(rate) inter-arrival time by inverse CDF.
-fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+fn exp_sample(rng: &mut BatchedF64, rate: f64) -> f64 {
     debug_assert!(rate > 0.0);
     // 1 − u ∈ (0, 1]; ln of it is finite and ≤ 0.
-    let u: f64 = rng.random();
+    let u: f64 = rng.draw();
     -f64::ln(1.0 - u) / rate
 }
 
 /// The paper's stationary workload: merged Poisson reads and writes.
 #[derive(Debug)]
 pub struct PoissonWorkload {
-    rng: StdRng,
+    rng: BatchedF64,
     total_rate: f64,
     theta: f64,
     clock: f64,
@@ -62,7 +61,7 @@ impl PoissonWorkload {
         let total = lambda_r + lambda_w;
         assert!(total > 0.0, "at least one rate must be positive");
         PoissonWorkload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: BatchedF64::new(seed),
             total_rate: total,
             theta: lambda_w / total,
             clock: 0.0,
@@ -75,7 +74,7 @@ impl PoissonWorkload {
         assert!(rate > 0.0, "rate must be positive");
         assert!((0.0..=1.0).contains(&theta), "θ out of range: {theta}");
         PoissonWorkload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: BatchedF64::new(seed),
             total_rate: rate,
             theta,
             clock: 0.0,
@@ -91,7 +90,7 @@ impl PoissonWorkload {
 impl ArrivalProcess for PoissonWorkload {
     fn next_arrival(&mut self) -> Option<Arrival> {
         self.clock += exp_sample(&mut self.rng, self.total_rate);
-        let request = if self.rng.random::<f64>() < self.theta {
+        let request = if self.rng.draw() < self.theta {
             Request::Write
         } else {
             Request::Read
@@ -119,7 +118,7 @@ pub struct Period {
 /// θ_i, and each θ_i is an independent uniform draw from [0, 1].
 #[derive(Debug)]
 pub struct DriftingPoisson {
-    rng: StdRng,
+    rng: BatchedF64,
     rate: f64,
     requests_per_period: usize,
     periods_left: Option<usize>,
@@ -136,7 +135,7 @@ impl DriftingPoisson {
         assert!(rate > 0.0);
         assert!(requests_per_period > 0);
         DriftingPoisson {
-            rng: StdRng::seed_from_u64(seed),
+            rng: BatchedF64::new(seed),
             rate,
             requests_per_period,
             periods_left: periods,
@@ -173,13 +172,13 @@ impl ArrivalProcess for DriftingPoisson {
                 Some(n) => *n -= 1,
                 None => {}
             }
-            self.theta = self.rng.random();
+            self.theta = self.rng.draw();
             self.thetas.push(self.theta);
             self.in_period = self.requests_per_period;
         }
         self.in_period -= 1;
         self.clock += exp_sample(&mut self.rng, self.rate);
-        let request = if self.rng.random::<f64>() < self.theta {
+        let request = if self.rng.draw() < self.theta {
             Request::Write
         } else {
             Request::Read
@@ -229,7 +228,7 @@ impl ArrivalProcess for TraceWorkload {
 /// introduction; used in examples and the adaptivity experiments.
 #[derive(Debug)]
 pub struct PhasedWorkload {
-    rng: StdRng,
+    rng: BatchedF64,
     rate: f64,
     phase_len: usize,
     thetas: [f64; 2],
@@ -245,7 +244,7 @@ impl PhasedWorkload {
         assert!(rate > 0.0 && phase_len > 0);
         assert!((0.0..=1.0).contains(&theta_a) && (0.0..=1.0).contains(&theta_b));
         PhasedWorkload {
-            rng: StdRng::seed_from_u64(seed),
+            rng: BatchedF64::new(seed),
             rate,
             phase_len,
             thetas: [theta_a, theta_b],
@@ -265,7 +264,7 @@ impl ArrivalProcess for PhasedWorkload {
         self.in_phase += 1;
         self.clock += exp_sample(&mut self.rng, self.rate);
         let theta = self.thetas[self.phase];
-        let request = if self.rng.random::<f64>() < theta {
+        let request = if self.rng.draw() < theta {
             Request::Write
         } else {
             Request::Read

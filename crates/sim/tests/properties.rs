@@ -1,12 +1,38 @@
 //! Property-based tests of the discrete-event simulator.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use mdr_core::{CostModel, PolicySpec, Request, Schedule};
+use mdr_sim::calendar::{key_lt, CalendarQueue};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{
     ArqConfig, ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, Simulation,
     TopologyConfig, TraceWorkload,
 };
 use proptest::prelude::*;
+
+/// A reference priority key carrying the simulator's total event order:
+/// time under `total_cmp`, then actor rank, then sequence number.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct RefKey(f64, u8, u64);
+
+impl Eq for RefKey {}
+
+impl PartialOrd for RefKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RefKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+            .then_with(|| self.2.cmp(&other.2))
+    }
+}
 
 fn arb_spec() -> impl Strategy<Value = PolicySpec> {
     prop_oneof![
@@ -378,6 +404,70 @@ proptest! {
         // Ghosts can only *add* fence discards on top of the ones a
         // mid-flight migration already produces.
         prop_assert!(noisy.handoff_discards >= clean.handoff_discards);
+    }
+
+    /// The calendar queue and a reference binary heap agree on the full
+    /// `(time, actor-rank, seq)` total order — same pop sequence, same
+    /// `peek_key` before every pop — for arbitrary interleavings of
+    /// pushes and pops, with time ties forced often enough to exercise
+    /// the rank and sequence tie-breaks.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        ops in prop::collection::vec(
+            (
+                // Half the draws are quantized so exact time ties occur.
+                prop_oneof![0.0f64..100.0, (0u32..16).prop_map(|i| f64::from(i) * 2.5)],
+                0u8..4,
+                prop::bool::ANY,
+            ),
+            1..200,
+        ),
+    ) {
+        let mut calendar: CalendarQueue<(u8, u64)> = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<RefKey>> = BinaryHeap::new();
+        let mut seq = 0u64;
+
+        // Pops one event from both queues and checks full agreement:
+        // peek before pop, then (time, rank, seq) of the popped event.
+        macro_rules! pop_both {
+            () => {{
+                let Some(Reverse(RefKey(at, rank, seq))) = heap.pop() else {
+                    unreachable!("callers check non-emptiness first")
+                };
+                let expect = (at, rank, seq);
+                prop_assert_eq!(calendar.peek_key(), Some(expect));
+                let Some((popped_at, (popped_rank, popped_seq))) = calendar.pop() else {
+                    return Err(TestCaseError::fail("calendar ran dry before the heap"));
+                };
+                prop_assert_eq!((popped_at, popped_rank, popped_seq), expect);
+                expect
+            }};
+        }
+
+        // Interleaved phase: every op pushes, and about half of them
+        // immediately pop the current minimum from both queues.
+        for &(time, rank, pop_now) in &ops {
+            seq += 1;
+            calendar.push(time, rank, seq, (rank, seq));
+            heap.push(Reverse(RefKey(time, rank, seq)));
+            if pop_now {
+                pop_both!();
+            }
+            prop_assert_eq!(calendar.len(), heap.len());
+        }
+
+        // Drain phase: the survivors leave both queues in the same
+        // non-decreasing total order.
+        let mut last_popped: Option<(f64, u8, u64)> = None;
+        while !heap.is_empty() {
+            let popped = pop_both!();
+            if let Some(prev) = last_popped {
+                prop_assert!(!key_lt(popped, prev));
+            }
+            last_popped = Some(popped);
+        }
+        prop_assert!(calendar.is_empty());
+        prop_assert_eq!(calendar.peek_key(), None);
     }
 
     /// Workload determinism: the same seed replays the same arrivals, and
