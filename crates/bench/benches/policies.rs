@@ -32,7 +32,7 @@ fn bench_policy_throughput(c: &mut Criterion) {
         PolicySpec::T2 { m: 9 },
     ] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(spec.name()),
+            BenchmarkId::from_parameter(spec.to_string()),
             &spec,
             |b, &spec| {
                 b.iter(|| run_spec(black_box(spec), black_box(&schedule), CostModel::Connection));

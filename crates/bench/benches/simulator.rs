@@ -27,12 +27,12 @@ fn bench_protocol_throughput(c: &mut Criterion) {
         PolicySpec::T2 { m: 5 },
     ] {
         group.bench_with_input(
-            BenchmarkId::new("oracle_on", spec.name()),
+            BenchmarkId::new("oracle_on", spec.to_string()),
             &spec,
             |b, &spec| b.iter(|| run_sim(black_box(spec), true)),
         );
         group.bench_with_input(
-            BenchmarkId::new("oracle_off", spec.name()),
+            BenchmarkId::new("oracle_off", spec.to_string()),
             &spec,
             |b, &spec| b.iter(|| run_sim(black_box(spec), false)),
         );

@@ -74,7 +74,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         // Each logical message takes Geometric(1−p) attempts ⇒ ×1/(1−p).
         uniform &= (infl2 - 1.0 / 0.8).abs() < 0.05 && (infl4 - 1.0 / 0.6).abs() < 0.08;
         table.row(vec![
-            spec.name(),
+            spec.to_string(),
             fmt(costs[0]),
             fmt(costs[1]),
             fmt(infl2),
@@ -96,7 +96,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
     for &p in &losses {
         let mut costs: Vec<(String, f64)> = policies
             .iter()
-            .map(|&s| (s.name(), lossy_cost(s, theta, p, n, model).0))
+            .map(|&s| (s.to_string(), lossy_cost(s, theta, p, n, model).0))
             .collect();
         costs.sort_by(|a, b| a.1.total_cmp(&b.1));
         let names: Vec<String> = costs.into_iter().map(|(n, _)| n).collect();

@@ -75,7 +75,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         latency_grows &= roaming.mean_read_latency > fixed.mean_read_latency;
         handoffs_happen &= roaming.handoffs > 50 && fixed.handoffs == 0;
         table.row(vec![
-            spec.name(),
+            spec.to_string(),
             fmt(fixed.cost_per_request(model)),
             fmt(roaming.cost_per_request(model)),
             fmt(fixed.mean_read_latency),

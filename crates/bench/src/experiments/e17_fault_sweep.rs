@@ -77,7 +77,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
             && stormy.report.mc_crashes > 0
             && stormy.report.reconciliations > 0;
         table.row(vec![
-            stormy.policy.name(),
+            stormy.policy.to_string(),
             fmt_opt(inert.cost_per_request),
             fmt_opt(mild.cost_per_request),
             fmt_opt(stormy.cost_per_request),

@@ -94,7 +94,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
             });
         let stormy = &cells[4];
         table.row(vec![
-            baseline.policy.name(),
+            baseline.policy.to_string(),
             fmt_opt(baseline.cost_per_request),
             fmt_opt(cells[1].cost_per_request),
             fmt_opt(cells[2].cost_per_request),

@@ -121,7 +121,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
         // dropped on the floor.
         degradation &= cells[4].report.stale_reads > 0 && cells[6].report.stale_reads > 0;
         table.row(vec![
-            baseline.policy.name(),
+            baseline.policy.to_string(),
             fmt_opt(baseline.cost_per_request),
             fmt_opt(cells[2].cost_per_request),
             fmt_opt(cells[3].cost_per_request),

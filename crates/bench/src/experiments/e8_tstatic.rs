@@ -83,7 +83,7 @@ pub fn run(cfg: RunCfg) -> Experiment {
             tight &= measured > claimed - 0.1;
             bounded &= holds;
             comp.row(vec![
-                spec.name(),
+                spec.to_string(),
                 fmt(claimed),
                 fmt(measured),
                 holds.to_string(),

@@ -215,7 +215,7 @@ pub fn summary_table(title: &str, summary: &SweepSummary) -> Table {
             Some(entry.competitive_ratio.mean)
         };
         table.row(vec![
-            entry.policy.name(),
+            entry.policy.to_string(),
             fmt(entry.theta),
             entry.model.to_string(),
             entry.fault_index.to_string(),

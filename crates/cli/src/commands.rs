@@ -9,6 +9,8 @@ use mdr_analysis::{average_expected_cost, competitive_factor, expected_cost};
 use mdr_bench::sweep::{e17_fault_plan, e18_arq, preset, summary_table};
 use mdr_bench::{BenchSnapshot, RunCfg};
 use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
+use mdr_sim::engine::{run_serve_bench, serve_bench_lines, ServeConfig, ServeEngine};
+use mdr_sim::perf::Stopwatch;
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{ArqConfig, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, TopologyConfig};
 use std::fmt::Write as _;
@@ -459,14 +461,17 @@ pub(crate) fn sweep(args: &Args) -> Result<String, CliError> {
 /// error (non-zero exit), which is what the CI perf-gate job runs.
 pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
     let Some(preset_name) = args.flags.get("preset") else {
-        return err("bench requires --preset e6|e17|e18|e19");
+        return err("bench requires --preset e6|e17|e18|e19|serve");
     };
+    if preset_name == "serve" {
+        return bench_serve(args);
+    }
     let cfg = RunCfg {
         fast: args.get_or("full", "off") == "off",
     };
     let Some(grid) = preset(preset_name, cfg) else {
         return err(format!(
-            "unknown preset {preset_name:?}; expected e6, e17, e18 or e19"
+            "unknown preset {preset_name:?}; expected e6, e17, e18, e19 or serve"
         ));
     };
     let grid = match args.flags.get("replications") {
@@ -487,22 +492,6 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         }
         None => grid,
     };
-    let gate_pct: f64 = match args.flags.get("gate-pct") {
-        Some(p) => p
-            .parse()
-            .map_err(|_| CliError(format!("invalid gate percentage {p:?}")))?,
-        None => 10.0,
-    };
-    if !(0.0..100.0).contains(&gate_pct) {
-        return err(format!(
-            "gate percentage must lie in [0, 100), got {gate_pct}"
-        ));
-    }
-    let baseline_path = match args.get_or("baseline", "") {
-        "" => format!("BENCH_{preset_name}.json"),
-        path => path.to_owned(),
-    };
-
     let options = SweepOptions {
         threads: args.number("threads", 0)?,
         chunk: args.number("chunk", 0)?,
@@ -516,6 +505,59 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         stats,
         report.ledger_digest(),
     );
+    render_bench(args, &snapshot)
+}
+
+/// `mdr bench --preset serve [--tenants N] [--requests R] [--seed S]`
+///
+/// The serving-layer benchmark: a deterministic multi-tenant session
+/// (mixed policy roster, per-tenant write fractions fanned across (0, 1))
+/// is pushed through [`ServeEngine::handle_line`] — the exact path `mdr
+/// serve` runs — and timed end to end, JSON parse to JSON print. The
+/// snapshot's events/sec is therefore *decisions per second*, and its
+/// digest is the FNV-1a hash of every response byte, so the committed
+/// `BENCH_serve.json` pins the wire behaviour bit-for-bit: any drift
+/// fails the gate at any speed.
+fn bench_serve(args: &Args) -> Result<String, CliError> {
+    let fast = args.get_or("full", "off") == "off";
+    let tenants: usize = args.number("tenants", 8)?;
+    let per_tenant: usize = args.number("requests", if fast { 5_000 } else { 50_000 })?;
+    let seed: u64 = args.number("seed", 1994)?;
+    if tenants == 0 || per_tenant == 0 {
+        return err("--tenants and --requests must be at least 1");
+    }
+    // Workload synthesis is untimed: the clock covers only the serve path.
+    let lines = serve_bench_lines(tenants, per_tenant, seed);
+    let watch = Stopwatch::start();
+    let report =
+        run_serve_bench(&lines, ServeConfig::default()).map_err(|e| CliError(e.to_string()))?;
+    let stats = watch.stats(report.decisions);
+    let snapshot = BenchSnapshot::new("serve", fast, per_tenant, tenants, stats, report.digest);
+    render_bench(args, &snapshot)
+}
+
+/// Renders a measured [`BenchSnapshot`] and applies the baseline
+/// write/gate protocol shared by the sweep and serve benchmarks: with
+/// `--write-baseline on` the snapshot is written to the baseline path
+/// (default `BENCH_<preset>.json`); otherwise an existing baseline gates
+/// the measurement — throughput drops beyond `--gate-pct`, or *any*
+/// digest drift, are errors.
+fn render_bench(args: &Args, snapshot: &BenchSnapshot) -> Result<String, CliError> {
+    let gate_pct: f64 = match args.flags.get("gate-pct") {
+        Some(p) => p
+            .parse()
+            .map_err(|_| CliError(format!("invalid gate percentage {p:?}")))?,
+        None => 10.0,
+    };
+    if !(0.0..100.0).contains(&gate_pct) {
+        return err(format!(
+            "gate percentage must lie in [0, 100), got {gate_pct}"
+        ));
+    }
+    let baseline_path = match args.get_or("baseline", "") {
+        "" => format!("BENCH_{}.json", snapshot.preset),
+        path => path.to_owned(),
+    };
 
     let mut out = String::new();
     match args.get_or("format", "table") {
@@ -572,6 +614,63 @@ pub(crate) fn bench(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// Builds the [`ServeConfig`] for `mdr serve` from its flags.
+fn serve_config(args: &Args) -> Result<ServeConfig, CliError> {
+    let mut config = ServeConfig::default();
+    config.max_tenants = args.number("max-tenants", config.max_tenants)?;
+    if config.max_tenants == 0 {
+        return err("--max-tenants must be at least 1");
+    }
+    if let Some(budget) = args.flags.get("budget") {
+        let budget: u64 = budget
+            .parse()
+            .map_err(|_| CliError(format!("invalid decision budget {budget:?}")))?;
+        config.decision_budget = Some(budget);
+    }
+    if let Some(policy) = args.flags.get("policy") {
+        config.default_policy = parse_policy(policy)?;
+    }
+    if let Some(model) = args.flags.get("model") {
+        config.default_model = parse_model(model)?;
+    }
+    config.adaptive = args.get_or("adaptive", "off") == "on";
+    Ok(config)
+}
+
+/// `mdr serve [--max-tenants N] [--policy P] [--model M] [--budget N]
+/// [--adaptive on]`
+///
+/// The long-running decision daemon: newline-JSON requests on stdin, one
+/// JSON response per line on stdout, no async runtime — just a read loop
+/// over a [`ServeEngine`]. Every line gets exactly one response (malformed
+/// input becomes a typed error, admission refusals a typed shed); the
+/// loop ends at EOF or after a `{"op":"shutdown"}` request. `--policy`
+/// and `--model` set the defaults for tenants that do not name their own;
+/// the built-in default is the competitive-safe T1(2) under the
+/// connection model.
+pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
+    use std::io::{BufRead as _, Write as _};
+    let config = serve_config(args)?;
+    let mut engine = ServeEngine::new(config).map_err(|e| CliError(e.to_string()))?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| CliError(format!("cannot read stdin: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = engine.handle_line(&line);
+        writeln!(stdout, "{response}")
+            .and_then(|()| stdout.flush())
+            .map_err(|e| CliError(format!("cannot write stdout: {e}")))?;
+        if engine.is_done() {
+            break;
+        }
+    }
+    // Responses were streamed in-loop; nothing is left to print.
+    Ok(String::new())
 }
 
 /// `mdr worst-case --policy SW5 --model message:0.5 [--max-len 13]
@@ -739,6 +838,7 @@ pub(crate) fn dispatch(args: &Args) -> Result<String, CliError> {
         "simulate" => simulate(args),
         "sweep" => sweep(args),
         "bench" => bench(args),
+        "serve" => serve(args),
         "worst-case" => worst_case(args),
         "trace" => trace(args),
         "multi" => multi(args),
@@ -769,11 +869,17 @@ subcommands:
              [--requests N] [--seed S] [--latency L] [--oracle on] [--threads T]
              [--chunk C] [--format table|ledger|json] [--full on]
              (deterministic parallel grid; stdout is byte-identical at any --threads)
-  bench      --preset e6|e17|e18|e19 [--baseline BENCH_e17.json] [--gate-pct 10]
+  bench      --preset e6|e17|e18|e19|serve [--baseline BENCH_e17.json] [--gate-pct 10]
              [--write-baseline on] [--full on] [--requests N] [--replications R]
              [--threads T] [--chunk C] [--format table|json]
              (typed perf measurement: events, wall time, events/sec, ledger digest;
-              gates against a committed BENCH_*.json — digest drift always fails)
+              gates against a committed BENCH_*.json — digest drift always fails.
+              --preset serve times the decision daemon: decisions/sec through the
+              full JSON wire path, with [--tenants N] [--requests R] [--seed S])
+  serve      [--max-tenants N] [--policy P] [--model M] [--budget N] [--adaptive on]
+             (long-running decision daemon: newline-JSON on stdin/stdout, one
+              DecisionCore per tenant; open/decide/stats/snapshot/restore/close;
+              see docs/serve.md for the wire format)
   worst-case --policy <P> [--model M] [--max-len L] [--cycles C]
   trace      --policy <P> --schedule rrwwr [--model M] per-request execution trace
   multi      --profile profile.json                    §7.2 optimal multi-object allocation

@@ -22,74 +22,20 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
 }
 
 /// Parses a policy name: `ST1`, `ST2`, `SW<k>`, `T1:<m>`, `T2:<m>`
-/// (case-insensitive).
+/// (case-insensitive). Delegates to [`PolicySpec`]'s `FromStr` — the
+/// inverse of its canonical `Display` — so the CLI, the serve wire
+/// format, and library users all accept the same grammar.
 pub(crate) fn parse_policy(s: &str) -> Result<PolicySpec, CliError> {
-    let up = s.to_ascii_uppercase();
-    if up == "ST1" {
-        return Ok(PolicySpec::St1);
-    }
-    if up == "ST2" {
-        return Ok(PolicySpec::St2);
-    }
-    if let Some(k) = up.strip_prefix("SW") {
-        let k: usize = k
-            .parse()
-            .map_err(|_| CliError(format!("invalid window size in {s:?}")))?;
-        if k == 0 || k % 2 == 0 {
-            return err(format!("window size must be odd and positive, got {k}"));
-        }
-        return Ok(PolicySpec::SlidingWindow { k });
-    }
-    for (prefix, build) in [
-        ("T1:", PolicySpec::T1 { m: 0 }),
-        ("T2:", PolicySpec::T2 { m: 0 }),
-        ("T1(", PolicySpec::T1 { m: 0 }),
-        ("T2(", PolicySpec::T2 { m: 0 }),
-    ] {
-        if let Some(rest) = up.strip_prefix(prefix) {
-            let digits = rest.trim_end_matches(')');
-            let m: usize = digits
-                .parse()
-                .map_err(|_| CliError(format!("invalid threshold in {s:?}")))?;
-            if m == 0 {
-                return err("threshold m must be at least 1");
-            }
-            return Ok(match build {
-                PolicySpec::T1 { .. } => PolicySpec::T1 { m },
-                _ => PolicySpec::T2 { m },
-            });
-        }
-    }
-    err(format!(
-        "unknown policy {s:?}; expected ST1, ST2, SW<k>, T1:<m> or T2:<m>"
-    ))
+    s.parse()
+        .map_err(|e: mdr_core::ParsePolicyError| CliError(e.to_string()))
 }
 
 /// Parses a cost model: `connection` or `message:<omega>` (e.g.
-/// `message:0.4`); `message` alone defaults to ω = 0.5.
+/// `message:0.4`); `message` alone defaults to ω = 0.5. Delegates to
+/// [`CostModel`]'s `FromStr`.
 pub(crate) fn parse_model(s: &str) -> Result<CostModel, CliError> {
-    let low = s.to_ascii_lowercase();
-    if low == "connection" || low == "conn" {
-        return Ok(CostModel::Connection);
-    }
-    if low == "message" || low == "msg" {
-        return Ok(CostModel::message(0.5));
-    }
-    if let Some(omega) = low
-        .strip_prefix("message:")
-        .or_else(|| low.strip_prefix("msg:"))
-    {
-        let omega: f64 = omega
-            .parse()
-            .map_err(|_| CliError(format!("invalid ω in {s:?}")))?;
-        if !(0.0..=1.0).contains(&omega) {
-            return err(format!("ω must lie in [0, 1], got {omega}"));
-        }
-        return Ok(CostModel::message(omega));
-    }
-    err(format!(
-        "unknown cost model {s:?}; expected 'connection' or 'message:<omega>'"
-    ))
+    s.parse()
+        .map_err(|e: mdr_core::ParseModelError| CliError(e.to_string()))
 }
 
 /// A parsed flag set: `--key value` pairs plus the subcommand.

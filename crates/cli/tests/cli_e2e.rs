@@ -22,6 +22,8 @@ fn help_lists_every_subcommand() {
         "analyze",
         "recommend",
         "simulate",
+        "serve",
+        "bench",
         "worst-case",
         "trace",
         "multi",
@@ -97,4 +99,80 @@ fn recommend_matches_the_paper_guidance_via_process() {
         stdout.contains("k ≥ 39"),
         "Corollary 4 quoted point:\n{stdout}"
     );
+}
+
+/// Spawns the binary with `input` piped to stdin.
+fn mdr_with_stdin(args: &[&str], input: &str) -> (String, String, bool) {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mdr"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(input.as_bytes())
+        .expect("stdin accepts the session");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn serve_replays_the_pinned_fixture_session() {
+    // The scripted tenant session and its byte-exact expected transcript
+    // are pinned as fixtures; CI replays the same pair with a shell diff.
+    let input = include_str!("fixtures/serve_session.in");
+    let expected = include_str!("fixtures/serve_session.expected");
+    let (stdout, stderr, ok) = mdr_with_stdin(&["serve", "--max-tenants", "4"], input);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        stdout, expected,
+        "serve wire output drifted from the pinned fixture"
+    );
+}
+
+#[test]
+fn serve_stops_at_eof_without_shutdown() {
+    let (stdout, _, ok) = mdr_with_stdin(
+        &["serve"],
+        "{\"op\":\"open\",\"tenant\":\"a\",\"policy\":\"ST2\"}\n",
+    );
+    assert!(ok);
+    assert!(stdout.contains("\"ok\":\"open\""), "{stdout}");
+}
+
+#[test]
+fn serve_budget_sheds_via_process() {
+    let session = "{\"op\":\"open\",\"tenant\":\"a\"}\n\
+                   {\"op\":\"decide\",\"tenant\":\"a\",\"request\":\"r\"}\n\
+                   {\"op\":\"decide\",\"tenant\":\"a\",\"request\":\"r\"}\n";
+    let (stdout, _, ok) = mdr_with_stdin(&["serve", "--budget", "1"], session);
+    assert!(ok);
+    assert!(stdout.contains("\"shed\":\"budget-exhausted\""), "{stdout}");
+}
+
+#[test]
+fn bench_serve_reports_decisions_per_second() {
+    let (stdout, _, ok) = mdr(&[
+        "bench",
+        "--preset",
+        "serve",
+        "--tenants",
+        "2",
+        "--requests",
+        "200",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("bench serve/fast"), "{stdout}");
+    assert!(stdout.contains("events/sec"), "{stdout}");
+    assert!(stdout.contains("ledger digest: 0x"), "{stdout}");
 }

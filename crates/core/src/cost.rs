@@ -108,6 +108,55 @@ impl fmt::Display for CostModel {
     }
 }
 
+/// Error from parsing a [`CostModel`] out of its textual notation (the §3
+/// connection / message(ω) naming).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError(String);
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+impl std::str::FromStr for CostModel {
+    type Err = ParseModelError;
+
+    /// Parses `connection` (or `conn`) and `message:<ω>` (or `msg:<ω>`),
+    /// case-insensitively; a bare `message` defaults to ω = 0.5. The ω
+    /// range check of [`CostModel::message`] is enforced here as an error
+    /// rather than a panic, so untrusted input (CLI flags, serve-layer
+    /// requests) can be rejected gracefully.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let low = s.to_ascii_lowercase();
+        if low == "connection" || low == "conn" {
+            return Ok(CostModel::Connection);
+        }
+        if low == "message" || low == "msg" {
+            return Ok(CostModel::Message { omega: 0.5 });
+        }
+        if let Some(omega) = low
+            .strip_prefix("message:")
+            .or_else(|| low.strip_prefix("msg:"))
+        {
+            let omega: f64 = omega
+                .parse()
+                .map_err(|_| ParseModelError(format!("invalid ω in {s:?}")))?;
+            if !(0.0..=1.0).contains(&omega) {
+                return Err(ParseModelError(format!(
+                    "ω must lie in [0, 1], got {omega}"
+                )));
+            }
+            return Ok(CostModel::Message { omega });
+        }
+        Err(ParseModelError(format!(
+            "unknown cost model {s:?}; expected 'connection' or 'message:<omega>'"
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +237,17 @@ mod tests {
     fn display_formats() {
         assert_eq!(CostModel::Connection.to_string(), "connection");
         assert_eq!(CostModel::message(0.4).to_string(), "message(ω=0.4)");
+    }
+
+    #[test]
+    fn from_str_parses_both_models() {
+        assert_eq!("connection".parse(), Ok(CostModel::Connection));
+        assert_eq!("CONN".parse(), Ok(CostModel::Connection));
+        assert_eq!("message:0.4".parse(), Ok(CostModel::message(0.4)));
+        assert_eq!("msg:1".parse(), Ok(CostModel::message(1.0)));
+        assert_eq!("message".parse(), Ok(CostModel::message(0.5)));
+        assert!("message:1.5".parse::<CostModel>().is_err());
+        assert!("message:x".parse::<CostModel>().is_err());
+        assert!("minutes".parse::<CostModel>().is_err());
     }
 }

@@ -54,8 +54,10 @@ mod schedule;
 mod window;
 
 pub use action::{Action, ActionCounts};
-pub use cost::{approx_eq, CostModel, COST_EPSILON};
-pub use policy::{AdaptivePolicy, AllocationPolicy, PolicySpec, SlidingWindow, St1, St2, T1, T2};
+pub use cost::{approx_eq, CostModel, ParseModelError, COST_EPSILON};
+pub use policy::{
+    AdaptivePolicy, AllocationPolicy, ParsePolicyError, PolicySpec, SlidingWindow, St1, St2, T1, T2,
+};
 pub use request::{ParseRequestError, Request};
 pub use run::{run_policy, run_spec, trace_policy, RunOutcome, TraceStep};
 pub use schedule::Schedule;

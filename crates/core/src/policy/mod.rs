@@ -30,8 +30,23 @@ use std::fmt;
 /// sequence they produce the same actions, which is what makes the
 /// worst-case (competitive) analysis well-defined.
 pub trait AllocationPolicy {
+    /// The value-level [`PolicySpec`] this policy instantiates, when it is
+    /// one of the paper's §2/§7.1 methods. `PolicySpec` is the canonical
+    /// policy identity — hashable, serializable, and displayable without
+    /// allocating — so reports and configuration should carry the spec,
+    /// not a name string. Extensions whose parameters have no faithful
+    /// spec encoding (the §7.2 [`AdaptivePolicy`], whose cost model
+    /// carries a real-valued ω) return `None` and provide their own
+    /// `Display`.
+    fn spec(&self) -> Option<PolicySpec>;
+
     /// A short human-readable name, e.g. `"SW5"` or `"T1(3)"`.
-    fn name(&self) -> String;
+    #[deprecated(note = "stringly identity that allocates per call; use `spec()` and \
+                `PolicySpec`'s `Display` instead")]
+    fn name(&self) -> String {
+        self.spec()
+            .map_or_else(|| "unnamed".to_owned(), |spec| spec.to_string())
+    }
 
     /// Whether the mobile computer currently holds a replica.
     fn has_copy(&self) -> bool;
@@ -100,11 +115,11 @@ impl PolicySpec {
     }
 
     /// The policy's display name as written in the paper (§2, §7.1) —
-    /// `ST1`, `SW3`,
-    /// `T1(m)`, … (matches [`AllocationPolicy::name`] of the built
-    /// instance).
+    /// `ST1`, `SW3`, `T1(m)`, …
+    #[deprecated(note = "allocated a boxed policy per call just to render a string; \
+                use the `Display` impl (`format!(\"{spec}\")`) instead")]
     pub fn name(&self) -> String {
-        self.build().name()
+        self.to_string()
     }
 
     /// All the policies the paper compares (§2, §7.1; the Figure 1 and
@@ -124,8 +139,78 @@ impl PolicySpec {
 }
 
 impl fmt::Display for PolicySpec {
+    /// The paper's notation for each method (§2, §7.1): `ST1`, `ST2`,
+    /// `SW<k>`, `T1(m)`, `T2(m)`. This rendering is pinned by reports and
+    /// sweep-ledger fixtures, so it must never drift.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        match *self {
+            PolicySpec::St1 => f.write_str("ST1"),
+            PolicySpec::St2 => f.write_str("ST2"),
+            PolicySpec::SlidingWindow { k } => write!(f, "SW{k}"),
+            PolicySpec::T1 { m } => write!(f, "T1({m})"),
+            PolicySpec::T2 { m } => write!(f, "T2({m})"),
+        }
+    }
+}
+
+/// Error from parsing a [`PolicySpec`] out of its textual notation (the
+/// paper's §2/§4/§7.1 names: ST1, ST2, SWk, T1m, T2m).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl std::str::FromStr for PolicySpec {
+    type Err = ParsePolicyError;
+
+    /// Parses the paper's notation, case-insensitively: `ST1`, `ST2`,
+    /// `SW<k>`, and `T1(m)` / `T2(m)` (also accepted with a colon,
+    /// `T1:m`). The inverse of the `Display` impl, with the §4/§7.1
+    /// parameter constraints enforced (odd positive `k`, `m ≥ 1`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.to_ascii_uppercase();
+        if up == "ST1" {
+            return Ok(PolicySpec::St1);
+        }
+        if up == "ST2" {
+            return Ok(PolicySpec::St2);
+        }
+        if let Some(k) = up.strip_prefix("SW") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| ParsePolicyError(format!("invalid window size in {s:?}")))?;
+            if k == 0 || k % 2 == 0 {
+                return Err(ParsePolicyError(format!(
+                    "window size must be odd and positive, got {k}"
+                )));
+            }
+            return Ok(PolicySpec::SlidingWindow { k });
+        }
+        for (prefix, is_t1) in [("T1:", true), ("T2:", false), ("T1(", true), ("T2(", false)] {
+            if let Some(rest) = up.strip_prefix(prefix) {
+                let digits = rest.trim_end_matches(')');
+                let m: usize = digits
+                    .parse()
+                    .map_err(|_| ParsePolicyError(format!("invalid threshold in {s:?}")))?;
+                if m == 0 {
+                    return Err(ParsePolicyError("threshold m must be at least 1".into()));
+                }
+                return Ok(if is_t1 {
+                    PolicySpec::T1 { m }
+                } else {
+                    PolicySpec::T2 { m }
+                });
+            }
+        }
+        Err(ParsePolicyError(format!(
+            "unknown policy {s:?}; expected ST1, ST2, SW<k>, T1(m) or T2(m)"
+        )))
     }
 }
 
@@ -134,19 +219,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn build_produces_named_policies() {
-        assert_eq!(PolicySpec::St1.name(), "ST1");
-        assert_eq!(PolicySpec::St2.name(), "ST2");
-        assert_eq!(PolicySpec::SlidingWindow { k: 1 }.name(), "SW1");
-        assert_eq!(PolicySpec::SlidingWindow { k: 7 }.name(), "SW7");
-        assert_eq!(PolicySpec::T1 { m: 3 }.name(), "T1(3)");
-        assert_eq!(PolicySpec::T2 { m: 5 }.name(), "T2(5)");
+    fn display_uses_the_papers_notation() {
+        assert_eq!(PolicySpec::St1.to_string(), "ST1");
+        assert_eq!(PolicySpec::St2.to_string(), "ST2");
+        assert_eq!(PolicySpec::SlidingWindow { k: 1 }.to_string(), "SW1");
+        assert_eq!(PolicySpec::SlidingWindow { k: 7 }.to_string(), "SW7");
+        assert_eq!(PolicySpec::T1 { m: 3 }.to_string(), "T1(3)");
+        assert_eq!(PolicySpec::T2 { m: 5 }.to_string(), "T2(5)");
     }
 
     #[test]
-    fn display_matches_name() {
-        let spec = PolicySpec::SlidingWindow { k: 9 };
-        assert_eq!(spec.to_string(), spec.name());
+    #[allow(deprecated)]
+    fn deprecated_name_paths_match_display() {
+        // Back-compat pin: the deprecated stringly paths must keep
+        // producing the bytes the reports were built on until they are
+        // removed.
+        for spec in PolicySpec::roster(&[1, 9], &[2]) {
+            assert_eq!(spec.name(), spec.to_string());
+            assert_eq!(spec.build().name(), spec.to_string());
+        }
+    }
+
+    #[test]
+    fn built_policies_report_their_spec() {
+        for spec in PolicySpec::roster(&[1, 3, 7], &[2, 5]) {
+            assert_eq!(spec.build().spec(), Some(spec));
+        }
+    }
+
+    #[test]
+    fn from_str_inverts_display() {
+        for spec in PolicySpec::roster(&[1, 3, 9], &[1, 4]) {
+            assert_eq!(spec.to_string().parse::<PolicySpec>(), Ok(spec));
+        }
+        // The colon form and lower case are accepted too.
+        assert_eq!("t1:5".parse::<PolicySpec>(), Ok(PolicySpec::T1 { m: 5 }));
+        assert_eq!(
+            "sw7".parse::<PolicySpec>(),
+            Ok(PolicySpec::SlidingWindow { k: 7 })
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_invalid_parameters() {
+        assert!("SW4".parse::<PolicySpec>().is_err(), "even window");
+        assert!("SW0".parse::<PolicySpec>().is_err());
+        assert!("T1(0)".parse::<PolicySpec>().is_err());
+        assert!("LRU".parse::<PolicySpec>().is_err());
+        assert!("SWx".parse::<PolicySpec>().is_err());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! when `k == 1`.
 
 use crate::action::Action;
-use crate::policy::AllocationPolicy;
+use crate::policy::{AllocationPolicy, PolicySpec};
 use crate::request::Request;
 use crate::window::RequestWindow;
 
@@ -80,8 +80,8 @@ impl SlidingWindow {
 }
 
 impl AllocationPolicy for SlidingWindow {
-    fn name(&self) -> String {
-        format!("SW{}", self.window.k())
+    fn spec(&self) -> Option<PolicySpec> {
+        Some(PolicySpec::SlidingWindow { k: self.window.k() })
     }
 
     fn has_copy(&self) -> bool {
@@ -167,7 +167,7 @@ mod tests {
     fn cold_start_has_no_copy() {
         let sw = SlidingWindow::new(5);
         assert!(!sw.has_copy());
-        assert_eq!(sw.name(), "SW5");
+        assert_eq!(sw.spec(), Some(PolicySpec::SlidingWindow { k: 5 }));
     }
 
     #[test]

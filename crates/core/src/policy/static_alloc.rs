@@ -8,7 +8,7 @@
 //! neither is competitive (§5.3, §6.4).
 
 use crate::action::Action;
-use crate::policy::AllocationPolicy;
+use crate::policy::{AllocationPolicy, PolicySpec};
 use crate::request::Request;
 
 /// Static one-copy (ST1, §2): the mobile computer never holds a replica.
@@ -23,8 +23,8 @@ impl St1 {
 }
 
 impl AllocationPolicy for St1 {
-    fn name(&self) -> String {
-        "ST1".to_owned()
+    fn spec(&self) -> Option<PolicySpec> {
+        Some(PolicySpec::St1)
     }
 
     fn has_copy(&self) -> bool {
@@ -54,8 +54,8 @@ impl St2 {
 }
 
 impl AllocationPolicy for St2 {
-    fn name(&self) -> String {
-        "ST2".to_owned()
+    fn spec(&self) -> Option<PolicySpec> {
+        Some(PolicySpec::St2)
     }
 
     fn has_copy(&self) -> bool {

@@ -22,7 +22,7 @@
 //! `1 + ω` in the message model).
 
 use crate::action::Action;
-use crate::policy::AllocationPolicy;
+use crate::policy::{AllocationPolicy, PolicySpec};
 use crate::request::Request;
 
 /// T1m: one-copy until `m` consecutive reads, two-copies until the next
@@ -61,11 +61,42 @@ impl T1 {
     pub fn m(&self) -> usize {
         self.m
     }
+
+    /// The consecutive-read streak counted so far in the one-copy phase
+    /// (0 in the two-copies phase) — the state the SC carries per §7.1's
+    /// division of labour, exposed for snapshot/restore.
+    pub fn streak(&self) -> usize {
+        match self.state {
+            T1State::OneCopy { consecutive_reads } => consecutive_reads,
+            T1State::TwoCopies => 0,
+        }
+    }
+
+    /// Reconstructs the §7.1 T1m automaton mid-stream (snapshot/restore
+    /// support): in the
+    /// two-copies phase when `has_copy`, else in the one-copy phase with
+    /// `streak` consecutive reads already counted (clamped below `m` so
+    /// the phase change still triggers on a request, never on restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, like [`T1::new`].
+    pub fn with_state(m: usize, has_copy: bool, streak: usize) -> Self {
+        let mut p = T1::new(m);
+        p.state = if has_copy {
+            T1State::TwoCopies
+        } else {
+            T1State::OneCopy {
+                consecutive_reads: streak.min(m - 1),
+            }
+        };
+        p
+    }
 }
 
 impl AllocationPolicy for T1 {
-    fn name(&self) -> String {
-        format!("T1({})", self.m)
+    fn spec(&self) -> Option<PolicySpec> {
+        Some(PolicySpec::T1 { m: self.m })
     }
 
     fn has_copy(&self) -> bool {
@@ -161,11 +192,41 @@ impl T2 {
     pub fn m(&self) -> usize {
         self.m
     }
+
+    /// The consecutive-write streak counted so far in the two-copies phase
+    /// (0 in the one-copy phase) — the state the MC carries per §7.1's
+    /// division of labour, exposed for snapshot/restore.
+    pub fn streak(&self) -> usize {
+        match self.state {
+            T2State::TwoCopies { consecutive_writes } => consecutive_writes,
+            T2State::OneCopy => 0,
+        }
+    }
+
+    /// Reconstructs the §7.1 T2m automaton mid-stream (snapshot/restore
+    /// support): in the
+    /// two-copies phase with `streak` consecutive writes counted when
+    /// `has_copy` (clamped below `m`), else in the one-copy phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, like [`T2::new`].
+    pub fn with_state(m: usize, has_copy: bool, streak: usize) -> Self {
+        let mut p = T2::new(m);
+        p.state = if has_copy {
+            T2State::TwoCopies {
+                consecutive_writes: streak.min(m - 1),
+            }
+        } else {
+            T2State::OneCopy
+        };
+        p
+    }
 }
 
 impl AllocationPolicy for T2 {
-    fn name(&self) -> String {
-        format!("T2({})", self.m)
+    fn spec(&self) -> Option<PolicySpec> {
+        Some(PolicySpec::T2 { m: self.m })
     }
 
     fn has_copy(&self) -> bool {
@@ -360,9 +421,31 @@ mod tests {
     }
 
     #[test]
-    fn names_include_threshold() {
-        assert_eq!(T1::new(15).name(), "T1(15)");
-        assert_eq!(T2::new(7).name(), "T2(7)");
+    fn specs_include_threshold() {
+        assert_eq!(T1::new(15).spec(), Some(PolicySpec::T1 { m: 15 }));
+        assert_eq!(T2::new(7).spec(), Some(PolicySpec::T2 { m: 7 }));
+    }
+
+    #[test]
+    fn with_state_roundtrips_mid_stream_state() {
+        // Drive T1 one read short of its threshold, clone the observable
+        // state through `with_state`, and check both continue identically.
+        let mut a = T1::new(3);
+        actions_of(&mut a, "rr");
+        let mut b = T1::with_state(a.m(), a.has_copy(), a.streak());
+        assert_eq!(a.on_request(Request::Read), b.on_request(Request::Read));
+        assert!(a.has_copy() && b.has_copy());
+
+        let mut a = T2::new(3);
+        actions_of(&mut a, "ww");
+        let mut b = T2::with_state(a.m(), a.has_copy(), a.streak());
+        assert_eq!(a.on_request(Request::Write), b.on_request(Request::Write));
+        assert!(!a.has_copy() && !b.has_copy());
+
+        // The streak is clamped so a restore can never fire the phase
+        // change by itself.
+        let p = T1::with_state(2, false, 99);
+        assert_eq!(p.streak(), 1);
     }
 
     #[test]

@@ -155,6 +155,34 @@ pub enum ConfigError {
         /// The ARQ transport's first retransmission timeout.
         rto: f64,
     },
+    /// A serve-layer request named a tenant that was never opened (or was
+    /// already closed).
+    UnknownTenant {
+        /// The tenant id the request named.
+        tenant: String,
+    },
+    /// Opening one more tenant would exceed the serve layer's admission
+    /// limit.
+    TenantLimit {
+        /// The configured maximum number of concurrent tenants.
+        limit: usize,
+    },
+    /// A serve-layer request that could not be understood — malformed JSON,
+    /// an unknown operation, or a field of the wrong shape. Carries the
+    /// parse-level reason verbatim so operators can fix the producing
+    /// client.
+    BadDecisionRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// A decision-core snapshot whose format version this build does not
+    /// speak.
+    SnapshotVersion {
+        /// The version the snapshot declared.
+        found: u32,
+        /// The newest version this build can restore.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -257,6 +285,21 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "handoff deadline {deadline} is shorter than the ARQ retransmission timeout {rto}"
+                )
+            }
+            ConfigError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant:?} is not open")
+            }
+            ConfigError::TenantLimit { limit } => {
+                write!(f, "tenant limit of {limit} reached; close a tenant first")
+            }
+            ConfigError::BadDecisionRequest { reason } => {
+                write!(f, "malformed decision request: {reason}")
+            }
+            ConfigError::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is not supported (this build restores up to version {supported})"
                 )
             }
         }
@@ -651,6 +694,47 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("invalid configuration"), "{text}");
         assert!(text.contains("disconnect rate"), "{text}");
+    }
+
+    #[test]
+    fn unknown_tenant_names_the_tenant() {
+        let err = ConfigError::UnknownTenant {
+            tenant: "mc-7".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("invalid configuration: "), "{text}");
+        assert!(text.contains("\"mc-7\""), "{text}");
+        assert!(text.contains("not open"), "{text}");
+    }
+
+    #[test]
+    fn tenant_limit_reports_the_cap() {
+        let err = ConfigError::TenantLimit { limit: 64 };
+        let text = err.to_string();
+        assert!(text.contains("tenant limit of 64"), "{text}");
+        // Machine-matchable, not just a message substring.
+        assert_eq!(err, ConfigError::TenantLimit { limit: 64 });
+        assert_ne!(err, ConfigError::TenantLimit { limit: 65 });
+    }
+
+    #[test]
+    fn bad_decision_request_carries_the_reason_verbatim() {
+        let err = ConfigError::BadDecisionRequest {
+            reason: "expected an object".to_owned(),
+        };
+        assert!(err.to_string().contains("expected an object"));
+        assert!(err.to_string().contains("malformed decision request"));
+    }
+
+    #[test]
+    fn snapshot_version_reports_both_versions() {
+        let err = ConfigError::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        let text = err.to_string();
+        assert!(text.contains("version 9"), "{text}");
+        assert!(text.contains("up to version 1"), "{text}");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 mod builder;
 pub mod calendar;
+pub mod engine;
 mod estimate;
 mod faults;
 mod nodes;
@@ -48,6 +49,10 @@ mod wire;
 mod workload;
 
 pub use builder::SimBuilder;
+pub use engine::{
+    CoreSnapshot, Decision, DecisionCore, PolicyState, ServeBenchReport, ServeConfig, ServeEngine,
+    ServeRequest, ServeResponse, ServeShedReason, Verdict,
+};
 pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfig, Summary};
 pub use faults::{ArqConfig, ConfigError, FaultKind, FaultPlan};
 pub use nodes::{MobileNode, StationaryNode};

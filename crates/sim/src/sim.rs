@@ -12,12 +12,13 @@
 //! in oracle mode and the workspace re-checks in integration tests.
 
 use crate::calendar::{key_lt, CalendarQueue};
+use crate::engine::DecisionCore;
 use crate::faults::{ArqConfig, FaultKind, FaultPlan};
 use crate::perf::{BatchedF64, PerfStats, Stopwatch};
 use crate::protocol::{Envelope, ProtocolState, StepOutcome};
 use crate::topology::{HandoffLeg, HandoffSnapshot, TopologyConfig};
 use crate::workload::{Arrival, ArrivalProcess};
-use mdr_core::{Action, ActionCounts, AllocationPolicy, CostModel, PolicySpec, Request, Schedule};
+use mdr_core::{Action, ActionCounts, CostModel, PolicySpec, Request, Schedule};
 use std::collections::VecDeque;
 
 /// Simulation parameters.
@@ -667,7 +668,10 @@ pub struct Simulation {
     /// The protocol transition relation (both nodes + wire + ledger); the
     /// event loop only adds time, queueing and billing on top.
     protocol: ProtocolState,
-    oracle: Option<Box<dyn AllocationPolicy>>,
+    /// The per-request reference in oracle mode: a sans-io
+    /// [`DecisionCore`] fed the same serialized request order, so every
+    /// run doubles as an equivalence test of the decision engine.
+    oracle: Option<DecisionCore>,
     events: CalendarQueue<Event>,
     /// Envelopes parked between transmission and delivery, indexed by the
     /// slot the queued [`Event::Deliver`]/[`Event::GhostDeliver`] carries.
@@ -889,7 +893,12 @@ impl Simulation {
         let cells = config.topology.as_ref().map_or(1, |t| t.cells);
         Simulation {
             protocol: ProtocolState::new(config.policy),
-            oracle: config.oracle_check.then(|| config.policy.build()),
+            oracle: config.oracle_check.then(|| {
+                let Ok(core) = DecisionCore::new(config.policy, CostModel::Connection) else {
+                    panic!("the simulation config carries a validated policy spec");
+                };
+                core
+            }),
             config,
             events: CalendarQueue::new(),
             pool: EnvelopePool::new(),
@@ -2191,17 +2200,17 @@ impl Simulation {
                 invalidation_expected,
             );
         }
-        // Oracle equivalence: the distributed protocol must take exactly the
-        // action the reference policy takes.
+        // Oracle equivalence: the distributed protocol must take exactly
+        // the action the decision core decides for the same request.
         if let Some(oracle) = &mut self.oracle {
-            let expected = oracle.on_request(request);
+            let decision = oracle.decide(request);
             assert_eq!(
-                action, expected,
-                "distributed execution diverged from the reference policy on request {}",
+                action, decision.action,
+                "distributed execution diverged from the decision core on request {}",
                 self.served
             );
             assert_eq!(
-                oracle.has_copy(),
+                decision.has_copy,
                 self.protocol.mc().has_copy(),
                 "replica state diverged"
             );
@@ -3426,5 +3435,41 @@ mod topology_tests {
         assert!(r.handoffs_committed > 0);
         assert_eq!(r.handoff_messages, 9_283, "regression pin");
         assert_eq!(r.settled_handoff_messages, 7_530, "regression pin");
+    }
+
+    /// Regression (mutation): a time-limited faulted run ends through the
+    /// event loop's early stop — the link-fault process reschedules itself
+    /// forever, so without that break the loop would chase `LinkDown`/
+    /// `LinkUp` maintenance long after the last arrival. The fault tallies
+    /// are pinned at the values the stop leaves behind; exiting later (or
+    /// never) moves them.
+    #[test]
+    fn time_limited_faulted_runs_stop_once_drained() {
+        let plan = FaultPlan::new(0.8, 0.3, 11).unwrap();
+        let mut sim = SimBuilder::new(PolicySpec::SlidingWindow { k: 3 })
+            .and_then(|b| b.latency(0.05))
+            .and_then(|b| b.faults(plan))
+            .unwrap()
+            .simulation();
+        let mut w = crate::workload::PoissonWorkload::from_theta(1.0, 0.3, 9);
+        let report = sim.run(&mut w, RunLimit::Time(40.0));
+        assert!(report.counts.total() > 0);
+        assert_eq!(report.disconnects, 24, "regression pin");
+        assert_eq!(report.recoveries, 0, "regression pin");
+    }
+
+    /// Regression (mutation): the migration target draw maps a uniform
+    /// variate onto the `cells - 1` *other* cells — §1's "moves from cell
+    /// to cell" never stays put. Scaling by the wrong cell count (then
+    /// clamping) would sometimes pick the MC's own cell, skipping the
+    /// handoff; the flight counters are pinned to catch it.
+    #[test]
+    fn migration_targets_cover_other_cells_exactly() {
+        let t = TopologyConfig::new(3, 0.8, 2.0, 13).unwrap();
+        let r = topo_run(Some(t), 4242);
+        assert!(r.migrations > 100);
+        assert_eq!(r.migrations, 3_207, "regression pin");
+        assert_eq!(r.handoffs_committed, 2_997, "regression pin");
+        assert_eq!(r.replicas_invalidated, 3_034, "regression pin");
     }
 }

@@ -3,8 +3,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use mdr_core::{CostModel, PolicySpec, Request, Schedule};
+use mdr_core::{approx_eq, run_spec, CostModel, PolicySpec, Request, Schedule};
 use mdr_sim::calendar::{key_lt, CalendarQueue};
+use mdr_sim::engine::{DecisionCore, ServeConfig, ServeEngine};
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
 use mdr_sim::{
     ArqConfig, ArrivalProcess, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, Simulation,
@@ -532,6 +533,105 @@ proptest! {
         prop_assert_eq!(&serial, &four);
         prop_assert_eq!(serial.ledger_digest(), four.ledger_digest());
         prop_assert_eq!(serial.ledger_lines().into_bytes(), four.ledger_lines().into_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Decision-core equivalence: a standalone [`DecisionCore`] fed a
+    /// schedule takes exactly the actions of the pure reference policy
+    /// *and* reaches the same terminal ledger as the full discrete-event
+    /// simulator (whose internal oracle — itself a `DecisionCore` —
+    /// asserts per-request action equality along the way, so any
+    /// divergence panics the run rather than merely failing a final
+    /// comparison).
+    #[test]
+    fn decision_core_matches_the_simulator(
+        spec in arb_spec(),
+        s in arb_schedule(200),
+        omega in 0.0f64..=1.0,
+    ) {
+        let model = CostModel::message(omega);
+        let Ok(mut core) = DecisionCore::new(spec, model) else {
+            return Err(TestCaseError::fail("arb_spec generates valid specs"));
+        };
+        let mut reference = spec.build();
+        for r in &s {
+            let d = core.decide(r);
+            prop_assert_eq!(d.action, reference.on_request(r));
+            prop_assert_eq!(d.has_copy, reference.has_copy());
+        }
+        let outcome = run_spec(spec, &s, model);
+        prop_assert_eq!(outcome.counts, *core.counts());
+        prop_assert_eq!(outcome.final_copy, core.has_copy());
+        prop_assert!(approx_eq(outcome.total_cost, core.total_cost()));
+        let report = Simulation::run_schedule(spec, &s);
+        prop_assert_eq!(&report.schedule, &s);
+        prop_assert_eq!(report.counts, *core.counts());
+    }
+
+    /// Serve-layer snapshot/restore round trip: serving N requests,
+    /// snapshotting, restoring into a fresh tenant and serving M more
+    /// produces byte-identical responses — and the same terminal stats as
+    /// serving all N + M requests in one uninterrupted session.
+    #[test]
+    fn serve_snapshot_restore_round_trips(
+        spec in arb_spec(),
+        head in arb_schedule(100),
+        tail in arb_schedule(100),
+    ) {
+        let Ok(mut engine) = ServeEngine::new(ServeConfig::default()) else {
+            return Err(TestCaseError::fail("the default serve config is valid"));
+        };
+        let open = |tenant: &str| {
+            format!(r#"{{"op":"open","tenant":"{tenant}","policy":"{spec}","model":"message:0.5"}}"#)
+        };
+        let decide = |tenant: &str, r: Request| {
+            format!(r#"{{"op":"decide","tenant":"{tenant}","request":"{}"}}"#, r.letter())
+        };
+        // Tenant `a` serves the head; `whole` serves head + tail unbroken.
+        engine.handle_line(&open("a"));
+        engine.handle_line(&open("whole"));
+        for r in &head {
+            engine.handle_line(&decide("a", r));
+            engine.handle_line(&decide("whole", r));
+        }
+        // Snapshot `a` and restore it as `b`.
+        let snap = engine.handle_line(r#"{"op":"snapshot","tenant":"a"}"#);
+        let Some(snapshot_json) = snap
+            .strip_prefix(r#"{"ok":"snapshot","tenant":"a","snapshot":"#)
+            .and_then(|s| s.strip_suffix('}'))
+        else {
+            return Err(TestCaseError::fail(format!("unexpected snapshot shape: {snap}")));
+        };
+        let restored = engine
+            .handle_line(&format!(r#"{{"op":"restore","tenant":"b","snapshot":{snapshot_json}}}"#));
+        let restore_ok = restored.starts_with(r#"{"ok":"restore""#);
+        prop_assert!(restore_ok, "unexpected restore response: {}", restored);
+        // The restored tenant now serves the tail byte-identically to the
+        // original, and both end exactly where the unbroken session ends.
+        for r in &tail {
+            let a = engine.handle_line(&decide("a", r));
+            let b = engine.handle_line(&decide("b", r));
+            let w = engine.handle_line(&decide("whole", r));
+            prop_assert_eq!(
+                a.replace(r#""tenant":"a""#, ""),
+                b.replace(r#""tenant":"b""#, "")
+            );
+            prop_assert_eq!(
+                a.replace(r#""tenant":"a""#, ""),
+                w.replace(r#""tenant":"whole""#, "")
+            );
+        }
+        let stats = |engine: &mut ServeEngine, tenant: &str| {
+            engine
+                .handle_line(&format!(r#"{{"op":"stats","tenant":"{tenant}"}}"#))
+                .replace(&format!(r#""tenant":"{tenant}""#), "")
+        };
+        let a = stats(&mut engine, "a");
+        prop_assert_eq!(&a, &stats(&mut engine, "b"));
+        prop_assert_eq!(&a, &stats(&mut engine, "whole"));
     }
 }
 

@@ -43,7 +43,7 @@ fn main() {
     };
     println!(
         "cellular, θ known: pick {} (EXP = {:.4} connections/request)",
-        cell_static.name(),
+        cell_static,
         expected_cost(cell_static, cellular, theta)
     );
     // …and a window balancing AVG/competitiveness when θ drifts (§9).
@@ -83,11 +83,11 @@ fn main() {
         let cell_cost = report.cost(cellular) * dollars_per_connection;
         let packet_cost = report.cost(packet) * dollars_per_data_msg;
         if best_packet.as_ref().is_none_or(|(_, c)| packet_cost < *c) {
-            best_packet = Some((spec.name(), packet_cost));
+            best_packet = Some((spec.to_string(), packet_cost));
         }
         println!(
             "{:<8} {:>18.2} {:>18.2}",
-            spec.name(),
+            spec.to_string(),
             cell_cost,
             packet_cost
         );

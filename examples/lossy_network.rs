@@ -47,7 +47,7 @@ fn main() {
     println!("{:>16}", "retransmits@0.5");
 
     for &spec in &policies {
-        print!("{:<8}", spec.name());
+        print!("{:<8}", spec.to_string());
         let mut last_retx = 0;
         for &p in &losses {
             let report = run(spec, p);
@@ -62,7 +62,7 @@ fn main() {
     for &spec in &policies {
         let base = run(spec, 0.0).cost_per_request(model);
         let lossy = run(spec, 0.3).cost_per_request(model);
-        println!("  {:<6} ×{:.4}", spec.name(), lossy / base);
+        println!("  {:<6} ×{:.4}", spec.to_string(), lossy / base);
     }
 
     // The protocol itself is untouched: the oracle check (on by default)
@@ -71,7 +71,7 @@ fn main() {
     let rank = |loss: f64| {
         let mut v: Vec<(String, f64)> = policies
             .iter()
-            .map(|&s| (s.name(), run(s, loss).cost_per_request(model)))
+            .map(|&s| (s.to_string(), run(s, loss).cost_per_request(model)))
             .collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1));
         v.into_iter().map(|(n, _)| n).collect::<Vec<_>>()

@@ -31,7 +31,7 @@ fn main() {
             let report = Simulation::run_poisson(spec, theta, requests, 42);
             println!(
                 "{:<8} {:>14.4} {:>14.4} {:>12} {:>12}",
-                spec.name(),
+                spec.to_string(),
                 predicted,
                 report.cost_per_request(model),
                 report.allocations,

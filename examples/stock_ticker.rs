@@ -50,7 +50,7 @@ fn main() {
         let phase_mean = 0.5 * (expected_cost(spec, model, 0.1) + expected_cost(spec, model, 0.9));
         println!(
             "{:<8} {:>14.4} {:>16} {:>26.4}",
-            spec.name(),
+            spec.to_string(),
             cost,
             flips,
             phase_mean

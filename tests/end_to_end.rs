@@ -31,7 +31,7 @@ fn paper_reproduction_pipeline() {
     // 5. …and beats both statics on the same seeded workload.
     for other in [PolicySpec::St1, PolicySpec::St2] {
         let other_cost = Simulation::run_poisson(other, theta, 40_000, 123).cost_per_request(model);
-        assert!(measured < other_cost, "{} should lose here", other.name());
+        assert!(measured < other_cost, "{other} should lose here");
     }
 
     // 6. Offline hindsight check: the run stayed within SW1's competitive
