@@ -1,7 +1,7 @@
 //! The `mdr` subcommands. Each returns its report as a `String` so the
 //! logic is unit-testable without capturing stdout.
 
-use crate::parse::{parse_model, parse_policy, Args, CliError};
+use crate::parse::{parse_fsync, parse_model, parse_policy, Args, CliError};
 use mdr_adversary::{cycle_ratio, exhaustive_search, generators, measure};
 use mdr_analysis::dominance::{connection_winner, message_winner, Winner};
 use mdr_analysis::window_choice::{min_beneficial_k, recommend_k};
@@ -12,7 +12,10 @@ use mdr_core::{trace_policy, CostModel, PolicySpec, Schedule};
 use mdr_sim::engine::{run_serve_bench, serve_bench_lines, ServeConfig, ServeEngine};
 use mdr_sim::perf::Stopwatch;
 use mdr_sim::sweep::{SweepGrid, SweepOptions};
-use mdr_sim::{ArqConfig, FaultPlan, PoissonWorkload, RunLimit, SimBuilder, TopologyConfig};
+use mdr_sim::{
+    ArqConfig, DurableServe, FaultPlan, JournalConfig, PoissonWorkload, RunLimit, SimBuilder,
+    TopologyConfig,
+};
 use std::fmt::Write as _;
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
@@ -640,7 +643,8 @@ fn serve_config(args: &Args) -> Result<ServeConfig, CliError> {
 }
 
 /// `mdr serve [--max-tenants N] [--policy P] [--model M] [--budget N]
-/// [--adaptive on]`
+/// [--adaptive on] [--data-dir DIR] [--fsync always|interval[:N]|never]
+/// [--checkpoint-every N]`
 ///
 /// The long-running decision daemon: newline-JSON requests on stdin, one
 /// JSON response per line on stdout, no async runtime — just a read loop
@@ -650,24 +654,118 @@ fn serve_config(args: &Args) -> Result<ServeConfig, CliError> {
 /// and `--model` set the defaults for tenants that do not name their own;
 /// the built-in default is the competitive-safe T1(2) under the
 /// connection model.
+///
+/// With `--data-dir`, the daemon is crash-safe: every acknowledged state
+/// change is journaled to a per-tenant write-ahead log before the
+/// response is produced, checkpoints compact the journals, and a restart
+/// on the same directory recovers every tenant (replaying the journal
+/// tail, truncating torn records, quarantining — never crashing on —
+/// unrecoverable tenants). Shutdown and end-of-input both flush a final
+/// checkpoint. The recovery summary goes to stderr; stdout carries only
+/// the wire protocol.
 pub(crate) fn serve(args: &Args) -> Result<String, CliError> {
-    use std::io::{BufRead as _, Write as _};
     let config = serve_config(args)?;
-    let mut engine = ServeEngine::new(config).map_err(|e| CliError(e.to_string()))?;
+    match args.flags.get("data-dir") {
+        Some(dir) => serve_durable(args, config, &dir.clone()),
+        None => {
+            for flag in ["fsync", "checkpoint-every"] {
+                if args.flags.contains_key(flag) {
+                    return err(format!("--{flag} requires --data-dir"));
+                }
+            }
+            let mut engine = ServeEngine::new(config).map_err(|e| CliError(e.to_string()))?;
+            serve_loop(&mut engine)
+        }
+    }
+}
+
+/// What the serve read loop needs from a daemon backend: the in-memory
+/// engine and the durable wrapper both qualify.
+trait LineServer {
+    fn handle_line(&mut self, line: &str) -> String;
+    fn is_done(&self) -> bool;
+    /// Runs when stdin ends without a `shutdown` op.
+    fn at_eof(&mut self) {}
+}
+
+impl LineServer for ServeEngine {
+    fn handle_line(&mut self, line: &str) -> String {
+        ServeEngine::handle_line(self, line)
+    }
+    fn is_done(&self) -> bool {
+        ServeEngine::is_done(self)
+    }
+}
+
+impl LineServer for DurableServe {
+    fn handle_line(&mut self, line: &str) -> String {
+        DurableServe::handle_line(self, line)
+    }
+    fn is_done(&self) -> bool {
+        DurableServe::is_done(self)
+    }
+    fn at_eof(&mut self) {
+        // End-of-input flushes like a shutdown: final checkpoint,
+        // compacted journal, everything fsynced.
+        self.finalize();
+    }
+}
+
+/// The durable variant of the serve loop: recover, report to stderr,
+/// then serve with the journal in the write path.
+fn serve_durable(args: &Args, config: ServeConfig, dir: &str) -> Result<String, CliError> {
+    let mut journal = JournalConfig::new(dir);
+    if let Some(fsync) = args.flags.get("fsync") {
+        journal.fsync = parse_fsync(fsync)?;
+    }
+    journal.checkpoint_every = args.number("checkpoint-every", journal.checkpoint_every)?;
+    let watch = Stopwatch::start();
+    let (mut serve, report) =
+        DurableServe::open(config, journal).map_err(|e| CliError(e.to_string()))?;
+    let recovery = watch.stats(report.tenants.len() as u64);
+    let stats = serve.stats();
+    eprintln!(
+        "recovery: {} tenant(s) recovered, {} record(s) replayed, {} byte(s) truncated, \
+         {} quarantined in {:.1} ms",
+        stats.recovered_tenants,
+        stats.replayed_records,
+        stats.truncated_bytes,
+        stats.quarantined_tenants,
+        recovery.wall_nanos as f64 / 1e6,
+    );
+    for (name, outcome) in &report.tenants {
+        if let mdr_sim::TenantRecovery::Quarantined { error } = outcome {
+            eprintln!("quarantined tenant {name:?}: {error}");
+        }
+    }
+    for dir_name in &report.skipped_dirs {
+        eprintln!("skipped stray directory {dir_name:?} under tenants/");
+    }
+    serve_loop(&mut serve)
+}
+
+/// The shared stdin→stdout read loop over either serve backend.
+fn serve_loop(server: &mut impl LineServer) -> Result<String, CliError> {
+    use std::io::{BufRead as _, Write as _};
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
+    let mut shut_down = false;
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| CliError(format!("cannot read stdin: {e}")))?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = engine.handle_line(&line);
+        let response = server.handle_line(&line);
         writeln!(stdout, "{response}")
             .and_then(|()| stdout.flush())
             .map_err(|e| CliError(format!("cannot write stdout: {e}")))?;
-        if engine.is_done() {
+        if server.is_done() {
+            shut_down = true;
             break;
         }
+    }
+    if !shut_down {
+        server.at_eof();
     }
     // Responses were streamed in-loop; nothing is left to print.
     Ok(String::new())
@@ -877,9 +975,11 @@ subcommands:
               --preset serve times the decision daemon: decisions/sec through the
               full JSON wire path, with [--tenants N] [--requests R] [--seed S])
   serve      [--max-tenants N] [--policy P] [--model M] [--budget N] [--adaptive on]
+             [--data-dir DIR] [--fsync always|interval[:N]|never] [--checkpoint-every N]
              (long-running decision daemon: newline-JSON on stdin/stdout, one
               DecisionCore per tenant; open/decide/stats/snapshot/restore/close;
-              see docs/serve.md for the wire format)
+              --data-dir makes it crash-safe: write-ahead journal + checkpoints,
+              recovery with quarantine on restart; see docs/serve.md)
   worst-case --policy <P> [--model M] [--max-len L] [--cycles C]
   trace      --policy <P> --schedule rrwwr [--model M] per-request execution trace
   multi      --profile profile.json                    §7.2 optimal multi-object allocation

@@ -38,6 +38,31 @@ pub(crate) fn parse_model(s: &str) -> Result<CostModel, CliError> {
         .map_err(|e: mdr_core::ParseModelError| CliError(e.to_string()))
 }
 
+/// Parses a journal fsync policy: `always`, `never`, or `interval[:N]`
+/// (`interval` alone syncs every 64 records).
+pub(crate) fn parse_fsync(s: &str) -> Result<mdr_sim::FsyncPolicy, CliError> {
+    use mdr_sim::FsyncPolicy;
+    match s {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        "interval" => Ok(FsyncPolicy::Interval(64)),
+        other => {
+            if let Some(n) = other.strip_prefix("interval:") {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid fsync interval {n:?}")))?;
+                if n == 0 {
+                    return err("--fsync interval must be at least 1");
+                }
+                return Ok(FsyncPolicy::Interval(n));
+            }
+            err(format!(
+                "unknown fsync policy {other:?}; expected always, never, or interval[:N]"
+            ))
+        }
+    }
+}
+
 /// A parsed flag set: `--key value` pairs plus the subcommand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Args {
@@ -143,6 +168,23 @@ mod tests {
         assert!(parse_model("message:1.5").is_err());
         assert!(parse_model("message:x").is_err());
         assert!(parse_model("minutes").is_err());
+    }
+
+    #[test]
+    fn fsync_policies_parse() {
+        use mdr_sim::FsyncPolicy;
+        assert_eq!(parse_fsync("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(parse_fsync("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(parse_fsync("interval").unwrap(), FsyncPolicy::Interval(64));
+        assert_eq!(parse_fsync("interval:7").unwrap(), FsyncPolicy::Interval(7));
+    }
+
+    #[test]
+    fn bad_fsync_policies_rejected() {
+        assert!(parse_fsync("interval:0").is_err());
+        assert!(parse_fsync("interval:x").is_err());
+        assert!(parse_fsync("sometimes").is_err());
+        assert!(parse_fsync("ALWAYS").is_err());
     }
 
     #[test]

@@ -141,6 +141,57 @@ fn serve_replays_the_pinned_fixture_session() {
 }
 
 #[test]
+fn durable_serve_survives_a_restart_with_identical_stats() {
+    // Run 1 ends at EOF with *no* shutdown op — the daemon must still
+    // flush the journal and cut a final checkpoint on its way out. Run 2
+    // reopens the same --data-dir and must serve byte-identical
+    // per-tenant stats. Both transcripts are pinned as fixtures.
+    let dir = std::env::temp_dir().join(format!(
+        "mdr-e2e-durable-{}-{}",
+        std::process::id(),
+        Box::leak(Box::new(0u8)) as *const u8 as usize,
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+
+    let input = include_str!("fixtures/durable_session_1.in");
+    let expected = include_str!("fixtures/durable_session_1.expected");
+    let (stdout, stderr, ok) = mdr_with_stdin(&["serve", "--data-dir", dir_arg], input);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout, expected, "first durable run drifted");
+    assert!(
+        stderr.contains("recovery: 0 tenant(s) recovered"),
+        "{stderr}"
+    );
+
+    let input = include_str!("fixtures/durable_session_2.in");
+    let expected = include_str!("fixtures/durable_session_2.expected");
+    let (stdout, stderr, ok) = mdr_with_stdin(&["serve", "--data-dir", dir_arg], input);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout, expected, "stats changed across the restart");
+    assert!(
+        stderr.contains("recovery: 2 tenant(s) recovered"),
+        "{stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_flags_require_data_dir() {
+    let (_, stderr, ok) = mdr_with_stdin(&["serve", "--fsync", "always"], "");
+    assert!(!ok);
+    assert!(stderr.contains("--fsync requires --data-dir"), "{stderr}");
+
+    let (_, stderr, ok) = mdr_with_stdin(&["serve", "--checkpoint-every", "8"], "");
+    assert!(!ok);
+    assert!(
+        stderr.contains("--checkpoint-every requires --data-dir"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn serve_stops_at_eof_without_shutdown() {
     let (stdout, _, ok) = mdr_with_stdin(
         &["serve"],

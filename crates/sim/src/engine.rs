@@ -555,8 +555,10 @@ impl Default for ServeConfig {
     }
 }
 
-/// Decisions between θ̂ checkpoints of the adaptive serve mode.
-const ADAPT_INTERVAL: u64 = 64;
+/// Decisions between θ̂ checkpoints of the adaptive serve mode (also
+/// re-derived by journal replay, so recovery reconstructs the same
+/// checkpoint bookkeeping the live engine had).
+pub(crate) const ADAPT_INTERVAL: u64 = 64;
 /// Two consecutive checkpoint estimates within this distance count as a
 /// stable θ̂ (§6's "θ is fixed" precondition, made operational).
 const ADAPT_TOLERANCE: f64 = 0.05;
@@ -595,10 +597,12 @@ pub enum ServeRequest {
         /// The request, as the paper's `r`/`w` letter.
         request: char,
     },
-    /// Report a tenant's ledger and state.
+    /// Report a tenant's ledger and state — or, with no tenant named,
+    /// the daemon-level totals (tenant count, lifetime decisions, and the
+    /// durability counters when the serving layer journals to disk).
     Stats {
-        /// Tenant id.
-        tenant: String,
+        /// Tenant id; `None` asks for daemon-level stats.
+        tenant: Option<String>,
     },
     /// Capture a tenant's restorable snapshot.
     Snapshot {
@@ -715,6 +719,16 @@ pub enum ServeResponse {
         /// The version the mobile side last observed.
         replica_version: u64,
     },
+    /// Daemon-level totals (the `stats` op with no tenant named).
+    ServerStats {
+        /// Currently-open tenants.
+        tenants: usize,
+        /// Decisions served over the engine's lifetime.
+        decisions: u64,
+        /// Journal/recovery counters; `None` when the engine runs without
+        /// a durability layer (`mdr serve` without `--data-dir`).
+        durability: Option<crate::journal::DurabilityStats>,
+    },
     /// A tenant snapshot.
     Snapshot {
         /// Tenant id.
@@ -814,6 +828,21 @@ impl Serialize for ServeResponse {
                 ("data_version", data_version.to_value()),
                 ("replica_version", replica_version.to_value()),
             ]),
+            ServeResponse::ServerStats {
+                tenants,
+                decisions,
+                durability,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Value::String("server-stats".to_owned())),
+                    ("tenants", tenants.to_value()),
+                    ("decisions", decisions.to_value()),
+                ];
+                if let Some(d) = durability {
+                    pairs.extend(d.pairs());
+                }
+                obj(pairs)
+            }
             ServeResponse::Snapshot { tenant, snapshot } => obj(vec![
                 ("ok", Value::String("snapshot".to_owned())),
                 ("tenant", tenant.to_value()),
@@ -906,11 +935,128 @@ impl ServeEngine {
         self.tenants.len()
     }
 
-    fn error(err: &ConfigError) -> ServeResponse {
+    /// The policy an open tenant currently runs (this moves when the
+    /// adaptive mode re-selects the window), or `None` for a tenant that
+    /// is not open. The durability layer compares it across a decision to
+    /// journal adaptive re-selections as explicit records.
+    pub fn tenant_policy(&self, tenant: &str) -> Option<PolicySpec> {
+        self.tenants.get(tenant).map(|t| t.core.spec())
+    }
+
+    /// The decision core behind an open tenant (checkpoint serialization).
+    pub(crate) fn tenant_core(&self, tenant: &str) -> Option<&DecisionCore> {
+        self.tenants.get(tenant).map(|t| &t.core)
+    }
+
+    /// A tenant's adaptive bookkeeping: `(adapted, θ̂ checkpoint)`.
+    pub(crate) fn adapt_state(&self, tenant: &str) -> Option<(bool, Option<(u64, u64)>)> {
+        self.tenants.get(tenant).map(|t| (t.adapted, t.checkpoint))
+    }
+
+    /// Installs a recovered tenant directly, bypassing admission control:
+    /// the tenant was admitted by a previous incarnation of the daemon, so
+    /// recovery must not re-litigate it (a lowered `--max-tenants` would
+    /// otherwise strand durable state on disk).
+    pub(crate) fn install_tenant(
+        &mut self,
+        name: &str,
+        core: DecisionCore,
+        adapted: bool,
+        checkpoint: Option<(u64, u64)>,
+    ) {
+        self.tenants.insert(
+            name.to_owned(),
+            Tenant {
+                core,
+                checkpoint,
+                adapted,
+            },
+        );
+    }
+
+    /// Restores the lifetime decision counter after recovery (the sum of
+    /// the recovered tenants' `decided` streams — decisions by tenants
+    /// closed before the restart are not recoverable and stay forgotten).
+    pub(crate) fn restore_lifetime(&mut self, decisions: u64) {
+        self.decisions = decisions;
+    }
+
+    /// Replays one journaled decision, bypassing the budget (the work was
+    /// already admitted and acknowledged by a previous incarnation) and
+    /// the live adaptive trigger — re-selections are replayed from their
+    /// own explicit journal records, so recovery is independent of the
+    /// daemon's current `--adapt` setting. Only the θ̂ checkpoint
+    /// bookkeeping is re-derived, exactly as [`Self::maybe_adapt`] would
+    /// have recorded it.
+    pub(crate) fn replay_decide(
+        &mut self,
+        tenant: &str,
+        request: Request,
+    ) -> Result<(), ConfigError> {
+        let t = self.tenant(tenant)?;
+        t.core.decide(request);
+        if !t.adapted && t.core.decided() % ADAPT_INTERVAL == 0 {
+            t.checkpoint = Some((t.core.counts().writes(), t.core.decided()));
+        }
+        self.decisions += 1;
+        Ok(())
+    }
+
+    /// Replays one journaled §6 re-selection: adopt the recorded window
+    /// and latch `adapted`, exactly as the live [`Self::maybe_adapt`] did
+    /// when it wrote the record.
+    pub(crate) fn replay_adopt(
+        &mut self,
+        tenant: &str,
+        spec: PolicySpec,
+    ) -> Result<(), ConfigError> {
+        let t = self.tenant(tenant)?;
+        t.core.adopt(spec)?;
+        t.adapted = true;
+        Ok(())
+    }
+
+    /// Replays one journaled `restore`, mirroring the live semantics
+    /// minus admission control: over an open tenant it rewinds the core
+    /// in place (adaptive latch preserved, θ̂ checkpoint cleared); for an
+    /// absent tenant it installs a fresh one.
+    pub(crate) fn replay_restore(
+        &mut self,
+        tenant: &str,
+        snapshot: &CoreSnapshot,
+    ) -> Result<(), ConfigError> {
+        let core = DecisionCore::restore(snapshot)?;
+        if let Some(existing) = self.tenants.get_mut(tenant) {
+            existing.core = core;
+            existing.checkpoint = None;
+        } else {
+            self.tenants.insert(
+                tenant.to_owned(),
+                Tenant {
+                    core,
+                    checkpoint: None,
+                    adapted: false,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Drops a tenant without the `close` ceremony — the durability layer
+    /// uses this to undo a partially-recovered or journal-failed tenant
+    /// before quarantining its on-disk state.
+    pub(crate) fn evict_tenant(&mut self, tenant: &str) -> bool {
+        self.tenants.remove(tenant).is_some()
+    }
+
+    pub(crate) fn error(err: &ConfigError) -> ServeResponse {
         let code = match err {
             ConfigError::UnknownTenant { .. } => "unknown-tenant",
             ConfigError::BadDecisionRequest { .. } => "bad-request",
             ConfigError::SnapshotVersion { .. } => "snapshot-version",
+            ConfigError::DataDir { .. } => "data-dir",
+            ConfigError::JournalCorrupt { .. } => "journal-corrupt",
+            ConfigError::CheckpointVersion { .. } => "checkpoint-version",
             _ => "bad-config",
         };
         ServeResponse::Error {
@@ -1063,7 +1209,14 @@ impl ServeEngine {
                     decision,
                 })
             }
-            ServeRequest::Stats { tenant } => {
+            ServeRequest::Stats { tenant: None } => Ok(ServeResponse::ServerStats {
+                tenants: self.tenants.len(),
+                decisions: self.decisions,
+                durability: None,
+            }),
+            ServeRequest::Stats {
+                tenant: Some(tenant),
+            } => {
                 let t = self.tenant(tenant)?;
                 Ok(ServeResponse::Stats {
                     tenant: tenant.clone(),
@@ -1448,7 +1601,7 @@ mod tests {
         let ServeResponse::Stats {
             has_copy, decided, ..
         } = e.apply(&ServeRequest::Stats {
-            tenant: "a".to_owned(),
+            tenant: Some("a".to_owned()),
         })
         else {
             panic!("expected stats");
@@ -1458,7 +1611,7 @@ mod tests {
         let ServeResponse::Stats {
             has_copy, decided, ..
         } = e.apply(&ServeRequest::Stats {
-            tenant: "b".to_owned(),
+            tenant: Some("b".to_owned()),
         })
         else {
             panic!("expected stats");
@@ -1629,7 +1782,7 @@ mod tests {
             });
         }
         let ServeResponse::Stats { policy, .. } = e.apply(&ServeRequest::Stats {
-            tenant: "a".to_owned(),
+            tenant: Some("a".to_owned()),
         }) else {
             panic!("expected stats");
         };

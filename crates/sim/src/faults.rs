@@ -183,6 +183,31 @@ pub enum ConfigError {
         /// The newest version this build can restore.
         supported: u32,
     },
+    /// The durability layer's data directory could not be created, read,
+    /// or written.
+    DataDir {
+        /// The path that failed.
+        path: String,
+        /// The I/O-level reason, verbatim.
+        reason: String,
+    },
+    /// A tenant's write-ahead journal failed recovery validation —
+    /// a checksum mismatch, a sequence gap, an undecodable record, or a
+    /// journal that does not begin with a tenant-creating operation. The
+    /// tenant is quarantined; the daemon and other tenants continue.
+    JournalCorrupt {
+        /// The tenant whose journal failed.
+        tenant: String,
+        /// What the scan found.
+        reason: String,
+    },
+    /// A checkpoint file whose format version this build does not speak.
+    CheckpointVersion {
+        /// The version the checkpoint declared.
+        found: u32,
+        /// The newest version this build can load.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -300,6 +325,18 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "snapshot format version {found} is not supported (this build restores up to version {supported})"
+                )
+            }
+            ConfigError::DataDir { path, reason } => {
+                write!(f, "data directory {path:?} unusable: {reason}")
+            }
+            ConfigError::JournalCorrupt { tenant, reason } => {
+                write!(f, "journal for tenant {tenant:?} is corrupt: {reason}")
+            }
+            ConfigError::CheckpointVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} is not supported (this build loads up to version {supported})"
                 )
             }
         }
@@ -738,6 +775,54 @@ mod tests {
     }
 
     #[test]
+    fn data_dir_reports_path_and_reason() {
+        let err = ConfigError::DataDir {
+            path: "/var/mdr".to_owned(),
+            reason: "permission denied".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("\"/var/mdr\""), "{text}");
+        assert!(text.contains("permission denied"), "{text}");
+        assert_ne!(
+            err,
+            ConfigError::DataDir {
+                path: "/var/mdr".to_owned(),
+                reason: "disk full".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn journal_corrupt_names_the_tenant_and_finding() {
+        let err = ConfigError::JournalCorrupt {
+            tenant: "mc-3".to_owned(),
+            reason: "sequence gap at record 7".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("\"mc-3\""), "{text}");
+        assert!(text.contains("sequence gap at record 7"), "{text}");
+        assert!(text.contains("corrupt"), "{text}");
+    }
+
+    #[test]
+    fn checkpoint_version_reports_both_versions() {
+        let err = ConfigError::CheckpointVersion {
+            found: 4,
+            supported: 1,
+        };
+        let text = err.to_string();
+        assert!(text.contains("checkpoint format version 4"), "{text}");
+        assert!(text.contains("up to version 1"), "{text}");
+        assert_ne!(
+            err,
+            ConfigError::CheckpointVersion {
+                found: 5,
+                supported: 1,
+            }
+        );
+    }
+
+    #[test]
     fn valid_arq_configs_build() {
         let arq = ArqConfig::new(0.3, 0.05, 11)
             .and_then(|a| a.with_backoff(1.5, 0.2))
@@ -748,6 +833,18 @@ mod tests {
         assert_eq!(arq.seed, 11);
         // Total loss is legal under a bounded budget.
         assert!(ArqConfig::new(1.0, 0.05, 0).is_ok());
+    }
+
+    /// The documented defaults are part of the API contract: geometric
+    /// backoff ×2 with no jitter, a budget of 8 retransmissions, and
+    /// degradation after 40 base timeouts.
+    #[test]
+    fn arq_defaults_are_pinned() {
+        let arq = ArqConfig::new(0.1, 0.05, 7).unwrap();
+        assert_eq!(arq.retry_budget, 8);
+        assert!(arq.backoff_factor.total_cmp(&2.0).is_eq());
+        assert!(arq.jitter.total_cmp(&0.0).is_eq());
+        assert!(arq.degrade_deadline.total_cmp(&(40.0 * 0.05)).is_eq());
     }
 
     /// Satellite: `ConfigError::RetryTimeout` is wired end-to-end — a

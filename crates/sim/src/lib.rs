@@ -39,6 +39,7 @@ pub mod calendar;
 pub mod engine;
 mod estimate;
 mod faults;
+pub mod journal;
 mod nodes;
 pub mod perf;
 mod protocol;
@@ -55,6 +56,9 @@ pub use engine::{
 };
 pub use estimate::{estimate_average_cost, estimate_expected_cost, EstimatorConfig, Summary};
 pub use faults::{ArqConfig, ConfigError, FaultKind, FaultPlan};
+pub use journal::{
+    DurabilityStats, DurableServe, FsyncPolicy, JournalConfig, RecoveryReport, TenantRecovery,
+};
 pub use nodes::{MobileNode, StationaryNode};
 pub use protocol::{Envelope, ProtocolState, StepOutcome};
 pub use sim::{

@@ -1,0 +1,248 @@
+//! Property tests for the durability layer: journal record framing,
+//! checkpoint images, and the `restore` wire path under hostile input.
+
+use mdr_core::{CostModel, PolicySpec, Request};
+use mdr_sim::engine::{CoreSnapshot, DecisionCore, ServeConfig, ServeEngine};
+use mdr_sim::journal::{
+    decode_checkpoint, decode_record, encode_checkpoint, encode_record, escape_tenant,
+    scan_journal, unescape_tenant, Checkpoint, JournalOp, TailOutcome, CHECKPOINT_VERSION,
+};
+use proptest::prelude::*;
+
+/// Arbitrary text of up to `max` code points, spanning ASCII, multi-byte
+/// BMP, and astral characters (the vendored proptest has no string
+/// strategies, so this builds one from raw words).
+fn arb_text(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..max).prop_map(|words| {
+        words
+            .into_iter()
+            .map(|w| char::from_u32(w % 0x0011_0000).unwrap_or('\u{FFFD}'))
+            .collect()
+    })
+}
+
+fn arb_char() -> impl Strategy<Value = char> {
+    any::<u32>().prop_map(|w| char::from_u32(w % 0x0011_0000).unwrap_or('\u{FFFD}'))
+}
+
+fn arb_op() -> impl Strategy<Value = JournalOp> {
+    prop_oneof![
+        (arb_text(20), arb_text(20)).prop_map(|(policy, model)| JournalOp::Open { policy, model }),
+        arb_char().prop_map(|request| JournalOp::Decide { request }),
+        arb_text(20).prop_map(|policy| JournalOp::Adopt { policy }),
+        arb_text(30).prop_map(|snapshot| JournalOp::Restore { snapshot }),
+        Just(JournalOp::Close),
+    ]
+}
+
+/// A snapshot with real history behind it, for checkpoint round-trips.
+fn sample_snapshot(decides: u64) -> CoreSnapshot {
+    let mut core =
+        DecisionCore::new(PolicySpec::SlidingWindow { k: 3 }, CostModel::Connection).expect("core");
+    for i in 0..decides {
+        core.decide(if i % 3 == 0 {
+            Request::Write
+        } else {
+            Request::Read
+        });
+    }
+    core.snapshot()
+}
+
+proptest! {
+    /// encode → decode is the identity for every representable record.
+    #[test]
+    fn record_round_trips(seq in 1u64..u64::MAX, op in arb_op()) {
+        let frame = encode_record(seq, &op);
+        let body = &frame[4..frame.len() - 8];
+        let decoded = decode_record(body).expect("own encoding decodes");
+        prop_assert_eq!(decoded, (seq, op.clone()));
+    }
+
+    /// A journal of consecutive records scans back clean and complete.
+    #[test]
+    fn journal_scan_round_trips(ops in prop::collection::vec(arb_op(), 1..12)) {
+        let mut bytes = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(i as u64 + 1, op));
+        }
+        let scan = scan_journal(&bytes);
+        prop_assert_eq!(scan.outcome, TailOutcome::Clean);
+        prop_assert_eq!(scan.clean_len, bytes.len());
+        prop_assert_eq!(scan.records.len(), ops.len());
+        for (i, (seq, op)) in scan.records.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64 + 1);
+            prop_assert_eq!(op, &ops[i]);
+        }
+    }
+
+    /// Any single-bit flip anywhere in a journal yields a strict prefix
+    /// of the original records — the checksum never lets an altered
+    /// record through, and framing damage only shortens the accepted
+    /// tail.
+    #[test]
+    fn single_bit_flip_only_shortens(
+        ops in prop::collection::vec(arb_op(), 1..8),
+        flip_pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(i as u64 + 1, op));
+        }
+        let original = scan_journal(&bytes);
+        let pos = flip_pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let scan = scan_journal(&bytes);
+        // The flip damaged at least the record it landed in, and the
+        // scan stops there; what survives is byte-identical originals.
+        prop_assert!(scan.records.len() < original.records.len());
+        for (i, rec) in scan.records.iter().enumerate() {
+            prop_assert_eq!(rec, &original.records[i], "record {} altered undetected", i);
+        }
+    }
+
+    /// A sequence gap (or regression) is rejected at the exact record
+    /// that breaks the chain, keeping everything before it.
+    #[test]
+    fn sequence_gaps_are_detected(
+        ops in prop::collection::vec(arb_op(), 2..8),
+        gap_at in 1usize..7,
+        jump in prop_oneof![Just(0u64), 2u64..100],
+    ) {
+        let gap_at = gap_at.min(ops.len() - 1);
+        let mut bytes = Vec::new();
+        let mut boundary = 0;
+        for (i, op) in ops.iter().enumerate() {
+            let seq = if i < gap_at {
+                i as u64 + 1
+            } else {
+                // From the gap on, sequences continue from the wrong
+                // place: a repeat (jump 0) or a skip (jump ≥ 2).
+                gap_at as u64 + jump + (i - gap_at) as u64
+            };
+            if i == gap_at {
+                boundary = bytes.len();
+            }
+            bytes.extend_from_slice(&encode_record(seq, op));
+        }
+        let scan = scan_journal(&bytes);
+        prop_assert_eq!(scan.records.len(), gap_at);
+        prop_assert_eq!(scan.clean_len, boundary);
+        prop_assert!(
+            matches!(scan.outcome, TailOutcome::Corrupt { offset, .. } if offset == boundary)
+        );
+    }
+
+    /// Checkpoint images round-trip exactly, and any single-bit flip in
+    /// the encoded file is rejected as an error, never misread.
+    #[test]
+    fn checkpoint_round_trips_and_rejects_flips(
+        decides in 0u64..40,
+        seq in 1u64..10_000,
+        adapted in proptest::bool::ANY,
+        flip_pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            seq,
+            snapshot: sample_snapshot(decides),
+            adapted,
+            adapt_checkpoint: if adapted { None } else { Some((decides / 3, decides)) },
+        };
+        let encoded = encode_checkpoint(&checkpoint);
+        let decoded = decode_checkpoint(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &checkpoint);
+
+        let mut flipped = encoded.clone().into_bytes();
+        let pos = flip_pos % flipped.len();
+        flipped[pos] ^= 1 << bit;
+        match String::from_utf8(flipped) {
+            // No longer text at all: rejected before decoding starts.
+            Err(_) => {}
+            Ok(text) => {
+                prop_assert!(text != encoded);
+                prop_assert!(
+                    decode_checkpoint(&text).is_err(),
+                    "flip {}:{} accepted", pos, bit
+                );
+            }
+        }
+    }
+
+    /// Tenant-name escaping round-trips for arbitrary names, produces
+    /// only filesystem-safe bytes, and never collides two names.
+    #[test]
+    fn tenant_escaping_round_trips(name in arb_text(12), other in arb_text(12)) {
+        let escaped = escape_tenant(&name);
+        prop_assert!(escaped
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'%'));
+        let unescaped = unescape_tenant(&escaped);
+        prop_assert_eq!(unescaped.as_deref(), Some(name.as_str()));
+        if name != other {
+            prop_assert_ne!(escape_tenant(&name), escape_tenant(&other));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `restore` wire path under hostile snapshot JSON.
+// ---------------------------------------------------------------------------
+
+/// Drives `restore` with an arbitrary `snapshot` payload and asserts
+/// the transaction property: exactly one response line, and on any
+/// error the tenant's observable state is byte-identical to before.
+fn assert_restore_is_atomic(engine: &mut ServeEngine, payload: &str) {
+    let before = engine.handle_line(r#"{"op":"snapshot","tenant":"t"}"#);
+    let line = format!(r#"{{"op":"restore","tenant":"t","snapshot":{payload}}}"#);
+    let response = engine.handle_line(&line);
+    assert!(!response.contains('\n'), "multi-line response: {response}");
+    if response.starts_with(r#"{"err""#) {
+        let after = engine.handle_line(r#"{"op":"snapshot","tenant":"t"}"#);
+        assert_eq!(before, after, "failed restore mutated the core");
+    } else {
+        assert!(response.starts_with(r#"{"ok":"restore""#), "{response}");
+    }
+}
+
+proptest! {
+    /// Arbitrary payloads: never a panic, never a partial application.
+    #[test]
+    fn restore_survives_arbitrary_payloads(payload in arb_text(60)) {
+        let mut engine = ServeEngine::new(ServeConfig::default()).expect("engine");
+        engine.handle_line(r#"{"op":"open","tenant":"t","policy":"SW3"}"#);
+        assert_restore_is_atomic(&mut engine, &payload);
+    }
+
+    /// Truncations and single-character corruptions of a *valid*
+    /// snapshot JSON: the near-misses most likely to half-parse.
+    #[test]
+    fn restore_survives_damaged_valid_snapshots(
+        decides in 0u64..30,
+        cut in any::<usize>(),
+        corrupt_pos in any::<usize>(),
+        replacement in 0x20u32..0x7f,
+    ) {
+        let json = serde_json::to_string(&sample_snapshot(decides)).expect("serializes");
+        let mut engine = ServeEngine::new(ServeConfig::default()).expect("engine");
+        engine.handle_line(r#"{"op":"open","tenant":"t","policy":"SW3"}"#);
+
+        let truncated = &json[..cut % (json.len() + 1)];
+        assert_restore_is_atomic(&mut engine, truncated);
+
+        let mut corrupted = json.clone().into_bytes();
+        let pos = corrupt_pos % corrupted.len();
+        corrupted[pos] = replacement as u8;
+        let corrupted = String::from_utf8(corrupted).expect("ascii stays ascii");
+        assert_restore_is_atomic(&mut engine, &corrupted);
+
+        // And the undamaged original still restores cleanly.
+        let response = engine.handle_line(&format!(
+            r#"{{"op":"restore","tenant":"t","snapshot":{json}}}"#
+        ));
+        let ok = response.starts_with(r#"{"ok":"restore""#);
+        prop_assert!(ok);
+    }
+}

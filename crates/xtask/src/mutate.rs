@@ -2,7 +2,8 @@
 //!
 //! The generator derives mutants from the lexed token stream of the
 //! protocol-critical sources (`crates/core`, `crates/sim/src/{engine,
-//! protocol,faults,sim,topology}.rs`, `crates/verify/src/invariants.rs`):
+//! journal,protocol,faults,sim,topology}.rs`,
+//! `crates/verify/src/invariants.rs`):
 //!
 //! * operator swaps: `+`↔`-`, `<`→`<=`, `>`→`>=`, `<=`→`<`, `>=`→`>`,
 //!   `==`↔`!=`, `&&`↔`||` (guarded to binary positions so generics and
@@ -412,6 +413,7 @@ pub(crate) fn target_files(root: &Path) -> Vec<String> {
     }
     for fixed in [
         "crates/sim/src/engine.rs",
+        "crates/sim/src/journal.rs",
         "crates/sim/src/protocol.rs",
         "crates/sim/src/faults.rs",
         "crates/sim/src/sim.rs",
